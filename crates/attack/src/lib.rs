@@ -1,0 +1,62 @@
+//! Threat-model substrate: the Power Virus.
+//!
+//! Implements §III of the paper — the two-phase attack against
+//! battery-backed data centers:
+//!
+//! 1. **Preparation** ([`placement`]) — the attacker subscribes VMs until
+//!    some land on the victim rack (co-residency, Ristenpart-style).
+//! 2. **Phase I** ([`phases`], [`recon`]) — a *non-offending visible peak*:
+//!    sustained benign-looking load drains the rack battery; by watching
+//!    its own VMs' performance (DVFS capping becomes visible once the
+//!    battery disconnects) the attacker learns the battery's autonomy
+//!    time.
+//! 3. **Phase II** ([`spike`], [`virus`]) — *offending hidden spikes*:
+//!    short, tall power spikes that coarse metering cannot see, repeated
+//!    until the rack breaker trips.
+//!
+//! Virus classes ([`virus`]) mirror the paper's Table II benchmarks
+//! (CPU-intensive Tachyon, memory-intensive STREAM, IO-intensive Apache
+//! bench): they differ in how tall and how fast a spike each can raise,
+//! which is why IO viruses "may fail to create any effective attack when
+//! the power budget is adequate" (§III.B).
+//!
+//! # Example
+//!
+//! ```
+//! use attack::prelude::*;
+//! use simkit::time::{SimDuration, SimTime};
+//!
+//! // A CPU virus spiking 1 s every 30 s.
+//! let train = SpikeTrain::new(SimDuration::from_secs(30), SimDuration::from_secs(1));
+//! let virus = PowerVirus::new(VirusClass::CpuIntensive);
+//! let in_spike = virus.utilization(train.envelope_at(SimTime::from_secs(30)));
+//! let idle = virus.utilization(train.envelope_at(SimTime::from_secs(45)));
+//! assert!(in_spike > 0.9 && idle < 0.2);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod phases;
+pub mod placement;
+pub mod recon;
+pub mod scenario;
+pub mod spike;
+pub mod virus;
+
+/// Convenient re-exports of the most common `attack` items.
+pub mod prelude {
+    pub use crate::phases::{AttackPhase, TransitionCause, TwoPhaseAttack};
+    pub use crate::placement::NodeAcquisition;
+    pub use crate::recon::AutonomyEstimator;
+    pub use crate::scenario::{AttackScenario, AttackStyle};
+    pub use crate::spike::SpikeTrain;
+    pub use crate::virus::{PowerVirus, VirusClass};
+}
+
+pub use phases::{AttackPhase, TransitionCause, TwoPhaseAttack};
+pub use placement::NodeAcquisition;
+pub use recon::AutonomyEstimator;
+pub use scenario::{AttackScenario, AttackStyle};
+pub use spike::SpikeTrain;
+pub use virus::{PowerVirus, VirusClass};

@@ -1,0 +1,183 @@
+//! Preparation: acquiring nodes on the victim rack.
+//!
+//! "The attacker can either opportunistically look for such a host by
+//! repeatedly creating many virtual machines (VM) and monitoring the IP of
+//! the VM instance, or keep rebooting a few VMs until they reach the same
+//! desired location." (§III.A.1, citing Ristenpart et al.)
+//!
+//! [`NodeAcquisition`] models the cheap version of that process: each VM
+//! launch lands on a uniformly random server; the attacker keeps VMs that
+//! land on the victim rack and recycles the rest, up to an attempt budget.
+
+use simkit::rng::RngStream;
+
+use powerinfra::topology::{ClusterTopology, RackId, ServerId};
+
+/// Outcome of a VM-placement campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AcquisitionOutcome {
+    /// Distinct victim-rack servers the attacker now controls.
+    pub nodes: Vec<ServerId>,
+    /// VM launches spent.
+    pub attempts: u32,
+}
+
+/// A co-residency acquisition campaign against one rack.
+///
+/// # Example
+///
+/// ```
+/// use attack::placement::NodeAcquisition;
+/// use powerinfra::topology::{ClusterTopology, RackId};
+/// use simkit::rng::RngStream;
+///
+/// let topo = ClusterTopology::paper_cluster();
+/// let campaign = NodeAcquisition::new(topo, RackId(3));
+/// let mut rng = RngStream::new(1);
+/// let outcome = campaign.acquire(&mut rng, 2, 10_000);
+/// assert_eq!(outcome.nodes.len(), 2);
+/// assert!(outcome.nodes.iter().all(|id| id.rack == RackId(3)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeAcquisition {
+    topology: ClusterTopology,
+    victim: RackId,
+}
+
+impl NodeAcquisition {
+    /// Creates a campaign against `victim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `victim` is outside the topology.
+    pub fn new(topology: ClusterTopology, victim: RackId) -> Self {
+        assert!(
+            victim.0 < topology.racks(),
+            "victim {victim} outside the {}-rack cluster",
+            topology.racks()
+        );
+        NodeAcquisition { topology, victim }
+    }
+
+    /// The victim rack.
+    pub fn victim(&self) -> RackId {
+        self.victim
+    }
+
+    /// Probability that one random VM launch lands on the victim rack.
+    pub fn hit_probability(&self) -> f64 {
+        1.0 / self.topology.racks() as f64
+    }
+
+    /// Expected launches needed to control `desired` distinct servers
+    /// (coupon-collector over the rack's slots, scaled by rack odds).
+    pub fn expected_attempts(&self, desired: usize) -> f64 {
+        let s = self.topology.servers_per_rack() as f64;
+        let d = desired.min(self.topology.servers_per_rack()) as f64;
+        // Sum of s/(s-k) for k = 0..d, each scaled by 1/p(rack).
+        let mut expect = 0.0;
+        for k in 0..d as usize {
+            expect += s / (s - k as f64);
+        }
+        expect / self.hit_probability()
+    }
+
+    /// Runs the campaign: launch VMs until `desired` distinct victim-rack
+    /// servers are controlled or `max_attempts` is exhausted.
+    pub fn acquire(
+        &self,
+        rng: &mut RngStream,
+        desired: usize,
+        max_attempts: u32,
+    ) -> AcquisitionOutcome {
+        let desired = desired.min(self.topology.servers_per_rack());
+        let mut nodes: Vec<ServerId> = Vec::new();
+        let mut attempts = 0;
+        while nodes.len() < desired && attempts < max_attempts {
+            attempts += 1;
+            let index = rng.below(self.topology.total_servers());
+            let id = self
+                .topology
+                .server_by_index(index)
+                .expect("index below total");
+            if id.rack == self.victim && !nodes.contains(&id) {
+                nodes.push(id);
+            }
+        }
+        AcquisitionOutcome { nodes, attempts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn campaign() -> NodeAcquisition {
+        NodeAcquisition::new(ClusterTopology::paper_cluster(), RackId(7))
+    }
+
+    #[test]
+    fn acquires_distinct_victim_nodes() {
+        let mut rng = RngStream::new(5);
+        let outcome = campaign().acquire(&mut rng, 4, 100_000);
+        assert_eq!(outcome.nodes.len(), 4);
+        let mut sorted = outcome.nodes.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4, "duplicate nodes acquired");
+        assert!(outcome.nodes.iter().all(|id| id.rack == RackId(7)));
+    }
+
+    #[test]
+    fn attempt_budget_is_honoured() {
+        let mut rng = RngStream::new(5);
+        let outcome = campaign().acquire(&mut rng, 10, 5);
+        assert!(outcome.attempts <= 5);
+        assert!(outcome.nodes.len() <= 5);
+    }
+
+    #[test]
+    fn desired_clamped_to_rack_size() {
+        let mut rng = RngStream::new(6);
+        let outcome = campaign().acquire(&mut rng, 500, 1_000_000);
+        assert_eq!(outcome.nodes.len(), 10, "a rack only has 10 servers");
+    }
+
+    #[test]
+    fn hit_probability_matches_topology() {
+        assert!((campaign().hit_probability() - 1.0 / 22.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_attempts_grow_with_desired() {
+        let c = campaign();
+        let one = c.expected_attempts(1);
+        let four = c.expected_attempts(4);
+        // 1 node: 22 launches expected. 4 nodes: strictly more.
+        assert!((one - 22.0).abs() < 1e-9);
+        assert!(four > 3.0 * one);
+    }
+
+    #[test]
+    fn empirical_attempts_near_expectation() {
+        let c = campaign();
+        let mut total = 0.0;
+        let runs = 200u32;
+        for i in 0..runs {
+            let mut rng = RngStream::new(u64::from(i));
+            total += f64::from(c.acquire(&mut rng, 1, u32::MAX).attempts);
+        }
+        let mean = total / f64::from(runs);
+        let expected = c.expected_attempts(1);
+        assert!(
+            (mean - expected).abs() < expected * 0.3,
+            "empirical {mean} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn victim_must_be_in_cluster() {
+        NodeAcquisition::new(ClusterTopology::paper_cluster(), RackId(22));
+    }
+}

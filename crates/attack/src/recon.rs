@@ -1,0 +1,160 @@
+//! Side-channel reconnaissance: learning battery autonomy.
+//!
+//! "After multiple times of learning, the attacker can develop the
+//! knowledge of the capacity of the associated DEB and estimate the
+//! approximate time that the DEB can sustain its non-offending power
+//! virus." (§III.A.2)
+//!
+//! [`AutonomyEstimator`] accumulates drain-trial durations (from
+//! [`crate::phases::TwoPhaseAttack::observed_drain`]) and maintains a
+//! running estimate with a confidence measure. The PAD evaluation uses the
+//! estimator's *relative dispersion* to quantify how much noise vDEB's
+//! capacity sharing injects into the attacker's observations ("adding
+//! considerable noise to an attacker's observations in a side-channel
+//! attack", §IV.B.1).
+
+use simkit::stats::OnlineStats;
+use simkit::time::SimDuration;
+
+/// A running estimate of a victim rack's battery autonomy time.
+///
+/// # Example
+///
+/// ```
+/// use attack::recon::AutonomyEstimator;
+/// use simkit::time::SimDuration;
+///
+/// let mut est = AutonomyEstimator::new();
+/// for secs in [48, 52, 50, 49] {
+///     est.push_trial(SimDuration::from_secs(secs));
+/// }
+/// let learned = est.estimate().unwrap();
+/// assert!((learned.as_secs_f64() - 49.75).abs() < 0.01);
+/// assert!(est.is_confident(0.1), "tight trials should give confidence");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AutonomyEstimator {
+    stats: OnlineStats,
+}
+
+impl AutonomyEstimator {
+    /// Creates an empty estimator.
+    pub fn new() -> Self {
+        AutonomyEstimator::default()
+    }
+
+    /// Records one drain trial (time from drain start to observed
+    /// capping).
+    pub fn push_trial(&mut self, drain: SimDuration) {
+        self.stats.push(drain.as_secs_f64());
+    }
+
+    /// Number of trials so far.
+    pub fn trials(&self) -> u64 {
+        self.stats.count()
+    }
+
+    /// Mean autonomy estimate, if any trial has been recorded.
+    pub fn estimate(&self) -> Option<SimDuration> {
+        if self.stats.count() == 0 {
+            None
+        } else {
+            Some(SimDuration::from_secs_f64(self.stats.mean()))
+        }
+    }
+
+    /// Standard deviation of the trials in seconds.
+    pub fn dispersion_secs(&self) -> f64 {
+        self.stats.sample_std_dev()
+    }
+
+    /// Coefficient of variation (stddev / mean) — the attacker's relative
+    /// uncertainty. Higher means the defense is successfully adding noise.
+    pub fn relative_dispersion(&self) -> f64 {
+        let mean = self.stats.mean();
+        if mean <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.dispersion_secs() / mean
+        }
+    }
+
+    /// Whether the attacker has at least 3 trials whose relative
+    /// dispersion is below `tolerance` — the point at which spiking
+    /// becomes worth the risk.
+    pub fn is_confident(&self, tolerance: f64) -> bool {
+        self.stats.count() >= 3 && self.relative_dispersion() <= tolerance
+    }
+
+    /// A conservative drain budget for the next attempt: mean + one
+    /// standard deviation (drain a bit longer than the estimate to be
+    /// sure the battery is really out).
+    pub fn drain_budget(&self) -> Option<SimDuration> {
+        self.estimate()
+            .map(|e| SimDuration::from_secs_f64(e.as_secs_f64() + self.dispersion_secs()))
+    }
+}
+
+impl Extend<SimDuration> for AutonomyEstimator {
+    fn extend<T: IntoIterator<Item = SimDuration>>(&mut self, iter: T) {
+        for d in iter {
+            self.push_trial(d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_estimator_knows_nothing() {
+        let e = AutonomyEstimator::new();
+        assert_eq!(e.estimate(), None);
+        assert_eq!(e.trials(), 0);
+        assert!(!e.is_confident(1.0));
+        assert_eq!(e.drain_budget(), None);
+    }
+
+    #[test]
+    fn converges_on_consistent_trials() {
+        let mut e = AutonomyEstimator::new();
+        e.extend((0..10).map(|_| SimDuration::from_secs(50)));
+        assert_eq!(e.estimate(), Some(SimDuration::from_secs(50)));
+        assert_eq!(e.dispersion_secs(), 0.0);
+        assert!(e.is_confident(0.01));
+    }
+
+    #[test]
+    fn noisy_trials_prevent_confidence() {
+        // vDEB pools batteries: each trial sees a different effective
+        // capacity, so the spread stays wide.
+        let mut e = AutonomyEstimator::new();
+        for secs in [50u64, 210, 95, 400, 160, 30] {
+            e.push_trial(SimDuration::from_secs(secs));
+        }
+        assert!(e.relative_dispersion() > 0.5);
+        assert!(!e.is_confident(0.2));
+    }
+
+    #[test]
+    fn needs_three_trials_for_confidence() {
+        let mut e = AutonomyEstimator::new();
+        e.push_trial(SimDuration::from_secs(50));
+        e.push_trial(SimDuration::from_secs(50));
+        assert!(!e.is_confident(0.5), "two trials are not enough");
+        e.push_trial(SimDuration::from_secs(50));
+        assert!(e.is_confident(0.5));
+    }
+
+    #[test]
+    fn drain_budget_adds_one_sigma() {
+        let mut e = AutonomyEstimator::new();
+        for secs in [40u64, 60] {
+            e.push_trial(SimDuration::from_secs(secs));
+        }
+        // mean 50, sample stddev ≈ 14.142
+        let budget = e.drain_budget().unwrap();
+        assert!((budget.as_secs_f64() - 64.142).abs() < 0.01, "{budget}");
+    }
+}

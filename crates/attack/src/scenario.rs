@@ -1,0 +1,288 @@
+//! Canned attack scenarios.
+//!
+//! The paper evaluates "two types of power attack: a dense and extensive
+//! power spikes and a sparse and less aggressive spikes" (§V, Figure 12),
+//! each crossed with the three virus classes. [`AttackScenario`] bundles a
+//! style, a class and a node count into the parameter tuple the
+//! experiments sweep, and can render the Figure-12-style collected power
+//! trace.
+
+use simkit::rng::RngStream;
+use simkit::series::TimeSeries;
+use simkit::time::{SimDuration, SimTime};
+
+use crate::phases::TwoPhaseAttack;
+use crate::spike::SpikeTrain;
+use crate::virus::{PowerVirus, VirusClass};
+
+/// Spike aggressiveness style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackStyle {
+    /// Frequent, wide spikes (Figure 12 left).
+    Dense,
+    /// Infrequent, narrow spikes (Figure 12 right).
+    Sparse,
+}
+
+impl AttackStyle {
+    /// Both styles, in the paper's order.
+    pub const ALL: [AttackStyle; 2] = [AttackStyle::Dense, AttackStyle::Sparse];
+
+    /// Spikes per minute for this style.
+    pub fn frequency_per_minute(self) -> f64 {
+        match self {
+            AttackStyle::Dense => 6.0,
+            AttackStyle::Sparse => 1.0,
+        }
+    }
+
+    /// Spike width for this style.
+    pub fn width(self) -> SimDuration {
+        match self {
+            AttackStyle::Dense => SimDuration::from_secs(2),
+            AttackStyle::Sparse => SimDuration::from_secs(1),
+        }
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AttackStyle::Dense => "Dense Attack",
+            AttackStyle::Sparse => "Sparse Attack",
+        }
+    }
+}
+
+impl std::fmt::Display for AttackStyle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A complete attack parameterization.
+///
+/// # Example
+///
+/// ```
+/// use attack::scenario::{AttackScenario, AttackStyle};
+/// use attack::virus::VirusClass;
+/// use simkit::time::SimTime;
+///
+/// let sc = AttackScenario::new(AttackStyle::Dense, VirusClass::CpuIntensive, 2);
+/// let mut atk = sc.build(SimTime::from_secs(10));
+/// assert_eq!(atk.train().frequency_per_minute(), 6.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackScenario {
+    /// Spike style.
+    pub style: AttackStyle,
+    /// Virus class.
+    pub class: VirusClass,
+    /// Compromised servers on the victim rack at attack start.
+    pub nodes: usize,
+    /// If set, the attacker keeps acquiring one more victim-rack server
+    /// every such interval after Phase II begins ("gaining control of
+    /// more machines eases power attack", Figure 8-A) until the rack is
+    /// saturated.
+    pub escalation: Option<SimDuration>,
+    /// Overrides the style's spike width (Figure 8-B / 16-B sweeps).
+    pub width_override: Option<SimDuration>,
+    /// Overrides the style's spikes-per-minute (Figure 8-C / 16-A sweeps).
+    pub frequency_override: Option<f64>,
+    /// Overrides the attacker's Phase-I give-up prior.
+    pub max_drain_override: Option<SimDuration>,
+}
+
+impl AttackScenario {
+    /// Creates a scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn new(style: AttackStyle, class: VirusClass, nodes: usize) -> Self {
+        assert!(nodes > 0, "an attack needs at least one node");
+        AttackScenario {
+            style,
+            class,
+            nodes,
+            escalation: None,
+            width_override: None,
+            frequency_override: None,
+            max_drain_override: None,
+        }
+    }
+
+    /// Overrides the spike width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn with_width(mut self, width: SimDuration) -> Self {
+        assert!(!width.is_zero(), "spike width must be non-zero");
+        self.width_override = Some(width);
+        self
+    }
+
+    /// Overrides the spike frequency (per minute).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_minute` is not positive.
+    pub fn with_frequency(mut self, per_minute: f64) -> Self {
+        assert!(per_minute > 0.0, "frequency must be positive");
+        self.frequency_override = Some(per_minute);
+        self
+    }
+
+    /// Overrides the attacker's Phase-I give-up timeout.
+    pub fn with_max_drain(mut self, max_drain: SimDuration) -> Self {
+        self.max_drain_override = Some(max_drain);
+        self
+    }
+
+    /// Skips Phase I entirely: the attack fires hidden spikes from the
+    /// start (used by the Figure-8 effective-attack counting, where the
+    /// battery state is part of the setup, not the experiment).
+    pub fn immediate(self) -> Self {
+        self.with_max_drain(SimDuration::ZERO)
+    }
+
+    /// Enables node-count escalation at the given interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn with_escalation(mut self, interval: SimDuration) -> Self {
+        assert!(!interval.is_zero(), "escalation interval must be non-zero");
+        self.escalation = Some(interval);
+        self
+    }
+
+    /// The 6 scenarios of Figure 15 (2 styles × 3 classes) with the
+    /// paper's default of 2 compromised nodes.
+    pub fn figure15_matrix() -> Vec<AttackScenario> {
+        let mut v = Vec::new();
+        for class in VirusClass::ALL {
+            for style in AttackStyle::ALL {
+                v.push(AttackScenario::new(style, class, 2));
+            }
+        }
+        v
+    }
+
+    /// The spike train implied by the style (with any overrides applied).
+    pub fn train(&self) -> SpikeTrain {
+        let width = self.width_override.unwrap_or_else(|| self.style.width());
+        let freq = self
+            .frequency_override
+            .unwrap_or_else(|| self.style.frequency_per_minute());
+        SpikeTrain::per_minute(freq, width)
+    }
+
+    /// Builds the live two-phase attack starting at `start`.
+    pub fn build(&self, start: SimTime) -> TwoPhaseAttack {
+        let mut atk = TwoPhaseAttack::new(PowerVirus::new(self.class), self.train(), start);
+        if let Some(max_drain) = self.max_drain_override {
+            atk = atk.with_max_drain(max_drain);
+        }
+        atk
+    }
+
+    /// Display label like `"Dense Attack / CPU-Intensive ×2"`.
+    pub fn label(&self) -> String {
+        format!("{} / {} ×{}", self.style, self.class, self.nodes)
+    }
+
+    /// Renders a Figure-12-style collected power trace: percent-of-peak
+    /// at 1-second resolution for `duration`, with measurement jitter.
+    ///
+    /// The baseline sits near 55% of peak (a busy but unremarkable
+    /// server); spikes rise toward the class amplitude.
+    pub fn collected_trace(&self, duration: SimDuration, rng: &mut RngStream) -> TimeSeries {
+        let virus = PowerVirus::new(self.class);
+        let train = self.train();
+        let steps = duration / SimDuration::SECOND;
+        let values: Vec<f64> = (0..steps)
+            .map(|s| {
+                let t = SimTime::from_secs(s);
+                let envelope = train.envelope_at(t);
+                let u = if envelope > 0.0 {
+                    virus.spike_utilization(train.width())
+                } else {
+                    0.45 + rng.normal_with(0.0, 0.03)
+                };
+                // Map utilization to percent of peak power (idle floor 57%
+                // of peak, matching the DL585's 299/521 ratio).
+                let percent = 57.4 + (100.0 - 57.4) * u.clamp(0.0, 1.0);
+                percent + rng.normal_with(0.0, 0.8)
+            })
+            .collect();
+        TimeSeries::new(SimTime::ZERO, SimDuration::SECOND, values)
+    }
+}
+
+impl std::fmt::Display for AttackScenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_is_more_aggressive_than_sparse() {
+        assert!(
+            AttackStyle::Dense.frequency_per_minute() > AttackStyle::Sparse.frequency_per_minute()
+        );
+        assert!(AttackStyle::Dense.width() > AttackStyle::Sparse.width());
+    }
+
+    #[test]
+    fn figure15_matrix_has_six_cells() {
+        let m = AttackScenario::figure15_matrix();
+        assert_eq!(m.len(), 6);
+        let labels: std::collections::HashSet<String> =
+            m.iter().map(AttackScenario::label).collect();
+        assert_eq!(labels.len(), 6, "scenario labels must be distinct");
+    }
+
+    #[test]
+    fn collected_trace_shows_spikes_above_baseline() {
+        let sc = AttackScenario::new(AttackStyle::Dense, VirusClass::CpuIntensive, 1);
+        let mut rng = RngStream::new(3);
+        let trace = sc.collected_trace(SimDuration::from_mins(4), &mut rng);
+        let max = trace.values().iter().copied().fold(0.0, f64::max);
+        let mean = trace.values().iter().sum::<f64>() / trace.len() as f64;
+        assert!(max > 95.0, "spikes should approach peak, max {max}");
+        assert!(mean < 90.0, "baseline should stay well below peak, mean {mean}");
+    }
+
+    #[test]
+    fn io_trace_spikes_are_blunted() {
+        let mut rng = RngStream::new(4);
+        let cpu = AttackScenario::new(AttackStyle::Sparse, VirusClass::CpuIntensive, 1)
+            .collected_trace(SimDuration::from_mins(4), &mut rng);
+        let io = AttackScenario::new(AttackStyle::Sparse, VirusClass::IoIntensive, 1)
+            .collected_trace(SimDuration::from_mins(4), &mut rng);
+        let max = |t: &simkit::series::TimeSeries| {
+            t.values().iter().copied().fold(0.0, f64::max)
+        };
+        assert!(max(&cpu) > max(&io) + 5.0, "IO spikes should be visibly lower");
+    }
+
+    #[test]
+    fn build_wires_the_train() {
+        let sc = AttackScenario::new(AttackStyle::Sparse, VirusClass::MemIntensive, 3);
+        let atk = sc.build(SimTime::from_secs(1));
+        assert_eq!(atk.train().width(), SimDuration::from_secs(1));
+        assert!((atk.train().frequency_per_minute() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        AttackScenario::new(AttackStyle::Dense, VirusClass::CpuIntensive, 0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Spike-train scheduling.
+//!
+//! Phase II launches "short load surges which do not significantly
+//! increase the average utilization" (§III.A.3). A [`SpikeTrain`] is the
+//! attacker's timing plan: spikes of a given width fired at a given
+//! frequency, optionally with a start offset (so multiple compromised
+//! nodes can fire in lockstep — simultaneity is what makes the rack-level
+//! spike tall).
+
+use simkit::time::{SimDuration, SimTime};
+
+/// A periodic spike schedule.
+///
+/// # Example
+///
+/// ```
+/// use attack::spike::SpikeTrain;
+/// use simkit::time::{SimDuration, SimTime};
+///
+/// // 2 spikes per minute, 1 s wide.
+/// let train = SpikeTrain::per_minute(2.0, SimDuration::from_secs(1));
+/// assert_eq!(train.period(), SimDuration::from_secs(30));
+/// assert_eq!(train.envelope_at(SimTime::from_secs(30)), 1.0);
+/// assert_eq!(train.envelope_at(SimTime::from_secs(45)), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpikeTrain {
+    period: SimDuration,
+    width: SimDuration,
+    offset: SimDuration,
+}
+
+impl SpikeTrain {
+    /// Creates a train firing every `period` for `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero, `width` is zero, or `width >= period`
+    /// (a spike that never ends is not a spike).
+    pub fn new(period: SimDuration, width: SimDuration) -> Self {
+        assert!(!period.is_zero(), "spike period must be non-zero");
+        assert!(!width.is_zero(), "spike width must be non-zero");
+        assert!(
+            width < period,
+            "spike width {width} must be below the period {period}"
+        );
+        SpikeTrain {
+            period,
+            width,
+            offset: SimDuration::ZERO,
+        }
+    }
+
+    /// Creates a train from the paper's knobs: spikes per minute and
+    /// width (Figure 8-B/8-C sweep these).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_minute` is not positive or the implied period does
+    /// not exceed `width`.
+    pub fn per_minute(per_minute: f64, width: SimDuration) -> Self {
+        assert!(per_minute > 0.0, "frequency must be positive");
+        let period = SimDuration::from_secs_f64(60.0 / per_minute);
+        SpikeTrain::new(period, width)
+    }
+
+    /// Shifts the whole train later by `offset`.
+    pub fn with_offset(mut self, offset: SimDuration) -> Self {
+        self.offset = offset;
+        self
+    }
+
+    /// Interval between spike starts.
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    /// Duration of each spike.
+    pub fn width(&self) -> SimDuration {
+        self.width
+    }
+
+    /// Spikes per minute.
+    pub fn frequency_per_minute(&self) -> f64 {
+        60.0 / self.period.as_secs_f64()
+    }
+
+    /// Fraction of time spent spiking — the "average utilization"
+    /// footprint the attacker keeps small.
+    pub fn duty_cycle(&self) -> f64 {
+        self.width.as_secs_f64() / self.period.as_secs_f64()
+    }
+
+    /// Envelope at time `t`: 1.0 inside a spike, 0.0 outside.
+    pub fn envelope_at(&self, t: SimTime) -> f64 {
+        if t < SimTime::ZERO + self.offset {
+            return 0.0;
+        }
+        let since = t.saturating_since(SimTime::ZERO + self.offset);
+        let in_period = since % self.period;
+        if in_period < self.width {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Start time of the `k`-th spike (0-based).
+    pub fn spike_start(&self, k: u64) -> SimTime {
+        SimTime::ZERO + self.offset + self.period * k
+    }
+
+    /// Number of complete spikes fired in `[0, until)`.
+    pub fn spikes_before(&self, until: SimTime) -> u64 {
+        if until <= SimTime::ZERO + self.offset {
+            return 0;
+        }
+        let span = until.saturating_since(SimTime::ZERO + self.offset);
+        // Count periods whose spike has fully completed.
+        let full = span / self.period;
+        let partial = span % self.period;
+        full + u64::from(partial >= self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_marks_spike_windows() {
+        let train = SpikeTrain::new(SimDuration::from_secs(10), SimDuration::from_secs(2));
+        assert_eq!(train.envelope_at(SimTime::ZERO), 1.0);
+        assert_eq!(train.envelope_at(SimTime::from_millis(1_999)), 1.0);
+        assert_eq!(train.envelope_at(SimTime::from_secs(2)), 0.0);
+        assert_eq!(train.envelope_at(SimTime::from_secs(10)), 1.0);
+    }
+
+    #[test]
+    fn offset_delays_the_train() {
+        let train = SpikeTrain::new(SimDuration::from_secs(10), SimDuration::from_secs(1))
+            .with_offset(SimDuration::from_secs(5));
+        assert_eq!(train.envelope_at(SimTime::from_secs(0)), 0.0);
+        assert_eq!(train.envelope_at(SimTime::from_secs(5)), 1.0);
+        assert_eq!(train.spike_start(1), SimTime::from_secs(15));
+    }
+
+    #[test]
+    fn per_minute_maps_to_period() {
+        let train = SpikeTrain::per_minute(6.0, SimDuration::from_secs(1));
+        assert_eq!(train.period(), SimDuration::from_secs(10));
+        assert!((train.frequency_per_minute() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duty_cycle_is_small_for_hidden_spikes() {
+        // 1 s spike once a minute: under 2% average footprint.
+        let train = SpikeTrain::per_minute(1.0, SimDuration::from_secs(1));
+        assert!(train.duty_cycle() < 0.02);
+    }
+
+    #[test]
+    fn spikes_before_counts_completed() {
+        let train = SpikeTrain::new(SimDuration::from_secs(10), SimDuration::from_secs(1));
+        assert_eq!(train.spikes_before(SimTime::from_millis(500)), 0);
+        assert_eq!(train.spikes_before(SimTime::from_secs(1)), 1);
+        assert_eq!(train.spikes_before(SimTime::from_secs(10)), 1);
+        assert_eq!(train.spikes_before(SimTime::from_secs(11)), 2);
+        assert_eq!(train.spikes_before(SimTime::from_mins(15)), 90);
+    }
+
+    #[test]
+    #[should_panic(expected = "below the period")]
+    fn width_must_fit_period() {
+        SpikeTrain::new(SimDuration::from_secs(1), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn fifteen_minute_window_counts_match_paper_scale() {
+        // Figure 8: attacks counted over 15 minutes. 6/min × 15 min = 90.
+        let train = SpikeTrain::per_minute(6.0, SimDuration::from_secs(1));
+        assert_eq!(train.spikes_before(SimTime::from_mins(15)), 90);
+    }
+}

@@ -1,0 +1,212 @@
+//! Power-virus classes.
+//!
+//! Table II of the paper builds viruses from three benchmark families:
+//!
+//! | class | benchmark | behaviour |
+//! |---|---|---|
+//! | CPU-intensive | threaded Tachyon ray tracer | tall, fast spikes to ~full power |
+//! | Mem-intensive | STREAM | nearly as tall, slightly slower |
+//! | IO-intensive  | Apache bench, 1M requests | low, slow ramps — cannot spike |
+//!
+//! A virus converts a spike-train *envelope* (0–1, from
+//! [`crate::spike::SpikeTrain`]) into the utilization it imposes on its
+//! host server. The class determines the peak utilization it can reach
+//! (`amplitude`) and how fast it gets there (`rise_time` — a narrow spike
+//! cannot reach full height if the class ramps slowly, which is exactly
+//! why IO viruses are poor spikers, Figure 8).
+
+use simkit::time::SimDuration;
+
+/// The three virus classes of the paper's Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VirusClass {
+    /// Threaded Tachyon-style floating-point burner.
+    CpuIntensive,
+    /// STREAM-style memory-bandwidth burner.
+    MemIntensive,
+    /// Apache-bench-style request flood.
+    IoIntensive,
+}
+
+impl VirusClass {
+    /// All classes, in the paper's presentation order.
+    pub const ALL: [VirusClass; 3] = [
+        VirusClass::CpuIntensive,
+        VirusClass::MemIntensive,
+        VirusClass::IoIntensive,
+    ];
+
+    /// Peak utilization the class can drive a server to.
+    pub fn amplitude(self) -> f64 {
+        match self {
+            VirusClass::CpuIntensive => 1.0,
+            VirusClass::MemIntensive => 0.92,
+            VirusClass::IoIntensive => 0.65,
+        }
+    }
+
+    /// Time from idle to peak (limits narrow-spike height).
+    pub fn rise_time(self) -> SimDuration {
+        match self {
+            VirusClass::CpuIntensive => SimDuration::from_millis(100),
+            VirusClass::MemIntensive => SimDuration::from_millis(250),
+            VirusClass::IoIntensive => SimDuration::from_millis(1500),
+        }
+    }
+
+    /// Short label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            VirusClass::CpuIntensive => "CPU-Intensive",
+            VirusClass::MemIntensive => "Mem-Intensive",
+            VirusClass::IoIntensive => "IO-Intensive",
+        }
+    }
+}
+
+impl std::fmt::Display for VirusClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A power virus instance hosted on one server.
+///
+/// # Example
+///
+/// ```
+/// use attack::virus::{PowerVirus, VirusClass};
+/// use simkit::time::SimDuration;
+///
+/// let cpu = PowerVirus::new(VirusClass::CpuIntensive);
+/// let io = PowerVirus::new(VirusClass::IoIntensive);
+/// // For a 1-second spike the CPU virus reaches nearly full power while
+/// // the IO virus manages far less — Figure 8's key asymmetry.
+/// let w = SimDuration::from_secs(1);
+/// assert!(cpu.spike_utilization(w) > 0.95);
+/// assert!(io.spike_utilization(w) < 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerVirus {
+    class: VirusClass,
+    /// Utilization between spikes (kept low so average metering sees
+    /// nothing unusual).
+    baseline: f64,
+}
+
+impl PowerVirus {
+    /// Creates a virus of the given class with a 10% idle baseline.
+    pub fn new(class: VirusClass) -> Self {
+        PowerVirus {
+            class,
+            baseline: 0.10,
+        }
+    }
+
+    /// Sets the between-spike baseline utilization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `baseline` is outside `[0, 1]`.
+    pub fn with_baseline(mut self, baseline: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&baseline),
+            "baseline must be in [0,1], got {baseline}"
+        );
+        self.baseline = baseline;
+        self
+    }
+
+    /// The virus class.
+    pub fn class(&self) -> VirusClass {
+        self.class
+    }
+
+    /// The between-spike baseline.
+    pub fn baseline(&self) -> f64 {
+        self.baseline
+    }
+
+    /// Utilization imposed for a given spike envelope value in `[0, 1]`.
+    pub fn utilization(&self, envelope: f64) -> f64 {
+        let e = envelope.clamp(0.0, 1.0);
+        self.baseline + (self.class.amplitude() - self.baseline) * e
+    }
+
+    /// Peak utilization reachable inside a spike of the given width,
+    /// accounting for the class's ramp rate.
+    pub fn spike_utilization(&self, width: SimDuration) -> f64 {
+        let ramp_fraction =
+            (width.as_secs_f64() / self.class.rise_time().as_secs_f64()).min(1.0);
+        self.utilization(ramp_fraction)
+    }
+
+    /// Utilization during the Phase-I sustained drain (full amplitude —
+    /// it is disguised as a legitimately busy service).
+    pub fn drain_utilization(&self) -> f64 {
+        self.class.amplitude()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_ordering_of_amplitudes() {
+        assert!(VirusClass::CpuIntensive.amplitude() > VirusClass::MemIntensive.amplitude());
+        assert!(VirusClass::MemIntensive.amplitude() > VirusClass::IoIntensive.amplitude());
+    }
+
+    #[test]
+    fn io_rise_time_blunts_narrow_spikes() {
+        let io = PowerVirus::new(VirusClass::IoIntensive);
+        let narrow = io.spike_utilization(SimDuration::from_millis(500));
+        let wide = io.spike_utilization(SimDuration::from_secs(4));
+        assert!(narrow < wide);
+        assert!((wide - VirusClass::IoIntensive.amplitude()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_reaches_full_height_fast() {
+        let cpu = PowerVirus::new(VirusClass::CpuIntensive);
+        assert!((cpu.spike_utilization(SimDuration::from_millis(200)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn envelope_interpolates_from_baseline() {
+        let v = PowerVirus::new(VirusClass::CpuIntensive).with_baseline(0.2);
+        assert!((v.utilization(0.0) - 0.2).abs() < 1e-12);
+        assert!((v.utilization(1.0) - 1.0).abs() < 1e-12);
+        assert!((v.utilization(0.5) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn envelope_clamped() {
+        let v = PowerVirus::new(VirusClass::MemIntensive);
+        assert_eq!(v.utilization(-1.0), v.utilization(0.0));
+        assert_eq!(v.utilization(2.0), v.utilization(1.0));
+    }
+
+    #[test]
+    fn drain_runs_at_amplitude() {
+        for class in VirusClass::ALL {
+            let v = PowerVirus::new(class);
+            assert_eq!(v.drain_utilization(), class.amplitude());
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<&str> =
+            VirusClass::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), 3);
+        assert_eq!(VirusClass::CpuIntensive.to_string(), "CPU-Intensive");
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline")]
+    fn invalid_baseline_rejected() {
+        PowerVirus::new(VirusClass::CpuIntensive).with_baseline(1.5);
+    }
+}

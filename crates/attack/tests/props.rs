@@ -1,0 +1,122 @@
+//! Property tests on the threat model: spike-train arithmetic, virus
+//! envelope bounds, two-phase controller state machine.
+
+use attack::phases::{AttackPhase, TwoPhaseAttack};
+use attack::spike::SpikeTrain;
+use attack::virus::{PowerVirus, VirusClass};
+use proptest::prelude::*;
+use simkit::time::{SimDuration, SimTime};
+
+fn any_class() -> impl Strategy<Value = VirusClass> {
+    prop_oneof![
+        Just(VirusClass::CpuIntensive),
+        Just(VirusClass::MemIntensive),
+        Just(VirusClass::IoIntensive),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The envelope's duty cycle matches the width/period ratio when
+    /// integrated over whole periods.
+    #[test]
+    fn spike_duty_cycle_integrates(
+        period_s in 2u64..120,
+        width_ms in 100u64..1_900,
+        periods in 1u64..20,
+    ) {
+        let width = SimDuration::from_millis(width_ms);
+        let period = SimDuration::from_secs(period_s);
+        prop_assume!(width < period);
+        let train = SpikeTrain::new(period, width);
+        let step = SimDuration::from_millis(50);
+        let horizon = period * periods;
+        let mut on = 0u64;
+        let mut t = SimTime::ZERO;
+        while t < SimTime::ZERO + horizon {
+            if train.envelope_at(t) > 0.0 {
+                on += step.as_millis();
+            }
+            t += step;
+        }
+        let expected = width_ms * periods;
+        let tolerance = 2 * step.as_millis() * periods;
+        prop_assert!(
+            (on as i64 - expected as i64).unsigned_abs() <= tolerance,
+            "on-time {on}ms vs expected {expected}ms"
+        );
+    }
+
+    /// spikes_before is consistent with the envelope: k-th spike start is
+    /// inside an on-window, and counts are monotone in time.
+    #[test]
+    fn spike_counting_consistent(per_minute in 1.0f64..30.0, width_ms in 100u64..1_500) {
+        let train = SpikeTrain::per_minute(per_minute, SimDuration::from_millis(width_ms));
+        let mut last = 0;
+        for secs in (0..600).step_by(7) {
+            let n = train.spikes_before(SimTime::from_secs(secs));
+            prop_assert!(n >= last, "spike count decreased");
+            last = n;
+        }
+        for k in 0..10 {
+            let start = train.spike_start(k);
+            prop_assert!(train.envelope_at(start) > 0.0, "spike {k} start not on");
+        }
+    }
+
+    /// Virus utilization is always within [baseline, amplitude], and
+    /// wider spikes never reach *less* height.
+    #[test]
+    fn virus_envelope_bounds(class in any_class(), env in -0.5f64..1.5, w1 in 100u64..4_000, w2 in 0u64..4_000) {
+        let v = PowerVirus::new(class);
+        let u = v.utilization(env);
+        prop_assert!(u >= v.baseline() - 1e-12);
+        prop_assert!(u <= class.amplitude() + 1e-12);
+        let narrow = v.spike_utilization(SimDuration::from_millis(w1));
+        let wide = v.spike_utilization(SimDuration::from_millis(w1 + w2));
+        prop_assert!(wide + 1e-12 >= narrow, "wider spike lost height");
+    }
+
+    /// The two-phase controller never goes backwards: once spiking,
+    /// always spiking; observed drain is set exactly once.
+    #[test]
+    fn attack_phase_is_monotone(
+        start_s in 0u64..300,
+        max_drain_s in 1u64..600,
+        observations in prop::collection::vec((0u64..2_000, 0.0f64..1.2), 0..30),
+    ) {
+        let mut atk = TwoPhaseAttack::new(
+            PowerVirus::new(VirusClass::CpuIntensive),
+            SpikeTrain::per_minute(2.0, SimDuration::from_secs(1)),
+            SimTime::from_secs(start_s),
+        )
+        .with_max_drain(SimDuration::from_secs(max_drain_s));
+        let mut obs = observations.clone();
+        obs.sort_by_key(|&(t, _)| t);
+        let mut reached_spiking = false;
+        let mut first_drain: Option<SimDuration> = None;
+        for (t_s, perf) in obs {
+            let t = SimTime::from_secs(t_s);
+            atk.observe_performance(t, perf);
+            let phase = atk.phase_at(t);
+            if reached_spiking {
+                prop_assert_eq!(phase, AttackPhase::Spiking, "phase regressed");
+            }
+            if phase == AttackPhase::Spiking {
+                reached_spiking = true;
+                match (first_drain, atk.observed_drain()) {
+                    (None, d) => first_drain = d,
+                    (Some(a), Some(b)) => prop_assert_eq!(a, b, "drain changed"),
+                    (Some(_), None) => prop_assert!(false, "drain disappeared"),
+                }
+            }
+        }
+        // The timeout guarantees an eventual transition (probe at a time
+        // after both the timeout and every observation — the controller
+        // assumes a monotone clock).
+        let last_obs = observations.iter().map(|&(t, _)| t).max().unwrap_or(0);
+        let late = SimTime::from_secs((start_s + max_drain_s).max(last_obs) + 10);
+        prop_assert_eq!(atk.phase_at(late), AttackPhase::Spiking);
+    }
+}

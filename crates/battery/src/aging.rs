@@ -1,0 +1,263 @@
+//! Battery aging analysis.
+//!
+//! The paper's vDEB rate cap exists because "further increasing the output
+//! current … can greatly accelerate the aging of lead-acid batteries"
+//! (§IV.B.2, citing BAAT \[27\]). This module quantifies that argument:
+//! [`CycleCounter`] extracts charge/discharge half-cycles from an SOC
+//! trajectory (a simplified rainflow count), and [`LifeModel`] converts
+//! them into consumed battery life using the standard depth-of-discharge
+//! dependent cycles-to-failure curve for VRLA cells.
+//!
+//! The `pad` crate's ablation suite uses this to compare how fast each
+//! management scheme wears its fleet out.
+
+/// One discharge half-cycle extracted from an SOC trajectory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HalfCycle {
+    /// SOC at the start of the discharge leg.
+    pub from_soc: f64,
+    /// SOC at the bottom of the discharge leg.
+    pub to_soc: f64,
+}
+
+impl HalfCycle {
+    /// Depth of discharge of this leg.
+    pub fn depth(&self) -> f64 {
+        (self.from_soc - self.to_soc).max(0.0)
+    }
+}
+
+/// Extracts discharge half-cycles from an SOC sample sequence.
+///
+/// Consecutive samples are classified into rising/falling legs; each
+/// maximal falling leg becomes one [`HalfCycle`]. Small wiggles below
+/// `hysteresis` are ignored (meters are noisy; chemistry does not care
+/// about 0.1% ripples).
+///
+/// # Example
+///
+/// ```
+/// use battery::aging::CycleCounter;
+///
+/// let soc = [1.0, 0.6, 0.65, 0.3, 0.9, 0.85];
+/// let cycles = CycleCounter::new(0.02).count(&soc);
+/// // Two meaningful discharge legs: 1.0→0.6 and 0.65→0.3.
+/// assert_eq!(cycles.len(), 3);
+/// assert!((cycles[0].depth() - 0.4).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleCounter {
+    hysteresis: f64,
+}
+
+impl CycleCounter {
+    /// Creates a counter ignoring swings smaller than `hysteresis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hysteresis` is negative or ≥ 1.
+    pub fn new(hysteresis: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&hysteresis),
+            "hysteresis must be in [0,1), got {hysteresis}"
+        );
+        CycleCounter { hysteresis }
+    }
+
+    /// Extracts the discharge half-cycles of `soc_samples`.
+    pub fn count(&self, soc_samples: &[f64]) -> Vec<HalfCycle> {
+        let mut cycles = Vec::new();
+        let mut iter = soc_samples.iter().copied();
+        let Some(first) = iter.next() else {
+            return cycles;
+        };
+        let mut leg_start = first;
+        let mut prev = first;
+        let mut falling = false;
+        for s in iter {
+            if falling {
+                if s > prev + self.hysteresis {
+                    // Falling leg ended at `prev`.
+                    cycles.push(HalfCycle {
+                        from_soc: leg_start,
+                        to_soc: prev,
+                    });
+                    leg_start = prev;
+                    falling = false;
+                }
+            } else if s < prev - self.hysteresis {
+                leg_start = prev;
+                falling = true;
+            }
+            prev = s;
+        }
+        if falling && leg_start > prev {
+            cycles.push(HalfCycle {
+                from_soc: leg_start,
+                to_soc: prev,
+            });
+        }
+        cycles
+    }
+}
+
+impl Default for CycleCounter {
+    fn default() -> Self {
+        CycleCounter::new(0.02)
+    }
+}
+
+/// Depth-of-discharge dependent life model for VRLA lead-acid cells.
+///
+/// Datasheet anchor points (cycles to failure): ~200 cycles at 100% DoD,
+/// ~500 at 50%, ~1800 at 20%, ~5000 at 10%. We interpolate with the
+/// standard inverse-power fit `N(d) = N₁₀₀ · d^(−k)` with `k ≈ 1.4`.
+///
+/// # Example
+///
+/// ```
+/// use battery::aging::LifeModel;
+///
+/// let model = LifeModel::vrla();
+/// // A full-depth cycle costs about 1/200 of the battery's life...
+/// assert!((model.life_cost(1.0) - 1.0 / 200.0).abs() < 1e-6);
+/// // ...a shallow one costs far less per cycle.
+/// assert!(model.life_cost(0.1) < model.life_cost(1.0) / 10.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LifeModel {
+    cycles_at_full_dod: f64,
+    exponent: f64,
+}
+
+impl LifeModel {
+    /// Standard VRLA parameters (200 cycles at 100% DoD, k = 1.4).
+    pub fn vrla() -> Self {
+        LifeModel {
+            cycles_at_full_dod: 200.0,
+            exponent: 1.4,
+        }
+    }
+
+    /// Creates a model from explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both parameters are positive.
+    pub fn new(cycles_at_full_dod: f64, exponent: f64) -> Self {
+        assert!(cycles_at_full_dod > 0.0, "cycle count must be positive");
+        assert!(exponent > 0.0, "exponent must be positive");
+        LifeModel {
+            cycles_at_full_dod,
+            exponent,
+        }
+    }
+
+    /// Cycles to failure at depth `dod` (clamped to `[0.01, 1]`).
+    pub fn cycles_to_failure(&self, dod: f64) -> f64 {
+        let d = dod.clamp(0.01, 1.0);
+        self.cycles_at_full_dod * d.powf(-self.exponent)
+    }
+
+    /// Fraction of battery life one cycle of depth `dod` consumes
+    /// (Miner's rule).
+    pub fn life_cost(&self, dod: f64) -> f64 {
+        if dod <= 0.0 {
+            0.0
+        } else {
+            1.0 / self.cycles_to_failure(dod)
+        }
+    }
+
+    /// Total life consumed by a set of half-cycles.
+    pub fn life_consumed(&self, cycles: &[HalfCycle]) -> f64 {
+        cycles.iter().map(|c| self.life_cost(c.depth())).sum()
+    }
+
+    /// Convenience: life consumed directly from an SOC trajectory.
+    pub fn life_from_soc(&self, soc_samples: &[f64]) -> f64 {
+        self.life_consumed(&CycleCounter::default().count(soc_samples))
+    }
+}
+
+impl Default for LifeModel {
+    fn default() -> Self {
+        LifeModel::vrla()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_simple_discharge() {
+        let cycles = CycleCounter::new(0.02).count(&[1.0, 0.8, 0.6, 0.4]);
+        assert_eq!(cycles.len(), 1);
+        assert!((cycles[0].depth() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn splits_on_recharge() {
+        let cycles = CycleCounter::new(0.02).count(&[1.0, 0.5, 0.9, 0.4]);
+        assert_eq!(cycles.len(), 2);
+        assert!((cycles[0].depth() - 0.5).abs() < 1e-9);
+        assert!((cycles[1].depth() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ignores_ripple_below_hysteresis() {
+        let soc = [0.80, 0.795, 0.80, 0.798, 0.801, 0.80];
+        assert!(CycleCounter::new(0.02).count(&soc).is_empty());
+    }
+
+    #[test]
+    fn empty_and_constant_inputs() {
+        let counter = CycleCounter::default();
+        assert!(counter.count(&[]).is_empty());
+        assert!(counter.count(&[0.5]).is_empty());
+        assert!(counter.count(&[0.5; 10]).is_empty());
+    }
+
+    #[test]
+    fn life_model_anchors() {
+        let m = LifeModel::vrla();
+        assert!((m.cycles_to_failure(1.0) - 200.0).abs() < 1e-9);
+        // Shallower cycles give many more cycles to failure.
+        assert!(m.cycles_to_failure(0.2) > 1500.0);
+        assert!(m.cycles_to_failure(0.1) > 4000.0);
+    }
+
+    #[test]
+    fn shallow_cycling_is_cheaper_for_equal_throughput() {
+        let m = LifeModel::vrla();
+        // Same total energy throughput: 1 × 100% DoD vs 10 × 10% DoD.
+        let deep = m.life_cost(1.0);
+        let shallow = 10.0 * m.life_cost(0.1);
+        assert!(
+            shallow < deep,
+            "10 shallow cycles ({shallow:.5}) must cost less than one deep ({deep:.5})"
+        );
+    }
+
+    #[test]
+    fn life_from_soc_pipeline() {
+        let m = LifeModel::vrla();
+        // Two deep daily cycles.
+        let soc = [1.0, 0.3, 0.95, 0.25, 0.9];
+        let life = m.life_from_soc(&soc);
+        assert!(life > 2.0 * m.life_cost(0.6));
+        assert!(life < 3.0 * m.life_cost(0.75));
+    }
+
+    #[test]
+    fn zero_depth_costs_nothing() {
+        assert_eq!(LifeModel::vrla().life_cost(0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis")]
+    fn rejects_bad_hysteresis() {
+        CycleCounter::new(1.0);
+    }
+}

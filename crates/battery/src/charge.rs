@@ -1,0 +1,228 @@
+//! Charging disciplines.
+//!
+//! Figure 5 of the paper contrasts two ways DEB units are recharged:
+//!
+//! * **online charging** — "opportunistically recharges whenever there is
+//!   additional power budget available";
+//! * **offline charging** — "recharges whenever the battery capacity drops
+//!   to a preset threshold".
+//!
+//! Offline charging roughly *doubles* the SOC variation across racks,
+//! which is exactly what leaves some racks vulnerable. The
+//! [`ChargeController`] decides, each step, how much charging power a rack
+//! should draw given its SOC and the available budget headroom.
+
+use crate::units::Watts;
+
+/// When a battery is recharged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChargePolicy {
+    /// Opportunistic: charge whenever budget headroom exists and the
+    /// battery is not full.
+    Online,
+    /// Threshold-triggered: start charging only once SOC falls to
+    /// `trigger_soc`, then keep charging until `full_soc` is reached.
+    Offline {
+        /// SOC at which charging begins.
+        trigger_soc: f64,
+        /// SOC at which charging stops again.
+        full_soc: f64,
+    },
+}
+
+impl ChargePolicy {
+    /// The paper's offline defaults: recharge at 40%, stop at 95%.
+    pub fn offline_default() -> Self {
+        ChargePolicy::Offline {
+            trigger_soc: 0.4,
+            full_soc: 0.95,
+        }
+    }
+
+    /// Validates threshold ordering.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if `trigger_soc`/`full_soc` are out of range or
+    /// inverted.
+    pub fn validate(&self) -> Result<(), String> {
+        if let ChargePolicy::Offline {
+            trigger_soc,
+            full_soc,
+        } = self
+        {
+            if !(0.0..=1.0).contains(trigger_soc) || !(0.0..=1.0).contains(full_soc) {
+                return Err(format!(
+                    "offline thresholds must be in [0,1]: trigger {trigger_soc}, full {full_soc}"
+                ));
+            }
+            if trigger_soc >= full_soc {
+                return Err(format!(
+                    "trigger SOC {trigger_soc} must be below full SOC {full_soc}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-rack charging state machine.
+///
+/// # Example
+///
+/// ```
+/// use battery::charge::{ChargeController, ChargePolicy};
+/// use battery::units::Watts;
+///
+/// let mut online = ChargeController::new(ChargePolicy::Online, Watts(500.0));
+/// // Plenty of headroom, battery half full: charge at the rated power.
+/// assert_eq!(online.desired_power(0.5, Watts(2000.0)), Watts(500.0));
+/// // No headroom: no charging.
+/// assert_eq!(online.desired_power(0.5, Watts(0.0)), Watts(0.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChargeController {
+    policy: ChargePolicy,
+    rate: Watts,
+    /// Offline latch: currently in a recharge episode.
+    charging: bool,
+}
+
+impl ChargeController {
+    /// Creates a controller with the given policy and rated charge power.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is invalid or `rate` is not positive.
+    pub fn new(policy: ChargePolicy, rate: Watts) -> Self {
+        policy.validate().expect("invalid charge policy");
+        assert!(rate.0 > 0.0, "charge rate must be positive");
+        ChargeController {
+            policy,
+            rate,
+            charging: false,
+        }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> ChargePolicy {
+        self.policy
+    }
+
+    /// The rated charging power.
+    pub fn rate(&self) -> Watts {
+        self.rate
+    }
+
+    /// Whether an offline recharge episode is active.
+    pub fn is_charging(&self) -> bool {
+        self.charging
+    }
+
+    /// Decides the charging power to draw this step.
+    ///
+    /// * `soc` — the battery's present state of charge;
+    /// * `headroom` — unused power budget available for charging.
+    ///
+    /// Online charging uses headroom whenever the battery is not full.
+    /// Offline charging latches on at the trigger threshold and off at the
+    /// full threshold; once latched it charges even with little headroom
+    /// (the rack is "taken offline" to charge), though never more than
+    /// `headroom + rate` would allow — we still cap at the rated power.
+    pub fn desired_power(&mut self, soc: f64, headroom: Watts) -> Watts {
+        match self.policy {
+            ChargePolicy::Online => {
+                if soc >= 1.0 - 1e-9 {
+                    Watts::ZERO
+                } else {
+                    self.rate.min(headroom.clamp_non_negative())
+                }
+            }
+            ChargePolicy::Offline {
+                trigger_soc,
+                full_soc,
+            } => {
+                if self.charging {
+                    if soc >= full_soc {
+                        self.charging = false;
+                    }
+                } else if soc <= trigger_soc {
+                    self.charging = true;
+                }
+                if self.charging {
+                    self.rate
+                } else {
+                    Watts::ZERO
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_uses_headroom_up_to_rate() {
+        let mut c = ChargeController::new(ChargePolicy::Online, Watts(300.0));
+        assert_eq!(c.desired_power(0.3, Watts(100.0)), Watts(100.0));
+        assert_eq!(c.desired_power(0.3, Watts(1000.0)), Watts(300.0));
+        assert_eq!(c.desired_power(0.3, Watts(-50.0)), Watts::ZERO);
+    }
+
+    #[test]
+    fn online_stops_when_full() {
+        let mut c = ChargeController::new(ChargePolicy::Online, Watts(300.0));
+        assert_eq!(c.desired_power(1.0, Watts(1000.0)), Watts::ZERO);
+    }
+
+    #[test]
+    fn offline_latches_on_at_trigger_and_off_at_full() {
+        let mut c = ChargeController::new(ChargePolicy::offline_default(), Watts(200.0));
+        // Above trigger: idle.
+        assert_eq!(c.desired_power(0.6, Watts(1000.0)), Watts::ZERO);
+        assert!(!c.is_charging());
+        // Falls to trigger: latch on.
+        assert_eq!(c.desired_power(0.4, Watts(1000.0)), Watts(200.0));
+        assert!(c.is_charging());
+        // Midway: stays on even though SOC is above the trigger now.
+        assert_eq!(c.desired_power(0.7, Watts(1000.0)), Watts(200.0));
+        // Reaches full threshold: latch off.
+        assert_eq!(c.desired_power(0.96, Watts(1000.0)), Watts::ZERO);
+        assert!(!c.is_charging());
+    }
+
+    #[test]
+    fn offline_ignores_headroom_while_latched() {
+        let mut c = ChargeController::new(ChargePolicy::offline_default(), Watts(200.0));
+        c.desired_power(0.2, Watts(0.0));
+        assert!(c.is_charging());
+        // Zero headroom, still draws its rated power (battery offline).
+        assert_eq!(c.desired_power(0.5, Watts(0.0)), Watts(200.0));
+    }
+
+    #[test]
+    fn validation_rejects_bad_thresholds() {
+        assert!(ChargePolicy::Offline {
+            trigger_soc: 0.9,
+            full_soc: 0.5
+        }
+        .validate()
+        .is_err());
+        assert!(ChargePolicy::Offline {
+            trigger_soc: -0.1,
+            full_soc: 0.5
+        }
+        .validate()
+        .is_err());
+        assert!(ChargePolicy::Online.validate().is_ok());
+        assert!(ChargePolicy::offline_default().validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "charge rate")]
+    fn zero_rate_rejected() {
+        ChargeController::new(ChargePolicy::Online, Watts(0.0));
+    }
+}

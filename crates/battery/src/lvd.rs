@@ -1,0 +1,227 @@
+//! Low-voltage disconnect (LVD).
+//!
+//! "Most DEB systems choose to disconnect low-power batteries from load
+//! for safety reasons. For example, Facebook uses an independent
+//! low-voltage disconnect (LVD) device to isolate the battery unit if the
+//! sensed terminal voltage drops below 1.75 V per cell." (§III.A)
+//!
+//! The LVD is the mechanism the Phase-I attacker exploits: drain the
+//! battery and the rack *loses its shock absorber entirely* until the
+//! battery recharges past the reconnect threshold.
+
+use simkit::time::SimDuration;
+
+use crate::model::EnergyStorage;
+use crate::units::{Joules, Watts};
+
+/// Default disconnect threshold (SOC proxy for 1.75 V/cell).
+const DEFAULT_CUTOFF_SOC: f64 = 0.08;
+/// Default reconnect threshold (hysteresis above cutoff).
+const DEFAULT_RECONNECT_SOC: f64 = 0.25;
+
+/// A low-voltage disconnect wrapped around any storage device.
+///
+/// While disconnected the device delivers **zero** power; charging remains
+/// possible (the charger bypasses the LVD) and the device reconnects once
+/// SOC recovers past the reconnect threshold.
+///
+/// # Example
+///
+/// ```
+/// use battery::lvd::LowVoltageDisconnect;
+/// use battery::lead_acid::LeadAcidBattery;
+/// use battery::model::EnergyStorage;
+/// use battery::units::{Joules, Watts};
+/// use simkit::time::SimDuration;
+///
+/// let mut pack = LowVoltageDisconnect::new(LeadAcidBattery::new(Joules(10_000.0)));
+/// // Drain until the LVD isolates the battery.
+/// while pack.is_connected() {
+///     pack.discharge(Watts(1_000.0), SimDuration::SECOND);
+/// }
+/// // Isolated: no more delivery even though some charge remains bound.
+/// assert_eq!(pack.discharge(Watts(1_000.0), SimDuration::SECOND), Watts(0.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LowVoltageDisconnect<S> {
+    inner: S,
+    cutoff_soc: f64,
+    reconnect_soc: f64,
+    connected: bool,
+    disconnect_count: u32,
+}
+
+impl<S: EnergyStorage> LowVoltageDisconnect<S> {
+    /// Wraps `inner` with default Facebook-style thresholds.
+    pub fn new(inner: S) -> Self {
+        Self::with_thresholds(inner, DEFAULT_CUTOFF_SOC, DEFAULT_RECONNECT_SOC)
+    }
+
+    /// Wraps `inner` with explicit thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= cutoff < reconnect <= 1`.
+    pub fn with_thresholds(inner: S, cutoff_soc: f64, reconnect_soc: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&cutoff_soc)
+                && (0.0..=1.0).contains(&reconnect_soc)
+                && cutoff_soc < reconnect_soc,
+            "need 0 <= cutoff < reconnect <= 1, got {cutoff_soc} / {reconnect_soc}"
+        );
+        let connected = inner.soc() > cutoff_soc;
+        LowVoltageDisconnect {
+            inner,
+            cutoff_soc,
+            reconnect_soc,
+            connected,
+            disconnect_count: 0,
+        }
+    }
+
+    /// Whether the battery is currently connected to the load bus.
+    pub fn is_connected(&self) -> bool {
+        self.connected
+    }
+
+    /// How many times the LVD has isolated the battery — each event is a
+    /// window of rack vulnerability.
+    pub fn disconnect_count(&self) -> u32 {
+        self.disconnect_count
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped device (scenario setup). State
+    /// changes are reconciled on the next charge/discharge call.
+    pub fn inner_mut(&mut self) -> &mut S {
+        &mut self.inner
+    }
+
+    /// Consumes the wrapper, returning the device.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    fn update_connection(&mut self) {
+        let soc = self.inner.soc();
+        if self.connected && soc <= self.cutoff_soc {
+            self.connected = false;
+            self.disconnect_count += 1;
+        } else if !self.connected && soc >= self.reconnect_soc {
+            self.connected = true;
+        }
+    }
+}
+
+impl<S: EnergyStorage> EnergyStorage for LowVoltageDisconnect<S> {
+    fn capacity(&self) -> Joules {
+        self.inner.capacity()
+    }
+
+    fn stored(&self) -> Joules {
+        self.inner.stored()
+    }
+
+    fn max_discharge_power(&self) -> Watts {
+        if self.connected {
+            self.inner.max_discharge_power()
+        } else {
+            Watts::ZERO
+        }
+    }
+
+    fn max_charge_power(&self) -> Watts {
+        self.inner.max_charge_power()
+    }
+
+    fn discharge(&mut self, power: Watts, dt: SimDuration) -> Watts {
+        self.update_connection();
+        if !self.connected {
+            return Watts::ZERO;
+        }
+        let delivered = self.inner.discharge(power, dt);
+        self.update_connection();
+        delivered
+    }
+
+    fn charge(&mut self, power: Watts, dt: SimDuration) -> Watts {
+        let accepted = self.inner.charge(power, dt);
+        self.update_connection();
+        accepted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lead_acid::LeadAcidBattery;
+
+    fn pack() -> LowVoltageDisconnect<LeadAcidBattery> {
+        LowVoltageDisconnect::new(LeadAcidBattery::new(Joules(50_000.0)))
+    }
+
+    #[test]
+    fn starts_connected_when_charged() {
+        assert!(pack().is_connected());
+    }
+
+    #[test]
+    fn disconnects_at_cutoff_and_counts() {
+        let mut p = pack();
+        p.inner_mut().set_soc(0.05);
+        // The disconnect is registered on the next flow call.
+        assert_eq!(p.discharge(Watts(100.0), SimDuration::SECOND), Watts::ZERO);
+        assert!(!p.is_connected());
+        assert_eq!(p.disconnect_count(), 1);
+    }
+
+    #[test]
+    fn reconnects_with_hysteresis() {
+        let mut p = LowVoltageDisconnect::with_thresholds(
+            LeadAcidBattery::new(Joules(50_000.0)),
+            0.1,
+            0.3,
+        );
+        p.inner_mut().set_soc(0.05);
+        p.discharge(Watts(100.0), SimDuration::SECOND);
+        assert!(!p.is_connected());
+        // Charge a little: 0.2 is above cutoff but below reconnect.
+        p.inner_mut().set_soc(0.2);
+        p.charge(Watts(0.0), SimDuration::SECOND); // reconcile, accepts nothing
+        assert!(!p.is_connected(), "must stay isolated below reconnect SOC");
+        // Past the reconnect threshold: back online.
+        p.inner_mut().set_soc(0.35);
+        p.charge(Watts(1.0), SimDuration::SECOND);
+        assert!(p.is_connected());
+        assert!(p.discharge(Watts(100.0), SimDuration::SECOND).0 > 0.0);
+    }
+
+    #[test]
+    fn charging_is_always_possible() {
+        let mut p = pack();
+        p.inner_mut().set_soc(0.0);
+        p.discharge(Watts(1.0), SimDuration::SECOND); // trip LVD
+        assert!(!p.is_connected());
+        let accepted = p.charge(Watts(500.0), SimDuration::from_secs(10));
+        assert!(accepted.0 > 0.0, "charger must bypass LVD");
+    }
+
+    #[test]
+    fn max_discharge_power_zero_when_isolated() {
+        let mut p = pack();
+        p.inner_mut().set_soc(0.01);
+        p.discharge(Watts(1.0), SimDuration::SECOND);
+        assert_eq!(p.max_discharge_power(), Watts::ZERO);
+        assert!(p.max_charge_power().0 > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cutoff < reconnect")]
+    fn rejects_inverted_thresholds() {
+        LowVoltageDisconnect::with_thresholds(LeadAcidBattery::new(Joules(1000.0)), 0.5, 0.2);
+    }
+}

@@ -1,0 +1,275 @@
+//! Super-capacitor model for µDEB.
+//!
+//! "Shaving the transient power spike requires very small energy capacity
+//! but very large power output capability. This motivates us to use the
+//! promising super-capacitor (SC) system instead of conventional lead-acid
+//! battery." (§IV.B.2)
+//!
+//! The model is an ideal capacitor bank: usable energy `½C(V_max² −
+//! V_min²)`, state tracked as terminal voltage, power limited only by a
+//! converter rating (huge compared to batteries). Unlike lead-acid there
+//! is no rate-capacity effect and no cycle-life cost.
+
+use simkit::time::SimDuration;
+
+use crate::model::EnergyStorage;
+use crate::units::{Farads, Joules, Volts, Watts, WattHours};
+
+/// Default DC bus voltage for rack-level µDEB banks.
+const DEFAULT_V_MAX: Volts = Volts(48.0);
+/// Converters stop extracting below half the rated voltage (75% of the
+/// ideal energy is usable above V_max/2).
+const DEFAULT_V_MIN_FRACTION: f64 = 0.5;
+
+/// Super-capacitor price band from the paper: "SC is expensive (10~30
+/// $/Wh)" — midpoint used for the Figure 17 cost model.
+pub const SC_COST_USD_PER_WH: f64 = 20.0;
+
+/// An ideal super-capacitor bank.
+///
+/// # Example
+///
+/// ```
+/// use battery::supercap::SuperCapacitor;
+/// use battery::model::EnergyStorage;
+/// use battery::units::{Farads, Watts};
+/// use simkit::time::SimDuration;
+///
+/// // The paper's example: a 5 kW rack bridged for 0.5 s needs ~0.35 Wh.
+/// let mut sc = SuperCapacitor::for_rack_bridging(Watts(5000.0), SimDuration::from_millis(500));
+/// let delivered = sc.discharge(Watts(5000.0), SimDuration::from_millis(500));
+/// assert!((delivered.0 - 5000.0).abs() < 1e-6, "supercap must deliver full spike power");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuperCapacitor {
+    capacitance: Farads,
+    v_max: Volts,
+    v_min: Volts,
+    v_now: Volts,
+    max_power: Watts,
+    /// Lifetime energy throughput (informational; SCs don't age like
+    /// lead-acid).
+    throughput: Joules,
+}
+
+impl SuperCapacitor {
+    /// Creates a fully charged bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `capacitance > 0`, `0 < v_min < v_max` and
+    /// `max_power > 0`.
+    pub fn new(capacitance: Farads, v_max: Volts, v_min: Volts, max_power: Watts) -> Self {
+        assert!(capacitance.0 > 0.0, "capacitance must be positive");
+        assert!(
+            v_min.0 > 0.0 && v_min < v_max,
+            "need 0 < v_min < v_max, got {v_min} .. {v_max}"
+        );
+        assert!(max_power.0 > 0.0, "max power must be positive");
+        SuperCapacitor {
+            capacitance,
+            v_max,
+            v_min,
+            v_now: v_max,
+            max_power,
+            throughput: Joules::ZERO,
+        }
+    }
+
+    /// Creates a bank from a usable-energy requirement at the default
+    /// 48 V bus: the bank can deliver `power` and holds enough energy to
+    /// bridge it for `duration` (the paper's 5 kW × 0.5 s ⇒ 0.35 Wh
+    /// example sizing rule).
+    pub fn for_rack_bridging(power: Watts, duration: SimDuration) -> Self {
+        let usable = power * duration;
+        Self::with_usable_energy(usable, power * 2.0)
+    }
+
+    /// Creates a bank holding `usable` energy (between `V_max` and
+    /// `V_max/2` at 48 V) with the given converter power rating.
+    pub fn with_usable_energy(usable: Joules, max_power: Watts) -> Self {
+        assert!(usable.0 > 0.0, "usable energy must be positive");
+        let v_max = DEFAULT_V_MAX;
+        let v_min = Volts(v_max.0 * DEFAULT_V_MIN_FRACTION);
+        // usable = ½C(V_max² − V_min²)  ⇒  C = 2·usable / (V_max² − V_min²)
+        let c = Farads(2.0 * usable.0 / (v_max.0 * v_max.0 - v_min.0 * v_min.0));
+        Self::new(c, v_max, v_min, max_power)
+    }
+
+    /// The bank's capacitance.
+    pub fn capacitance(&self) -> Farads {
+        self.capacitance
+    }
+
+    /// Present terminal voltage.
+    pub fn voltage(&self) -> Volts {
+        self.v_now
+    }
+
+    /// Lifetime energy throughput.
+    pub fn throughput(&self) -> Joules {
+        self.throughput
+    }
+
+    /// Purchase cost at the paper's price band (default 20 $/Wh of usable
+    /// capacity).
+    pub fn cost_usd(&self, usd_per_wh: f64) -> f64 {
+        WattHours::from(self.capacity()).0 * usd_per_wh
+    }
+
+    /// Directly sets the state of charge (scenario setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `soc` is outside `[0, 1]`.
+    pub fn set_soc(&mut self, soc: f64) {
+        assert!((0.0..=1.0).contains(&soc), "SOC must be in [0,1], got {soc}");
+        let e = self.capacity() * soc;
+        // stored = ½C(V² − V_min²)  ⇒  V = sqrt(V_min² + 2E/C)
+        self.v_now = Volts((self.v_min.0 * self.v_min.0 + 2.0 * e.0 / self.capacitance.0).sqrt());
+    }
+}
+
+impl EnergyStorage for SuperCapacitor {
+    fn capacity(&self) -> Joules {
+        Joules(0.5 * self.capacitance.0 * (self.v_max.0 * self.v_max.0 - self.v_min.0 * self.v_min.0))
+    }
+
+    fn stored(&self) -> Joules {
+        Joules(
+            0.5 * self.capacitance.0 * (self.v_now.0 * self.v_now.0 - self.v_min.0 * self.v_min.0),
+        )
+        .clamp_non_negative()
+    }
+
+    fn max_discharge_power(&self) -> Watts {
+        if self.stored().0 <= 0.0 {
+            Watts::ZERO
+        } else {
+            self.max_power
+        }
+    }
+
+    fn max_charge_power(&self) -> Watts {
+        if self.soc() >= 1.0 {
+            Watts::ZERO
+        } else {
+            self.max_power
+        }
+    }
+
+    fn discharge(&mut self, power: Watts, dt: SimDuration) -> Watts {
+        if power.0 <= 0.0 || dt.is_zero() {
+            return Watts::ZERO;
+        }
+        let rate = power.min(self.max_power);
+        let want = rate * dt;
+        let take = want.min(self.stored());
+        if take.0 <= 0.0 {
+            return Watts::ZERO;
+        }
+        let remaining = self.stored() - take;
+        self.v_now = Volts(
+            (self.v_min.0 * self.v_min.0 + 2.0 * remaining.0 / self.capacitance.0).sqrt(),
+        );
+        self.throughput += take;
+        take / dt
+    }
+
+    fn charge(&mut self, power: Watts, dt: SimDuration) -> Watts {
+        if power.0 <= 0.0 || dt.is_zero() {
+            return Watts::ZERO;
+        }
+        let rate = power.min(self.max_power);
+        let want = rate * dt;
+        let room = self.capacity() - self.stored();
+        let put = want.min(room).clamp_non_negative();
+        if put.0 <= 0.0 {
+            return Watts::ZERO;
+        }
+        let stored = self.stored() + put;
+        self.v_now =
+            Volts((self.v_min.0 * self.v_min.0 + 2.0 * stored.0 / self.capacitance.0).sqrt());
+        put / dt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sizing_example_is_tiny() {
+        // 5 kW for 0.5 s = 2.5 kJ ≈ 0.69 Wh — "very small energy capacity".
+        let sc = SuperCapacitor::for_rack_bridging(Watts(5000.0), SimDuration::from_millis(500));
+        let wh = WattHours::from(sc.capacity());
+        assert!((wh.0 - 0.6944).abs() < 0.01, "capacity {wh:?}");
+    }
+
+    #[test]
+    fn full_power_available_until_empty() {
+        let mut sc =
+            SuperCapacitor::for_rack_bridging(Watts(1000.0), SimDuration::from_millis(500));
+        // Deliver repeatedly at rated power.
+        let d1 = sc.discharge(Watts(1000.0), SimDuration::from_millis(250));
+        assert_eq!(d1, Watts(1000.0));
+        let d2 = sc.discharge(Watts(1000.0), SimDuration::from_millis(250));
+        assert_eq!(d2, Watts(1000.0));
+        // Now empty: nothing more.
+        assert!(sc.is_depleted());
+        let d3 = sc.discharge(Watts(1000.0), SimDuration::from_millis(250));
+        assert_eq!(d3, Watts::ZERO);
+    }
+
+    #[test]
+    fn energy_conservation_through_voltage() {
+        let mut sc = SuperCapacitor::new(Farads(100.0), Volts(48.0), Volts(24.0), Watts(1e6));
+        let before = sc.stored();
+        sc.discharge(Watts(500.0), SimDuration::from_secs(2));
+        assert!(((before - sc.stored()).0 - 1000.0).abs() < 1e-6);
+        sc.charge(Watts(500.0), SimDuration::from_secs(2));
+        assert!((sc.stored() - before).0.abs() < 1e-6);
+    }
+
+    #[test]
+    fn voltage_tracks_soc() {
+        let mut sc = SuperCapacitor::new(Farads(10.0), Volts(48.0), Volts(24.0), Watts(1e6));
+        assert_eq!(sc.voltage(), Volts(48.0));
+        sc.set_soc(0.0);
+        assert!((sc.voltage().0 - 24.0).abs() < 1e-9);
+        sc.set_soc(1.0);
+        assert!((sc.voltage().0 - 48.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn charge_stops_at_v_max() {
+        let mut sc = SuperCapacitor::new(Farads(1.0), Volts(48.0), Volts(24.0), Watts(1e6));
+        sc.set_soc(0.99);
+        for _ in 0..10 {
+            sc.charge(Watts(1e6), SimDuration::SECOND);
+        }
+        assert!(sc.voltage().0 <= 48.0 + 1e-9);
+        assert!((sc.soc() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_scales_with_capacity() {
+        let small = SuperCapacitor::with_usable_energy(Joules(3600.0), Watts(1e5)); // 1 Wh
+        let big = SuperCapacitor::with_usable_energy(Joules(36_000.0), Watts(1e5)); // 10 Wh
+        assert!((small.cost_usd(20.0) - 20.0).abs() < 1e-6);
+        assert!((big.cost_usd(20.0) - 200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn power_rating_caps_delivery() {
+        let mut sc = SuperCapacitor::new(Farads(100.0), Volts(48.0), Volts(24.0), Watts(100.0));
+        let got = sc.discharge(Watts(1e6), SimDuration::SECOND);
+        assert_eq!(got, Watts(100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "v_min < v_max")]
+    fn rejects_inverted_voltage_band() {
+        SuperCapacitor::new(Farads(1.0), Volts(24.0), Volts(48.0), Watts(100.0));
+    }
+}

@@ -1,0 +1,303 @@
+//! Electrical unit newtypes.
+//!
+//! Power/energy bookkeeping bugs are the classic failure mode of
+//! infrastructure simulators, so the workspace never passes bare `f64`s
+//! between crates: watts, joules and watt-hours are distinct types and the
+//! only crossings are explicit (`Watts * SimDuration -> Joules`, …).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use simkit::time::SimDuration;
+
+macro_rules! unit_newtype {
+    ($(#[$doc:meta])* $name:ident, $suffix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Clamps to be non-negative.
+            pub fn clamp_non_negative(self) -> $name {
+                $name(self.0.max(0.0))
+            }
+
+            /// The smaller of two quantities.
+            pub fn min(self, other: $name) -> $name {
+                $name(self.0.min(other.0))
+            }
+
+            /// The larger of two quantities.
+            pub fn max(self, other: $name) -> $name {
+                $name(self.0.max(other.0))
+            }
+
+            /// `true` if the value is a finite number.
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: $name) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = $name;
+            fn neg(self) -> $name {
+                $name(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            type Output = f64;
+            /// Dimensionless ratio of two quantities.
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                $name(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(p) = f.precision() {
+                    write!(f, "{:.*}{}", p, self.0, $suffix)
+                } else {
+                    write!(f, "{:.1}{}", self.0, $suffix)
+                }
+            }
+        }
+    };
+}
+
+unit_newtype!(
+    /// Electrical power in watts.
+    Watts,
+    "W"
+);
+
+unit_newtype!(
+    /// Energy in joules (watt-seconds).
+    Joules,
+    "J"
+);
+
+unit_newtype!(
+    /// Energy in watt-hours (the unit battery datasheets quote).
+    WattHours,
+    "Wh"
+);
+
+unit_newtype!(
+    /// Electrical potential in volts.
+    Volts,
+    "V"
+);
+
+unit_newtype!(
+    /// Electrical current in amperes.
+    Amps,
+    "A"
+);
+
+unit_newtype!(
+    /// Capacitance in farads.
+    Farads,
+    "F"
+);
+
+impl Mul<SimDuration> for Watts {
+    type Output = Joules;
+
+    /// Energy delivered at this power over a duration.
+    fn mul(self, rhs: SimDuration) -> Joules {
+        Joules(self.0 * rhs.as_secs_f64())
+    }
+}
+
+impl Div<SimDuration> for Joules {
+    type Output = Watts;
+
+    /// Average power that delivers this energy over a duration.
+    fn div(self, rhs: SimDuration) -> Watts {
+        Watts(self.0 / rhs.as_secs_f64())
+    }
+}
+
+impl Div<Watts> for Joules {
+    type Output = SimDuration;
+
+    /// How long this energy lasts at the given power (the battery
+    /// *autonomy time*).
+    fn div(self, rhs: Watts) -> SimDuration {
+        SimDuration::from_secs_f64((self.0 / rhs.0).max(0.0))
+    }
+}
+
+impl From<WattHours> for Joules {
+    fn from(wh: WattHours) -> Joules {
+        Joules(wh.0 * 3600.0)
+    }
+}
+
+impl From<Joules> for WattHours {
+    fn from(j: Joules) -> WattHours {
+        WattHours(j.0 / 3600.0)
+    }
+}
+
+impl Mul<Amps> for Volts {
+    type Output = Watts;
+
+    /// P = V · I.
+    fn mul(self, rhs: Amps) -> Watts {
+        Watts(self.0 * rhs.0)
+    }
+}
+
+impl Div<Volts> for Watts {
+    type Output = Amps;
+
+    /// I = P / V.
+    fn div(self, rhs: Volts) -> Amps {
+        Amps(self.0 / rhs.0)
+    }
+}
+
+impl Volts {
+    /// Energy stored in a capacitor of capacitance `c` charged to this
+    /// voltage: `E = ½ C V²`.
+    pub fn capacitor_energy(self, c: Farads) -> Joules {
+        Joules(0.5 * c.0 * self.0 * self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_times_duration_is_energy() {
+        let e = Watts(100.0) * SimDuration::from_secs(60);
+        assert_eq!(e, Joules(6000.0));
+    }
+
+    #[test]
+    fn energy_over_duration_is_power() {
+        let p = Joules(6000.0) / SimDuration::from_mins(1);
+        assert_eq!(p, Watts(100.0));
+    }
+
+    #[test]
+    fn energy_over_power_is_autonomy_time() {
+        let t = Joules(5210.0 * 50.0) / Watts(5210.0);
+        assert_eq!(t, SimDuration::from_secs(50));
+    }
+
+    #[test]
+    fn watt_hours_round_trip() {
+        let j: Joules = WattHours(1.0).into();
+        assert_eq!(j, Joules(3600.0));
+        let wh: WattHours = Joules(7200.0).into();
+        assert_eq!(wh, WattHours(2.0));
+    }
+
+    #[test]
+    fn volts_times_amps_is_watts() {
+        assert_eq!(Volts(12.0) * Amps(4.0), Watts(48.0));
+        assert_eq!(Watts(48.0) / Volts(12.0), Amps(4.0));
+    }
+
+    #[test]
+    fn capacitor_energy_formula() {
+        // 100 F at 12 V stores 7.2 kJ = 2 Wh.
+        let e = Volts(12.0).capacitor_energy(Farads(100.0));
+        assert_eq!(e, Joules(7200.0));
+        assert_eq!(WattHours::from(e), WattHours(2.0));
+    }
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let a = Watts(10.0) + Watts(5.0) - Watts(3.0);
+        assert_eq!(a, Watts(12.0));
+        assert!(Watts(5.0) < Watts(6.0));
+        assert_eq!(Watts(10.0) * 0.5, Watts(5.0));
+        assert_eq!(2.0 * Watts(10.0), Watts(20.0));
+        assert_eq!(Watts(10.0) / Watts(4.0), 2.5);
+        assert_eq!(-Watts(3.0), Watts(-3.0));
+    }
+
+    #[test]
+    fn clamp_min_max() {
+        assert_eq!(Watts(-4.0).clamp_non_negative(), Watts::ZERO);
+        assert_eq!(Watts(4.0).clamp_non_negative(), Watts(4.0));
+        assert_eq!(Watts(1.0).min(Watts(2.0)), Watts(1.0));
+        assert_eq!(Watts(1.0).max(Watts(2.0)), Watts(2.0));
+    }
+
+    #[test]
+    fn sum_of_rack_powers() {
+        let total: Watts = (0..10).map(|_| Watts(521.0)).sum();
+        assert!((total.0 - 5210.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Watts(5210.0).to_string(), "5210.0W");
+        assert_eq!(format!("{:.3}", Joules(1.5)), "1.500J");
+        assert_eq!(WattHours(0.35).to_string(), "0.3Wh");
+    }
+}

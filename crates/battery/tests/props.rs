@@ -1,0 +1,111 @@
+//! Property tests on the storage models: conservation, bounds, and the
+//! KiBaM well dynamics under arbitrary usage patterns.
+
+use battery::kibam::{KibamBattery, KibamParams};
+use battery::lvd::LowVoltageDisconnect;
+use battery::model::EnergyStorage;
+use battery::supercap::SuperCapacitor;
+use battery::units::{Farads, Joules, Volts, Watts};
+use proptest::prelude::*;
+use simkit::time::SimDuration;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// KiBaM: wells never go negative, total never exceeds capacity, and
+    /// the energy ledger balances over arbitrary operation sequences.
+    #[test]
+    fn kibam_ledger_balances(
+        capacity in 10_000.0f64..500_000.0,
+        ops in prop::collection::vec((prop::bool::ANY, 0.0f64..20_000.0, 50u64..10_000), 1..80),
+    ) {
+        let mut b = KibamBattery::new(
+            Joules(capacity),
+            KibamParams::lead_acid(),
+            Watts(10_000.0),
+        );
+        let mut ledger = b.stored().0;
+        for (charge, power, ms) in ops {
+            let dt = SimDuration::from_millis(ms);
+            if charge {
+                let accepted = b.charge(Watts(power), dt);
+                // Stored gain = accepted × η × dt.
+                ledger += accepted.0 * 0.85 * dt.as_secs_f64();
+            } else {
+                let delivered = b.discharge(Watts(power), dt);
+                prop_assert!(delivered.0 <= power + 1e-9);
+                ledger -= delivered.0 * dt.as_secs_f64();
+            }
+            prop_assert!(b.available().0 >= -1e-6, "available went negative");
+            prop_assert!(b.bound().0 >= -1e-6, "bound went negative");
+            prop_assert!(
+                b.stored().0 <= capacity + 1e-6,
+                "stored {} above capacity {capacity}",
+                b.stored().0
+            );
+            prop_assert!(
+                (b.stored().0 - ledger).abs() < 1e-3 * capacity.max(1.0),
+                "ledger drift: stored {} vs ledger {ledger}",
+                b.stored().0
+            );
+        }
+    }
+
+    /// The LVD never delivers below its cutoff and always reconnects
+    /// above its reconnect threshold after charging.
+    #[test]
+    fn lvd_honors_thresholds(
+        cutoff in 0.02f64..0.3,
+        gap in 0.05f64..0.3,
+        drain_power in 100.0f64..5_000.0,
+    ) {
+        let reconnect = (cutoff + gap).min(0.95);
+        let inner = KibamBattery::new(Joules(100_000.0), KibamParams::lead_acid(), Watts(10_000.0));
+        let mut lvd = LowVoltageDisconnect::with_thresholds(inner, cutoff, reconnect);
+        // Drain to isolation.
+        for _ in 0..100_000 {
+            if lvd.discharge(Watts(drain_power), SimDuration::SECOND).0 == 0.0 {
+                break;
+            }
+        }
+        prop_assert!(!lvd.is_connected(), "never isolated");
+        prop_assert!(lvd.soc() <= reconnect);
+        // Charge until it reconnects; it must happen at/above reconnect.
+        for _ in 0..1_000_000 {
+            lvd.charge(Watts(5_000.0), SimDuration::from_secs(10));
+            if lvd.is_connected() {
+                break;
+            }
+        }
+        prop_assert!(lvd.is_connected(), "never reconnected");
+        prop_assert!(lvd.soc() >= reconnect - 0.02, "reconnected early at {}", lvd.soc());
+    }
+
+    /// Super-capacitor round trips conserve energy exactly (no
+    /// charge/discharge losses in the ideal model).
+    #[test]
+    fn supercap_round_trip(
+        cap_f in 1.0f64..200.0,
+        cycles in prop::collection::vec(100.0f64..2_000.0, 1..20),
+    ) {
+        let mut sc = SuperCapacitor::new(Farads(cap_f), Volts(48.0), Volts(24.0), Watts(1e6));
+        let full = sc.stored();
+        for power in cycles {
+            let dt = SimDuration::from_millis(500);
+            let out = sc.discharge(Watts(power), dt);
+            let back = sc.charge(out, dt);
+            prop_assert!((out.0 - back.0).abs() < 1e-6, "asymmetric round trip");
+        }
+        prop_assert!((sc.stored().0 - full.0).abs() < 1e-3, "energy drifted");
+        prop_assert!(sc.voltage().0 <= 48.0 + 1e-9);
+        prop_assert!(sc.voltage().0 >= 24.0 - 1e-9);
+    }
+
+    /// SOC setter and reader agree everywhere.
+    #[test]
+    fn kibam_soc_round_trip(soc in 0.0f64..=1.0) {
+        let mut b = KibamBattery::new(Joules(50_000.0), KibamParams::lead_acid(), Watts(1_000.0));
+        b.set_soc(soc);
+        prop_assert!((b.soc() - soc).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,50 @@
+//! Benchmarks of the cluster simulator: per-step cost at fine (100 ms)
+//! resolution for each scheme, and synthetic-trace generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pad::schemes::Scheme;
+use pad::sim::{ClusterSim, SimConfig};
+use simkit::time::{SimDuration, SimTime};
+use std::hint::black_box;
+use workload::synth::SynthConfig;
+
+fn sim_for(scheme: Scheme) -> ClusterSim {
+    let config = SimConfig::small_test(scheme);
+    let trace = SynthConfig {
+        machines: config.topology.total_servers(),
+        horizon: SimTime::from_hours(12),
+        mean_utilization: 0.45,
+        ..SynthConfig::small_test()
+    }
+    .generate_direct(1);
+    ClusterSim::new(config, trace).expect("valid config")
+}
+
+fn bench_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_step_100ms");
+    for scheme in Scheme::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &scheme,
+            |b, &scheme| {
+                let mut sim = sim_for(scheme);
+                b.iter(|| black_box(sim.step(SimDuration::from_millis(100))));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    c.bench_function("synth_trace_direct_20x1day", |b| {
+        let cfg = SynthConfig::small_test();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(cfg.generate_direct(seed))
+        });
+    });
+}
+
+criterion_group!(benches, bench_step, bench_trace_generation);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Microbenchmarks of the substrate crates: battery chemistry, breaker
+//! thermal model, metering, RNG and the event queue — the inner loops the
+//! month-long simulations spend their time in.
+
+use battery::model::EnergyStorage;
+use battery::pack::BatteryCabinet;
+use battery::units::Watts;
+use criterion::{criterion_group, criterion_main, Criterion};
+use powerinfra::breaker::CircuitBreaker;
+use powerinfra::metering::PowerMeter;
+use simkit::event::EventQueue;
+use simkit::rng::RngStream;
+use simkit::time::{SimDuration, SimTime};
+use std::hint::black_box;
+
+fn bench_kibam_step(c: &mut Criterion) {
+    c.bench_function("kibam_discharge_100ms", |b| {
+        let mut cab = BatteryCabinet::facebook_v1(Watts(5210.0));
+        b.iter(|| {
+            let delivered = cab.discharge(black_box(Watts(400.0)), SimDuration::from_millis(100));
+            if cab.soc() < 0.2 {
+                cab.set_soc(1.0);
+            }
+            black_box(delivered)
+        });
+    });
+}
+
+fn bench_breaker_step(c: &mut Criterion) {
+    c.bench_function("breaker_step", |b| {
+        let mut cb = CircuitBreaker::new(Watts(4000.0));
+        b.iter(|| {
+            let state = cb.step(black_box(Watts(4100.0)), SimDuration::from_millis(100));
+            if cb.is_tripped() {
+                cb.reset();
+            }
+            black_box(state)
+        });
+    });
+}
+
+fn bench_meter_feed(c: &mut Criterion) {
+    c.bench_function("meter_feed_100ms", |b| {
+        let mut meter = PowerMeter::new(SimDuration::from_secs(5));
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            meter.feed(black_box(Watts(3000.0)), t, SimDuration::from_millis(100));
+            t += SimDuration::from_millis(100);
+            if meter.samples().len() > 1000 {
+                meter.take_samples();
+            }
+        });
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("rng_normal", |b| {
+        let mut rng = RngStream::new(1);
+        b.iter(|| black_box(rng.normal()));
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop", |b| {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            q.push(SimTime::from_millis(i % 1000), i);
+            i += 1;
+            if q.len() > 512 {
+                black_box(q.pop());
+            }
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_kibam_step,
+    bench_breaker_step,
+    bench_meter_feed,
+    bench_rng,
+    bench_event_queue
+);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Runs the design-choice ablation sweeps (P_ideal, vDEB reserve, grant
+//! interval, capping latency, battery wear by scheme) — sensitivity
+//! analysis the paper asserts but does not report.
+
+fn main() {
+    let fidelity = pad_bench::fidelity_from_args();
+    pad_bench::banner("ablations", "design-choice sensitivity (beyond the paper)", fidelity);
+    print!("{}", pad::experiments::ablation::run_all(fidelity));
+}

@@ -1,0 +1,24 @@
+//! Runs every experiment regenerator in sequence — the one-shot
+//! "reproduce the whole evaluation section" entry point.
+
+use pad::experiments::{
+    background, fig05, fig06, fig07, fig08, fig12, fig13, fig14, fig15, fig16, fig17, table1,
+};
+
+fn main() {
+    let fidelity = pad_bench::fidelity_from_args();
+    pad_bench::banner("all_experiments", "every table and figure of §VI", fidelity);
+    println!("{}", background::fig01().render());
+    println!("{}", background::fig02_render());
+    println!("{}", fig05::run(fidelity).render());
+    println!("{}", fig06::run(fidelity).render());
+    println!("{}", fig07::run(fidelity).render());
+    println!("{}", fig08::run(fidelity).render());
+    println!("{}", table1::run(fidelity).render());
+    println!("{}", fig12::run(fidelity).render());
+    println!("{}", fig13::run(fidelity).render());
+    println!("{}", fig14::run(fidelity).render());
+    println!("{}", fig15::run(fidelity).render());
+    println!("{}", fig16::run(fidelity).render());
+    println!("{}", fig17::run(fidelity).render());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 1: the CDF of data-center power-failure cost.
+
+fn main() {
+    let fidelity = pad_bench::fidelity_from_args();
+    pad_bench::banner("fig01_outage_cost", "Figure 1 (Ponemon cost CDF)", fidelity);
+    print!("{}", pad::experiments::background::fig01().render());
+}

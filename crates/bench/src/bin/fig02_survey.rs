@@ -1,0 +1,7 @@
+//! Regenerates Figure 2: security-technology adoption survey.
+
+fn main() {
+    let fidelity = pad_bench::fidelity_from_args();
+    pad_bench::banner("fig02_survey", "Figure 2 (SANS adoption survey)", fidelity);
+    print!("{}", pad::experiments::background::fig02_render());
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 5: SOC standard deviation across rack batteries,
+//! online vs offline charging, over a month of trace-driven operation.
+
+fn main() {
+    let fidelity = pad_bench::fidelity_from_args();
+    pad_bench::banner("fig05_soc_stddev", "Figure 5 (battery unevenness)", fidelity);
+    print!("{}", pad::experiments::fig05::run(fidelity).render());
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 8 (A, B, C): effective-attack counts vs node
+//! count, spike width and frequency.
+
+fn main() {
+    let fidelity = pad_bench::fidelity_from_args();
+    pad_bench::banner("fig08_attack_stats", "Figure 8 A/B/C (attack statistics)", fidelity);
+    print!("{}", pad::experiments::fig08::run(fidelity).render());
+}

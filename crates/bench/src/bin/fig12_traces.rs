@@ -1,0 +1,7 @@
+//! Regenerates Figure 12: collected dense/sparse power-virus traces.
+
+fn main() {
+    let fidelity = pad_bench::fidelity_from_args();
+    pad_bench::banner("fig12_traces", "Figure 12 (collected traces)", fidelity);
+    print!("{}", pad::experiments::fig12::run(fidelity).render());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 13: DEB usage maps, conventional vs PAD.
+
+fn main() {
+    let fidelity = pad_bench::fidelity_from_args();
+    pad_bench::banner("fig13_heatmap", "Figure 13 (DEB usage maps)", fidelity);
+    print!("{}", pad::experiments::fig13::run(fidelity).render());
+}

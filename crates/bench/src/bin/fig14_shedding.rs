@@ -1,0 +1,7 @@
+//! Regenerates Figure 14: load shedding under cluster-wide surges.
+
+fn main() {
+    let fidelity = pad_bench::fidelity_from_args();
+    pad_bench::banner("fig14_shedding", "Figure 14 (load shedding)", fidelity);
+    print!("{}", pad::experiments::fig14::run(fidelity).render());
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 15: survival time across the six schemes under the
+//! full attack matrix — the paper's headline result.
+
+fn main() {
+    let fidelity = pad_bench::fidelity_from_args();
+    pad_bench::banner("fig15_survival", "Figure 15 (survival time)", fidelity);
+    print!("{}", pad::experiments::fig15::run(fidelity).render());
+}

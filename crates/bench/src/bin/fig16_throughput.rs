@@ -1,0 +1,8 @@
+//! Regenerates Figure 16 (A, B): throughput under attack, vs rate and
+//! spike width.
+
+fn main() {
+    let fidelity = pad_bench::fidelity_from_args();
+    pad_bench::banner("fig16_throughput", "Figure 16 A/B (throughput)", fidelity);
+    print!("{}", pad::experiments::fig16::run(fidelity).render());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 17: µDEB capacity vs cost ratio and survival.
+
+fn main() {
+    let fidelity = pad_bench::fidelity_from_args();
+    pad_bench::banner("fig17_cost", "Figure 17 (cost efficiency)", fidelity);
+    print!("{}", pad::experiments::fig17::run(fidelity).render());
+}

@@ -1,0 +1,9 @@
+//! Measures the attacker's side-channel information yield against PS vs
+//! vDEB — the §IV.B.1 claim that capacity sharing blinds reconnaissance.
+
+fn main() {
+    let fidelity = pad_bench::fidelity_from_args();
+    pad_bench::banner("recon_value", "§IV.B.1 recon-noise claim", fidelity);
+    let outcomes = pad::experiments::recon::run(fidelity);
+    print!("{}", pad::experiments::recon::render(&outcomes));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table I: spike detection rate by metering interval.
+
+fn main() {
+    let fidelity = pad_bench::fidelity_from_args();
+    pad_bench::banner("table1_detection", "Table I (detection rates)", fidelity);
+    print!("{}", pad::experiments::table1::run(fidelity).render());
+}

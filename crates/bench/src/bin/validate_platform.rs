@@ -1,0 +1,12 @@
+//! Runs the platform-validation checks: the premises every experiment
+//! leans on, as executable pass/fail assertions.
+
+fn main() {
+    let fidelity = pad_bench::fidelity_from_args();
+    pad_bench::banner("validate_platform", "§V platform validation", fidelity);
+    let checks = pad::experiments::validation::run(fidelity);
+    print!("{}", pad::experiments::validation::render(&checks));
+    if checks.iter().any(|c| !c.passed) {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,27 @@
+//! Shared scaffolding for the experiment-regenerator binaries.
+//!
+//! Every binary accepts `--smoke` to run the reduced-scale variant the
+//! integration tests use; the default is full paper fidelity.
+
+use pad::experiments::Fidelity;
+
+/// Parses the common CLI: `--smoke` selects the reduced scale.
+pub fn fidelity_from_args() -> Fidelity {
+    if std::env::args().any(|a| a == "--smoke") {
+        Fidelity::Smoke
+    } else {
+        Fidelity::Paper
+    }
+}
+
+/// Prints a standard experiment banner.
+pub fn banner(name: &str, paper_ref: &str, fidelity: Fidelity) {
+    println!("=== {name} — reproduces {paper_ref} ===");
+    println!(
+        "fidelity: {}\n",
+        match fidelity {
+            Fidelity::Paper => "paper scale",
+            Fidelity::Smoke => "smoke (reduced)",
+        }
+    );
+}

@@ -1,0 +1,295 @@
+//! `padsim` — simulate a power-virus attack on a battery-backed cluster.
+//!
+//! A self-contained command-line front end over the `pad` library: build
+//! a cluster, pick a defense scheme and an attack, and read the survival
+//! report.
+//!
+//! ```text
+//! padsim --scheme pad --style dense --class cpu --nodes 4 --duration-mins 60
+//! ```
+
+use attack::scenario::{AttackScenario, AttackStyle};
+use attack::virus::VirusClass;
+use pad::schemes::Scheme;
+use pad::sim::{ClusterSim, EmergencyAction, SimConfig};
+use powerinfra::server::ServerSpec;
+use powerinfra::topology::ClusterTopology;
+use simkit::heatmap::Heatmap;
+use simkit::time::{SimDuration, SimTime};
+use workload::synth::SynthConfig;
+
+const USAGE: &str = "\
+padsim — simulate power-virus attacks on a battery-backed data center
+
+USAGE:
+    padsim [OPTIONS]
+
+OPTIONS:
+    --scheme <conv|ps|pspc|udeb|vdeb|pad>   defense scheme      [default: pad]
+    --style <dense|sparse>                  spike style         [default: dense]
+    --class <cpu|mem|io>                    virus class         [default: cpu]
+    --nodes <N>                             compromised servers [default: 4]
+    --victims <N>                           racks attacked simultaneously [default: 1]
+    --racks <N>                             racks               [default: 22]
+    --servers <N>                           servers per rack    [default: 10]
+    --mean-util <F>                         mean utilization    [default: 0.31]
+    --budget <F>                            budget fraction     [default: 0.75]
+    --action <shed|migrate>                 PAD Level-3 action  [default: shed]
+    --duration-mins <N>                     attack window       [default: 60]
+    --attack-at-mins <N>                    warmup before attack [default: 30]
+    --seed <N>                              trace/noise seed    [default: 42]
+    --escalate                              attacker acquires more nodes over time
+    --soc-map                               print the battery map at the end
+    --log                                   print the forensic event log
+    -h, --help                              show this help
+";
+
+#[derive(Debug)]
+struct Args {
+    scheme: Scheme,
+    style: AttackStyle,
+    class: VirusClass,
+    nodes: usize,
+    victims: usize,
+    racks: usize,
+    servers: usize,
+    mean_util: f64,
+    budget: f64,
+    action: EmergencyAction,
+    duration_mins: u64,
+    attack_at_mins: u64,
+    seed: u64,
+    escalate: bool,
+    soc_map: bool,
+    log: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            scheme: Scheme::Pad,
+            style: AttackStyle::Dense,
+            class: VirusClass::CpuIntensive,
+            nodes: 4,
+            victims: 1,
+            racks: 22,
+            servers: 10,
+            mean_util: 0.31,
+            budget: 0.75,
+            action: EmergencyAction::Shed,
+            duration_mins: 60,
+            attack_at_mins: 30,
+            seed: 42,
+            escalate: false,
+            soc_map: false,
+            log: false,
+        }
+    }
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("error: {message}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{name} requires a value")))
+        };
+        match flag.as_str() {
+            "--scheme" => {
+                args.scheme = match value("--scheme").to_lowercase().as_str() {
+                    "conv" => Scheme::Conv,
+                    "ps" => Scheme::Ps,
+                    "pspc" => Scheme::Pspc,
+                    "udeb" => Scheme::UDebOnly,
+                    "vdeb" => Scheme::VDebOnly,
+                    "pad" => Scheme::Pad,
+                    other => fail(&format!("unknown scheme {other:?}")),
+                }
+            }
+            "--style" => {
+                args.style = match value("--style").to_lowercase().as_str() {
+                    "dense" => AttackStyle::Dense,
+                    "sparse" => AttackStyle::Sparse,
+                    other => fail(&format!("unknown style {other:?}")),
+                }
+            }
+            "--class" => {
+                args.class = match value("--class").to_lowercase().as_str() {
+                    "cpu" => VirusClass::CpuIntensive,
+                    "mem" => VirusClass::MemIntensive,
+                    "io" => VirusClass::IoIntensive,
+                    other => fail(&format!("unknown class {other:?}")),
+                }
+            }
+            "--nodes" => args.nodes = parse_num(&value("--nodes"), "--nodes"),
+            "--victims" => args.victims = parse_num(&value("--victims"), "--victims"),
+            "--racks" => args.racks = parse_num(&value("--racks"), "--racks"),
+            "--servers" => args.servers = parse_num(&value("--servers"), "--servers"),
+            "--mean-util" => args.mean_util = parse_f64(&value("--mean-util"), "--mean-util"),
+            "--budget" => args.budget = parse_f64(&value("--budget"), "--budget"),
+            "--action" => {
+                args.action = match value("--action").to_lowercase().as_str() {
+                    "shed" => EmergencyAction::Shed,
+                    "migrate" => EmergencyAction::Migrate,
+                    other => fail(&format!("unknown action {other:?}")),
+                }
+            }
+            "--duration-mins" => {
+                args.duration_mins = parse_num(&value("--duration-mins"), "--duration-mins") as u64
+            }
+            "--attack-at-mins" => {
+                args.attack_at_mins =
+                    parse_num(&value("--attack-at-mins"), "--attack-at-mins") as u64
+            }
+            "--seed" => args.seed = parse_num(&value("--seed"), "--seed") as u64,
+            "--escalate" => args.escalate = true,
+            "--soc-map" => args.soc_map = true,
+            "--log" => args.log = true,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => fail(&format!("unknown flag {other:?}")),
+        }
+    }
+    args
+}
+
+fn parse_num(text: &str, flag: &str) -> usize {
+    text.parse()
+        .unwrap_or_else(|_| fail(&format!("{flag} expects an integer, got {text:?}")))
+}
+
+fn parse_f64(text: &str, flag: &str) -> f64 {
+    text.parse()
+        .unwrap_or_else(|_| fail(&format!("{flag} expects a number, got {text:?}")))
+}
+
+fn main() {
+    let args = parse_args();
+
+    let server = ServerSpec::hp_proliant_dl585_g5();
+    let nameplate = server.peak * args.servers as f64;
+    let config = SimConfig {
+        topology: ClusterTopology::new(args.racks, args.servers),
+        budget_fraction: args.budget,
+        emergency_action: args.action,
+        p_ideal: nameplate * 0.05,
+        udeb_max_power: nameplate * 0.3,
+        udeb_engage_threshold: nameplate * 0.0675,
+        demand_jitter: nameplate * 0.01,
+        ..SimConfig::paper_default(args.scheme)
+    };
+    if let Err(e) = config.validate() {
+        fail(&format!("invalid configuration: {e}"));
+    }
+
+    let attack_at = SimTime::from_mins(args.attack_at_mins);
+    let horizon = attack_at + SimDuration::from_mins(args.duration_mins);
+    let trace = SynthConfig {
+        machines: config.topology.total_servers(),
+        horizon: horizon + SimDuration::from_mins(10),
+        mean_utilization: args.mean_util,
+        machine_bias_std: 0.04,
+        ..SynthConfig::google_may2010()
+    }
+    .generate_direct(args.seed);
+
+    let mut sim = match ClusterSim::new(config, trace) {
+        Ok(sim) => sim,
+        Err(e) => fail(&e),
+    };
+    sim.reseed_noise(args.seed ^ 0x5EED);
+    if args.soc_map {
+        sim.record_soc(SimDuration::from_mins(1));
+    }
+
+    println!(
+        "padsim: {} racks x {} servers, scheme {}, budget {:.0}% of nameplate",
+        args.racks,
+        args.servers,
+        args.scheme.label(),
+        args.budget * 100.0
+    );
+
+    // Warm up to the attack, then attack the weakest rack(s).
+    sim.run(attack_at, SimDuration::SECOND, false);
+    let mut scenario = AttackScenario::new(args.style, args.class, args.nodes);
+    if args.escalate {
+        scenario = scenario.with_escalation(SimDuration::from_mins(5));
+    }
+    let mut by_soc: Vec<(usize, f64)> = sim.rack_socs().into_iter().enumerate().collect();
+    by_soc.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite SOC"));
+    let victims: Vec<powerinfra::topology::RackId> = by_soc
+        .iter()
+        .take(args.victims.clamp(1, args.racks))
+        .map(|&(r, _)| powerinfra::topology::RackId(r))
+        .collect();
+    let victim = victims[0];
+    for (i, &v) in victims.iter().enumerate() {
+        println!(
+            "attack: {} from t={} against {} (battery at {:.0}%)",
+            scenario.label(),
+            attack_at,
+            v,
+            sim.rack_socs()[v.0] * 100.0
+        );
+        if i == 0 {
+            sim.set_attack(scenario, v, attack_at);
+        } else {
+            sim.add_attack(scenario, v, attack_at);
+        }
+    }
+    let report = sim.run(horizon, SimDuration::from_millis(100), true);
+
+    println!();
+    match report.survival() {
+        Some(t) => {
+            println!("SURVIVAL: {:.0} s (first overload at t={})", t.as_secs_f64(),
+                report.overloads.first().map(|e| e.time.to_string()).unwrap_or_default());
+        }
+        None => println!(
+            "SURVIVAL: > {:.0} s (no overload within the window)",
+            report.survival_or_horizon().as_secs_f64()
+        ),
+    }
+    println!(
+        "overload excursions: {}   breaker trips: {}   throughput: {:.3}",
+        report.effective_attacks(),
+        report.breaker_trips,
+        report.normalized_throughput()
+    );
+    println!(
+        "victim battery now: {:.0}%   pool mean: {:.0}%   policy level: {}",
+        sim.rack_socs()[victim.0] * 100.0,
+        sim.rack_socs().iter().sum::<f64>() / args.racks as f64 * 100.0,
+        sim.level()
+    );
+    if let Some(drain) = sim.attacker_observed_drain() {
+        println!("attacker's learned drain time: {:.0} s", drain.as_secs_f64());
+    }
+
+    if args.log {
+        println!("\n== event log ==");
+        print!("{}", sim.event_log().render());
+    }
+
+    if args.soc_map {
+        let history = sim.soc_history().expect("recording enabled");
+        let mut map = Heatmap::new();
+        map.title("battery state of charge over the run");
+        for rack in 0..history.racks() {
+            map.row(
+                format!("rack-{rack:02}"),
+                history.rack_series(rack).values().to_vec(),
+            );
+        }
+        println!("\n{}", map.render(96));
+    }
+}

@@ -1,0 +1,274 @@
+//! Figure 8 — statistics of effective attacks under various scenarios.
+//!
+//! Fifteen-minute effective-attack counts on the testbed, sweeping the
+//! attacker's three knobs (§III.B):
+//!
+//! * **A — peak height**: number of compromised nodes (1–4) × virus
+//!   class, under overshoot tolerances of 4–16%;
+//! * **B — peak width**: spike width 1–4 s × virus class × overshoot;
+//! * **C — frequency**: 1–6 spikes/min × virus class, under power budgets
+//!   of 55–70% of nameplate.
+//!
+//! Expected shapes: more nodes / wider / more frequent ⇒ more effective
+//! attacks; the IO-intensive virus "may fail to create any effective
+//! attack when the power budget is adequate".
+
+use attack::scenario::{AttackScenario, AttackStyle};
+use attack::virus::VirusClass;
+use powerinfra::topology::RackId;
+use simkit::table::Table;
+use simkit::time::{SimDuration, SimTime};
+
+use crate::experiments::{effective_spikes, testbed_config, testbed_trace, Fidelity};
+use crate::schemes::Scheme;
+use crate::sim::ClusterSim;
+
+/// One measured cell of a Figure 8 panel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackCell {
+    /// Virus class.
+    pub class: VirusClass,
+    /// Panel-specific x value (nodes, width seconds, or per-minute).
+    pub x: f64,
+    /// Panel-specific series value (overshoot or budget fraction).
+    pub series: f64,
+    /// Effective attacks counted in the 15-minute window.
+    pub effective: usize,
+}
+
+/// One panel (A, B or C).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Panel {
+    /// Panel title.
+    pub title: &'static str,
+    /// x-axis label.
+    pub x_label: &'static str,
+    /// Series label (overshoot or budget).
+    pub series_label: &'static str,
+    /// All measured cells.
+    pub cells: Vec<AttackCell>,
+}
+
+/// The full Figure 8 dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig08 {
+    /// Panel A — peak height (node count).
+    pub height: Panel,
+    /// Panel B — peak width.
+    pub width: Panel,
+    /// Panel C — attack frequency.
+    pub frequency: Panel,
+}
+
+/// Counts effective attacks for one configuration over 15 minutes.
+pub fn count_effective(
+    class: VirusClass,
+    nodes: usize,
+    width: SimDuration,
+    per_minute: f64,
+    overshoot: f64,
+    budget_fraction: f64,
+    fidelity: Fidelity,
+) -> usize {
+    let mut config = testbed_config(Scheme::Conv);
+    config.overshoot_tolerance = overshoot;
+    config.budget_fraction = budget_fraction;
+    let mut sim = ClusterSim::new(config, testbed_trace(0x00F1_6008)).expect("valid config");
+    sim.reseed_noise((nodes as u64) << 32 | (per_minute as u64) << 8 | 0x808);
+    let scenario = AttackScenario::new(AttackStyle::Sparse, class, nodes)
+        .with_width(width)
+        .with_frequency(per_minute)
+        .immediate();
+    sim.set_attack(scenario, RackId(0), SimTime::ZERO);
+    let window = if fidelity.is_smoke() {
+        SimDuration::from_mins(5)
+    } else {
+        SimDuration::from_mins(15)
+    };
+    let report = sim.run(SimTime::ZERO + window, SimDuration::from_millis(100), false);
+    effective_spikes(&report.overloads, &scenario.train(), window)
+}
+
+/// Runs all three panels.
+pub fn run(fidelity: Fidelity) -> Fig08 {
+    let classes: &[VirusClass] = if fidelity.is_smoke() {
+        &[VirusClass::CpuIntensive, VirusClass::IoIntensive]
+    } else {
+        &VirusClass::ALL
+    };
+    let overshoots: &[f64] = if fidelity.is_smoke() {
+        &[0.04, 0.16]
+    } else {
+        &[0.04, 0.08, 0.12, 0.16]
+    };
+
+    // Panel A: nodes 1..4, width 1 s, 2/min, 70% budget.
+    let nodes: &[usize] = if fidelity.is_smoke() { &[1, 4] } else { &[1, 2, 3, 4] };
+    let mut height = Vec::new();
+    for &class in classes {
+        for &n in nodes {
+            for &os in overshoots {
+                height.push(AttackCell {
+                    class,
+                    x: n as f64,
+                    series: os,
+                    effective: count_effective(
+                        class,
+                        n,
+                        SimDuration::from_secs(1),
+                        2.0,
+                        os,
+                        0.70,
+                        fidelity,
+                    ),
+                });
+            }
+        }
+    }
+
+    // Panel B: width 1..4 s, 2 nodes, 2/min, 70% budget.
+    let widths: &[u64] = if fidelity.is_smoke() { &[1, 4] } else { &[1, 2, 3, 4] };
+    let mut width = Vec::new();
+    for &class in classes {
+        for &w in widths {
+            for &os in overshoots {
+                width.push(AttackCell {
+                    class,
+                    x: w as f64,
+                    series: os,
+                    effective: count_effective(
+                        class,
+                        2,
+                        SimDuration::from_secs(w),
+                        2.0,
+                        os,
+                        0.70,
+                        fidelity,
+                    ),
+                });
+            }
+        }
+    }
+
+    // Panel C: frequency 1..6/min, 2 nodes, 1 s, budgets 55–70%.
+    let freqs: &[f64] = if fidelity.is_smoke() { &[1.0, 6.0] } else { &[1.0, 2.0, 4.0, 6.0] };
+    let budgets: &[f64] = if fidelity.is_smoke() {
+        &[0.55, 0.70]
+    } else {
+        &[0.55, 0.60, 0.65, 0.70]
+    };
+    let mut frequency = Vec::new();
+    for &class in classes {
+        for &f in freqs {
+            for &b in budgets {
+                frequency.push(AttackCell {
+                    class,
+                    x: f,
+                    series: b,
+                    effective: count_effective(
+                        class,
+                        2,
+                        SimDuration::from_secs(1),
+                        f,
+                        0.08,
+                        b,
+                        fidelity,
+                    ),
+                });
+            }
+        }
+    }
+
+    Fig08 {
+        height: Panel {
+            title: "Figure 8-A — effective attacks vs node count",
+            x_label: "nodes",
+            series_label: "overshoot",
+            cells: height,
+        },
+        width: Panel {
+            title: "Figure 8-B — effective attacks vs spike width",
+            x_label: "width_s",
+            series_label: "overshoot",
+            cells: width,
+        },
+        frequency: Panel {
+            title: "Figure 8-C — effective attacks vs frequency",
+            x_label: "per_minute",
+            series_label: "budget",
+            cells: frequency,
+        },
+    }
+}
+
+impl Panel {
+    /// Effective count for an exact cell, if measured.
+    pub fn cell(&self, class: VirusClass, x: f64, series: f64) -> Option<usize> {
+        self.cells
+            .iter()
+            .find(|c| c.class == class && (c.x - x).abs() < 1e-9 && (c.series - series).abs() < 1e-9)
+            .map(|c| c.effective)
+    }
+
+    /// Renders the panel as a table.
+    pub fn render(&self) -> String {
+        let mut table = Table::new(vec![
+            "class".to_string(),
+            self.x_label.to_string(),
+            self.series_label.to_string(),
+            "effective".to_string(),
+        ]);
+        table.title(self.title);
+        for c in &self.cells {
+            table.row(vec![
+                c.class.to_string(),
+                format!("{}", c.x),
+                format!("{:.0}%", c.series * 100.0),
+                c.effective.to_string(),
+            ]);
+        }
+        table.render()
+    }
+}
+
+impl Fig08 {
+    /// Renders all three panels.
+    pub fn render(&self) -> String {
+        format!(
+            "{}\n{}\n{}",
+            self.height.render(),
+            self.width.render(),
+            self.frequency.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_shapes_match_paper() {
+        let fig = run(Fidelity::Smoke);
+        // More nodes never hurt the attacker (CPU class, loose 4% OS).
+        let one = fig.height.cell(VirusClass::CpuIntensive, 1.0, 0.04).unwrap();
+        let four = fig.height.cell(VirusClass::CpuIntensive, 4.0, 0.04).unwrap();
+        assert!(four >= one, "4 nodes ({four}) must be >= 1 node ({one})");
+        // Tighter overshoot tolerance means more effective attacks.
+        let loose = fig.height.cell(VirusClass::CpuIntensive, 4.0, 0.16).unwrap();
+        assert!(four >= loose, "4% OS ({four}) must be >= 16% OS ({loose})");
+        // The IO virus cannot beat a generous budget (70% nameplate).
+        let io = fig
+            .frequency
+            .cell(VirusClass::IoIntensive, 6.0, 0.70)
+            .unwrap();
+        assert_eq!(io, 0, "IO-intensive virus should fail at a 70% budget");
+        // A starved budget is easy to beat for the CPU virus.
+        let cpu_tight = fig
+            .frequency
+            .cell(VirusClass::CpuIntensive, 6.0, 0.55)
+            .unwrap();
+        assert!(cpu_tight > 0);
+        assert!(fig.render().contains("Figure 8-A"));
+    }
+}

@@ -1,0 +1,199 @@
+//! Figure 15 — survival time of the six schemes under the attack matrix.
+//!
+//! "The sustained operation duration of the evaluated Google cluster
+//! under various power attacks" — 2 spike styles × 3 virus classes, six
+//! power-management schemes, survival measured from attack start to the
+//! first overload. The paper's headline: "PAD improves the sustained time
+//! by 10.7X compared to conventional data centers, and 1.6X compared to
+//! the state-of-the-art proposals."
+
+use attack::scenario::{AttackScenario, AttackStyle};
+use attack::virus::VirusClass;
+use simkit::stats::OnlineStats;
+use simkit::table::Table;
+use simkit::time::SimDuration;
+
+use crate::experiments::{survival_attack_time, survival_horizon, warmed_survival_sim, Fidelity};
+use crate::schemes::Scheme;
+
+/// One scenario column of Figure 15.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioCell {
+    /// Spike style.
+    pub style: AttackStyle,
+    /// Virus class.
+    pub class: VirusClass,
+    /// Mean survival time over the seeds.
+    pub survival: SimDuration,
+    /// Whether any seed rode out the whole horizon (the mean is then a
+    /// lower bound, rendered with a `+`).
+    pub capped: bool,
+}
+
+/// The full Figure 15 dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig15 {
+    /// Per scheme: the six scenario cells plus the average.
+    pub rows: Vec<(Scheme, Vec<ScenarioCell>, SimDuration)>,
+    /// Horizon used (survivor runs are capped here).
+    pub horizon: SimDuration,
+}
+
+/// The attack matrix: 2 styles × the virus classes (Smoke keeps only the
+/// dense CPU cell).
+fn matrix(fidelity: Fidelity) -> Vec<(AttackStyle, VirusClass)> {
+    if fidelity.is_smoke() {
+        vec![(AttackStyle::Dense, VirusClass::CpuIntensive)]
+    } else {
+        let mut cells = Vec::new();
+        for class in VirusClass::ALL {
+            for style in AttackStyle::ALL {
+                cells.push((style, class));
+            }
+        }
+        cells
+    }
+}
+
+/// Runs one survival measurement.
+pub fn survival_of(
+    scheme: Scheme,
+    style: AttackStyle,
+    class: VirusClass,
+    seed: u64,
+    fidelity: Fidelity,
+) -> (SimDuration, bool) {
+    let mut sim = warmed_survival_sim(scheme, seed, fidelity);
+    let victim = sim.most_vulnerable_rack();
+    let scenario = AttackScenario::new(style, class, 4)
+        .with_escalation(SimDuration::from_mins(5))
+        .with_max_drain(SimDuration::from_mins(10));
+    let attack_at = survival_attack_time();
+    sim.set_attack(scenario, victim, attack_at);
+    let report = sim.run(
+        attack_at + survival_horizon(fidelity),
+        SimDuration::from_millis(100),
+        true,
+    );
+    (report.survival_or_horizon(), report.survival().is_none())
+}
+
+/// Runs the whole figure.
+pub fn run(fidelity: Fidelity) -> Fig15 {
+    let cells = matrix(fidelity);
+    let schemes: &[Scheme] = if fidelity.is_smoke() {
+        &[Scheme::Conv, Scheme::Ps, Scheme::Pad]
+    } else {
+        &Scheme::ALL
+    };
+    let mut rows = Vec::new();
+    for &scheme in schemes {
+        let mut row = Vec::new();
+        let mut all = OnlineStats::new();
+        for &(style, class) in &cells {
+            let mut stats = OnlineStats::new();
+            let mut capped = false;
+            for seed in 1..=fidelity.seeds() {
+                let (s, seed_capped) = survival_of(scheme, style, class, seed, fidelity);
+                stats.push(s.as_secs_f64());
+                all.push(s.as_secs_f64());
+                capped |= seed_capped;
+            }
+            row.push(ScenarioCell {
+                style,
+                class,
+                survival: SimDuration::from_secs_f64(stats.mean()),
+                capped,
+            });
+        }
+        rows.push((
+            scheme,
+            row,
+            SimDuration::from_secs_f64(all.mean()),
+        ));
+    }
+    Fig15 {
+        rows,
+        horizon: survival_horizon(fidelity),
+    }
+}
+
+impl Fig15 {
+    /// Average survival of one scheme.
+    pub fn average_of(&self, scheme: Scheme) -> Option<SimDuration> {
+        self.rows
+            .iter()
+            .find(|(s, _, _)| *s == scheme)
+            .map(|&(_, _, avg)| avg)
+    }
+
+    /// PAD's improvement factor over `baseline` (the paper's 10.7× /
+    /// 1.6× numbers).
+    pub fn pad_improvement_over(&self, baseline: Scheme) -> Option<f64> {
+        let pad = self.average_of(Scheme::Pad)?.as_secs_f64();
+        let base = self.average_of(baseline)?.as_secs_f64();
+        (base > 0.0).then(|| pad / base)
+    }
+
+    /// Renders the survival table plus the headline factors.
+    pub fn render(&self) -> String {
+        let mut headers: Vec<String> = vec!["Scheme".into()];
+        if let Some((_, cells, _)) = self.rows.first() {
+            for c in cells {
+                headers.push(format!("{} {}", c.style, c.class));
+            }
+        }
+        headers.push("Avg".into());
+        let mut table = Table::new(headers);
+        table.title(format!(
+            "Figure 15 — survival time in seconds ('+' = some run rode out the {} cap; lower bound)",
+            self.horizon
+        ));
+        for (scheme, cells, avg) in &self.rows {
+            let mut row = vec![scheme.label().to_string()];
+            for c in cells {
+                row.push(format!(
+                    "{:.0}{}",
+                    c.survival.as_secs_f64(),
+                    if c.capped { "+" } else { "" }
+                ));
+            }
+            let any_capped = cells.iter().any(|c| c.capped);
+            row.push(format!(
+                "{:.0}{}",
+                avg.as_secs_f64(),
+                if any_capped { "+" } else { "" }
+            ));
+            table.row(row);
+        }
+        let mut out = table.render();
+        if let (Some(conv), Some(pspc)) = (
+            self.pad_improvement_over(Scheme::Conv),
+            self.pad_improvement_over(Scheme::Pspc),
+        ) {
+            out.push_str(&format!(
+                "PAD vs Conv: {conv:.1}x (paper: 10.7x)   PAD vs PSPC: {pspc:.1}x (paper: ~1.6-1.9x)\n"
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_orders_schemes() {
+        let fig = run(Fidelity::Smoke);
+        let conv = fig.average_of(Scheme::Conv).unwrap();
+        let pad = fig.average_of(Scheme::Pad).unwrap();
+        assert!(
+            pad > conv,
+            "PAD ({pad}) must outlast Conv ({conv}) even at smoke scale"
+        );
+        let text = fig.render();
+        assert!(text.contains("Figure 15"));
+        assert!(text.contains("PAD"));
+    }
+}

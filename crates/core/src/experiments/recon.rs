@@ -1,0 +1,152 @@
+//! Side-channel recon value — does vDEB really blind the attacker?
+//!
+//! "vDEB can often frustrate an attacker's efforts to gain critical
+//! information such as 'how long does the victim rack's battery sustain'
+//! … adding considerable noise to an attacker's observations in a
+//! side-channel attack." (§IV.B.1)
+//!
+//! A purely non-offending drain is unobservable from inside a VM (no
+//! scheme in Table III caps a within-tolerance draw), so the attacker
+//! probes: drain for a laddered duration `T`, then fire spikes and watch
+//! whether they *land* (an overload ⇒ the battery was out by `T`). Each
+//! landing probe is an informative autonomy sample for the attacker's
+//! [`AutonomyEstimator`]; under vDEB the pool keeps absorbing the probes
+//! and the ladder comes back empty.
+
+use attack::recon::AutonomyEstimator;
+use attack::scenario::{AttackScenario, AttackStyle};
+use attack::virus::VirusClass;
+use simkit::table::Table;
+use simkit::time::SimDuration;
+
+use crate::experiments::{survival_attack_time, warmed_survival_sim, Fidelity};
+use crate::schemes::Scheme;
+
+/// The recon outcome against one scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReconOutcome {
+    /// The defending scheme.
+    pub scheme: Scheme,
+    /// Probes launched.
+    pub probes: u64,
+    /// Probes whose side channel fired (informative observations).
+    pub informative: u64,
+    /// The attacker's estimator after all probes.
+    pub estimator: AutonomyEstimator,
+}
+
+impl ReconOutcome {
+    /// Fraction of probes that taught the attacker something.
+    pub fn information_yield(&self) -> f64 {
+        if self.probes == 0 {
+            0.0
+        } else {
+            self.informative as f64 / self.probes as f64
+        }
+    }
+}
+
+/// Runs one ladder probe: drain for `drain_secs`, then fire spikes for a
+/// three-minute observation window. Returns the observed autonomy sample
+/// if a spike landed (an overload within the window).
+fn probe(
+    scheme: Scheme,
+    seed: u64,
+    drain_secs: u64,
+    fidelity: Fidelity,
+) -> Option<SimDuration> {
+    let mut sim = warmed_survival_sim(scheme, seed, fidelity);
+    let victim = sim.most_vulnerable_rack();
+    let scenario = AttackScenario::new(AttackStyle::Dense, VirusClass::CpuIntensive, 4)
+        .with_max_drain(SimDuration::from_secs(drain_secs));
+    let attack_at = survival_attack_time();
+    sim.set_attack(scenario, victim, attack_at);
+    let window = SimDuration::from_secs(drain_secs) + SimDuration::from_mins(3);
+    let report = sim.run(attack_at + window, SimDuration::from_millis(100), true);
+    report.survival()
+}
+
+/// Runs the recon campaign against one scheme: a ladder of drain
+/// durations, each followed by probe spikes.
+pub fn campaign(scheme: Scheme, fidelity: Fidelity) -> ReconOutcome {
+    let ladder: &[u64] = if fidelity.is_smoke() {
+        &[240, 480]
+    } else {
+        &[300, 600, 900, 1200]
+    };
+    let mut estimator = AutonomyEstimator::new();
+    let mut informative = 0;
+    for (i, &drain_secs) in ladder.iter().enumerate() {
+        if let Some(sample) = probe(scheme, i as u64 + 1, drain_secs, fidelity) {
+            informative += 1;
+            estimator.push_trial(sample);
+        }
+    }
+    ReconOutcome {
+        scheme,
+        probes: ladder.len() as u64,
+        informative,
+        estimator,
+    }
+}
+
+/// Runs the PS-vs-vDEB comparison.
+pub fn run(fidelity: Fidelity) -> Vec<ReconOutcome> {
+    vec![
+        campaign(Scheme::Ps, fidelity),
+        campaign(Scheme::VDebOnly, fidelity),
+    ]
+}
+
+/// Renders the comparison.
+pub fn render(outcomes: &[ReconOutcome]) -> String {
+    let mut table = Table::new(vec![
+        "scheme",
+        "probes",
+        "informative",
+        "learned autonomy (s)",
+        "attacker uncertainty (cv)",
+    ]);
+    table.title("Recon value — can the attacker learn the battery's autonomy?");
+    for o in outcomes {
+        table.row(vec![
+            o.scheme.label().to_string(),
+            o.probes.to_string(),
+            o.informative.to_string(),
+            o.estimator
+                .estimate()
+                .map(|e| format!("{:.0}", e.as_secs_f64()))
+                .unwrap_or_else(|| "nothing learned".to_string()),
+            if o.estimator.trials() >= 2 {
+                format!("{:.2}", o.estimator.relative_dispersion())
+            } else {
+                "n/a".to_string()
+            },
+        ]);
+    }
+    let mut out = table.render();
+    out.push_str(
+        "paper claim: vDEB 'frustrates the attacker's efforts to gain critical information'\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_vdeb_blinds_the_attacker() {
+        let outcomes = run(Fidelity::Smoke);
+        let ps = &outcomes[0];
+        let vdeb = &outcomes[1];
+        assert_eq!(ps.scheme, Scheme::Ps);
+        assert!(
+            vdeb.information_yield() <= ps.information_yield(),
+            "vDEB must not leak more than PS: {:.2} vs {:.2}",
+            vdeb.information_yield(),
+            ps.information_yield()
+        );
+        assert!(render(&outcomes).contains("Recon value"));
+    }
+}

@@ -1,0 +1,88 @@
+//! # PAD — Power Attack Defense
+//!
+//! A full reproduction of *Power Attack Defense: Securing Battery-Backed
+//! Data Centers* (Li et al., ISCA 2016): the threat model (two-phase power
+//! virus), the defense (vDEB + µDEB + hierarchical policy), the
+//! trace-driven evaluation platform, and every table and figure of the
+//! paper's evaluation section.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pad::prelude::*;
+//! use simkit::time::{SimDuration, SimTime};
+//! use workload::synth::SynthConfig;
+//!
+//! // Build a small PAD-protected cluster over a synthetic trace...
+//! let config = SimConfig::small_test(Scheme::Pad);
+//! let trace = SynthConfig {
+//!     machines: config.topology.total_servers(),
+//!     horizon: SimTime::from_hours(1),
+//!     ..SynthConfig::small_test()
+//! }
+//! .generate_direct(7);
+//! let mut sim = ClusterSim::new(config, trace).unwrap();
+//!
+//! // ...attack its weakest rack with a dense CPU-intensive power virus...
+//! let victim = sim.most_vulnerable_rack();
+//! let scenario = AttackScenario::new(AttackStyle::Dense, VirusClass::CpuIntensive, 2);
+//! sim.set_attack(scenario, victim, SimTime::from_secs(30));
+//!
+//! // ...and measure how long the cluster survives.
+//! let report = sim.run(SimTime::from_mins(5), SimDuration::from_millis(100), true);
+//! println!("survived {:?}", report.survival_or_horizon());
+//! ```
+//!
+//! ## Crate map
+//!
+//! * [`policy`] — the three-level hierarchical security policy (Fig. 9);
+//! * [`vdeb`] — Algorithm 1, the SOC-proportional pooled-discharge plan;
+//! * [`udeb`] — the ORing super-capacitor spike shaver and its cost model;
+//! * [`shedding`] — Level-3 emergency load shedding (≤3% of servers);
+//! * [`migration`] — the Level-3 alternative: move load off vulnerable racks;
+//! * [`schemes`] — the six evaluated schemes of Table III;
+//! * [`sim`] — the trace-driven cluster simulator (Fig. 11-B);
+//! * [`metrics`] — survival time, effective attacks, throughput, SOC maps;
+//! * [`experiments`] — one module per paper table/figure;
+//! * [`report`] — shared text rendering for experiment output.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod experiments;
+pub mod metrics;
+pub mod migration;
+pub mod policy;
+pub mod report;
+pub mod schemes;
+pub mod shedding;
+pub mod sim;
+pub mod udeb;
+pub mod vdeb;
+
+/// Electrical unit newtypes (re-exported from the `battery` crate).
+pub mod units {
+    pub use battery::units::{Amps, Farads, Joules, Volts, WattHours, Watts};
+}
+
+/// Convenient re-exports for typical PAD usage.
+pub mod prelude {
+    pub use crate::metrics::{OverloadEvent, SocHistory, SurvivalReport};
+    pub use crate::migration::{LoadMigrator, MigrationPlan};
+    pub use crate::policy::{PolicyInputs, SecurityLevel, SecurityPolicy, Strictness};
+    pub use crate::schemes::Scheme;
+    pub use crate::sim::{ClusterSim, SimConfig};
+    pub use crate::udeb::MicroDeb;
+    pub use crate::units::Watts;
+    pub use crate::vdeb::{plan_discharge, VdebController};
+    pub use attack::scenario::{AttackScenario, AttackStyle};
+    pub use attack::virus::VirusClass;
+    pub use powerinfra::topology::RackId;
+}
+
+pub use metrics::{OverloadEvent, SocHistory, SurvivalReport};
+pub use policy::{SecurityLevel, SecurityPolicy, Strictness};
+pub use schemes::Scheme;
+pub use sim::{ClusterSim, SimConfig};
+pub use udeb::MicroDeb;
+pub use vdeb::{plan_discharge, VdebController};

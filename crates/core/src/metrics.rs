@@ -1,0 +1,256 @@
+//! Metrics the evaluation section reports.
+//!
+//! * **Survival time** — "from the beginning of the attack to the time
+//!   the first overload happens" (§VI.B, Figure 15);
+//! * **Effective attacks** — power draw excursions beyond the tolerated
+//!   limit (§III.B, Figure 8);
+//! * **Throughput** — total delivered work during the attack period,
+//!   normalized to a no-attack run (Figure 16);
+//! * **SOC history** — the rack-by-time battery map of Figures 5/13/14.
+
+use battery::units::Watts;
+use powerinfra::topology::RackId;
+use simkit::series::TimeSeries;
+use simkit::time::{SimDuration, SimTime};
+
+/// One overload excursion: draw exceeded the tolerated limit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverloadEvent {
+    /// When the excursion was observed.
+    pub time: SimTime,
+    /// The overloaded rack, or `None` for a cluster-feed overload.
+    pub rack: Option<RackId>,
+    /// The observed draw.
+    pub draw: Watts,
+    /// The limit in force (including overshoot tolerance).
+    pub limit: Watts,
+}
+
+impl OverloadEvent {
+    /// Overload ratio (draw / limit), ≥ 1 by construction.
+    pub fn ratio(&self) -> f64 {
+        self.draw / self.limit
+    }
+}
+
+/// Outcome of a survival run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurvivalReport {
+    /// When the attack began.
+    pub attack_start: SimTime,
+    /// All overload excursions, in time order.
+    pub overloads: Vec<OverloadEvent>,
+    /// When the run ended (overload, horizon, or trip).
+    pub ended_at: SimTime,
+    /// Breaker trips observed (rack or cluster).
+    pub breaker_trips: u32,
+    /// Delivered work during the run (normalized units × seconds).
+    pub delivered_work: f64,
+    /// Work an unattacked, uncapped cluster would have delivered.
+    pub offered_work: f64,
+}
+
+impl SurvivalReport {
+    /// Survival time: attack start → first overload. `None` if the system
+    /// outlived the experiment horizon.
+    pub fn survival(&self) -> Option<SimDuration> {
+        self.overloads
+            .first()
+            .map(|e| e.time.saturating_since(self.attack_start))
+    }
+
+    /// Survival, with the horizon standing in when no overload occurred
+    /// (for averaging across scenarios, as the paper's bars do).
+    pub fn survival_or_horizon(&self) -> SimDuration {
+        self.survival()
+            .unwrap_or_else(|| self.ended_at.saturating_since(self.attack_start))
+    }
+
+    /// Throughput normalized to the offered load (1.0 = no degradation).
+    pub fn normalized_throughput(&self) -> f64 {
+        if self.offered_work <= 0.0 {
+            1.0
+        } else {
+            (self.delivered_work / self.offered_work).min(1.0)
+        }
+    }
+
+    /// Number of overload excursions (Figure 8's "effective attacks").
+    pub fn effective_attacks(&self) -> usize {
+        self.overloads.len()
+    }
+}
+
+/// Rack-by-time SOC history (the raw material of Figures 5, 13, 14).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SocHistory {
+    times: Vec<SimTime>,
+    /// One row per sample; each row holds per-rack SOC.
+    rows: Vec<Vec<f64>>,
+}
+
+impl SocHistory {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        SocHistory::default()
+    }
+
+    /// Appends one sample of all racks' SOC.
+    pub fn push(&mut self, time: SimTime, socs: Vec<f64>) {
+        if let Some(first) = self.rows.first() {
+            assert_eq!(first.len(), socs.len(), "rack count changed mid-history");
+        }
+        self.times.push(time);
+        self.rows.push(socs);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of racks covered.
+    pub fn racks(&self) -> usize {
+        self.rows.first().map_or(0, Vec::len)
+    }
+
+    /// One rack's SOC trajectory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the history is empty or `rack` is out of range.
+    pub fn rack_series(&self, rack: usize) -> TimeSeries {
+        assert!(!self.rows.is_empty(), "history is empty");
+        let step = if self.times.len() >= 2 {
+            self.times[1].saturating_since(self.times[0])
+        } else {
+            SimDuration::SECOND
+        };
+        TimeSeries::new(
+            self.times[0],
+            step.max(SimDuration::MILLISECOND),
+            self.rows.iter().map(|r| r[rack]).collect(),
+        )
+    }
+
+    /// Cross-rack SOC standard deviation over time — Figure 5's series.
+    pub fn std_dev_series(&self) -> TimeSeries {
+        let group: Vec<TimeSeries> = (0..self.racks()).map(|r| self.rack_series(r)).collect();
+        TimeSeries::cross_sectional_std_dev(&group)
+    }
+
+    /// Fraction of samples in which at least one rack was vulnerable
+    /// (below `threshold` SOC).
+    pub fn vulnerability_exposure(&self, threshold: f64) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        let bad = self
+            .rows
+            .iter()
+            .filter(|row| row.iter().any(|&s| s < threshold))
+            .count();
+        bad as f64 / self.rows.len() as f64
+    }
+
+    /// The per-rack rows (for heatmap rendering).
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+
+    /// Sample times.
+    pub fn times(&self) -> &[SimTime] {
+        &self.times
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(secs: u64) -> OverloadEvent {
+        OverloadEvent {
+            time: SimTime::from_secs(secs),
+            rack: Some(RackId(0)),
+            draw: Watts(4400.0),
+            limit: Watts(4000.0),
+        }
+    }
+
+    fn report(overloads: Vec<OverloadEvent>) -> SurvivalReport {
+        SurvivalReport {
+            attack_start: SimTime::from_secs(100),
+            overloads,
+            ended_at: SimTime::from_secs(2000),
+            breaker_trips: 0,
+            delivered_work: 90.0,
+            offered_work: 100.0,
+        }
+    }
+
+    #[test]
+    fn survival_measures_first_overload() {
+        let r = report(vec![event(400), event(500)]);
+        assert_eq!(r.survival(), Some(SimDuration::from_secs(300)));
+        assert_eq!(r.effective_attacks(), 2);
+    }
+
+    #[test]
+    fn no_overload_means_horizon_survival() {
+        let r = report(vec![]);
+        assert_eq!(r.survival(), None);
+        assert_eq!(r.survival_or_horizon(), SimDuration::from_secs(1900));
+    }
+
+    #[test]
+    fn throughput_normalization() {
+        let r = report(vec![]);
+        assert!((r.normalized_throughput() - 0.9).abs() < 1e-12);
+        let zero = SurvivalReport {
+            offered_work: 0.0,
+            ..report(vec![])
+        };
+        assert_eq!(zero.normalized_throughput(), 1.0);
+    }
+
+    #[test]
+    fn overload_ratio() {
+        assert!((event(1).ratio() - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn soc_history_series_and_stddev() {
+        let mut h = SocHistory::new();
+        h.push(SimTime::ZERO, vec![1.0, 0.0]);
+        h.push(SimTime::from_mins(5), vec![0.8, 0.2]);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.racks(), 2);
+        assert_eq!(h.rack_series(0).values(), &[1.0, 0.8]);
+        let sd = h.std_dev_series();
+        assert!((sd.values()[0] - 0.5).abs() < 1e-12);
+        assert!((sd.values()[1] - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vulnerability_exposure_counts_bad_samples() {
+        let mut h = SocHistory::new();
+        h.push(SimTime::ZERO, vec![0.9, 0.9]);
+        h.push(SimTime::from_mins(5), vec![0.9, 0.05]);
+        h.push(SimTime::from_mins(10), vec![0.9, 0.9]);
+        assert!((h.vulnerability_exposure(0.1) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(SocHistory::new().vulnerability_exposure(0.1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rack count changed")]
+    fn history_rejects_ragged_rows() {
+        let mut h = SocHistory::new();
+        h.push(SimTime::ZERO, vec![1.0]);
+        h.push(SimTime::from_mins(5), vec![1.0, 0.5]);
+    }
+}

@@ -1,0 +1,291 @@
+//! Emergency load migration (the Level-3 alternative to shedding).
+//!
+//! "This can cause the data center to shed loads, i.e., put some servers
+//! into sleeping/hibernating states **or trigger load migration from
+//! vulnerable racks to dependable racks**." (§IV.A)
+//!
+//! Where shedding sacrifices throughput, migration moves utilization from
+//! the racks whose batteries are exhausted to racks with budget headroom:
+//! total work is conserved, at the cost of more coordination. The planner
+//! mirrors [`crate::shedding::LoadShedder`]'s interface so the simulator
+//! can swap one for the other (the `EmergencyAction` config knob).
+
+use battery::units::Watts;
+use powerinfra::server::ServerSpec;
+
+/// A migration plan: per-rack, per-server utilization deltas.
+///
+/// Negative entries are donors (vulnerable racks giving load away);
+/// positive entries are recipients. The deltas apply uniformly to every
+/// server in the rack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationPlan {
+    /// Per-rack per-server utilization delta.
+    pub deltas: Vec<f64>,
+    /// Power moved off the donor racks.
+    pub moved: Watts,
+}
+
+impl MigrationPlan {
+    /// An empty (no-op) plan over `racks` racks.
+    pub fn none(racks: usize) -> Self {
+        MigrationPlan {
+            deltas: vec![0.0; racks],
+            moved: Watts::ZERO,
+        }
+    }
+
+    /// `true` if the plan moves nothing.
+    pub fn is_noop(&self) -> bool {
+        self.moved.0 <= 0.0
+    }
+
+    /// Net utilization imbalance (should be ~0: migration conserves work).
+    pub fn imbalance(&self, servers_per_rack: usize) -> f64 {
+        self.deltas.iter().sum::<f64>() * servers_per_rack as f64
+    }
+}
+
+/// The Level-3 migration planner.
+///
+/// # Example
+///
+/// ```
+/// use pad::migration::LoadMigrator;
+/// use pad::units::Watts;
+/// use powerinfra::server::ServerSpec;
+///
+/// let migrator = LoadMigrator::new(0.5, ServerSpec::hp_proliant_dl585_g5());
+/// // Rack 0 is exhausted and hot; rack 1 has charge and headroom.
+/// let plan = migrator.plan(
+///     Watts(400.0),
+///     &[0.05, 0.9],
+///     &[0.6, 0.3],
+///     &[Watts(0.0), Watts(800.0)],
+///     10,
+/// );
+/// assert!(plan.deltas[0] < 0.0, "vulnerable rack donates load");
+/// assert!(plan.deltas[1] > 0.0, "healthy rack receives it");
+/// assert!(plan.imbalance(10).abs() < 1e-9, "work is conserved");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadMigrator {
+    /// Largest fraction of a donor rack's utilization that may move.
+    max_donor_fraction: f64,
+    spec: ServerSpec,
+}
+
+/// Recipients keep a safety margin under their budget headroom.
+const RECIPIENT_HEADROOM_USE: f64 = 0.8;
+/// Recipients never run servers above this utilization.
+const RECIPIENT_UTIL_CEILING: f64 = 0.95;
+
+impl LoadMigrator {
+    /// Creates a planner.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < max_donor_fraction <= 1`.
+    pub fn new(max_donor_fraction: f64, spec: ServerSpec) -> Self {
+        assert!(
+            max_donor_fraction > 0.0 && max_donor_fraction <= 1.0,
+            "donor fraction must be in (0,1], got {max_donor_fraction}"
+        );
+        LoadMigrator {
+            max_donor_fraction,
+            spec,
+        }
+    }
+
+    /// The configured donor cap.
+    pub fn max_donor_fraction(&self) -> f64 {
+        self.max_donor_fraction
+    }
+
+    /// Plans migration to relieve `shortfall` watts:
+    ///
+    /// * `socs` — per-rack battery SOC (lowest donate first);
+    /// * `utilizations` — per-rack mean server utilization;
+    /// * `headrooms` — per-rack budget headroom (only racks with positive
+    ///   headroom receive load);
+    /// * `servers_per_rack` — rack size.
+    ///
+    /// The returned plan conserves total utilization exactly; if
+    /// recipients cannot absorb everything the donors could give, less
+    /// is moved (and vice versa).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the per-rack slices disagree in length.
+    pub fn plan(
+        &self,
+        shortfall: Watts,
+        socs: &[f64],
+        utilizations: &[f64],
+        headrooms: &[Watts],
+        servers_per_rack: usize,
+    ) -> MigrationPlan {
+        assert_eq!(socs.len(), utilizations.len(), "per-rack inputs must align");
+        assert_eq!(socs.len(), headrooms.len(), "per-rack inputs must align");
+        let racks = socs.len();
+        let mut plan = MigrationPlan::none(racks);
+        if shortfall.0 <= 0.0 || racks < 2 || servers_per_rack == 0 {
+            return plan;
+        }
+        let per_server_watt = self.spec.dynamic_range().0;
+        let rack_watt = per_server_watt * servers_per_rack as f64;
+
+        // Donor capacity: vulnerable racks first, each bounded by the
+        // configured fraction of its present utilization.
+        let mut donors: Vec<usize> = (0..racks).collect();
+        donors.sort_by(|&a, &b| socs[a].partial_cmp(&socs[b]).expect("finite SOC"));
+        // Recipient capacity: most headroom first, bounded by both the
+        // budget headroom and the utilization ceiling.
+        let mut recipients: Vec<usize> = (0..racks).collect();
+        recipients.sort_by(|&a, &b| headrooms[b].partial_cmp(&headrooms[a]).expect("finite"));
+
+        let recipient_room = |r: usize| -> f64 {
+            let by_budget = (headrooms[r].0 * RECIPIENT_HEADROOM_USE / rack_watt).max(0.0);
+            let by_util = (RECIPIENT_UTIL_CEILING - utilizations[r]).max(0.0);
+            by_budget.min(by_util)
+        };
+
+        let mut remaining_u = shortfall.0 / rack_watt; // utilization units
+        let mut recv_iter = recipients
+            .into_iter()
+            .filter(|&r| recipient_room(r) > 1e-6)
+            .collect::<Vec<_>>()
+            .into_iter();
+        let mut current_recv = recv_iter.next();
+        let mut current_room = current_recv.map(&recipient_room).unwrap_or(0.0);
+
+        for &donor in &donors {
+            if remaining_u <= 1e-9 {
+                break;
+            }
+            let mut donate = (utilizations[donor] * self.max_donor_fraction).min(remaining_u);
+            while donate > 1e-9 {
+                let Some(recv) = current_recv else { break };
+                if recv == donor {
+                    current_recv = recv_iter.next();
+                    current_room = current_recv.map(&recipient_room).unwrap_or(0.0);
+                    continue;
+                }
+                let take = donate.min(current_room);
+                if take <= 1e-9 {
+                    current_recv = recv_iter.next();
+                    current_room = current_recv.map(&recipient_room).unwrap_or(0.0);
+                    continue;
+                }
+                plan.deltas[donor] -= take;
+                plan.deltas[recv] += take;
+                plan.moved += Watts(take * rack_watt);
+                donate -= take;
+                remaining_u -= take;
+                current_room -= take;
+            }
+            if current_recv.is_none() {
+                break;
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn migrator() -> LoadMigrator {
+        LoadMigrator::new(0.5, ServerSpec::hp_proliant_dl585_g5())
+    }
+
+    #[test]
+    fn no_shortfall_is_noop() {
+        let plan = migrator().plan(
+            Watts(0.0),
+            &[0.1, 0.9],
+            &[0.5, 0.3],
+            &[Watts(0.0), Watts(500.0)],
+            10,
+        );
+        assert!(plan.is_noop());
+    }
+
+    #[test]
+    fn conserves_work_exactly() {
+        let plan = migrator().plan(
+            Watts(600.0),
+            &[0.05, 0.2, 0.9, 0.95],
+            &[0.7, 0.6, 0.3, 0.2],
+            &[Watts(0.0), Watts(50.0), Watts(900.0), Watts(700.0)],
+            10,
+        );
+        assert!(!plan.is_noop());
+        assert!(plan.imbalance(10).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lowest_soc_rack_donates_first() {
+        let plan = migrator().plan(
+            Watts(300.0),
+            &[0.9, 0.02, 0.8],
+            &[0.5, 0.5, 0.2],
+            &[Watts(200.0), Watts(0.0), Watts(1_000.0)],
+            10,
+        );
+        assert!(plan.deltas[1] < 0.0, "vulnerable rack must donate: {plan:?}");
+        assert!(plan.deltas[2] > 0.0, "headroom rack must receive: {plan:?}");
+    }
+
+    #[test]
+    fn donor_cap_limits_movement() {
+        // Donor has u=0.4, cap 50% ⇒ at most 0.2 u leaves, whatever the
+        // shortfall.
+        let plan = migrator().plan(
+            Watts(50_000.0),
+            &[0.01, 0.9],
+            &[0.4, 0.1],
+            &[Watts(0.0), Watts(100_000.0)],
+            10,
+        );
+        assert!(plan.deltas[0] >= -0.2 - 1e-9, "donated too much: {plan:?}");
+    }
+
+    #[test]
+    fn recipient_utilization_ceiling_respected() {
+        let plan = migrator().plan(
+            Watts(5_000.0),
+            &[0.01, 0.9],
+            &[0.8, 0.9],
+            &[Watts(0.0), Watts(100_000.0)],
+            10,
+        );
+        // Recipient at 0.9 can only absorb 0.05 before the 0.95 ceiling.
+        assert!(plan.deltas[1] <= 0.05 + 1e-9, "{plan:?}");
+    }
+
+    #[test]
+    fn no_recipients_means_noop() {
+        let plan = migrator().plan(
+            Watts(500.0),
+            &[0.01, 0.02],
+            &[0.5, 0.5],
+            &[Watts(0.0), Watts(0.0)],
+            10,
+        );
+        assert!(plan.is_noop());
+    }
+
+    #[test]
+    fn single_rack_cannot_migrate() {
+        let plan = migrator().plan(Watts(500.0), &[0.01], &[0.5], &[Watts(500.0)], 10);
+        assert!(plan.is_noop());
+    }
+
+    #[test]
+    #[should_panic(expected = "donor fraction")]
+    fn invalid_fraction_rejected() {
+        LoadMigrator::new(0.0, ServerSpec::hp_proliant_dl585_g5());
+    }
+}

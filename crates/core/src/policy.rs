@@ -1,0 +1,301 @@
+//! PAD's hierarchical security policy (Figure 9).
+//!
+//! "PAD adopts a hierarchical model, where power management strategies are
+//! classified into different levels of emergency states. We have defined
+//! three levels: Normal (Level 1), Minor Incident (Level 2), and Emergency
+//! (Level 3). There are three inputs that affect the state: vDEB, µDEB,
+//! and VP that indicates if a visible peak is identified." (§IV.A)
+//!
+//! The initial-state truth table and the transition arrows are implemented
+//! exactly as Figure 9 draws them.
+
+/// PAD emergency level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SecurityLevel {
+    /// Normal operation: shave visible peaks with vDEB.
+    Normal,
+    /// Minor incident: shave hidden spikes with µDEB, collect load info.
+    MinorIncident,
+    /// Emergency: load shedding / migration.
+    Emergency,
+}
+
+impl SecurityLevel {
+    /// Numeric level (1–3) as the paper labels them.
+    pub fn number(self) -> u8 {
+        match self {
+            SecurityLevel::Normal => 1,
+            SecurityLevel::MinorIncident => 2,
+            SecurityLevel::Emergency => 3,
+        }
+    }
+
+    /// Display label matching Figure 9.
+    pub fn label(self) -> &'static str {
+        match self {
+            SecurityLevel::Normal => "Level 1 - Normal",
+            SecurityLevel::MinorIncident => "Level 2 - Minor Incident",
+            SecurityLevel::Emergency => "Level 3 - Emergency",
+        }
+    }
+}
+
+impl std::fmt::Display for SecurityLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How the organization resolves the two unstable input combinations
+/// (`vDEB > 0, µDEB == 0`), for which Figure 9 leaves the initial level as
+/// "(L1/L2)" — "depending on the level of security requirement of the
+/// organization".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strictness {
+    /// Treat an empty µDEB as Level 1 (the vDEB can recharge it).
+    Lenient,
+    /// Treat an empty µDEB as Level 2 (assume hidden spikes are coming).
+    #[default]
+    Strict,
+}
+
+/// Boolean-ish sensor inputs of Figure 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolicyInputs {
+    /// Virtual DEB pool has usable energy.
+    pub vdeb_available: bool,
+    /// µDEB super-capacitors have usable energy.
+    pub udeb_available: bool,
+    /// A visible peak is currently identified.
+    pub visible_peak: bool,
+}
+
+/// The PAD policy state machine.
+///
+/// # Example
+///
+/// ```
+/// use pad::policy::{PolicyInputs, SecurityLevel, SecurityPolicy, Strictness};
+///
+/// let mut policy = SecurityPolicy::new(Strictness::Strict);
+/// let level = policy.update(PolicyInputs {
+///     vdeb_available: true,
+///     udeb_available: true,
+///     visible_peak: true,
+/// });
+/// assert_eq!(level, SecurityLevel::Normal);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SecurityPolicy {
+    strictness: Strictness,
+    level: SecurityLevel,
+    transitions: u64,
+}
+
+impl SecurityPolicy {
+    /// Creates a policy starting at Level 1.
+    pub fn new(strictness: Strictness) -> Self {
+        SecurityPolicy {
+            strictness,
+            level: SecurityLevel::Normal,
+            transitions: 0,
+        }
+    }
+
+    /// The configured strictness.
+    pub fn strictness(&self) -> Strictness {
+        self.strictness
+    }
+
+    /// The current level.
+    pub fn level(&self) -> SecurityLevel {
+        self.level
+    }
+
+    /// How many level changes have occurred.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Figure 9's initial-state truth table.
+    pub fn initial_level(strictness: Strictness, inputs: PolicyInputs) -> SecurityLevel {
+        match (
+            inputs.vdeb_available,
+            inputs.udeb_available,
+            inputs.visible_peak,
+        ) {
+            (false, false, _) => SecurityLevel::Emergency,
+            (false, true, false) => SecurityLevel::MinorIncident,
+            (false, true, true) => SecurityLevel::Emergency,
+            (true, false, _) => match strictness {
+                Strictness::Lenient => SecurityLevel::Normal,
+                Strictness::Strict => SecurityLevel::MinorIncident,
+            },
+            (true, true, _) => SecurityLevel::Normal,
+        }
+    }
+
+    /// Applies Figure 9's transition arrows to the current level:
+    ///
+    /// * L1 → L2 when the vDEB pool empties;
+    /// * L2 → L3 when the µDEB also empties;
+    /// * L2 → L1 when the vDEB is recharged;
+    /// * L3 → L2 when the µDEB is recharged.
+    ///
+    /// Returns the (possibly unchanged) level.
+    pub fn update(&mut self, inputs: PolicyInputs) -> SecurityLevel {
+        let next = match self.level {
+            SecurityLevel::Normal => {
+                if !inputs.vdeb_available {
+                    SecurityLevel::MinorIncident
+                } else {
+                    SecurityLevel::Normal
+                }
+            }
+            SecurityLevel::MinorIncident => {
+                if !inputs.udeb_available && !inputs.vdeb_available {
+                    SecurityLevel::Emergency
+                } else if inputs.vdeb_available {
+                    // vDEB recharged: back to normal.
+                    SecurityLevel::Normal
+                } else {
+                    SecurityLevel::MinorIncident
+                }
+            }
+            SecurityLevel::Emergency => {
+                if inputs.udeb_available || inputs.vdeb_available {
+                    // µDEB (or the pool that recharges it) is back.
+                    SecurityLevel::MinorIncident
+                } else {
+                    SecurityLevel::Emergency
+                }
+            }
+        };
+        if next != self.level {
+            self.transitions += 1;
+            self.level = next;
+        }
+        self.level
+    }
+
+    /// Resets to the Figure-9 initial state for the given inputs.
+    pub fn reset(&mut self, inputs: PolicyInputs) {
+        self.level = Self::initial_level(self.strictness, inputs);
+        self.transitions = 0;
+    }
+}
+
+impl Default for SecurityPolicy {
+    fn default() -> Self {
+        SecurityPolicy::new(Strictness::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(v: bool, u: bool, p: bool) -> PolicyInputs {
+        PolicyInputs {
+            vdeb_available: v,
+            udeb_available: u,
+            visible_peak: p,
+        }
+    }
+
+    #[test]
+    fn figure9_truth_table_strict() {
+        use SecurityLevel::*;
+        let cases = [
+            (inputs(false, false, false), Emergency),
+            (inputs(false, false, true), Emergency),
+            (inputs(false, true, false), MinorIncident),
+            (inputs(false, true, true), Emergency),
+            (inputs(true, false, false), MinorIncident),
+            (inputs(true, false, true), MinorIncident),
+            (inputs(true, true, false), Normal),
+            (inputs(true, true, true), Normal),
+        ];
+        for (i, expected) in cases {
+            assert_eq!(
+                SecurityPolicy::initial_level(Strictness::Strict, i),
+                expected,
+                "inputs {i:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unstable_states_depend_on_strictness() {
+        let i = inputs(true, false, true);
+        assert_eq!(
+            SecurityPolicy::initial_level(Strictness::Lenient, i),
+            SecurityLevel::Normal
+        );
+        assert_eq!(
+            SecurityPolicy::initial_level(Strictness::Strict, i),
+            SecurityLevel::MinorIncident
+        );
+    }
+
+    #[test]
+    fn escalation_path_l1_l2_l3() {
+        let mut p = SecurityPolicy::default();
+        assert_eq!(p.level(), SecurityLevel::Normal);
+        // vDEB empties: L1 → L2.
+        assert_eq!(p.update(inputs(false, true, true)), SecurityLevel::MinorIncident);
+        // µDEB also empties: L2 → L3.
+        assert_eq!(p.update(inputs(false, false, true)), SecurityLevel::Emergency);
+        assert_eq!(p.transitions(), 2);
+    }
+
+    #[test]
+    fn recovery_path_l3_l2_l1() {
+        let mut p = SecurityPolicy::default();
+        p.update(inputs(false, true, false));
+        p.update(inputs(false, false, false));
+        assert_eq!(p.level(), SecurityLevel::Emergency);
+        // µDEB recharged: L3 → L2.
+        assert_eq!(p.update(inputs(false, true, false)), SecurityLevel::MinorIncident);
+        // vDEB recharged: L2 → L1.
+        assert_eq!(p.update(inputs(true, true, false)), SecurityLevel::Normal);
+    }
+
+    #[test]
+    fn stable_inputs_do_not_transition() {
+        let mut p = SecurityPolicy::default();
+        for _ in 0..10 {
+            p.update(inputs(true, true, false));
+        }
+        assert_eq!(p.transitions(), 0);
+    }
+
+    #[test]
+    fn no_level_skipping_on_recovery() {
+        let mut p = SecurityPolicy::default();
+        p.update(inputs(false, true, false));
+        p.update(inputs(false, false, false));
+        assert_eq!(p.level(), SecurityLevel::Emergency);
+        // Everything comes back at once: still must pass through L2.
+        assert_eq!(p.update(inputs(true, true, false)), SecurityLevel::MinorIncident);
+        assert_eq!(p.update(inputs(true, true, false)), SecurityLevel::Normal);
+    }
+
+    #[test]
+    fn reset_applies_initial_table() {
+        let mut p = SecurityPolicy::new(Strictness::Strict);
+        p.update(inputs(false, false, false));
+        p.reset(inputs(true, false, false));
+        assert_eq!(p.level(), SecurityLevel::MinorIncident);
+        assert_eq!(p.transitions(), 0);
+    }
+
+    #[test]
+    fn labels_and_numbers() {
+        assert_eq!(SecurityLevel::Normal.number(), 1);
+        assert_eq!(SecurityLevel::MinorIncident.number(), 2);
+        assert_eq!(SecurityLevel::Emergency.number(), 3);
+        assert!(SecurityLevel::Emergency.to_string().contains("Emergency"));
+        assert!(SecurityLevel::Normal < SecurityLevel::Emergency);
+    }
+}

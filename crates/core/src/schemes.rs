@@ -1,0 +1,119 @@
+//! The six evaluated power-management schemes (Table III).
+//!
+//! | scheme | description (paper wording) |
+//! |---|---|
+//! | `Conv` | "conventional designs that do not discharge batteries dynamically and only use them to handle outage" |
+//! | `Ps`   | "recent peak shaving schemes that use energy backup in each BBU to handle visible power spikes" |
+//! | `Pspc` | "combining PS with power capping mechanism which can decrease processor frequency by 20%" |
+//! | `VDebOnly` | "PS + load sharing mechanism that can eliminate vulnerable racks" |
+//! | `UDebOnly` | "PS + micro energy backup devices that can handle the rack-level power spikes" |
+//! | `Pad`  | "our power management patch for securing data center from both visible and hidden power attack" |
+//!
+//! Every scheme additionally has the last-resort iPDU enforcement the
+//! paper describes in Figure 6 ("once the peak-shaving DEB runs out, data
+//! center servers have to use performance scaling (DVFS) to cap power
+//! demand") — latency-bound capping that contains *sustained* violations
+//! but never sub-second spikes.
+
+/// A power-management scheme under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Conventional: batteries reserved for outages.
+    Conv,
+    /// Peak shaving with per-rack batteries.
+    Ps,
+    /// Peak shaving + proactive 20% frequency capping.
+    Pspc,
+    /// Peak shaving + vDEB load sharing.
+    VDebOnly,
+    /// Peak shaving + µDEB spike shaving.
+    UDebOnly,
+    /// The full PAD patch: vDEB + µDEB + hierarchical policy.
+    Pad,
+}
+
+impl Scheme {
+    /// All schemes in the paper's presentation order.
+    pub const ALL: [Scheme; 6] = [
+        Scheme::Conv,
+        Scheme::Ps,
+        Scheme::Pspc,
+        Scheme::UDebOnly,
+        Scheme::VDebOnly,
+        Scheme::Pad,
+    ];
+
+    /// Display label matching Table III / Figure 15.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::Conv => "Conv",
+            Scheme::Ps => "PS",
+            Scheme::Pspc => "PSPC",
+            Scheme::VDebOnly => "vDEB",
+            Scheme::UDebOnly => "uDEB",
+            Scheme::Pad => "PAD",
+        }
+    }
+
+    /// Whether batteries discharge dynamically for peak shaving.
+    pub fn shaves_peaks(self) -> bool {
+        !matches!(self, Scheme::Conv)
+    }
+
+    /// Whether the scheme proactively reduces frequency by 20% during a
+    /// suspected attack period (PSPC).
+    pub fn proactive_capping(self) -> bool {
+        matches!(self, Scheme::Pspc)
+    }
+
+    /// Whether racks carry µDEB super-capacitors.
+    pub fn has_udeb(self) -> bool {
+        matches!(self, Scheme::UDebOnly | Scheme::Pad)
+    }
+
+    /// Whether batteries are pooled and balanced by the vDEB controller.
+    pub fn has_vdeb(self) -> bool {
+        matches!(self, Scheme::VDebOnly | Scheme::Pad)
+    }
+
+    /// Whether the hierarchical policy may shed load at Level 3.
+    pub fn has_shedding(self) -> bool {
+        matches!(self, Scheme::Pad)
+    }
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_distinct_schemes() {
+        let labels: std::collections::HashSet<&str> =
+            Scheme::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), 6);
+    }
+
+    #[test]
+    fn capability_matrix_matches_table_iii() {
+        assert!(!Scheme::Conv.shaves_peaks());
+        assert!(Scheme::Ps.shaves_peaks());
+        assert!(Scheme::Pspc.proactive_capping());
+        assert!(!Scheme::Ps.proactive_capping());
+        assert!(Scheme::UDebOnly.has_udeb() && !Scheme::UDebOnly.has_vdeb());
+        assert!(Scheme::VDebOnly.has_vdeb() && !Scheme::VDebOnly.has_udeb());
+        assert!(Scheme::Pad.has_udeb() && Scheme::Pad.has_vdeb() && Scheme::Pad.has_shedding());
+        assert!(!Scheme::VDebOnly.has_shedding());
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(Scheme::Pad.to_string(), "PAD");
+        assert_eq!(Scheme::UDebOnly.to_string(), "uDEB");
+    }
+}

@@ -1,0 +1,227 @@
+//! Emergency load shedding (Level 3).
+//!
+//! "This can cause the data center to shed loads, i.e., put some servers
+//! into sleeping/hibernating states … by sleeping only a small amount of
+//! servers, one can prevent the majority of data center racks from
+//! power-related attacks" (§IV.A); Figure 14 shows "a load shedding ratio
+//! of about 3% of the entire data center servers is able to achieve an
+//! impressive balanced battery usage map".
+
+use battery::units::Watts;
+use powerinfra::server::ServerSpec;
+
+/// A shedding plan: how many servers to sleep on each rack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SheddingPlan {
+    /// Per-rack sleep counts, same order as the input.
+    pub per_rack: Vec<usize>,
+}
+
+impl SheddingPlan {
+    /// Total servers the plan puts to sleep.
+    pub fn total(&self) -> usize {
+        self.per_rack.iter().sum()
+    }
+
+    /// Shed fraction of a cluster with `total_servers` machines.
+    pub fn ratio(&self, total_servers: usize) -> f64 {
+        if total_servers == 0 {
+            0.0
+        } else {
+            self.total() as f64 / total_servers as f64
+        }
+    }
+}
+
+/// The Level-3 shedding planner.
+///
+/// Given a cluster power shortfall, it sleeps just enough servers —
+/// lowest-SOC (most vulnerable) racks first — to erase the shortfall,
+/// subject to the configured cluster-wide ratio cap.
+///
+/// # Example
+///
+/// ```
+/// use pad::shedding::LoadShedder;
+/// use pad::units::Watts;
+/// use powerinfra::server::ServerSpec;
+///
+/// let shedder = LoadShedder::new(0.03, ServerSpec::hp_proliant_dl585_g5());
+/// // 22 racks × 10 servers; a 1 kW shortfall with rack 3 most vulnerable.
+/// let mut socs = vec![0.8; 22];
+/// socs[3] = 0.05;
+/// let plan = shedder.plan(Watts(1000.0), &socs, 10, &vec![0.5; 22]);
+/// // The vulnerable rack sheds first.
+/// assert!(plan.per_rack[3] > 0);
+/// assert!(plan.ratio(220) <= 0.03 + 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadShedder {
+    max_ratio: f64,
+    spec: ServerSpec,
+}
+
+impl LoadShedder {
+    /// Creates a shedder capped at `max_ratio` of the cluster's servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < max_ratio <= 1`.
+    pub fn new(max_ratio: f64, spec: ServerSpec) -> Self {
+        assert!(
+            max_ratio > 0.0 && max_ratio <= 1.0,
+            "shed ratio must be in (0,1], got {max_ratio}"
+        );
+        LoadShedder { max_ratio, spec }
+    }
+
+    /// The configured ratio cap.
+    pub fn max_ratio(&self) -> f64 {
+        self.max_ratio
+    }
+
+    /// Power released by sleeping one server running at `utilization`
+    /// (active power minus the sleep trickle).
+    pub fn power_per_server(&self, utilization: f64) -> Watts {
+        self.spec.power_at(utilization) - self.spec.idle * 0.05
+    }
+
+    /// Plans shedding to erase `shortfall`:
+    ///
+    /// * `socs` — per-rack battery SOC (vulnerable racks shed first);
+    /// * `servers_per_rack` — rack size;
+    /// * `utilizations` — mean utilization per rack (sets the power
+    ///   released per slept server).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `socs` and `utilizations` lengths differ.
+    pub fn plan(
+        &self,
+        shortfall: Watts,
+        socs: &[f64],
+        servers_per_rack: usize,
+        utilizations: &[f64],
+    ) -> SheddingPlan {
+        assert_eq!(
+            socs.len(),
+            utilizations.len(),
+            "per-rack inputs must align"
+        );
+        let racks = socs.len();
+        let total_servers = racks * servers_per_rack;
+        let budget = ((total_servers as f64) * self.max_ratio).floor() as usize;
+        let mut plan = SheddingPlan {
+            per_rack: vec![0; racks],
+        };
+        if shortfall.0 <= 0.0 || budget == 0 {
+            return plan;
+        }
+
+        // Most vulnerable (lowest SOC) racks shed first — sleeping their
+        // load both removes the shortfall and disrupts the attack there.
+        let mut order: Vec<usize> = (0..racks).collect();
+        order.sort_by(|&a, &b| {
+            socs[a]
+                .partial_cmp(&socs[b])
+                .expect("SOCs are finite")
+                .then(a.cmp(&b))
+        });
+
+        let mut remaining = shortfall;
+        let mut used = 0;
+        'outer: for &rack in &order {
+            let per_server = self.power_per_server(utilizations[rack]);
+            if per_server.0 <= 0.0 {
+                continue;
+            }
+            while plan.per_rack[rack] < servers_per_rack {
+                if remaining.0 <= 0.0 || used >= budget {
+                    break 'outer;
+                }
+                plan.per_rack[rack] += 1;
+                used += 1;
+                remaining -= per_server;
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shedder() -> LoadShedder {
+        LoadShedder::new(0.03, ServerSpec::hp_proliant_dl585_g5())
+    }
+
+    #[test]
+    fn no_shortfall_no_shedding() {
+        let plan = shedder().plan(Watts(0.0), &[0.5; 22], 10, &[0.5; 22]);
+        assert_eq!(plan.total(), 0);
+    }
+
+    #[test]
+    fn sheds_enough_to_cover_shortfall() {
+        let s = shedder();
+        // Each server at 50% releases ~395 W; 1 kW shortfall needs 3.
+        let plan = s.plan(Watts(1000.0), &[0.5; 22], 10, &[0.5; 22]);
+        assert_eq!(plan.total(), 3);
+    }
+
+    #[test]
+    fn respects_cluster_ratio_cap() {
+        let s = shedder();
+        // Gigantic shortfall: capped at 3% of 220 = 6 servers.
+        let plan = s.plan(Watts(1e9), &[0.5; 22], 10, &[0.5; 22]);
+        assert_eq!(plan.total(), 6);
+        assert!(plan.ratio(220) <= 0.03);
+    }
+
+    #[test]
+    fn vulnerable_racks_shed_first() {
+        let mut socs = vec![0.9; 5];
+        socs[2] = 0.1;
+        let plan = shedder().plan(Watts(700.0), &socs, 10, &[0.5; 5]);
+        assert!(plan.per_rack[2] >= 1);
+        assert_eq!(
+            plan.total(),
+            plan.per_rack[2],
+            "only the vulnerable rack should shed for a small shortfall"
+        );
+    }
+
+    #[test]
+    fn overflows_to_next_rack_when_one_is_exhausted() {
+        let socs = vec![0.1, 0.9];
+        // A shortfall bigger than one whole rack can release; use a high
+        // ratio cap (80% of 10 servers) so the cascade is observable.
+        let s = LoadShedder::new(0.8, ServerSpec::hp_proliant_dl585_g5());
+        let plan = s.plan(Watts(3000.0), &socs, 5, &[0.5, 0.5]);
+        assert_eq!(plan.per_rack[0], 5, "first rack fully shed");
+        assert!(plan.per_rack[1] >= 1, "cascade to second rack");
+    }
+
+    #[test]
+    fn ratio_helper() {
+        let plan = SheddingPlan {
+            per_rack: vec![2, 1, 0],
+        };
+        assert_eq!(plan.total(), 3);
+        assert!((plan.ratio(100) - 0.03).abs() < 1e-12);
+        assert_eq!(plan.ratio(0), 0.0);
+    }
+
+    #[test]
+    fn power_per_server_accounts_for_sleep_trickle() {
+        let p = shedder().power_per_server(1.0);
+        assert!((p.0 - (521.0 - 299.0 * 0.05)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "shed ratio")]
+    fn zero_ratio_rejected() {
+        LoadShedder::new(0.0, ServerSpec::hp_proliant_dl585_g5());
+    }
+}

@@ -1,0 +1,276 @@
+//! Micro distributed energy backup (µDEB).
+//!
+//! "We propose to further integrate a dedicated small power backup device
+//! in existing rack power zone … the µDEB must be designed to react to any
+//! voltage surge/sags automatically. To this end, we connect µDEB with the
+//! primary power delivery bus using an ORing controller (a low
+//! forward-voltage FET device)." (§IV.B.2)
+//!
+//! The ORing path means the super-capacitor shaves whatever excess appears
+//! on the bus with **zero software latency** — the property that closes
+//! the 100–300 ms capping gap hidden spikes exploit. Between spikes it
+//! recharges opportunistically from budget headroom.
+
+use battery::model::EnergyStorage;
+use battery::supercap::{SuperCapacitor, SC_COST_USD_PER_WH};
+use battery::units::{Joules, Watts, WattHours};
+use simkit::time::SimDuration;
+
+/// Lead-acid price band ($/Wh) for the Figure-17 cost ratio (supercaps are
+/// 10~30 $/Wh per the paper; lead-acid cabinets are roughly 0.2–0.4 $/Wh).
+pub const LEAD_ACID_COST_USD_PER_WH: f64 = 0.3;
+
+/// A rack-level µDEB unit: super-capacitor bank behind an ORing FET.
+///
+/// The unit is a *spike* shaver, not a peak shaver: "current sharing for
+/// sustained peak shaving can cause thermal issues in µDEB" (§IV.B.2), so
+/// a thermal burst guard cuts the ORing path after 5 s of continuous
+/// discharge and re-arms it only after an equal rest.
+///
+/// # Example
+///
+/// ```
+/// use pad::udeb::MicroDeb;
+/// use pad::units::{Joules, Watts};
+/// use simkit::time::SimDuration;
+///
+/// // A µDEB sized at 5% of a 290 kJ cabinet.
+/// let mut udeb = MicroDeb::sized_fraction(Joules(290_000.0), 0.05, Watts(6000.0));
+/// // A 700 W spike excess for 2 s: shaved instantly, no software involved.
+/// let shaved = udeb.shave(Watts(700.0), SimDuration::from_secs(2));
+/// assert_eq!(shaved, Watts(700.0));
+/// assert!(udeb.soc() < 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MicroDeb {
+    bank: SuperCapacitor,
+    /// Recharge draw cap, so recharging never becomes its own power peak.
+    recharge_rate: Watts,
+    /// Lifetime energy shaved (for the effectiveness reports).
+    shaved_total: Joules,
+    /// Number of shave events served.
+    shave_events: u64,
+    /// Continuous-discharge stopwatch for the thermal burst guard.
+    burst_secs: f64,
+    /// Rest accumulated since the guard tripped.
+    rest_secs: f64,
+    /// Whether the burst guard has cut the ORing path.
+    guard_open: bool,
+}
+
+impl MicroDeb {
+    /// Creates a µDEB around an explicit super-capacitor bank.
+    pub fn new(bank: SuperCapacitor, recharge_rate: Watts) -> Self {
+        assert!(recharge_rate.0 > 0.0, "recharge rate must be positive");
+        MicroDeb {
+            bank,
+            recharge_rate,
+            shaved_total: Joules::ZERO,
+            shave_events: 0,
+            burst_secs: 0.0,
+            rest_secs: 0.0,
+            guard_open: false,
+        }
+    }
+
+    /// Sizes the bank as a fraction of the rack cabinet's capacity — the
+    /// Figure 17 sweep knob ("keep the cost of µDEB below certain
+    /// percentage of vDEB by limiting the installed capacity").
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fraction <= 1`.
+    pub fn sized_fraction(cabinet_capacity: Joules, fraction: f64, max_power: Watts) -> Self {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "capacity fraction must be in (0,1], got {fraction}"
+        );
+        let usable = cabinet_capacity * fraction;
+        let bank = SuperCapacitor::with_usable_energy(usable, max_power);
+        // Recharge within ~20 s from empty, but never faster than 10% of
+        // the spike power rating.
+        let recharge = (usable / SimDuration::from_secs(20)).max(max_power * 0.02);
+        MicroDeb::new(bank, recharge)
+    }
+
+    /// The super-capacitor bank.
+    pub fn bank(&self) -> &SuperCapacitor {
+        &self.bank
+    }
+
+    /// State of charge of the bank.
+    pub fn soc(&self) -> f64 {
+        self.bank.soc()
+    }
+
+    /// `true` while the bank can still shave (the policy FSM's `µDEB > 0`
+    /// input).
+    pub fn available(&self) -> bool {
+        self.bank.soc() > 0.02
+    }
+
+    /// Total energy shaved so far.
+    pub fn shaved_total(&self) -> Joules {
+        self.shaved_total
+    }
+
+    /// Number of non-zero shave events served.
+    pub fn shave_events(&self) -> u64 {
+        self.shave_events
+    }
+
+    /// Maximum continuous discharge before the thermal guard opens.
+    const MAX_BURST_SECS: f64 = 5.0;
+
+    /// ORing-path shave: absorbs up to `excess` for `dt`, automatically.
+    /// Returns the power actually shaved.
+    ///
+    /// Sustained draws trip the thermal burst guard: after 5 s of
+    /// continuous discharge the path opens and only re-arms after an
+    /// equal rest, so the bank's energy is preserved for the hidden
+    /// spikes it exists to absorb.
+    pub fn shave(&mut self, excess: Watts, dt: SimDuration) -> Watts {
+        if excess.0 <= 0.0 || dt.is_zero() {
+            self.note_rest(dt);
+            return Watts::ZERO;
+        }
+        if self.guard_open {
+            self.note_rest(dt);
+            return Watts::ZERO;
+        }
+        self.burst_secs += dt.as_secs_f64();
+        self.rest_secs = 0.0;
+        if self.burst_secs > Self::MAX_BURST_SECS {
+            self.guard_open = true;
+            return Watts::ZERO;
+        }
+        let shaved = self.bank.discharge(excess, dt);
+        if shaved.0 > 0.0 {
+            self.shaved_total += shaved * dt;
+            self.shave_events += 1;
+        }
+        shaved
+    }
+
+    fn note_rest(&mut self, dt: SimDuration) {
+        self.rest_secs += dt.as_secs_f64();
+        if self.rest_secs >= Self::MAX_BURST_SECS {
+            self.burst_secs = 0.0;
+            self.guard_open = false;
+        }
+    }
+
+    /// Whether the thermal burst guard currently blocks the ORing path.
+    pub fn guard_open(&self) -> bool {
+        self.guard_open
+    }
+
+    /// Opportunistic recharge from budget `headroom`. Returns the power
+    /// drawn from the grid. Recharging counts as rest for the burst
+    /// guard.
+    pub fn recharge(&mut self, headroom: Watts, dt: SimDuration) -> Watts {
+        self.note_rest(dt);
+        if headroom.0 <= 0.0 || dt.is_zero() {
+            return Watts::ZERO;
+        }
+        self.bank
+            .charge(headroom.min(self.recharge_rate), dt)
+    }
+
+    /// Purchase cost of this unit at the paper's super-capacitor price
+    /// band.
+    pub fn cost_usd(&self) -> f64 {
+        self.bank.cost_usd(SC_COST_USD_PER_WH)
+    }
+
+    /// Figure 17's cost ratio: µDEB cost over the cost of the (lead-acid)
+    /// vDEB cabinet it supplements.
+    pub fn cost_ratio_vs_cabinet(&self, cabinet_capacity: Joules) -> f64 {
+        let cabinet_cost = WattHours::from(cabinet_capacity).0 * LEAD_ACID_COST_USD_PER_WH;
+        if cabinet_cost <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.cost_usd() / cabinet_cost
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn udeb(fraction: f64) -> MicroDeb {
+        MicroDeb::sized_fraction(Joules(290_000.0), fraction, Watts(6000.0))
+    }
+
+    #[test]
+    fn sized_fraction_sets_capacity() {
+        let u = udeb(0.05);
+        assert!((u.bank().capacity().0 - 14_500.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn shaves_full_spike_when_charged() {
+        let mut u = udeb(0.05);
+        let got = u.shave(Watts(900.0), SimDuration::from_secs(2));
+        assert_eq!(got, Watts(900.0));
+        assert_eq!(u.shave_events(), 1);
+        assert!((u.shaved_total().0 - 1800.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_bank_shaves_nothing() {
+        let mut u = udeb(0.01);
+        // Drain it.
+        while u.available() {
+            u.shave(Watts(6000.0), SimDuration::from_millis(100));
+        }
+        let got = u.shave(Watts(500.0), SimDuration::from_millis(100));
+        assert!(got.0 < 500.0, "depleted bank cannot shave fully");
+    }
+
+    #[test]
+    fn recharges_between_spikes() {
+        let mut u = udeb(0.01);
+        u.shave(Watts(6000.0), SimDuration::from_millis(400));
+        let before = u.soc();
+        // 8 s gap with 300 W of headroom.
+        u.recharge(Watts(300.0), SimDuration::from_secs(8));
+        assert!(u.soc() > before);
+    }
+
+    #[test]
+    fn recharge_draw_is_capped() {
+        let mut u = udeb(0.05);
+        u.shave(Watts(6000.0), SimDuration::from_secs(1));
+        let drawn = u.recharge(Watts(100_000.0), SimDuration::SECOND);
+        assert!(drawn.0 <= u.recharge_rate.0 + 1e-9, "drew {drawn}");
+    }
+
+    #[test]
+    fn no_recharge_without_headroom() {
+        let mut u = udeb(0.05);
+        u.shave(Watts(6000.0), SimDuration::from_secs(1));
+        assert_eq!(u.recharge(Watts(0.0), SimDuration::SECOND), Watts::ZERO);
+        assert_eq!(u.recharge(Watts(-100.0), SimDuration::SECOND), Watts::ZERO);
+    }
+
+    #[test]
+    fn cost_ratio_scales_linearly_with_fraction() {
+        let small = udeb(0.01).cost_ratio_vs_cabinet(Joules(290_000.0));
+        let large = udeb(0.10).cost_ratio_vs_cabinet(Joules(290_000.0));
+        assert!((large / small - 10.0).abs() < 0.01, "ratio {}", large / small);
+        // Supercaps are ~67× pricier per Wh, so 1% capacity ≈ 67% cost.
+        assert!((small - 0.667).abs() < 0.01, "1% capacity cost ratio {small}");
+    }
+
+    #[test]
+    fn availability_threshold() {
+        let mut u = udeb(0.01);
+        assert!(u.available());
+        while u.soc() > 0.01 {
+            u.shave(Watts(6000.0), SimDuration::from_millis(100));
+        }
+        assert!(!u.available());
+    }
+}

@@ -1,0 +1,324 @@
+//! Virtual distributed energy backup (vDEB) — Algorithm 1.
+//!
+//! "Rather than treating rack-mounted batteries as separated energy backup
+//! systems, PAD creates a virtual energy backup pool termed vDEB and a
+//! vDEB controller for managing it … We assign the discharge rate of each
+//! battery unit based on the available SOC value (Algorithm 1). This
+//! prevents vulnerable batteries from aggressively discharging and allows
+//! for fast balancing … the discharge algorithm should not cause
+//! accelerated aging on battery systems. We have set an upper bound when
+//! assigning the discharge rate (i.e. represented by the ideal discharge
+//! power P_ideal)." (§IV.B.1)
+//!
+//! [`plan_discharge`] implements the two-level load-sharing heuristic:
+//! SOC-proportional water-filling with a per-rack cap. (The paper's
+//! pseudocode decrements `Pshave` by `P_ideal / N` on line 14, which does
+//! not conserve the shave target; we use the exact conservation form —
+//! subtract the power actually assigned — which is what the proportional
+//! allocation on line 17 requires to sum correctly.)
+
+use battery::units::Watts;
+
+/// One rack's share of the pool discharge plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DischargeAssignment {
+    /// Rack index in the input ordering.
+    pub rack: usize,
+    /// Discharge power the controller assigns to this rack's battery.
+    pub power: Watts,
+}
+
+/// Computes the vDEB discharge plan (Algorithm 1) with a protective
+/// reserve: racks at or below `reserve_soc` are excluded from discharge
+/// duty entirely — "this prevents vulnerable batteries from aggressively
+/// discharging" (§IV.B.1). Pass `0.0` to disable the reserve and get the
+/// bare Algorithm 1 allocation.
+///
+/// See [`plan_discharge`] for the allocation rules; the SOC values used
+/// for proportional shares are measured *above* the reserve floor.
+///
+/// # Panics
+///
+/// Panics if `reserve_soc` is outside `[0, 1)` or the inputs are invalid
+/// per [`plan_discharge`].
+pub fn plan_discharge_with_reserve(
+    socs: &[f64],
+    p_shave: Watts,
+    p_ideal: Watts,
+    reserve_soc: f64,
+) -> Vec<DischargeAssignment> {
+    assert!(
+        (0.0..1.0).contains(&reserve_soc),
+        "reserve SOC must be in [0,1), got {reserve_soc}"
+    );
+    let effective: Vec<f64> = socs
+        .iter()
+        .map(|&s| ((s - reserve_soc) / (1.0 - reserve_soc)).max(0.0))
+        .collect();
+    plan_discharge(&effective, p_shave, p_ideal)
+}
+
+/// Computes the vDEB discharge plan (Algorithm 1).
+///
+/// * `socs` — state of charge of each rack battery in `[0, 1]`;
+/// * `p_shave` — total power the pool must shave (`P_total − P_max` in
+///   the paper, already clamped non-negative by the caller's subtraction);
+/// * `p_ideal` — the per-rack discharge cap.
+///
+/// Returns one assignment per rack (same order as `socs`). Racks with zero
+/// SOC are assigned zero. The assignments satisfy:
+///
+/// * `0 ≤ power ≤ p_ideal` for every rack;
+/// * `Σ power = min(p_shave, p_ideal × #racks-with-charge)` (up to float
+///   rounding);
+/// * monotonicity: a rack with higher SOC is never assigned less power.
+///
+/// # Panics
+///
+/// Panics if any SOC is outside `[0, 1]` or `p_ideal` is not positive.
+///
+/// # Example
+///
+/// ```
+/// use pad::vdeb::plan_discharge;
+/// use pad::units::Watts;
+///
+/// // The full rack (SOC 1.0) carries more of the burden than the
+/// // half-empty one; the empty rack is spared entirely.
+/// let plan = plan_discharge(&[1.0, 0.5, 0.0], Watts(300.0), Watts(400.0));
+/// assert!(plan[0].power > plan[1].power);
+/// assert_eq!(plan[2].power, Watts(0.0));
+/// let total: f64 = plan.iter().map(|a| a.power.0).sum();
+/// assert!((total - 300.0).abs() < 1e-9);
+/// ```
+pub fn plan_discharge(socs: &[f64], p_shave: Watts, p_ideal: Watts) -> Vec<DischargeAssignment> {
+    assert!(p_ideal.0 > 0.0, "P_ideal must be positive");
+    for (i, &s) in socs.iter().enumerate() {
+        assert!(
+            (0.0..=1.0).contains(&s),
+            "SOC of rack {i} out of [0,1]: {s}"
+        );
+    }
+    let mut plan: Vec<DischargeAssignment> = socs
+        .iter()
+        .enumerate()
+        .map(|(rack, _)| DischargeAssignment {
+            rack,
+            power: Watts::ZERO,
+        })
+        .collect();
+    let p_shave = p_shave.clamp_non_negative();
+    if p_shave.0 == 0.0 {
+        return plan;
+    }
+
+    // Quicksort rack IDs by SOC, descending (Algorithm 1 line 9–10).
+    let mut order: Vec<usize> = (0..socs.len()).filter(|&i| socs[i] > 0.0).collect();
+    order.sort_by(|&a, &b| {
+        socs[b]
+            .partial_cmp(&socs[a])
+            .expect("SOCs are finite")
+            .then(a.cmp(&b))
+    });
+
+    let mut soc_total: f64 = order.iter().map(|&i| socs[i]).sum();
+    let mut remaining = p_shave;
+    // Water-filling: the highest-SOC racks saturate at P_ideal first
+    // (lines 11–15); the rest share proportionally (lines 16–18).
+    let mut idx = 0;
+    while idx < order.len() && remaining.0 > 0.0 {
+        let rack = order[idx];
+        let share = Watts(socs[rack] / soc_total * remaining.0);
+        if share >= p_ideal {
+            plan[rack].power = p_ideal;
+            remaining -= p_ideal;
+            soc_total -= socs[rack];
+            idx += 1;
+        } else {
+            break;
+        }
+    }
+    // Proportional tail: shares are now all below the cap.
+    if remaining.0 > 0.0 && idx < order.len() {
+        let tail_soc: f64 = order[idx..].iter().map(|&i| socs[i]).sum();
+        for &rack in &order[idx..] {
+            plan[rack].power = Watts(socs[rack] / tail_soc * remaining.0).min(p_ideal);
+        }
+    }
+    plan
+}
+
+/// Tracks pool-level state and provides the balancing view of the vDEB
+/// controller: aggregate SOC, the vulnerable-rack set, and budget-grant
+/// accounting used by the simulator's capacity-sharing step.
+///
+/// # Example
+///
+/// ```
+/// use pad::vdeb::VdebController;
+///
+/// let ctl = VdebController::new(0.25);
+/// assert_eq!(ctl.vulnerable(&[0.9, 0.1, 0.5]), vec![1]);
+/// assert!((ctl.pool_soc(&[1.0, 0.0]) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VdebController {
+    /// SOC below which a rack is considered vulnerable.
+    vulnerable_soc: f64,
+}
+
+impl VdebController {
+    /// Creates a controller with the given vulnerability threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vulnerable_soc` is outside `(0, 1)`.
+    pub fn new(vulnerable_soc: f64) -> Self {
+        assert!(
+            vulnerable_soc > 0.0 && vulnerable_soc < 1.0,
+            "vulnerability threshold must be in (0,1), got {vulnerable_soc}"
+        );
+        VdebController { vulnerable_soc }
+    }
+
+    /// The vulnerability threshold.
+    pub fn vulnerable_soc(&self) -> f64 {
+        self.vulnerable_soc
+    }
+
+    /// Mean SOC of the pool.
+    pub fn pool_soc(&self, socs: &[f64]) -> f64 {
+        if socs.is_empty() {
+            0.0
+        } else {
+            socs.iter().sum::<f64>() / socs.len() as f64
+        }
+    }
+
+    /// Indices of racks whose batteries are vulnerable (low SOC) — the
+    /// racks PAD hides by shifting shaving duty away from them.
+    pub fn vulnerable(&self, socs: &[f64]) -> Vec<usize> {
+        socs.iter()
+            .enumerate()
+            .filter(|&(_, &s)| s < self.vulnerable_soc)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// `true` while the pool still has meaningful energy (the policy
+    /// FSM's `vDEB > 0` input).
+    pub fn pool_available(&self, socs: &[f64]) -> bool {
+        self.pool_soc(socs) > 0.02
+    }
+}
+
+impl Default for VdebController {
+    fn default() -> Self {
+        VdebController::new(0.25)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn total(plan: &[DischargeAssignment]) -> f64 {
+        plan.iter().map(|a| a.power.0).sum()
+    }
+
+    #[test]
+    fn conserves_shave_target_when_feasible() {
+        let plan = plan_discharge(&[0.9, 0.7, 0.5, 0.3], Watts(500.0), Watts(400.0));
+        assert!((total(&plan) - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn caps_each_rack_at_p_ideal() {
+        let plan = plan_discharge(&[1.0, 0.01], Watts(1_000.0), Watts(300.0));
+        for a in &plan {
+            assert!(a.power <= Watts(300.0), "rack {} over cap: {}", a.rack, a.power);
+        }
+        // Infeasible target: pool delivers its cap total.
+        assert!((total(&plan) - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn allocation_is_soc_monotone() {
+        let socs = [0.9, 0.2, 0.6, 0.4];
+        let plan = plan_discharge(&socs, Watts(800.0), Watts(500.0));
+        for i in 0..socs.len() {
+            for j in 0..socs.len() {
+                if socs[i] > socs[j] {
+                    assert!(
+                        plan[i].power >= plan[j].power,
+                        "SOC {} got {} but SOC {} got {}",
+                        socs[i],
+                        plan[i].power,
+                        socs[j],
+                        plan[j].power
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batteries_are_spared() {
+        let plan = plan_discharge(&[0.0, 0.8, 0.0], Watts(100.0), Watts(200.0));
+        assert_eq!(plan[0].power, Watts::ZERO);
+        assert_eq!(plan[2].power, Watts::ZERO);
+        assert!((plan[1].power.0 - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_shave_means_zero_plan() {
+        let plan = plan_discharge(&[0.5, 0.5], Watts(0.0), Watts(100.0));
+        assert_eq!(total(&plan), 0.0);
+        let plan = plan_discharge(&[0.5, 0.5], Watts(-50.0), Watts(100.0));
+        assert_eq!(total(&plan), 0.0);
+    }
+
+    #[test]
+    fn equal_socs_share_equally() {
+        let plan = plan_discharge(&[0.6, 0.6, 0.6], Watts(300.0), Watts(200.0));
+        for a in &plan {
+            assert!((a.power.0 - 100.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn high_cap_saturation_cascades() {
+        // Target 900 with cap 400: top rack saturates, rest share 500.
+        let socs = [1.0, 0.5, 0.5];
+        let plan = plan_discharge(&socs, Watts(900.0), Watts(400.0));
+        assert_eq!(plan[0].power, Watts(400.0));
+        assert!((plan[1].power.0 - 250.0).abs() < 1e-9);
+        assert!((plan[2].power.0 - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_empty_pool_assigns_nothing() {
+        let plan = plan_discharge(&[0.0, 0.0], Watts(500.0), Watts(100.0));
+        assert_eq!(total(&plan), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "P_ideal")]
+    fn zero_p_ideal_rejected() {
+        plan_discharge(&[0.5], Watts(100.0), Watts(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn invalid_soc_rejected() {
+        plan_discharge(&[1.5], Watts(100.0), Watts(100.0));
+    }
+
+    #[test]
+    fn controller_flags_vulnerable_racks() {
+        let ctl = VdebController::default();
+        assert_eq!(ctl.vulnerable(&[0.9, 0.1, 0.24, 0.26]), vec![1, 2]);
+        assert!(ctl.pool_available(&[0.5, 0.0]));
+        assert!(!ctl.pool_available(&[0.0, 0.01]));
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests on the PAD security-policy FSM.
+
+use pad::policy::{PolicyInputs, SecurityLevel, SecurityPolicy, Strictness};
+use proptest::prelude::*;
+
+fn any_inputs() -> impl Strategy<Value = PolicyInputs> {
+    (any::<bool>(), any::<bool>(), any::<bool>()).prop_map(|(v, u, p)| PolicyInputs {
+        vdeb_available: v,
+        udeb_available: u,
+        visible_peak: p,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The FSM never skips levels: each update moves at most one step up
+    /// or down the hierarchy.
+    #[test]
+    fn policy_moves_one_level_at_a_time(seq in prop::collection::vec(any_inputs(), 1..60)) {
+        let mut policy = SecurityPolicy::new(Strictness::Strict);
+        let mut prev = policy.level();
+        for inputs in seq {
+            let next = policy.update(inputs);
+            let diff = (next.number() as i8 - prev.number() as i8).abs();
+            prop_assert!(diff <= 1, "jumped {prev:?} -> {next:?}");
+            prev = next;
+        }
+    }
+
+    /// With both backup layers healthy, the FSM always returns to Normal
+    /// within two updates from anywhere.
+    #[test]
+    fn healthy_backup_recovers_to_normal(seq in prop::collection::vec(any_inputs(), 0..40)) {
+        let mut policy = SecurityPolicy::new(Strictness::Strict);
+        for inputs in seq {
+            policy.update(inputs);
+        }
+        let healthy = PolicyInputs {
+            vdeb_available: true,
+            udeb_available: true,
+            visible_peak: false,
+        };
+        policy.update(healthy);
+        policy.update(healthy);
+        prop_assert_eq!(policy.level(), SecurityLevel::Normal);
+    }
+
+    /// With everything empty, the FSM always reaches Emergency within two
+    /// updates and stays there.
+    #[test]
+    fn dead_backup_escalates_to_emergency(seq in prop::collection::vec(any_inputs(), 0..40)) {
+        let mut policy = SecurityPolicy::new(Strictness::Strict);
+        for inputs in seq {
+            policy.update(inputs);
+        }
+        let dead = PolicyInputs {
+            vdeb_available: false,
+            udeb_available: false,
+            visible_peak: true,
+        };
+        policy.update(dead);
+        policy.update(dead);
+        prop_assert_eq!(policy.level(), SecurityLevel::Emergency);
+        policy.update(dead);
+        prop_assert_eq!(policy.level(), SecurityLevel::Emergency);
+    }
+
+    /// The transition counter only counts real changes.
+    #[test]
+    fn transition_counter_is_exact(seq in prop::collection::vec(any_inputs(), 1..60)) {
+        let mut policy = SecurityPolicy::new(Strictness::Strict);
+        let mut changes = 0;
+        let mut prev = policy.level();
+        for inputs in seq {
+            let next = policy.update(inputs);
+            if next != prev {
+                changes += 1;
+            }
+            prev = next;
+        }
+        prop_assert_eq!(policy.transitions(), changes);
+    }
+}

@@ -1,0 +1,246 @@
+//! Inverse-time thermal circuit breaker.
+//!
+//! "Tripping a circuit breaker is not an instantaneous event since most
+//! PDU can tolerate certain degrees of brief current overloads. However,
+//! once the overload exceeds certain threshold, it requires very short
+//! time (several seconds) to trip a circuit breaker." (§III.A)
+//!
+//! The model is a thermal accumulator driven by the square of the
+//! overload ratio (an I²t curve at constant voltage): heat builds while
+//! power exceeds the rating, dissipates while below it, and the breaker
+//! trips once heat crosses a class constant calibrated so a 25% overload
+//! trips in ~4 s.
+
+use battery::units::Watts;
+use simkit::time::SimDuration;
+
+/// Breaker status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Conducting normally.
+    Closed,
+    /// Tripped open — downstream load is dark until `reset`.
+    Tripped,
+}
+
+/// Heat threshold: a 25% overload ((1.25² − 1) = 0.5625 heat/s) trips in
+/// 4 s ⇒ 2.25 heat units.
+const TRIP_HEAT: f64 = 2.25;
+/// Heat dissipated per second while at or below the rated power.
+const COOLING_PER_SECOND: f64 = 0.5;
+
+/// An inverse-time thermal circuit breaker.
+///
+/// # Example
+///
+/// ```
+/// use powerinfra::breaker::{BreakerState, CircuitBreaker};
+/// use powerinfra::units::Watts;
+/// use simkit::time::SimDuration;
+///
+/// let mut cb = CircuitBreaker::new(Watts(1000.0));
+/// // Brief small overload: tolerated.
+/// cb.step(Watts(1100.0), SimDuration::from_secs(1));
+/// assert_eq!(cb.state(), BreakerState::Closed);
+/// // Sustained 50% overload: trips within a few seconds.
+/// cb.step(Watts(1500.0), SimDuration::from_secs(4));
+/// assert_eq!(cb.state(), BreakerState::Tripped);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CircuitBreaker {
+    rated: Watts,
+    heat: f64,
+    state: BreakerState,
+    trips: u32,
+    overload_events: u64,
+}
+
+impl CircuitBreaker {
+    /// Creates a closed breaker with the given continuous rating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rated` is not positive.
+    pub fn new(rated: Watts) -> Self {
+        assert!(rated.0 > 0.0, "breaker rating must be positive");
+        CircuitBreaker {
+            rated,
+            heat: 0.0,
+            state: BreakerState::Closed,
+            trips: 0,
+            overload_events: 0,
+        }
+    }
+
+    /// The continuous power rating.
+    pub fn rated(&self) -> Watts {
+        self.rated
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// `true` if the breaker has tripped open.
+    pub fn is_tripped(&self) -> bool {
+        self.state == BreakerState::Tripped
+    }
+
+    /// Accumulated thermal stress (0 = cold).
+    pub fn heat(&self) -> f64 {
+        self.heat
+    }
+
+    /// Lifetime trip count.
+    pub fn trips(&self) -> u32 {
+        self.trips
+    }
+
+    /// Number of steps that saw power above the rating.
+    pub fn overload_events(&self) -> u64 {
+        self.overload_events
+    }
+
+    /// Advances the thermal model by `dt` at constant `power`. Returns
+    /// the state after the step.
+    ///
+    /// Once tripped, further steps have no effect until [`reset`].
+    ///
+    /// [`reset`]: CircuitBreaker::reset
+    pub fn step(&mut self, power: Watts, dt: SimDuration) -> BreakerState {
+        if self.state == BreakerState::Tripped || dt.is_zero() {
+            return self.state;
+        }
+        let ratio = power.0 / self.rated.0;
+        let secs = dt.as_secs_f64();
+        if ratio > 1.0 {
+            self.overload_events += 1;
+            self.heat += (ratio * ratio - 1.0) * secs;
+            if self.heat >= TRIP_HEAT {
+                self.state = BreakerState::Tripped;
+                self.trips += 1;
+            }
+        } else {
+            self.heat = (self.heat - COOLING_PER_SECOND * secs).max(0.0);
+        }
+        self.state
+    }
+
+    /// Time a *constant* overload at `power` would need to trip a cold
+    /// breaker, or `None` if `power` is within the rating.
+    pub fn time_to_trip(&self, power: Watts) -> Option<SimDuration> {
+        let ratio = power.0 / self.rated.0;
+        if ratio <= 1.0 {
+            return None;
+        }
+        Some(SimDuration::from_secs_f64(
+            (TRIP_HEAT - self.heat).max(0.0) / (ratio * ratio - 1.0),
+        ))
+    }
+
+    /// Manually closes a tripped breaker and clears the thermal state —
+    /// the operator's recovery action after an outage.
+    pub fn reset(&mut self) {
+        self.state = BreakerState::Closed;
+        self.heat = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cb() -> CircuitBreaker {
+        CircuitBreaker::new(Watts(1000.0))
+    }
+
+    #[test]
+    fn no_heat_within_rating() {
+        let mut b = cb();
+        b.step(Watts(1000.0), SimDuration::from_secs(100));
+        assert_eq!(b.heat(), 0.0);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.overload_events(), 0);
+    }
+
+    #[test]
+    fn quarter_overload_trips_in_about_four_seconds() {
+        let mut b = cb();
+        let mut t: f64 = 0.0;
+        while !b.is_tripped() {
+            b.step(Watts(1250.0), SimDuration::from_millis(100));
+            t += 0.1;
+            assert!(t < 10.0, "never tripped");
+        }
+        assert!((t - 4.0).abs() < 0.2, "tripped at {t}s, expected ~4s");
+    }
+
+    #[test]
+    fn heavier_overload_trips_faster() {
+        let light = cb();
+        let heavy = cb();
+        let t_light = light.time_to_trip(Watts(1250.0)).unwrap();
+        let t_heavy = heavy.time_to_trip(Watts(2000.0)).unwrap();
+        assert!(t_heavy < t_light);
+        // 2× overload: heat rate 3/s ⇒ 0.75 s.
+        assert_eq!(t_heavy, SimDuration::from_millis(750));
+    }
+
+    #[test]
+    fn time_to_trip_none_within_rating() {
+        assert_eq!(cb().time_to_trip(Watts(999.0)), None);
+        assert_eq!(cb().time_to_trip(Watts(1000.0)), None);
+    }
+
+    #[test]
+    fn brief_spikes_tolerated_with_cooling() {
+        let mut b = cb();
+        // 1 s spikes at 25% overload separated by 2 s of normal load:
+        // each spike adds 0.5625 heat, each gap removes 1.0 — never trips.
+        for _ in 0..50 {
+            b.step(Watts(1250.0), SimDuration::from_secs(1));
+            assert!(!b.is_tripped(), "tolerable duty cycle tripped");
+            b.step(Watts(900.0), SimDuration::from_secs(2));
+        }
+    }
+
+    #[test]
+    fn rapid_spikes_accumulate_and_trip() {
+        let mut b = cb();
+        // Same spikes but with only 0.5 s of cooling between them: net
+        // +0.3125 heat per cycle ⇒ trips after ~8 cycles.
+        let mut cycles = 0;
+        while !b.is_tripped() {
+            b.step(Watts(1250.0), SimDuration::from_secs(1));
+            b.step(Watts(900.0), SimDuration::from_millis(500));
+            cycles += 1;
+            assert!(cycles < 30, "repeated overloads never tripped");
+        }
+        assert!(cycles >= 4, "tripped unrealistically fast: {cycles} cycles");
+    }
+
+    #[test]
+    fn tripped_breaker_ignores_steps_until_reset() {
+        let mut b = cb();
+        b.step(Watts(3000.0), SimDuration::from_secs(2));
+        assert!(b.is_tripped());
+        assert_eq!(b.trips(), 1);
+        let heat = b.heat();
+        b.step(Watts(3000.0), SimDuration::from_secs(2));
+        assert_eq!(b.heat(), heat, "tripped breaker must not accumulate");
+        b.reset();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.heat(), 0.0);
+        assert_eq!(b.trips(), 1, "reset must not clear the trip count");
+    }
+
+    #[test]
+    fn overload_events_counted_per_step() {
+        let mut b = cb();
+        for _ in 0..5 {
+            b.step(Watts(1100.0), SimDuration::from_millis(100));
+        }
+        assert_eq!(b.overload_events(), 5);
+    }
+}

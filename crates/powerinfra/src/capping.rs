@@ -1,0 +1,152 @@
+//! Power capping (DVFS) with actuation latency.
+//!
+//! "Even if full-system accurate power prediction is available, it often
+//! takes 100 ms ~ 300 ms to reduce the power demand, which is not fast
+//! enough to correctly shave the peak under the rapid power dynamics
+//! observed in data centers." (§IV.B.2)
+//!
+//! [`PowerCapper`] models exactly that: a cap request issued at time `t`
+//! only takes effect at `t + latency`. Sub-second hidden spikes are over
+//! before the actuator lands — the gap µDEB exists to close.
+
+use simkit::time::{SimDuration, SimTime};
+
+/// A deferred DVFS actuator.
+///
+/// # Example
+///
+/// ```
+/// use powerinfra::capping::PowerCapper;
+/// use simkit::time::{SimDuration, SimTime};
+///
+/// let mut cap = PowerCapper::new(SimDuration::from_millis(200));
+/// let t0 = SimTime::from_secs(10);
+/// cap.request(0.8, t0);
+/// // Immediately after the request nothing has changed...
+/// assert_eq!(cap.factor_at(t0), 1.0);
+/// // ...the cap lands only after the actuation latency.
+/// assert_eq!(cap.factor_at(t0 + SimDuration::from_millis(200)), 0.8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerCapper {
+    latency: SimDuration,
+    current: f64,
+    pending: Option<(SimTime, f64)>,
+    requests: u64,
+}
+
+impl PowerCapper {
+    /// Creates an uncapped actuator with the given actuation latency.
+    pub fn new(latency: SimDuration) -> Self {
+        PowerCapper {
+            latency,
+            current: 1.0,
+            pending: None,
+            requests: 0,
+        }
+    }
+
+    /// The paper's typical capping path: 200 ms actuation latency.
+    pub fn typical() -> Self {
+        PowerCapper::new(SimDuration::from_millis(200))
+    }
+
+    /// Actuation latency.
+    pub fn latency(&self) -> SimDuration {
+        self.latency
+    }
+
+    /// Number of cap requests issued.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Requests a DVFS factor (clamped to `[0.1, 1]`) at time `now`; it
+    /// becomes effective at `now + latency`. A newer request supersedes a
+    /// pending one.
+    pub fn request(&mut self, factor: f64, now: SimTime) {
+        self.requests += 1;
+        let factor = factor.clamp(0.1, 1.0);
+        self.pending = Some((now + self.latency, factor));
+    }
+
+    /// Effective DVFS factor at `now`, applying any pending request whose
+    /// actuation time has arrived.
+    pub fn factor_at(&mut self, now: SimTime) -> f64 {
+        if let Some((when, factor)) = self.pending {
+            if now >= when {
+                self.current = factor;
+                self.pending = None;
+            }
+        }
+        self.current
+    }
+
+    /// `true` if a cap below 1.0 is in force at `now`.
+    pub fn is_capping(&mut self, now: SimTime) -> bool {
+        self.factor_at(now) < 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cap_lands_after_latency() {
+        let mut c = PowerCapper::new(SimDuration::from_millis(300));
+        let t = SimTime::from_secs(1);
+        c.request(0.5, t);
+        assert_eq!(c.factor_at(t + SimDuration::from_millis(299)), 1.0);
+        assert_eq!(c.factor_at(t + SimDuration::from_millis(300)), 0.5);
+        assert_eq!(c.factor_at(t + SimDuration::from_secs(10)), 0.5);
+    }
+
+    #[test]
+    fn newer_request_supersedes_pending() {
+        let mut c = PowerCapper::new(SimDuration::from_millis(100));
+        let t = SimTime::from_secs(1);
+        c.request(0.5, t);
+        c.request(0.9, t + SimDuration::from_millis(50));
+        // The first request is discarded; only the second lands.
+        assert_eq!(c.factor_at(t + SimDuration::from_millis(100)), 1.0);
+        assert_eq!(c.factor_at(t + SimDuration::from_millis(150)), 0.9);
+        assert_eq!(c.requests(), 2);
+    }
+
+    #[test]
+    fn sub_latency_spike_escapes_capping() {
+        // A 150 ms spike against a 200 ms actuator: by the time the cap
+        // lands the spike is gone — the paper's core argument for µDEB.
+        let mut c = PowerCapper::typical();
+        let spike_start = SimTime::from_secs(5);
+        let spike_end = spike_start + SimDuration::from_millis(150);
+        c.request(0.8, spike_start);
+        assert_eq!(c.factor_at(spike_end), 1.0, "cap landed before spike end");
+    }
+
+    #[test]
+    fn uncap_also_takes_latency() {
+        let mut c = PowerCapper::new(SimDuration::from_millis(100));
+        let t = SimTime::from_secs(1);
+        c.request(0.5, t);
+        let _ = c.factor_at(t + SimDuration::from_millis(100));
+        c.request(1.0, t + SimDuration::from_secs(1));
+        assert_eq!(c.factor_at(t + SimDuration::from_secs(1)), 0.5);
+        assert!(c.is_capping(t + SimDuration::from_secs(1)));
+        assert_eq!(
+            c.factor_at(t + SimDuration::from_secs(1) + SimDuration::from_millis(100)),
+            1.0
+        );
+    }
+
+    #[test]
+    fn factor_clamped() {
+        let mut c = PowerCapper::new(SimDuration::ZERO);
+        let t = SimTime::ZERO;
+        c.request(0.0, t);
+        assert_eq!(c.factor_at(t), 0.1);
+        c.request(2.0, t);
+        assert_eq!(c.factor_at(t), 1.0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Battery deployment options (Figure 3, §II.A).
+//!
+//! "Currently there are primarily four ways to deploy batteries in a data
+//! center … The size of each battery unit varies from hundreds watts to
+//! several MWs." The options differ in conversion path (online UPSs
+//! "convert power twice", DC-coupled DEB eliminates double conversion),
+//! unit size, whether they form a single point of failure, and at what
+//! granularity they can shave peaks ("a central UPS system cannot be
+//! used to support a fraction of data center servers").
+//!
+//! This module encodes that taxonomy so deployment studies (and the
+//! efficiency claims the paper cites: Microsoft's up-to-15% PUE
+//! improvement, Hitachi's >8%) can be computed rather than asserted.
+
+use battery::units::Watts;
+
+/// Granularity at which a deployment can shave peaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ShavingGranularity {
+    /// All-or-nothing: the unit either carries the whole facility or
+    /// idles (central UPS).
+    Facility,
+    /// A row of racks at a time.
+    Row,
+    /// Individual racks.
+    Rack,
+    /// Individual servers.
+    Server,
+}
+
+/// The four deployment options of Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeploymentOption {
+    /// Option ① — centralized double-conversion UPS (up to several MW).
+    CentralizedUps,
+    /// Option ② — end-of-row UPS (20–200 kW).
+    EndOfRowUps,
+    /// Option ③ — top-of-rack UPS / battery cabinet (1–5 kW).
+    TopOfRackUps,
+    /// Option ④ — per-node battery (several hundred watts).
+    PerNodeBattery,
+}
+
+impl DeploymentOption {
+    /// All four options in the paper's numbering order.
+    pub const ALL: [DeploymentOption; 4] = [
+        DeploymentOption::CentralizedUps,
+        DeploymentOption::EndOfRowUps,
+        DeploymentOption::TopOfRackUps,
+        DeploymentOption::PerNodeBattery,
+    ];
+
+    /// Typical unit-size range `(min, max)`.
+    pub fn unit_size_range(self) -> (Watts, Watts) {
+        match self {
+            DeploymentOption::CentralizedUps => (Watts(200_000.0), Watts(5_000_000.0)),
+            DeploymentOption::EndOfRowUps => (Watts(20_000.0), Watts(200_000.0)),
+            DeploymentOption::TopOfRackUps => (Watts(1_000.0), Watts(5_000.0)),
+            DeploymentOption::PerNodeBattery => (Watts(200.0), Watts(800.0)),
+        }
+    }
+
+    /// Backup-path conversion efficiency. Online central UPSs pay the
+    /// AC→DC→AC double conversion (~89%); DC-coupled distributed units
+    /// avoid it.
+    pub fn conversion_efficiency(self) -> f64 {
+        match self {
+            DeploymentOption::CentralizedUps => 0.89,
+            DeploymentOption::EndOfRowUps => 0.93,
+            DeploymentOption::TopOfRackUps => 0.965,
+            DeploymentOption::PerNodeBattery => 0.985,
+        }
+    }
+
+    /// Whether the deployment is a potential single point of failure
+    /// ("it could eliminate a potential single point of failure that
+    /// centralized UPS systems may have").
+    pub fn single_point_of_failure(self) -> bool {
+        matches!(self, DeploymentOption::CentralizedUps)
+    }
+
+    /// The finest granularity at which the deployment can shave peaks.
+    pub fn shaving_granularity(self) -> ShavingGranularity {
+        match self {
+            DeploymentOption::CentralizedUps => ShavingGranularity::Facility,
+            DeploymentOption::EndOfRowUps => ShavingGranularity::Row,
+            DeploymentOption::TopOfRackUps => ShavingGranularity::Rack,
+            DeploymentOption::PerNodeBattery => ShavingGranularity::Server,
+        }
+    }
+
+    /// `true` for the distributed (DEB) options the paper studies.
+    pub fn is_distributed(self) -> bool {
+        !matches!(self, DeploymentOption::CentralizedUps)
+    }
+
+    /// Display label matching Figure 3.
+    pub fn label(self) -> &'static str {
+        match self {
+            DeploymentOption::CentralizedUps => "centralized UPS",
+            DeploymentOption::EndOfRowUps => "end-of-row UPS",
+            DeploymentOption::TopOfRackUps => "top-of-rack UPS",
+            DeploymentOption::PerNodeBattery => "per-node battery",
+        }
+    }
+
+    /// Conversion power lost serving `load` through the backup path.
+    pub fn conversion_loss(self, load: Watts) -> Watts {
+        load * (1.0 / self.conversion_efficiency() - 1.0)
+    }
+
+    /// Relative facility-efficiency gain of switching this deployment in
+    /// for a centralized UPS at the same load — the quantity behind the
+    /// paper's cited "up to 15% improvement in PUE" / ">8%" numbers.
+    pub fn efficiency_gain_vs_central(self) -> f64 {
+        self.conversion_efficiency() / DeploymentOption::CentralizedUps.conversion_efficiency()
+            - 1.0
+    }
+}
+
+impl std::fmt::Display for DeploymentOption {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How many units a data center of `total_load` needs under each option,
+/// sizing each unit at the top of its range.
+pub fn units_required(option: DeploymentOption, total_load: Watts) -> usize {
+    let (_, max) = option.unit_size_range();
+    (total_load.0 / max.0).ceil().max(1.0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distributed_options_beat_central_on_efficiency() {
+        let central = DeploymentOption::CentralizedUps.conversion_efficiency();
+        for option in DeploymentOption::ALL {
+            if option.is_distributed() {
+                assert!(
+                    option.conversion_efficiency() > central,
+                    "{option} must beat the double-conversion UPS"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_node_gain_matches_cited_band() {
+        // The paper cites 8–15% efficiency/PUE improvements for DEB.
+        let gain = DeploymentOption::PerNodeBattery.efficiency_gain_vs_central();
+        assert!(
+            (0.08..=0.15).contains(&gain),
+            "per-node gain {gain:.3} outside the cited band"
+        );
+    }
+
+    #[test]
+    fn only_central_is_a_spof() {
+        for option in DeploymentOption::ALL {
+            assert_eq!(
+                option.single_point_of_failure(),
+                option == DeploymentOption::CentralizedUps
+            );
+        }
+    }
+
+    #[test]
+    fn granularity_refines_down_the_hierarchy() {
+        let g: Vec<ShavingGranularity> = DeploymentOption::ALL
+            .iter()
+            .map(|o| o.shaving_granularity())
+            .collect();
+        for w in g.windows(2) {
+            assert!(w[0] < w[1], "granularity must refine: {w:?}");
+        }
+    }
+
+    #[test]
+    fn unit_counts_scale_with_size() {
+        // A 2 MW facility: one central UPS, hundreds of per-node packs.
+        let load = Watts(2_000_000.0);
+        assert_eq!(units_required(DeploymentOption::CentralizedUps, load), 1);
+        assert!(units_required(DeploymentOption::PerNodeBattery, load) >= 2_500);
+        assert!(units_required(DeploymentOption::TopOfRackUps, load) >= 400);
+    }
+
+    #[test]
+    fn conversion_loss_is_positive_and_ordered() {
+        let load = Watts(10_000.0);
+        let central = DeploymentOption::CentralizedUps.conversion_loss(load);
+        let node = DeploymentOption::PerNodeBattery.conversion_loss(load);
+        assert!(central.0 > node.0);
+        assert!(node.0 > 0.0);
+    }
+
+    #[test]
+    fn size_ranges_are_sane() {
+        for option in DeploymentOption::ALL {
+            let (lo, hi) = option.unit_size_range();
+            assert!(lo.0 > 0.0 && lo < hi, "{option}: {lo} .. {hi}");
+        }
+    }
+}

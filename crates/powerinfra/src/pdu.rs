@@ -1,0 +1,238 @@
+//! Cluster power distribution unit (PDU) and the oversubscription model.
+//!
+//! Figure 4 / Equations (1)–(2) of the paper: each of the `n` racks has a
+//! nameplate peak `Pr`; the intelligent PDU assigns a per-outlet soft
+//! limit `λᵢ·Pr`; and the cluster feed is budgeted at `P_PDU` with
+//!
+//! ```text
+//! pᵢ − bᵢ ≤ λᵢ·Pr          (1)  rack draw minus battery within outlet limit
+//! Σ λᵢ·Pr ≤ P_PDU ≤ n·Pr   (2)  outlet limits within the oversubscribed budget
+//! ```
+
+use battery::units::Watts;
+use simkit::time::SimDuration;
+
+use crate::breaker::{BreakerState, CircuitBreaker};
+use crate::topology::RackId;
+
+/// Static PDU configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PduConfig {
+    /// Cluster-level power budget `P_PDU`.
+    pub budget: Watts,
+    /// Per-outlet (per-rack) soft limits `λᵢ·Pr`.
+    pub outlet_limits: Vec<Watts>,
+}
+
+impl PduConfig {
+    /// Uniform oversubscription: `n` racks of nameplate `rack_peak`, each
+    /// outlet limited to `oversubscription × rack_peak`, budget = sum of
+    /// outlet limits.
+    ///
+    /// The paper's Figure 8-C sweeps this factor from 55% to 70%.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < oversubscription <= 1` and `n > 0`.
+    pub fn uniform(n: usize, rack_peak: Watts, oversubscription: f64) -> Self {
+        assert!(n > 0, "PDU needs at least one outlet");
+        assert!(
+            oversubscription > 0.0 && oversubscription <= 1.0,
+            "oversubscription factor must be in (0,1], got {oversubscription}"
+        );
+        let limit = rack_peak * oversubscription;
+        PduConfig {
+            budget: limit * n as f64,
+            outlet_limits: vec![limit; n],
+        }
+    }
+
+    /// Checks equations (1)–(2) against the rack nameplate power.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self, rack_peak: Watts) -> Result<(), String> {
+        let n = self.outlet_limits.len();
+        if n == 0 {
+            return Err("PDU has no outlets".to_string());
+        }
+        let sum: Watts = self.outlet_limits.iter().copied().sum();
+        if sum.0 > self.budget.0 + 1e-9 {
+            return Err(format!(
+                "sum of outlet limits {sum} exceeds PDU budget {}",
+                self.budget
+            ));
+        }
+        if self.budget.0 > rack_peak.0 * n as f64 + 1e-9 {
+            return Err(format!(
+                "PDU budget {} exceeds total nameplate {} — not oversubscribed",
+                self.budget,
+                rack_peak * n as f64
+            ));
+        }
+        for (i, limit) in self.outlet_limits.iter().enumerate() {
+            if limit.0 <= 0.0 {
+                return Err(format!("outlet {i} has non-positive limit {limit}"));
+            }
+            if limit.0 > rack_peak.0 + 1e-9 {
+                return Err(format!(
+                    "outlet {i} limit {limit} exceeds rack nameplate {rack_peak}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A live PDU: configuration plus the cluster-feed breaker.
+///
+/// # Example
+///
+/// ```
+/// use powerinfra::pdu::{Pdu, PduConfig};
+/// use powerinfra::topology::RackId;
+/// use powerinfra::units::Watts;
+///
+/// // 22 racks of 5210 W at a 65% budget.
+/// let pdu = Pdu::new(PduConfig::uniform(22, Watts(5210.0), 0.65));
+/// assert_eq!(pdu.outlet_limit(RackId(0)), Watts(5210.0 * 0.65));
+/// assert!((pdu.config().budget.0 - 22.0 * 5210.0 * 0.65).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pdu {
+    config: PduConfig,
+    breaker: CircuitBreaker,
+}
+
+impl Pdu {
+    /// Creates a PDU; the cluster breaker is rated at the budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget is not positive.
+    pub fn new(config: PduConfig) -> Self {
+        let breaker = CircuitBreaker::new(config.budget);
+        Pdu { config, breaker }
+    }
+
+    /// The static configuration.
+    pub fn config(&self) -> &PduConfig {
+        &self.config
+    }
+
+    /// Number of outlets.
+    pub fn outlets(&self) -> usize {
+        self.config.outlet_limits.len()
+    }
+
+    /// The soft limit of one outlet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rack` is out of range.
+    pub fn outlet_limit(&self, rack: RackId) -> Watts {
+        self.config.outlet_limits[rack.0]
+    }
+
+    /// Reassigns one outlet's soft limit (the iPDU's budget-enforcing
+    /// knob PAD's vDEB controller drives).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rack` is out of range or `limit` is not positive.
+    pub fn set_outlet_limit(&mut self, rack: RackId, limit: Watts) {
+        assert!(limit.0 > 0.0, "outlet limit must be positive");
+        self.config.outlet_limits[rack.0] = limit;
+    }
+
+    /// Cluster-level headroom left after drawing `total_draw` from the
+    /// utility feed (clamped at zero).
+    pub fn headroom(&self, total_draw: Watts) -> Watts {
+        (self.config.budget - total_draw).clamp_non_negative()
+    }
+
+    /// Advances the cluster breaker with the utility-side draw.
+    pub fn step(&mut self, total_draw: Watts, dt: SimDuration) -> BreakerState {
+        self.breaker.step(total_draw, dt)
+    }
+
+    /// The cluster-feed breaker.
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    /// Mutable access to the cluster-feed breaker.
+    pub fn breaker_mut(&mut self) -> &mut CircuitBreaker {
+        &mut self.breaker
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_config_satisfies_equations() {
+        let cfg = PduConfig::uniform(22, Watts(5210.0), 0.65);
+        assert!(cfg.validate(Watts(5210.0)).is_ok());
+        assert_eq!(cfg.outlet_limits.len(), 22);
+    }
+
+    #[test]
+    fn validation_catches_budget_overflow() {
+        // Budget above total nameplate: not an oversubscribed design.
+        let cfg = PduConfig {
+            budget: Watts(20_000.0),
+            outlet_limits: vec![Watts(5000.0); 3],
+        };
+        assert!(cfg.validate(Watts(5210.0)).is_err());
+    }
+
+    #[test]
+    fn validation_catches_outlet_sum_exceeding_budget() {
+        let cfg = PduConfig {
+            budget: Watts(9_000.0),
+            outlet_limits: vec![Watts(5000.0); 2],
+        };
+        assert!(cfg.validate(Watts(5210.0)).is_err());
+    }
+
+    #[test]
+    fn validation_catches_outlet_over_nameplate() {
+        let cfg = PduConfig {
+            budget: Watts(10_000.0),
+            outlet_limits: vec![Watts(6000.0), Watts(4000.0)],
+        };
+        assert!(cfg.validate(Watts(5210.0)).is_err());
+    }
+
+    #[test]
+    fn headroom_clamps_at_zero() {
+        let pdu = Pdu::new(PduConfig::uniform(2, Watts(1000.0), 0.7));
+        assert_eq!(pdu.headroom(Watts(1000.0)), Watts(400.0));
+        assert_eq!(pdu.headroom(Watts(5000.0)), Watts(0.0));
+    }
+
+    #[test]
+    fn outlet_limits_are_adjustable() {
+        let mut pdu = Pdu::new(PduConfig::uniform(3, Watts(1000.0), 0.6));
+        pdu.set_outlet_limit(RackId(1), Watts(800.0));
+        assert_eq!(pdu.outlet_limit(RackId(1)), Watts(800.0));
+        assert_eq!(pdu.outlet_limit(RackId(0)), Watts(600.0));
+    }
+
+    #[test]
+    fn cluster_breaker_trips_on_sustained_overdraw() {
+        let mut pdu = Pdu::new(PduConfig::uniform(2, Watts(1000.0), 0.5));
+        // Budget is 1000 W; draw 1500 W for several seconds.
+        let mut state = BreakerState::Closed;
+        for _ in 0..100 {
+            state = pdu.step(Watts(1500.0), SimDuration::from_millis(100));
+            if state == BreakerState::Tripped {
+                break;
+            }
+        }
+        assert_eq!(state, BreakerState::Tripped);
+    }
+}

@@ -1,0 +1,230 @@
+//! Switched-mode power supply (SMPS) model.
+//!
+//! The paper grounds its breaker analysis in Meisner & Wenisch's *Peak
+//! Power Modeling for Data Center Servers with Switched-Mode Power
+//! Supplies* (reference \[11\]): what the breaker sees is the PSU's *wall*
+//! draw, which exceeds the DC load by a load-dependent conversion loss,
+//! and brief currents above the nameplate rating are possible — exactly
+//! the margin a power virus exploits.
+//!
+//! The efficiency curve is the standard 80-PLUS shape: poor at light
+//! load, peaking near half load, drooping slightly toward full load.
+
+use battery::units::Watts;
+
+/// An SMPS efficiency/rating model.
+///
+/// # Example
+///
+/// ```
+/// use powerinfra::psu::Psu;
+/// use powerinfra::units::Watts;
+///
+/// let psu = Psu::eighty_plus_gold(Watts(650.0));
+/// // Near half load the conversion is at its best...
+/// let eff_mid = psu.efficiency_at(Watts(325.0));
+/// // ...and much worse at a 5% trickle.
+/// let eff_low = psu.efficiency_at(Watts(32.5));
+/// assert!(eff_mid > 0.90 && eff_low < 0.80);
+/// // Wall draw always exceeds the DC load.
+/// assert!(psu.wall_power(Watts(325.0)) > Watts(325.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Psu {
+    /// Nameplate DC output rating.
+    rating: Watts,
+    /// Peak conversion efficiency (at ~50% load).
+    peak_efficiency: f64,
+    /// Efficiency at 10% load (the curve's low anchor).
+    light_efficiency: f64,
+    /// Efficiency at 100% load (slight droop from the peak).
+    full_efficiency: f64,
+    /// Transient overload headroom: brief draws up to this multiple of
+    /// the rating are electrically possible (hold-up capacitors and
+    /// conservative component rating) — the Meisner/Wenisch observation.
+    transient_headroom: f64,
+}
+
+impl Psu {
+    /// Creates a PSU from explicit curve anchors.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the rating is positive, the efficiencies are in
+    /// `(0, 1]` with `light <= full <= peak`, and the headroom is ≥ 1.
+    pub fn new(
+        rating: Watts,
+        light_efficiency: f64,
+        peak_efficiency: f64,
+        full_efficiency: f64,
+        transient_headroom: f64,
+    ) -> Self {
+        assert!(rating.0 > 0.0, "PSU rating must be positive");
+        for (name, e) in [
+            ("light", light_efficiency),
+            ("peak", peak_efficiency),
+            ("full", full_efficiency),
+        ] {
+            assert!(
+                e > 0.0 && e <= 1.0,
+                "{name} efficiency must be in (0,1], got {e}"
+            );
+        }
+        assert!(
+            light_efficiency <= full_efficiency && full_efficiency <= peak_efficiency,
+            "efficiency anchors must satisfy light <= full <= peak"
+        );
+        assert!(transient_headroom >= 1.0, "headroom must be >= 1");
+        Psu {
+            rating,
+            peak_efficiency,
+            light_efficiency,
+            full_efficiency,
+            transient_headroom,
+        }
+    }
+
+    /// An 80-PLUS Gold unit: 87/92/89% at 10/50/100% load, 1.3× transient
+    /// headroom.
+    pub fn eighty_plus_gold(rating: Watts) -> Self {
+        Psu::new(rating, 0.75, 0.92, 0.89, 1.3)
+    }
+
+    /// A basic 80-PLUS unit: 80/85/82%-ish anchors.
+    pub fn eighty_plus_basic(rating: Watts) -> Self {
+        Psu::new(rating, 0.70, 0.85, 0.82, 1.25)
+    }
+
+    /// The DC output rating.
+    pub fn rating(&self) -> Watts {
+        self.rating
+    }
+
+    /// Maximum brief (sub-second) DC draw the unit can source.
+    pub fn transient_limit(&self) -> Watts {
+        self.rating * self.transient_headroom
+    }
+
+    /// Conversion efficiency at the given DC load (piecewise-linear
+    /// through the 10/50/100% anchors, clamped outside).
+    pub fn efficiency_at(&self, dc_load: Watts) -> f64 {
+        let f = (dc_load / self.rating).clamp(0.0, self.transient_headroom);
+        if f <= 0.1 {
+            // Below 10% the efficiency falls off steeply toward zero
+            // useful conversion; interpolate down to 40% at no load.
+            let t = f / 0.1;
+            0.4 + (self.light_efficiency - 0.4) * t
+        } else if f <= 0.5 {
+            let t = (f - 0.1) / 0.4;
+            self.light_efficiency + (self.peak_efficiency - self.light_efficiency) * t
+        } else if f <= 1.0 {
+            let t = (f - 0.5) / 0.5;
+            self.peak_efficiency + (self.full_efficiency - self.peak_efficiency) * t
+        } else {
+            // Transient overload region: efficiency keeps drooping.
+            (self.full_efficiency - 0.05 * (f - 1.0) / (self.transient_headroom - 1.0).max(0.01))
+                .max(0.5)
+        }
+    }
+
+    /// Wall (AC) power drawn to deliver `dc_load` — what the branch
+    /// breaker actually sees.
+    pub fn wall_power(&self, dc_load: Watts) -> Watts {
+        if dc_load.0 <= 0.0 {
+            // Standby electronics draw ~2% of rating even at no load.
+            return self.rating * 0.02;
+        }
+        dc_load / self.efficiency_at(dc_load)
+    }
+
+    /// `true` if `dc_load` is within the unit's transient capability.
+    pub fn can_source(&self, dc_load: Watts) -> bool {
+        dc_load <= self.transient_limit()
+    }
+
+    /// The extra wall power a load step from `from` to `to` produces —
+    /// spike amplification through the conversion loss.
+    pub fn wall_step(&self, from: Watts, to: Watts) -> Watts {
+        self.wall_power(to) - self.wall_power(from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gold() -> Psu {
+        Psu::eighty_plus_gold(Watts(650.0))
+    }
+
+    #[test]
+    fn efficiency_curve_shape() {
+        let psu = gold();
+        let light = psu.efficiency_at(Watts(65.0));
+        let mid = psu.efficiency_at(Watts(325.0));
+        let full = psu.efficiency_at(Watts(650.0));
+        assert!(light < mid, "light {light} < mid {mid}");
+        assert!(full < mid, "full {full} droops from the peak {mid}");
+        assert!((mid - 0.92).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wall_power_exceeds_dc_load() {
+        let psu = gold();
+        for w in [50.0, 200.0, 400.0, 650.0] {
+            let wall = psu.wall_power(Watts(w));
+            assert!(wall.0 > w, "wall {wall} must exceed DC {w}");
+        }
+    }
+
+    #[test]
+    fn standby_draw_at_zero_load() {
+        let psu = gold();
+        let standby = psu.wall_power(Watts(0.0));
+        assert!((standby.0 - 13.0).abs() < 1e-9, "2% of 650 W, got {standby}");
+    }
+
+    #[test]
+    fn transient_headroom_allows_brief_overdraw() {
+        let psu = gold();
+        assert!(psu.can_source(Watts(800.0)));
+        assert!(!psu.can_source(Watts(900.0)));
+        assert_eq!(psu.transient_limit(), Watts(650.0 * 1.3));
+    }
+
+    #[test]
+    fn spike_amplification_through_conversion_loss() {
+        // A 200 W DC spike shows up as more than 200 W at the wall.
+        let psu = gold();
+        let step = psu.wall_step(Watts(300.0), Watts(500.0));
+        assert!(
+            step.0 > 200.0,
+            "wall step {step} must amplify the 200 W DC step"
+        );
+    }
+
+    #[test]
+    fn overload_region_efficiency_droops_but_stays_sane() {
+        let psu = gold();
+        let e = psu.efficiency_at(Watts(650.0 * 1.3));
+        assert!(e < psu.efficiency_at(Watts(650.0)));
+        assert!(e >= 0.5);
+    }
+
+    #[test]
+    fn monotone_wall_power() {
+        let psu = Psu::eighty_plus_basic(Watts(500.0));
+        let mut last = 0.0;
+        for i in 1..=130 {
+            let wall = psu.wall_power(Watts(i as f64 * 5.0)).0;
+            assert!(wall > last, "wall power must be increasing at {i}");
+            last = wall;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "light <= full <= peak")]
+    fn rejects_inverted_anchors() {
+        Psu::new(Watts(500.0), 0.95, 0.9, 0.85, 1.2);
+    }
+}

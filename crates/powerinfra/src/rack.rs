@@ -1,0 +1,248 @@
+//! Server racks.
+//!
+//! A [`Rack`] bundles what the paper's Figure 10 places in one "rack power
+//! zone": the servers, the DEB battery cabinet, the rack-feed circuit
+//! breaker, and the (initially empty) µDEB slot a PAD deployment
+//! populates. Power-flow *policy* — who shaves what — lives in the `pad`
+//! crate; the rack provides the components and local accounting.
+
+use battery::pack::BatteryCabinet;
+use battery::units::Watts;
+
+use crate::breaker::CircuitBreaker;
+use crate::server::{Server, ServerSpec, ServerState};
+use crate::topology::RackId;
+
+/// A rack: servers + battery cabinet + feed breaker.
+///
+/// # Example
+///
+/// ```
+/// use powerinfra::rack::Rack;
+/// use powerinfra::server::ServerSpec;
+/// use powerinfra::topology::RackId;
+/// use powerinfra::units::Watts;
+///
+/// let rack = Rack::paper_rack(RackId(0), 0.65);
+/// assert_eq!(rack.nameplate_power(), Watts(5210.0));
+/// assert_eq!(rack.breaker().rated(), Watts(5210.0 * 0.65));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rack {
+    id: RackId,
+    servers: Vec<Server>,
+    cabinet: BatteryCabinet,
+    breaker: CircuitBreaker,
+}
+
+impl Rack {
+    /// Creates a rack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server_count` is zero.
+    pub fn new(
+        id: RackId,
+        server_count: usize,
+        spec: ServerSpec,
+        cabinet: BatteryCabinet,
+        breaker_rating: Watts,
+    ) -> Self {
+        assert!(server_count > 0, "rack needs at least one server");
+        Rack {
+            id,
+            servers: vec![Server::new(spec); server_count],
+            cabinet,
+            breaker: CircuitBreaker::new(breaker_rating),
+        }
+    }
+
+    /// The paper's standard rack: 10× HP DL585 G5, a Facebook-V1 cabinet
+    /// (50 s at full load), feed breaker rated at `budget_fraction` of
+    /// nameplate.
+    pub fn paper_rack(id: RackId, budget_fraction: f64) -> Self {
+        let spec = ServerSpec::hp_proliant_dl585_g5();
+        let nameplate = spec.peak * 10.0;
+        Rack::new(
+            id,
+            10,
+            spec,
+            BatteryCabinet::facebook_v1(nameplate),
+            nameplate * budget_fraction,
+        )
+    }
+
+    /// This rack's id.
+    pub fn id(&self) -> RackId {
+        self.id
+    }
+
+    /// Number of servers mounted.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Shared access to the servers.
+    pub fn servers(&self) -> &[Server] {
+        &self.servers
+    }
+
+    /// Mutable access to the servers.
+    pub fn servers_mut(&mut self) -> &mut [Server] {
+        &mut self.servers
+    }
+
+    /// The battery cabinet.
+    pub fn cabinet(&self) -> &BatteryCabinet {
+        &self.cabinet
+    }
+
+    /// Mutable access to the cabinet.
+    pub fn cabinet_mut(&mut self) -> &mut BatteryCabinet {
+        &mut self.cabinet
+    }
+
+    /// The rack feed breaker.
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    /// Mutable access to the feed breaker.
+    pub fn breaker_mut(&mut self) -> &mut CircuitBreaker {
+        &mut self.breaker
+    }
+
+    /// Sum of server nameplate peaks (`Pr` in the paper).
+    pub fn nameplate_power(&self) -> Watts {
+        self.servers.iter().map(|s| s.spec().peak).sum()
+    }
+
+    /// Power drawn with every server active-idle.
+    pub fn idle_power(&self) -> Watts {
+        self.servers.iter().map(|s| s.spec().idle).sum()
+    }
+
+    /// Present aggregate power demand of the servers.
+    pub fn demand(&self) -> Watts {
+        self.servers.iter().map(Server::power).sum()
+    }
+
+    /// Present aggregate delivered work (for the throughput metric).
+    pub fn delivered_work(&self) -> f64 {
+        self.servers.iter().map(Server::delivered_work).sum()
+    }
+
+    /// Sets each server's offered utilization from a slice (extra entries
+    /// ignored, missing entries leave servers unchanged).
+    pub fn set_utilizations(&mut self, utilizations: &[f64]) {
+        for (server, &u) in self.servers.iter_mut().zip(utilizations) {
+            server.set_utilization(u);
+        }
+    }
+
+    /// Applies one DVFS factor to every server (rack-level capping).
+    pub fn set_dvfs_all(&mut self, factor: f64) {
+        for server in &mut self.servers {
+            server.set_dvfs(factor);
+        }
+    }
+
+    /// Puts `count` servers (from the highest slot down) to sleep, waking
+    /// the rest — the Level-3 load-shedding actuator. Returns how many are
+    /// now asleep.
+    pub fn shed_servers(&mut self, count: usize) -> usize {
+        let n = self.servers.len();
+        let asleep = count.min(n);
+        for (slot, server) in self.servers.iter_mut().enumerate() {
+            let state = if slot >= n - asleep {
+                ServerState::Asleep
+            } else {
+                ServerState::Active
+            };
+            server.set_state(state);
+        }
+        asleep
+    }
+
+    /// How many servers are currently asleep.
+    pub fn asleep_count(&self) -> usize {
+        self.servers.iter().filter(|s| s.is_asleep()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use battery::model::EnergyStorage;
+    use simkit::time::SimDuration;
+
+    fn rack() -> Rack {
+        Rack::paper_rack(RackId(3), 0.65)
+    }
+
+    #[test]
+    fn nameplate_and_idle_totals() {
+        let r = rack();
+        assert_eq!(r.nameplate_power(), Watts(5210.0));
+        assert_eq!(r.idle_power(), Watts(2990.0));
+        assert_eq!(r.server_count(), 10);
+        assert_eq!(r.id(), RackId(3));
+    }
+
+    #[test]
+    fn demand_tracks_utilization() {
+        let mut r = rack();
+        assert_eq!(r.demand(), Watts(2990.0));
+        r.set_utilizations(&[1.0; 10]);
+        assert_eq!(r.demand(), Watts(5210.0));
+        r.set_utilizations(&[0.5; 10]);
+        assert_eq!(r.demand(), Watts(4100.0));
+    }
+
+    #[test]
+    fn partial_utilization_slice() {
+        let mut r = rack();
+        r.set_utilizations(&[1.0, 1.0]); // only first two servers
+        assert_eq!(r.demand(), Watts(2990.0 + 2.0 * 222.0));
+    }
+
+    #[test]
+    fn dvfs_all_caps_power_and_work() {
+        let mut r = rack();
+        r.set_utilizations(&[1.0; 10]);
+        r.set_dvfs_all(0.8);
+        assert_eq!(r.demand(), Watts(2990.0 + 2220.0 * 0.8));
+        assert!((r.delivered_work() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shedding_sleeps_highest_slots_first() {
+        let mut r = rack();
+        r.set_utilizations(&[1.0; 10]);
+        assert_eq!(r.shed_servers(3), 3);
+        assert_eq!(r.asleep_count(), 3);
+        assert!(r.servers()[9].is_asleep());
+        assert!(!r.servers()[0].is_asleep());
+        // Shedding 0 wakes everyone.
+        assert_eq!(r.shed_servers(0), 0);
+        assert_eq!(r.asleep_count(), 0);
+    }
+
+    #[test]
+    fn shedding_clamps_to_server_count() {
+        let mut r = rack();
+        assert_eq!(r.shed_servers(99), 10);
+        assert_eq!(r.asleep_count(), 10);
+        assert_eq!(r.delivered_work(), 0.0);
+    }
+
+    #[test]
+    fn cabinet_shaves_rack_scale_power() {
+        let mut r = rack();
+        let delivered = r
+            .cabinet_mut()
+            .discharge(Watts(2000.0), SimDuration::from_secs(5));
+        assert_eq!(delivered, Watts(2000.0));
+        assert!(r.cabinet().soc() < 1.0);
+    }
+}

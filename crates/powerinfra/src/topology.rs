@@ -1,0 +1,170 @@
+//! Cluster topology: racks and server slots.
+//!
+//! The paper's evaluation cluster is "22 racks in total and each rack has
+//! 10 servers" (§V). Identifiers are newtypes so rack indices and server
+//! slots cannot be confused.
+
+use std::fmt;
+
+/// Identifies one rack within a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RackId(pub usize);
+
+impl fmt::Display for RackId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rack-{:02}", self.0)
+    }
+}
+
+/// Identifies one server: a rack plus a slot within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ServerId {
+    /// The rack this server is mounted in.
+    pub rack: RackId,
+    /// The slot within the rack.
+    pub slot: usize,
+}
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/s{:02}", self.rack, self.slot)
+    }
+}
+
+/// A rectangular cluster layout: `racks × servers_per_rack` machines.
+///
+/// # Example
+///
+/// ```
+/// use powerinfra::topology::{ClusterTopology, RackId};
+///
+/// // The paper's cluster: 22 racks × 10 servers = 220 machines.
+/// let topo = ClusterTopology::paper_cluster();
+/// assert_eq!(topo.total_servers(), 220);
+/// assert_eq!(topo.server_ids().count(), 220);
+/// let id = topo.server_by_index(15).unwrap();
+/// assert_eq!(id.rack, RackId(1));
+/// assert_eq!(id.slot, 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterTopology {
+    racks: usize,
+    servers_per_rack: usize,
+}
+
+impl ClusterTopology {
+    /// Creates a topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(racks: usize, servers_per_rack: usize) -> Self {
+        assert!(racks > 0, "cluster needs at least one rack");
+        assert!(servers_per_rack > 0, "racks need at least one server");
+        ClusterTopology {
+            racks,
+            servers_per_rack,
+        }
+    }
+
+    /// The paper's evaluation cluster: 22 racks × 10 servers.
+    pub fn paper_cluster() -> Self {
+        ClusterTopology::new(22, 10)
+    }
+
+    /// Number of racks.
+    pub fn racks(&self) -> usize {
+        self.racks
+    }
+
+    /// Servers mounted in each rack.
+    pub fn servers_per_rack(&self) -> usize {
+        self.servers_per_rack
+    }
+
+    /// Total machine count.
+    pub fn total_servers(&self) -> usize {
+        self.racks * self.servers_per_rack
+    }
+
+    /// All rack ids in order.
+    pub fn rack_ids(&self) -> impl Iterator<Item = RackId> {
+        (0..self.racks).map(RackId)
+    }
+
+    /// All server ids, rack-major order.
+    pub fn server_ids(&self) -> impl Iterator<Item = ServerId> + '_ {
+        (0..self.racks).flat_map(move |r| {
+            (0..self.servers_per_rack).map(move |s| ServerId {
+                rack: RackId(r),
+                slot: s,
+            })
+        })
+    }
+
+    /// Maps a flat machine index (e.g. a trace machine id) to a server id.
+    ///
+    /// Returns `None` if the index is out of range.
+    pub fn server_by_index(&self, index: usize) -> Option<ServerId> {
+        if index >= self.total_servers() {
+            return None;
+        }
+        Some(ServerId {
+            rack: RackId(index / self.servers_per_rack),
+            slot: index % self.servers_per_rack,
+        })
+    }
+
+    /// Inverse of [`ClusterTopology::server_by_index`].
+    pub fn index_of(&self, id: ServerId) -> usize {
+        id.rack.0 * self.servers_per_rack + id.slot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cluster_dimensions() {
+        let t = ClusterTopology::paper_cluster();
+        assert_eq!(t.racks(), 22);
+        assert_eq!(t.servers_per_rack(), 10);
+        assert_eq!(t.total_servers(), 220);
+    }
+
+    #[test]
+    fn index_round_trip() {
+        let t = ClusterTopology::new(5, 7);
+        for i in 0..t.total_servers() {
+            let id = t.server_by_index(i).unwrap();
+            assert_eq!(t.index_of(id), i);
+        }
+        assert_eq!(t.server_by_index(t.total_servers()), None);
+    }
+
+    #[test]
+    fn server_ids_cover_everything_in_order() {
+        let t = ClusterTopology::new(2, 3);
+        let ids: Vec<ServerId> = t.server_ids().collect();
+        assert_eq!(ids.len(), 6);
+        assert_eq!(ids[0], ServerId { rack: RackId(0), slot: 0 });
+        assert_eq!(ids[5], ServerId { rack: RackId(1), slot: 2 });
+    }
+
+    #[test]
+    fn display_formats() {
+        let id = ServerId {
+            rack: RackId(3),
+            slot: 7,
+        };
+        assert_eq!(id.to_string(), "rack-03/s07");
+        assert_eq!(RackId(12).to_string(), "rack-12");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rack")]
+    fn zero_racks_rejected() {
+        ClusterTopology::new(0, 10);
+    }
+}

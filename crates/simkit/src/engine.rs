@@ -1,0 +1,221 @@
+//! Minimal deterministic simulation driver.
+//!
+//! The [`Engine`] owns an [`EventQueue`] and a monotonic clock. `run`
+//! repeatedly pops the earliest event, advances the clock, and hands the
+//! event to a user handler which may schedule further events. The handler
+//! returns a [`ControlFlow`] so simulations can stop on a condition (e.g.
+//! "first breaker trip" — the paper's *survival time* endpoint) without
+//! draining the queue.
+
+use crate::event::EventQueue;
+use crate::time::SimTime;
+
+/// Handler verdict after processing one event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlFlow {
+    /// Keep dispatching events.
+    Continue,
+    /// Stop immediately; [`Engine::run`] returns.
+    Stop,
+}
+
+/// A deterministic event-dispatch loop.
+///
+/// # Example
+///
+/// ```
+/// use simkit::prelude::*;
+///
+/// // A self-rescheduling tick that stops after 3 firings.
+/// let mut queue = EventQueue::new();
+/// queue.push(SimTime::ZERO, ());
+/// let mut engine = Engine::new(queue);
+/// let mut ticks = 0;
+/// engine.run(|queue, now, ()| {
+///     ticks += 1;
+///     if ticks < 3 {
+///         queue.push(now + SimDuration::SECOND, ());
+///         ControlFlow::Continue
+///     } else {
+///         ControlFlow::Stop
+///     }
+/// });
+/// assert_eq!(ticks, 3);
+/// assert_eq!(engine.now(), SimTime::from_secs(2));
+/// ```
+#[derive(Debug)]
+pub struct Engine<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    dispatched: u64,
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine over a pre-populated queue, clock at zero.
+    pub fn new(queue: EventQueue<E>) -> Self {
+        Engine {
+            queue,
+            now: SimTime::ZERO,
+            dispatched: 0,
+        }
+    }
+
+    /// Creates an engine with an empty queue.
+    pub fn empty() -> Self {
+        Engine::new(EventQueue::new())
+    }
+
+    /// Current simulation time (time of the most recently dispatched event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events dispatched so far.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Schedules an event; equivalent to pushing on [`Engine::queue_mut`].
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        self.queue.push(time, event);
+    }
+
+    /// Shared access to the queue.
+    pub fn queue(&self) -> &EventQueue<E> {
+        &self.queue
+    }
+
+    /// Mutable access to the queue (for scheduling outside of `run`).
+    pub fn queue_mut(&mut self) -> &mut EventQueue<E> {
+        &mut self.queue
+    }
+
+    /// Dispatches events in time order until the queue empties or the
+    /// handler returns [`ControlFlow::Stop`].
+    ///
+    /// The handler receives the queue (to schedule follow-up events), the
+    /// event's time, and the event itself.
+    pub fn run<F>(&mut self, mut handler: F)
+    where
+        F: FnMut(&mut EventQueue<E>, SimTime, E) -> ControlFlow,
+    {
+        self.run_until(SimTime::MAX, &mut handler);
+    }
+
+    /// Like [`Engine::run`] but also stops (without dispatching) once the
+    /// next event would be strictly after `deadline`. Events *at* the
+    /// deadline are still dispatched.
+    ///
+    /// Returns `true` if the loop stopped because of the deadline (events
+    /// may remain queued), `false` if the queue drained or the handler
+    /// stopped it.
+    pub fn run_until<F>(&mut self, deadline: SimTime, handler: &mut F) -> bool
+    where
+        F: FnMut(&mut EventQueue<E>, SimTime, E) -> ControlFlow,
+    {
+        loop {
+            match self.queue.peek_time() {
+                None => return false,
+                Some(t) if t > deadline => return true,
+                Some(_) => {}
+            }
+            let (time, event) = self.queue.pop().expect("peeked entry must pop");
+            debug_assert!(time >= self.now, "event queue returned stale event");
+            self.now = time;
+            self.dispatched += 1;
+            if handler(&mut self.queue, time, event) == ControlFlow::Stop {
+                return false;
+            }
+        }
+    }
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Engine::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn drains_queue_in_order() {
+        let mut engine = Engine::empty();
+        engine.schedule(SimTime::from_secs(2), "b");
+        engine.schedule(SimTime::from_secs(1), "a");
+        engine.schedule(SimTime::from_secs(3), "c");
+
+        let mut seen = Vec::new();
+        engine.run(|_, _, e| {
+            seen.push(e);
+            ControlFlow::Continue
+        });
+        assert_eq!(seen, vec!["a", "b", "c"]);
+        assert_eq!(engine.dispatched(), 3);
+        assert_eq!(engine.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn stop_leaves_remaining_events_queued() {
+        let mut engine = Engine::empty();
+        for s in 1..=5 {
+            engine.schedule(SimTime::from_secs(s), s);
+        }
+        engine.run(|_, _, e| {
+            if e == 3 {
+                ControlFlow::Stop
+            } else {
+                ControlFlow::Continue
+            }
+        });
+        assert_eq!(engine.now(), SimTime::from_secs(3));
+        assert_eq!(engine.queue().len(), 2);
+    }
+
+    #[test]
+    fn run_until_respects_deadline_inclusive() {
+        let mut engine = Engine::empty();
+        for s in 1..=5 {
+            engine.schedule(SimTime::from_secs(s), s);
+        }
+        let mut seen = Vec::new();
+        let hit_deadline = engine.run_until(SimTime::from_secs(3), &mut |_, _, e| {
+            seen.push(e);
+            ControlFlow::Continue
+        });
+        assert!(hit_deadline);
+        assert_eq!(seen, vec![1, 2, 3]);
+        assert_eq!(engine.queue().len(), 2);
+    }
+
+    #[test]
+    fn self_rescheduling_tick() {
+        let mut engine = Engine::empty();
+        engine.schedule(SimTime::ZERO, ());
+        let mut count = 0u32;
+        engine.run_until(SimTime::from_secs(10), &mut |q, now, ()| {
+            count += 1;
+            q.push(now + SimDuration::SECOND, ());
+            ControlFlow::Continue
+        });
+        // Ticks at 0..=10 inclusive.
+        assert_eq!(count, 11);
+    }
+
+    #[test]
+    fn clock_never_goes_backwards() {
+        let mut engine = Engine::empty();
+        engine.schedule(SimTime::from_secs(1), ());
+        engine.schedule(SimTime::from_secs(1), ());
+        engine.schedule(SimTime::from_secs(2), ());
+        let mut last = SimTime::ZERO;
+        engine.run(|_, t, ()| {
+            assert!(t >= last);
+            last = t;
+            ControlFlow::Continue
+        });
+    }
+}

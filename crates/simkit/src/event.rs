@@ -1,0 +1,196 @@
+//! Deterministic event queue.
+//!
+//! A thin wrapper over a binary heap keyed on ([`SimTime`], sequence
+//! number). The sequence number guarantees that events scheduled for the
+//! same instant are delivered in FIFO order, which keeps month-long
+//! simulations bit-for-bit reproducible regardless of heap internals.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An entry in the queue: reverse-ordered so the `BinaryHeap` (a max-heap)
+/// pops the *earliest* event first.
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: earlier time (then lower seq) is "greater" for the
+        // max-heap, so it pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// Events of type `E` are scheduled at absolute simulation times and popped
+/// in time order; ties are broken by insertion order (FIFO).
+///
+/// # Example
+///
+/// ```
+/// use simkit::event::EventQueue;
+/// use simkit::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_secs(5), "late");
+/// q.push(SimTime::from_secs(1), "early");
+/// q.push(SimTime::from_secs(1), "early-second");
+///
+/// assert_eq!(q.pop().map(|(_, e)| e), Some("early"));
+/// assert_eq!(q.pop().map(|(_, e)| e), Some("early-second"));
+/// assert_eq!(q.pop().map(|(_, e)| e), Some("late"));
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Creates an empty queue with room for `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// The time of the earliest queued event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events are queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all queued events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E: std::fmt::Debug> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("len", &self.heap.len())
+            .field("next_time", &self.peek_time())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for &secs in &[7u64, 3, 9, 1, 5] {
+            q.push(SimTime::from_secs(secs), secs);
+        }
+        let mut out = Vec::new();
+        while let Some((_, e)) = q.pop() {
+            out.push(e);
+        }
+        assert_eq!(out, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(10), "c");
+        q.push(SimTime::from_secs(2), "a");
+        assert_eq!(q.pop().unwrap().1, "a");
+        q.push(SimTime::from_secs(5), "b");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+    }
+
+    #[test]
+    fn peek_time_reports_earliest() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_secs(4), ());
+        q.push(SimTime::from_secs(2), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        let mut t = SimTime::ZERO;
+        for _ in 0..10 {
+            t += SimDuration::SECOND;
+            q.push(t, ());
+        }
+        assert_eq!(q.len(), 10);
+        assert!(!q.is_empty());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+}

@@ -1,0 +1,164 @@
+//! Plain-text heatmap rendering.
+//!
+//! Figures 13 and 14 of the paper are rack-by-time heatmaps of battery
+//! state of charge. [`Heatmap`] renders a matrix of values in `[0, 1]` as
+//! shaded ASCII, one row per rack, so "blue strips" (vulnerable racks) are
+//! visible directly in terminal output.
+
+/// Shade ramp from empty (vulnerable) to full, darkest-last.
+const RAMP: &[char] = &[' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+
+/// A rack-by-time matrix renderer.
+///
+/// Rows are labeled series (e.g. one per rack); values are clamped to
+/// `[0, 1]` where 0 renders as blank (empty battery) and 1 as `@` (full).
+///
+/// # Example
+///
+/// ```
+/// use simkit::heatmap::Heatmap;
+///
+/// let mut h = Heatmap::new();
+/// h.row("rack-00", vec![1.0, 0.5, 0.0]);
+/// h.row("rack-01", vec![0.9, 0.9, 0.9]);
+/// let text = h.render(3);
+/// assert!(text.contains("rack-00"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Heatmap {
+    rows: Vec<(String, Vec<f64>)>,
+    title: Option<String>,
+}
+
+impl Heatmap {
+    /// Creates an empty heatmap.
+    pub fn new() -> Self {
+        Heatmap::default()
+    }
+
+    /// Sets a title printed above the map.
+    pub fn title(&mut self, title: impl Into<String>) -> &mut Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Appends a labeled row of values in `[0, 1]` (clamped on render).
+    pub fn row(&mut self, label: impl Into<String>, values: Vec<f64>) -> &mut Self {
+        self.rows.push((label.into(), values));
+        self
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Maps a value in `[0,1]` to a ramp character.
+    pub fn shade(value: f64) -> char {
+        let v = value.clamp(0.0, 1.0);
+        let idx = (v * (RAMP.len() - 1) as f64).round() as usize;
+        RAMP[idx]
+    }
+
+    /// Renders the heatmap, downsampling each row to at most `max_cols`
+    /// columns (by averaging) so wide series fit a terminal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_cols` is zero.
+    pub fn render(&self, max_cols: usize) -> String {
+        assert!(max_cols > 0, "heatmap must render at least one column");
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.chars().count())
+            .max()
+            .unwrap_or(0);
+        let mut out = String::new();
+        if let Some(title) = &self.title {
+            out.push_str(&format!("== {title} ==\n"));
+        }
+        for (label, values) in &self.rows {
+            let cells = downsample(values, max_cols);
+            let body: String = cells.into_iter().map(Self::shade).collect();
+            out.push_str(&format!("{label:<label_w$} |{body}|\n"));
+        }
+        out.push_str(&format!(
+            "{:<label_w$}  scale: empty '{}' .. full '{}'\n",
+            "",
+            RAMP[0],
+            RAMP[RAMP.len() - 1]
+        ));
+        out
+    }
+}
+
+/// Averages `values` down to at most `max_cols` buckets.
+fn downsample(values: &[f64], max_cols: usize) -> Vec<f64> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    if values.len() <= max_cols {
+        return values.to_vec();
+    }
+    let chunk = values.len().div_ceil(max_cols);
+    values
+        .chunks(chunk)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shade_boundaries() {
+        assert_eq!(Heatmap::shade(0.0), ' ');
+        assert_eq!(Heatmap::shade(1.0), '@');
+        assert_eq!(Heatmap::shade(-5.0), ' ');
+        assert_eq!(Heatmap::shade(5.0), '@');
+    }
+
+    #[test]
+    fn shade_is_monotone() {
+        let shades: Vec<char> = (0..=10).map(|i| Heatmap::shade(i as f64 / 10.0)).collect();
+        let ramp_pos = |c: char| RAMP.iter().position(|&r| r == c).unwrap();
+        for w in shades.windows(2) {
+            assert!(ramp_pos(w[1]) >= ramp_pos(w[0]));
+        }
+    }
+
+    #[test]
+    fn render_contains_labels_and_bars() {
+        let mut h = Heatmap::new();
+        h.title("Fig 13");
+        h.row("rack-00", vec![1.0; 4]);
+        h.row("rack-01", vec![0.0; 4]);
+        let text = h.render(10);
+        assert!(text.starts_with("== Fig 13 =="));
+        assert!(text.contains("rack-00 |@@@@|"));
+        assert!(text.contains("rack-01 |    |"));
+    }
+
+    #[test]
+    fn downsample_averages() {
+        assert_eq!(downsample(&[1.0, 3.0, 5.0, 7.0], 2), vec![2.0, 6.0]);
+        assert_eq!(downsample(&[1.0, 2.0], 10), vec![1.0, 2.0]);
+        assert!(downsample(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn render_downsamples_wide_rows() {
+        let mut h = Heatmap::new();
+        h.row("r", (0..1000).map(|_| 0.5).collect());
+        let text = h.render(40);
+        let bar = text.lines().next().unwrap();
+        assert!(bar.len() < 60, "row should be compact: {bar}");
+    }
+}

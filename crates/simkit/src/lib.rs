@@ -1,0 +1,70 @@
+//! Discrete-event simulation substrate for the PAD reproduction.
+//!
+//! `simkit` is the dependency-free foundation that every other crate in this
+//! workspace builds on. It provides:
+//!
+//! * [`time`] — millisecond-resolution simulation time ([`SimTime`]) and
+//!   duration ([`SimDuration`]) newtypes with saturating arithmetic;
+//! * [`event`] — a deterministic event queue with stable FIFO ordering for
+//!   simultaneous events;
+//! * [`engine`] — a minimal simulation driver that dispatches queued events
+//!   to a user handler until a stop condition is met;
+//! * [`rng`] — a seedable, *splittable* random number generator
+//!   (xoshiro256** seeded via SplitMix64) so every simulation component can
+//!   own an independent, reproducible random stream;
+//! * [`stats`] — online (Welford) statistics, percentiles, histograms and
+//!   empirical CDFs used by the experiment harness;
+//! * [`series`] — fixed-step time-series containers with resampling;
+//! * [`table`] and [`heatmap`] — plain-text renderers used to print the
+//!   paper's tables and figure series.
+//!
+//! # Example
+//!
+//! ```
+//! use simkit::prelude::*;
+//!
+//! let mut queue = EventQueue::new();
+//! queue.push(SimTime::from_secs(2), "breaker check");
+//! queue.push(SimTime::from_secs(1), "battery step");
+//!
+//! let mut engine = Engine::new(queue);
+//! let mut log = Vec::new();
+//! engine.run(|_queue, time, event| {
+//!     log.push((time, event));
+//!     ControlFlow::Continue
+//! });
+//! assert_eq!(log[0].1, "battery step");
+//! assert_eq!(log[1].1, "breaker check");
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod engine;
+pub mod event;
+pub mod heatmap;
+pub mod log;
+pub mod rng;
+pub mod series;
+pub mod stats;
+pub mod table;
+pub mod time;
+
+/// Convenient re-exports of the most common `simkit` items.
+pub mod prelude {
+    pub use crate::engine::{ControlFlow, Engine};
+    pub use crate::event::EventQueue;
+    pub use crate::log::{EventLog, Severity};
+    pub use crate::rng::RngStream;
+    pub use crate::series::TimeSeries;
+    pub use crate::stats::{OnlineStats, Summary};
+    pub use crate::time::{SimDuration, SimTime};
+}
+
+pub use engine::{ControlFlow, Engine};
+pub use event::EventQueue;
+pub use log::{EventLog, Severity};
+pub use rng::RngStream;
+pub use series::TimeSeries;
+pub use stats::OnlineStats;
+pub use time::{SimDuration, SimTime};

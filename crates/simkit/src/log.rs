@@ -1,0 +1,219 @@
+//! Structured simulation event logging.
+//!
+//! Long simulations need a forensic trail: when did the LVD isolate a
+//! battery, when did capping engage, when did the policy escalate?
+//! [`EventLog`] is a bounded, allocation-light recorder the simulator
+//! writes to and CLIs/experiments read back or print.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// Log severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Routine state changes (recharge episodes, cap lifts).
+    Info,
+    /// Degraded conditions (battery isolated, capping engaged).
+    Warning,
+    /// Incidents (overloads, breaker trips, load shedding).
+    Critical,
+}
+
+impl Severity {
+    /// Short tag used in rendered output.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Severity::Info => "INFO",
+            Severity::Warning => "WARN",
+            Severity::Critical => "CRIT",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogEvent {
+    /// Simulation time of the event.
+    pub time: SimTime,
+    /// Severity.
+    pub severity: Severity,
+    /// Originating component (e.g. `"rack-03"`, `"policy"`).
+    pub source: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for LogEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} {:<10} {}",
+            self.time, self.severity, self.source, self.message
+        )
+    }
+}
+
+/// A bounded in-memory event log.
+///
+/// Oldest events are evicted once the capacity is reached, so month-long
+/// simulations cannot grow without bound; the eviction count is kept so
+/// consumers know the log is partial.
+///
+/// # Example
+///
+/// ```
+/// use simkit::log::{EventLog, Severity};
+/// use simkit::time::SimTime;
+///
+/// let mut log = EventLog::new(100);
+/// log.record(SimTime::from_secs(5), Severity::Warning, "rack-03", "battery isolated (LVD)");
+/// assert_eq!(log.len(), 1);
+/// assert_eq!(log.events().next().unwrap().severity, Severity::Warning);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventLog {
+    events: VecDeque<LogEvent>,
+    capacity: usize,
+    evicted: u64,
+}
+
+impl EventLog {
+    /// Creates a log holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "log capacity must be non-zero");
+        EventLog {
+            events: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            evicted: 0,
+        }
+    }
+
+    /// Records one event.
+    pub fn record(
+        &mut self,
+        time: SimTime,
+        severity: Severity,
+        source: impl Into<String>,
+        message: impl Into<String>,
+    ) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.evicted += 1;
+        }
+        self.events.push_back(LogEvent {
+            time,
+            severity,
+            source: source.into(),
+            message: message.into(),
+        });
+    }
+
+    /// All retained events, oldest first.
+    pub fn events(&self) -> impl ExactSizeIterator<Item = &LogEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// How many events were evicted to respect the capacity.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Events at or above `severity`.
+    pub fn at_least(&self, severity: Severity) -> impl Iterator<Item = &LogEvent> {
+        self.events.iter().filter(move |e| e.severity >= severity)
+    }
+
+    /// Renders the retained events as lines.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.evicted > 0 {
+            out.push_str(&format!("... {} earlier events evicted ...\n", self.evicted));
+        }
+        for e in &self.events {
+            out.push_str(&format!("{e}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let mut log = EventLog::new(10);
+        log.record(SimTime::from_secs(1), Severity::Info, "a", "one");
+        log.record(SimTime::from_secs(2), Severity::Critical, "b", "two");
+        let events: Vec<_> = log.events().collect();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].message, "one");
+        assert_eq!(events[1].severity, Severity::Critical);
+    }
+
+    #[test]
+    fn evicts_oldest_beyond_capacity() {
+        let mut log = EventLog::new(3);
+        for i in 0..5u64 {
+            log.record(SimTime::from_secs(i), Severity::Info, "s", format!("{i}"));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.evicted(), 2);
+        let first = log.events().next().unwrap();
+        assert_eq!(first.message, "2");
+        assert!(log.render().starts_with("... 2 earlier events evicted"));
+    }
+
+    #[test]
+    fn severity_filter() {
+        let mut log = EventLog::new(10);
+        log.record(SimTime::ZERO, Severity::Info, "s", "i");
+        log.record(SimTime::ZERO, Severity::Warning, "s", "w");
+        log.record(SimTime::ZERO, Severity::Critical, "s", "c");
+        assert_eq!(log.at_least(Severity::Warning).count(), 2);
+        assert_eq!(log.at_least(Severity::Critical).count(), 1);
+        assert!(Severity::Critical > Severity::Info);
+    }
+
+    #[test]
+    fn display_format() {
+        let e = LogEvent {
+            time: SimTime::from_secs(90),
+            severity: Severity::Warning,
+            source: "rack-03".into(),
+            message: "battery isolated".into(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("00:01:30.000"));
+        assert!(text.contains("WARN"));
+        assert!(text.contains("rack-03"));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        EventLog::new(0);
+    }
+}

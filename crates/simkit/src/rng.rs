@@ -1,0 +1,397 @@
+//! Deterministic, splittable random streams.
+//!
+//! Every stochastic component in the simulator (trace generator, attacker
+//! jitter, load noise…) owns its own [`RngStream`], forked from a single
+//! experiment seed by a string label. This makes experiments reproducible
+//! *and* insensitive to the order in which components draw numbers — adding
+//! a consumer never perturbs the streams of existing ones.
+//!
+//! The generator is xoshiro256\*\* (public domain, Blackman & Vigna) seeded
+//! through SplitMix64, a standard combination with excellent statistical
+//! quality and a 2^256−1 period.
+
+/// SplitMix64 step; used for seeding and label hashing.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic random stream (xoshiro256\*\*).
+///
+/// # Example
+///
+/// ```
+/// use simkit::rng::RngStream;
+///
+/// let root = RngStream::new(42);
+/// let mut a = root.fork("rack-0");
+/// let mut b = root.fork("rack-1");
+/// // Independent streams from the same root seed.
+/// assert_ne!(a.next_u64(), b.next_u64());
+/// // Reproducible: same seed + label => same sequence.
+/// let mut a2 = RngStream::new(42).fork("rack-0");
+/// let mut a3 = RngStream::new(42).fork("rack-0");
+/// assert_eq!(a2.next_u64(), a3.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RngStream {
+    s: [u64; 4],
+    /// Immutable seed fingerprint used by `fork`, fixed at construction so
+    /// drawing numbers never perturbs child streams.
+    fork_base: u64,
+    /// Cached second normal deviate from Box–Muller.
+    spare_normal: Option<f64>,
+}
+
+impl RngStream {
+    /// Creates a stream from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        RngStream {
+            s,
+            fork_base: s[0] ^ s[2].rotate_left(31),
+            spare_normal: None,
+        }
+    }
+
+    /// Derives an independent child stream identified by `label`.
+    ///
+    /// Forking does not consume state from `self`, so the set of forks is
+    /// stable no matter how much the parent has been used.
+    pub fn fork(&self, label: &str) -> RngStream {
+        // FNV-1a over the label, mixed with the parent's seed block.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut sm = h ^ self.fork_base;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        RngStream {
+            s,
+            fork_base: s[0] ^ s[2].rotate_left(31),
+            spare_normal: None,
+        }
+    }
+
+    /// Derives a child stream from an integer index (convenience for
+    /// per-machine / per-rack streams).
+    pub fn fork_indexed(&self, label: &str, index: usize) -> RngStream {
+        self.fork(&format!("{label}#{index}"))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform float in `[0, 1)`, 53-bit precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is not finite.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "invalid uniform range [{lo}, {hi})"
+        );
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) has no valid output");
+        // Multiply-shift rejection-free mapping (Lemire); bias is
+        // negligible for simulation-sized n (< 2^32).
+        ((u128::from(self.next_u64()) * n as u128) >> 64) as usize
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0,1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Standard normal deviate (Box–Muller, cached pair).
+    pub fn normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Avoid u == 0 so ln is finite.
+        let u = loop {
+            let u = self.next_f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let v = self.next_f64();
+        let r = (-2.0 * u.ln()).sqrt();
+        let theta = std::f64::consts::TAU * v;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal deviate with the given mean and standard deviation.
+    pub fn normal_with(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.normal()
+    }
+
+    /// Exponential deviate with the given rate `lambda` (mean `1/lambda`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda <= 0`.
+    pub fn exponential(&mut self, lambda: f64) -> f64 {
+        assert!(lambda > 0.0, "exponential rate must be positive");
+        let u = loop {
+            let u = self.next_f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        -u.ln() / lambda
+    }
+
+    /// Poisson deviate with the given mean (Knuth for small means,
+    /// normal approximation above 30 — plenty for job-arrival counts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is negative or not finite.
+    pub fn poisson(&mut self, mean: f64) -> u64 {
+        assert!(mean.is_finite() && mean >= 0.0, "invalid poisson mean {mean}");
+        if mean == 0.0 {
+            return 0;
+        }
+        if mean > 30.0 {
+            let z = self.normal_with(mean, mean.sqrt());
+            return z.max(0.0).round() as u64;
+        }
+        let limit = (-mean).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= self.next_f64();
+            if p <= limit {
+                return k;
+            }
+            k += 1;
+        }
+    }
+
+    /// Pareto deviate with scale `x_min` and shape `alpha` (heavy-tailed
+    /// task durations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x_min <= 0` or `alpha <= 0`.
+    pub fn pareto(&mut self, x_min: f64, alpha: f64) -> f64 {
+        assert!(x_min > 0.0 && alpha > 0.0, "invalid pareto parameters");
+        let u = loop {
+            let u = self.next_f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        x_min / u.powf(1.0 / alpha)
+    }
+
+    /// Picks a uniformly random element of `slice`.
+    ///
+    /// Returns `None` on an empty slice.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.below(slice.len())])
+        }
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = RngStream::new(7);
+        let mut b = RngStream::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = RngStream::new(1);
+        let mut b = RngStream::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn forks_are_stable_regardless_of_parent_use() {
+        let mut parent = RngStream::new(99);
+        let fork_before = parent.fork("child");
+        for _ in 0..1000 {
+            parent.next_u64();
+        }
+        let fork_after = parent.fork("child");
+        assert_eq!(fork_before, fork_after);
+    }
+
+    #[test]
+    fn fork_labels_are_independent() {
+        let root = RngStream::new(5);
+        let mut x = root.fork("a");
+        let mut y = root.fork("b");
+        assert_ne!(x.next_u64(), y.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = RngStream::new(3);
+        for _ in 0..10_000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_respects_bounds_and_mean() {
+        let mut r = RngStream::new(11);
+        let mut sum = 0.0;
+        let n = 20_000;
+        for _ in 0..n {
+            let v = r.uniform(10.0, 20.0);
+            assert!((10.0..20.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 15.0).abs() < 0.1, "mean {mean} too far from 15");
+    }
+
+    #[test]
+    fn below_covers_all_buckets() {
+        let mut r = RngStream::new(21);
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            counts[r.below(10)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(c > 700, "bucket {i} undersampled: {c}");
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = RngStream::new(17);
+        let n = 50_000;
+        let (mut sum, mut sq) = (0.0, 0.0);
+        for _ in 0..n {
+            let z = r.normal();
+            sum += z;
+            sq += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "normal mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "normal variance {var}");
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut r = RngStream::new(23);
+        let n = 50_000;
+        let lambda = 4.0;
+        let mean: f64 = (0..n).map(|_| r.exponential(lambda)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "exp mean {mean}");
+    }
+
+    #[test]
+    fn poisson_mean_matches_small_and_large() {
+        let mut r = RngStream::new(29);
+        for &m in &[0.5, 3.0, 80.0] {
+            let n = 20_000;
+            let mean: f64 = (0..n).map(|_| r.poisson(m) as f64).sum::<f64>() / n as f64;
+            assert!(
+                (mean - m).abs() < 0.1 * m.max(1.0),
+                "poisson({m}) sample mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let mut r = RngStream::new(31);
+        for _ in 0..10_000 {
+            assert!(r.pareto(2.0, 1.5) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = RngStream::new(37);
+        assert!(!(0..1000).any(|_| r.chance(0.0)));
+        assert!((0..1000).all(|_| r.chance(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = RngStream::new(41);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_none_on_empty() {
+        let mut r = RngStream::new(43);
+        let empty: [u8; 0] = [];
+        assert_eq!(r.choose(&empty), None);
+        assert!(r.choose(&[1, 2, 3]).is_some());
+    }
+}

@@ -1,0 +1,354 @@
+//! Fixed-step time series.
+//!
+//! The Google trace is a per-machine CPU-rate series at 5-minute steps;
+//! power traces inside an attack window are 100 ms series. [`TimeSeries`]
+//! stores such data compactly (start, step, values) and supports sampling,
+//! resampling and elementwise combination.
+
+use crate::stats::OnlineStats;
+use crate::time::{SimDuration, SimTime};
+
+/// A fixed-step `f64` time series.
+///
+/// Values are piecewise-constant: `value_at(t)` returns the sample of the
+/// step containing `t`. Queries before the start return the first sample;
+/// queries at or beyond the end return the last.
+///
+/// # Example
+///
+/// ```
+/// use simkit::series::TimeSeries;
+/// use simkit::time::{SimDuration, SimTime};
+///
+/// let s = TimeSeries::new(SimTime::ZERO, SimDuration::from_mins(5), vec![1.0, 2.0, 3.0]);
+/// assert_eq!(s.value_at(SimTime::from_mins(0)), 1.0);
+/// assert_eq!(s.value_at(SimTime::from_mins(7)), 2.0);
+/// assert_eq!(s.value_at(SimTime::from_mins(99)), 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    start: SimTime,
+    step: SimDuration,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates a series from explicit samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero or `values` is empty.
+    pub fn new(start: SimTime, step: SimDuration, values: Vec<f64>) -> Self {
+        assert!(!step.is_zero(), "time series step must be non-zero");
+        assert!(!values.is_empty(), "time series must have at least one sample");
+        TimeSeries {
+            start,
+            step,
+            values,
+        }
+    }
+
+    /// A constant series covering `len` steps.
+    pub fn constant(start: SimTime, step: SimDuration, value: f64, len: usize) -> Self {
+        TimeSeries::new(start, step, vec![value; len])
+    }
+
+    /// First sample time.
+    pub fn start(&self) -> SimTime {
+        self.start
+    }
+
+    /// Step between consecutive samples.
+    pub fn step(&self) -> SimDuration {
+        self.step
+    }
+
+    /// End of the covered interval (exclusive).
+    pub fn end(&self) -> SimTime {
+        self.start + self.step * self.values.len() as u64
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` if the series holds a single sample (it can never be fully
+    /// empty).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Underlying samples.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to samples.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Sample index containing `t`, clamped to the valid range.
+    pub fn index_at(&self, t: SimTime) -> usize {
+        if t <= self.start {
+            return 0;
+        }
+        let offset = t.saturating_since(self.start);
+        ((offset / self.step) as usize).min(self.values.len() - 1)
+    }
+
+    /// Piecewise-constant lookup.
+    pub fn value_at(&self, t: SimTime) -> f64 {
+        self.values[self.index_at(t)]
+    }
+
+    /// Iterator over `(sample_start_time, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (self.start + self.step * i as u64, v))
+    }
+
+    /// Elementwise sum of several series with identical geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator is empty or geometries differ.
+    pub fn sum<'a, I>(series: I) -> TimeSeries
+    where
+        I: IntoIterator<Item = &'a TimeSeries>,
+    {
+        let mut iter = series.into_iter();
+        let first = iter.next().expect("sum of zero series");
+        let mut acc = first.clone();
+        for s in iter {
+            assert_eq!(s.start, acc.start, "series start mismatch");
+            assert_eq!(s.step, acc.step, "series step mismatch");
+            assert_eq!(s.values.len(), acc.values.len(), "series length mismatch");
+            for (a, b) in acc.values.iter_mut().zip(&s.values) {
+                *a += b;
+            }
+        }
+        acc
+    }
+
+    /// Applies `f` to every sample, returning a new series.
+    pub fn map(&self, mut f: impl FnMut(f64) -> f64) -> TimeSeries {
+        TimeSeries {
+            start: self.start,
+            step: self.step,
+            values: self.values.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Applies `f` to every sample with its start time, returning a new
+    /// series (e.g. to inject time-localized surges into a trace).
+    pub fn map_time(&self, mut f: impl FnMut(SimTime, f64) -> f64) -> TimeSeries {
+        TimeSeries {
+            start: self.start,
+            step: self.step,
+            values: self
+                .values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| f(self.start + self.step * i as u64, v))
+                .collect(),
+        }
+    }
+
+    /// Downsamples by an integer `factor`, averaging each group (the last
+    /// group may be shorter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    pub fn downsample_mean(&self, factor: usize) -> TimeSeries {
+        assert!(factor > 0, "downsample factor must be non-zero");
+        let values: Vec<f64> = self
+            .values
+            .chunks(factor)
+            .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+            .collect();
+        TimeSeries {
+            start: self.start,
+            step: self.step * factor as u64,
+            values,
+        }
+    }
+
+    /// Downsamples by an integer `factor`, keeping each group's maximum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    pub fn downsample_max(&self, factor: usize) -> TimeSeries {
+        assert!(factor > 0, "downsample factor must be non-zero");
+        let values: Vec<f64> = self
+            .values
+            .chunks(factor)
+            .map(|c| c.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+            .collect();
+        TimeSeries {
+            start: self.start,
+            step: self.step * factor as u64,
+            values,
+        }
+    }
+
+    /// Summary statistics over all samples.
+    pub fn stats(&self) -> OnlineStats {
+        self.values.iter().copied().collect()
+    }
+
+    /// Integral of the piecewise-constant series over its whole span,
+    /// in value·seconds (e.g. watts → joules).
+    pub fn integral(&self) -> f64 {
+        self.values.iter().sum::<f64>() * self.step.as_secs_f64()
+    }
+
+    /// Per-index standard deviation across a set of equally shaped series —
+    /// the quantity Figure 5 plots across 20 rack batteries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is empty or shapes differ.
+    pub fn cross_sectional_std_dev(group: &[TimeSeries]) -> TimeSeries {
+        let first = group.first().expect("empty series group");
+        let n = first.values.len();
+        for s in group {
+            assert_eq!(s.values.len(), n, "series length mismatch");
+            assert_eq!(s.step, first.step, "series step mismatch");
+        }
+        let values: Vec<f64> = (0..n)
+            .map(|i| {
+                let stats: OnlineStats = group.iter().map(|s| s.values[i]).collect();
+                stats.population_std_dev()
+            })
+            .collect();
+        TimeSeries {
+            start: first.start,
+            step: first.step,
+            values,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make(values: Vec<f64>) -> TimeSeries {
+        TimeSeries::new(SimTime::ZERO, SimDuration::from_mins(5), values)
+    }
+
+    #[test]
+    fn lookup_is_piecewise_constant() {
+        let s = make(vec![10.0, 20.0, 30.0]);
+        assert_eq!(s.value_at(SimTime::ZERO), 10.0);
+        assert_eq!(s.value_at(SimTime::from_mins(4)), 10.0);
+        assert_eq!(s.value_at(SimTime::from_mins(5)), 20.0);
+        assert_eq!(s.value_at(SimTime::from_mins(14)), 30.0);
+    }
+
+    #[test]
+    fn lookup_clamps_out_of_range() {
+        let s = TimeSeries::new(
+            SimTime::from_mins(10),
+            SimDuration::from_mins(5),
+            vec![1.0, 2.0],
+        );
+        assert_eq!(s.value_at(SimTime::ZERO), 1.0);
+        assert_eq!(s.value_at(SimTime::from_hours(99)), 2.0);
+    }
+
+    #[test]
+    fn end_is_exclusive_cover() {
+        let s = make(vec![1.0, 2.0, 3.0]);
+        assert_eq!(s.end(), SimTime::from_mins(15));
+    }
+
+    #[test]
+    fn sum_adds_elementwise() {
+        let a = make(vec![1.0, 2.0, 3.0]);
+        let b = make(vec![10.0, 20.0, 30.0]);
+        let s = TimeSeries::sum([&a, &b]);
+        assert_eq!(s.values(), &[11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn sum_rejects_mismatched_shapes() {
+        let a = make(vec![1.0, 2.0]);
+        let b = make(vec![1.0, 2.0, 3.0]);
+        TimeSeries::sum([&a, &b]);
+    }
+
+    #[test]
+    fn downsample_mean_and_max() {
+        let s = make(vec![1.0, 3.0, 2.0, 8.0, 5.0]);
+        let mean = s.downsample_mean(2);
+        assert_eq!(mean.values(), &[2.0, 5.0, 5.0]);
+        assert_eq!(mean.step(), SimDuration::from_mins(10));
+        let max = s.downsample_max(2);
+        assert_eq!(max.values(), &[3.0, 8.0, 5.0]);
+    }
+
+    #[test]
+    fn map_applies_function() {
+        let s = make(vec![1.0, 2.0]).map(|v| v * 100.0);
+        assert_eq!(s.values(), &[100.0, 200.0]);
+    }
+
+    #[test]
+    fn map_time_sees_sample_times() {
+        let s = make(vec![1.0, 1.0]).map_time(|t, v| {
+            if t >= SimTime::from_mins(5) {
+                v * 2.0
+            } else {
+                v
+            }
+        });
+        assert_eq!(s.values(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn cross_sectional_std_dev_zero_for_identical() {
+        let group = vec![make(vec![5.0, 6.0]), make(vec![5.0, 6.0])];
+        let sd = TimeSeries::cross_sectional_std_dev(&group);
+        assert_eq!(sd.values(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn cross_sectional_std_dev_known_value() {
+        let group = vec![make(vec![0.0]), make(vec![10.0])];
+        let sd = TimeSeries::cross_sectional_std_dev(&group);
+        assert_eq!(sd.values(), &[5.0]);
+    }
+
+    #[test]
+    fn integral_sums_value_seconds() {
+        let s = TimeSeries::new(SimTime::ZERO, SimDuration::from_secs(10), vec![2.0, 4.0]);
+        assert_eq!(s.integral(), 60.0);
+    }
+
+    #[test]
+    fn iter_yields_times_and_values() {
+        let s = make(vec![1.0, 2.0]);
+        let collected: Vec<_> = s.iter().collect();
+        assert_eq!(
+            collected,
+            vec![
+                (SimTime::ZERO, 1.0),
+                (SimTime::from_mins(5), 2.0)
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn rejects_empty_series() {
+        TimeSeries::new(SimTime::ZERO, SimDuration::SECOND, vec![]);
+    }
+}

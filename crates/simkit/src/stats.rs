@@ -1,0 +1,468 @@
+//! Statistics helpers for the experiment harness.
+//!
+//! [`OnlineStats`] accumulates mean/variance in one pass (Welford) — used
+//! for Figure 5's SOC standard deviation across racks. [`Summary`] computes
+//! order statistics over a retained sample. [`Cdf`] builds the empirical
+//! cumulative distribution used for Figure 1, and [`Histogram`] buckets
+//! values for quick text plots.
+
+/// One-pass mean/variance accumulator (Welford's algorithm).
+///
+/// # Example
+///
+/// ```
+/// use simkit::stats::OnlineStats;
+///
+/// let mut s = OnlineStats::new();
+/// for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(v);
+/// }
+/// assert_eq!(s.mean(), 5.0);
+/// assert_eq!(s.population_std_dev(), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (divides by n).
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn population_std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Sample variance (divides by n−1; 0 when n < 2).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Smallest observation (+∞ if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (−∞ if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Extend<f64> for OnlineStats {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = OnlineStats::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// Retained-sample summary with order statistics.
+///
+/// # Example
+///
+/// ```
+/// use simkit::stats::Summary;
+///
+/// let s: Summary = (1..=100).map(f64::from).collect();
+/// assert_eq!(s.percentile(50.0), 50.5);
+/// assert_eq!(s.percentile(0.0), 1.0);
+/// assert_eq!(s.percentile(100.0), 100.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    sorted: Vec<f64>,
+    stats: OnlineStats,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, value: f64) {
+        let idx = self
+            .sorted
+            .partition_point(|&x| x < value);
+        self.sorted.insert(idx, value);
+        self.stats.push(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` if no observations were added.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Mean of observations.
+    pub fn mean(&self) -> f64 {
+        self.stats.mean()
+    }
+
+    /// Population standard deviation of observations.
+    pub fn std_dev(&self) -> f64 {
+        self.stats.population_std_dev()
+    }
+
+    /// Linear-interpolated percentile, `p` in `[0, 100]`.
+    ///
+    /// Returns 0.0 for an empty summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let rank = p / 100.0 * (self.sorted.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// All observations, ascending.
+    pub fn sorted_values(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Summary::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// Empirical cumulative distribution function over a sample.
+///
+/// # Example
+///
+/// ```
+/// use simkit::stats::Cdf;
+///
+/// let cdf = Cdf::from_samples(vec![1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(cdf.probability_at_or_below(2.0), 0.5);
+/// assert_eq!(cdf.probability_at_or_below(0.5), 0.0);
+/// assert_eq!(cdf.probability_at_or_below(10.0), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples (order irrelevant).
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in CDF"));
+        Cdf { sorted: samples }
+    }
+
+    /// Fraction of samples ≤ `x`.
+    pub fn probability_at_or_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let n = self.sorted.partition_point(|&v| v <= x);
+        n as f64 / self.sorted.len() as f64
+    }
+
+    /// Evaluates the CDF at evenly spaced points across `[lo, hi]`,
+    /// returning `(x, F(x))` pairs — the series Figure 1 plots.
+    pub fn series(&self, lo: f64, hi: f64, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2, "need at least two points");
+        (0..points)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (points - 1) as f64;
+                (x, self.probability_at_or_below(x))
+            })
+            .collect()
+    }
+
+    /// Number of underlying samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` if built from no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+}
+
+/// Fixed-width histogram over `[lo, hi)`.
+///
+/// Out-of-range values clamp into the first/last bucket so totals are
+/// conserved.
+///
+/// # Example
+///
+/// ```
+/// use simkit::stats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5);
+/// for v in [0.5, 1.0, 9.9, 3.3, 5.0] {
+///     h.push(v);
+/// }
+/// assert_eq!(h.counts().iter().sum::<u64>(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` equal-width buckets over
+    /// `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `buckets == 0`.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(lo < hi, "invalid histogram range [{lo}, {hi})");
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; buckets],
+        }
+    }
+
+    /// Adds one observation (clamping to the boundary buckets).
+    pub fn push(&mut self, value: f64) {
+        let n = self.counts.len();
+        let frac = (value - self.lo) / (self.hi - self.lo);
+        let idx = ((frac * n as f64).floor() as i64).clamp(0, n as i64 - 1) as usize;
+        self.counts[idx] += 1;
+    }
+
+    /// Per-bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// `(bucket_midpoint, count)` pairs.
+    pub fn midpoints(&self) -> Vec<(f64, u64)> {
+        let n = self.counts.len();
+        let width = (self.hi - self.lo) / n as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + width * (i as f64 + 0.5), c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_known_values() {
+        let s: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.population_std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn online_stats_empty_is_zeroish() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.population_variance(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let all: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let seq: OnlineStats = all.iter().copied().collect();
+        let mut a: OnlineStats = all[..37].iter().copied().collect();
+        let b: OnlineStats = all[37..].iter().copied().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), seq.count());
+        assert!((a.mean() - seq.mean()).abs() < 1e-9);
+        assert!((a.population_variance() - seq.population_variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a: OnlineStats = [1.0, 2.0, 3.0].into_iter().collect();
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+
+        let mut e = OnlineStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn summary_percentiles_interpolate() {
+        let s: Summary = (1..=4).map(f64::from).collect();
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(100.0), 4.0);
+        assert!((s.median() - 2.5).abs() < 1e-12);
+        assert!((s.percentile(25.0) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_keeps_values_sorted_under_random_insertion() {
+        let mut s = Summary::new();
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            s.push(v);
+        }
+        assert_eq!(s.sorted_values(), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn summary_empty_percentile_is_zero() {
+        assert_eq!(Summary::new().percentile(50.0), 0.0);
+    }
+
+    #[test]
+    fn cdf_step_behaviour() {
+        let cdf = Cdf::from_samples(vec![10.0, 20.0, 20.0, 40.0]);
+        assert_eq!(cdf.probability_at_or_below(9.9), 0.0);
+        assert_eq!(cdf.probability_at_or_below(10.0), 0.25);
+        assert_eq!(cdf.probability_at_or_below(20.0), 0.75);
+        assert_eq!(cdf.probability_at_or_below(40.0), 1.0);
+    }
+
+    #[test]
+    fn cdf_series_is_monotone() {
+        let cdf = Cdf::from_samples((0..50).map(|i| i as f64 * 2.0).collect());
+        let series = cdf.series(0.0, 100.0, 21);
+        assert_eq!(series.len(), 21);
+        for w in series.windows(2) {
+            assert!(w[1].1 >= w[0].1, "CDF must be non-decreasing");
+        }
+        assert_eq!(series.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn histogram_clamps_outliers() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.push(-5.0);
+        h.push(15.0);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[9], 1);
+    }
+
+    #[test]
+    fn histogram_midpoints() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        let mids: Vec<f64> = h.midpoints().iter().map(|&(m, _)| m).collect();
+        assert_eq!(mids, vec![1.0, 3.0, 5.0, 7.0, 9.0]);
+    }
+}

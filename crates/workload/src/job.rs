@@ -1,0 +1,150 @@
+//! Jobs and tasks.
+//!
+//! "Work arrives at the cluster in the form of jobs. A job is comprised of
+//! one or more tasks, each of which is accompanied by a set of resource
+//! requirements used for dispatching the tasks onto machines." (§V)
+
+use simkit::time::{SimDuration, SimTime};
+
+/// Identifies a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// Resource requirements and duration of one task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskSpec {
+    /// CPU rate the task consumes while running, in `[0, 1]` of one
+    /// machine.
+    pub cpu_rate: f64,
+    /// How long the task runs once placed.
+    pub duration: SimDuration,
+}
+
+impl TaskSpec {
+    /// Creates a task spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu_rate` is outside `(0, 1]` or `duration` is zero.
+    pub fn new(cpu_rate: f64, duration: SimDuration) -> Self {
+        assert!(
+            cpu_rate > 0.0 && cpu_rate <= 1.0,
+            "task CPU rate must be in (0,1], got {cpu_rate}"
+        );
+        assert!(!duration.is_zero(), "task duration must be non-zero");
+        TaskSpec { cpu_rate, duration }
+    }
+}
+
+/// A job: an arrival time plus one or more tasks.
+///
+/// # Example
+///
+/// ```
+/// use workload::job::{Job, JobId, TaskSpec};
+/// use simkit::time::{SimDuration, SimTime};
+///
+/// let job = Job::new(
+///     JobId(1),
+///     SimTime::from_mins(10),
+///     vec![TaskSpec::new(0.25, SimDuration::from_mins(30)); 4],
+/// );
+/// assert_eq!(job.tasks().len(), 4);
+/// assert!((job.total_cpu() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Job {
+    id: JobId,
+    arrival: SimTime,
+    tasks: Vec<TaskSpec>,
+}
+
+impl Job {
+    /// Creates a job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks` is empty.
+    pub fn new(id: JobId, arrival: SimTime, tasks: Vec<TaskSpec>) -> Self {
+        assert!(!tasks.is_empty(), "a job must have at least one task");
+        Job { id, arrival, tasks }
+    }
+
+    /// The job id.
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// When the job arrives at the cluster.
+    pub fn arrival(&self) -> SimTime {
+        self.arrival
+    }
+
+    /// The job's tasks.
+    pub fn tasks(&self) -> &[TaskSpec] {
+        &self.tasks
+    }
+
+    /// Sum of the tasks' CPU rates.
+    pub fn total_cpu(&self) -> f64 {
+        self.tasks.iter().map(|t| t.cpu_rate).sum()
+    }
+
+    /// The longest task duration (the job's minimum makespan).
+    pub fn max_duration(&self) -> SimDuration {
+        self.tasks
+            .iter()
+            .map(|t| t.duration)
+            .fold(SimDuration::ZERO, SimDuration::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_aggregates() {
+        let job = Job::new(
+            JobId(7),
+            SimTime::from_secs(5),
+            vec![
+                TaskSpec::new(0.2, SimDuration::from_mins(10)),
+                TaskSpec::new(0.3, SimDuration::from_mins(20)),
+            ],
+        );
+        assert_eq!(job.id(), JobId(7));
+        assert_eq!(job.arrival(), SimTime::from_secs(5));
+        assert!((job.total_cpu() - 0.5).abs() < 1e-12);
+        assert_eq!(job.max_duration(), SimDuration::from_mins(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn empty_job_rejected() {
+        Job::new(JobId(1), SimTime::ZERO, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "CPU rate")]
+    fn zero_cpu_task_rejected() {
+        TaskSpec::new(0.0, SimDuration::from_mins(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "duration")]
+    fn zero_duration_task_rejected() {
+        TaskSpec::new(0.5, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(JobId(42).to_string(), "job-42");
+    }
+}

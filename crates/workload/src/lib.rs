@@ -1,0 +1,57 @@
+//! Workload substrate: Google-cluster-style traces.
+//!
+//! The paper drives its simulator with "a Google compute cluster trace …
+//! 1-month worth of node information from May 2010, on a cluster of about
+//! 220 machines. Work arrives at the cluster in the form of jobs. A job is
+//! comprised of one or more tasks … Every line in this trace includes
+//! start time, end time, machine ID, and CPU rate of the task." (§V)
+//!
+//! That trace is not redistributable, so this crate provides both:
+//!
+//! * [`trace`] — the record model plus a CSV parser for the real trace
+//!   format, and rasterization of task records into per-machine CPU-rate
+//!   time series at the paper's 5-minute granularity;
+//! * [`synth`] — a statistically matched synthetic generator (Poisson job
+//!   arrivals modulated by a diurnal/weekly pattern, heavy-tailed task
+//!   durations, least-loaded placement) that produces the same
+//!   [`trace::ClusterTrace`] shape the simulator consumes.
+//!
+//! Jobs, tasks, machines and the dispatcher live in [`job`], [`machine`]
+//! and [`scheduler`].
+//!
+//! # Example
+//!
+//! ```
+//! use workload::synth::SynthConfig;
+//!
+//! // A small synthetic cluster: 20 machines, 1 day at 5-minute steps.
+//! let trace = SynthConfig::small_test().generate(42);
+//! assert_eq!(trace.machines(), 20);
+//! // Utilizations are valid rates.
+//! for m in 0..trace.machines() {
+//!     assert!(trace.machine_series(m).values().iter().all(|&u| (0.0..=1.0).contains(&u)));
+//! }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod job;
+pub mod machine;
+pub mod scheduler;
+pub mod synth;
+pub mod trace;
+
+/// Convenient re-exports of the most common `workload` items.
+pub mod prelude {
+    pub use crate::job::{Job, JobId, TaskSpec};
+    pub use crate::machine::Machine;
+    pub use crate::scheduler::Scheduler;
+    pub use crate::synth::SynthConfig;
+    pub use crate::trace::{ClusterTrace, TraceRecord};
+}
+
+pub use job::{Job, JobId, TaskSpec};
+pub use scheduler::Scheduler;
+pub use synth::SynthConfig;
+pub use trace::{ClusterTrace, TraceRecord};

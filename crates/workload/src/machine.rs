@@ -1,0 +1,143 @@
+//! Machine model for the dispatcher.
+//!
+//! A machine runs a set of tasks whose CPU rates sum to at most its
+//! capacity (1.0 — a whole machine). The dispatcher places each task on
+//! the least-loaded machine with room, matching the resource-requirement
+//! dispatch described in the paper.
+
+use simkit::time::SimTime;
+
+/// A running task's residue on a machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Running {
+    ends_at: SimTime,
+    cpu_rate: f64,
+}
+
+/// A schedulable machine.
+///
+/// # Example
+///
+/// ```
+/// use workload::machine::Machine;
+/// use simkit::time::SimTime;
+///
+/// let mut m = Machine::new();
+/// assert!(m.try_place(0.6, SimTime::from_mins(10)));
+/// assert!(m.try_place(0.4, SimTime::from_mins(5)));
+/// // Full now.
+/// assert!(!m.try_place(0.1, SimTime::from_mins(1)));
+/// // After the second task ends there is room again.
+/// m.release_finished(SimTime::from_mins(6));
+/// assert!(m.try_place(0.1, SimTime::from_mins(20)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Machine {
+    running: Vec<Running>,
+}
+
+/// All machines have unit CPU capacity.
+const CAPACITY: f64 = 1.0;
+
+impl Machine {
+    /// Creates an empty machine.
+    pub fn new() -> Self {
+        Machine::default()
+    }
+
+    /// Present CPU load (sum of running task rates).
+    pub fn load(&self) -> f64 {
+        self.running.iter().map(|r| r.cpu_rate).sum()
+    }
+
+    /// Unused CPU capacity.
+    pub fn headroom(&self) -> f64 {
+        (CAPACITY - self.load()).max(0.0)
+    }
+
+    /// Number of running tasks.
+    pub fn task_count(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Places a task if it fits; returns whether it was placed.
+    pub fn try_place(&mut self, cpu_rate: f64, ends_at: SimTime) -> bool {
+        if cpu_rate <= self.headroom() + 1e-12 {
+            self.running.push(Running { ends_at, cpu_rate });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes tasks that have finished by `now`; returns how many ended.
+    pub fn release_finished(&mut self, now: SimTime) -> usize {
+        let before = self.running.len();
+        self.running.retain(|r| r.ends_at > now);
+        before - self.running.len()
+    }
+
+    /// The earliest time a running task will finish, if any.
+    pub fn next_completion(&self) -> Option<SimTime> {
+        self.running.iter().map(|r| r.ends_at).min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::time::SimDuration;
+
+    #[test]
+    fn load_and_headroom_track_placements() {
+        let mut m = Machine::new();
+        assert_eq!(m.load(), 0.0);
+        assert_eq!(m.headroom(), 1.0);
+        m.try_place(0.3, SimTime::from_mins(5));
+        assert!((m.load() - 0.3).abs() < 1e-12);
+        assert!((m.headroom() - 0.7).abs() < 1e-12);
+        assert_eq!(m.task_count(), 1);
+    }
+
+    #[test]
+    fn rejects_overflow() {
+        let mut m = Machine::new();
+        assert!(m.try_place(0.9, SimTime::from_mins(5)));
+        assert!(!m.try_place(0.2, SimTime::from_mins(5)));
+        assert_eq!(m.task_count(), 1);
+    }
+
+    #[test]
+    fn exact_fill_is_allowed() {
+        let mut m = Machine::new();
+        assert!(m.try_place(0.5, SimTime::from_mins(5)));
+        assert!(m.try_place(0.5, SimTime::from_mins(5)));
+        assert!((m.load() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn release_is_strict_on_boundary() {
+        let mut m = Machine::new();
+        let end = SimTime::from_mins(10);
+        m.try_place(0.5, end);
+        // At exactly the end time the task is done.
+        assert_eq!(m.release_finished(end), 1);
+        assert_eq!(m.task_count(), 0);
+    }
+
+    #[test]
+    fn next_completion_is_minimum() {
+        let mut m = Machine::new();
+        m.try_place(0.1, SimTime::from_mins(30));
+        m.try_place(0.1, SimTime::from_mins(10));
+        m.try_place(0.1, SimTime::from_mins(20));
+        assert_eq!(m.next_completion(), Some(SimTime::from_mins(10)));
+        m.release_finished(SimTime::from_mins(10) + SimDuration::MILLISECOND);
+        assert_eq!(m.next_completion(), Some(SimTime::from_mins(20)));
+    }
+
+    #[test]
+    fn empty_machine_has_no_completion() {
+        assert_eq!(Machine::new().next_completion(), None);
+    }
+}

@@ -1,0 +1,180 @@
+//! Property tests on the workload substrate: scheduler capacity safety,
+//! rasterization conservation, generator validity.
+
+use proptest::prelude::*;
+use simkit::time::{SimDuration, SimTime};
+use workload::job::{Job, JobId, TaskSpec};
+use workload::scheduler::Scheduler;
+use workload::synth::SynthConfig;
+use workload::trace::{ClusterTrace, TraceRecord};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The dispatcher never overcommits a machine: at every placement
+    /// boundary, concurrent CPU on each machine stays within 1.0.
+    #[test]
+    fn scheduler_never_overcommits(
+        jobs_spec in prop::collection::vec(
+            (0u64..120, 0.05f64..0.9, 1u64..90, 1usize..4),
+            1..30,
+        ),
+        machines in 1usize..6,
+    ) {
+        let jobs: Vec<Job> = jobs_spec
+            .iter()
+            .enumerate()
+            .map(|(i, &(arrival, cpu, mins, tasks))| {
+                Job::new(
+                    JobId(i as u64),
+                    SimTime::from_mins(arrival),
+                    vec![TaskSpec::new(cpu, SimDuration::from_mins(mins)); tasks],
+                )
+            })
+            .collect();
+        let outcome = Scheduler::new(machines).run(jobs, SimTime::from_hours(8));
+        // Check overlap loads per machine at each record start.
+        for probe in &outcome.records {
+            let load: f64 = outcome
+                .records
+                .iter()
+                .filter(|r| {
+                    r.machine == probe.machine
+                        && r.start <= probe.start
+                        && r.end > probe.start
+                })
+                .map(|r| r.cpu_rate)
+                .sum();
+            prop_assert!(load <= 1.0 + 1e-6, "machine {} at {:?} loaded {load}", probe.machine, probe.start);
+        }
+    }
+
+    /// Rasterization conserves work: total machine-seconds of CPU in the
+    /// grid equals the records' cpu×duration. One record per machine, so
+    /// the capacity clamp (which intentionally discards work above 1.0)
+    /// never triggers.
+    #[test]
+    fn rasterization_conserves_work(
+        recs in prop::collection::vec((0u64..120, 1u64..60, 0.05f64..1.0), 1..20),
+    ) {
+        let machines = recs.len();
+        let records: Vec<TraceRecord> = recs
+            .iter()
+            .enumerate()
+            .map(|(machine, &(start, dur, cpu))| {
+                TraceRecord::new(
+                    SimTime::from_mins(start),
+                    SimTime::from_mins(start + dur),
+                    machine,
+                    cpu,
+                )
+            })
+            .collect();
+        let horizon = SimTime::from_hours(3);
+        let step = SimDuration::from_mins(5);
+        let trace = ClusterTrace::from_records(&records, machines, step, horizon);
+        let expected: f64 = records
+            .iter()
+            .map(|r| r.cpu_rate * r.end.saturating_since(r.start).as_secs_f64())
+            .sum();
+        let actual: f64 = (0..machines)
+            .map(|m| {
+                trace
+                    .machine_series(m)
+                    .values()
+                    .iter()
+                    .sum::<f64>()
+                    * step.as_secs_f64()
+            })
+            .sum();
+        prop_assert!(
+            (actual - expected).abs() < 1e-6 * expected.max(1.0),
+            "work {actual} vs expected {expected}"
+        );
+    }
+
+    /// With stacked records the clamp only ever *removes* work: the grid
+    /// total never exceeds the records' total, and never exceeds the
+    /// machine-capacity bound.
+    #[test]
+    fn rasterization_clamps_downward_only(
+        recs in prop::collection::vec(
+            (0u64..120, 1u64..60, 0usize..3, 0.1f64..1.0),
+            1..24,
+        ),
+    ) {
+        let records: Vec<TraceRecord> = recs
+            .iter()
+            .map(|&(start, dur, machine, cpu)| {
+                TraceRecord::new(
+                    SimTime::from_mins(start),
+                    SimTime::from_mins(start + dur),
+                    machine,
+                    cpu,
+                )
+            })
+            .collect();
+        let horizon = SimTime::from_hours(3);
+        let step = SimDuration::from_mins(5);
+        let trace = ClusterTrace::from_records(&records, 3, step, horizon);
+        let offered: f64 = records
+            .iter()
+            .map(|r| r.cpu_rate * r.end.saturating_since(r.start).as_secs_f64())
+            .sum();
+        let gridded: f64 = (0..3)
+            .map(|m| {
+                trace.machine_series(m).values().iter().sum::<f64>() * step.as_secs_f64()
+            })
+            .sum();
+        prop_assert!(gridded <= offered + 1e-6, "grid {gridded} above offered {offered}");
+        // Per-machine capacity bound: 1.0 for the whole horizon.
+        for m in 0..3 {
+            let total: f64 =
+                trace.machine_series(m).values().iter().sum::<f64>() * step.as_secs_f64();
+            prop_assert!(total <= horizon.as_secs_f64() + 1e-6);
+        }
+    }
+
+    /// Both generator paths yield traces with the requested geometry and
+    /// valid values for any sane configuration.
+    #[test]
+    fn generator_geometry(
+        machines in 1usize..12,
+        hours in 2u64..8,
+        mean in 0.1f64..0.8,
+        seed in 0u64..1_000,
+    ) {
+        let cfg = SynthConfig {
+            machines,
+            horizon: SimTime::from_hours(hours),
+            mean_utilization: mean,
+            ..SynthConfig::small_test()
+        };
+        let trace = cfg.generate_direct(seed);
+        prop_assert_eq!(trace.machines(), machines);
+        prop_assert_eq!(trace.steps() as u64, hours * 12);
+        for m in 0..machines {
+            for &v in trace.machine_series(m).values() {
+                prop_assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    /// CSV round trip: records survive format/parse unchanged.
+    #[test]
+    fn csv_round_trip(
+        start in 0u64..100_000,
+        dur in 1u64..100_000,
+        machine in 0usize..1_000,
+        cpu in 0.0f64..=1.0,
+    ) {
+        let rec = TraceRecord::new(
+            SimTime::from_secs(start),
+            SimTime::from_secs(start + dur),
+            machine,
+            cpu,
+        );
+        let parsed = TraceRecord::parse_csv(&rec.to_csv()).unwrap();
+        prop_assert_eq!(parsed, rec);
+    }
+}

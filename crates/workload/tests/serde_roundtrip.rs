@@ -1,0 +1,40 @@
+//! Serde round-trip tests (only built with `--features serde`).
+#![cfg(feature = "serde")]
+
+use simkit::time::{SimDuration, SimTime};
+use workload::synth::SynthConfig;
+use workload::trace::TraceRecord;
+
+#[test]
+fn trace_record_json_round_trip() {
+    let rec = TraceRecord::new(
+        SimTime::from_secs(60),
+        SimTime::from_secs(360),
+        17,
+        0.375,
+    );
+    let json = serde_json::to_string(&rec).unwrap();
+    let back: TraceRecord = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, rec);
+}
+
+#[test]
+fn synth_config_json_round_trip() {
+    let cfg = SynthConfig {
+        machines: 12,
+        horizon: SimTime::from_hours(6),
+        mean_utilization: 0.4,
+        ..SynthConfig::small_test()
+    };
+    let json = serde_json::to_string(&cfg).unwrap();
+    let back: SynthConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, cfg);
+    // And the deserialized config generates the identical trace.
+    assert_eq!(back.generate_direct(5), cfg.generate_direct(5));
+}
+
+#[test]
+fn durations_serialize_as_integers() {
+    let json = serde_json::to_string(&SimDuration::from_secs(5)).unwrap();
+    assert_eq!(json, "5000");
+}

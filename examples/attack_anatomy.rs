@@ -1,0 +1,85 @@
+//! Anatomy of a power-virus attack (paper §III, Figures 6–7).
+//!
+//! Walks through the attacker's playbook step by step on the paper's
+//! scaled-down testbed: VM placement, Phase-I battery drain with
+//! side-channel learning, and Phase-II hidden spikes.
+//!
+//! Run with: `cargo run --release --example attack_anatomy`
+
+use attack::placement::NodeAcquisition;
+use attack::recon::AutonomyEstimator;
+use battery::model::EnergyStorage;
+use pad::experiments::{fig06, fig07, Fidelity};
+use pad::prelude::*;
+use powerinfra::topology::ClusterTopology;
+use simkit::rng::RngStream;
+use simkit::time::SimDuration;
+
+fn main() {
+    println!("== Step 1: preparation — land VMs on the victim rack ==\n");
+    let topo = ClusterTopology::paper_cluster();
+    let campaign = NodeAcquisition::new(topo, RackId(7));
+    let mut rng = RngStream::new(2026);
+    let outcome = campaign.acquire(&mut rng, 4, 10_000);
+    println!(
+        "acquired {} servers on {} after {} VM launches (expected ~{:.0})",
+        outcome.nodes.len(),
+        campaign.victim(),
+        outcome.attempts,
+        campaign.expected_attempts(4)
+    );
+    for node in &outcome.nodes {
+        println!("  co-resident VM on {node}");
+    }
+
+    println!("\n== Step 2: Phase I — drain the battery, learn its autonomy ==\n");
+    let mut estimator = AutonomyEstimator::new();
+    for trial in [48u64, 52, 50, 47] {
+        estimator.push_trial(SimDuration::from_secs(trial));
+        println!(
+            "drain trial: capping observed after {trial:>3} s   estimate {:>5.1} s  (cv {:.2})",
+            estimator.estimate().unwrap().as_secs_f64(),
+            estimator.relative_dispersion()
+        );
+    }
+    println!(
+        "confident: {} — drain budget for the real attack: {:.0} s",
+        estimator.is_confident(0.1),
+        estimator.drain_budget().unwrap().as_secs_f64()
+    );
+
+    println!("\n== Step 3: the full two-phase timeline (Figure 6) ==\n");
+    let fig = fig06::run(Fidelity::Smoke);
+    let battery = fig.battery.values();
+    println!(
+        "battery: {:.0}% at t=20s -> {:.0}% at t=120s -> {:.0}% at the end",
+        battery[20],
+        battery[120.min(battery.len() - 1)],
+        battery.last().unwrap()
+    );
+    if let Some(t) = fig.phase2_at {
+        println!("hidden spikes began at ~{t:.0} s, once the battery was out");
+    }
+
+    println!("\n== Step 4: failed attempts vs effective attacks (Figure 7) ==\n");
+    let fig = fig07::run(Fidelity::Smoke);
+    println!(
+        "{} spikes fired; {} effective (crossed {:.0} W), {} failed attempts",
+        fig.spikes_fired,
+        fig.effective_at.len(),
+        fig.limit,
+        fig.failed_attempts()
+    );
+
+    println!("\n== Why the defense works: the LVD window ==\n");
+    let mut cabinet = battery::pack::BatteryCabinet::facebook_v1(Watts(5210.0));
+    while cabinet.is_connected() {
+        cabinet.discharge(Watts(5210.0), SimDuration::SECOND);
+    }
+    println!(
+        "a fully drained cabinet disconnects (LVD) and leaves the rack shock-absorber-less;"
+    );
+    println!(
+        "recharging at lead-acid rates takes hours — the vulnerability window PAD closes."
+    );
+}

@@ -1,0 +1,13 @@
+#!/bin/bash
+# Regenerates every table and figure at paper fidelity into results/.
+set -u
+cd "$(dirname "$0")"
+BINS="fig01_outage_cost fig02_survey fig05_soc_stddev fig06_two_phase fig07_effective_attack fig08_attack_stats table1_detection fig12_traces fig13_heatmap fig14_shedding fig15_survival fig16_throughput fig17_cost"
+for b in $BINS; do
+  echo "=== running $b ==="
+  ./target/release/$b > results/$b.txt 2>&1 || echo "$b FAILED"
+done
+./target/release/ablations > results/ablations.txt 2>&1 || echo "ablations FAILED"
+./target/release/validate_platform > results/validate_platform.txt 2>&1 || echo "validate_platform FAILED"
+./target/release/recon_value > results/recon_value.txt 2>&1 || echo "recon_value FAILED"
+echo "all experiments done"

@@ -1,0 +1,189 @@
+//! Property-based tests on cross-crate invariants: whatever the workload
+//! and attack do, the physical ledgers must stay consistent.
+
+use attack::scenario::{AttackScenario, AttackStyle};
+use attack::virus::VirusClass;
+use battery::model::EnergyStorage;
+use battery::pack::BatteryCabinet;
+use battery::units::Watts;
+use pad::schemes::Scheme;
+use pad::sim::{ClusterSim, SimConfig};
+use pad::vdeb::plan_discharge_with_reserve;
+use powerinfra::metering::PowerMeter;
+use powerinfra::topology::RackId;
+use proptest::prelude::*;
+use simkit::series::TimeSeries;
+use simkit::time::{SimDuration, SimTime};
+use workload::trace::ClusterTrace;
+
+/// Builds a cluster trace from arbitrary utilization values.
+fn trace_from_values(machines: usize, values: Vec<f64>) -> ClusterTrace {
+    let per = values.len() / machines;
+    let series: Vec<TimeSeries> = (0..machines)
+        .map(|m| {
+            TimeSeries::new(
+                SimTime::ZERO,
+                SimDuration::from_mins(5),
+                values[m * per..(m + 1) * per].to_vec(),
+            )
+        })
+        .collect();
+    ClusterTrace::from_series(series)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The utility draw never exceeds demand plus jitter headroom, never
+    /// goes negative, and stored battery energy stays within capacity —
+    /// for arbitrary background utilization and any scheme.
+    #[test]
+    fn power_ledger_stays_consistent(
+        raw in prop::collection::vec(0.0f64..1.0, 16 * 4),
+        scheme_idx in 0usize..6,
+        attack in prop::bool::ANY,
+    ) {
+        let scheme = Scheme::ALL[scheme_idx];
+        let mut config = SimConfig::small_test(scheme);
+        config.demand_jitter = Watts(0.0); // exact ledger check
+        let trace = trace_from_values(16, raw);
+        let mut sim = ClusterSim::new(config, trace).unwrap();
+        if attack {
+            let scenario =
+                AttackScenario::new(AttackStyle::Dense, VirusClass::CpuIntensive, 2).immediate();
+            sim.set_attack(scenario, RackId(0), SimTime::ZERO);
+        }
+        for _ in 0..300 {
+            sim.step(SimDuration::from_millis(100));
+            for (r, rack) in sim.racks().iter().enumerate() {
+                let draw = sim.last_draws()[r];
+                prop_assert!(draw.0 >= -1e-9, "negative draw {draw}");
+                prop_assert!(
+                    draw.0 <= rack.demand().0 + 1e-6,
+                    "draw {draw} above demand {} (storage cannot push power upstream)",
+                    rack.demand()
+                );
+                let soc = rack.cabinet().soc();
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&soc), "SOC {soc}");
+            }
+        }
+    }
+
+    /// Algorithm 1 with a reserve keeps every invariant for arbitrary SOC
+    /// vectors: cap respected, reserve respected, target conserved when
+    /// feasible.
+    #[test]
+    fn vdeb_plan_invariants(
+        socs in prop::collection::vec(0.0f64..=1.0, 1..40),
+        shave in 0.0f64..10_000.0,
+        p_ideal in 1.0f64..2_000.0,
+        reserve in 0.0f64..0.9,
+    ) {
+        let plan = plan_discharge_with_reserve(
+            &socs,
+            Watts(shave),
+            Watts(p_ideal),
+            reserve,
+        );
+        prop_assert_eq!(plan.len(), socs.len());
+        let mut total = 0.0;
+        let mut chargeable = 0usize;
+        for (i, a) in plan.iter().enumerate() {
+            prop_assert!(a.power.0 >= -1e-9);
+            prop_assert!(a.power.0 <= p_ideal + 1e-9, "assignment above cap");
+            if socs[i] <= reserve {
+                prop_assert!(
+                    a.power.0 == 0.0,
+                    "rack {} below reserve {} was assigned {}",
+                    i, reserve, a.power
+                );
+            }
+            if socs[i] > reserve {
+                chargeable += 1;
+            }
+            total += a.power.0;
+        }
+        let feasible = (chargeable as f64) * p_ideal;
+        let expected = shave.min(feasible);
+        prop_assert!(
+            (total - expected).abs() < 1e-6 * expected.max(1.0),
+            "plan total {} vs expected {}",
+            total, expected
+        );
+    }
+
+    /// A battery cabinet conserves energy through arbitrary
+    /// charge/discharge sequences: stored never negative, never above
+    /// capacity, and discharge delivers no more than requested.
+    #[test]
+    fn cabinet_energy_conservation(
+        ops in prop::collection::vec((prop::bool::ANY, 0.0f64..8_000.0, 1u64..5_000), 1..60),
+    ) {
+        let mut cab = BatteryCabinet::facebook_v1(Watts(5210.0));
+        let capacity = cab.capacity();
+        for (charge, power, millis) in ops {
+            let dt = SimDuration::from_millis(millis);
+            let moved = if charge {
+                cab.charge(Watts(power), dt)
+            } else {
+                cab.discharge(Watts(power), dt)
+            };
+            prop_assert!(moved.0 >= 0.0);
+            prop_assert!(moved.0 <= power + 1e-9, "moved {moved} above request {power}");
+            prop_assert!(cab.stored().0 >= -1e-6);
+            prop_assert!(cab.stored().0 <= capacity.0 + 1e-6);
+        }
+    }
+
+    /// A power meter conserves energy: the sum of its window averages
+    /// times the interval equals the energy fed in (complete windows).
+    #[test]
+    fn meter_conserves_energy(
+        powers in prop::collection::vec(0.0f64..10_000.0, 10..200),
+        interval_secs in 1u64..30,
+    ) {
+        let interval = SimDuration::from_secs(interval_secs);
+        let mut meter = PowerMeter::new(interval);
+        let dt = SimDuration::from_millis(500);
+        let mut t = SimTime::ZERO;
+        let mut fed = 0.0;
+        for &p in &powers {
+            meter.feed(Watts(p), t, dt);
+            fed += p * dt.as_secs_f64();
+            t += dt;
+        }
+        let complete: f64 = meter
+            .samples()
+            .iter()
+            .map(|&(_, avg)| avg.0 * interval.as_secs_f64())
+            .sum();
+        // Energy in completed windows can't exceed what was fed; and with
+        // the partial window flushed the totals must match.
+        prop_assert!(complete <= fed + 1e-6);
+        meter.flush();
+        let total: f64 = meter
+            .samples()
+            .iter()
+            .map(|&(_, avg)| avg.0 * interval.as_secs_f64())
+            .sum();
+        prop_assert!((total - fed).abs() < 1e-6 * fed.max(1.0), "total {total} vs fed {fed}");
+    }
+
+    /// Synthetic traces always produce valid utilizations, whatever the
+    /// target mean.
+    #[test]
+    fn synthetic_traces_are_valid(mean in 0.05f64..0.9, seed in 0u64..500) {
+        let cfg = workload::synth::SynthConfig {
+            machines: 6,
+            horizon: SimTime::from_hours(3),
+            mean_utilization: mean,
+            ..workload::synth::SynthConfig::small_test()
+        };
+        let trace = cfg.generate_direct(seed);
+        for m in 0..trace.machines() {
+            for &v in trace.machine_series(m).values() {
+                prop_assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+}

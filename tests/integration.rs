@@ -1,0 +1,274 @@
+//! Cross-crate integration tests: the full pipeline from synthetic trace
+//! through the simulator, attack and defense, checked against the paper's
+//! ordinal claims at reduced scale.
+
+use attack::scenario::{AttackScenario, AttackStyle};
+use attack::virus::VirusClass;
+use pad::policy::SecurityLevel;
+use pad::schemes::Scheme;
+use pad::sim::{ClusterSim, SimConfig};
+use powerinfra::topology::RackId;
+use simkit::stats::OnlineStats;
+use simkit::time::{SimDuration, SimTime};
+use workload::synth::SynthConfig;
+use workload::trace::ClusterTrace;
+
+fn small_trace(machines: usize, mean_util: f64, hours: u64, seed: u64) -> ClusterTrace {
+    SynthConfig {
+        machines,
+        horizon: SimTime::from_hours(hours),
+        mean_utilization: mean_util,
+        ..SynthConfig::small_test()
+    }
+    .generate_direct(seed)
+}
+
+fn attacked_sim(scheme: Scheme, victim_soc: f64) -> ClusterSim {
+    let config = SimConfig::small_test(scheme);
+    let trace = small_trace(config.topology.total_servers(), 0.35, 3, 11);
+    let mut sim = ClusterSim::new(config, trace).expect("valid config");
+    sim.rack_mut(RackId(0)).cabinet_mut().set_soc(victim_soc);
+    let scenario = AttackScenario::new(AttackStyle::Dense, VirusClass::CpuIntensive, 4)
+        .with_max_drain(SimDuration::from_mins(2));
+    sim.set_attack(scenario, RackId(0), SimTime::from_secs(30));
+    sim
+}
+
+#[test]
+fn scheme_ordering_under_identical_attack() {
+    // With the victim battery at half charge, the paper's core ordering
+    // holds: no battery < local battery < the full PAD patch.
+    let mut survivals = Vec::new();
+    for scheme in [Scheme::Conv, Scheme::Ps, Scheme::Pad] {
+        let mut sim = attacked_sim(scheme, 0.5);
+        let report = sim.run(SimTime::from_hours(2), SimDuration::from_millis(100), true);
+        survivals.push((scheme, report.survival_or_horizon()));
+    }
+    assert!(
+        survivals[0].1 < survivals[1].1,
+        "Conv {:?} must fall before PS {:?}",
+        survivals[0],
+        survivals[1]
+    );
+    assert!(
+        survivals[1].1 <= survivals[2].1,
+        "PS {:?} must not outlast PAD {:?}",
+        survivals[1],
+        survivals[2]
+    );
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let run = || {
+        let mut sim = attacked_sim(Scheme::Ps, 0.4);
+        sim.reseed_noise(99);
+        sim.run(SimTime::from_mins(45), SimDuration::from_millis(100), true)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.overloads, b.overloads);
+    assert_eq!(a.delivered_work, b.delivered_work);
+    assert_eq!(a.ended_at, b.ended_at);
+}
+
+#[test]
+fn vdeb_balances_what_local_shaving_skews() {
+    // A hot afternoon drains batteries; with local (PS) management the
+    // SOC spread blows up, while vDEB pooling keeps racks aligned.
+    let spreads: Vec<f64> = [Scheme::Ps, Scheme::Pad]
+        .iter()
+        .map(|&scheme| {
+            let config = SimConfig::small_test(scheme);
+            let trace = small_trace(config.topology.total_servers(), 0.6, 6, 5);
+            let mut sim = ClusterSim::new(config, trace).expect("valid config");
+            sim.run(SimTime::from_hours(6), SimDuration::from_secs(10), false);
+            let stats: OnlineStats = sim.rack_socs().into_iter().collect();
+            stats.population_std_dev()
+        })
+        .collect();
+    assert!(
+        spreads[1] <= spreads[0] + 1e-6,
+        "PAD SOC spread {} must not exceed PS spread {}",
+        spreads[1],
+        spreads[0]
+    );
+}
+
+#[test]
+fn pad_policy_escalates_when_backup_vanishes() {
+    let config = SimConfig::small_test(Scheme::Pad);
+    let trace = small_trace(config.topology.total_servers(), 0.5, 2, 3);
+    let mut sim = ClusterSim::new(config, trace).expect("valid config");
+    assert_eq!(sim.level(), SecurityLevel::Normal);
+    // Flatten every battery by force, then step: the policy must leave
+    // Level 1 once it sees the pool is gone.
+    for r in 0..4 {
+        sim.rack_mut(RackId(r)).cabinet_mut().set_soc(0.0);
+    }
+    for _ in 0..600 {
+        sim.step(SimDuration::from_millis(100));
+    }
+    assert!(
+        sim.level() > SecurityLevel::Normal,
+        "policy stayed at {:?} with an empty pool",
+        sim.level()
+    );
+}
+
+#[test]
+fn side_channel_learning_feeds_the_estimator() {
+    use attack::recon::AutonomyEstimator;
+    // Repeated attacks against the same PS rack produce consistent drain
+    // observations the attacker can learn from.
+    let mut estimator = AutonomyEstimator::new();
+    for seed in 0..3u64 {
+        let mut sim = attacked_sim(Scheme::Ps, 0.4);
+        sim.reseed_noise(seed);
+        sim.run(SimTime::from_mins(40), SimDuration::from_millis(100), true);
+        if let Some(drain) = sim.attacker_observed_drain() {
+            estimator.push_trial(drain);
+        }
+    }
+    assert!(estimator.trials() >= 2, "attacks should reach Phase II");
+    let estimate = estimator.estimate().expect("trials recorded");
+    assert!(estimate > SimDuration::ZERO);
+}
+
+#[test]
+fn csv_trace_drives_the_simulator() {
+    // A hand-written Google-format CSV goes through parsing,
+    // rasterization and simulation.
+    let mut csv = String::from("# start,end,machine,cpu\n");
+    for machine in 0..16 {
+        for hour in 0..3 {
+            csv.push_str(&format!(
+                "{},{},{},0.45\n",
+                hour * 3600,
+                (hour + 1) * 3600,
+                machine
+            ));
+        }
+    }
+    let trace = ClusterTrace::parse_csv(
+        &csv,
+        16,
+        SimDuration::from_mins(5),
+        SimTime::from_hours(3),
+    )
+    .expect("valid CSV");
+    let config = SimConfig::small_test(Scheme::Ps);
+    let mut sim = ClusterSim::new(config, trace).expect("valid config");
+    let report = sim.run(SimTime::from_hours(1), SimDuration::SECOND, false);
+    assert!(report.delivered_work > 0.0);
+    assert!(report.normalized_throughput() > 0.9);
+}
+
+#[test]
+fn overload_free_run_keeps_batteries_and_throughput() {
+    let config = SimConfig::small_test(Scheme::Pad);
+    let trace = small_trace(config.topology.total_servers(), 0.2, 2, 8);
+    let mut sim = ClusterSim::new(config, trace).expect("valid config");
+    let report = sim.run(SimTime::from_hours(2), SimDuration::SECOND, true);
+    assert!(report.overloads.is_empty());
+    assert!(report.breaker_trips == 0);
+    assert!(report.normalized_throughput() > 0.99);
+    assert!(sim.rack_socs().iter().all(|&s| s > 0.95));
+}
+
+#[test]
+fn escalating_attacker_gains_nodes_over_time() {
+    let config = SimConfig::small_test(Scheme::Pad);
+    let trace = small_trace(config.topology.total_servers(), 0.3, 3, 13);
+    let mut sim = ClusterSim::new(config, trace).expect("valid config");
+    let scenario = AttackScenario::new(AttackStyle::Dense, VirusClass::CpuIntensive, 1)
+        .with_escalation(SimDuration::from_mins(2))
+        .immediate();
+    sim.set_attack(scenario, RackId(0), SimTime::ZERO);
+    // After 10 minutes of Phase II the attacker holds more nodes,
+    // observable as a taller spike envelope on the victim rack.
+    let mut peak_early = 0.0f64;
+    let mut peak_late = 0.0f64;
+    let mut t = SimTime::ZERO;
+    while t < SimTime::from_mins(12) {
+        sim.step(SimDuration::from_millis(100));
+        t = sim.now();
+        let demand = sim.racks()[0].demand().0;
+        if t < SimTime::from_mins(2) {
+            peak_early = peak_early.max(demand);
+        } else if t > SimTime::from_mins(10) {
+            peak_late = peak_late.max(demand);
+        }
+    }
+    assert!(
+        peak_late > peak_early + 100.0,
+        "escalation should raise the spike peak: early {peak_early:.0} vs late {peak_late:.0}"
+    );
+}
+
+#[test]
+fn migration_mode_conserves_throughput_better_than_shedding() {
+    use pad::sim::EmergencyAction;
+    let run = |action: EmergencyAction| {
+        let mut config = SimConfig::small_test(Scheme::Pad);
+        config.emergency_action = action;
+        let trace = small_trace(config.topology.total_servers(), 0.55, 3, 21);
+        let mut sim = ClusterSim::new(config, trace).expect("valid config");
+        // Flatten the pool so Level 3 conditions arise under the hot trace.
+        for r in 0..4 {
+            sim.rack_mut(RackId(r)).cabinet_mut().set_soc(0.05);
+        }
+        let scenario = AttackScenario::new(AttackStyle::Dense, VirusClass::CpuIntensive, 4)
+            .with_max_drain(SimDuration::from_mins(1));
+        sim.set_attack(scenario, RackId(0), SimTime::from_secs(30));
+        sim.run(SimTime::from_mins(30), SimDuration::from_millis(100), false)
+    };
+    let shed = run(EmergencyAction::Shed);
+    let migrate = run(EmergencyAction::Migrate);
+    // Migration conserves work; shedding sacrifices it.
+    assert!(
+        migrate.normalized_throughput() + 1e-9 >= shed.normalized_throughput(),
+        "migrate {:.4} must not fall below shed {:.4}",
+        migrate.normalized_throughput(),
+        shed.normalized_throughput()
+    );
+}
+
+#[test]
+fn coordinated_multi_rack_attack_is_harder_to_survive() {
+    let run = |victims: &[usize]| {
+        let config = SimConfig::small_test(Scheme::Ps);
+        let trace = small_trace(config.topology.total_servers(), 0.35, 3, 31);
+        let mut sim = ClusterSim::new(config, trace).expect("valid config");
+        for (i, &v) in victims.iter().enumerate() {
+            sim.rack_mut(RackId(v)).cabinet_mut().set_soc(0.4);
+            let scenario =
+                AttackScenario::new(AttackStyle::Dense, VirusClass::CpuIntensive, 4)
+                    .with_max_drain(SimDuration::from_mins(2));
+            if i == 0 {
+                sim.set_attack(scenario, RackId(v), SimTime::from_secs(30));
+            } else {
+                sim.add_attack(scenario, RackId(v), SimTime::from_secs(30));
+            }
+        }
+        sim.run(SimTime::from_hours(2), SimDuration::from_millis(100), true)
+            .survival_or_horizon()
+    };
+    let single = run(&[0]);
+    let multi = run(&[0, 1, 2]);
+    assert!(
+        multi <= single,
+        "attacking 3 racks ({multi:?}) cannot take longer than 1 ({single:?})"
+    );
+}
+
+#[test]
+#[should_panic(expected = "already under attack")]
+fn duplicate_victim_rejected() {
+    let config = SimConfig::small_test(Scheme::Ps);
+    let trace = small_trace(config.topology.total_servers(), 0.3, 2, 1);
+    let mut sim = ClusterSim::new(config, trace).expect("valid config");
+    let scenario = AttackScenario::new(AttackStyle::Dense, VirusClass::CpuIntensive, 2);
+    sim.set_attack(scenario, RackId(0), SimTime::ZERO);
+    sim.add_attack(scenario, RackId(0), SimTime::ZERO);
+}
