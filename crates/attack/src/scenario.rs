@@ -256,7 +256,10 @@ mod tests {
         let max = trace.values().iter().copied().fold(0.0, f64::max);
         let mean = trace.values().iter().sum::<f64>() / trace.len() as f64;
         assert!(max > 95.0, "spikes should approach peak, max {max}");
-        assert!(mean < 90.0, "baseline should stay well below peak, mean {mean}");
+        assert!(
+            mean < 90.0,
+            "baseline should stay well below peak, mean {mean}"
+        );
     }
 
     #[test]
@@ -266,10 +269,11 @@ mod tests {
             .collected_trace(SimDuration::from_mins(4), &mut rng);
         let io = AttackScenario::new(AttackStyle::Sparse, VirusClass::IoIntensive, 1)
             .collected_trace(SimDuration::from_mins(4), &mut rng);
-        let max = |t: &simkit::series::TimeSeries| {
-            t.values().iter().copied().fold(0.0, f64::max)
-        };
-        assert!(max(&cpu) > max(&io) + 5.0, "IO spikes should be visibly lower");
+        let max = |t: &simkit::series::TimeSeries| t.values().iter().copied().fold(0.0, f64::max);
+        assert!(
+            max(&cpu) > max(&io) + 5.0,
+            "IO spikes should be visibly lower"
+        );
     }
 
     #[test]

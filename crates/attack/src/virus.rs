@@ -136,8 +136,7 @@ impl PowerVirus {
     /// Peak utilization reachable inside a spike of the given width,
     /// accounting for the class's ramp rate.
     pub fn spike_utilization(&self, width: SimDuration) -> f64 {
-        let ramp_fraction =
-            (width.as_secs_f64() / self.class.rise_time().as_secs_f64()).min(1.0);
+        let ramp_fraction = (width.as_secs_f64() / self.class.rise_time().as_secs_f64()).min(1.0);
         self.utilization(ramp_fraction)
     }
 

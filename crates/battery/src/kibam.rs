@@ -56,7 +56,10 @@ impl KibamParams {
             return Err(format!("capacity ratio c must be in (0,1), got {}", self.c));
         }
         if !(self.k_prime > 0.0 && self.k_prime.is_finite()) {
-            return Err(format!("rate constant k' must be positive, got {}", self.k_prime));
+            return Err(format!(
+                "rate constant k' must be positive, got {}",
+                self.k_prime
+            ));
         }
         if !(self.charge_efficiency > 0.0 && self.charge_efficiency <= 1.0) {
             return Err(format!(
@@ -154,7 +157,12 @@ impl KibamBattery {
     }
 
     /// Whether a battery of `capacity` sustains `power` for `duration`.
-    fn sustains(capacity: Joules, params: KibamParams, power: Watts, duration: SimDuration) -> bool {
+    fn sustains(
+        capacity: Joules,
+        params: KibamParams,
+        power: Watts,
+        duration: SimDuration,
+    ) -> bool {
         let mut b = KibamBattery::new(capacity, params, power * 4.0);
         let step = SimDuration::from_millis(250);
         let mut elapsed = SimDuration::ZERO;
@@ -196,7 +204,10 @@ impl KibamBattery {
     ///
     /// Panics if `soc` is outside `[0, 1]`.
     pub fn set_soc(&mut self, soc: f64) {
-        assert!((0.0..=1.0).contains(&soc), "SOC must be in [0,1], got {soc}");
+        assert!(
+            (0.0..=1.0).contains(&soc),
+            "SOC must be in [0,1], got {soc}"
+        );
         let total = self.capacity * soc;
         self.available = total * self.params.c;
         self.bound = total * (1.0 - self.params.c);
@@ -266,8 +277,7 @@ impl EnergyStorage for KibamBattery {
             return Watts::ZERO;
         }
         let headroom = (self.params.c * self.capacity.0 - a_coef) / b_coef;
-        let total_headroom =
-            (self.capacity.0 - self.stored().0) / NOMINAL_STEP.as_secs_f64();
+        let total_headroom = (self.capacity.0 - self.stored().0) / NOMINAL_STEP.as_secs_f64();
         let internal = headroom.min(total_headroom).max(0.0);
         Watts(internal / self.params.charge_efficiency).min(self.rate_limit)
     }
@@ -277,7 +287,11 @@ impl EnergyStorage for KibamBattery {
             return Watts::ZERO;
         }
         let (a_coef, b_coef) = self.step_coefficients(dt);
-        let i_max = if b_coef > 0.0 { (a_coef / b_coef).max(0.0) } else { 0.0 };
+        let i_max = if b_coef > 0.0 {
+            (a_coef / b_coef).max(0.0)
+        } else {
+            0.0
+        };
         let i = power.0.min(i_max).min(self.rate_limit.0);
         if i <= 0.0 {
             return Watts::ZERO;
@@ -492,15 +506,36 @@ mod tests {
 
     #[test]
     fn invalid_params_rejected() {
-        assert!(KibamParams { c: 0.0, ..KibamParams::lead_acid() }.validate().is_err());
-        assert!(KibamParams { c: 1.0, ..KibamParams::lead_acid() }.validate().is_err());
-        assert!(KibamParams { k_prime: 0.0, ..KibamParams::lead_acid() }.validate().is_err());
-        assert!(KibamParams { charge_efficiency: 0.0, ..KibamParams::lead_acid() }
-            .validate()
-            .is_err());
-        assert!(KibamParams { charge_efficiency: 1.5, ..KibamParams::lead_acid() }
-            .validate()
-            .is_err());
+        assert!(KibamParams {
+            c: 0.0,
+            ..KibamParams::lead_acid()
+        }
+        .validate()
+        .is_err());
+        assert!(KibamParams {
+            c: 1.0,
+            ..KibamParams::lead_acid()
+        }
+        .validate()
+        .is_err());
+        assert!(KibamParams {
+            k_prime: 0.0,
+            ..KibamParams::lead_acid()
+        }
+        .validate()
+        .is_err());
+        assert!(KibamParams {
+            charge_efficiency: 0.0,
+            ..KibamParams::lead_acid()
+        }
+        .validate()
+        .is_err());
+        assert!(KibamParams {
+            charge_efficiency: 1.5,
+            ..KibamParams::lead_acid()
+        }
+        .validate()
+        .is_err());
         assert!(KibamParams::lead_acid().validate().is_ok());
     }
 }

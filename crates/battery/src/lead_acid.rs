@@ -16,7 +16,7 @@ use simkit::time::SimDuration;
 
 use crate::kibam::{KibamBattery, KibamParams};
 use crate::model::EnergyStorage;
-use crate::units::{Joules, Watts, WattHours};
+use crate::units::{Joules, WattHours, Watts};
 
 /// C-rate cap for safe lead-acid discharge: 48 A on a 2 Ah cell = 24C.
 const MAX_C_RATE_PER_HOUR: f64 = 24.0;

@@ -60,7 +60,7 @@ pub mod prelude {
     pub use crate::model::EnergyStorage;
     pub use crate::pack::{BatteryCabinet, ParallelBank};
     pub use crate::supercap::SuperCapacitor;
-    pub use crate::units::{Joules, Watts, WattHours};
+    pub use crate::units::{Joules, WattHours, Watts};
 }
 
 pub use aging::{CycleCounter, LifeModel};
@@ -71,4 +71,4 @@ pub use lvd::LowVoltageDisconnect;
 pub use model::EnergyStorage;
 pub use pack::{BatteryCabinet, ParallelBank};
 pub use supercap::SuperCapacitor;
-pub use units::{Joules, Watts, WattHours};
+pub use units::{Joules, WattHours, Watts};

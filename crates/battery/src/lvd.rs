@@ -181,11 +181,8 @@ mod tests {
 
     #[test]
     fn reconnects_with_hysteresis() {
-        let mut p = LowVoltageDisconnect::with_thresholds(
-            LeadAcidBattery::new(Joules(50_000.0)),
-            0.1,
-            0.3,
-        );
+        let mut p =
+            LowVoltageDisconnect::with_thresholds(LeadAcidBattery::new(Joules(50_000.0)), 0.1, 0.3);
         p.inner_mut().set_soc(0.05);
         p.discharge(Watts(100.0), SimDuration::SECOND);
         assert!(!p.is_connected());

@@ -204,7 +204,10 @@ impl<S: EnergyStorage> EnergyStorage for ParallelBank<S> {
     }
 
     fn max_discharge_power(&self) -> Watts {
-        self.units.iter().map(EnergyStorage::max_discharge_power).sum()
+        self.units
+            .iter()
+            .map(EnergyStorage::max_discharge_power)
+            .sum()
     }
 
     fn max_charge_power(&self) -> Watts {
@@ -268,8 +271,7 @@ mod tests {
 
     #[test]
     fn parallel_bank_shares_discharge() {
-        let mut bank =
-            ParallelBank::new((0..2).map(|_| LeadAcidBattery::new(Joules(36_000.0))));
+        let mut bank = ParallelBank::new((0..2).map(|_| LeadAcidBattery::new(Joules(36_000.0))));
         let got = bank.discharge(Watts(100.0), SimDuration::from_secs(10));
         assert_eq!(got, Watts(100.0));
         // Both units contributed equally.
@@ -281,8 +283,9 @@ mod tests {
     #[test]
     fn parallel_bank_covers_a_saggy_unit() {
         // One unit nearly empty: the healthy unit carries the remainder.
-        let mut units: Vec<LeadAcidBattery> =
-            (0..2).map(|_| LeadAcidBattery::new(Joules(36_000.0))).collect();
+        let mut units: Vec<LeadAcidBattery> = (0..2)
+            .map(|_| LeadAcidBattery::new(Joules(36_000.0)))
+            .collect();
         units[0].set_soc(0.01);
         let mut bank = ParallelBank::new(units);
         let got = bank.discharge(Watts(60.0), SimDuration::SECOND);
@@ -294,8 +297,9 @@ mod tests {
 
     #[test]
     fn parallel_bank_charge_respects_full_units() {
-        let mut units: Vec<LeadAcidBattery> =
-            (0..2).map(|_| LeadAcidBattery::new(Joules(36_000.0))).collect();
+        let mut units: Vec<LeadAcidBattery> = (0..2)
+            .map(|_| LeadAcidBattery::new(Joules(36_000.0)))
+            .collect();
         units[0].set_soc(1.0);
         units[1].set_soc(0.2);
         let mut bank = ParallelBank::new(units);
@@ -316,7 +320,11 @@ mod tests {
     fn facebook_v1_sustains_50s() {
         let mut cab = BatteryCabinet::facebook_v1(Watts(5210.0));
         let mut t = 0.0;
-        while cab.discharge(Watts(5210.0), SimDuration::from_millis(250)).0 >= 5210.0 - 1e-6 {
+        while cab
+            .discharge(Watts(5210.0), SimDuration::from_millis(250))
+            .0
+            >= 5210.0 - 1e-6
+        {
             t += 0.25;
             assert!(t < 300.0);
         }
@@ -328,7 +336,10 @@ mod tests {
         let mut cab = BatteryCabinet::facebook_v1(Watts(1000.0));
         cab.set_soc(0.5);
         // Online policy, zero headroom: no draw.
-        assert_eq!(cab.charge_step(Watts(0.0), SimDuration::SECOND), Watts::ZERO);
+        assert_eq!(
+            cab.charge_step(Watts(0.0), SimDuration::SECOND),
+            Watts::ZERO
+        );
         // With headroom: draws up to min(0.25C rate, headroom).
         let drawn = cab.charge_step(Watts(60.0), SimDuration::SECOND);
         assert!(drawn.0 > 0.0 && drawn.0 <= 60.0 + 1e-9, "drew {drawn:?}");
@@ -343,7 +354,10 @@ mod tests {
         );
         cab.set_soc(0.5);
         // Above trigger: idle even with headroom.
-        assert_eq!(cab.charge_step(Watts(500.0), SimDuration::SECOND), Watts::ZERO);
+        assert_eq!(
+            cab.charge_step(Watts(500.0), SimDuration::SECOND),
+            Watts::ZERO
+        );
         cab.set_soc(0.35);
         // At/below trigger: draws rated power regardless of headroom.
         let drawn = cab.charge_step(Watts(0.0), SimDuration::SECOND);
@@ -357,7 +371,10 @@ mod tests {
         while cab.is_connected() {
             cab.discharge(Watts(1000.0), SimDuration::SECOND);
         }
-        assert_eq!(cab.discharge(Watts(500.0), SimDuration::SECOND), Watts::ZERO);
+        assert_eq!(
+            cab.discharge(Watts(500.0), SimDuration::SECOND),
+            Watts::ZERO
+        );
         assert_eq!(cab.disconnect_count(), 1);
     }
 

@@ -13,7 +13,7 @@
 use simkit::time::SimDuration;
 
 use crate::model::EnergyStorage;
-use crate::units::{Farads, Joules, Volts, Watts, WattHours};
+use crate::units::{Farads, Joules, Volts, WattHours, Watts};
 
 /// Default DC bus voltage for rack-level µDEB banks.
 const DEFAULT_V_MAX: Volts = Volts(48.0);
@@ -123,7 +123,10 @@ impl SuperCapacitor {
     ///
     /// Panics if `soc` is outside `[0, 1]`.
     pub fn set_soc(&mut self, soc: f64) {
-        assert!((0.0..=1.0).contains(&soc), "SOC must be in [0,1], got {soc}");
+        assert!(
+            (0.0..=1.0).contains(&soc),
+            "SOC must be in [0,1], got {soc}"
+        );
         let e = self.capacity() * soc;
         // stored = ½C(V² − V_min²)  ⇒  V = sqrt(V_min² + 2E/C)
         self.v_now = Volts((self.v_min.0 * self.v_min.0 + 2.0 * e.0 / self.capacitance.0).sqrt());
@@ -132,7 +135,9 @@ impl SuperCapacitor {
 
 impl EnergyStorage for SuperCapacitor {
     fn capacity(&self) -> Joules {
-        Joules(0.5 * self.capacitance.0 * (self.v_max.0 * self.v_max.0 - self.v_min.0 * self.v_min.0))
+        Joules(
+            0.5 * self.capacitance.0 * (self.v_max.0 * self.v_max.0 - self.v_min.0 * self.v_min.0),
+        )
     }
 
     fn stored(&self) -> Joules {
@@ -169,9 +174,8 @@ impl EnergyStorage for SuperCapacitor {
             return Watts::ZERO;
         }
         let remaining = self.stored() - take;
-        self.v_now = Volts(
-            (self.v_min.0 * self.v_min.0 + 2.0 * remaining.0 / self.capacitance.0).sqrt(),
-        );
+        self.v_now =
+            Volts((self.v_min.0 * self.v_min.0 + 2.0 * remaining.0 / self.capacitance.0).sqrt());
         self.throughput += take;
         take / dt
     }

@@ -1,0 +1,63 @@
+//! Benchmarks of the parallel sweep engine: the same scenario grid run
+//! serially and on a worker pool. On multi-core hosts the jobs=4 targets
+//! report the fan-out speedup; on single-core machines they document the
+//! (small) coordination overhead. Either way the results are
+//! bit-identical — `pad::sweep` tests assert that, this file measures it.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pad::schemes::Scheme;
+use pad::sim::SimConfig;
+use pad::sweep::{ConfigSweep, SurvivalCase};
+use simkit::time::{SimDuration, SimTime};
+use std::hint::black_box;
+use std::time::Duration;
+use workload::synth::SynthConfig;
+use workload::trace::ClusterTrace;
+
+fn shared_trace(config: &SimConfig) -> Arc<ClusterTrace> {
+    Arc::new(
+        SynthConfig {
+            machines: config.topology.total_servers(),
+            horizon: SimTime::from_hours(1),
+            ..SynthConfig::small_test()
+        }
+        .generate_direct(7),
+    )
+}
+
+fn cases() -> Vec<SurvivalCase> {
+    // Two quiet minutes per scheme: enough work per scenario for the
+    // pool to matter, small enough for a tight statistical budget.
+    Scheme::ALL
+        .iter()
+        .map(|&scheme| {
+            SurvivalCase::quiet(
+                SimConfig::small_test(scheme),
+                SimTime::from_mins(2),
+                SimDuration::SECOND,
+            )
+        })
+        .collect()
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let trace = shared_trace(&SimConfig::small_test(Scheme::Pad));
+    let mut group = c.benchmark_group("sweep_six_schemes");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for jobs in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(jobs), &jobs, |b, &jobs| {
+            b.iter(|| {
+                let sweep = ConfigSweep::new(Arc::clone(&trace), 42).with_jobs(jobs);
+                black_box(sweep.run(cases()).expect("valid cases"))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

@@ -4,6 +4,10 @@
 
 fn main() {
     let fidelity = pad_bench::fidelity_from_args();
-    pad_bench::banner("ablations", "design-choice sensitivity (beyond the paper)", fidelity);
+    pad_bench::banner(
+        "ablations",
+        "design-choice sensitivity (beyond the paper)",
+        fidelity,
+    );
     print!("{}", pad::experiments::ablation::run_all(fidelity));
 }

@@ -3,6 +3,10 @@
 
 fn main() {
     let fidelity = pad_bench::fidelity_from_args();
-    pad_bench::banner("fig05_soc_stddev", "Figure 5 (battery unevenness)", fidelity);
+    pad_bench::banner(
+        "fig05_soc_stddev",
+        "Figure 5 (battery unevenness)",
+        fidelity,
+    );
     print!("{}", pad::experiments::fig05::run(fidelity).render());
 }

@@ -2,6 +2,10 @@
 
 fn main() {
     let fidelity = pad_bench::fidelity_from_args();
-    pad_bench::banner("fig06_two_phase", "Figure 6 (two-phase attack demo)", fidelity);
+    pad_bench::banner(
+        "fig06_two_phase",
+        "Figure 6 (two-phase attack demo)",
+        fidelity,
+    );
     print!("{}", pad::experiments::fig06::run(fidelity).render());
 }

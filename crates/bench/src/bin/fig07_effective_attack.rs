@@ -2,6 +2,10 @@
 
 fn main() {
     let fidelity = pad_bench::fidelity_from_args();
-    pad_bench::banner("fig07_effective_attack", "Figure 7 (effective attack demo)", fidelity);
+    pad_bench::banner(
+        "fig07_effective_attack",
+        "Figure 7 (effective attack demo)",
+        fidelity,
+    );
     print!("{}", pad::experiments::fig07::run(fidelity).render());
 }

@@ -3,6 +3,10 @@
 
 fn main() {
     let fidelity = pad_bench::fidelity_from_args();
-    pad_bench::banner("fig08_attack_stats", "Figure 8 A/B/C (attack statistics)", fidelity);
+    pad_bench::banner(
+        "fig08_attack_stats",
+        "Figure 8 A/B/C (attack statistics)",
+        fidelity,
+    );
     print!("{}", pad::experiments::fig08::run(fidelity).render());
 }

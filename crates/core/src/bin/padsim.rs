@@ -8,13 +8,17 @@
 //! padsim --scheme pad --style dense --class cpu --nodes 4 --duration-mins 60
 //! ```
 
+use std::sync::Arc;
+
 use attack::scenario::{AttackScenario, AttackStyle};
 use attack::virus::VirusClass;
 use pad::schemes::Scheme;
 use pad::sim::{ClusterSim, EmergencyAction, SimConfig};
+use pad::sweep::{AttackSpec, ConfigSweep, SurvivalCase, Victim};
 use powerinfra::server::ServerSpec;
 use powerinfra::topology::ClusterTopology;
 use simkit::heatmap::Heatmap;
+use simkit::table::Table;
 use simkit::time::{SimDuration, SimTime};
 use workload::synth::SynthConfig;
 
@@ -25,7 +29,11 @@ USAGE:
     padsim [OPTIONS]
 
 OPTIONS:
-    --scheme <conv|ps|pspc|udeb|vdeb|pad>   defense scheme      [default: pad]
+    --scheme <conv|ps|pspc|udeb|vdeb|pad|all>  defense scheme   [default: pad]
+                                            'all' compares every scheme in one
+                                            sweep over a shared trace
+    --jobs <N>                              sweep worker threads [default: 1]
+                                            results are identical for any N
     --style <dense|sparse>                  spike style         [default: dense]
     --class <cpu|mem|io>                    virus class         [default: cpu]
     --nodes <N>                             compromised servers [default: 4]
@@ -47,6 +55,8 @@ OPTIONS:
 #[derive(Debug)]
 struct Args {
     scheme: Scheme,
+    all_schemes: bool,
+    jobs: usize,
     style: AttackStyle,
     class: VirusClass,
     nodes: usize,
@@ -68,6 +78,8 @@ impl Default for Args {
     fn default() -> Self {
         Args {
             scheme: Scheme::Pad,
+            all_schemes: false,
+            jobs: 1,
             style: AttackStyle::Dense,
             class: VirusClass::CpuIntensive,
             nodes: 4,
@@ -109,9 +121,14 @@ fn parse_args() -> Args {
                     "udeb" => Scheme::UDebOnly,
                     "vdeb" => Scheme::VDebOnly,
                     "pad" => Scheme::Pad,
+                    "all" => {
+                        args.all_schemes = true;
+                        Scheme::Pad
+                    }
                     other => fail(&format!("unknown scheme {other:?}")),
                 }
             }
+            "--jobs" => args.jobs = parse_num(&value("--jobs"), "--jobs").max(1),
             "--style" => {
                 args.style = match value("--style").to_lowercase().as_str() {
                     "dense" => AttackStyle::Dense,
@@ -171,9 +188,7 @@ fn parse_f64(text: &str, flag: &str) -> f64 {
         .unwrap_or_else(|_| fail(&format!("{flag} expects a number, got {text:?}")))
 }
 
-fn main() {
-    let args = parse_args();
-
+fn build_config(args: &Args, scheme: Scheme) -> SimConfig {
     let server = ServerSpec::hp_proliant_dl585_g5();
     let nameplate = server.peak * args.servers as f64;
     let config = SimConfig {
@@ -184,11 +199,83 @@ fn main() {
         udeb_max_power: nameplate * 0.3,
         udeb_engage_threshold: nameplate * 0.0675,
         demand_jitter: nameplate * 0.01,
-        ..SimConfig::paper_default(args.scheme)
+        ..SimConfig::paper_default(scheme)
     };
     if let Err(e) = config.validate() {
         fail(&format!("invalid configuration: {e}"));
     }
+    config
+}
+
+/// `--scheme all`: one sweep over a shared trace, every scheme attacked
+/// identically, fanned across `--jobs` workers.
+fn run_comparison(
+    args: &Args,
+    trace: workload::trace::ClusterTrace,
+    attack_at: SimTime,
+    horizon: SimTime,
+) {
+    println!(
+        "padsim: {} racks x {} servers, comparing all schemes on {} worker(s)",
+        args.racks, args.servers, args.jobs
+    );
+    let mut scenario = AttackScenario::new(args.style, args.class, args.nodes);
+    if args.escalate {
+        scenario = scenario.with_escalation(SimDuration::from_mins(5));
+    }
+    let cases: Vec<SurvivalCase> = Scheme::ALL
+        .iter()
+        .map(|&scheme| {
+            SurvivalCase::quiet(
+                build_config(args, scheme),
+                horizon,
+                SimDuration::from_millis(100),
+            )
+            .with_attack(AttackSpec {
+                scenario,
+                victim: Victim::MostVulnerable,
+                start: attack_at,
+            })
+            .stop_on_overload()
+        })
+        .collect();
+    let sweep = ConfigSweep::new(Arc::new(trace), args.seed ^ 0x5EED).with_jobs(args.jobs);
+    let outcomes = match sweep.run(cases) {
+        Ok(o) => o,
+        Err(e) => fail(&e),
+    };
+    let mut table = Table::new(vec![
+        "scheme",
+        "survival (s)",
+        "overloads",
+        "trips",
+        "throughput",
+        "sim steps",
+        "wall (s)",
+    ]);
+    table.title("scheme comparison — identical trace, attack and noise per scenario index");
+    for (scheme, outcome) in Scheme::ALL.iter().zip(&outcomes) {
+        let survival = match outcome.report.survival() {
+            Some(t) => format!("{:.0}", t.as_secs_f64()),
+            None => format!(">{:.0}", outcome.report.survival_or_horizon().as_secs_f64()),
+        };
+        table.row(vec![
+            scheme.label().to_string(),
+            survival,
+            outcome.report.effective_attacks().to_string(),
+            outcome.report.breaker_trips.to_string(),
+            format!("{:.3}", outcome.report.normalized_throughput()),
+            outcome.cost.steps.to_string(),
+            format!("{:.1}", outcome.cost.wall_clock.as_secs_f64()),
+        ]);
+    }
+    print!("{}", table.render());
+}
+
+fn main() {
+    let args = parse_args();
+
+    let config = build_config(&args, args.scheme);
 
     let attack_at = SimTime::from_mins(args.attack_at_mins);
     let horizon = attack_at + SimDuration::from_mins(args.duration_mins);
@@ -200,6 +287,11 @@ fn main() {
         ..SynthConfig::google_may2010()
     }
     .generate_direct(args.seed);
+
+    if args.all_schemes {
+        run_comparison(&args, trace, attack_at, horizon);
+        return;
+    }
 
     let mut sim = match ClusterSim::new(config, trace) {
         Ok(sim) => sim,
@@ -251,8 +343,15 @@ fn main() {
     println!();
     match report.survival() {
         Some(t) => {
-            println!("SURVIVAL: {:.0} s (first overload at t={})", t.as_secs_f64(),
-                report.overloads.first().map(|e| e.time.to_string()).unwrap_or_default());
+            println!(
+                "SURVIVAL: {:.0} s (first overload at t={})",
+                t.as_secs_f64(),
+                report
+                    .overloads
+                    .first()
+                    .map(|e| e.time.to_string())
+                    .unwrap_or_default()
+            );
         }
         None => println!(
             "SURVIVAL: > {:.0} s (no overload within the window)",
@@ -272,7 +371,10 @@ fn main() {
         sim.level()
     );
     if let Some(drain) = sim.attacker_observed_drain() {
-        println!("attacker's learned drain time: {:.0} s", drain.as_secs_f64());
+        println!(
+            "attacker's learned drain time: {:.0} s",
+            drain.as_secs_f64()
+        );
     }
 
     if args.log {

@@ -16,17 +16,27 @@
 //!   consumed battery life per day (motivates both `P_ideal` and the use
 //!   of super-capacitors in µDEB).
 
+use std::sync::Arc;
+
 use attack::scenario::{AttackScenario, AttackStyle};
 use attack::virus::VirusClass;
 use battery::aging::LifeModel;
+use simkit::sweep::SweepRunner;
 use simkit::table::Table;
 use simkit::time::{SimDuration, SimTime};
+use workload::trace::ClusterTrace;
 
-use crate::experiments::{
-    survival_attack_time, survival_horizon, survival_trace, Fidelity,
-};
+use crate::experiments::{survival_attack_time, survival_horizon, survival_trace, Fidelity};
 use crate::schemes::Scheme;
 use crate::sim::{ClusterSim, EmergencyAction, SimConfig};
+
+/// The reference background trace every ablation shares (seed 1).
+fn reference_trace(fidelity: Fidelity) -> Arc<ClusterTrace> {
+    let machines = SimConfig::paper_default(Scheme::Pad)
+        .topology
+        .total_servers();
+    Arc::new(survival_trace(machines, 1, fidelity))
+}
 
 /// One ablation sweep: a labeled knob and the survival it produced.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,9 +58,8 @@ pub struct Ablation {
 
 /// Runs the reference attack against a custom config and returns
 /// survival.
-fn survival_with(config: SimConfig, fidelity: Fidelity) -> SimDuration {
-    let trace = survival_trace(config.topology.total_servers(), 1, fidelity);
-    let mut sim = ClusterSim::new(config, trace).expect("valid config");
+fn survival_with(config: SimConfig, fidelity: Fidelity, trace: &Arc<ClusterTrace>) -> SimDuration {
+    let mut sim = ClusterSim::new_shared(config, Arc::clone(trace)).expect("valid config");
     sim.reseed_noise(0xAB1A);
     let warm_step = if fidelity.is_smoke() {
         SimDuration::from_mins(2)
@@ -77,198 +86,225 @@ fn survival_with(config: SimConfig, fidelity: Fidelity) -> SimDuration {
     .survival_or_horizon()
 }
 
+/// Fans one knob's settings across `jobs` workers over the shared
+/// reference trace, preserving sweep order.
+fn knob_sweep<T: Send + Copy>(
+    name: &'static str,
+    fidelity: Fidelity,
+    jobs: usize,
+    settings: &[T],
+    configure: impl Fn(T) -> (String, SimConfig) + Sync,
+) -> Ablation {
+    let trace = reference_trace(fidelity);
+    let rows = SweepRunner::new(jobs).run(settings.to_vec(), |_, s| {
+        let (setting, config) = configure(s);
+        SweepRow {
+            setting,
+            survival: survival_with(config, fidelity, &trace),
+        }
+    });
+    Ablation { name, rows }
+}
+
 /// Sweeps Algorithm 1's per-rack discharge cap.
 pub fn p_ideal_sweep(fidelity: Fidelity) -> Ablation {
+    p_ideal_sweep_with_jobs(fidelity, 1)
+}
+
+/// [`p_ideal_sweep`] across `jobs` workers.
+pub fn p_ideal_sweep_with_jobs(fidelity: Fidelity, jobs: usize) -> Ablation {
     let fractions: &[f64] = if fidelity.is_smoke() {
         &[0.02, 0.10]
     } else {
         &[0.01, 0.02, 0.05, 0.10, 0.20]
     };
-    let rows = fractions
-        .iter()
-        .map(|&f| {
+    knob_sweep(
+        "P_ideal (Algorithm 1 per-rack discharge cap)",
+        fidelity,
+        jobs,
+        fractions,
+        |f| {
             let mut config = SimConfig::paper_default(Scheme::Pad);
             config.p_ideal = config.rack_nameplate() * f;
-            SweepRow {
-                setting: format!("P_ideal = {:.0}% of nameplate", f * 100.0),
-                survival: survival_with(config, fidelity),
-            }
-        })
-        .collect();
-    Ablation {
-        name: "P_ideal (Algorithm 1 per-rack discharge cap)",
-        rows,
-    }
+            (format!("P_ideal = {:.0}% of nameplate", f * 100.0), config)
+        },
+    )
 }
 
 /// Sweeps the vDEB protective reserve.
 pub fn reserve_sweep(fidelity: Fidelity) -> Ablation {
+    reserve_sweep_with_jobs(fidelity, 1)
+}
+
+/// [`reserve_sweep`] across `jobs` workers.
+pub fn reserve_sweep_with_jobs(fidelity: Fidelity, jobs: usize) -> Ablation {
     let reserves: &[f64] = if fidelity.is_smoke() {
         &[0.0, 0.3]
     } else {
         &[0.0, 0.15, 0.30, 0.45]
     };
-    let rows = reserves
-        .iter()
-        .map(|&r| {
-            let mut config = SimConfig::paper_default(Scheme::Pad);
-            config.vdeb_reserve_soc = r;
-            SweepRow {
-                setting: format!("reserve SOC = {:.0}%", r * 100.0),
-                survival: survival_with(config, fidelity),
-            }
-        })
-        .collect();
-    Ablation {
-        name: "vDEB protective reserve",
-        rows,
-    }
+    knob_sweep("vDEB protective reserve", fidelity, jobs, reserves, |r| {
+        let mut config = SimConfig::paper_default(Scheme::Pad);
+        config.vdeb_reserve_soc = r;
+        (format!("reserve SOC = {:.0}%", r * 100.0), config)
+    })
 }
 
 /// Sweeps the management-loop (grant) period for the vDEB-only scheme.
 pub fn grant_interval_sweep(fidelity: Fidelity) -> Ablation {
+    grant_interval_sweep_with_jobs(fidelity, 1)
+}
+
+/// [`grant_interval_sweep`] across `jobs` workers.
+pub fn grant_interval_sweep_with_jobs(fidelity: Fidelity, jobs: usize) -> Ablation {
     let intervals: &[u64] = if fidelity.is_smoke() {
         &[1, 60]
     } else {
         &[1, 5, 10, 30, 60]
     };
-    let rows = intervals
-        .iter()
-        .map(|&secs| {
+    knob_sweep(
+        "iPDU management-loop period (vDEB-only)",
+        fidelity,
+        jobs,
+        intervals,
+        |secs| {
             let mut config = SimConfig::paper_default(Scheme::VDebOnly);
             config.grant_interval = SimDuration::from_secs(secs);
-            SweepRow {
-                setting: format!("grant interval = {secs}s"),
-                survival: survival_with(config, fidelity),
-            }
-        })
-        .collect();
-    Ablation {
-        name: "iPDU management-loop period (vDEB-only)",
-        rows,
-    }
+            (format!("grant interval = {secs}s"), config)
+        },
+    )
 }
 
 /// Sweeps the DVFS actuation latency for PSPC.
 pub fn capping_latency_sweep(fidelity: Fidelity) -> Ablation {
+    capping_latency_sweep_with_jobs(fidelity, 1)
+}
+
+/// [`capping_latency_sweep`] across `jobs` workers.
+pub fn capping_latency_sweep_with_jobs(fidelity: Fidelity, jobs: usize) -> Ablation {
     let latencies: &[u64] = if fidelity.is_smoke() {
         &[100, 300]
     } else {
         &[50, 100, 200, 300, 500]
     };
-    let rows = latencies
-        .iter()
-        .map(|&ms| {
+    knob_sweep(
+        "DVFS actuation latency (PSPC)",
+        fidelity,
+        jobs,
+        latencies,
+        |ms| {
             let mut config = SimConfig::paper_default(Scheme::Pspc);
             config.capping_latency = SimDuration::from_millis(ms);
-            SweepRow {
-                setting: format!("capping latency = {ms}ms"),
-                survival: survival_with(config, fidelity),
-            }
-        })
-        .collect();
-    Ablation {
-        name: "DVFS actuation latency (PSPC)",
-        rows,
-    }
+            (format!("capping latency = {ms}ms"), config)
+        },
+    )
 }
 
 /// Compares PAD's two Level-3 actions (shed vs migrate) on survival and
 /// throughput under the reference attack.
 pub fn emergency_action_comparison(fidelity: Fidelity) -> Vec<(EmergencyAction, SimDuration, f64)> {
-    [EmergencyAction::Shed, EmergencyAction::Migrate]
-        .into_iter()
-        .map(|action| {
-            let mut config = SimConfig::paper_default(Scheme::Pad);
-            config.emergency_action = action;
-            let trace = survival_trace(config.topology.total_servers(), 1, fidelity);
-            let mut sim = ClusterSim::new(config, trace).expect("valid config");
-            sim.reseed_noise(0xAB1A);
-            let warm_step = if fidelity.is_smoke() {
-                SimDuration::from_mins(2)
-            } else {
-                SimDuration::from_secs(30)
-            };
-            sim.run(
-                survival_attack_time() - SimDuration::from_mins(5),
-                warm_step,
-                false,
-            );
-            sim.run(survival_attack_time(), SimDuration::from_millis(500), false);
-            let victim = sim.most_vulnerable_rack();
-            let scenario =
-                AttackScenario::new(AttackStyle::Dense, VirusClass::CpuIntensive, 4)
-                    .with_escalation(SimDuration::from_mins(5))
-                    .with_max_drain(SimDuration::from_mins(10));
-            let attack_at = survival_attack_time();
-            sim.set_attack(scenario, victim, attack_at);
-            sim.reset_work_counters();
-            let report = sim.run(
-                attack_at + survival_horizon(fidelity),
-                SimDuration::from_millis(100),
-                true,
-            );
-            (
-                action,
-                report.survival_or_horizon(),
-                report.normalized_throughput(),
-            )
-        })
-        .collect()
+    emergency_action_comparison_with_jobs(fidelity, 1)
+}
+
+/// [`emergency_action_comparison`] across `jobs` workers.
+pub fn emergency_action_comparison_with_jobs(
+    fidelity: Fidelity,
+    jobs: usize,
+) -> Vec<(EmergencyAction, SimDuration, f64)> {
+    let trace = reference_trace(fidelity);
+    let actions = vec![EmergencyAction::Shed, EmergencyAction::Migrate];
+    SweepRunner::new(jobs).run(actions, |_, action| {
+        let mut config = SimConfig::paper_default(Scheme::Pad);
+        config.emergency_action = action;
+        let mut sim = ClusterSim::new_shared(config, Arc::clone(&trace)).expect("valid config");
+        sim.reseed_noise(0xAB1A);
+        let warm_step = if fidelity.is_smoke() {
+            SimDuration::from_mins(2)
+        } else {
+            SimDuration::from_secs(30)
+        };
+        sim.run(
+            survival_attack_time() - SimDuration::from_mins(5),
+            warm_step,
+            false,
+        );
+        sim.run(survival_attack_time(), SimDuration::from_millis(500), false);
+        let victim = sim.most_vulnerable_rack();
+        let scenario = AttackScenario::new(AttackStyle::Dense, VirusClass::CpuIntensive, 4)
+            .with_escalation(SimDuration::from_mins(5))
+            .with_max_drain(SimDuration::from_mins(10));
+        let attack_at = survival_attack_time();
+        sim.set_attack(scenario, victim, attack_at);
+        sim.reset_work_counters();
+        let report = sim.run(
+            attack_at + survival_horizon(fidelity),
+            SimDuration::from_millis(100),
+            true,
+        );
+        (
+            action,
+            report.survival_or_horizon(),
+            report.normalized_throughput(),
+        )
+    })
 }
 
 /// Sweeps the attacker's campaign breadth: how survival shrinks as more
 /// racks are attacked simultaneously (the "divide and conquer" threat
 /// the DEB architecture invites, §I).
 pub fn campaign_breadth_sweep(fidelity: Fidelity) -> Ablation {
-    let breadths: &[usize] = if fidelity.is_smoke() { &[1, 3] } else { &[1, 2, 4, 8] };
-    let rows = breadths
-        .iter()
-        .map(|&racks_attacked| {
-            let config = SimConfig::paper_default(Scheme::Pad);
-            let trace = survival_trace(config.topology.total_servers(), 1, fidelity);
-            let mut sim = ClusterSim::new(config, trace).expect("valid config");
-            sim.reseed_noise(0xAB1A);
-            let warm_step = if fidelity.is_smoke() {
-                SimDuration::from_mins(2)
+    campaign_breadth_sweep_with_jobs(fidelity, 1)
+}
+
+/// [`campaign_breadth_sweep`] across `jobs` workers.
+pub fn campaign_breadth_sweep_with_jobs(fidelity: Fidelity, jobs: usize) -> Ablation {
+    let breadths: &[usize] = if fidelity.is_smoke() {
+        &[1, 3]
+    } else {
+        &[1, 2, 4, 8]
+    };
+    let trace = reference_trace(fidelity);
+    let rows = SweepRunner::new(jobs).run(breadths.to_vec(), |_, racks_attacked| {
+        let config = SimConfig::paper_default(Scheme::Pad);
+        let mut sim = ClusterSim::new_shared(config, Arc::clone(&trace)).expect("valid config");
+        sim.reseed_noise(0xAB1A);
+        let warm_step = if fidelity.is_smoke() {
+            SimDuration::from_mins(2)
+        } else {
+            SimDuration::from_secs(30)
+        };
+        sim.run(
+            survival_attack_time() - SimDuration::from_mins(5),
+            warm_step,
+            false,
+        );
+        sim.run(survival_attack_time(), SimDuration::from_millis(500), false);
+        // Attack the N most vulnerable racks simultaneously.
+        let mut socs: Vec<(usize, f64)> = sim.rack_socs().into_iter().enumerate().collect();
+        socs.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+        let attack_at = survival_attack_time();
+        for (i, &(rack, _)) in socs.iter().take(racks_attacked).enumerate() {
+            let scenario = AttackScenario::new(AttackStyle::Dense, VirusClass::CpuIntensive, 4)
+                .with_escalation(SimDuration::from_mins(5))
+                .with_max_drain(SimDuration::from_mins(10));
+            if i == 0 {
+                sim.set_attack(scenario, powerinfra::topology::RackId(rack), attack_at);
             } else {
-                SimDuration::from_secs(30)
-            };
-            sim.run(
-                survival_attack_time() - SimDuration::from_mins(5),
-                warm_step,
-                false,
-            );
-            sim.run(survival_attack_time(), SimDuration::from_millis(500), false);
-            // Attack the N most vulnerable racks simultaneously.
-            let mut socs: Vec<(usize, f64)> =
-                sim.rack_socs().into_iter().enumerate().collect();
-            socs.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
-            let attack_at = survival_attack_time();
-            for (i, &(rack, _)) in socs.iter().take(racks_attacked).enumerate() {
-                let scenario =
-                    AttackScenario::new(AttackStyle::Dense, VirusClass::CpuIntensive, 4)
-                        .with_escalation(SimDuration::from_mins(5))
-                        .with_max_drain(SimDuration::from_mins(10));
-                if i == 0 {
-                    sim.set_attack(scenario, powerinfra::topology::RackId(rack), attack_at);
-                } else {
-                    sim.add_attack(scenario, powerinfra::topology::RackId(rack), attack_at);
-                }
+                sim.add_attack(scenario, powerinfra::topology::RackId(rack), attack_at);
             }
-            let survival = sim
-                .run(
-                    attack_at + survival_horizon(fidelity),
-                    SimDuration::from_millis(100),
-                    true,
-                )
-                .survival_or_horizon();
-            SweepRow {
-                setting: format!("{racks_attacked} rack(s) attacked"),
-                survival,
-            }
-        })
-        .collect();
+        }
+        let survival = sim
+            .run(
+                attack_at + survival_horizon(fidelity),
+                SimDuration::from_millis(100),
+                true,
+            )
+            .survival_or_horizon();
+        SweepRow {
+            setting: format!("{racks_attacked} rack(s) attacked"),
+            survival,
+        }
+    });
     Ablation {
         name: "coordinated campaign breadth (PAD)",
         rows,
@@ -280,6 +316,16 @@ pub fn campaign_breadth_sweep(fidelity: Fidelity) -> Ablation {
 /// checking that the reproduction's conclusions do not hinge on the
 /// trace generator shortcut.
 pub fn trace_path_comparison(fidelity: Fidelity) -> Vec<(&'static str, Scheme, SimDuration)> {
+    trace_path_comparison_with_jobs(fidelity, 1)
+}
+
+/// [`trace_path_comparison`] across `jobs` workers. Each cell generates
+/// its own trace — comparing the generators is the point, so nothing is
+/// shared here.
+pub fn trace_path_comparison_with_jobs(
+    fidelity: Fidelity,
+    jobs: usize,
+) -> Vec<(&'static str, Scheme, SimDuration)> {
     let horizon = if fidelity.is_smoke() {
         simkit::time::SimTime::from_hours(40)
     } else {
@@ -290,8 +336,12 @@ pub fn trace_path_comparison(fidelity: Fidelity) -> Vec<(&'static str, Scheme, S
     } else {
         &[Scheme::Ps, Scheme::Pad]
     };
-    let mut rows = Vec::new();
+    let mut specs: Vec<(Scheme, &'static str)> = Vec::new();
     for &scheme in schemes {
+        specs.push((scheme, "job pipeline"));
+        specs.push((scheme, "statistical"));
+    }
+    SweepRunner::new(jobs).run(specs, |_, (scheme, label)| {
         let config = SimConfig::paper_default(scheme);
         let synth = workload::synth::SynthConfig {
             machines: config.topology.total_servers(),
@@ -300,41 +350,39 @@ pub fn trace_path_comparison(fidelity: Fidelity) -> Vec<(&'static str, Scheme, S
             machine_bias_std: 0.04,
             ..workload::synth::SynthConfig::google_may2010()
         };
-        for (label, trace) in [
-            ("job pipeline", synth.generate(1)),
-            ("statistical", synth.generate_direct(1)),
-        ] {
-            let mut sim = ClusterSim::new(config.clone(), trace).expect("valid config");
-            sim.reseed_noise(0xAB1A);
-            let warm_step = if fidelity.is_smoke() {
-                SimDuration::from_mins(2)
-            } else {
-                SimDuration::from_secs(30)
-            };
-            sim.run(
-                survival_attack_time() - SimDuration::from_mins(5),
-                warm_step,
-                false,
-            );
-            sim.run(survival_attack_time(), SimDuration::from_millis(500), false);
-            let victim = sim.most_vulnerable_rack();
-            let scenario =
-                AttackScenario::new(AttackStyle::Dense, VirusClass::CpuIntensive, 4)
-                    .with_escalation(SimDuration::from_mins(5))
-                    .with_max_drain(SimDuration::from_mins(10));
-            let attack_at = survival_attack_time();
-            sim.set_attack(scenario, victim, attack_at);
-            let survival = sim
-                .run(
-                    attack_at + survival_horizon(fidelity),
-                    SimDuration::from_millis(100),
-                    true,
-                )
-                .survival_or_horizon();
-            rows.push((label, scheme, survival));
-        }
-    }
-    rows
+        let trace = if label == "job pipeline" {
+            synth.generate(1)
+        } else {
+            synth.generate_direct(1)
+        };
+        let mut sim = ClusterSim::new(config, trace).expect("valid config");
+        sim.reseed_noise(0xAB1A);
+        let warm_step = if fidelity.is_smoke() {
+            SimDuration::from_mins(2)
+        } else {
+            SimDuration::from_secs(30)
+        };
+        sim.run(
+            survival_attack_time() - SimDuration::from_mins(5),
+            warm_step,
+            false,
+        );
+        sim.run(survival_attack_time(), SimDuration::from_millis(500), false);
+        let victim = sim.most_vulnerable_rack();
+        let scenario = AttackScenario::new(AttackStyle::Dense, VirusClass::CpuIntensive, 4)
+            .with_escalation(SimDuration::from_mins(5))
+            .with_max_drain(SimDuration::from_mins(10));
+        let attack_at = survival_attack_time();
+        sim.set_attack(scenario, victim, attack_at);
+        let survival = sim
+            .run(
+                attack_at + survival_horizon(fidelity),
+                SimDuration::from_millis(100),
+                true,
+            )
+            .survival_or_horizon();
+        (label, scheme, survival)
+    })
 }
 
 /// Per-scheme battery-life cost of one day of normal (attack-free)
@@ -351,45 +399,56 @@ pub struct AgingRow {
 
 /// Measures daily battery wear per scheme on a hot trace.
 pub fn aging_by_scheme(fidelity: Fidelity) -> Vec<AgingRow> {
+    aging_by_scheme_with_jobs(fidelity, 1)
+}
+
+/// [`aging_by_scheme`] across `jobs` workers, sharing one hot trace.
+pub fn aging_by_scheme_with_jobs(fidelity: Fidelity, jobs: usize) -> Vec<AgingRow> {
     let horizon = if fidelity.is_smoke() {
         SimTime::from_hours(12)
     } else {
         SimTime::from_hours(24)
     };
     let model = LifeModel::vrla();
-    Scheme::ALL
+    let machines = SimConfig::paper_default(Scheme::Pad)
+        .topology
+        .total_servers();
+    let trace = Arc::new(
+        workload::synth::SynthConfig {
+            machines,
+            horizon,
+            mean_utilization: 0.38,
+            ..workload::synth::SynthConfig::google_may2010()
+        }
+        .generate_direct(0xA61),
+    );
+    let schemes: Vec<Scheme> = Scheme::ALL
         .iter()
+        .copied()
         .filter(|s| s.shaves_peaks())
-        .map(|&scheme| {
-            let config = SimConfig::paper_default(scheme);
-            let trace = workload::synth::SynthConfig {
-                machines: config.topology.total_servers(),
-                horizon,
-                mean_utilization: 0.38,
-                ..workload::synth::SynthConfig::google_may2010()
-            }
-            .generate_direct(0xA61);
-            let mut sim = ClusterSim::new(config, trace).expect("valid config");
-            sim.record_soc(SimDuration::from_mins(5));
-            sim.run(horizon, SimDuration::from_mins(1), false);
-            let history = sim.soc_history().expect("recording enabled");
-            let racks = history.racks();
-            let life: f64 = (0..racks)
-                .map(|r| model.life_from_soc(history.rack_series(r).values()))
-                .sum::<f64>()
-                / racks as f64;
-            let deep: u32 = sim
-                .racks()
-                .iter()
-                .map(|r| r.cabinet().battery().deep_discharges())
-                .sum();
-            AgingRow {
-                scheme,
-                life_consumed: life,
-                deep_discharges: deep,
-            }
-        })
-        .collect()
+        .collect();
+    SweepRunner::new(jobs).run(schemes, |_, scheme| {
+        let config = SimConfig::paper_default(scheme);
+        let mut sim = ClusterSim::new_shared(config, Arc::clone(&trace)).expect("valid config");
+        sim.record_soc(SimDuration::from_mins(5));
+        sim.run(horizon, SimDuration::from_mins(1), false);
+        let history = sim.soc_history().expect("recording enabled");
+        let racks = history.racks();
+        let life: f64 = (0..racks)
+            .map(|r| model.life_from_soc(history.rack_series(r).values()))
+            .sum::<f64>()
+            / racks as f64;
+        let deep: u32 = sim
+            .racks()
+            .iter()
+            .map(|r| r.cabinet().battery().deep_discharges())
+            .sum();
+        AgingRow {
+            scheme,
+            life_consumed: life,
+            deep_discharges: deep,
+        }
+    })
 }
 
 impl Ablation {
@@ -425,20 +484,25 @@ pub fn render_aging(rows: &[AgingRow]) -> String {
     table.render()
 }
 
-/// Runs every ablation and renders them.
+/// Runs every ablation serially and renders them.
 pub fn run_all(fidelity: Fidelity) -> String {
+    run_all_with_jobs(fidelity, 1)
+}
+
+/// Runs every ablation, fanning each sweep across `jobs` workers.
+pub fn run_all_with_jobs(fidelity: Fidelity, jobs: usize) -> String {
     let mut out = String::new();
-    out.push_str(&p_ideal_sweep(fidelity).render());
+    out.push_str(&p_ideal_sweep_with_jobs(fidelity, jobs).render());
     out.push('\n');
-    out.push_str(&reserve_sweep(fidelity).render());
+    out.push_str(&reserve_sweep_with_jobs(fidelity, jobs).render());
     out.push('\n');
-    out.push_str(&grant_interval_sweep(fidelity).render());
+    out.push_str(&grant_interval_sweep_with_jobs(fidelity, jobs).render());
     out.push('\n');
-    out.push_str(&capping_latency_sweep(fidelity).render());
+    out.push_str(&capping_latency_sweep_with_jobs(fidelity, jobs).render());
     out.push('\n');
-    out.push_str(&campaign_breadth_sweep(fidelity).render());
+    out.push_str(&campaign_breadth_sweep_with_jobs(fidelity, jobs).render());
     out.push('\n');
-    let traces = trace_path_comparison(fidelity);
+    let traces = trace_path_comparison_with_jobs(fidelity, jobs);
     let mut table = Table::new(vec!["trace path", "scheme", "survival (s)"]);
     table.title("Ablation — job-pipeline vs statistical trace generation");
     for (label, scheme, survival) in &traces {
@@ -450,7 +514,7 @@ pub fn run_all(fidelity: Fidelity) -> String {
     }
     out.push_str(&table.render());
     out.push('\n');
-    let actions = emergency_action_comparison(fidelity);
+    let actions = emergency_action_comparison_with_jobs(fidelity, jobs);
     let mut table = Table::new(vec!["Level-3 action", "survival (s)", "throughput"]);
     table.title("Ablation — shed vs migrate at Level 3 (PAD)");
     for (action, survival, throughput) in &actions {
@@ -462,7 +526,7 @@ pub fn run_all(fidelity: Fidelity) -> String {
     }
     out.push_str(&table.render());
     out.push('\n');
-    out.push_str(&render_aging(&aging_by_scheme(fidelity)));
+    out.push_str(&render_aging(&aging_by_scheme_with_jobs(fidelity, jobs)));
     out
 }
 

@@ -153,12 +153,7 @@ mod tests {
     #[test]
     fn smoke_spikes_raise_draw_above_normal() {
         let fig = run(Fidelity::Smoke);
-        let peak_attack = fig
-            .with_attack
-            .values()
-            .iter()
-            .copied()
-            .fold(0.0, f64::max);
+        let peak_attack = fig.with_attack.values().iter().copied().fold(0.0, f64::max);
         let peak_normal = fig.normal.values().iter().copied().fold(0.0, f64::max);
         // The demo is deliberately marginal (one compromised node): the
         // attack peak only modestly exceeds the normal peak.

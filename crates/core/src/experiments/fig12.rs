@@ -8,8 +8,8 @@
 
 use attack::scenario::{AttackScenario, AttackStyle};
 use attack::virus::VirusClass;
-use simkit::rng::RngStream;
 use simkit::series::TimeSeries;
+use simkit::sweep::{scenario_stream, SweepRunner};
 use simkit::time::SimDuration;
 
 use crate::experiments::Fidelity;
@@ -24,18 +24,27 @@ pub struct Fig12 {
     pub sparse: TimeSeries,
 }
 
-/// Renders both collected traces.
+/// Renders both collected traces serially; see [`run_with_jobs`].
 pub fn run(fidelity: Fidelity) -> Fig12 {
+    run_with_jobs(fidelity, 1)
+}
+
+/// Renders both collected traces, one sweep scenario per panel. Each
+/// panel draws its jitter from the `(seed, scenario_index)` stream, so
+/// the figure is identical for any worker count.
+pub fn run_with_jobs(fidelity: Fidelity, jobs: usize) -> Fig12 {
     let duration = if fidelity.is_smoke() {
         SimDuration::from_mins(2)
     } else {
         SimDuration::from_mins(4)
     };
-    let mut rng = RngStream::new(0x00F1_6012);
-    let dense = AttackScenario::new(AttackStyle::Dense, VirusClass::CpuIntensive, 1)
-        .collected_trace(duration, &mut rng);
-    let sparse = AttackScenario::new(AttackStyle::Sparse, VirusClass::CpuIntensive, 1)
-        .collected_trace(duration, &mut rng);
+    let styles = vec![AttackStyle::Dense, AttackStyle::Sparse];
+    let mut panels = SweepRunner::new(jobs).run(styles, |index, style| {
+        let mut rng = scenario_stream(0x00F1_6012, index);
+        AttackScenario::new(style, VirusClass::CpuIntensive, 1).collected_trace(duration, &mut rng)
+    });
+    let sparse = panels.pop().expect("two panels");
+    let dense = panels.pop().expect("two panels");
     Fig12 { dense, sparse }
 }
 

@@ -6,11 +6,15 @@
 //! batteries … the survival time is improved by 1.7X after optimization."
 //! (§VI.A)
 
+use std::sync::Arc;
+
 use attack::scenario::{AttackScenario, AttackStyle};
 use attack::virus::VirusClass;
 use simkit::heatmap::Heatmap;
+use simkit::sweep::SweepRunner;
 use simkit::time::{SimDuration, SimTime};
 use workload::synth::SynthConfig;
+use workload::trace::ClusterTrace;
 
 use crate::experiments::Fidelity;
 use crate::metrics::SocHistory;
@@ -38,17 +42,23 @@ fn trace_horizon(fidelity: Fidelity) -> SimTime {
     }
 }
 
-fn run_one(scheme: Scheme, fidelity: Fidelity) -> (SocHistory, SimDuration) {
-    let config = SimConfig::paper_default(scheme);
-    let horizon = trace_horizon(fidelity);
-    let trace = SynthConfig {
-        machines: config.topology.total_servers(),
-        horizon,
+fn usage_trace(machines: usize, fidelity: Fidelity) -> ClusterTrace {
+    SynthConfig {
+        machines,
+        horizon: trace_horizon(fidelity),
         mean_utilization: 0.35,
         ..SynthConfig::google_may2010()
     }
-    .generate_direct(0x00F1_6013);
-    let mut sim = ClusterSim::new(config, trace).expect("valid config");
+    .generate_direct(0x00F1_6013)
+}
+
+fn run_one(
+    scheme: Scheme,
+    fidelity: Fidelity,
+    trace: &Arc<ClusterTrace>,
+) -> (SocHistory, SimDuration) {
+    let config = SimConfig::paper_default(scheme);
+    let mut sim = ClusterSim::new_shared(config, Arc::clone(trace)).expect("valid config");
     sim.record_soc(SimDuration::from_mins(5));
     // One day of normal operation produces the usage map...
     let attack_at = SimTime::from_hours(if fidelity.is_smoke() { 26 } else { 34 });
@@ -68,10 +78,23 @@ fn run_one(scheme: Scheme, fidelity: Fidelity) -> (SocHistory, SimDuration) {
     (history, report.survival_or_horizon())
 }
 
-/// Runs both managements.
+/// Runs both managements serially; see [`run_with_jobs`].
 pub fn run(fidelity: Fidelity) -> Fig13 {
-    let (conventional, conventional_survival) = run_one(Scheme::Ps, fidelity);
-    let (pad, pad_survival) = run_one(Scheme::Pad, fidelity);
+    run_with_jobs(fidelity, 1)
+}
+
+/// Runs both managements, sharing one synthesized trace and fanning the
+/// two schemes across workers.
+pub fn run_with_jobs(fidelity: Fidelity, jobs: usize) -> Fig13 {
+    let machines = SimConfig::paper_default(Scheme::Ps)
+        .topology
+        .total_servers();
+    let trace = Arc::new(usage_trace(machines, fidelity));
+    let mut results = SweepRunner::new(jobs).run(vec![Scheme::Ps, Scheme::Pad], |_, scheme| {
+        run_one(scheme, fidelity, &trace)
+    });
+    let (pad, pad_survival) = results.pop().expect("two schemes");
+    let (conventional, conventional_survival) = results.pop().expect("two schemes");
     Fig13 {
         conventional,
         pad,

@@ -9,8 +9,11 @@
 //! B: PAD's shedding ratio over time (bounded at 3%). Panel C: the
 //! PAD-optimized map.
 
+use std::sync::Arc;
+
 use simkit::heatmap::Heatmap;
 use simkit::series::TimeSeries;
+use simkit::sweep::SweepRunner;
 use simkit::time::{SimDuration, SimTime};
 use workload::synth::SynthConfig;
 use workload::trace::ClusterTrace;
@@ -53,7 +56,8 @@ pub fn surging_trace(machines: usize, fidelity: Fidelity) -> ClusterTrace {
     let series: Vec<TimeSeries> = (0..base.machines())
         .map(|m| {
             base.machine_series(m).map_time(|t, v| {
-                let in_surge = (t.as_millis() / SimDuration::from_hours(4).as_millis()).is_multiple_of(8)
+                let in_surge = (t.as_millis() / SimDuration::from_hours(4).as_millis())
+                    .is_multiple_of(8)
                     && t.as_millis() % SimDuration::from_hours(4).as_millis()
                         < SimDuration::from_mins(30).as_millis();
                 if in_surge {
@@ -67,10 +71,13 @@ pub fn surging_trace(machines: usize, fidelity: Fidelity) -> ClusterTrace {
     ClusterTrace::from_series(series)
 }
 
-fn run_one(scheme: Scheme, fidelity: Fidelity) -> (SocHistory, TimeSeries) {
+fn run_one(
+    scheme: Scheme,
+    fidelity: Fidelity,
+    trace: &Arc<ClusterTrace>,
+) -> (SocHistory, TimeSeries) {
     let config = SimConfig::paper_default(scheme);
-    let trace = surging_trace(config.topology.total_servers(), fidelity);
-    let mut sim = ClusterSim::new(config, trace).expect("valid config");
+    let mut sim = ClusterSim::new_shared(config, Arc::clone(trace)).expect("valid config");
     sim.record_soc(SimDuration::from_mins(5));
     let end = horizon(fidelity);
     let step = SimDuration::from_secs(30);
@@ -79,7 +86,9 @@ fn run_one(scheme: Scheme, fidelity: Fidelity) -> (SocHistory, TimeSeries) {
     while t < end {
         sim.step(step);
         t += step;
-        if t.as_millis().is_multiple_of(SimDuration::from_mins(5).as_millis()) {
+        if t.as_millis()
+            .is_multiple_of(SimDuration::from_mins(5).as_millis())
+        {
             shed.push(sim.asleep_fraction() * 100.0);
         }
     }
@@ -90,10 +99,23 @@ fn run_one(scheme: Scheme, fidelity: Fidelity) -> (SocHistory, TimeSeries) {
     )
 }
 
-/// Runs the experiment.
+/// Runs the experiment serially; see [`run_with_jobs`].
 pub fn run(fidelity: Fidelity) -> Fig14 {
-    let (before, _) = run_one(Scheme::Ps, fidelity);
-    let (after, shed_ratio) = run_one(Scheme::Pad, fidelity);
+    run_with_jobs(fidelity, 1)
+}
+
+/// Runs the experiment, synthesizing the surging trace once and fanning
+/// the two schemes across workers.
+pub fn run_with_jobs(fidelity: Fidelity, jobs: usize) -> Fig14 {
+    let machines = SimConfig::paper_default(Scheme::Ps)
+        .topology
+        .total_servers();
+    let trace = Arc::new(surging_trace(machines, fidelity));
+    let mut results = SweepRunner::new(jobs).run(vec![Scheme::Ps, Scheme::Pad], |_, scheme| {
+        run_one(scheme, fidelity, &trace)
+    });
+    let (after, shed_ratio) = results.pop().expect("two schemes");
+    let (before, _) = results.pop().expect("two schemes");
     Fig14 {
         before,
         shed_ratio,
@@ -104,11 +126,7 @@ pub fn run(fidelity: Fidelity) -> Fig14 {
 impl Fig14 {
     /// Peak shed ratio (%) — the paper's "about 3%".
     pub fn peak_shed_ratio(&self) -> f64 {
-        self.shed_ratio
-            .values()
-            .iter()
-            .copied()
-            .fold(0.0, f64::max)
+        self.shed_ratio.values().iter().copied().fold(0.0, f64::max)
     }
 
     /// Vulnerable-rack exposure (SOC < 25%) before and after.

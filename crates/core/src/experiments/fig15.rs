@@ -7,14 +7,22 @@
 //! by 10.7X compared to conventional data centers, and 1.6X compared to
 //! the state-of-the-art proposals."
 
+use std::sync::Arc;
+
 use attack::scenario::{AttackScenario, AttackStyle};
 use attack::virus::VirusClass;
 use simkit::stats::OnlineStats;
+use simkit::sweep::SweepRunner;
 use simkit::table::Table;
 use simkit::time::SimDuration;
+use workload::trace::ClusterTrace;
 
-use crate::experiments::{survival_attack_time, survival_horizon, warmed_survival_sim, Fidelity};
+use crate::experiments::{
+    survival_attack_time, survival_horizon, survival_trace, warmed_survival_sim,
+    warmed_survival_sim_shared, Fidelity,
+};
 use crate::schemes::Scheme;
+use crate::sim::SimConfig;
 
 /// One scenario column of Figure 15.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,7 +71,30 @@ pub fn survival_of(
     seed: u64,
     fidelity: Fidelity,
 ) -> (SimDuration, bool) {
-    let mut sim = warmed_survival_sim(scheme, seed, fidelity);
+    let sim = warmed_survival_sim(scheme, seed, fidelity);
+    survival_from(sim, style, class, fidelity)
+}
+
+/// [`survival_of`] over a shared per-seed trace (must be
+/// `survival_trace(total_servers, seed, fidelity)`).
+pub fn survival_of_shared(
+    scheme: Scheme,
+    style: AttackStyle,
+    class: VirusClass,
+    seed: u64,
+    fidelity: Fidelity,
+    trace: &Arc<ClusterTrace>,
+) -> (SimDuration, bool) {
+    let sim = warmed_survival_sim_shared(scheme, seed, fidelity, trace);
+    survival_from(sim, style, class, fidelity)
+}
+
+fn survival_from(
+    mut sim: crate::sim::ClusterSim,
+    style: AttackStyle,
+    class: VirusClass,
+    fidelity: Fidelity,
+) -> (SimDuration, bool) {
     let victim = sim.most_vulnerable_rack();
     let scenario = AttackScenario::new(style, class, 4)
         .with_escalation(SimDuration::from_mins(5))
@@ -78,14 +109,46 @@ pub fn survival_of(
     (report.survival_or_horizon(), report.survival().is_none())
 }
 
-/// Runs the whole figure.
+/// Runs the whole figure serially; see [`run_with_jobs`].
 pub fn run(fidelity: Fidelity) -> Fig15 {
+    run_with_jobs(fidelity, 1)
+}
+
+/// Runs the whole figure, fanning every `(scheme, scenario, seed)` run
+/// across `jobs` workers. The per-seed background trace is synthesized
+/// once and shared; every run reseeds its own noise from `seed`, so the
+/// table is byte-identical to the serial path for any worker count.
+pub fn run_with_jobs(fidelity: Fidelity, jobs: usize) -> Fig15 {
     let cells = matrix(fidelity);
     let schemes: &[Scheme] = if fidelity.is_smoke() {
         &[Scheme::Conv, Scheme::Ps, Scheme::Pad]
     } else {
         &Scheme::ALL
     };
+
+    // One shared trace per seed — identical for every scheme and cell.
+    let machines = SimConfig::paper_default(Scheme::Pad)
+        .topology
+        .total_servers();
+    let traces: Vec<Arc<ClusterTrace>> = (1..=fidelity.seeds())
+        .map(|seed| Arc::new(survival_trace(machines, seed, fidelity)))
+        .collect();
+
+    // Flatten scheme → cell → seed, exactly the serial aggregation order.
+    let mut specs = Vec::new();
+    for &scheme in schemes {
+        for &(style, class) in &cells {
+            for seed in 1..=fidelity.seeds() {
+                specs.push((scheme, style, class, seed));
+            }
+        }
+    }
+    let runs = SweepRunner::new(jobs).run(specs, |_, (scheme, style, class, seed)| {
+        let trace = &traces[(seed - 1) as usize];
+        survival_of_shared(scheme, style, class, seed, fidelity, trace)
+    });
+
+    let mut runs = runs.into_iter();
     let mut rows = Vec::new();
     for &scheme in schemes {
         let mut row = Vec::new();
@@ -93,8 +156,8 @@ pub fn run(fidelity: Fidelity) -> Fig15 {
         for &(style, class) in &cells {
             let mut stats = OnlineStats::new();
             let mut capped = false;
-            for seed in 1..=fidelity.seeds() {
-                let (s, seed_capped) = survival_of(scheme, style, class, seed, fidelity);
+            for _seed in 1..=fidelity.seeds() {
+                let (s, seed_capped) = runs.next().expect("one run per spec");
                 stats.push(s.as_secs_f64());
                 all.push(s.as_secs_f64());
                 capped |= seed_capped;
@@ -106,11 +169,7 @@ pub fn run(fidelity: Fidelity) -> Fig15 {
                 capped,
             });
         }
-        rows.push((
-            scheme,
-            row,
-            SimDuration::from_secs_f64(all.mean()),
-        ));
+        rows.push((scheme, row, SimDuration::from_secs_f64(all.mean())));
     }
     Fig15 {
         rows,

@@ -10,14 +10,21 @@
 //! window — Conv's failure mode), DVFS capping (PSPC's overhead), and
 //! Level-3 shedding (PAD's small, targeted cost).
 
+use std::sync::Arc;
+
 use attack::scenario::{AttackScenario, AttackStyle};
 use attack::virus::VirusClass;
 use simkit::stats::OnlineStats;
+use simkit::sweep::SweepRunner;
 use simkit::time::SimDuration;
+use workload::trace::ClusterTrace;
 
-use crate::experiments::{survival_attack_time, warmed_survival_sim, Fidelity};
+use crate::experiments::{
+    survival_attack_time, survival_trace, warmed_survival_sim, warmed_survival_sim_shared, Fidelity,
+};
 use crate::report::render_multi_series;
 use crate::schemes::Scheme;
+use crate::sim::SimConfig;
 
 /// The schemes Figure 16 plots.
 pub const SCHEMES: [Scheme; 4] = [Scheme::Ps, Scheme::Pspc, Scheme::Conv, Scheme::Pad];
@@ -50,7 +57,30 @@ pub fn throughput_of(
     seed: u64,
     fidelity: Fidelity,
 ) -> f64 {
-    let mut sim = warmed_survival_sim(scheme, seed, fidelity);
+    let sim = warmed_survival_sim(scheme, seed, fidelity);
+    throughput_from(sim, width, per_minute, fidelity)
+}
+
+/// [`throughput_of`] over a shared per-seed trace (must be
+/// `survival_trace(total_servers, seed, fidelity)`).
+pub fn throughput_of_shared(
+    scheme: Scheme,
+    width: SimDuration,
+    per_minute: f64,
+    seed: u64,
+    fidelity: Fidelity,
+    trace: &Arc<ClusterTrace>,
+) -> f64 {
+    let sim = warmed_survival_sim_shared(scheme, seed, fidelity, trace);
+    throughput_from(sim, width, per_minute, fidelity)
+}
+
+fn throughput_from(
+    mut sim: crate::sim::ClusterSim,
+    width: SimDuration,
+    per_minute: f64,
+    fidelity: Fidelity,
+) -> f64 {
     let victim = sim.most_vulnerable_rack();
     let scenario = AttackScenario::new(AttackStyle::Dense, VirusClass::CpuIntensive, 4)
         .with_width(width)
@@ -74,6 +104,8 @@ pub fn throughput_of(
 
 fn sweep(
     fidelity: Fidelity,
+    jobs: usize,
+    traces: &[Arc<ClusterTrace>],
     x_label: &'static str,
     points: &[(f64, SimDuration, f64)],
 ) -> ThroughputSweep {
@@ -83,13 +115,29 @@ fn sweep(
         SCHEMES.to_vec()
     };
     let xs: Vec<f64> = points.iter().map(|&(x, _, _)| x).collect();
+
+    // Flatten scheme → point → seed, the serial aggregation order.
+    let mut specs = Vec::new();
+    for &scheme in &schemes {
+        for &(_, width, freq) in points {
+            for seed in 1..=fidelity.seeds() {
+                specs.push((scheme, width, freq, seed));
+            }
+        }
+    }
+    let runs = SweepRunner::new(jobs).run(specs, |_, (scheme, width, freq, seed)| {
+        let trace = &traces[(seed - 1) as usize];
+        throughput_of_shared(scheme, width, freq, seed, fidelity, trace)
+    });
+
+    let mut runs = runs.into_iter();
     let mut columns = Vec::new();
     for &scheme in &schemes {
         let mut ys = Vec::new();
-        for &(_, width, freq) in points {
+        for _point in points {
             let mut stats = OnlineStats::new();
-            for seed in 1..=fidelity.seeds() {
-                stats.push(throughput_of(scheme, width, freq, seed, fidelity));
+            for _seed in 1..=fidelity.seeds() {
+                stats.push(runs.next().expect("one run per spec"));
             }
             ys.push(stats.mean());
         }
@@ -102,8 +150,14 @@ fn sweep(
     }
 }
 
-/// Runs both panels.
+/// Runs both panels serially; see [`run_with_jobs`].
 pub fn run(fidelity: Fidelity) -> Fig16 {
+    run_with_jobs(fidelity, 1)
+}
+
+/// Runs both panels, sharing one synthesized trace per seed and fanning
+/// every `(scheme, point, seed)` run across `jobs` workers.
+pub fn run_with_jobs(fidelity: Fidelity, jobs: usize) -> Fig16 {
     // Panel A: attack rate = spike duty cycle, 2 s spikes. 16%..50% duty
     // maps to 4.8..15 spikes/min.
     let width_a = SimDuration::from_secs(2);
@@ -130,9 +184,16 @@ pub fn run(fidelity: Fidelity) -> Fig16 {
         points_b
     };
 
+    let machines = SimConfig::paper_default(Scheme::Pad)
+        .topology
+        .total_servers();
+    let traces: Vec<Arc<ClusterTrace>> = (1..=fidelity.seeds())
+        .map(|seed| Arc::new(survival_trace(machines, seed, fidelity)))
+        .collect();
+
     Fig16 {
-        by_rate: sweep(fidelity, "attack_rate", &points_a),
-        by_width: sweep(fidelity, "spike_width_s", &points_b),
+        by_rate: sweep(fidelity, jobs, &traces, "attack_rate", &points_a),
+        by_width: sweep(fidelity, jobs, &traces, "spike_width_s", &points_b),
     }
 }
 

@@ -14,11 +14,15 @@
 //! super-capacitor is the only thing standing between the spikes and the
 //! breaker.
 
+use std::sync::Arc;
+
 use attack::scenario::{AttackScenario, AttackStyle};
 use attack::virus::VirusClass;
 use battery::model::EnergyStorage;
+use simkit::sweep::SweepRunner;
 use simkit::table::Table;
 use simkit::time::SimDuration;
+use workload::trace::ClusterTrace;
 
 use crate::experiments::{survival_attack_time, survival_horizon, Fidelity};
 use crate::schemes::Scheme;
@@ -47,17 +51,17 @@ pub struct Fig17 {
 
 /// Builds a PAD simulator with the given µDEB sizing and measures
 /// survival under the dense CPU reference attack.
-fn survival_with_fraction(fraction: f64, seed: u64, fidelity: Fidelity) -> (f64, f64, SimDuration) {
+fn survival_with_fraction(
+    fraction: f64,
+    seed: u64,
+    fidelity: Fidelity,
+    trace: &Arc<ClusterTrace>,
+) -> (f64, f64, SimDuration) {
     // Mirror `warmed_survival_sim`, overriding the µDEB sizing. The
     // µDEB-only scheme isolates the super-capacitor's contribution.
     let mut config = SimConfig::paper_default(Scheme::UDebOnly);
     config.udeb_fraction = fraction;
-    let trace = crate::experiments::survival_trace(
-        config.topology.total_servers(),
-        seed,
-        fidelity,
-    );
-    let mut sim = ClusterSim::new(config, trace).expect("valid config");
+    let mut sim = ClusterSim::new_shared(config, Arc::clone(trace)).expect("valid config");
     sim.reseed_noise(seed.wrapping_mul(0x9E37_79B9) ^ 0x5EED);
     let warm_step = if fidelity.is_smoke() {
         SimDuration::from_mins(2)
@@ -96,25 +100,32 @@ fn survival_with_fraction(fraction: f64, seed: u64, fidelity: Fidelity) -> (f64,
     (farads, cost_ratio, report.survival_or_horizon())
 }
 
-/// Runs the capacity sweep.
+/// Runs the capacity sweep serially; see [`run_with_jobs`].
 pub fn run(fidelity: Fidelity) -> Fig17 {
+    run_with_jobs(fidelity, 1)
+}
+
+/// Runs the capacity sweep, sharing one synthesized trace (every point
+/// uses seed 1) and fanning the fractions across `jobs` workers.
+pub fn run_with_jobs(fidelity: Fidelity, jobs: usize) -> Fig17 {
     let fractions: Vec<f64> = if fidelity.is_smoke() {
         vec![0.01, 0.10]
     } else {
         vec![0.01, 0.02, 0.03, 0.05, 0.075, 0.10, 0.125, 0.15]
     };
-    let points = fractions
-        .into_iter()
-        .map(|fraction| {
-            let (farads, cost_ratio, survival) = survival_with_fraction(fraction, 1, fidelity);
-            CapacityPoint {
-                fraction,
-                farads,
-                cost_ratio,
-                survival,
-            }
-        })
-        .collect();
+    let machines = SimConfig::paper_default(Scheme::UDebOnly)
+        .topology
+        .total_servers();
+    let trace = Arc::new(crate::experiments::survival_trace(machines, 1, fidelity));
+    let points = SweepRunner::new(jobs).run(fractions, |_, fraction| {
+        let (farads, cost_ratio, survival) = survival_with_fraction(fraction, 1, fidelity, &trace);
+        CapacityPoint {
+            fraction,
+            farads,
+            cost_ratio,
+            survival,
+        }
+    });
     Fig17 { points }
 }
 

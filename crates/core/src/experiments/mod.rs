@@ -40,6 +40,8 @@ pub mod recon;
 pub mod table1;
 pub mod validation;
 
+use std::sync::Arc;
+
 use attack::spike::SpikeTrain;
 use powerinfra::server::ServerSpec;
 use powerinfra::topology::ClusterTopology;
@@ -106,8 +108,28 @@ pub fn survival_trace(machines: usize, seed: u64, fidelity: Fidelity) -> Cluster
 /// landscape is realistic, noise reseeded per `seed`.
 pub fn warmed_survival_sim(scheme: Scheme, seed: u64, fidelity: Fidelity) -> ClusterSim {
     let config = SimConfig::paper_default(scheme);
-    let trace = survival_trace(config.topology.total_servers(), seed, fidelity);
-    let mut sim = ClusterSim::new(config, trace).expect("paper config is valid");
+    let trace = Arc::new(survival_trace(
+        config.topology.total_servers(),
+        seed,
+        fidelity,
+    ));
+    warmed_survival_sim_shared(scheme, seed, fidelity, &trace)
+}
+
+/// [`warmed_survival_sim`] over an already-shared trace: sweeps that run
+/// many schemes or scenarios against the same seed generate the trace
+/// once and share it, instead of regenerating per scenario.
+///
+/// The trace must be `survival_trace(total_servers, seed, fidelity)` for
+/// results to match the unshared path bit-for-bit.
+pub fn warmed_survival_sim_shared(
+    scheme: Scheme,
+    seed: u64,
+    fidelity: Fidelity,
+    trace: &Arc<ClusterTrace>,
+) -> ClusterSim {
+    let config = SimConfig::paper_default(scheme);
+    let mut sim = ClusterSim::new_shared(config, Arc::clone(trace)).expect("paper config is valid");
     sim.reseed_noise(seed.wrapping_mul(0x9E37_79B9) ^ 0x5EED);
     let warm_step = if fidelity.is_smoke() {
         SimDuration::from_mins(2)

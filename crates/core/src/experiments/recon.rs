@@ -49,12 +49,7 @@ impl ReconOutcome {
 /// Runs one ladder probe: drain for `drain_secs`, then fire spikes for a
 /// three-minute observation window. Returns the observed autonomy sample
 /// if a spike landed (an overload within the window).
-fn probe(
-    scheme: Scheme,
-    seed: u64,
-    drain_secs: u64,
-    fidelity: Fidelity,
-) -> Option<SimDuration> {
+fn probe(scheme: Scheme, seed: u64, drain_secs: u64, fidelity: Fidelity) -> Option<SimDuration> {
     let mut sim = warmed_survival_sim(scheme, seed, fidelity);
     let victim = sim.most_vulnerable_rack();
     let scenario = AttackScenario::new(AttackStyle::Dense, VirusClass::CpuIntensive, 4)

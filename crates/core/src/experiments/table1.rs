@@ -11,13 +11,17 @@
 //! window overlapping it reads above an anomaly threshold calibrated from
 //! an attack-free run (mean + 2σ of that meter's samples).
 
+use std::sync::Arc;
+
 use attack::scenario::{AttackScenario, AttackStyle};
 use attack::virus::VirusClass;
 use powerinfra::metering::PowerMeter;
 use powerinfra::topology::RackId;
 use simkit::stats::OnlineStats;
+use simkit::sweep::SweepRunner;
 use simkit::table::Table;
 use simkit::time::{SimDuration, SimTime};
+use workload::trace::ClusterTrace;
 
 use crate::experiments::{testbed_config, testbed_trace, Fidelity};
 use crate::schemes::Scheme;
@@ -86,15 +90,22 @@ pub struct Table1 {
 fn metered_samples(
     column: Option<AttackColumn>,
     window: SimDuration,
+    trace: &Arc<ClusterTrace>,
 ) -> Vec<Vec<(SimTime, f64)>> {
     let config = testbed_config(Scheme::Conv);
-    let mut sim = ClusterSim::new(config, testbed_trace(0x7AB1E)).expect("valid config");
-    sim.reseed_noise(0x7AB1E ^ column.map_or(0, |c| (c.servers as u64) << 16 | c.width_secs << 8 | c.per_minute));
+    let mut sim = ClusterSim::new_shared(config, Arc::clone(trace)).expect("valid config");
+    sim.reseed_noise(
+        0x7AB1E
+            ^ column.map_or(0, |c| {
+                (c.servers as u64) << 16 | c.width_secs << 8 | c.per_minute
+            }),
+    );
     if let Some(c) = column {
-        let scenario = AttackScenario::new(AttackStyle::Sparse, VirusClass::CpuIntensive, c.servers)
-            .with_width(SimDuration::from_secs(c.width_secs))
-            .with_frequency(c.per_minute as f64)
-            .immediate();
+        let scenario =
+            AttackScenario::new(AttackStyle::Sparse, VirusClass::CpuIntensive, c.servers)
+                .with_width(SimDuration::from_secs(c.width_secs))
+                .with_frequency(c.per_minute as f64)
+                .immediate();
         sim.set_attack(scenario, RackId(0), SimTime::ZERO);
     }
     let mut meters: Vec<PowerMeter> = INTERVALS.iter().map(|&i| PowerMeter::new(i)).collect();
@@ -130,10 +141,14 @@ fn detection_rate(
     column: AttackColumn,
     window: SimDuration,
 ) -> f64 {
-    let train = AttackScenario::new(AttackStyle::Sparse, VirusClass::CpuIntensive, column.servers)
-        .with_width(SimDuration::from_secs(column.width_secs))
-        .with_frequency(column.per_minute as f64)
-        .train();
+    let train = AttackScenario::new(
+        AttackStyle::Sparse,
+        VirusClass::CpuIntensive,
+        column.servers,
+    )
+    .with_width(SimDuration::from_secs(column.width_secs))
+    .with_frequency(column.per_minute as f64)
+    .train();
     let spikes = train.spikes_before(SimTime::ZERO + window);
     if spikes == 0 {
         return 0.0;
@@ -153,8 +168,16 @@ fn detection_rate(
     detected as f64 / spikes as f64
 }
 
-/// Runs the full table.
+/// Runs the full table serially; see [`run_with_jobs`].
 pub fn run(fidelity: Fidelity) -> Table1 {
+    run_with_jobs(fidelity, 1)
+}
+
+/// Runs the full table, fanning the calibration run and every attack
+/// column across `jobs` workers over one shared testbed trace. Each run
+/// reseeds its own noise from its column parameters, so the table is
+/// identical for any worker count.
+pub fn run_with_jobs(fidelity: Fidelity, jobs: usize) -> Table1 {
     let window = if fidelity.is_smoke() {
         SimDuration::from_mins(5)
     } else {
@@ -177,8 +200,16 @@ pub fn run(fidelity: Fidelity) -> Table1 {
         AttackColumn::paper_columns()
     };
 
-    // Anomaly thresholds from an attack-free calibration run.
-    let baseline = metered_samples(None, window);
+    // One sweep covers the attack-free calibration (index 0) and every
+    // attack column; the trace is synthesized once and shared.
+    let trace = Arc::new(testbed_trace(0x7AB1E));
+    let mut runs: Vec<Option<AttackColumn>> = vec![None];
+    runs.extend(columns.iter().copied().map(Some));
+    let mut sampled =
+        SweepRunner::new(jobs).run(runs, |_, column| metered_samples(column, window, &trace));
+
+    // Anomaly thresholds from the attack-free calibration run.
+    let baseline = sampled.remove(0);
     let thresholds: Vec<f64> = baseline
         .iter()
         .map(|samples| {
@@ -191,8 +222,7 @@ pub fn run(fidelity: Fidelity) -> Table1 {
 
     let mut rates: Vec<(SimDuration, Vec<f64>)> =
         INTERVALS.iter().map(|&i| (i, Vec::new())).collect();
-    for &column in &columns {
-        let samples = metered_samples(Some(column), window);
+    for (&column, samples) in columns.iter().zip(&sampled) {
         for (idx, &interval) in INTERVALS.iter().enumerate() {
             let rate = detection_rate(&samples[idx], interval, thresholds[idx], column, window);
             rates[idx].1.push(rate);

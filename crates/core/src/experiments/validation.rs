@@ -90,8 +90,7 @@ pub fn battery_absorbs_spikes(fidelity: Fidelity) -> Check {
     let mut sim = warmed_survival_sim(Scheme::Ps, 1, fidelity);
     let victim = sim.most_vulnerable_rack();
     sim.rack_mut(victim).cabinet_mut().set_soc(1.0);
-    let scenario = AttackScenario::new(AttackStyle::Dense, VirusClass::CpuIntensive, 4)
-        .immediate();
+    let scenario = AttackScenario::new(AttackStyle::Dense, VirusClass::CpuIntensive, 4).immediate();
     let attack_at = survival_attack_time();
     sim.set_attack(scenario, victim, attack_at);
     // Ten minutes of spikes against a full battery: nothing should land.
@@ -120,14 +119,16 @@ pub fn coarse_metering_is_blind(fidelity: Fidelity) -> Check {
         width_secs: 1,
         per_minute: 1,
     };
-    let coarse = table
-        .rate(SimDuration::from_mins(5), weak)
-        .unwrap_or(1.0);
+    let coarse = table.rate(SimDuration::from_mins(5), weak).unwrap_or(1.0);
     let fine = table.rate(SimDuration::from_secs(5), weak).unwrap_or(0.0);
     Check::new(
         "coarse meters miss what fine meters see",
         coarse <= 0.1 && fine > 0.2,
-        format!("5 min meter: {:.0}%, 5 s meter: {:.0}%", coarse * 100.0, fine * 100.0),
+        format!(
+            "5 min meter: {:.0}%, 5 s meter: {:.0}%",
+            coarse * 100.0,
+            fine * 100.0
+        ),
     )
 }
 
@@ -192,7 +193,11 @@ mod tests {
         let checks = run(Fidelity::Smoke);
         assert_eq!(checks.len(), 5);
         for c in &checks {
-            assert!(c.passed, "platform premise failed: {} — {}", c.name, c.detail);
+            assert!(
+                c.passed,
+                "platform premise failed: {} — {}",
+                c.name, c.detail
+            );
         }
         let text = render(&checks);
         assert!(text.contains("PASS"));

@@ -42,6 +42,7 @@
 //! * [`migration`] — the Level-3 alternative: move load off vulnerable racks;
 //! * [`schemes`] — the six evaluated schemes of Table III;
 //! * [`sim`] — the trace-driven cluster simulator (Fig. 11-B);
+//! * [`sweep`] — parallel scenario sweeps over one shared trace;
 //! * [`metrics`] — survival time, effective attacks, throughput, SOC maps;
 //! * [`experiments`] — one module per paper table/figure;
 //! * [`report`] — shared text rendering for experiment output.
@@ -57,6 +58,7 @@ pub mod report;
 pub mod schemes;
 pub mod shedding;
 pub mod sim;
+pub mod sweep;
 pub mod udeb;
 pub mod vdeb;
 
@@ -72,6 +74,7 @@ pub mod prelude {
     pub use crate::policy::{PolicyInputs, SecurityLevel, SecurityPolicy, Strictness};
     pub use crate::schemes::Scheme;
     pub use crate::sim::{ClusterSim, SimConfig};
+    pub use crate::sweep::{AttackSpec, ConfigSweep, SurvivalCase, SurvivalOutcome, Victim};
     pub use crate::udeb::MicroDeb;
     pub use crate::units::Watts;
     pub use crate::vdeb::{plan_discharge, VdebController};
@@ -84,5 +87,6 @@ pub use metrics::{OverloadEvent, SocHistory, SurvivalReport};
 pub use policy::{SecurityLevel, SecurityPolicy, Strictness};
 pub use schemes::Scheme;
 pub use sim::{ClusterSim, SimConfig};
+pub use sweep::{ConfigSweep, SurvivalCase, SurvivalOutcome};
 pub use udeb::MicroDeb;
 pub use vdeb::{plan_discharge, VdebController};

@@ -234,7 +234,10 @@ mod tests {
             &[Watts(200.0), Watts(0.0), Watts(1_000.0)],
             10,
         );
-        assert!(plan.deltas[1] < 0.0, "vulnerable rack must donate: {plan:?}");
+        assert!(
+            plan.deltas[1] < 0.0,
+            "vulnerable rack must donate: {plan:?}"
+        );
         assert!(plan.deltas[2] > 0.0, "headroom rack must receive: {plan:?}");
     }
 

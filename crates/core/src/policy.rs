@@ -243,9 +243,15 @@ mod tests {
         let mut p = SecurityPolicy::default();
         assert_eq!(p.level(), SecurityLevel::Normal);
         // vDEB empties: L1 → L2.
-        assert_eq!(p.update(inputs(false, true, true)), SecurityLevel::MinorIncident);
+        assert_eq!(
+            p.update(inputs(false, true, true)),
+            SecurityLevel::MinorIncident
+        );
         // µDEB also empties: L2 → L3.
-        assert_eq!(p.update(inputs(false, false, true)), SecurityLevel::Emergency);
+        assert_eq!(
+            p.update(inputs(false, false, true)),
+            SecurityLevel::Emergency
+        );
         assert_eq!(p.transitions(), 2);
     }
 
@@ -256,7 +262,10 @@ mod tests {
         p.update(inputs(false, false, false));
         assert_eq!(p.level(), SecurityLevel::Emergency);
         // µDEB recharged: L3 → L2.
-        assert_eq!(p.update(inputs(false, true, false)), SecurityLevel::MinorIncident);
+        assert_eq!(
+            p.update(inputs(false, true, false)),
+            SecurityLevel::MinorIncident
+        );
         // vDEB recharged: L2 → L1.
         assert_eq!(p.update(inputs(true, true, false)), SecurityLevel::Normal);
     }
@@ -277,7 +286,10 @@ mod tests {
         p.update(inputs(false, false, false));
         assert_eq!(p.level(), SecurityLevel::Emergency);
         // Everything comes back at once: still must pass through L2.
-        assert_eq!(p.update(inputs(true, true, false)), SecurityLevel::MinorIncident);
+        assert_eq!(
+            p.update(inputs(true, true, false)),
+            SecurityLevel::MinorIncident
+        );
         assert_eq!(p.update(inputs(true, true, false)), SecurityLevel::Normal);
     }
 

@@ -9,7 +9,12 @@ use simkit::time::SimDuration;
 
 /// Renders a `(x, y)` series as `x<tab>y` lines with a header — the
 /// gnuplot-friendly format all figure regenerators emit.
-pub fn render_xy_series(title: &str, x_label: &str, y_label: &str, points: &[(f64, f64)]) -> String {
+pub fn render_xy_series(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    points: &[(f64, f64)],
+) -> String {
     let mut out = format!("# {title}\n# {x_label}\t{y_label}\n");
     for (x, y) in points {
         out.push_str(&format!("{x:.4}\t{y:.4}\n"));
@@ -19,10 +24,7 @@ pub fn render_xy_series(title: &str, x_label: &str, y_label: &str, points: &[(f6
 
 /// Renders a time series as `seconds<tab>value` lines.
 pub fn render_time_series(title: &str, y_label: &str, series: &TimeSeries) -> String {
-    let points: Vec<(f64, f64)> = series
-        .iter()
-        .map(|(t, v)| (t.as_secs_f64(), v))
-        .collect();
+    let points: Vec<(f64, f64)> = series.iter().map(|(t, v)| (t.as_secs_f64(), v)).collect();
     render_xy_series(title, "seconds", y_label, &points)
 }
 

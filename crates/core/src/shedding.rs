@@ -103,11 +103,7 @@ impl LoadShedder {
         servers_per_rack: usize,
         utilizations: &[f64],
     ) -> SheddingPlan {
-        assert_eq!(
-            socs.len(),
-            utilizations.len(),
-            "per-rack inputs must align"
-        );
+        assert_eq!(socs.len(), utilizations.len(), "per-rack inputs must align");
         let racks = socs.len();
         let total_servers = racks * servers_per_rack;
         let budget = ((total_servers as f64) * self.max_ratio).floor() as usize;

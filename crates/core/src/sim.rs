@@ -29,6 +29,8 @@
 //! 7. battery/µDEB recharge from budget headroom, the attacker's
 //!    performance side channel, and the forensic event log.
 
+use std::sync::Arc;
+
 use attack::phases::TwoPhaseAttack;
 use attack::scenario::AttackScenario;
 use battery::charge::ChargePolicy;
@@ -191,7 +193,10 @@ impl SimConfig {
     /// Returns a description of the first invalid field.
     pub fn validate(&self) -> Result<(), String> {
         if !(0.0 < self.budget_fraction && self.budget_fraction <= 1.0) {
-            return Err(format!("budget fraction {} not in (0,1]", self.budget_fraction));
+            return Err(format!(
+                "budget fraction {} not in (0,1]",
+                self.budget_fraction
+            ));
         }
         if !(0.0..1.0).contains(&self.overshoot_tolerance) {
             return Err(format!(
@@ -215,7 +220,10 @@ impl SimConfig {
             return Err("grant interval must be non-zero".into());
         }
         if self.demand_jitter.0 < 0.0 || !self.demand_jitter.is_finite() {
-            return Err(format!("demand jitter {} must be non-negative", self.demand_jitter));
+            return Err(format!(
+                "demand jitter {} must be non-negative",
+                self.demand_jitter
+            ));
         }
         if !(0.0..1.0).contains(&self.vdeb_reserve_soc) {
             return Err(format!(
@@ -284,7 +292,7 @@ pub struct ClusterSim {
     cappers: Vec<PowerCapper>,
     enforcement: Vec<Enforcement>,
     pdu: Pdu,
-    trace: ClusterTrace,
+    trace: Arc<ClusterTrace>,
     attacks: Vec<AttackState>,
     now: SimTime,
     policy: SecurityPolicy,
@@ -336,6 +344,20 @@ impl ClusterSim {
     /// Returns an error if the config is invalid or the trace has fewer
     /// machines than the topology.
     pub fn new(config: SimConfig, trace: ClusterTrace) -> Result<Self, String> {
+        Self::new_shared(config, Arc::new(trace))
+    }
+
+    /// Builds a simulator over an already-shared `trace`.
+    ///
+    /// Scenario sweeps construct many simulators over one cluster trace;
+    /// sharing the parsed trace behind an [`Arc`] means it is parsed (or
+    /// synthesized) exactly once per sweep instead of once per scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the config is invalid or the trace has fewer
+    /// machines than the topology.
+    pub fn new_shared(config: SimConfig, trace: Arc<ClusterTrace>) -> Result<Self, String> {
         config.validate()?;
         if trace.machines() < config.topology.total_servers() {
             return Err(format!(
@@ -437,6 +459,11 @@ impl ClusterSim {
         &self.config
     }
 
+    /// The shared cluster trace driving this simulator.
+    pub fn trace(&self) -> &Arc<ClusterTrace> {
+        &self.trace
+    }
+
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
         self.now
@@ -535,8 +562,8 @@ impl ClusterSim {
             self.attacks.iter().all(|a| a.victim != victim),
             "rack {victim} is already under attack"
         );
-        let slots: Vec<usize> = (0..scenario.nodes.min(self.config.topology.servers_per_rack()))
-            .collect();
+        let slots: Vec<usize> =
+            (0..scenario.nodes.min(self.config.topology.servers_per_rack())).collect();
         self.attacks.push(AttackState {
             initial_nodes: slots.len(),
             victim,
@@ -664,9 +691,7 @@ impl ClusterSim {
         // 1c. DVFS factors: the per-rack capping actuators, floored by
         // the operator's protective cluster-wide 20% cut while an
         // overload incident is being ridden out.
-        let protective = self
-            .protective_until
-            .is_some_and(|until| now < until);
+        let protective = self.protective_until.is_some_and(|until| now < until);
         for (r, rack) in self.racks.iter_mut().enumerate() {
             let mut factor = self.cappers[r].factor_at(now);
             if protective {
@@ -679,12 +704,8 @@ impl ClusterSim {
         // a dark rack delivers nothing — the outage cost of a trip).
         let dt_secs = dt.as_secs_f64();
         for (r, rack) in self.racks.iter().enumerate() {
-            self.offered_work += rack
-                .servers()
-                .iter()
-                .map(|s| s.utilization())
-                .sum::<f64>()
-                * dt_secs;
+            self.offered_work +=
+                rack.servers().iter().map(|s| s.utilization()).sum::<f64>() * dt_secs;
             if self.outage_until[r].is_none() {
                 self.delivered_work += rack.delivered_work() * dt_secs;
             }
@@ -734,16 +755,10 @@ impl ClusterSim {
         self.slow_time_acc += dt_secs;
         if self.slow_time_acc >= self.config.grant_interval.as_secs_f64() {
             let t = self.slow_time_acc;
-            let avg_excess: Vec<Watts> = self
-                .slow_excess_acc
-                .iter()
-                .map(|&e| Watts(e / t))
-                .collect();
-            let avg_demand: Vec<Watts> = self
-                .slow_demand_acc
-                .iter()
-                .map(|&d| Watts(d / t))
-                .collect();
+            let avg_excess: Vec<Watts> =
+                self.slow_excess_acc.iter().map(|&e| Watts(e / t)).collect();
+            let avg_demand: Vec<Watts> =
+                self.slow_demand_acc.iter().map(|&d| Watts(d / t)).collect();
             if self.config.scheme.has_vdeb() {
                 let socs = self.rack_socs();
                 let total_excess: Watts = avg_excess.iter().copied().sum();
@@ -753,11 +768,8 @@ impl ClusterSim {
                     self.config.p_ideal,
                     self.config.vdeb_reserve_soc,
                 );
-                for ((held, assignment), demand) in self
-                    .vdeb_plan_held
-                    .iter_mut()
-                    .zip(&plan)
-                    .zip(&avg_demand)
+                for ((held, assignment), demand) in
+                    self.vdeb_plan_held.iter_mut().zip(&plan).zip(&avg_demand)
                 {
                     // A rack's battery can only offset its own draw.
                     *held = assignment.power.min(*demand);
@@ -769,15 +781,12 @@ impl ClusterSim {
                 let headroom_total: Watts = avg_demand
                     .iter()
                     .zip(&self.vdeb_plan_held)
-                    .map(|(&demand, &planned)| {
-                        (budget - (demand - planned)).clamp_non_negative()
-                    })
+                    .map(|(&demand, &planned)| (budget - (demand - planned)).clamp_non_negative())
                     .sum();
                 let mut headroom = headroom_total;
                 let mut residuals: Vec<(usize, Watts)> = (0..n)
                     .filter_map(|r| {
-                        let res =
-                            (avg_excess[r] - self.vdeb_plan_held[r]).clamp_non_negative();
+                        let res = (avg_excess[r] - self.vdeb_plan_held[r]).clamp_non_negative();
                         (res.0 > 0.0).then_some((r, res))
                     })
                     .collect();
@@ -817,8 +826,7 @@ impl ClusterSim {
                     battery_shave[r] = self.racks[r].cabinet_mut().discharge(excesses[r], dt);
                 }
                 let limit = budget + grants[r];
-                let mut residual =
-                    (demands[r] - battery_shave[r] - limit).clamp_non_negative();
+                let mut residual = (demands[r] - battery_shave[r] - limit).clamp_non_negative();
                 if residual > self.config.udeb_engage_threshold {
                     if let Some(udeb) = &mut self.udebs[r] {
                         sc_shave[r] = udeb.shave(residual, dt);
@@ -828,8 +836,7 @@ impl ClusterSim {
                 if residual.0 > 0.0 && self.config.scheme.has_vdeb() {
                     // Emergency local top-up beyond the P_ideal duty cap —
                     // the protective reserve exists precisely for this.
-                    battery_shave[r] +=
-                        self.racks[r].cabinet_mut().discharge(residual, dt);
+                    battery_shave[r] += self.racks[r].cabinet_mut().discharge(residual, dt);
                 }
             }
         }
@@ -900,7 +907,10 @@ impl ClusterSim {
                 now,
                 Severity::Critical,
                 where_,
-                format!("overload: draw {:.0} exceeded limit {:.0}", event.draw.0, event.limit.0),
+                format!(
+                    "overload: draw {:.0} exceeded limit {:.0}",
+                    event.draw.0, event.limit.0
+                ),
             );
         }
         if self.config.protective_response && first_overload.is_some() {
@@ -922,59 +932,59 @@ impl ClusterSim {
         // proactive path keeps a 20% cut in force during a suspected
         // attack period.
         if self.config.scheme.proactive_capping() {
-        for r in 0..n {
-            let e = &mut self.enforcement[r];
-            // The iPDU meters the utility draw *plus* the µDEB discharge
-            // telemetry (PAD "keeps a watchful eye on the health of the
-            // µDEB"), so super-capacitor shaving never hides a sustained
-            // violation from the enforcement loop.
-            e.energy_acc += (self.last_draws[r] + sc_shave[r]).0 * dt_secs;
-            e.time_acc += dt_secs;
-            // Attack-period detector: sustained near-limit demand arms
-            // the proactive 20% cut; five quiet minutes disarm it (the
-            // cut costs throughput, so it cannot stay on forever).
-            if demands[r].0 > budget.0 * 0.95 {
-                e.hot_seconds += dt_secs;
-                e.cool_seconds = 0.0;
-                if e.hot_seconds > 30.0 {
-                    e.proactive = true;
+            for r in 0..n {
+                let e = &mut self.enforcement[r];
+                // The iPDU meters the utility draw *plus* the µDEB discharge
+                // telemetry (PAD "keeps a watchful eye on the health of the
+                // µDEB"), so super-capacitor shaving never hides a sustained
+                // violation from the enforcement loop.
+                e.energy_acc += (self.last_draws[r] + sc_shave[r]).0 * dt_secs;
+                e.time_acc += dt_secs;
+                // Attack-period detector: sustained near-limit demand arms
+                // the proactive 20% cut; five quiet minutes disarm it (the
+                // cut costs throughput, so it cannot stay on forever).
+                if demands[r].0 > budget.0 * 0.95 {
+                    e.hot_seconds += dt_secs;
+                    e.cool_seconds = 0.0;
+                    if e.hot_seconds > 30.0 {
+                        e.proactive = true;
+                    }
+                } else {
+                    e.hot_seconds = 0.0;
+                    e.cool_seconds += dt_secs;
+                    if e.cool_seconds > 300.0 {
+                        e.proactive = false;
+                    }
                 }
-            } else {
-                e.hot_seconds = 0.0;
-                e.cool_seconds += dt_secs;
-                if e.cool_seconds > 300.0 {
-                    e.proactive = false;
+                if e.time_acc >= self.config.enforcement_window.as_secs_f64() {
+                    let avg = e.energy_acc / e.time_acc;
+                    e.energy_acc = 0.0;
+                    e.time_acc = 0.0;
+                    let limit = budget + grants[r];
+                    let idle = self.racks[r].idle_power();
+                    let current_factor = self.cappers[r].factor_at(now);
+                    let ceiling = if e.proactive { 0.8 } else { 1.0 };
+                    if avg > limit.0 {
+                        // Scale dynamic power down so demand ≈ limit.
+                        let dynamic =
+                            (Watts(avg) - idle).clamp_non_negative().0 / current_factor.max(0.1);
+                        let target = if dynamic > 0.0 {
+                            ((limit - idle).clamp_non_negative().0 / dynamic).clamp(0.1, 1.0)
+                        } else {
+                            1.0
+                        };
+                        self.cappers[r].request(target.min(ceiling), now);
+                    } else if avg < limit.0 * 0.98 && current_factor < ceiling {
+                        // Demand has receded: lift the cap *gradually* (real
+                        // governors step frequency up, they do not jump), with
+                        // a 2% hysteresis band against flapping. The uncap,
+                        // like the cap, lands only after the actuation
+                        // latency, so sub-second spikes slip through — the
+                        // paper's core argument for hardware shaving.
+                        self.cappers[r].request((current_factor + 0.1).min(ceiling), now);
+                    }
                 }
             }
-            if e.time_acc >= self.config.enforcement_window.as_secs_f64() {
-                let avg = e.energy_acc / e.time_acc;
-                e.energy_acc = 0.0;
-                e.time_acc = 0.0;
-                let limit = budget + grants[r];
-                let idle = self.racks[r].idle_power();
-                let current_factor = self.cappers[r].factor_at(now);
-                let ceiling = if e.proactive { 0.8 } else { 1.0 };
-                if avg > limit.0 {
-                    // Scale dynamic power down so demand ≈ limit.
-                    let dynamic = (Watts(avg) - idle).clamp_non_negative().0
-                        / current_factor.max(0.1);
-                    let target = if dynamic > 0.0 {
-                        ((limit - idle).clamp_non_negative().0 / dynamic).clamp(0.1, 1.0)
-                    } else {
-                        1.0
-                    };
-                    self.cappers[r].request(target.min(ceiling), now);
-                } else if avg < limit.0 * 0.98 && current_factor < ceiling {
-                    // Demand has receded: lift the cap *gradually* (real
-                    // governors step frequency up, they do not jump), with
-                    // a 2% hysteresis band against flapping. The uncap,
-                    // like the cap, lands only after the actuation
-                    // latency, so sub-second spikes slip through — the
-                    // paper's core argument for hardware shaving.
-                    self.cappers[r].request((current_factor + 0.1).min(ceiling), now);
-                }
-            }
-        }
         }
 
         // 7. Recharge from headroom (batteries first, then µDEB).
@@ -998,11 +1008,7 @@ impl ClusterSim {
         // 8. PAD policy + Level-3 shedding.
         if self.config.scheme == Scheme::Pad {
             let socs = self.rack_socs();
-            let udeb_ok = self
-                .udebs
-                .iter()
-                .flatten()
-                .any(MicroDeb::available);
+            let udeb_ok = self.udebs.iter().flatten().any(MicroDeb::available);
             let inputs = PolicyInputs {
                 vdeb_available: self.vdeb.pool_available(&socs),
                 udeb_available: udeb_ok,
@@ -1029,8 +1035,7 @@ impl ClusterSim {
             // appear" (§VI.A): a genuine cluster shortfall while the pool
             // is weakening, or a declared emergency.
             let must_shed = level == SecurityLevel::Emergency
-                || (shortfall.0 > 0.0
-                    && pool_soc < self.config.vdeb_reserve_soc + 0.2);
+                || (shortfall.0 > 0.0 && pool_soc < self.config.vdeb_reserve_soc + 0.2);
             if must_shed {
                 let utils: Vec<f64> = self
                     .racks
@@ -1070,28 +1075,28 @@ impl ClusterSim {
                         }
                     }
                 } else {
-                let plan = self.shedder.plan(
-                    shortfall,
-                    &socs,
-                    self.config.topology.servers_per_rack(),
-                    &utils,
-                );
-                for (r, &count) in plan.per_rack.iter().enumerate() {
-                    self.racks[r].shed_servers(count);
-                }
-                if plan.total() != self.seen_shed {
-                    self.log.record(
-                        now,
-                        Severity::Critical,
-                        "shedder",
-                        format!(
-                            "load shedding: {} servers asleep ({:.1}% of the cluster)",
-                            plan.total(),
-                            plan.ratio(self.config.topology.total_servers()) * 100.0
-                        ),
+                    let plan = self.shedder.plan(
+                        shortfall,
+                        &socs,
+                        self.config.topology.servers_per_rack(),
+                        &utils,
                     );
-                    self.seen_shed = plan.total();
-                }
+                    for (r, &count) in plan.per_rack.iter().enumerate() {
+                        self.racks[r].shed_servers(count);
+                    }
+                    if plan.total() != self.seen_shed {
+                        self.log.record(
+                            now,
+                            Severity::Critical,
+                            "shedder",
+                            format!(
+                                "load shedding: {} servers asleep ({:.1}% of the cluster)",
+                                plan.total(),
+                                plan.ratio(self.config.topology.total_servers()) * 100.0
+                            ),
+                        );
+                        self.seen_shed = plan.total();
+                    }
                 }
             } else {
                 let was_shedding = self.seen_shed > 0;
@@ -1368,7 +1373,11 @@ mod tests {
         s.record_soc(SimDuration::from_mins(1));
         s.run(SimTime::from_mins(10), SimDuration::SECOND, false);
         let history = s.soc_history().unwrap();
-        assert!(history.len() >= 10, "expected ~11 samples, got {}", history.len());
+        assert!(
+            history.len() >= 10,
+            "expected ~11 samples, got {}",
+            history.len()
+        );
         assert_eq!(history.racks(), 4);
     }
 
@@ -1431,10 +1440,9 @@ mod tests {
         config.protective_response = false;
         let trace = trace_for(&config, 0.3, 2, 7);
         let mut s = ClusterSim::new(config, trace).unwrap();
-        s.rack_mut(RackId(0)).breaker_mut().step(
-            Watts(1_000_000.0),
-            SimDuration::from_secs(10),
-        );
+        s.rack_mut(RackId(0))
+            .breaker_mut()
+            .step(Watts(1_000_000.0), SimDuration::from_secs(10));
         assert!(s.racks()[0].breaker().is_tripped());
         // Next step notices the trip and darkens the rack.
         s.step(SimDuration::SECOND);

@@ -1,0 +1,339 @@
+//! Scenario sweeps over the cluster simulator.
+//!
+//! The experiment regenerators all follow the same shape: build many
+//! [`ClusterSim`]s over one cluster trace, run each to a survival
+//! verdict, aggregate. This module is the PAD-specific layer on top of
+//! the generic [`simkit::sweep::SweepRunner`]:
+//!
+//! * the parsed [`ClusterTrace`] is shared behind an [`Arc`] — parsed
+//!   (or synthesized) **exactly once per sweep**, not once per scenario;
+//! * each scenario's electrical-noise stream derives from the stable
+//!   `(seed, scenario_index)` key via [`scenario_noise_seed`], so a
+//!   sweep's results are bit-identical whether it runs serially or on
+//!   `N` workers;
+//! * results come back in submission order as [`SurvivalOutcome`]s that
+//!   carry the [`SurvivalReport`], the optional SOC history, and the
+//!   scenario's execution counters ([`ScenarioCost`]).
+
+use std::sync::Arc;
+
+use attack::scenario::AttackScenario;
+use powerinfra::topology::RackId;
+use simkit::stats::ScenarioCost;
+use simkit::sweep::{scenario_seed, SweepRunner};
+use simkit::time::{SimDuration, SimTime};
+use workload::trace::ClusterTrace;
+
+use crate::metrics::{SocHistory, SurvivalReport};
+use crate::sim::{ClusterSim, SimConfig};
+
+/// The per-scenario noise seed of a sweep: scenario `index` under sweep
+/// `seed` always reseeds its simulator with this value, regardless of
+/// worker count or completion order. This is the pad-level face of the
+/// `(seed, scenario_index)` contract ([`simkit::sweep::scenario_stream`]).
+pub fn scenario_noise_seed(seed: u64, index: usize) -> u64 {
+    scenario_seed(seed, index)
+}
+
+/// Which rack a sweep scenario attacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Victim {
+    /// A fixed rack.
+    Rack(RackId),
+    /// Whichever rack [`ClusterSim::most_vulnerable_rack`] picks at
+    /// attack-installation time.
+    MostVulnerable,
+}
+
+/// The attack installed on one sweep scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackSpec {
+    /// The two-phase attack to install.
+    pub scenario: AttackScenario,
+    /// The rack to target.
+    pub victim: Victim,
+    /// When Phase I begins.
+    pub start: SimTime,
+}
+
+/// One scenario of a survival sweep: a full simulator configuration plus
+/// the run parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurvivalCase {
+    /// Simulator configuration for this scenario.
+    pub config: SimConfig,
+    /// Attack to install, if any.
+    pub attack: Option<AttackSpec>,
+    /// Run horizon.
+    pub horizon: SimTime,
+    /// Step size.
+    pub dt: SimDuration,
+    /// Stop at the first post-attack overload (survival studies) or run
+    /// the full horizon (throughput studies).
+    pub stop_on_overload: bool,
+    /// Record SOC history at this interval, if set.
+    pub soc_interval: Option<SimDuration>,
+}
+
+impl SurvivalCase {
+    /// A case over `config` with no attack, running to `horizon` at `dt`.
+    pub fn quiet(config: SimConfig, horizon: SimTime, dt: SimDuration) -> Self {
+        SurvivalCase {
+            config,
+            attack: None,
+            horizon,
+            dt,
+            stop_on_overload: false,
+            soc_interval: None,
+        }
+    }
+
+    /// Sets the attack.
+    pub fn with_attack(mut self, spec: AttackSpec) -> Self {
+        self.attack = Some(spec);
+        self
+    }
+
+    /// Stops the run at the first post-attack overload.
+    pub fn stop_on_overload(mut self) -> Self {
+        self.stop_on_overload = true;
+        self
+    }
+
+    /// Records SOC history at `interval`.
+    pub fn record_soc(mut self, interval: SimDuration) -> Self {
+        self.soc_interval = Some(interval);
+        self
+    }
+}
+
+/// What one sweep scenario produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurvivalOutcome {
+    /// The survival verdict (overloads, trips, throughput).
+    pub report: SurvivalReport,
+    /// SOC history, when the case requested recording.
+    pub soc_history: Option<SocHistory>,
+    /// Final per-rack battery SOC.
+    pub final_socs: Vec<f64>,
+    /// Wall-clock and steps-simulated counters (not part of the
+    /// determinism contract — wall-clock varies run to run).
+    pub cost: ScenarioCost,
+}
+
+/// A scenario sweep over one shared cluster trace.
+///
+/// # Example
+///
+/// ```
+/// use pad::schemes::Scheme;
+/// use pad::sim::SimConfig;
+/// use pad::sweep::{ConfigSweep, SurvivalCase};
+/// use simkit::time::{SimDuration, SimTime};
+/// use workload::synth::SynthConfig;
+///
+/// let config = SimConfig::small_test(Scheme::Pad);
+/// let trace = SynthConfig {
+///     machines: config.topology.total_servers(),
+///     horizon: SimTime::from_hours(1),
+///     ..SynthConfig::small_test()
+/// }
+/// .generate_direct(7);
+/// let sweep = ConfigSweep::new(trace.into(), 42).with_jobs(4);
+/// let cases = vec![
+///     SurvivalCase::quiet(config.clone(), SimTime::from_mins(5), SimDuration::SECOND);
+///     2
+/// ];
+/// let outcomes = sweep.run(cases).unwrap();
+/// assert_eq!(outcomes[0].report, outcomes[1].report);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConfigSweep {
+    trace: Arc<ClusterTrace>,
+    seed: u64,
+    runner: SweepRunner,
+}
+
+impl ConfigSweep {
+    /// A serial sweep over `trace` under `seed`.
+    pub fn new(trace: Arc<ClusterTrace>, seed: u64) -> Self {
+        ConfigSweep {
+            trace,
+            seed,
+            runner: SweepRunner::serial(),
+        }
+    }
+
+    /// Sets the worker count (1 = serial).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.runner = SweepRunner::new(jobs);
+        self
+    }
+
+    /// The shared trace.
+    pub fn trace(&self) -> &Arc<ClusterTrace> {
+        &self.trace
+    }
+
+    /// The sweep seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The underlying runner.
+    pub fn runner(&self) -> SweepRunner {
+        self.runner
+    }
+
+    /// Runs every case, fanning out across the worker pool, and returns
+    /// outcomes in submission order.
+    ///
+    /// Scenario `index` reseeds its simulator's noise stream with
+    /// [`scenario_noise_seed`]`(seed, index)`, so the outcome of every
+    /// scenario is independent of the worker count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first scenario's construction error (invalid config or
+    /// a trace smaller than the topology), tagged with its index.
+    pub fn run(&self, cases: Vec<SurvivalCase>) -> Result<Vec<SurvivalOutcome>, String> {
+        let seed = self.seed;
+        let trace = &self.trace;
+        let outcomes = self.runner.run_metered(cases, |index, case| {
+            let result = run_one(Arc::clone(trace), seed, index, &case);
+            let steps = match &result {
+                Ok((report, _, _)) => report.ended_at.saturating_since(SimTime::ZERO) / case.dt,
+                Err(_) => 0,
+            };
+            (result, steps)
+        });
+        outcomes
+            .into_iter()
+            .enumerate()
+            .map(|(index, metered)| match metered.value {
+                Ok((report, soc_history, final_socs)) => Ok(SurvivalOutcome {
+                    report,
+                    soc_history,
+                    final_socs,
+                    cost: metered.cost,
+                }),
+                Err(e) => Err(format!("scenario {index}: {e}")),
+            })
+            .collect()
+    }
+}
+
+type RunOutput = (SurvivalReport, Option<SocHistory>, Vec<f64>);
+
+fn run_one(
+    trace: Arc<ClusterTrace>,
+    seed: u64,
+    index: usize,
+    case: &SurvivalCase,
+) -> Result<RunOutput, String> {
+    let mut sim = ClusterSim::new_shared(case.config.clone(), trace)?;
+    sim.reseed_noise(scenario_noise_seed(seed, index));
+    if let Some(spec) = case.attack {
+        let victim = match spec.victim {
+            Victim::Rack(id) => id,
+            Victim::MostVulnerable => sim.most_vulnerable_rack(),
+        };
+        sim.set_attack(spec.scenario, victim, spec.start);
+    }
+    if let Some(interval) = case.soc_interval {
+        sim.record_soc(interval);
+    }
+    let report = sim.run(case.horizon, case.dt, case.stop_on_overload);
+    let soc_history = sim.soc_history().cloned();
+    let final_socs = sim.rack_socs();
+    Ok((report, soc_history, final_socs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::Scheme;
+    use attack::scenario::AttackStyle;
+    use attack::virus::VirusClass;
+    use workload::synth::SynthConfig;
+
+    fn shared_trace(config: &SimConfig) -> Arc<ClusterTrace> {
+        Arc::new(
+            SynthConfig {
+                machines: config.topology.total_servers(),
+                horizon: SimTime::from_hours(1),
+                ..SynthConfig::small_test()
+            }
+            .generate_direct(7),
+        )
+    }
+
+    fn attack_case(scheme: Scheme) -> SurvivalCase {
+        let config = SimConfig::small_test(scheme);
+        SurvivalCase::quiet(config, SimTime::from_mins(10), SimDuration::SECOND)
+            .with_attack(AttackSpec {
+                scenario: AttackScenario::new(AttackStyle::Dense, VirusClass::CpuIntensive, 4),
+                victim: Victim::MostVulnerable,
+                start: SimTime::from_secs(30),
+            })
+            .stop_on_overload()
+            .record_soc(SimDuration::from_mins(1))
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_bit_for_bit() {
+        let config = SimConfig::small_test(Scheme::Ps);
+        let trace = shared_trace(&config);
+        let cases: Vec<SurvivalCase> = [Scheme::Conv, Scheme::Ps, Scheme::Pad, Scheme::Pspc]
+            .into_iter()
+            .map(attack_case)
+            .collect();
+        let serial = ConfigSweep::new(Arc::clone(&trace), 99)
+            .run(cases.clone())
+            .unwrap();
+        let parallel = ConfigSweep::new(trace, 99).with_jobs(4).run(cases).unwrap();
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.report, p.report);
+            assert_eq!(s.soc_history, p.soc_history);
+            assert_eq!(s.final_socs, p.final_socs);
+        }
+    }
+
+    #[test]
+    fn scenarios_get_distinct_noise() {
+        let config = SimConfig::small_test(Scheme::Conv);
+        let trace = shared_trace(&config);
+        let case = SurvivalCase::quiet(config, SimTime::from_mins(2), SimDuration::SECOND);
+        let out = ConfigSweep::new(trace, 1)
+            .run(vec![case.clone(), case])
+            .unwrap();
+        // Same config, different scenario index → different jitter draws →
+        // different delivered-work accumulation is NOT guaranteed, but the
+        // derived seeds must differ.
+        assert_ne!(scenario_noise_seed(1, 0), scenario_noise_seed(1, 1));
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn invalid_config_reports_scenario_index() {
+        let mut bad = SimConfig::small_test(Scheme::Conv);
+        bad.budget_fraction = 0.0;
+        let good = SimConfig::small_test(Scheme::Conv);
+        let trace = shared_trace(&good);
+        let cases = vec![
+            SurvivalCase::quiet(good, SimTime::from_mins(1), SimDuration::SECOND),
+            SurvivalCase::quiet(bad, SimTime::from_mins(1), SimDuration::SECOND),
+        ];
+        let err = ConfigSweep::new(trace, 5).run(cases).unwrap_err();
+        assert!(err.starts_with("scenario 1:"), "{err}");
+    }
+
+    #[test]
+    fn costs_count_steps() {
+        let config = SimConfig::small_test(Scheme::Conv);
+        let trace = shared_trace(&config);
+        let case = SurvivalCase::quiet(config, SimTime::from_mins(1), SimDuration::SECOND);
+        let out = ConfigSweep::new(trace, 3).run(vec![case]).unwrap();
+        assert_eq!(out[0].cost.steps, 60);
+    }
+}

@@ -13,7 +13,7 @@
 
 use battery::model::EnergyStorage;
 use battery::supercap::{SuperCapacitor, SC_COST_USD_PER_WH};
-use battery::units::{Joules, Watts, WattHours};
+use battery::units::{Joules, WattHours, Watts};
 use simkit::time::SimDuration;
 
 /// Lead-acid price band ($/Wh) for the Figure-17 cost ratio (supercaps are
@@ -173,8 +173,7 @@ impl MicroDeb {
         if headroom.0 <= 0.0 || dt.is_zero() {
             return Watts::ZERO;
         }
-        self.bank
-            .charge(headroom.min(self.recharge_rate), dt)
+        self.bank.charge(headroom.min(self.recharge_rate), dt)
     }
 
     /// Purchase cost of this unit at the paper's super-capacitor price
@@ -259,9 +258,16 @@ mod tests {
     fn cost_ratio_scales_linearly_with_fraction() {
         let small = udeb(0.01).cost_ratio_vs_cabinet(Joules(290_000.0));
         let large = udeb(0.10).cost_ratio_vs_cabinet(Joules(290_000.0));
-        assert!((large / small - 10.0).abs() < 0.01, "ratio {}", large / small);
+        assert!(
+            (large / small - 10.0).abs() < 0.01,
+            "ratio {}",
+            large / small
+        );
         // Supercaps are ~67× pricier per Wh, so 1% capacity ≈ 67% cost.
-        assert!((small - 0.667).abs() < 0.01, "1% capacity cost ratio {small}");
+        assert!(
+            (small - 0.667).abs() < 0.01,
+            "1% capacity cost ratio {small}"
+        );
     }
 
     #[test]

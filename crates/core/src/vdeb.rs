@@ -236,7 +236,12 @@ mod tests {
     fn caps_each_rack_at_p_ideal() {
         let plan = plan_discharge(&[1.0, 0.01], Watts(1_000.0), Watts(300.0));
         for a in &plan {
-            assert!(a.power <= Watts(300.0), "rack {} over cap: {}", a.rack, a.power);
+            assert!(
+                a.power <= Watts(300.0),
+                "rack {} over cap: {}",
+                a.rack,
+                a.power
+            );
         }
         // Infeasible target: pool delivers its cap total.
         assert!((total(&plan) - 600.0).abs() < 1e-9);

@@ -1,0 +1,111 @@
+//! Property tests on Algorithm 1 with the protective reserve
+//! ([`pad::vdeb::plan_discharge_with_reserve`]).
+
+use pad::units::Watts;
+use pad::vdeb::plan_discharge_with_reserve;
+use proptest::prelude::*;
+
+const EPS: f64 = 1e-6;
+
+fn socs() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0..=1.0f64, 1..24)
+}
+
+fn reserve() -> impl Strategy<Value = f64> {
+    0.0..0.9f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// No rack is ever pushed past `P_ideal`, and the pool never plans
+    /// more total discharge than the shave target (nor more than the
+    /// per-rack cap times the pool size).
+    #[test]
+    fn plan_respects_the_p_ideal_cap(
+        socs in socs(),
+        reserve in reserve(),
+        p_shave in 0.0..10_000.0f64,
+        p_ideal in 1.0..2_000.0f64,
+    ) {
+        let plan = plan_discharge_with_reserve(
+            &socs,
+            Watts(p_shave),
+            Watts(p_ideal),
+            reserve,
+        );
+        prop_assert_eq!(plan.len(), socs.len());
+        let mut total = 0.0;
+        for a in &plan {
+            prop_assert!(a.power.0 >= 0.0, "negative share: {:?}", a);
+            prop_assert!(
+                a.power.0 <= p_ideal + EPS,
+                "rack {} over the cap: {} > {}",
+                a.rack, a.power.0, p_ideal
+            );
+            total += a.power.0;
+        }
+        prop_assert!(
+            total <= p_shave + EPS,
+            "planned {total} exceeds the shave target {p_shave}"
+        );
+        prop_assert!(
+            total <= p_ideal * socs.len() as f64 + EPS,
+            "planned {total} exceeds the pool-wide cap"
+        );
+    }
+
+    /// The assignment is monotone in SOC: a rack with more charge is
+    /// never asked for less power than one with less charge.
+    #[test]
+    fn plan_is_soc_monotonic(
+        socs in socs(),
+        reserve in reserve(),
+        p_shave in 0.0..10_000.0f64,
+        p_ideal in 1.0..2_000.0f64,
+    ) {
+        let plan = plan_discharge_with_reserve(
+            &socs,
+            Watts(p_shave),
+            Watts(p_ideal),
+            reserve,
+        );
+        for i in 0..socs.len() {
+            for j in 0..socs.len() {
+                if socs[i] >= socs[j] {
+                    prop_assert!(
+                        plan[i].power.0 >= plan[j].power.0 - EPS,
+                        "SOC {} >= {} but share {} < {}",
+                        socs[i], socs[j], plan[i].power.0, plan[j].power.0
+                    );
+                }
+            }
+        }
+    }
+
+    /// A pool entirely at or below the reserve floor plans zero
+    /// discharge everywhere — vulnerable batteries are excused from duty.
+    #[test]
+    fn empty_pool_plans_zero(
+        reserve in 0.05..0.9f64,
+        n in 1usize..24,
+        p_shave in 0.0..10_000.0f64,
+        p_ideal in 1.0..2_000.0f64,
+        frac in 0.0..=1.0f64,
+    ) {
+        // Every SOC at or below the reserve floor.
+        let socs = vec![reserve * frac; n];
+        let plan = plan_discharge_with_reserve(
+            &socs,
+            Watts(p_shave),
+            Watts(p_ideal),
+            reserve,
+        );
+        for a in &plan {
+            prop_assert_eq!(
+                a.power, Watts::ZERO,
+                "rack {} below the reserve was assigned {:?}", a.rack, a.power
+            );
+        }
+    }
+}

@@ -46,8 +46,8 @@ pub mod units {
 pub mod prelude {
     pub use crate::breaker::{BreakerState, CircuitBreaker};
     pub use crate::capping::PowerCapper;
-    pub use crate::metering::PowerMeter;
     pub use crate::deployment::DeploymentOption;
+    pub use crate::metering::PowerMeter;
     pub use crate::pdu::{Pdu, PduConfig};
     pub use crate::psu::Psu;
     pub use crate::rack::Rack;
@@ -58,8 +58,8 @@ pub mod prelude {
 
 pub use breaker::{BreakerState, CircuitBreaker};
 pub use capping::PowerCapper;
-pub use metering::PowerMeter;
 pub use deployment::DeploymentOption;
+pub use metering::PowerMeter;
 pub use pdu::{Pdu, PduConfig};
 pub use psu::Psu;
 pub use rack::Rack;

@@ -132,7 +132,11 @@ mod tests {
     fn averages_within_window() {
         let mut m = PowerMeter::new(SimDuration::from_secs(4));
         m.feed(Watts(100.0), SimTime::ZERO, SimDuration::from_secs(2));
-        m.feed(Watts(300.0), SimTime::from_secs(2), SimDuration::from_secs(2));
+        m.feed(
+            Watts(300.0),
+            SimTime::from_secs(2),
+            SimDuration::from_secs(2),
+        );
         assert_eq!(m.samples(), &[(SimTime::ZERO, Watts(200.0))]);
     }
 
@@ -156,8 +160,16 @@ mod tests {
         let mut narrow = PowerMeter::new(SimDuration::from_secs(5));
         for m in [&mut wide, &mut narrow] {
             m.feed(Watts(100.0), SimTime::ZERO, SimDuration::from_secs(30));
-            m.feed(Watts(2000.0), SimTime::from_secs(30), SimDuration::from_secs(1));
-            m.feed(Watts(100.0), SimTime::from_secs(31), SimDuration::from_secs(29));
+            m.feed(
+                Watts(2000.0),
+                SimTime::from_secs(30),
+                SimDuration::from_secs(1),
+            );
+            m.feed(
+                Watts(100.0),
+                SimTime::from_secs(31),
+                SimDuration::from_secs(29),
+            );
         }
         // Narrow meter sees a 480 W window; wide meter sees ~132 W.
         assert!(narrow.samples_above(Watts(400.0)) >= 1);
@@ -169,7 +181,11 @@ mod tests {
         let mut m = PowerMeter::new(SimDuration::from_secs(10));
         m.feed(Watts(100.0), SimTime::ZERO, SimDuration::from_secs(10));
         // Skip two windows entirely.
-        m.feed(Watts(100.0), SimTime::from_secs(30), SimDuration::from_secs(10));
+        m.feed(
+            Watts(100.0),
+            SimTime::from_secs(30),
+            SimDuration::from_secs(10),
+        );
         let samples = m.samples();
         assert_eq!(samples.len(), 4);
         assert_eq!(samples[1].1, Watts(0.0));

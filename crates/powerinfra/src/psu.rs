@@ -181,7 +181,10 @@ mod tests {
     fn standby_draw_at_zero_load() {
         let psu = gold();
         let standby = psu.wall_power(Watts(0.0));
-        assert!((standby.0 - 13.0).abs() < 1e-9, "2% of 650 W, got {standby}");
+        assert!(
+            (standby.0 - 13.0).abs() < 1e-9,
+            "2% of 650 W, got {standby}"
+        );
     }
 
     #[test]

@@ -148,8 +148,20 @@ mod tests {
         let t = ClusterTopology::new(2, 3);
         let ids: Vec<ServerId> = t.server_ids().collect();
         assert_eq!(ids.len(), 6);
-        assert_eq!(ids[0], ServerId { rack: RackId(0), slot: 0 });
-        assert_eq!(ids[5], ServerId { rack: RackId(1), slot: 2 });
+        assert_eq!(
+            ids[0],
+            ServerId {
+                rack: RackId(0),
+                slot: 0
+            }
+        );
+        assert_eq!(
+            ids[5],
+            ServerId {
+                rack: RackId(1),
+                slot: 2
+            }
+        );
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod log;
 pub mod rng;
 pub mod series;
 pub mod stats;
+pub mod sweep;
 pub mod table;
 pub mod time;
 
@@ -57,7 +58,8 @@ pub mod prelude {
     pub use crate::log::{EventLog, Severity};
     pub use crate::rng::RngStream;
     pub use crate::series::TimeSeries;
-    pub use crate::stats::{OnlineStats, Summary};
+    pub use crate::stats::{OnlineStats, ScenarioCost, Summary};
+    pub use crate::sweep::{scenario_seed, scenario_stream, Metered, SweepRunner};
     pub use crate::time::{SimDuration, SimTime};
 }
 
@@ -66,5 +68,6 @@ pub use event::EventQueue;
 pub use log::{EventLog, Severity};
 pub use rng::RngStream;
 pub use series::TimeSeries;
-pub use stats::OnlineStats;
+pub use stats::{OnlineStats, ScenarioCost};
+pub use sweep::{Metered, SweepRunner};
 pub use time::{SimDuration, SimTime};

@@ -149,7 +149,10 @@ impl EventLog {
     pub fn render(&self) -> String {
         let mut out = String::new();
         if self.evicted > 0 {
-            out.push_str(&format!("... {} earlier events evicted ...\n", self.evicted));
+            out.push_str(&format!(
+                "... {} earlier events evicted ...\n",
+                self.evicted
+            ));
         }
         for e in &self.events {
             out.push_str(&format!("{e}\n"));

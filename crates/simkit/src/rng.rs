@@ -96,10 +96,7 @@ impl RngStream {
 
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -192,7 +189,10 @@ impl RngStream {
     ///
     /// Panics if `mean` is negative or not finite.
     pub fn poisson(&mut self, mean: f64) -> u64 {
-        assert!(mean.is_finite() && mean >= 0.0, "invalid poisson mean {mean}");
+        assert!(
+            mean.is_finite() && mean >= 0.0,
+            "invalid poisson mean {mean}"
+        );
         if mean == 0.0 {
             return 0;
         }

@@ -40,7 +40,10 @@ impl TimeSeries {
     /// Panics if `step` is zero or `values` is empty.
     pub fn new(start: SimTime, step: SimDuration, values: Vec<f64>) -> Self {
         assert!(!step.is_zero(), "time series step must be non-zero");
-        assert!(!values.is_empty(), "time series must have at least one sample");
+        assert!(
+            !values.is_empty(),
+            "time series must have at least one sample"
+        );
         TimeSeries {
             start,
             step,
@@ -339,10 +342,7 @@ mod tests {
         let collected: Vec<_> = s.iter().collect();
         assert_eq!(
             collected,
-            vec![
-                (SimTime::ZERO, 1.0),
-                (SimTime::from_mins(5), 2.0)
-            ]
+            vec![(SimTime::ZERO, 1.0), (SimTime::from_mins(5), 2.0)]
         );
     }
 

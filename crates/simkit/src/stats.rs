@@ -115,8 +115,7 @@ impl OnlineStats {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         self.mean += delta * other.count as f64 / total as f64;
-        self.m2 += other.m2
-            + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.m2 += other.m2 + delta * delta * self.count as f64 * other.count as f64 / total as f64;
         self.count = total;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
@@ -165,9 +164,7 @@ impl Summary {
 
     /// Adds one observation.
     pub fn push(&mut self, value: f64) {
-        let idx = self
-            .sorted
-            .partition_point(|&x| x < value);
+        let idx = self.sorted.partition_point(|&x| x < value);
         self.sorted.insert(idx, value);
         self.stats.push(value);
     }
@@ -235,6 +232,39 @@ impl FromIterator<f64> for Summary {
         let mut s = Summary::new();
         s.extend(iter);
         s
+    }
+}
+
+/// Execution counters for one scenario of a sweep.
+///
+/// Stamped by [`crate::sweep::SweepRunner::run_metered`]: `wall_clock` is
+/// measured by the runner around the job, `steps` is reported by the job
+/// itself (number of simulation steps executed). Costs are bookkeeping,
+/// not part of any determinism contract — wall-clock time varies run to
+/// run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScenarioCost {
+    /// Wall-clock time the scenario took to execute.
+    pub wall_clock: std::time::Duration,
+    /// Simulation steps executed by the scenario.
+    pub steps: u64,
+}
+
+impl ScenarioCost {
+    /// Simulation steps per wall-clock second (0 when no time elapsed).
+    pub fn steps_per_second(&self) -> f64 {
+        let secs = self.wall_clock.as_secs_f64();
+        if secs > 0.0 {
+            self.steps as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Sums another scenario's counters into this one.
+    pub fn accumulate(&mut self, other: &ScenarioCost) {
+        self.wall_clock += other.wall_clock;
+        self.steps += other.steps;
     }
 }
 

@@ -97,9 +97,7 @@ impl Scheduler {
                     .enumerate()
                     .filter(|(_, m)| m.headroom() + 1e-12 >= task.cpu_rate)
                     .min_by(|(_, a), (_, b)| {
-                        a.load()
-                            .partial_cmp(&b.load())
-                            .expect("loads are finite")
+                        a.load().partial_cmp(&b.load()).expect("loads are finite")
                     });
                 match target {
                     Some((mid, machine)) => {

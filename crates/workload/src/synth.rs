@@ -103,8 +103,7 @@ impl SynthConfig {
                 self.mean_utilization
             ));
         }
-        if !(0.0..1.0).contains(&self.diurnal_amplitude)
-            || !(0.0..1.0).contains(&self.weekend_dip)
+        if !(0.0..1.0).contains(&self.diurnal_amplitude) || !(0.0..1.0).contains(&self.weekend_dip)
         {
             return Err("diurnal amplitude and weekend dip must be in [0,1)".into());
         }
@@ -134,9 +133,8 @@ impl SynthConfig {
         let day_phase = (hours % 24.0) / 24.0;
         // Peak mid-afternoon (~15:00 — sine maximum at phase 0.625),
         // trough in the small hours.
-        let daily = 1.0
-            + self.diurnal_amplitude
-                * (std::f64::consts::TAU * (day_phase - 0.375)).sin();
+        let daily =
+            1.0 + self.diurnal_amplitude * (std::f64::consts::TAU * (day_phase - 0.375)).sin();
         let day_index = (hours / 24.0) as u64 % 7;
         let weekly = if day_index >= 5 {
             1.0 - self.weekend_dip
@@ -183,9 +181,7 @@ impl SynthConfig {
             let expected = rate * tick.as_secs_f64() * self.diurnal_factor(t);
             let count = arrivals.poisson(expected);
             for _ in 0..count {
-                let offset = SimDuration::from_secs_f64(
-                    shape.uniform(0.0, tick.as_secs_f64()),
-                );
+                let offset = SimDuration::from_secs_f64(shape.uniform(0.0, tick.as_secs_f64()));
                 let arrival = t + offset;
                 let tasks = self.sample_tasks(&mut shape);
                 jobs.push(Job::new(JobId(id), arrival, tasks));
@@ -279,12 +275,7 @@ mod tests {
         let trace = cfg.generate(7);
         // Discard the first 2 hours of warm-up, then check the mean.
         let mean_series = trace.cluster_mean();
-        let warm: Vec<f64> = mean_series
-            .values()
-            .iter()
-            .copied()
-            .skip(24)
-            .collect();
+        let warm: Vec<f64> = mean_series.values().iter().copied().skip(24).collect();
         let mean: f64 = warm.iter().sum::<f64>() / warm.len() as f64;
         assert!(
             (0.2..=0.8).contains(&mean),
@@ -297,12 +288,7 @@ mod tests {
     fn direct_path_hits_target_utilization() {
         let cfg = SynthConfig::small_test();
         let trace = cfg.generate_direct(11);
-        let mean: f64 = trace
-            .cluster_mean()
-            .values()
-            .iter()
-            .sum::<f64>()
-            / trace.steps() as f64;
+        let mean: f64 = trace.cluster_mean().values().iter().sum::<f64>() / trace.steps() as f64;
         assert!(
             (mean - cfg.mean_utilization).abs() < 0.12,
             "direct mean {mean} vs target {}",

@@ -7,8 +7,21 @@
 //! within each step, exactly the "calculate the total CPU power demand
 //! belong to a given machine at the same timestamp" processing of §V.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use simkit::series::TimeSeries;
 use simkit::time::{SimDuration, SimTime};
+
+/// Process-wide count of [`ClusterTrace::parse_csv`] invocations.
+static PARSE_COUNT: AtomicUsize = AtomicUsize::new(0);
+
+/// How many times [`ClusterTrace::parse_csv`] has run in this process.
+///
+/// A probe for sweep tests: sharing a parsed trace behind an `Arc` must
+/// mean the CSV is parsed exactly once per sweep, not once per scenario.
+pub fn trace_parse_count() -> usize {
+    PARSE_COUNT.load(Ordering::Relaxed)
+}
 
 /// One task's residence on a machine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -148,7 +161,12 @@ impl ClusterTrace {
                 rec.machine
             );
             let first = (rec.start.as_millis() / step.as_millis()) as usize;
-            for (idx, cell) in grid[rec.machine].iter_mut().enumerate().take(steps).skip(first) {
+            for (idx, cell) in grid[rec.machine]
+                .iter_mut()
+                .enumerate()
+                .take(steps)
+                .skip(first)
+            {
                 let bin_start = SimTime::from_millis(idx as u64 * step.as_millis());
                 let bin_end = bin_start + step;
                 if bin_start >= rec.end {
@@ -201,17 +219,20 @@ impl ClusterTrace {
         step: SimDuration,
         horizon: SimTime,
     ) -> Result<Self, String> {
+        PARSE_COUNT.fetch_add(1, Ordering::Relaxed);
         let mut records = Vec::new();
         for (lineno, line) in text.lines().enumerate() {
             let trimmed = line.trim();
             if trimmed.is_empty() || trimmed.starts_with('#') {
                 continue;
             }
-            let rec = TraceRecord::parse_csv(trimmed)
-                .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let rec =
+                TraceRecord::parse_csv(trimmed).map_err(|e| format!("line {}: {e}", lineno + 1))?;
             records.push(rec);
         }
-        Ok(ClusterTrace::from_records(&records, machines, step, horizon))
+        Ok(ClusterTrace::from_records(
+            &records, machines, step, horizon,
+        ))
     }
 
     /// Number of machines.
@@ -346,7 +367,10 @@ mod tests {
     fn csv_parser_rejects_malformed() {
         assert!(TraceRecord::parse_csv("1,2,3").is_err());
         assert!(TraceRecord::parse_csv("abc,2,3,0.5").is_err());
-        assert!(TraceRecord::parse_csv("5,2,3,0.5").is_err(), "end before start");
+        assert!(
+            TraceRecord::parse_csv("5,2,3,0.5").is_err(),
+            "end before start"
+        );
         assert!(TraceRecord::parse_csv("1,2,3,1.5").is_err(), "rate > 1");
     }
 
@@ -400,14 +424,20 @@ mod tests {
             SimTime::from_mins(10),
         );
         let csv = trace.to_csv();
-        let back = ClusterTrace::parse_csv(&csv, 2, SimDuration::from_mins(5), SimTime::from_mins(10))
-            .unwrap();
+        let back =
+            ClusterTrace::parse_csv(&csv, 2, SimDuration::from_mins(5), SimTime::from_mins(10))
+                .unwrap();
         assert_eq!(back, trace);
     }
 
     #[test]
     fn summary_covers_all_samples() {
-        let records = vec![TraceRecord::new(SimTime::ZERO, SimTime::from_mins(5), 0, 1.0)];
+        let records = vec![TraceRecord::new(
+            SimTime::ZERO,
+            SimTime::from_mins(5),
+            0,
+            1.0,
+        )];
         let trace = ClusterTrace::from_records(
             &records,
             2,
@@ -421,9 +451,12 @@ mod tests {
 
     #[test]
     fn take_machines_subsets() {
-        let records = vec![
-            TraceRecord::new(SimTime::ZERO, SimTime::from_mins(5), 2, 0.4),
-        ];
+        let records = vec![TraceRecord::new(
+            SimTime::ZERO,
+            SimTime::from_mins(5),
+            2,
+            0.4,
+        )];
         let trace = ClusterTrace::from_records(
             &records,
             3,
@@ -438,7 +471,17 @@ mod tests {
     #[test]
     #[should_panic(expected = "machine 5")]
     fn out_of_range_machine_rejected() {
-        let records = vec![TraceRecord::new(SimTime::ZERO, SimTime::from_mins(5), 5, 0.4)];
-        ClusterTrace::from_records(&records, 2, SimDuration::from_mins(5), SimTime::from_mins(5));
+        let records = vec![TraceRecord::new(
+            SimTime::ZERO,
+            SimTime::from_mins(5),
+            5,
+            0.4,
+        )];
+        ClusterTrace::from_records(
+            &records,
+            2,
+            SimDuration::from_mins(5),
+            SimTime::from_mins(5),
+        );
     }
 }

@@ -7,12 +7,7 @@ use workload::trace::TraceRecord;
 
 #[test]
 fn trace_record_json_round_trip() {
-    let rec = TraceRecord::new(
-        SimTime::from_secs(60),
-        SimTime::from_secs(360),
-        17,
-        0.375,
-    );
+    let rec = TraceRecord::new(SimTime::from_secs(60), SimTime::from_secs(360), 17, 0.375);
     let json = serde_json::to_string(&rec).unwrap();
     let back: TraceRecord = serde_json::from_str(&json).unwrap();
     assert_eq!(back, rec);

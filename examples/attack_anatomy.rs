@@ -76,10 +76,6 @@ fn main() {
     while cabinet.is_connected() {
         cabinet.discharge(Watts(5210.0), SimDuration::SECOND);
     }
-    println!(
-        "a fully drained cabinet disconnects (LVD) and leaves the rack shock-absorber-less;"
-    );
-    println!(
-        "recharging at lead-acid rates takes hours — the vulnerability window PAD closes."
-    );
+    println!("a fully drained cabinet disconnects (LVD) and leaves the rack shock-absorber-less;");
+    println!("recharging at lead-acid rates takes hours — the vulnerability window PAD closes.");
 }

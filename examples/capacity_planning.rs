@@ -40,7 +40,9 @@ fn main() {
         spikes += 1;
         udeb.recharge(Watts(50.0), SimDuration::from_secs(8));
     }
-    println!("a 5% bank absorbs ~{spikes} consecutive 600 W x 2 s spikes with thin recharge headroom");
+    println!(
+        "a 5% bank absorbs ~{spikes} consecutive 600 W x 2 s spikes with thin recharge headroom"
+    );
 
     println!("\n== Survival vs capacity (reduced Figure 17) ==\n");
     let fig = fig17::run(Fidelity::Smoke);

@@ -9,9 +9,7 @@
 
 use attack::scenario::{AttackScenario, AttackStyle};
 use attack::virus::VirusClass;
-use pad::experiments::{
-    survival_attack_time, survival_horizon, warmed_survival_sim, Fidelity,
-};
+use pad::experiments::{survival_attack_time, survival_horizon, warmed_survival_sim, Fidelity};
 use pad::schemes::Scheme;
 use simkit::time::SimDuration;
 

@@ -55,5 +55,7 @@ fn main() {
         }
     }
     println!("\nPAD = vDEB battery pooling + uDEB super-capacitors + 3-level policy.");
-    println!("See `cargo run --release -p pad-bench --bin fig15_survival` for the full paper figure.");
+    println!(
+        "See `cargo run --release -p pad-bench --bin fig15_survival` for the full paper figure."
+    );
 }

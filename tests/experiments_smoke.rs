@@ -98,7 +98,10 @@ fn fig17_capacity_sweep() {
     let fig = fig17::run(Fidelity::Smoke);
     assert!(fig.survival_span() >= 1.0);
     for w in fig.points.windows(2) {
-        assert!(w[1].cost_ratio > w[0].cost_ratio, "cost must grow with capacity");
+        assert!(
+            w[1].cost_ratio > w[0].cost_ratio,
+            "cost must grow with capacity"
+        );
     }
 }
 

@@ -150,13 +150,9 @@ fn csv_trace_drives_the_simulator() {
             ));
         }
     }
-    let trace = ClusterTrace::parse_csv(
-        &csv,
-        16,
-        SimDuration::from_mins(5),
-        SimTime::from_hours(3),
-    )
-    .expect("valid CSV");
+    let trace =
+        ClusterTrace::parse_csv(&csv, 16, SimDuration::from_mins(5), SimTime::from_hours(3))
+            .expect("valid CSV");
     let config = SimConfig::small_test(Scheme::Ps);
     let mut sim = ClusterSim::new(config, trace).expect("valid config");
     let report = sim.run(SimTime::from_hours(1), SimDuration::SECOND, false);
@@ -242,9 +238,8 @@ fn coordinated_multi_rack_attack_is_harder_to_survive() {
         let mut sim = ClusterSim::new(config, trace).expect("valid config");
         for (i, &v) in victims.iter().enumerate() {
             sim.rack_mut(RackId(v)).cabinet_mut().set_soc(0.4);
-            let scenario =
-                AttackScenario::new(AttackStyle::Dense, VirusClass::CpuIntensive, 4)
-                    .with_max_drain(SimDuration::from_mins(2));
+            let scenario = AttackScenario::new(AttackStyle::Dense, VirusClass::CpuIntensive, 4)
+                .with_max_drain(SimDuration::from_mins(2));
             if i == 0 {
                 sim.set_attack(scenario, RackId(v), SimTime::from_secs(30));
             } else {

@@ -1,0 +1,226 @@
+//! A small, dependency-free re-implementation of the subset of the
+//! [`criterion`](https://docs.rs/criterion) API this workspace uses.
+//!
+//! The build environment is offline, so the real crate cannot be
+//! fetched. This stand-in keeps the bench sources unchanged and still
+//! *measures*: each target is warmed up, then timed over enough
+//! iterations to fill the measurement window, and the mean per-iteration
+//! wall-clock time is printed in criterion's familiar one-line format.
+//! Statistical analysis (outlier detection, regression vs saved
+//! baselines, HTML reports) is not implemented.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Per-target timing loop handle.
+pub struct Bencher {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    /// Mean per-iteration time of the last `iter` call.
+    last_mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, storing the mean per-iteration duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up window is spent (at least once).
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            std::hint::black_box(f());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed() / u32::try_from(warm_iters).unwrap_or(u32::MAX);
+        // Measurement: enough iterations to fill the window, capped by
+        // the sample size floor so fast targets still average stably.
+        let target = self.measurement_time;
+        let iters = if per_iter.is_zero() {
+            self.sample_size as u64
+        } else {
+            (target.as_nanos() / per_iter.as_nanos().max(1)) as u64
+        }
+        .clamp(1, 1_000_000_000)
+        .max((self.sample_size as u64).min(64));
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let elapsed = start.elapsed();
+        self.last_mean = Some(elapsed / u32::try_from(iters).unwrap_or(u32::MAX));
+    }
+}
+
+fn run_target(id: &str, mean: Option<Duration>) {
+    match mean {
+        Some(mean) => println!("{id:<50} time: [{mean:?}]"),
+        None => println!("{id:<50} time: [not measured]"),
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    fn bencher(&self) -> Bencher {
+        Bencher {
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            last_mean: None,
+        }
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = self.bencher();
+        f(&mut b);
+        run_target(id, b.last_mean);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            warm_up_time: None,
+            measurement_time: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    warm_up_time: Option<Duration>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample-size floor for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Overrides the warm-up window for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = Some(d);
+        self
+    }
+
+    /// Overrides the measurement window for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    fn bencher(&self) -> Bencher {
+        Bencher {
+            sample_size: self.sample_size.unwrap_or(self.criterion.sample_size),
+            warm_up_time: self.warm_up_time.unwrap_or(self.criterion.warm_up_time),
+            measurement_time: self
+                .measurement_time
+                .unwrap_or(self.criterion.measurement_time),
+            last_mean: None,
+        }
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = self.bencher();
+        f(&mut b);
+        run_target(&format!("{}/{}", self.name, id), b.last_mean);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = self.bencher();
+        f(&mut b, input);
+        run_target(&format!("{}/{}", self.name, id), b.last_mean);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
