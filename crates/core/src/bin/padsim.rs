@@ -6,8 +6,11 @@
 //!
 //! ```text
 //! padsim --scheme pad --style dense --class cpu --nodes 4 --duration-mins 60
+//! padsim --scheme all --jobs 4 --telemetry out/ --telemetry-format jsonl
+//! padsim inspect out/pad.jsonl
 //! ```
 
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use attack::scenario::{AttackScenario, AttackStyle};
@@ -19,14 +22,27 @@ use powerinfra::server::ServerSpec;
 use powerinfra::topology::ClusterTopology;
 use simkit::heatmap::Heatmap;
 use simkit::table::Table;
+use simkit::telemetry::codec::{parse, Format};
+use simkit::telemetry::inspect::TelemetryReport;
+use simkit::telemetry::TelemetryDump;
 use simkit::time::{SimDuration, SimTime};
 use workload::synth::SynthConfig;
+
+/// Ring capacity backing `--telemetry`: enough for ~45 minutes of a
+/// 22-rack cluster at 100 ms steps before the ring starts evicting.
+const DEFAULT_TELEMETRY_CAPACITY: usize = 1_000_000;
 
 const USAGE: &str = "\
 padsim — simulate power-virus attacks on a battery-backed data center
 
 USAGE:
     padsim [OPTIONS]
+    padsim inspect <trace-file> [--names] [--format jsonl|csv]
+
+SUBCOMMANDS:
+    inspect <file>                          summarize a recorded telemetry trace
+                                            (per-metric stats, event counts);
+                                            --names lists the metric names only
 
 OPTIONS:
     --scheme <conv|ps|pspc|udeb|vdeb|pad|all>  defense scheme   [default: pad]
@@ -49,6 +65,9 @@ OPTIONS:
     --escalate                              attacker acquires more nodes over time
     --soc-map                               print the battery map at the end
     --log                                   print the forensic event log
+    --telemetry <dir>                       record per-tick telemetry and write
+                                            one trace file per scheme into <dir>
+    --telemetry-format <jsonl|csv>          trace file format    [default: jsonl]
     -h, --help                              show this help
 ";
 
@@ -72,6 +91,8 @@ struct Args {
     escalate: bool,
     soc_map: bool,
     log: bool,
+    telemetry: Option<PathBuf>,
+    telemetry_format: Format,
 }
 
 impl Default for Args {
@@ -95,6 +116,8 @@ impl Default for Args {
             escalate: false,
             soc_map: false,
             log: false,
+            telemetry: None,
+            telemetry_format: Format::Jsonl,
         }
     }
 }
@@ -106,7 +129,11 @@ fn fail(message: &str) -> ! {
 
 fn parse_args() -> Args {
     let mut args = Args::default();
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
+    if it.peek().map(String::as_str) == Some("inspect") {
+        it.next();
+        run_inspect(it);
+    }
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
             it.next()
@@ -168,6 +195,12 @@ fn parse_args() -> Args {
             "--escalate" => args.escalate = true,
             "--soc-map" => args.soc_map = true,
             "--log" => args.log = true,
+            "--telemetry" => args.telemetry = Some(PathBuf::from(value("--telemetry"))),
+            "--telemetry-format" => {
+                let name = value("--telemetry-format");
+                args.telemetry_format = Format::from_name(&name)
+                    .unwrap_or_else(|| fail(&format!("unknown telemetry format {name:?}")));
+            }
             "-h" | "--help" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -176,6 +209,86 @@ fn parse_args() -> Args {
         }
     }
     args
+}
+
+/// `padsim inspect <file>`: parse a recorded trace and print either the
+/// per-metric summary table or (with `--names`) the bare metric-name
+/// list — the latter is what CI diffs against the checked-in schema.
+fn run_inspect(mut it: impl Iterator<Item = String>) -> ! {
+    let mut path: Option<PathBuf> = None;
+    let mut names_only = false;
+    let mut format: Option<Format> = None;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--names" => names_only = true,
+            "--format" => {
+                let name = it
+                    .next()
+                    .unwrap_or_else(|| fail("--format requires a value"));
+                format = Some(
+                    Format::from_name(&name)
+                        .unwrap_or_else(|| fail(&format!("unknown format {name:?}"))),
+                );
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if !other.starts_with('-') && path.is_none() => path = Some(PathBuf::from(other)),
+            other => fail(&format!("unknown inspect argument {other:?}")),
+        }
+    }
+    let path = path.unwrap_or_else(|| fail("inspect requires a trace file path"));
+    let format = format.unwrap_or_else(|| Format::from_path(&path.to_string_lossy()));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", path.display())));
+    let records = match parse(&text, format) {
+        Ok(records) => records,
+        Err(e) => fail(&format!("{}: {e}", path.display())),
+    };
+    let report = TelemetryReport::from_records(&records);
+    if names_only {
+        for name in report.metric_names() {
+            println!("{name}");
+        }
+    } else {
+        print!("{}", report.render());
+    }
+    std::process::exit(0);
+}
+
+/// Filename stem for a scheme's trace file (matches the `--scheme` keys).
+fn scheme_key(scheme: Scheme) -> &'static str {
+    match scheme {
+        Scheme::Conv => "conv",
+        Scheme::Ps => "ps",
+        Scheme::Pspc => "pspc",
+        Scheme::UDebOnly => "udeb",
+        Scheme::VDebOnly => "vdeb",
+        Scheme::Pad => "pad",
+    }
+}
+
+/// Writes one scheme's telemetry dump into `dir` and reports the file.
+fn write_telemetry(dir: &Path, scheme: Scheme, format: Format, dump: &TelemetryDump) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        fail(&format!("cannot create {}: {e}", dir.display()));
+    }
+    let path = dir.join(format!("{}.{}", scheme_key(scheme), format.extension()));
+    if let Err(e) = std::fs::write(&path, dump.serialize(format)) {
+        fail(&format!("cannot write {}: {e}", path.display()));
+    }
+    let dropped = if dump.dropped > 0 {
+        format!(" ({} evicted by the ring)", dump.dropped)
+    } else {
+        String::new()
+    };
+    println!(
+        "telemetry: {} records{} -> {}",
+        dump.records.len(),
+        dropped,
+        path.display()
+    );
 }
 
 fn parse_num(text: &str, flag: &str) -> usize {
@@ -226,7 +339,7 @@ fn run_comparison(
     let cases: Vec<SurvivalCase> = Scheme::ALL
         .iter()
         .map(|&scheme| {
-            SurvivalCase::quiet(
+            let mut case = SurvivalCase::quiet(
                 build_config(args, scheme),
                 horizon,
                 SimDuration::from_millis(100),
@@ -236,11 +349,15 @@ fn run_comparison(
                 victim: Victim::MostVulnerable,
                 start: attack_at,
             })
-            .stop_on_overload()
+            .stop_on_overload();
+            if args.telemetry.is_some() {
+                case = case.record_telemetry(DEFAULT_TELEMETRY_CAPACITY);
+            }
+            case
         })
         .collect();
     let sweep = ConfigSweep::new(Arc::new(trace), args.seed ^ 0x5EED).with_jobs(args.jobs);
-    let outcomes = match sweep.run(cases) {
+    let (outcomes, profile) = match sweep.run_profiled(cases) {
         Ok(o) => o,
         Err(e) => fail(&e),
     };
@@ -252,6 +369,7 @@ fn run_comparison(
         "throughput",
         "sim steps",
         "wall (s)",
+        "wait (s)",
     ]);
     table.title("scheme comparison — identical trace, attack and noise per scenario index");
     for (scheme, outcome) in Scheme::ALL.iter().zip(&outcomes) {
@@ -267,9 +385,26 @@ fn run_comparison(
             format!("{:.3}", outcome.report.normalized_throughput()),
             outcome.cost.steps.to_string(),
             format!("{:.1}", outcome.cost.wall_clock.as_secs_f64()),
+            format!("{:.1}", outcome.cost.queue_wait.as_secs_f64()),
         ]);
     }
     print!("{}", table.render());
+    println!(
+        "sweep profile: {} scenario(s) on {} worker(s), {:.1} s wall, {:.0}% utilization",
+        profile.scenarios(),
+        profile.workers.len(),
+        profile.wall_clock.as_secs_f64(),
+        profile.utilization() * 100.0
+    );
+    if let Some(dir) = &args.telemetry {
+        for (&scheme, outcome) in Scheme::ALL.iter().zip(&outcomes) {
+            let dump = outcome
+                .telemetry
+                .as_ref()
+                .expect("telemetry was requested for every case");
+            write_telemetry(dir, scheme, args.telemetry_format, dump);
+        }
+    }
 }
 
 fn main() {
@@ -310,8 +445,12 @@ fn main() {
         args.budget * 100.0
     );
 
-    // Warm up to the attack, then attack the weakest rack(s).
+    // Warm up to the attack, then attack the weakest rack(s). Telemetry
+    // starts with the attack window — the warmup is not the story.
     sim.run(attack_at, SimDuration::SECOND, false);
+    if args.telemetry.is_some() {
+        sim.enable_telemetry(DEFAULT_TELEMETRY_CAPACITY);
+    }
     let mut scenario = AttackScenario::new(args.style, args.class, args.nodes);
     if args.escalate {
         scenario = scenario.with_escalation(SimDuration::from_mins(5));
@@ -375,6 +514,11 @@ fn main() {
             "attacker's learned drain time: {:.0} s",
             drain.as_secs_f64()
         );
+    }
+
+    if let Some(dir) = &args.telemetry {
+        let dump = sim.take_telemetry().expect("telemetry was enabled");
+        write_telemetry(dir, args.scheme, args.telemetry_format, &dump);
     }
 
     if args.log {

@@ -43,6 +43,7 @@
 //! * [`schemes`] — the six evaluated schemes of Table III;
 //! * [`sim`] — the trace-driven cluster simulator (Fig. 11-B);
 //! * [`sweep`] — parallel scenario sweeps over one shared trace;
+//! * [`telemetry`] — per-tick metric/event recording wired into the sim;
 //! * [`metrics`] — survival time, effective attacks, throughput, SOC maps;
 //! * [`experiments`] — one module per paper table/figure;
 //! * [`report`] — shared text rendering for experiment output.
@@ -59,6 +60,7 @@ pub mod schemes;
 pub mod shedding;
 pub mod sim;
 pub mod sweep;
+pub mod telemetry;
 pub mod udeb;
 pub mod vdeb;
 
@@ -75,6 +77,7 @@ pub mod prelude {
     pub use crate::schemes::Scheme;
     pub use crate::sim::{ClusterSim, SimConfig};
     pub use crate::sweep::{AttackSpec, ConfigSweep, SurvivalCase, SurvivalOutcome, Victim};
+    pub use crate::telemetry::{RackTick, SimTelemetry};
     pub use crate::udeb::MicroDeb;
     pub use crate::units::Watts;
     pub use crate::vdeb::{plan_discharge, VdebController};
@@ -88,5 +91,6 @@ pub use policy::{SecurityLevel, SecurityPolicy, Strictness};
 pub use schemes::Scheme;
 pub use sim::{ClusterSim, SimConfig};
 pub use sweep::{ConfigSweep, SurvivalCase, SurvivalOutcome};
+pub use telemetry::{RackTick, SimTelemetry};
 pub use udeb::MicroDeb;
 pub use vdeb::{plan_discharge, VdebController};

@@ -43,6 +43,7 @@ use powerinfra::server::ServerSpec;
 use powerinfra::topology::{ClusterTopology, RackId};
 use simkit::log::{EventLog, Severity};
 use simkit::rng::RngStream;
+use simkit::telemetry::{EventKind, RingRecorder, TelemetryDump, TelemetrySink};
 use simkit::time::{SimDuration, SimTime};
 use workload::trace::ClusterTrace;
 
@@ -51,6 +52,7 @@ use crate::migration::LoadMigrator;
 use crate::policy::{PolicyInputs, SecurityLevel, SecurityPolicy, Strictness};
 use crate::schemes::Scheme;
 use crate::shedding::LoadShedder;
+use crate::telemetry::{RackTick, SimTelemetry};
 use crate::udeb::MicroDeb;
 use crate::vdeb::{plan_discharge_with_reserve, VdebController};
 
@@ -320,6 +322,8 @@ pub struct ClusterSim {
     protective_until: Option<SimTime>,
     /// Forensic event log (bounded).
     log: EventLog,
+    /// Per-tick metric/event recording, when enabled.
+    telemetry: Option<SimTelemetry>,
     /// Last-seen per-rack LVD disconnect counts (for logging).
     seen_disconnects: Vec<u32>,
     /// Last-seen policy level (for logging).
@@ -437,6 +441,7 @@ impl ClusterSim {
             outage_until: vec![None; n],
             protective_until: None,
             log: EventLog::new(10_000),
+            telemetry: None,
             seen_disconnects: vec![0; n],
             seen_level: SecurityLevel::Normal,
             seen_shed: 0,
@@ -488,6 +493,35 @@ impl ClusterSim {
     /// transitions, shedding, overloads, trips).
     pub fn event_log(&self) -> &EventLog {
         &self.log
+    }
+
+    /// Enables per-tick telemetry into a ring buffer of `ring_capacity`
+    /// records (oldest records are evicted once full; the eviction count
+    /// is carried into the final dump).
+    pub fn enable_telemetry(&mut self, ring_capacity: usize) {
+        self.enable_telemetry_sink(TelemetrySink::Ring(RingRecorder::new(ring_capacity)));
+    }
+
+    /// Enables telemetry into an explicit sink. With
+    /// [`TelemetrySink::Null`] only registry aggregates and event
+    /// counters are maintained — the per-tick gauge loop is skipped.
+    pub fn enable_telemetry_sink(&mut self, sink: TelemetrySink) {
+        self.telemetry = Some(SimTelemetry::new(
+            self.racks.len(),
+            self.config.rack_nameplate().0,
+            sink,
+        ));
+    }
+
+    /// The live telemetry state, if enabled.
+    pub fn telemetry(&self) -> Option<&SimTelemetry> {
+        self.telemetry.as_ref()
+    }
+
+    /// Takes the telemetry state out as a serializable dump (sorted into
+    /// canonical record order). Telemetry is disabled afterwards.
+    pub fn take_telemetry(&mut self) -> Option<TelemetryDump> {
+        self.telemetry.take().map(SimTelemetry::into_dump)
     }
 
     /// The PAD policy level (meaningful for the PAD scheme).
@@ -606,6 +640,10 @@ impl ClusterSim {
         let n = self.racks.len();
         let budget = self.config.rack_budget();
         let tol = 1.0 + self.config.overshoot_tolerance;
+        // Whether the per-tick gauge series are being retained; typed
+        // events and counters are recorded whenever telemetry is enabled
+        // at all, but the heavy per-rack loop only runs for live sinks.
+        let telemetry_on = self.telemetry.as_ref().is_some_and(SimTelemetry::recording);
 
         // 0. Outage handling: a tripped rack feed leaves the rack dark
         // until the operator resets it ("more than 75% data centers
@@ -875,6 +913,9 @@ impl ClusterSim {
                     RackId(r).to_string(),
                     "feed breaker tripped - rack dark until operator reset",
                 );
+                if let Some(t) = &mut self.telemetry {
+                    t.event(now, EventKind::BreakerTrip, &RackId(r).to_string(), 1.0);
+                }
             }
         }
         let cluster_limit = self.pdu.config().budget * tol;
@@ -897,6 +938,15 @@ impl ClusterSim {
         self.pdu.step(cluster_draw, dt);
         if !pdu_was_tripped && self.pdu.breaker().is_tripped() {
             self.breaker_trips += 1;
+            self.log.record(
+                now,
+                Severity::Critical,
+                "pdu",
+                "cluster feed breaker tripped",
+            );
+            if let Some(t) = &mut self.telemetry {
+                t.event(now, EventKind::BreakerTrip, "pdu", 1.0);
+            }
         }
         if let Some(event) = first_overload {
             let where_ = event
@@ -906,12 +956,15 @@ impl ClusterSim {
             self.log.record(
                 now,
                 Severity::Critical,
-                where_,
+                where_.clone(),
                 format!(
                     "overload: draw {:.0} exceeded limit {:.0}",
                     event.draw.0, event.limit.0
                 ),
             );
+            if let Some(t) = &mut self.telemetry {
+                t.event(now, EventKind::Overload, &where_, event.draw.0);
+            }
         }
         if self.config.protective_response && first_overload.is_some() {
             if self.protective_until.is_none_or(|until| now >= until) {
@@ -921,6 +974,9 @@ impl ClusterSim {
                     "operator",
                     "protective cluster-wide 20% cap engaged (3 min)",
                 );
+                if let Some(t) = &mut self.telemetry {
+                    t.event(now, EventKind::ProtectiveCap, "operator", 1.0);
+                }
             }
             self.protective_until = Some(now + SimDuration::from_mins(3));
         }
@@ -988,6 +1044,11 @@ impl ClusterSim {
         }
 
         // 7. Recharge from headroom (batteries first, then µDEB).
+        let mut charge_drawn = if telemetry_on {
+            vec![Watts::ZERO; n]
+        } else {
+            Vec::new()
+        };
         for r in 0..n {
             let limit = budget + grants[r];
             let mut headroom = (limit - self.last_draws[r]).clamp_non_negative();
@@ -995,6 +1056,9 @@ impl ClusterSim {
             if battery_shave[r].0 == 0.0 {
                 let drawn = self.racks[r].cabinet_mut().charge_step(headroom, dt);
                 headroom = (headroom - drawn).clamp_non_negative();
+                if telemetry_on {
+                    charge_drawn[r] = drawn;
+                }
             }
             if let Some(udeb) = &mut self.udebs[r] {
                 // Recharge (and accumulate guard rest) only when the bank
@@ -1027,6 +1091,9 @@ impl ClusterSim {
                     "policy",
                     format!("{} -> {}", self.seen_level, level),
                 );
+                if let Some(t) = &mut self.telemetry {
+                    t.event(now, EventKind::LevelChange, "policy", level.number() as f64);
+                }
                 self.seen_level = level;
             }
             let pool_soc = self.vdeb.pool_soc(&socs);
@@ -1069,6 +1136,9 @@ impl ClusterSim {
                                     plan.moved.0
                                 ),
                             );
+                            if let Some(t) = &mut self.telemetry {
+                                t.event(now, EventKind::Migration, "migrator", plan.moved.0);
+                            }
                             for (r, &d) in plan.deltas.iter().enumerate() {
                                 self.migration_offsets[r] += d;
                             }
@@ -1095,6 +1165,9 @@ impl ClusterSim {
                                 plan.ratio(self.config.topology.total_servers()) * 100.0
                             ),
                         );
+                        if let Some(t) = &mut self.telemetry {
+                            t.event(now, EventKind::Shed, "shedder", plan.total() as f64);
+                        }
                         self.seen_shed = plan.total();
                     }
                 }
@@ -1108,6 +1181,9 @@ impl ClusterSim {
                 if was_shedding {
                     self.log
                         .record(now, Severity::Info, "shedder", "all servers woken");
+                    if let Some(t) = &mut self.telemetry {
+                        t.event(now, EventKind::Wake, "shedder", 1.0);
+                    }
                     self.seen_shed = 0;
                 }
                 // Migrated load trickles back home once the emergency
@@ -1153,6 +1229,37 @@ impl ClusterSim {
                     RackId(r).to_string(),
                     "battery isolated by low-voltage disconnect (vulnerability window open)",
                 );
+                if let Some(t) = &mut self.telemetry {
+                    t.event(now, EventKind::LvdIsolation, &RackId(r).to_string(), 1.0);
+                }
+            }
+        }
+
+        // 10b. Per-tick telemetry series: one sample per registered gauge,
+        // stamped at the step's *start* time (the instant the readings
+        // describe). Emission order matches registration order, so the
+        // recorded stream is already canonically sorted within the tick.
+        if telemetry_on {
+            if let Some(t) = &mut self.telemetry {
+                for r in 0..n {
+                    t.record_rack(
+                        now,
+                        r,
+                        RackTick {
+                            draw_w: self.last_draws[r].0,
+                            soc: self.racks[r].cabinet().soc(),
+                            batt_discharge_w: battery_shave[r].0,
+                            batt_charge_w: charge_drawn[r].0,
+                            udeb_energy_j: self.udebs[r]
+                                .as_ref()
+                                .map_or(0.0, |u| u.bank().stored().0),
+                            udeb_shave_w: sc_shave[r].0,
+                            cap_duty: self.cappers[r].current(),
+                            breaker_margin: self.racks[r].breaker().thermal_headroom(),
+                        },
+                    );
+                }
+                t.record_cluster(now, cluster_draw.0, self.policy.level().number());
             }
         }
 

@@ -20,7 +20,8 @@ use std::sync::Arc;
 use attack::scenario::AttackScenario;
 use powerinfra::topology::RackId;
 use simkit::stats::ScenarioCost;
-use simkit::sweep::{scenario_seed, SweepRunner};
+use simkit::sweep::{scenario_seed, SweepProfile, SweepRunner};
+use simkit::telemetry::TelemetryDump;
 use simkit::time::{SimDuration, SimTime};
 use workload::trace::ClusterTrace;
 
@@ -73,6 +74,8 @@ pub struct SurvivalCase {
     pub stop_on_overload: bool,
     /// Record SOC history at this interval, if set.
     pub soc_interval: Option<SimDuration>,
+    /// Record per-tick telemetry into a ring of this capacity, if set.
+    pub telemetry_capacity: Option<usize>,
 }
 
 impl SurvivalCase {
@@ -85,6 +88,7 @@ impl SurvivalCase {
             dt,
             stop_on_overload: false,
             soc_interval: None,
+            telemetry_capacity: None,
         }
     }
 
@@ -105,6 +109,12 @@ impl SurvivalCase {
         self.soc_interval = Some(interval);
         self
     }
+
+    /// Records per-tick telemetry into a ring of `capacity` records.
+    pub fn record_telemetry(mut self, capacity: usize) -> Self {
+        self.telemetry_capacity = Some(capacity);
+        self
+    }
 }
 
 /// What one sweep scenario produced.
@@ -116,6 +126,10 @@ pub struct SurvivalOutcome {
     pub soc_history: Option<SocHistory>,
     /// Final per-rack battery SOC.
     pub final_socs: Vec<f64>,
+    /// Per-tick telemetry, when the case requested recording. Sorted in
+    /// canonical record order, so its serialization is byte-identical
+    /// whatever worker count produced it.
+    pub telemetry: Option<TelemetryDump>,
     /// Wall-clock and steps-simulated counters (not part of the
     /// determinism contract — wall-clock varies run to run).
     pub cost: ScenarioCost,
@@ -197,33 +211,56 @@ impl ConfigSweep {
     /// Returns the first scenario's construction error (invalid config or
     /// a trace smaller than the topology), tagged with its index.
     pub fn run(&self, cases: Vec<SurvivalCase>) -> Result<Vec<SurvivalOutcome>, String> {
+        self.run_profiled(cases).map(|(outcomes, _)| outcomes)
+    }
+
+    /// Like [`ConfigSweep::run`], but also returns the sweep's execution
+    /// profile: per-worker busy/merge time and scenario counts, plus the
+    /// sweep's wall-clock. The profile describes *this* execution (it
+    /// varies run to run); the outcomes remain deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first scenario's construction error (invalid config or
+    /// a trace smaller than the topology), tagged with its index.
+    pub fn run_profiled(
+        &self,
+        cases: Vec<SurvivalCase>,
+    ) -> Result<(Vec<SurvivalOutcome>, SweepProfile), String> {
         let seed = self.seed;
         let trace = &self.trace;
-        let outcomes = self.runner.run_metered(cases, |index, case| {
+        let (outcomes, profile) = self.runner.run_metered_profiled(cases, |index, case| {
             let result = run_one(Arc::clone(trace), seed, index, &case);
             let steps = match &result {
-                Ok((report, _, _)) => report.ended_at.saturating_since(SimTime::ZERO) / case.dt,
+                Ok((report, _, _, _)) => report.ended_at.saturating_since(SimTime::ZERO) / case.dt,
                 Err(_) => 0,
             };
             (result, steps)
         });
-        outcomes
+        let outcomes = outcomes
             .into_iter()
             .enumerate()
             .map(|(index, metered)| match metered.value {
-                Ok((report, soc_history, final_socs)) => Ok(SurvivalOutcome {
+                Ok((report, soc_history, final_socs, telemetry)) => Ok(SurvivalOutcome {
                     report,
                     soc_history,
                     final_socs,
+                    telemetry,
                     cost: metered.cost,
                 }),
                 Err(e) => Err(format!("scenario {index}: {e}")),
             })
-            .collect()
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok((outcomes, profile))
     }
 }
 
-type RunOutput = (SurvivalReport, Option<SocHistory>, Vec<f64>);
+type RunOutput = (
+    SurvivalReport,
+    Option<SocHistory>,
+    Vec<f64>,
+    Option<TelemetryDump>,
+);
 
 fn run_one(
     trace: Arc<ClusterTrace>,
@@ -243,10 +280,14 @@ fn run_one(
     if let Some(interval) = case.soc_interval {
         sim.record_soc(interval);
     }
+    if let Some(capacity) = case.telemetry_capacity {
+        sim.enable_telemetry(capacity);
+    }
     let report = sim.run(case.horizon, case.dt, case.stop_on_overload);
     let soc_history = sim.soc_history().cloned();
     let final_socs = sim.rack_socs();
-    Ok((report, soc_history, final_socs))
+    let telemetry = sim.take_telemetry();
+    Ok((report, soc_history, final_socs, telemetry))
 }
 
 #[cfg(test)]
@@ -326,6 +367,36 @@ mod tests {
         ];
         let err = ConfigSweep::new(trace, 5).run(cases).unwrap_err();
         assert!(err.starts_with("scenario 1:"), "{err}");
+    }
+
+    #[test]
+    fn telemetry_rides_along_and_serializes_identically_across_jobs() {
+        let config = SimConfig::small_test(Scheme::Pad);
+        let trace = shared_trace(&config);
+        let cases = vec![attack_case(Scheme::Pad).record_telemetry(1 << 20); 2];
+        let serial = ConfigSweep::new(Arc::clone(&trace), 11)
+            .run(cases.clone())
+            .unwrap();
+        let parallel = ConfigSweep::new(trace, 11).with_jobs(4).run(cases).unwrap();
+        for (s, p) in serial.iter().zip(&parallel) {
+            let (s_t, p_t) = (s.telemetry.as_ref().unwrap(), p.telemetry.as_ref().unwrap());
+            assert_eq!(s_t.to_jsonl(), p_t.to_jsonl());
+            assert!(!s_t.records.is_empty());
+        }
+    }
+
+    #[test]
+    fn profiled_run_accounts_every_scenario() {
+        let config = SimConfig::small_test(Scheme::Conv);
+        let trace = shared_trace(&config);
+        let case = SurvivalCase::quiet(config, SimTime::from_mins(1), SimDuration::SECOND);
+        let (outcomes, profile) = ConfigSweep::new(trace, 3)
+            .with_jobs(2)
+            .run_profiled(vec![case; 3])
+            .unwrap();
+        assert_eq!(outcomes.len(), 3);
+        assert_eq!(profile.scenarios(), 3);
+        assert!(profile.total_busy() > std::time::Duration::ZERO);
     }
 
     #[test]

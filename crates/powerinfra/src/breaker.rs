@@ -92,6 +92,14 @@ impl CircuitBreaker {
         self.heat
     }
 
+    /// Remaining thermal margin before tripping, as a fraction: 1.0 for
+    /// a cold breaker, 0.0 at (or past) the trip threshold. This is the
+    /// `breaker_margin` telemetry series — the defender's view of how
+    /// close an attack is to a trip.
+    pub fn thermal_headroom(&self) -> f64 {
+        (1.0 - self.heat / TRIP_HEAT).max(0.0)
+    }
+
     /// Lifetime trip count.
     pub fn trips(&self) -> u32 {
         self.trips
@@ -162,6 +170,18 @@ mod tests {
         assert_eq!(b.heat(), 0.0);
         assert_eq!(b.state(), BreakerState::Closed);
         assert_eq!(b.overload_events(), 0);
+    }
+
+    #[test]
+    fn thermal_headroom_falls_from_one_to_zero() {
+        let mut b = cb();
+        assert_eq!(b.thermal_headroom(), 1.0, "cold breaker has full margin");
+        b.step(Watts(1250.0), SimDuration::from_secs(2));
+        let mid = b.thermal_headroom();
+        assert!(mid > 0.0 && mid < 1.0, "overload eats margin: {mid}");
+        b.step(Watts(1250.0), SimDuration::from_secs(10));
+        assert!(b.is_tripped());
+        assert_eq!(b.thermal_headroom(), 0.0, "tripped breaker has no margin");
     }
 
     #[test]

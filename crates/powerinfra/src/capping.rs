@@ -61,6 +61,12 @@ impl PowerCapper {
         self.requests
     }
 
+    /// The DVFS factor currently in force, without applying pending
+    /// requests — a read-only view for telemetry (`cap_duty` series).
+    pub fn current(&self) -> f64 {
+        self.current
+    }
+
     /// Requests a DVFS factor (clamped to `[0.1, 1]`) at time `now`; it
     /// becomes effective at `now + latency`. A newer request supersedes a
     /// pending one.
@@ -100,6 +106,18 @@ mod tests {
         assert_eq!(c.factor_at(t + SimDuration::from_millis(299)), 1.0);
         assert_eq!(c.factor_at(t + SimDuration::from_millis(300)), 0.5);
         assert_eq!(c.factor_at(t + SimDuration::from_secs(10)), 0.5);
+    }
+
+    #[test]
+    fn current_is_a_pure_read() {
+        let mut c = PowerCapper::new(SimDuration::from_millis(100));
+        let t = SimTime::from_secs(1);
+        c.request(0.5, t);
+        // A pending-but-unactuated request is invisible to current():
+        // reading telemetry must not advance the actuator.
+        assert_eq!(c.current(), 1.0);
+        let _ = c.factor_at(t + SimDuration::from_millis(100));
+        assert_eq!(c.current(), 0.5);
     }
 
     #[test]

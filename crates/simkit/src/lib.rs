@@ -16,7 +16,10 @@
 //!   empirical CDFs used by the experiment harness;
 //! * [`series`] — fixed-step time-series containers with resampling;
 //! * [`table`] and [`heatmap`] — plain-text renderers used to print the
-//!   paper's tables and figure series.
+//!   paper's tables and figure series;
+//! * [`telemetry`] — a deterministic metrics registry, per-tick trace
+//!   recording (`Recorder` sinks, JSONL/CSV codecs) and offline trace
+//!   inspection.
 //!
 //! # Example
 //!
@@ -49,6 +52,7 @@ pub mod series;
 pub mod stats;
 pub mod sweep;
 pub mod table;
+pub mod telemetry;
 pub mod time;
 
 /// Convenient re-exports of the most common `simkit` items.
@@ -59,7 +63,12 @@ pub mod prelude {
     pub use crate::rng::RngStream;
     pub use crate::series::TimeSeries;
     pub use crate::stats::{OnlineStats, ScenarioCost, Summary};
-    pub use crate::sweep::{scenario_seed, scenario_stream, Metered, SweepRunner};
+    pub use crate::sweep::{
+        scenario_seed, scenario_stream, Metered, SweepProfile, SweepRunner, WorkerProfile,
+    };
+    pub use crate::telemetry::{
+        EventKind, MetricId, MetricRegistry, Recorder, RingRecorder, TelemetryDump, TelemetrySink,
+    };
     pub use crate::time::{SimDuration, SimTime};
 }
 
@@ -70,4 +79,5 @@ pub use rng::RngStream;
 pub use series::TimeSeries;
 pub use stats::{OnlineStats, ScenarioCost};
 pub use sweep::{Metered, SweepRunner};
+pub use telemetry::{MetricId, MetricRegistry, Recorder, TelemetryDump, TelemetrySink};
 pub use time::{SimDuration, SimTime};

@@ -4,6 +4,12 @@
 //! battery, when did capping engage, when did the policy escalate?
 //! [`EventLog`] is a bounded, allocation-light recorder the simulator
 //! writes to and CLIs/experiments read back or print.
+//!
+//! Retention is **per severity**: each severity level has its own
+//! bounded lane, so a flood of Info noise can never evict the Critical
+//! incidents a post-mortem actually needs. Severity filtering happens at
+//! push time ([`EventLog::with_min_severity`]) — filtered events are
+//! never buffered, so they cannot displace anything.
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -21,13 +27,28 @@ pub enum Severity {
     Critical,
 }
 
+/// Number of severity levels (one retention lane each).
+const LANES: usize = 3;
+
 impl Severity {
+    /// Every severity, in ascending order.
+    pub const ALL: [Severity; LANES] = [Severity::Info, Severity::Warning, Severity::Critical];
+
     /// Short tag used in rendered output.
     pub fn tag(self) -> &'static str {
         match self {
             Severity::Info => "INFO",
             Severity::Warning => "WARN",
             Severity::Critical => "CRIT",
+        }
+    }
+
+    /// Dense index of this severity (its retention lane).
+    fn idx(self) -> usize {
+        match self {
+            Severity::Info => 0,
+            Severity::Warning => 1,
+            Severity::Critical => 2,
         }
     }
 }
@@ -61,11 +82,19 @@ impl fmt::Display for LogEvent {
     }
 }
 
-/// A bounded in-memory event log.
+/// A bounded in-memory event log with per-severity retention.
 ///
-/// Oldest events are evicted once the capacity is reached, so month-long
-/// simulations cannot grow without bound; the eviction count is kept so
-/// consumers know the log is partial.
+/// Each severity keeps its own lane of at most its cap (by default, the
+/// log's overall capacity), and the oldest event *of that severity* is
+/// evicted when its lane fills. This fixes the classic bounded-buffer
+/// failure where an Info flood silently evicts the rare Critical events:
+/// here Info can only evict Info. Eviction counts are kept so consumers
+/// know the log is partial, and [`events`](EventLog::events) merges the
+/// lanes back into recording order via per-event sequence numbers.
+///
+/// Events below a minimum severity ([`with_min_severity`]
+/// (EventLog::with_min_severity)) are dropped at push time — counted in
+/// [`filtered`](EventLog::filtered), never buffered.
 ///
 /// # Example
 ///
@@ -80,13 +109,17 @@ impl fmt::Display for LogEvent {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EventLog {
-    events: VecDeque<LogEvent>,
-    capacity: usize,
+    lanes: [VecDeque<(u64, LogEvent)>; LANES],
+    caps: [usize; LANES],
+    min_severity: Severity,
+    next_seq: u64,
     evicted: u64,
+    filtered: u64,
 }
 
 impl EventLog {
-    /// Creates a log holding at most `capacity` events.
+    /// Creates a log where every severity lane holds at most `capacity`
+    /// events.
     ///
     /// # Panics
     ///
@@ -94,10 +127,36 @@ impl EventLog {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "log capacity must be non-zero");
         EventLog {
-            events: VecDeque::with_capacity(capacity.min(1024)),
-            capacity,
+            lanes: std::array::from_fn(|_| VecDeque::new()),
+            caps: [capacity; LANES],
+            min_severity: Severity::Info,
+            next_seq: 0,
             evicted: 0,
+            filtered: 0,
         }
+    }
+
+    /// Drops events below `severity` at push time (they are counted in
+    /// [`filtered`](EventLog::filtered) but never buffered).
+    pub fn with_min_severity(mut self, severity: Severity) -> Self {
+        self.min_severity = severity;
+        self
+    }
+
+    /// Overrides the retention cap for one severity lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn with_severity_cap(mut self, severity: Severity, cap: usize) -> Self {
+        assert!(cap > 0, "log capacity must be non-zero");
+        self.caps[severity.idx()] = cap;
+        self
+    }
+
+    /// The push-time severity floor.
+    pub fn min_severity(&self) -> Severity {
+        self.min_severity
     }
 
     /// Records one event.
@@ -108,41 +167,59 @@ impl EventLog {
         source: impl Into<String>,
         message: impl Into<String>,
     ) {
-        if self.events.len() == self.capacity {
-            self.events.pop_front();
+        if severity < self.min_severity {
+            self.filtered += 1;
+            return;
+        }
+        let lane = &mut self.lanes[severity.idx()];
+        if lane.len() == self.caps[severity.idx()] {
+            lane.pop_front();
             self.evicted += 1;
         }
-        self.events.push_back(LogEvent {
-            time,
-            severity,
-            source: source.into(),
-            message: message.into(),
-        });
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        lane.push_back((
+            seq,
+            LogEvent {
+                time,
+                severity,
+                source: source.into(),
+                message: message.into(),
+            },
+        ));
     }
 
-    /// All retained events, oldest first.
+    /// All retained events, oldest first (lanes merged back into
+    /// recording order).
     pub fn events(&self) -> impl ExactSizeIterator<Item = &LogEvent> {
-        self.events.iter()
+        let mut merged: Vec<&(u64, LogEvent)> = self.lanes.iter().flatten().collect();
+        merged.sort_by_key(|(seq, _)| *seq);
+        merged.into_iter().map(|(_, e)| e)
     }
 
     /// Number of retained events.
     pub fn len(&self) -> usize {
-        self.events.len()
+        self.lanes.iter().map(VecDeque::len).sum()
     }
 
     /// `true` if nothing is retained.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.lanes.iter().all(VecDeque::is_empty)
     }
 
-    /// How many events were evicted to respect the capacity.
+    /// How many events were evicted to respect lane capacities.
     pub fn evicted(&self) -> u64 {
         self.evicted
     }
 
-    /// Events at or above `severity`.
+    /// How many events were dropped at push time by the severity floor.
+    pub fn filtered(&self) -> u64 {
+        self.filtered
+    }
+
+    /// Events at or above `severity`, in recording order.
     pub fn at_least(&self, severity: Severity) -> impl Iterator<Item = &LogEvent> {
-        self.events.iter().filter(move |e| e.severity >= severity)
+        self.events().filter(move |e| e.severity >= severity)
     }
 
     /// Renders the retained events as lines.
@@ -154,7 +231,7 @@ impl EventLog {
                 self.evicted
             ));
         }
-        for e in &self.events {
+        for e in self.events() {
             out.push_str(&format!("{e}\n"));
         }
         out
@@ -190,6 +267,66 @@ mod tests {
     }
 
     #[test]
+    fn info_flood_cannot_evict_critical_events() {
+        let mut log = EventLog::new(3);
+        log.record(SimTime::ZERO, Severity::Critical, "s", "breaker trip");
+        for i in 0..100u64 {
+            log.record(
+                SimTime::from_secs(i),
+                Severity::Info,
+                "s",
+                format!("noise {i}"),
+            );
+        }
+        let criticals: Vec<_> = log.at_least(Severity::Critical).collect();
+        assert_eq!(criticals.len(), 1, "the incident survived the flood");
+        assert_eq!(criticals[0].message, "breaker trip");
+        assert_eq!(log.len(), 4, "3 retained Info + 1 Critical");
+        assert_eq!(log.evicted(), 97);
+        // And the merge preserves recording order: Critical came first.
+        assert_eq!(log.events().next().unwrap().severity, Severity::Critical);
+    }
+
+    #[test]
+    fn per_severity_caps_are_independent() {
+        let mut log = EventLog::new(10)
+            .with_severity_cap(Severity::Info, 2)
+            .with_severity_cap(Severity::Critical, 5);
+        for i in 0..4u64 {
+            log.record(SimTime::from_secs(i), Severity::Info, "s", format!("i{i}"));
+            log.record(
+                SimTime::from_secs(i),
+                Severity::Critical,
+                "s",
+                format!("c{i}"),
+            );
+        }
+        let infos: Vec<_> = log
+            .events()
+            .filter(|e| e.severity == Severity::Info)
+            .map(|e| e.message.clone())
+            .collect();
+        assert_eq!(infos, vec!["i2", "i3"], "Info lane capped at 2");
+        assert_eq!(log.at_least(Severity::Critical).count(), 4);
+        assert_eq!(log.evicted(), 2);
+    }
+
+    #[test]
+    fn min_severity_filters_at_push_time() {
+        let mut log = EventLog::new(2).with_min_severity(Severity::Warning);
+        // A flood of below-floor events must not evict anything.
+        for i in 0..50u64 {
+            log.record(SimTime::from_secs(i), Severity::Info, "s", "noise");
+        }
+        log.record(SimTime::ZERO, Severity::Warning, "s", "capping");
+        log.record(SimTime::ZERO, Severity::Critical, "s", "trip");
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.filtered(), 50);
+        assert_eq!(log.evicted(), 0, "filtered events never occupied a slot");
+        assert_eq!(log.min_severity(), Severity::Warning);
+    }
+
+    #[test]
     fn severity_filter() {
         let mut log = EventLog::new(10);
         log.record(SimTime::ZERO, Severity::Info, "s", "i");
@@ -218,5 +355,11 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_rejected() {
         EventLog::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_lane_cap_rejected() {
+        let _ = EventLog::new(1).with_severity_cap(Severity::Info, 0);
     }
 }

@@ -8,6 +8,15 @@
 
 /// One-pass mean/variance accumulator (Welford's algorithm).
 ///
+/// # NaN handling
+///
+/// NaN observations are **rejected, not absorbed**: [`push`](Self::push)
+/// skips them entirely (mean, variance, min and max are untouched) and
+/// counts them in [`nan_count`](Self::nan_count). Without this, a single
+/// NaN would poison `mean`/`m2` forever, and whether `min`/`max`
+/// survived would depend on the order observations arrived — `f64::min`
+/// ignores a NaN argument but propagates a NaN accumulator.
+///
 /// # Example
 ///
 /// ```
@@ -17,8 +26,11 @@
 /// for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
 ///     s.push(v);
 /// }
+/// s.push(f64::NAN); // ignored, tallied separately
 /// assert_eq!(s.mean(), 5.0);
 /// assert_eq!(s.population_std_dev(), 2.0);
+/// assert_eq!(s.count(), 8);
+/// assert_eq!(s.nan_count(), 1);
 /// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct OnlineStats {
@@ -27,6 +39,7 @@ pub struct OnlineStats {
     m2: f64,
     min: f64,
     max: f64,
+    nans: u64,
 }
 
 impl OnlineStats {
@@ -38,11 +51,17 @@ impl OnlineStats {
             m2: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            nans: 0,
         }
     }
 
-    /// Adds one observation.
+    /// Adds one observation. NaN observations are skipped (see the type
+    /// docs) and tallied in [`nan_count`](Self::nan_count).
     pub fn push(&mut self, value: f64) {
+        if value.is_nan() {
+            self.nans += 1;
+            return;
+        }
         self.count += 1;
         let delta = value - self.mean;
         self.mean += delta / self.count as f64;
@@ -51,9 +70,14 @@ impl OnlineStats {
         self.max = self.max.max(value);
     }
 
-    /// Number of observations.
+    /// Number of non-NaN observations.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Number of NaN observations that were rejected.
+    pub fn nan_count(&self) -> u64 {
+        self.nans
     }
 
     /// Sample mean (0 for an empty accumulator).
@@ -104,12 +128,16 @@ impl OnlineStats {
     }
 
     /// Merges another accumulator into this one (parallel Welford).
+    /// Rejected-NaN tallies are summed.
     pub fn merge(&mut self, other: &OnlineStats) {
+        self.nans += other.nans;
         if other.count == 0 {
             return;
         }
         if self.count == 0 {
+            let nans = self.nans;
             *self = *other;
+            self.nans = nans;
             return;
         }
         let total = self.count + other.count;
@@ -239,15 +267,21 @@ impl FromIterator<f64> for Summary {
 ///
 /// Stamped by [`crate::sweep::SweepRunner::run_metered`]: `wall_clock` is
 /// measured by the runner around the job, `steps` is reported by the job
-/// itself (number of simulation steps executed). Costs are bookkeeping,
-/// not part of any determinism contract — wall-clock time varies run to
-/// run.
+/// itself (number of simulation steps executed), `queue_wait` is how long
+/// the scenario sat in the pull queue before a worker claimed it, and
+/// `merge` is the time spent depositing the result into the
+/// submission-order slot table. Costs are bookkeeping, not part of any
+/// determinism contract — wall-clock time varies run to run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ScenarioCost {
     /// Wall-clock time the scenario took to execute.
     pub wall_clock: std::time::Duration,
     /// Simulation steps executed by the scenario.
     pub steps: u64,
+    /// Time between sweep start and a worker claiming this scenario.
+    pub queue_wait: std::time::Duration,
+    /// Time spent storing the result into the ordered slot table.
+    pub merge: std::time::Duration,
 }
 
 impl ScenarioCost {
@@ -265,6 +299,8 @@ impl ScenarioCost {
     pub fn accumulate(&mut self, other: &ScenarioCost) {
         self.wall_clock += other.wall_clock;
         self.steps += other.steps;
+        self.queue_wait += other.queue_wait;
+        self.merge += other.merge;
     }
 }
 
@@ -372,9 +408,34 @@ impl Histogram {
         self.counts[idx] += 1;
     }
 
+    /// Lower bound of the bucketed range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound of the bucketed range.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
     /// Per-bucket counts.
     pub fn counts(&self) -> &[u64] {
         &self.counts
+    }
+
+    /// Adds another histogram's counts into this one, bucket by bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histograms have different ranges or bucket counts.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.counts.len() == other.counts.len(),
+            "histograms have different shapes"
+        );
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
     }
 
     /// `(bucket_midpoint, count)` pairs.
@@ -423,6 +484,59 @@ mod tests {
         assert_eq!(a.count(), seq.count());
         assert!((a.mean() - seq.mean()).abs() < 1e-9);
         assert!((a.population_variance() - seq.population_variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nan_observations_are_rejected_not_absorbed() {
+        let mut s = OnlineStats::new();
+        s.push(f64::NAN);
+        s.push(1.0);
+        s.push(f64::NAN);
+        s.push(3.0);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.nan_count(), 2);
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 3.0);
+        assert!(!s.population_variance().is_nan());
+    }
+
+    #[test]
+    fn nan_first_does_not_poison_min_max() {
+        // Regression shape: f64::min ignores a NaN *argument* but
+        // propagates a NaN *accumulator*, so order used to matter.
+        let mut nan_first = OnlineStats::new();
+        nan_first.push(f64::NAN);
+        nan_first.push(5.0);
+        let mut nan_last = OnlineStats::new();
+        nan_last.push(5.0);
+        nan_last.push(f64::NAN);
+        assert_eq!(nan_first.min(), 5.0);
+        assert_eq!(nan_first.max(), 5.0);
+        assert_eq!(nan_first.min(), nan_last.min());
+        assert_eq!(nan_first.max(), nan_last.max());
+    }
+
+    #[test]
+    fn merge_sums_nan_tallies() {
+        let mut a = OnlineStats::new();
+        a.push(f64::NAN);
+        let mut b = OnlineStats::new();
+        b.push(2.0);
+        b.push(f64::NAN);
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.nan_count(), 2);
+        assert_eq!(a.mean(), 2.0);
+
+        // Empty-other still carries its NaN tally.
+        let mut c = OnlineStats::new();
+        c.push(1.0);
+        let mut nan_only = OnlineStats::new();
+        nan_only.push(f64::NAN);
+        c.merge(&nan_only);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.nan_count(), 1);
     }
 
     #[test]
@@ -487,6 +601,26 @@ mod tests {
         h.push(15.0);
         assert_eq!(h.counts()[0], 1);
         assert_eq!(h.counts()[9], 1);
+    }
+
+    #[test]
+    fn histogram_merge_adds_buckets() {
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        let mut b = Histogram::new(0.0, 10.0, 5);
+        a.push(1.0);
+        b.push(1.0);
+        b.push(9.0);
+        a.merge(&b);
+        assert_eq!(a.counts(), &[2, 0, 0, 0, 1]);
+        assert_eq!(a.lo(), 0.0);
+        assert_eq!(a.hi(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different shapes")]
+    fn histogram_merge_rejects_shape_mismatch() {
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        a.merge(&Histogram::new(0.0, 10.0, 4));
     }
 
     #[test]

@@ -64,6 +64,68 @@ pub struct Metered<R> {
     pub cost: ScenarioCost,
 }
 
+/// Execution profile of one worker across a sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerProfile {
+    /// How many scenarios this worker executed.
+    pub scenarios: u64,
+    /// Total time this worker spent running jobs.
+    pub busy: std::time::Duration,
+    /// Total time this worker spent depositing results into the
+    /// submission-order slot table (mostly slot-lock acquisition).
+    pub merge: std::time::Duration,
+}
+
+impl WorkerProfile {
+    fn absorb_scenario(&mut self, cost: &ScenarioCost) {
+        self.scenarios += 1;
+        self.busy += cost.wall_clock;
+        self.merge += cost.merge;
+    }
+}
+
+/// Execution profile of a whole sweep: one entry per worker plus the
+/// sweep's wall-clock span.
+///
+/// Profiles are bookkeeping, like [`ScenarioCost`] — they carry
+/// wall-clock durations and are **not** part of the determinism
+/// contract.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SweepProfile {
+    /// Per-worker counters, indexed by spawn order.
+    pub workers: Vec<WorkerProfile>,
+    /// Wall-clock time from sweep start to the last worker joining.
+    pub wall_clock: std::time::Duration,
+}
+
+impl SweepProfile {
+    /// Sum of job-execution time across workers.
+    pub fn total_busy(&self) -> std::time::Duration {
+        self.workers.iter().map(|w| w.busy).sum()
+    }
+
+    /// Sum of result-merge time across workers.
+    pub fn total_merge(&self) -> std::time::Duration {
+        self.workers.iter().map(|w| w.merge).sum()
+    }
+
+    /// Total scenarios executed.
+    pub fn scenarios(&self) -> u64 {
+        self.workers.iter().map(|w| w.scenarios).sum()
+    }
+
+    /// Fraction of `workers × wall_clock` spent running jobs — 1.0 means
+    /// perfectly load-balanced workers that never idled.
+    pub fn utilization(&self) -> f64 {
+        let capacity = self.wall_clock.as_secs_f64() * self.workers.len() as f64;
+        if capacity > 0.0 {
+            self.total_busy().as_secs_f64() / capacity
+        } else {
+            0.0
+        }
+    }
+}
+
 /// A worker pool for scenario grids.
 ///
 /// The pool is created per sweep call; `SweepRunner` itself only holds the
@@ -170,17 +232,116 @@ impl SweepRunner {
         R: Send,
         F: Fn(usize, T) -> (R, u64) + Sync,
     {
-        self.run(items, |index, item| {
-            let started = Instant::now();
-            let (value, steps) = job(index, item);
-            Metered {
-                value,
-                cost: ScenarioCost {
-                    wall_clock: started.elapsed(),
-                    steps,
-                },
+        self.run_metered_profiled(items, job).0
+    }
+
+    /// Like [`SweepRunner::run_metered`], but also profiles the sweep
+    /// itself: per-scenario queue wait and merge time land in each
+    /// [`ScenarioCost`], and per-worker busy/merge totals come back as a
+    /// [`SweepProfile`].
+    ///
+    /// Only each `Metered::value` participates in the determinism
+    /// contract; costs and the profile carry wall-clock durations.
+    pub fn run_metered_profiled<T, R, F>(
+        &self,
+        items: Vec<T>,
+        job: F,
+    ) -> (Vec<Metered<R>>, SweepProfile)
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> (R, u64) + Sync,
+    {
+        let sweep_started = Instant::now();
+        let n = items.len();
+        if self.jobs == 1 || n <= 1 {
+            let mut worker = WorkerProfile::default();
+            let results = items
+                .into_iter()
+                .enumerate()
+                .map(|(index, item)| {
+                    let claimed = Instant::now();
+                    let (value, steps) = job(index, item);
+                    let cost = ScenarioCost {
+                        wall_clock: claimed.elapsed(),
+                        steps,
+                        queue_wait: claimed.duration_since(sweep_started),
+                        merge: std::time::Duration::ZERO,
+                    };
+                    worker.absorb_scenario(&cost);
+                    Metered { value, cost }
+                })
+                .collect();
+            let profile = SweepProfile {
+                workers: vec![worker],
+                wall_clock: sweep_started.elapsed(),
+            };
+            return (results, profile);
+        }
+        let workers = self.jobs.min(n);
+        let queue = Mutex::new(items.into_iter().enumerate());
+        let slots: Vec<Mutex<Option<Metered<R>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let profiles: Vec<Mutex<WorkerProfile>> = (0..workers)
+            .map(|_| Mutex::new(WorkerProfile::default()))
+            .collect();
+        std::thread::scope(|scope| {
+            for profile_slot in &profiles {
+                let queue = &queue;
+                let slots = &slots;
+                let job = &job;
+                scope.spawn(move || {
+                    let mut worker = WorkerProfile::default();
+                    loop {
+                        let next = queue
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .next();
+                        match next {
+                            Some((index, item)) => {
+                                let claimed = Instant::now();
+                                let (value, steps) = job(index, item);
+                                let ran = claimed.elapsed();
+                                let merge_started = Instant::now();
+                                let mut slot = slots[index]
+                                    .lock()
+                                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                                let cost = ScenarioCost {
+                                    wall_clock: ran,
+                                    steps,
+                                    queue_wait: claimed.duration_since(sweep_started),
+                                    merge: merge_started.elapsed(),
+                                };
+                                worker.absorb_scenario(&cost);
+                                *slot = Some(Metered { value, cost });
+                            }
+                            None => break,
+                        }
+                    }
+                    *profile_slot
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = worker;
+                });
             }
-        })
+        });
+        let results = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .expect("scoped workers completed every claimed scenario")
+            })
+            .collect();
+        let profile = SweepProfile {
+            workers: profiles
+                .into_iter()
+                .map(|p| {
+                    p.into_inner()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                })
+                .collect(),
+            wall_clock: sweep_started.elapsed(),
+        };
+        (results, profile)
     }
 }
 
@@ -245,6 +406,57 @@ mod tests {
             assert_eq!(m.value, i as u64);
             assert_eq!(m.cost.steps, i as u64 * 10);
         }
+    }
+
+    #[test]
+    fn profiled_run_accounts_every_scenario() {
+        for jobs in [1, 3] {
+            let (out, profile) =
+                SweepRunner::new(jobs).run_metered_profiled((0..10).collect(), |_, x: u64| {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    (x, 1)
+                });
+            assert_eq!(out.len(), 10);
+            assert_eq!(profile.workers.len(), jobs);
+            assert_eq!(
+                profile.scenarios(),
+                10,
+                "every scenario attributed to a worker"
+            );
+            assert!(profile.total_busy() >= std::time::Duration::from_millis(10));
+            assert!(profile.wall_clock >= std::time::Duration::from_millis(1));
+            let values: Vec<u64> = out.iter().map(|m| m.value).collect();
+            assert_eq!(values, (0..10).collect::<Vec<u64>>(), "order preserved");
+        }
+    }
+
+    #[test]
+    fn profiled_matches_serial_values_bit_for_bit() {
+        let job = |index: usize, x: u64| {
+            let mut rng = scenario_stream(11, index);
+            ((x, rng.next_u64()), 1)
+        };
+        let (serial, _) = SweepRunner::serial().run_metered_profiled((0..12).collect(), job);
+        let (parallel, _) = SweepRunner::new(4).run_metered_profiled((0..12).collect(), job);
+        let sv: Vec<_> = serial.into_iter().map(|m| m.value).collect();
+        let pv: Vec<_> = parallel.into_iter().map(|m| m.value).collect();
+        assert_eq!(sv, pv);
+    }
+
+    #[test]
+    fn cost_accumulate_sums_profiling_spans() {
+        let mut total = ScenarioCost::default();
+        let cost = ScenarioCost {
+            wall_clock: std::time::Duration::from_millis(5),
+            steps: 100,
+            queue_wait: std::time::Duration::from_millis(2),
+            merge: std::time::Duration::from_micros(10),
+        };
+        total.accumulate(&cost);
+        total.accumulate(&cost);
+        assert_eq!(total.steps, 200);
+        assert_eq!(total.queue_wait, std::time::Duration::from_millis(4));
+        assert_eq!(total.merge, std::time::Duration::from_micros(20));
     }
 
     #[test]

@@ -1,0 +1,565 @@
+//! Serialization of telemetry traces to JSONL and CSV, and the strict
+//! parser `padsim inspect` uses to read them back.
+//!
+//! Formats are hand-rolled (the workspace has no serde) but strict and
+//! versionless by construction: metric names are restricted to
+//! `[A-Za-z0-9._-]` and event sources to the same charset, so no
+//! escaping is ever needed and every line is trivially machine- and
+//! grep-readable.
+//!
+//! # Wire formats
+//!
+//! JSONL — one object per line, keys always in this order:
+//!
+//! ```text
+//! {"t":1000,"m":"rack-00.draw_w","v":123.45}      <- sample
+//! {"t":1000,"e":"breaker_trip","s":"rack-00","v":1}  <- event
+//! ```
+//!
+//! CSV — header `time_ms,record,name,source,value`:
+//!
+//! ```text
+//! time_ms,record,name,source,value
+//! 1000,sample,rack-00.draw_w,,123.45
+//! 1000,event,breaker_trip,rack-00,1
+//! ```
+//!
+//! Values are formatted with Rust's default `f64` `Display` (shortest
+//! round-trip representation), which is deterministic across platforms —
+//! the basis of the byte-identical determinism contract.
+
+use std::io::{self, Write};
+
+use crate::telemetry::record::{EventKind, Record};
+use crate::telemetry::recorder::Recorder;
+use crate::telemetry::registry::{MetricId, MetricRegistry};
+use crate::time::SimTime;
+
+/// On-disk trace format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Format {
+    /// One JSON object per line (`.jsonl`).
+    #[default]
+    Jsonl,
+    /// Comma-separated values with header (`.csv`).
+    Csv,
+}
+
+impl Format {
+    /// Parses a format name (`jsonl` or `csv`).
+    pub fn from_name(name: &str) -> Option<Format> {
+        match name {
+            "jsonl" => Some(Format::Jsonl),
+            "csv" => Some(Format::Csv),
+            _ => None,
+        }
+    }
+
+    /// Guesses the format from a file path's extension, defaulting to
+    /// JSONL.
+    pub fn from_path(path: &str) -> Format {
+        if path.rsplit('.').next() == Some("csv") {
+            Format::Csv
+        } else {
+            Format::Jsonl
+        }
+    }
+
+    /// Canonical file extension (without dot).
+    pub fn extension(self) -> &'static str {
+        match self {
+            Format::Jsonl => "jsonl",
+            Format::Csv => "csv",
+        }
+    }
+}
+
+fn write_sample_jsonl(out: &mut String, time: SimTime, name: &str, value: f64) {
+    use std::fmt::Write as _;
+    let _ = writeln!(
+        out,
+        "{{\"t\":{},\"m\":\"{}\",\"v\":{}}}",
+        time.as_millis(),
+        name,
+        value
+    );
+}
+
+fn write_event_jsonl(out: &mut String, time: SimTime, kind: EventKind, source: &str, value: f64) {
+    use std::fmt::Write as _;
+    let _ = writeln!(
+        out,
+        "{{\"t\":{},\"e\":\"{}\",\"s\":\"{}\",\"v\":{}}}",
+        time.as_millis(),
+        kind.as_str(),
+        source,
+        value
+    );
+}
+
+/// CSV header line (with trailing newline).
+pub const CSV_HEADER: &str = "time_ms,record,name,source,value\n";
+
+fn write_sample_csv(out: &mut String, time: SimTime, name: &str, value: f64) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "{},sample,{},,{}", time.as_millis(), name, value);
+}
+
+fn write_event_csv(out: &mut String, time: SimTime, kind: EventKind, source: &str, value: f64) {
+    use std::fmt::Write as _;
+    let _ = writeln!(
+        out,
+        "{},event,{},{},{}",
+        time.as_millis(),
+        kind.as_str(),
+        source,
+        value
+    );
+}
+
+/// Serializes records (already in canonical order — see
+/// [`sort_records`](crate::telemetry::sort_records)) to a JSONL string.
+pub fn to_jsonl(registry: &MetricRegistry, records: &[Record]) -> String {
+    let mut out = String::with_capacity(records.len() * 48);
+    for record in records {
+        match record {
+            Record::Sample(s) => {
+                write_sample_jsonl(&mut out, s.time, registry.name(s.metric), s.value)
+            }
+            Record::Event(e) => write_event_jsonl(&mut out, e.time, e.kind, &e.source, e.value),
+        }
+    }
+    out
+}
+
+/// Serializes records (already in canonical order) to a CSV string with
+/// header.
+pub fn to_csv(registry: &MetricRegistry, records: &[Record]) -> String {
+    let mut out = String::with_capacity(CSV_HEADER.len() + records.len() * 40);
+    out.push_str(CSV_HEADER);
+    for record in records {
+        match record {
+            Record::Sample(s) => {
+                write_sample_csv(&mut out, s.time, registry.name(s.metric), s.value)
+            }
+            Record::Event(e) => write_event_csv(&mut out, e.time, e.kind, &e.source, e.value),
+        }
+    }
+    out
+}
+
+/// A [`Recorder`] that streams records straight to a writer as JSONL.
+///
+/// Used when a single live run writes telemetry to disk without
+/// buffering the whole trace. The metric name table is snapshotted from
+/// the registry at construction, so the registry must be fully
+/// registered first. I/O errors are sticky: the first error is stored
+/// and returned by [`finish`](JsonlRecorder::finish); later records are
+/// dropped.
+#[derive(Debug)]
+pub struct JsonlRecorder<W: Write> {
+    writer: W,
+    names: Vec<String>,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> JsonlRecorder<W> {
+    /// Creates a streaming JSONL recorder over `writer`.
+    pub fn new(writer: W, registry: &MetricRegistry) -> Self {
+        JsonlRecorder {
+            writer,
+            names: registry.names().map(str::to_string).collect(),
+            error: None,
+        }
+    }
+
+    fn write_line(&mut self, line: &str) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.writer.write_all(line.as_bytes()) {
+            self.error = Some(e);
+        }
+    }
+
+    /// Flushes and returns the writer, or the first I/O error hit.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+impl<W: Write> Recorder for JsonlRecorder<W> {
+    fn record_sample(&mut self, time: SimTime, metric: MetricId, value: f64) {
+        let mut line = String::with_capacity(48);
+        write_sample_jsonl(&mut line, time, &self.names[metric.index()], value);
+        self.write_line(&line);
+    }
+
+    fn record_event(&mut self, time: SimTime, kind: EventKind, source: &str, value: f64) {
+        let mut line = String::with_capacity(48);
+        write_event_jsonl(&mut line, time, kind, source, value);
+        self.write_line(&line);
+    }
+}
+
+/// A [`Recorder`] that streams records straight to a writer as CSV.
+///
+/// The header row is written at construction. Error handling matches
+/// [`JsonlRecorder`].
+#[derive(Debug)]
+pub struct CsvRecorder<W: Write> {
+    writer: W,
+    names: Vec<String>,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> CsvRecorder<W> {
+    /// Creates a streaming CSV recorder over `writer`, writing the
+    /// header row immediately.
+    pub fn new(mut writer: W, registry: &MetricRegistry) -> Self {
+        let error = writer.write_all(CSV_HEADER.as_bytes()).err();
+        CsvRecorder {
+            writer,
+            names: registry.names().map(str::to_string).collect(),
+            error,
+        }
+    }
+
+    fn write_line(&mut self, line: &str) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.writer.write_all(line.as_bytes()) {
+            self.error = Some(e);
+        }
+    }
+
+    /// Flushes and returns the writer, or the first I/O error hit.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+impl<W: Write> Recorder for CsvRecorder<W> {
+    fn record_sample(&mut self, time: SimTime, metric: MetricId, value: f64) {
+        let mut line = String::with_capacity(40);
+        write_sample_csv(&mut line, time, &self.names[metric.index()], value);
+        self.write_line(&line);
+    }
+
+    fn record_event(&mut self, time: SimTime, kind: EventKind, source: &str, value: f64) {
+        let mut line = String::with_capacity(40);
+        write_event_csv(&mut line, time, kind, source, value);
+        self.write_line(&line);
+    }
+}
+
+/// One record parsed back from a serialized trace.
+///
+/// Metric ids don't survive serialization (they're per-registry), so the
+/// parsed form carries names.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedRecord {
+    /// Simulation time in milliseconds.
+    pub time_ms: u64,
+    /// Metric name for samples, event kind wire name for events.
+    pub name: String,
+    /// Event source (empty for samples).
+    pub source: String,
+    /// The recorded value.
+    pub value: f64,
+    /// `true` for events, `false` for samples.
+    pub is_event: bool,
+}
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Pulls `"key":` off the front of `rest`, returning what follows.
+fn expect_key<'a>(rest: &'a str, key: &str, line: usize) -> Result<&'a str, ParseError> {
+    let want = format!("\"{key}\":");
+    rest.strip_prefix(&want)
+        .ok_or_else(|| err(line, format!("expected key {key:?}")))
+}
+
+/// Splits `rest` at the next `,` or the closing `}`.
+fn next_field(rest: &str, line: usize) -> Result<(&str, &str), ParseError> {
+    if let Some(pos) = rest.find([',', '}']) {
+        let (field, tail) = rest.split_at(pos);
+        Ok((field, &tail[1..]))
+    } else {
+        Err(err(line, "unterminated object"))
+    }
+}
+
+fn unquote(s: &str, line: usize) -> Result<&str, ParseError> {
+    s.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| err(line, format!("expected quoted string, got {s:?}")))
+}
+
+fn parse_jsonl_line(line_text: &str, line: usize) -> Result<ParsedRecord, ParseError> {
+    let rest = line_text
+        .strip_prefix('{')
+        .ok_or_else(|| err(line, "expected '{'"))?;
+    let rest = expect_key(rest, "t", line)?;
+    let (t_field, rest) = next_field(rest, line)?;
+    let time_ms: u64 = t_field
+        .parse()
+        .map_err(|_| err(line, format!("bad time {t_field:?}")))?;
+    if let Ok(rest) = expect_key(rest, "m", line) {
+        let (m_field, rest) = next_field(rest, line)?;
+        let name = unquote(m_field, line)?.to_string();
+        let rest = expect_key(rest, "v", line)?;
+        let (v_field, rest) = next_field(rest, line)?;
+        let value: f64 = v_field
+            .parse()
+            .map_err(|_| err(line, format!("bad value {v_field:?}")))?;
+        if !rest.is_empty() {
+            return Err(err(line, "trailing content after sample"));
+        }
+        Ok(ParsedRecord {
+            time_ms,
+            name,
+            source: String::new(),
+            value,
+            is_event: false,
+        })
+    } else {
+        let rest = expect_key(rest, "e", line)?;
+        let (e_field, rest) = next_field(rest, line)?;
+        let name = unquote(e_field, line)?.to_string();
+        if EventKind::from_name(&name).is_none() {
+            return Err(err(line, format!("unknown event kind {name:?}")));
+        }
+        let rest = expect_key(rest, "s", line)?;
+        let (s_field, rest) = next_field(rest, line)?;
+        let source = unquote(s_field, line)?.to_string();
+        let rest = expect_key(rest, "v", line)?;
+        let (v_field, rest) = next_field(rest, line)?;
+        let value: f64 = v_field
+            .parse()
+            .map_err(|_| err(line, format!("bad value {v_field:?}")))?;
+        if !rest.is_empty() {
+            return Err(err(line, "trailing content after event"));
+        }
+        Ok(ParsedRecord {
+            time_ms,
+            name,
+            source,
+            value,
+            is_event: true,
+        })
+    }
+}
+
+fn parse_csv_line(line_text: &str, line: usize) -> Result<ParsedRecord, ParseError> {
+    let mut fields = line_text.split(',');
+    let mut take = |label: &str| {
+        fields
+            .next()
+            .ok_or_else(|| err(line, format!("missing {label} field")))
+    };
+    let time_ms: u64 = take("time_ms")?
+        .parse()
+        .map_err(|_| err(line, "bad time_ms"))?;
+    let record = take("record")?.to_string();
+    let name = take("name")?.to_string();
+    let source = take("source")?.to_string();
+    let value: f64 = take("value")?.parse().map_err(|_| err(line, "bad value"))?;
+    if fields.next().is_some() {
+        return Err(err(line, "too many fields"));
+    }
+    let is_event = match record.as_str() {
+        "sample" => false,
+        "event" => {
+            if EventKind::from_name(&name).is_none() {
+                return Err(err(line, format!("unknown event kind {name:?}")));
+            }
+            true
+        }
+        other => return Err(err(line, format!("unknown record type {other:?}"))),
+    };
+    Ok(ParsedRecord {
+        time_ms,
+        name,
+        source,
+        value,
+        is_event,
+    })
+}
+
+/// Parses a serialized trace (either format) back into records.
+///
+/// The parser is strict: any malformed line fails the whole parse with
+/// its line number, rather than silently skipping data.
+pub fn parse(text: &str, format: Format) -> Result<Vec<ParsedRecord>, ParseError> {
+    let mut out = Vec::new();
+    let mut lines = text.lines().enumerate();
+    if format == Format::Csv {
+        match lines.next() {
+            Some((_, header)) if header == CSV_HEADER.trim_end() => {}
+            Some((_, header)) => return Err(err(1, format!("bad CSV header {header:?}"))),
+            None => return Ok(out),
+        }
+    }
+    for (idx, line_text) in lines {
+        if line_text.is_empty() {
+            continue;
+        }
+        let line = idx + 1;
+        out.push(match format {
+            Format::Jsonl => parse_jsonl_line(line_text, line)?,
+            Format::Csv => parse_csv_line(line_text, line)?,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::record::{EventRecord, Sample};
+    use crate::telemetry::MetricRegistry;
+
+    fn sample_records() -> (MetricRegistry, Vec<Record>) {
+        let mut reg = MetricRegistry::new();
+        let draw = reg.register_gauge("rack-00.draw_w");
+        let soc = reg.register_gauge("rack-00.soc");
+        let records = vec![
+            Record::Sample(Sample {
+                time: SimTime::from_millis(100),
+                metric: draw,
+                value: 123.45,
+            }),
+            Record::Sample(Sample {
+                time: SimTime::from_millis(100),
+                metric: soc,
+                value: 0.5,
+            }),
+            Record::Event(EventRecord {
+                time: SimTime::from_millis(100),
+                kind: EventKind::BreakerTrip,
+                source: "rack-00".into(),
+                value: 1.0,
+            }),
+        ];
+        (reg, records)
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let (reg, records) = sample_records();
+        let text = to_jsonl(&reg, &records);
+        assert_eq!(
+            text,
+            "{\"t\":100,\"m\":\"rack-00.draw_w\",\"v\":123.45}\n\
+             {\"t\":100,\"m\":\"rack-00.soc\",\"v\":0.5}\n\
+             {\"t\":100,\"e\":\"breaker_trip\",\"s\":\"rack-00\",\"v\":1}\n"
+        );
+        let parsed = parse(&text, Format::Jsonl).unwrap();
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(parsed[0].name, "rack-00.draw_w");
+        assert_eq!(parsed[0].value, 123.45);
+        assert!(!parsed[0].is_event);
+        assert!(parsed[2].is_event);
+        assert_eq!(parsed[2].source, "rack-00");
+    }
+
+    #[test]
+    fn csv_round_trips() {
+        let (reg, records) = sample_records();
+        let text = to_csv(&reg, &records);
+        assert!(text.starts_with(CSV_HEADER));
+        let parsed = parse(&text, Format::Csv).unwrap();
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(parsed[1].name, "rack-00.soc");
+        assert_eq!(parsed[1].value, 0.5);
+        assert_eq!(parsed[2].name, "breaker_trip");
+    }
+
+    #[test]
+    fn streaming_recorders_match_batch_output() {
+        let (reg, records) = sample_records();
+        let mut jsonl = JsonlRecorder::new(Vec::new(), &reg);
+        let mut csv = CsvRecorder::new(Vec::new(), &reg);
+        for r in &records {
+            match r {
+                Record::Sample(s) => {
+                    jsonl.record_sample(s.time, s.metric, s.value);
+                    csv.record_sample(s.time, s.metric, s.value);
+                }
+                Record::Event(e) => {
+                    jsonl.record_event(e.time, e.kind, &e.source, e.value);
+                    csv.record_event(e.time, e.kind, &e.source, e.value);
+                }
+            }
+        }
+        let jsonl_bytes = jsonl.finish().unwrap();
+        let csv_bytes = csv.finish().unwrap();
+        assert_eq!(
+            String::from_utf8(jsonl_bytes).unwrap(),
+            to_jsonl(&reg, &records)
+        );
+        assert_eq!(
+            String::from_utf8(csv_bytes).unwrap(),
+            to_csv(&reg, &records)
+        );
+    }
+
+    #[test]
+    fn malformed_lines_fail_with_line_numbers() {
+        let bad = "{\"t\":1,\"m\":\"a\",\"v\":2}\nnot json\n";
+        let e = parse(bad, Format::Jsonl).unwrap_err();
+        assert_eq!(e.line, 2);
+
+        let e = parse("wrong,header\n", Format::Csv).unwrap_err();
+        assert_eq!(e.line, 1);
+
+        let e = parse(
+            "{\"t\":1,\"e\":\"no_such_kind\",\"s\":\"x\",\"v\":1}\n",
+            Format::Jsonl,
+        )
+        .unwrap_err();
+        assert!(e.message.contains("unknown event kind"));
+    }
+
+    #[test]
+    fn format_detection() {
+        assert_eq!(Format::from_name("jsonl"), Some(Format::Jsonl));
+        assert_eq!(Format::from_name("csv"), Some(Format::Csv));
+        assert_eq!(Format::from_name("yaml"), None);
+        assert_eq!(Format::from_path("out/telemetry.csv"), Format::Csv);
+        assert_eq!(Format::from_path("out/telemetry.jsonl"), Format::Jsonl);
+        assert_eq!(Format::from_path("noext"), Format::Jsonl);
+    }
+}

@@ -1,0 +1,210 @@
+//! Offline analysis of a recorded telemetry trace.
+//!
+//! [`TelemetryReport`] digests a parsed trace (see
+//! [`parse`](crate::telemetry::parse)) into per-metric statistics and
+//! per-event tallies, and renders them as text tables — the engine
+//! behind `padsim inspect`. Digest order is deterministic: metrics and
+//! events are keyed through a `BTreeMap`, so two inspections of the same
+//! trace render identically.
+
+use std::collections::BTreeMap;
+
+use crate::stats::{OnlineStats, Summary};
+use crate::table::{fmt_f64, Table};
+use crate::telemetry::codec::ParsedRecord;
+
+/// Per-metric digest of a recorded trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDigest {
+    /// The metric's name.
+    pub name: String,
+    /// One-pass statistics over every recorded value.
+    pub stats: OnlineStats,
+    /// Retained sample, for percentiles.
+    pub summary: Summary,
+}
+
+/// Per-event-kind digest of a recorded trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventDigest {
+    /// The event kind's wire name.
+    pub kind: String,
+    /// How many events of this kind were recorded.
+    pub count: u64,
+    /// Distinct sources that emitted it, in sorted order.
+    pub sources: Vec<String>,
+    /// Simulation time of the first occurrence, in milliseconds.
+    pub first_ms: u64,
+    /// Simulation time of the last occurrence, in milliseconds.
+    pub last_ms: u64,
+}
+
+/// Summary view over a recorded telemetry trace.
+///
+/// # Example
+///
+/// ```
+/// use simkit::telemetry::{parse, Format, TelemetryReport};
+///
+/// let trace = "{\"t\":0,\"m\":\"g\",\"v\":1}\n{\"t\":100,\"m\":\"g\",\"v\":3}\n";
+/// let report = TelemetryReport::from_records(&parse(trace, Format::Jsonl).unwrap());
+/// assert_eq!(report.metric_names(), vec!["g"]);
+/// assert_eq!(report.metric("g").unwrap().stats.mean(), 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TelemetryReport {
+    metrics: BTreeMap<String, MetricDigest>,
+    events: BTreeMap<String, EventDigest>,
+    samples: u64,
+    span_ms: u64,
+}
+
+impl TelemetryReport {
+    /// Digests parsed records into a report.
+    pub fn from_records(records: &[ParsedRecord]) -> Self {
+        let mut report = TelemetryReport::default();
+        for r in records {
+            report.span_ms = report.span_ms.max(r.time_ms);
+            if r.is_event {
+                let digest = report
+                    .events
+                    .entry(r.name.clone())
+                    .or_insert_with(|| EventDigest {
+                        kind: r.name.clone(),
+                        count: 0,
+                        sources: Vec::new(),
+                        first_ms: r.time_ms,
+                        last_ms: r.time_ms,
+                    });
+                digest.count += 1;
+                digest.first_ms = digest.first_ms.min(r.time_ms);
+                digest.last_ms = digest.last_ms.max(r.time_ms);
+                if let Err(idx) = digest.sources.binary_search(&r.source) {
+                    digest.sources.insert(idx, r.source.clone());
+                }
+            } else {
+                let digest = report
+                    .metrics
+                    .entry(r.name.clone())
+                    .or_insert_with(|| MetricDigest {
+                        name: r.name.clone(),
+                        stats: OnlineStats::new(),
+                        summary: Summary::new(),
+                    });
+                digest.stats.push(r.value);
+                digest.summary.push(r.value);
+                report.samples += 1;
+            }
+        }
+        report
+    }
+
+    /// Metric names present in the trace, sorted.
+    pub fn metric_names(&self) -> Vec<&str> {
+        self.metrics.keys().map(String::as_str).collect()
+    }
+
+    /// The digest for one metric, if it appears in the trace.
+    pub fn metric(&self, name: &str) -> Option<&MetricDigest> {
+        self.metrics.get(name)
+    }
+
+    /// Event digests, sorted by kind name.
+    pub fn events(&self) -> impl Iterator<Item = &EventDigest> {
+        self.events.values()
+    }
+
+    /// Total number of samples in the trace.
+    pub fn sample_count(&self) -> u64 {
+        self.samples
+    }
+
+    /// Latest simulation time in the trace, in milliseconds.
+    pub fn span_ms(&self) -> u64 {
+        self.span_ms
+    }
+
+    /// Renders the full report: a metric table, then an event table when
+    /// events are present.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut metrics = Table::new(vec![
+            "metric", "n", "mean", "std", "min", "p50", "p95", "max",
+        ]);
+        metrics.title(format!(
+            "{} samples over {} ms across {} metrics",
+            self.samples,
+            self.span_ms,
+            self.metrics.len()
+        ));
+        for digest in self.metrics.values() {
+            metrics.row(vec![
+                digest.name.clone(),
+                digest.stats.count().to_string(),
+                fmt_f64(digest.stats.mean(), 3),
+                fmt_f64(digest.stats.population_std_dev(), 3),
+                fmt_f64(digest.stats.min(), 3),
+                fmt_f64(digest.summary.median(), 3),
+                fmt_f64(digest.summary.percentile(95.0), 3),
+                fmt_f64(digest.stats.max(), 3),
+            ]);
+        }
+        out.push_str(&metrics.render());
+        if !self.events.is_empty() {
+            let mut events = Table::new(vec!["event", "count", "sources", "first", "last"]);
+            events.title("events");
+            for digest in self.events.values() {
+                events.row(vec![
+                    digest.kind.clone(),
+                    digest.count.to_string(),
+                    digest.sources.join(" "),
+                    format!("{}ms", digest.first_ms),
+                    format!("{}ms", digest.last_ms),
+                ]);
+            }
+            out.push('\n');
+            out.push_str(&events.render());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::codec::{parse, Format};
+
+    #[test]
+    fn report_digests_metrics_and_events() {
+        let trace = "{\"t\":0,\"m\":\"b.y\",\"v\":10}\n\
+                     {\"t\":0,\"m\":\"a.x\",\"v\":1}\n\
+                     {\"t\":100,\"m\":\"a.x\",\"v\":3}\n\
+                     {\"t\":100,\"e\":\"shed\",\"s\":\"rack-01\",\"v\":4}\n\
+                     {\"t\":200,\"e\":\"shed\",\"s\":\"rack-00\",\"v\":2}\n";
+        let report = TelemetryReport::from_records(&parse(trace, Format::Jsonl).unwrap());
+        assert_eq!(report.metric_names(), vec!["a.x", "b.y"], "sorted");
+        assert_eq!(report.sample_count(), 3);
+        assert_eq!(report.span_ms(), 200);
+        let ax = report.metric("a.x").unwrap();
+        assert_eq!(ax.stats.count(), 2);
+        assert_eq!(ax.stats.mean(), 2.0);
+        assert_eq!(ax.summary.median(), 2.0);
+        let sheds: Vec<_> = report.events().collect();
+        assert_eq!(sheds.len(), 1);
+        assert_eq!(sheds[0].count, 2);
+        assert_eq!(sheds[0].sources, vec!["rack-00", "rack-01"]);
+        assert_eq!(sheds[0].first_ms, 100);
+        assert_eq!(sheds[0].last_ms, 200);
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let trace = "{\"t\":0,\"m\":\"g\",\"v\":1.5}\n{\"t\":50,\"e\":\"wake\",\"s\":\"shedder\",\"v\":1}\n";
+        let records = parse(trace, Format::Jsonl).unwrap();
+        let a = TelemetryReport::from_records(&records).render();
+        let b = TelemetryReport::from_records(&records).render();
+        assert_eq!(a, b);
+        assert!(a.contains("g"));
+        assert!(a.contains("wake"));
+    }
+}

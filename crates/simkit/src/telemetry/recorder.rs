@@ -1,0 +1,243 @@
+//! The [`Recorder`] trait and its in-memory implementations.
+//!
+//! A recorder receives the per-tick record stream. The two in-memory
+//! implementations cover the two simulation modes:
+//!
+//! * [`NullRecorder`] — drops everything; `enabled()` is `false` so call
+//!   sites can skip even *computing* telemetry values. This is the fast
+//!   path that keeps an instrumented hot loop within noise of an
+//!   uninstrumented one.
+//! * [`RingRecorder`] — a bounded ring buffer that evicts the oldest
+//!   record when full and counts what it dropped. Sweeps record into one
+//!   ring per scenario, then serialize after the sweep, which is how
+//!   parallel telemetry stays byte-identical to serial.
+//!
+//! Streaming file sinks ([`JsonlRecorder`](crate::telemetry::JsonlRecorder),
+//! [`CsvRecorder`](crate::telemetry::CsvRecorder)) live in
+//! [`codec`](crate::telemetry::codec).
+
+use std::collections::VecDeque;
+
+use crate::telemetry::record::{EventKind, EventRecord, Record, Sample};
+use crate::telemetry::MetricId;
+use crate::time::SimTime;
+
+/// Sink for the telemetry record stream.
+///
+/// Implementations must preserve per-call ordering (records arrive
+/// already ordered within a tick) and must not inject wall-clock time —
+/// everything a recorder stores derives from [`SimTime`] and the values
+/// it is handed.
+pub trait Recorder {
+    /// `false` if this recorder discards everything; emitters should skip
+    /// assembling records when so.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Records one metric observation.
+    fn record_sample(&mut self, time: SimTime, metric: MetricId, value: f64);
+
+    /// Records one typed event.
+    fn record_event(&mut self, time: SimTime, kind: EventKind, source: &str, value: f64);
+}
+
+/// A recorder that drops everything, as cheaply as possible.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record_sample(&mut self, _time: SimTime, _metric: MetricId, _value: f64) {}
+
+    fn record_event(&mut self, _time: SimTime, _kind: EventKind, _source: &str, _value: f64) {}
+}
+
+/// Bounded in-memory trace: keeps the most recent `capacity` records,
+/// evicting the oldest and counting drops.
+///
+/// # Example
+///
+/// ```
+/// use simkit::telemetry::{MetricRegistry, Recorder, RingRecorder};
+/// use simkit::time::SimTime;
+///
+/// let mut reg = MetricRegistry::new();
+/// let m = reg.register_gauge("g");
+/// let mut ring = RingRecorder::new(2);
+/// for i in 0..3 {
+///     ring.record_sample(SimTime::from_millis(i), m, i as f64);
+/// }
+/// assert_eq!(ring.len(), 2);
+/// assert_eq!(ring.dropped(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RingRecorder {
+    records: VecDeque<Record>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl RingRecorder {
+    /// Creates a ring holding at most `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring recorder needs capacity >= 1");
+        RingRecorder {
+            records: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, record: Record) {
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(record);
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` if nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// How many records were evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> impl ExactSizeIterator<Item = &Record> {
+        self.records.iter()
+    }
+
+    /// Consumes the ring, returning the retained records oldest first.
+    pub fn into_records(self) -> Vec<Record> {
+        self.records.into()
+    }
+}
+
+impl Recorder for RingRecorder {
+    fn record_sample(&mut self, time: SimTime, metric: MetricId, value: f64) {
+        self.push(Record::Sample(Sample {
+            time,
+            metric,
+            value,
+        }));
+    }
+
+    fn record_event(&mut self, time: SimTime, kind: EventKind, source: &str, value: f64) {
+        self.push(Record::Event(EventRecord {
+            time,
+            kind,
+            source: source.to_string(),
+            value,
+        }));
+    }
+}
+
+/// A clonable, comparable recorder slot for embedding in simulation
+/// state.
+///
+/// `ClusterSim` derives `Clone` (sweeps clone a template sim per
+/// scenario), which rules out `Box<dyn Recorder>` fields; this enum is
+/// the concrete set of in-memory sinks a simulation can own. File sinks
+/// are not embeddable — record to a ring, then serialize the dump.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum TelemetrySink {
+    /// Discard everything (the fast path).
+    #[default]
+    Null,
+    /// Retain records in a bounded ring.
+    Ring(RingRecorder),
+}
+
+impl TelemetrySink {
+    /// The retained records, if this sink retains any.
+    pub fn records(&self) -> Option<&RingRecorder> {
+        match self {
+            TelemetrySink::Null => None,
+            TelemetrySink::Ring(ring) => Some(ring),
+        }
+    }
+}
+
+impl Recorder for TelemetrySink {
+    fn enabled(&self) -> bool {
+        match self {
+            TelemetrySink::Null => false,
+            TelemetrySink::Ring(_) => true,
+        }
+    }
+
+    fn record_sample(&mut self, time: SimTime, metric: MetricId, value: f64) {
+        if let TelemetrySink::Ring(ring) = self {
+            ring.record_sample(time, metric, value);
+        }
+    }
+
+    fn record_event(&mut self, time: SimTime, kind: EventKind, source: &str, value: f64) {
+        if let TelemetrySink::Ring(ring) = self {
+            ring.record_event(time, kind, source, value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::MetricRegistry;
+
+    #[test]
+    fn null_recorder_is_disabled() {
+        let mut null = NullRecorder;
+        assert!(!null.enabled());
+        let mut reg = MetricRegistry::new();
+        let m = reg.register_gauge("g");
+        null.record_sample(SimTime::ZERO, m, 1.0);
+        null.record_event(SimTime::ZERO, EventKind::Shed, "rack-00", 1.0);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut reg = MetricRegistry::new();
+        let m = reg.register_gauge("g");
+        let mut ring = RingRecorder::new(3);
+        for i in 0..5u64 {
+            ring.record_sample(SimTime::from_millis(i), m, i as f64);
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let first = ring.records().next().unwrap().time().as_millis();
+        assert_eq!(first, 2, "oldest two records were evicted");
+    }
+
+    #[test]
+    fn sink_dispatches_by_variant() {
+        let mut reg = MetricRegistry::new();
+        let m = reg.register_gauge("g");
+        let mut sink = TelemetrySink::default();
+        assert!(!sink.enabled());
+        sink.record_sample(SimTime::ZERO, m, 1.0);
+        assert!(sink.records().is_none());
+
+        let mut sink = TelemetrySink::Ring(RingRecorder::new(8));
+        assert!(sink.enabled());
+        sink.record_sample(SimTime::ZERO, m, 1.0);
+        sink.record_event(SimTime::ZERO, EventKind::BreakerTrip, "rack-00", 1.0);
+        assert_eq!(sink.records().unwrap().len(), 2);
+    }
+}

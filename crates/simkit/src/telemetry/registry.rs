@@ -1,0 +1,352 @@
+//! Metric interning and aggregate instruments.
+//!
+//! A [`MetricRegistry`] maps stable metric *names* to small integer
+//! [`MetricId`]s once, up front, so the hot simulation loop never hashes
+//! or compares strings — emitting a sample is an array index. The
+//! registry also owns the *aggregate* face of each metric (a counter
+//! total, the last gauge value, a fixed-bucket histogram plus running
+//! [`OnlineStats`]), which survives even when no per-tick trace is being
+//! recorded.
+//!
+//! The registry is deliberately lock-free in the cheap sense: it is a
+//! plain `&mut` structure. Parallel sweeps give each worker its own
+//! registry and [`merge`](MetricRegistry::merge) them afterwards — the
+//! same pattern the sweep runner uses for results — instead of sharing
+//! one registry behind a mutex in the hot loop.
+
+use std::collections::BTreeMap;
+
+use crate::stats::{Histogram, OnlineStats};
+
+/// Interned handle for one registered metric.
+///
+/// Ids are dense indices handed out in registration order, so iterating
+/// metrics by id is deterministic and cheap. A registry holds at most
+/// 65 536 metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MetricId(u16);
+
+impl MetricId {
+    /// The dense index of this metric within its registry.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What kind of instrument a metric is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing event count.
+    Counter,
+    /// Last-value instrument (per-tick series are gauges).
+    Gauge,
+    /// Fixed-bucket distribution of observations.
+    Histogram,
+}
+
+impl MetricKind {
+    /// Short tag used in rendered output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Aggregate state of one metric.
+#[derive(Debug, Clone, PartialEq)]
+struct Instrument {
+    kind: MetricKind,
+    counter: u64,
+    gauge: f64,
+    histogram: Option<Histogram>,
+    stats: OnlineStats,
+}
+
+impl Instrument {
+    fn new(kind: MetricKind, histogram: Option<Histogram>) -> Self {
+        Instrument {
+            kind,
+            counter: 0,
+            gauge: 0.0,
+            histogram,
+            stats: OnlineStats::new(),
+        }
+    }
+}
+
+/// Interning metric registry with aggregate instruments.
+///
+/// Metric names follow the workspace convention
+/// `<scope>.<quantity>[_<unit>]` (e.g. `rack-03.draw_w`,
+/// `cluster.breaker_trips`); only `[A-Za-z0-9._-]` are allowed so names
+/// embed cleanly in JSONL/CSV without escaping.
+///
+/// # Example
+///
+/// ```
+/// use simkit::telemetry::{MetricKind, MetricRegistry};
+///
+/// let mut reg = MetricRegistry::new();
+/// let trips = reg.register_counter("cluster.breaker_trips");
+/// let soc = reg.register_gauge("rack-00.soc");
+/// reg.inc(trips, 1);
+/// reg.set_gauge(soc, 0.85);
+/// assert_eq!(reg.counter(trips), 1);
+/// assert_eq!(reg.gauge(soc), 0.85);
+/// assert_eq!(reg.kind(soc), MetricKind::Gauge);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricRegistry {
+    names: Vec<String>,
+    instruments: Vec<Instrument>,
+    by_name: BTreeMap<String, MetricId>,
+}
+
+impl MetricRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricRegistry::default()
+    }
+
+    fn register(&mut self, name: &str, kind: MetricKind, histogram: Option<Histogram>) -> MetricId {
+        assert!(
+            !name.is_empty()
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-')),
+            "metric name {name:?} must be non-empty [A-Za-z0-9._-]"
+        );
+        if let Some(&id) = self.by_name.get(name) {
+            assert_eq!(
+                self.instruments[id.index()].kind,
+                kind,
+                "metric {name:?} re-registered with a different kind"
+            );
+            return id;
+        }
+        assert!(self.names.len() < u16::MAX as usize, "metric registry full");
+        let id = MetricId(self.names.len() as u16);
+        self.names.push(name.to_string());
+        self.instruments.push(Instrument::new(kind, histogram));
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Registers (or looks up) a counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is invalid or already registered with a
+    /// different kind.
+    pub fn register_counter(&mut self, name: &str) -> MetricId {
+        self.register(name, MetricKind::Counter, None)
+    }
+
+    /// Registers (or looks up) a gauge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is invalid or already registered with a
+    /// different kind.
+    pub fn register_gauge(&mut self, name: &str) -> MetricId {
+        self.register(name, MetricKind::Gauge, None)
+    }
+
+    /// Registers (or looks up) a fixed-bucket histogram over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is invalid, already registered with a different
+    /// kind, `lo >= hi`, or `buckets == 0`.
+    pub fn register_histogram(&mut self, name: &str, lo: f64, hi: f64, buckets: usize) -> MetricId {
+        self.register(
+            name,
+            MetricKind::Histogram,
+            Some(Histogram::new(lo, hi, buckets)),
+        )
+    }
+
+    /// Looks up a metric by name.
+    pub fn id(&self, name: &str) -> Option<MetricId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The name of a metric.
+    pub fn name(&self, id: MetricId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// All metric names, in id (registration) order.
+    pub fn names(&self) -> impl ExactSizeIterator<Item = &str> {
+        self.names.iter().map(String::as_str)
+    }
+
+    /// All ids, in registration order.
+    pub fn ids(&self) -> impl ExactSizeIterator<Item = MetricId> {
+        (0..self.names.len() as u16).map(MetricId)
+    }
+
+    /// The kind of a metric.
+    pub fn kind(&self, id: MetricId) -> MetricKind {
+        self.instruments[id.index()].kind
+    }
+
+    /// Adds `n` to a counter.
+    pub fn inc(&mut self, id: MetricId, n: u64) {
+        let inst = &mut self.instruments[id.index()];
+        debug_assert_eq!(inst.kind, MetricKind::Counter);
+        inst.counter += n;
+    }
+
+    /// Sets a gauge's current value (also feeds its running statistics).
+    pub fn set_gauge(&mut self, id: MetricId, value: f64) {
+        let inst = &mut self.instruments[id.index()];
+        debug_assert_eq!(inst.kind, MetricKind::Gauge);
+        inst.gauge = value;
+        inst.stats.push(value);
+    }
+
+    /// Records one observation into a histogram.
+    pub fn observe(&mut self, id: MetricId, value: f64) {
+        let inst = &mut self.instruments[id.index()];
+        debug_assert_eq!(inst.kind, MetricKind::Histogram);
+        if let Some(h) = &mut inst.histogram {
+            h.push(value);
+        }
+        inst.stats.push(value);
+    }
+
+    /// A counter's total.
+    pub fn counter(&self, id: MetricId) -> u64 {
+        self.instruments[id.index()].counter
+    }
+
+    /// A gauge's last value.
+    pub fn gauge(&self, id: MetricId) -> f64 {
+        self.instruments[id.index()].gauge
+    }
+
+    /// A histogram metric's buckets, if `id` is a histogram.
+    pub fn histogram(&self, id: MetricId) -> Option<&Histogram> {
+        self.instruments[id.index()].histogram.as_ref()
+    }
+
+    /// Running statistics of every observation/set on this metric.
+    pub fn stats(&self, id: MetricId) -> &OnlineStats {
+        &self.instruments[id.index()].stats
+    }
+
+    /// Merges another registry's aggregates into this one (parallel
+    /// sweep reduction): counters add, gauges take `other`'s last value,
+    /// histogram buckets add, statistics merge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registries were not built from the same metric set
+    /// (names, order and kinds must match).
+    pub fn merge(&mut self, other: &MetricRegistry) {
+        assert_eq!(
+            self.names, other.names,
+            "registries have different metric sets"
+        );
+        for (mine, theirs) in self.instruments.iter_mut().zip(&other.instruments) {
+            assert_eq!(mine.kind, theirs.kind, "metric kind mismatch in merge");
+            mine.counter += theirs.counter;
+            if theirs.stats.count() > 0 {
+                mine.gauge = theirs.gauge;
+            }
+            if let (Some(h), Some(o)) = (&mut mine.histogram, &theirs.histogram) {
+                h.merge(o);
+            }
+            mine.stats.merge(&theirs.stats);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable_and_dense() {
+        let mut reg = MetricRegistry::new();
+        let a = reg.register_gauge("a.x");
+        let b = reg.register_counter("b.y");
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(
+            reg.register_gauge("a.x"),
+            a,
+            "re-registering returns the same id"
+        );
+        assert_eq!(reg.id("b.y"), Some(b));
+        assert_eq!(reg.id("missing"), None);
+        assert_eq!(reg.names().collect::<Vec<_>>(), ["a.x", "b.y"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_conflict_rejected() {
+        let mut reg = MetricRegistry::new();
+        reg.register_gauge("a.x");
+        reg.register_counter("a.x");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be non-empty")]
+    fn bad_name_rejected() {
+        MetricRegistry::new().register_gauge("has space");
+    }
+
+    #[test]
+    fn instruments_accumulate() {
+        let mut reg = MetricRegistry::new();
+        let c = reg.register_counter("c");
+        let g = reg.register_gauge("g");
+        let h = reg.register_histogram("h", 0.0, 10.0, 5);
+        reg.inc(c, 2);
+        reg.inc(c, 3);
+        reg.set_gauge(g, 1.0);
+        reg.set_gauge(g, 2.0);
+        reg.observe(h, 3.0);
+        reg.observe(h, 9.0);
+        assert_eq!(reg.counter(c), 5);
+        assert_eq!(reg.gauge(g), 2.0);
+        assert_eq!(reg.histogram(h).unwrap().counts().iter().sum::<u64>(), 2);
+        assert_eq!(reg.stats(g).count(), 2);
+        assert_eq!(reg.stats(g).mean(), 1.5);
+    }
+
+    #[test]
+    fn merge_reduces_worker_registries() {
+        let build = || {
+            let mut reg = MetricRegistry::new();
+            let c = reg.register_counter("c");
+            let h = reg.register_histogram("h", 0.0, 10.0, 2);
+            (reg, c, h)
+        };
+        let (mut a, c, h) = build();
+        let (mut b, _, _) = build();
+        a.inc(c, 1);
+        a.observe(h, 1.0);
+        b.inc(c, 4);
+        b.observe(h, 9.0);
+        a.merge(&b);
+        assert_eq!(a.counter(c), 5);
+        assert_eq!(a.histogram(h).unwrap().counts(), &[1, 1]);
+        assert_eq!(a.stats(h).count(), 2);
+    }
+}
