@@ -130,6 +130,13 @@ impl TwoPhaseAttack {
         self.start
     }
 
+    /// The Phase-I give-up timeout: the attacker stops draining and
+    /// transitions to Phase II at `start + max_drain` even without an
+    /// observed capping signal.
+    pub fn max_drain(&self) -> SimDuration {
+        self.max_drain
+    }
+
     /// When Phase II began, if it has.
     pub fn spiking_since(&self) -> Option<SimTime> {
         self.spike_start

@@ -63,16 +63,22 @@ impl AutonomyEstimator {
         }
     }
 
-    /// Standard deviation of the trials in seconds.
+    /// Standard deviation of the trials in seconds. With fewer than two
+    /// trials there is no spread information yet, so this reports 0.
     pub fn dispersion_secs(&self) -> f64 {
         self.stats.sample_std_dev()
     }
 
     /// Coefficient of variation (stddev / mean) — the attacker's relative
     /// uncertainty. Higher means the defense is successfully adding noise.
+    ///
+    /// With fewer than two trials (or a non-positive mean) the attacker
+    /// has learned nothing about the spread, so this clamps to
+    /// `f64::INFINITY` — maximal uncertainty — rather than reporting the
+    /// spuriously perfect `0.0` a single observation would imply.
     pub fn relative_dispersion(&self) -> f64 {
         let mean = self.stats.mean();
-        if mean <= 0.0 {
+        if self.stats.count() < 2 || mean <= 0.0 {
             f64::INFINITY
         } else {
             self.dispersion_secs() / mean
@@ -114,6 +120,33 @@ mod tests {
         assert_eq!(e.trials(), 0);
         assert!(!e.is_confident(1.0));
         assert_eq!(e.drain_budget(), None);
+        assert_eq!(e.dispersion_secs(), 0.0);
+        assert_eq!(e.relative_dispersion(), f64::INFINITY);
+    }
+
+    #[test]
+    fn single_trial_is_maximally_uncertain() {
+        let mut e = AutonomyEstimator::new();
+        e.push_trial(SimDuration::from_secs(50));
+        assert_eq!(e.trials(), 1);
+        // One observation says nothing about spread: the relative
+        // dispersion must not read as perfect confidence.
+        assert_eq!(e.relative_dispersion(), f64::INFINITY);
+        assert_eq!(e.dispersion_secs(), 0.0);
+        assert!(!e.is_confident(1.0));
+        // The point estimate itself is still usable.
+        assert_eq!(e.estimate(), Some(SimDuration::from_secs(50)));
+        assert_eq!(e.drain_budget(), Some(SimDuration::from_secs(50)));
+    }
+
+    #[test]
+    fn zero_duration_trials_stay_infinite() {
+        let mut e = AutonomyEstimator::new();
+        e.push_trial(SimDuration::ZERO);
+        e.push_trial(SimDuration::ZERO);
+        e.push_trial(SimDuration::ZERO);
+        assert_eq!(e.relative_dispersion(), f64::INFINITY);
+        assert!(!e.is_confident(f64::MAX));
     }
 
     #[test]

@@ -227,6 +227,80 @@ impl std::fmt::Display for AttackScenario {
     }
 }
 
+/// Ground-truth attack windows for labeling a simulated timeline —
+/// which instants a perfect detector *should* flag.
+///
+/// Produced by [`AttackScenario::ground_truth`]; consumed by the
+/// detector-evaluation harness to score verdict streams (confusion
+/// matrices, detection latency).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AttackWindows {
+    /// The Phase-I drain window `[start, end)`, if the scenario has a
+    /// drain phase at all.
+    pub drain: Option<(SimTime, SimTime)>,
+    /// Every Phase-II spike window `[start, end)` before the horizon, in
+    /// time order.
+    pub spikes: Vec<(SimTime, SimTime)>,
+}
+
+impl AttackWindows {
+    /// `true` when `t` falls inside the drain window or any spike window.
+    pub fn is_attack(&self, t: SimTime) -> bool {
+        self.is_drain(t) || self.is_spike(t)
+    }
+
+    /// `true` when `t` falls inside the Phase-I drain window.
+    pub fn is_drain(&self, t: SimTime) -> bool {
+        self.drain.is_some_and(|(s, e)| t >= s && t < e)
+    }
+
+    /// `true` when `t` falls inside a Phase-II spike window.
+    pub fn is_spike(&self, t: SimTime) -> bool {
+        self.spikes.iter().any(|&(s, e)| t >= s && t < e)
+    }
+
+    /// Like [`AttackWindows::is_attack`], with every window end extended
+    /// by `grace` — detectors legitimately stay elevated briefly after a
+    /// spike ends, and scoring that decay as a false positive would be
+    /// unfair.
+    pub fn is_attack_with_grace(&self, t: SimTime, grace: SimDuration) -> bool {
+        self.drain.is_some_and(|(s, e)| t >= s && t < e + grace)
+            || self.spikes.iter().any(|&(s, e)| t >= s && t < e + grace)
+    }
+
+    /// Number of spike windows before the horizon.
+    pub fn spike_count(&self) -> usize {
+        self.spikes.len()
+    }
+}
+
+impl AttackScenario {
+    /// The nominal ground-truth timeline of this scenario started at
+    /// `start` and observed until `horizon`: the Phase-I drain window
+    /// followed by every spike window of the Phase-II train.
+    ///
+    /// "Nominal" because a live attacker may transition to Phase II
+    /// early when it observes capping; the windows here assume the
+    /// attacker runs its full drain budget. For [`AttackScenario::immediate`]
+    /// scenarios (no drain phase) the timeline is exact.
+    pub fn ground_truth(&self, start: SimTime, horizon: SimTime) -> AttackWindows {
+        let max_drain = self.build(start).max_drain();
+        let transition = start + max_drain;
+        let drain = (!max_drain.is_zero()).then_some((start, transition));
+        let train = self.train();
+        let mut spikes = Vec::new();
+        for k in 0.. {
+            let offset = train.spike_start(k).saturating_since(SimTime::ZERO);
+            let s = transition + offset;
+            if s >= horizon {
+                break;
+            }
+            spikes.push((s, s + train.width()));
+        }
+        AttackWindows { drain, spikes }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -288,5 +362,41 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn zero_nodes_rejected() {
         AttackScenario::new(AttackStyle::Dense, VirusClass::CpuIntensive, 0);
+    }
+
+    #[test]
+    fn ground_truth_marks_drain_then_spikes() {
+        // Sparse: 1/min, 1 s wide; default drain budget is 5 minutes.
+        let sc = AttackScenario::new(AttackStyle::Sparse, VirusClass::CpuIntensive, 2);
+        let start = SimTime::from_secs(30);
+        let w = sc.ground_truth(start, SimTime::from_mins(10));
+        let (ds, de) = w.drain.expect("has a drain phase");
+        assert_eq!(ds, start);
+        assert_eq!(de, start + SimDuration::from_mins(5));
+        assert!(w.is_drain(SimTime::from_mins(3)));
+        assert!(!w.is_drain(SimTime::from_secs(29)));
+        // First spike lands right at the transition; one per minute after.
+        assert_eq!(w.spikes[0].0, de);
+        assert_eq!(w.spikes[1].0, de + SimDuration::from_secs(60));
+        assert!(w.is_spike(de + SimDuration::from_millis(500)));
+        assert!(!w.is_spike(de + SimDuration::from_secs(2)));
+        assert!(w.spikes.iter().all(|&(s, _)| s < SimTime::from_mins(10)));
+    }
+
+    #[test]
+    fn immediate_ground_truth_has_no_drain() {
+        let sc = AttackScenario::new(AttackStyle::Sparse, VirusClass::CpuIntensive, 1)
+            .with_frequency(2.0)
+            .immediate();
+        let w = sc.ground_truth(SimTime::ZERO, SimTime::from_mins(2));
+        assert_eq!(w.drain, None);
+        // 2/min over 2 minutes: spikes at 0 s, 30 s, 60 s, 90 s.
+        assert_eq!(w.spike_count(), 4);
+        assert!(w.is_attack(SimTime::ZERO));
+        assert!(!w.is_attack(SimTime::from_secs(10)));
+        // Grace extends window ends, not starts.
+        let grace = SimDuration::from_millis(300);
+        assert!(w.is_attack_with_grace(SimTime::from_millis(1200), grace));
+        assert!(!w.is_attack_with_grace(SimTime::from_secs(29), grace));
     }
 }

@@ -2,7 +2,8 @@
 //! "reproduce the whole evaluation section" entry point.
 
 use pad::experiments::{
-    background, fig05, fig06, fig07, fig08, fig12, fig13, fig14, fig15, fig16, fig17, table1,
+    background, detect_rates, fig05, fig06, fig07, fig08, fig12, fig13, fig14, fig15, fig16, fig17,
+    table1,
 };
 
 fn main() {
@@ -15,6 +16,7 @@ fn main() {
     println!("{}", fig07::run(fidelity).render());
     println!("{}", fig08::run(fidelity).render());
     println!("{}", table1::run(fidelity).render());
+    println!("{}", detect_rates::run(fidelity).render());
     println!("{}", fig12::run(fidelity).render());
     println!("{}", fig13::run(fidelity).render());
     println!("{}", fig14::run(fidelity).render());

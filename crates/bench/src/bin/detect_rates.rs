@@ -1,0 +1,12 @@
+//! Regenerates the Table I extension: streaming detector bank vs
+//! interval metering, plus baseline false-positive rate and latency.
+
+fn main() {
+    let fidelity = pad_bench::fidelity_from_args();
+    pad_bench::banner(
+        "detect_rates",
+        "Table I extension (detector bank)",
+        fidelity,
+    );
+    print!("{}", pad::experiments::detect_rates::run(fidelity).render());
+}

@@ -8,6 +8,7 @@
 //! padsim --scheme pad --style dense --class cpu --nodes 4 --duration-mins 60
 //! padsim --scheme all --jobs 4 --telemetry out/ --telemetry-format jsonl
 //! padsim inspect out/pad.jsonl
+//! padsim detect --replay out/pad.jsonl
 //! ```
 
 use std::path::{Path, PathBuf};
@@ -15,14 +16,20 @@ use std::sync::Arc;
 
 use attack::scenario::{AttackScenario, AttackStyle};
 use attack::virus::VirusClass;
+use pad::detect::{
+    confusion, spike_detection_rate, spike_latencies, threshold_roc, DetectConfig, SimDetectors,
+    TickVerdict,
+};
+use pad::experiments::detect_rates::{GRACE, LEAD_IN};
+use pad::experiments::{testbed_config, testbed_trace};
 use pad::schemes::Scheme;
 use pad::sim::{ClusterSim, EmergencyAction, SimConfig};
 use pad::sweep::{AttackSpec, ConfigSweep, SurvivalCase, Victim};
 use powerinfra::server::ServerSpec;
-use powerinfra::topology::ClusterTopology;
+use powerinfra::topology::{ClusterTopology, RackId};
 use simkit::heatmap::Heatmap;
 use simkit::table::Table;
-use simkit::telemetry::codec::{parse, Format};
+use simkit::telemetry::codec::{parse, Format, ParsedRecord};
 use simkit::telemetry::inspect::TelemetryReport;
 use simkit::telemetry::TelemetryDump;
 use simkit::time::{SimDuration, SimTime};
@@ -38,11 +45,27 @@ padsim — simulate power-virus attacks on a battery-backed data center
 USAGE:
     padsim [OPTIONS]
     padsim inspect <trace-file> [--names] [--format jsonl|csv]
+    padsim detect [--replay <trace-file>] [DETECT OPTIONS]
 
 SUBCOMMANDS:
     inspect <file>                          summarize a recorded telemetry trace
                                             (per-metric stats, event counts);
                                             --names lists the metric names only
+    detect                                  run the streaming detector bank:
+                                            with --replay <file> it replays a
+                                            recorded trace (rack count inferred
+                                            from rack-NN.draw_w names, or pass
+                                            --racks); without it, a live labeled
+                                            attack on the Sec. V testbed with a
+                                            confusion matrix, per-spike latency,
+                                            a live-vs-replay determinism check,
+                                            and (with --roc) a threshold sweep.
+                                            Options: --replay <file>
+                                            --format <jsonl|csv> --racks <N>
+                                            --style <dense|sparse>
+                                            --class <cpu|mem|io> --nodes <N>
+                                            --duration-mins <N> --seed <N>
+                                            --jobs <N> --roc
 
 OPTIONS:
     --scheme <conv|ps|pspc|udeb|vdeb|pad|all>  defense scheme   [default: pad]
@@ -133,6 +156,10 @@ fn parse_args() -> Args {
     if it.peek().map(String::as_str) == Some("inspect") {
         it.next();
         run_inspect(it);
+    }
+    if it.peek().map(String::as_str) == Some("detect") {
+        it.next();
+        run_detect(it);
     }
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -253,6 +280,227 @@ fn run_inspect(mut it: impl Iterator<Item = String>) -> ! {
         }
     } else {
         print!("{}", report.render());
+    }
+    std::process::exit(0);
+}
+
+/// Rack count implied by a trace's `rack-NN.draw_w` sample names.
+fn infer_racks(records: &[ParsedRecord]) -> usize {
+    let mut max: Option<usize> = None;
+    for r in records.iter().filter(|r| !r.is_event) {
+        if let Some(num) = r
+            .name
+            .strip_prefix("rack-")
+            .and_then(|rest| rest.strip_suffix(".draw_w"))
+        {
+            if let Ok(n) = num.parse::<usize>() {
+                max = Some(max.map_or(n, |m| m.max(n)));
+            }
+        }
+    }
+    match max {
+        Some(m) => m + 1,
+        None => fail("trace has no rack-NN.draw_w samples; pass --racks <N>"),
+    }
+}
+
+/// Prints a detector-bank firing log, or a placeholder when quiet.
+fn print_firings(stack: &SimDetectors) {
+    let firings = stack.bank().render_firings();
+    if firings.is_empty() {
+        println!("detector firings: none");
+    } else {
+        println!(
+            "detector firings ({} rising edges; time_ms label score):",
+            stack.bank().firings().len()
+        );
+        print!("{firings}");
+    }
+}
+
+/// `padsim detect`: run the streaming detector bank over a recorded
+/// trace (`--replay`), or live on the §V testbed against a labeled
+/// attack — reporting the confusion matrix, per-spike latency, a
+/// live-vs-replay determinism check, and optionally a threshold ROC.
+fn run_detect(mut it: impl Iterator<Item = String>) -> ! {
+    let mut replay: Option<PathBuf> = None;
+    let mut format: Option<Format> = None;
+    let mut racks_override: Option<usize> = None;
+    let mut style = AttackStyle::Sparse;
+    let mut class = VirusClass::CpuIntensive;
+    let mut nodes = 1usize;
+    let mut duration_mins = 5u64;
+    let mut seed = 42u64;
+    let mut jobs = 1usize;
+    let mut roc = false;
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{name} requires a value")))
+        };
+        match flag.as_str() {
+            "--replay" => replay = Some(PathBuf::from(value("--replay"))),
+            "--format" => {
+                let name = value("--format");
+                format = Some(
+                    Format::from_name(&name)
+                        .unwrap_or_else(|| fail(&format!("unknown format {name:?}"))),
+                );
+            }
+            "--racks" => racks_override = Some(parse_num(&value("--racks"), "--racks").max(1)),
+            "--style" => {
+                style = match value("--style").to_lowercase().as_str() {
+                    "dense" => AttackStyle::Dense,
+                    "sparse" => AttackStyle::Sparse,
+                    other => fail(&format!("unknown style {other:?}")),
+                }
+            }
+            "--class" => {
+                class = match value("--class").to_lowercase().as_str() {
+                    "cpu" => VirusClass::CpuIntensive,
+                    "mem" => VirusClass::MemIntensive,
+                    "io" => VirusClass::IoIntensive,
+                    other => fail(&format!("unknown class {other:?}")),
+                }
+            }
+            "--nodes" => nodes = parse_num(&value("--nodes"), "--nodes").max(1),
+            "--duration-mins" => {
+                duration_mins = parse_num(&value("--duration-mins"), "--duration-mins") as u64
+            }
+            "--seed" => seed = parse_num(&value("--seed"), "--seed") as u64,
+            "--jobs" => jobs = parse_num(&value("--jobs"), "--jobs").max(1),
+            "--roc" => roc = true,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => fail(&format!("unknown detect argument {other:?}")),
+        }
+    }
+
+    // Replay mode: feed a recorded trace straight through the bank.
+    if let Some(path) = replay {
+        let format = format.unwrap_or_else(|| Format::from_path(&path.to_string_lossy()));
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", path.display())));
+        let records = match parse(&text, format) {
+            Ok(records) => records,
+            Err(e) => fail(&format!("{}: {e}", path.display())),
+        };
+        let racks = racks_override.unwrap_or_else(|| infer_racks(&records));
+        let mut stack = SimDetectors::new(racks, DetectConfig::default());
+        let verdicts = stack.replay(&records);
+        let fired = verdicts.iter().filter(|v| v.fused.fired).count();
+        println!(
+            "replayed {} record(s) over {} rack(s): {} tick(s), {} fused-fired",
+            records.len(),
+            racks,
+            verdicts.len(),
+            fired
+        );
+        print_firings(&stack);
+        std::process::exit(0);
+    }
+
+    // Live mode: the §V testbed under a labeled attack. Phase I is
+    // skipped so the scenario's ground-truth spike timeline is exact.
+    let config = testbed_config(Scheme::Conv);
+    let racks = config.topology.racks();
+    let scenario = AttackScenario::new(style, class, nodes).immediate();
+    let attack_at = SimTime::ZERO + LEAD_IN;
+    let horizon = attack_at + SimDuration::from_mins(duration_mins);
+    let windows = scenario.ground_truth(attack_at, horizon);
+    let mut sim = match ClusterSim::new(config, testbed_trace(seed)) {
+        Ok(sim) => sim,
+        Err(e) => fail(&e),
+    };
+    sim.reseed_noise(seed ^ 0x5EED);
+    sim.enable_detection(DetectConfig::default());
+    sim.enable_telemetry(DEFAULT_TELEMETRY_CAPACITY);
+    sim.set_attack(scenario, RackId(0), attack_at);
+    println!(
+        "padsim detect: {} live on the testbed rack, attack at t={attack_at}, {} ground-truth spike(s)",
+        scenario.label(),
+        windows.spike_count()
+    );
+
+    let dt = SimDuration::from_millis(100);
+    let mut t = SimTime::ZERO;
+    let mut verdicts = Vec::new();
+    while t < horizon {
+        sim.step(dt);
+        verdicts.push(TickVerdict {
+            time: t,
+            fused: sim.detection().expect("detection enabled").fused(),
+        });
+        t += dt;
+    }
+
+    let m = confusion(&verdicts, &windows, GRACE);
+    let rate = spike_detection_rate(&verdicts, &windows, GRACE);
+    println!(
+        "per-spike detection rate: {:.1}%   tick confusion: tp {} fp {} tn {} fn {} (tpr {:.1}%, fpr {:.2}%)",
+        rate * 100.0,
+        m.true_pos,
+        m.false_pos,
+        m.true_neg,
+        m.false_neg,
+        m.tpr() * 100.0,
+        m.fpr() * 100.0
+    );
+    let latencies: Vec<f64> = spike_latencies(&verdicts, &windows, GRACE)
+        .into_iter()
+        .flatten()
+        .map(|d| d.as_millis() as f64)
+        .collect();
+    if !latencies.is_empty() {
+        println!(
+            "mean detection latency: {:.0} ms over {} detected spike(s)",
+            latencies.iter().sum::<f64>() / latencies.len() as f64,
+            latencies.len()
+        );
+    }
+    let stack = sim.detection().expect("detection enabled");
+    print_firings(stack);
+
+    // Determinism check: replaying the recorded telemetry through a
+    // fresh stack must reproduce the live firing log byte for byte.
+    let live_firings = stack.bank().render_firings();
+    let dump = sim.take_telemetry().expect("telemetry enabled");
+    let records = match parse(&dump.serialize(Format::Jsonl), Format::Jsonl) {
+        Ok(records) => records,
+        Err(e) => fail(&format!("telemetry round-trip: {e}")),
+    };
+    let mut fresh = SimDetectors::new(racks, DetectConfig::default());
+    fresh.replay(&records);
+    if fresh.bank().render_firings() == live_firings {
+        println!("replay check: firing log byte-identical, live vs replayed telemetry");
+    } else {
+        println!("replay check: MISMATCH between live and replayed firing logs");
+    }
+
+    if roc {
+        let scales = [0.5, 0.75, 1.0, 1.5, 2.0, 3.0];
+        let points = threshold_roc(
+            &records,
+            racks,
+            DetectConfig::default(),
+            &windows,
+            &scales,
+            GRACE,
+            jobs,
+        );
+        let mut table = Table::new(vec!["scale", "tick tpr", "tick fpr", "spike rate"]);
+        table.title("threshold sweep — fused verdict operating points");
+        for p in &points {
+            table.row(vec![
+                format!("{:.2}", p.scale),
+                format!("{:.1}%", p.tpr * 100.0),
+                format!("{:.2}%", p.fpr * 100.0),
+                format!("{:.1}%", p.spike_rate * 100.0),
+            ]);
+        }
+        print!("{}", table.render());
     }
     std::process::exit(0);
 }

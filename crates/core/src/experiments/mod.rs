@@ -14,6 +14,7 @@
 //! | [`fig07`] | Figure 7 — failed attempt vs effective attack |
 //! | [`fig08`] | Figure 8 A/B/C — effective-attack counting sweeps |
 //! | [`table1`] | Table I — detection rate vs metering interval |
+//! | [`detect_rates`] | Table I extension — streaming detectors vs metering (not in the paper) |
 //! | [`fig12`] | Figure 12 — collected virus traces (dense/sparse) |
 //! | [`fig13`] | Figure 13 — DEB usage maps, conventional vs PAD |
 //! | [`fig14`] | Figure 14 — load shedding under cluster-wide surges |
@@ -26,6 +27,7 @@
 
 pub mod ablation;
 pub mod background;
+pub mod detect_rates;
 pub mod fig05;
 pub mod fig06;
 pub mod fig07;

@@ -35,7 +35,11 @@
 //!
 //! ## Crate map
 //!
-//! * [`policy`] — the three-level hierarchical security policy (Fig. 9);
+//! * [`policy`] — the three-level hierarchical security policy (Fig. 9),
+//!   escalation-aware via graded detection evidence;
+//! * [`detect`] — streaming attack detectors over the telemetry channels,
+//!   their fusion into policy evidence, and the labeled-scenario
+//!   evaluation harness (ROC, confusion, detection latency);
 //! * [`vdeb`] — Algorithm 1, the SOC-proportional pooled-discharge plan;
 //! * [`udeb`] — the ORing super-capacitor spike shaver and its cost model;
 //! * [`shedding`] — Level-3 emergency load shedding (≤3% of servers);
@@ -51,6 +55,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod detect;
 pub mod experiments;
 pub mod metrics;
 pub mod migration;
@@ -71,9 +76,12 @@ pub mod units {
 
 /// Convenient re-exports for typical PAD usage.
 pub mod prelude {
+    pub use crate::detect::{DetectConfig, SimDetectors, TickVerdict};
     pub use crate::metrics::{OverloadEvent, SocHistory, SurvivalReport};
     pub use crate::migration::{LoadMigrator, MigrationPlan};
-    pub use crate::policy::{PolicyInputs, SecurityLevel, SecurityPolicy, Strictness};
+    pub use crate::policy::{
+        DetectionEvidence, PolicyInputs, SecurityLevel, SecurityPolicy, Strictness,
+    };
     pub use crate::schemes::Scheme;
     pub use crate::sim::{ClusterSim, SimConfig};
     pub use crate::sweep::{AttackSpec, ConfigSweep, SurvivalCase, SurvivalOutcome, Victim};
@@ -86,8 +94,9 @@ pub mod prelude {
     pub use powerinfra::topology::RackId;
 }
 
+pub use detect::{DetectConfig, SimDetectors, TickVerdict};
 pub use metrics::{OverloadEvent, SocHistory, SurvivalReport};
-pub use policy::{SecurityLevel, SecurityPolicy, Strictness};
+pub use policy::{DetectionEvidence, SecurityLevel, SecurityPolicy, Strictness};
 pub use schemes::Scheme;
 pub use sim::{ClusterSim, SimConfig};
 pub use sweep::{ConfigSweep, SurvivalCase, SurvivalOutcome};

@@ -8,6 +8,14 @@
 //!
 //! The initial-state truth table and the transition arrows are implemented
 //! exactly as Figure 9 draws them.
+//!
+//! Beyond the paper's three physical inputs, the FSM accepts a fourth
+//! *evidence* channel from the streaming detection engine
+//! ([`pad::detect`](crate::detect)): [`DetectionEvidence`]. Fused
+//! detector verdicts escalate the policy on *statistical* evidence of an
+//! attack — before the µDEB physically empties — and hold off recovery
+//! while the evidence persists. With `DetectionEvidence::None` the FSM
+//! behaves exactly as the paper's Figure 9.
 
 /// PAD emergency level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -59,7 +67,24 @@ pub enum Strictness {
     Strict,
 }
 
-/// Boolean-ish sensor inputs of Figure 9.
+/// Attack evidence from the streaming detector bank, graded by fused
+/// verdict strength.
+///
+/// The ordering is meaningful: `None < Suspected < Confirmed`, so the
+/// policy can compare with `>=`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum DetectionEvidence {
+    /// No detector quorum is currently fired (or no bank is wired up).
+    #[default]
+    None,
+    /// The fused verdict fired: enough detectors agree something is off.
+    Suspected,
+    /// A strong quorum concurs — treat the attack as confirmed.
+    Confirmed,
+}
+
+/// Boolean-ish sensor inputs of Figure 9, plus the detector evidence
+/// channel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PolicyInputs {
     /// Virtual DEB pool has usable energy.
@@ -68,6 +93,9 @@ pub struct PolicyInputs {
     pub udeb_available: bool,
     /// A visible peak is currently identified.
     pub visible_peak: bool,
+    /// Streaming-detector evidence of an ongoing attack
+    /// ([`DetectionEvidence::None`] reproduces the paper's FSM exactly).
+    pub detection: DetectionEvidence,
 }
 
 /// The PAD policy state machine.
@@ -82,6 +110,7 @@ pub struct PolicyInputs {
 ///     vdeb_available: true,
 ///     udeb_available: true,
 ///     visible_peak: true,
+///     detection: Default::default(),
 /// });
 /// assert_eq!(level, SecurityLevel::Normal);
 /// ```
@@ -135,35 +164,42 @@ impl SecurityPolicy {
         }
     }
 
-    /// Applies Figure 9's transition arrows to the current level:
+    /// Applies Figure 9's transition arrows to the current level,
+    /// augmented by the detector evidence channel:
     ///
-    /// * L1 → L2 when the vDEB pool empties;
-    /// * L2 → L3 when the µDEB also empties;
-    /// * L2 → L1 when the vDEB is recharged;
-    /// * L3 → L2 when the µDEB is recharged.
+    /// * L1 → L2 when the vDEB pool empties *or* detectors suspect an
+    ///   attack;
+    /// * L2 → L3 when the µDEB also empties *or* detectors confirm the
+    ///   attack — the escalation fires before the µDEB physically
+    ///   empties;
+    /// * L2 → L1 when the vDEB is recharged and no evidence remains;
+    /// * L3 → L2 when the µDEB is recharged and the attack is no longer
+    ///   confirmed.
     ///
     /// Returns the (possibly unchanged) level.
     pub fn update(&mut self, inputs: PolicyInputs) -> SecurityLevel {
+        let suspected = inputs.detection >= DetectionEvidence::Suspected;
+        let confirmed = inputs.detection == DetectionEvidence::Confirmed;
         let next = match self.level {
             SecurityLevel::Normal => {
-                if !inputs.vdeb_available {
+                if !inputs.vdeb_available || suspected {
                     SecurityLevel::MinorIncident
                 } else {
                     SecurityLevel::Normal
                 }
             }
             SecurityLevel::MinorIncident => {
-                if !inputs.udeb_available && !inputs.vdeb_available {
+                if (!inputs.udeb_available && !inputs.vdeb_available) || confirmed {
                     SecurityLevel::Emergency
-                } else if inputs.vdeb_available {
-                    // vDEB recharged: back to normal.
+                } else if inputs.vdeb_available && !suspected {
+                    // vDEB recharged, detectors quiet: back to normal.
                     SecurityLevel::Normal
                 } else {
                     SecurityLevel::MinorIncident
                 }
             }
             SecurityLevel::Emergency => {
-                if inputs.udeb_available || inputs.vdeb_available {
+                if (inputs.udeb_available || inputs.vdeb_available) && !confirmed {
                     // µDEB (or the pool that recharges it) is back.
                     SecurityLevel::MinorIncident
                 } else {
@@ -200,6 +236,16 @@ mod tests {
             vdeb_available: v,
             udeb_available: u,
             visible_peak: p,
+            detection: DetectionEvidence::None,
+        }
+    }
+
+    fn evidence(v: bool, u: bool, d: DetectionEvidence) -> PolicyInputs {
+        PolicyInputs {
+            vdeb_available: v,
+            udeb_available: u,
+            visible_peak: false,
+            detection: d,
         }
     }
 
@@ -300,6 +346,95 @@ mod tests {
         p.reset(inputs(true, false, false));
         assert_eq!(p.level(), SecurityLevel::MinorIncident);
         assert_eq!(p.transitions(), 0);
+    }
+
+    #[test]
+    fn suspicion_escalates_with_healthy_batteries() {
+        // Both backup layers are full, but the detector bank fired: the
+        // policy must move to L2 on statistical evidence alone.
+        let mut p = SecurityPolicy::default();
+        assert_eq!(
+            p.update(evidence(true, true, DetectionEvidence::Suspected)),
+            SecurityLevel::MinorIncident
+        );
+        // Evidence persists: no premature recovery despite a full vDEB.
+        assert_eq!(
+            p.update(evidence(true, true, DetectionEvidence::Suspected)),
+            SecurityLevel::MinorIncident
+        );
+        // Evidence clears: ordinary recovery.
+        assert_eq!(
+            p.update(evidence(true, true, DetectionEvidence::None)),
+            SecurityLevel::Normal
+        );
+    }
+
+    #[test]
+    fn confirmation_reaches_emergency_before_udeb_empties() {
+        let mut p = SecurityPolicy::default();
+        p.update(evidence(true, true, DetectionEvidence::Suspected));
+        assert_eq!(p.level(), SecurityLevel::MinorIncident);
+        // µDEB still holds charge, but the quorum confirmed the attack:
+        // L3 fires on evidence, not on physical exhaustion.
+        assert_eq!(
+            p.update(evidence(true, true, DetectionEvidence::Confirmed)),
+            SecurityLevel::Emergency
+        );
+        // Still confirmed: recovery is held off.
+        assert_eq!(
+            p.update(evidence(true, true, DetectionEvidence::Confirmed)),
+            SecurityLevel::Emergency
+        );
+        // Downgraded to Suspected: one step down, no further.
+        assert_eq!(
+            p.update(evidence(true, true, DetectionEvidence::Suspected)),
+            SecurityLevel::MinorIncident
+        );
+        assert_eq!(
+            p.update(evidence(true, true, DetectionEvidence::Suspected)),
+            SecurityLevel::MinorIncident
+        );
+    }
+
+    #[test]
+    fn no_evidence_reproduces_paper_fsm() {
+        // With DetectionEvidence::None, every transition must match the
+        // paper's original Figure-9 arrows, spelled out here verbatim.
+        fn paper_next(level: SecurityLevel, i: PolicyInputs) -> SecurityLevel {
+            match level {
+                SecurityLevel::Normal if !i.vdeb_available => SecurityLevel::MinorIncident,
+                SecurityLevel::Normal => SecurityLevel::Normal,
+                SecurityLevel::MinorIncident if !i.udeb_available && !i.vdeb_available => {
+                    SecurityLevel::Emergency
+                }
+                SecurityLevel::MinorIncident if i.vdeb_available => SecurityLevel::Normal,
+                SecurityLevel::MinorIncident => SecurityLevel::MinorIncident,
+                SecurityLevel::Emergency if i.udeb_available || i.vdeb_available => {
+                    SecurityLevel::MinorIncident
+                }
+                SecurityLevel::Emergency => SecurityLevel::Emergency,
+            }
+        }
+        let combos: Vec<PolicyInputs> = (0..8)
+            .map(|i| inputs(i & 1 != 0, i & 2 != 0, i & 4 != 0))
+            .collect();
+        let mut p = SecurityPolicy::default();
+        for &a in &combos {
+            for &b in &combos {
+                for step in [a, b] {
+                    let expected = paper_next(p.level(), step);
+                    assert_eq!(p.update(step), expected, "inputs {step:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn evidence_ordering_is_graded() {
+        use DetectionEvidence::*;
+        assert!(None < Suspected);
+        assert!(Suspected < Confirmed);
+        assert_eq!(DetectionEvidence::default(), None);
     }
 
     #[test]

@@ -47,9 +47,10 @@ use simkit::telemetry::{EventKind, RingRecorder, TelemetryDump, TelemetrySink};
 use simkit::time::{SimDuration, SimTime};
 use workload::trace::ClusterTrace;
 
+use crate::detect::{DetectConfig, SimDetectors};
 use crate::metrics::{OverloadEvent, SocHistory, SurvivalReport};
 use crate::migration::LoadMigrator;
-use crate::policy::{PolicyInputs, SecurityLevel, SecurityPolicy, Strictness};
+use crate::policy::{DetectionEvidence, PolicyInputs, SecurityLevel, SecurityPolicy, Strictness};
 use crate::schemes::Scheme;
 use crate::shedding::LoadShedder;
 use crate::telemetry::{RackTick, SimTelemetry};
@@ -324,6 +325,9 @@ pub struct ClusterSim {
     log: EventLog,
     /// Per-tick metric/event recording, when enabled.
     telemetry: Option<SimTelemetry>,
+    /// Streaming attack detectors over the telemetry channels, when
+    /// enabled.
+    detectors: Option<SimDetectors>,
     /// Last-seen per-rack LVD disconnect counts (for logging).
     seen_disconnects: Vec<u32>,
     /// Last-seen policy level (for logging).
@@ -442,6 +446,7 @@ impl ClusterSim {
             protective_until: None,
             log: EventLog::new(10_000),
             telemetry: None,
+            detectors: None,
             seen_disconnects: vec![0; n],
             seen_level: SecurityLevel::Normal,
             seen_shed: 0,
@@ -522,6 +527,25 @@ impl ClusterSim {
     /// canonical record order). Telemetry is disabled afterwards.
     pub fn take_telemetry(&mut self) -> Option<TelemetryDump> {
         self.telemetry.take().map(SimTelemetry::into_dump)
+    }
+
+    /// Enables the streaming detector stack: per-rack draw / SOC /
+    /// µDEB-shave detectors plus cluster-level aggregate-draw detectors.
+    /// Runs independently of telemetry recording; fused verdicts feed
+    /// the security policy as [`DetectionEvidence`] and surface as
+    /// `detector_fired` telemetry events when recording is also on.
+    pub fn enable_detection(&mut self, config: DetectConfig) {
+        self.detectors = Some(SimDetectors::new(self.racks.len(), config));
+    }
+
+    /// The live detector stack, if enabled.
+    pub fn detection(&self) -> Option<&SimDetectors> {
+        self.detectors.as_ref()
+    }
+
+    /// Takes the detector stack out; detection is disabled afterwards.
+    pub fn take_detection(&mut self) -> Option<SimDetectors> {
+        self.detectors.take()
     }
 
     /// The PAD policy level (meaningful for the PAD scheme).
@@ -644,6 +668,9 @@ impl ClusterSim {
         // events and counters are recorded whenever telemetry is enabled
         // at all, but the heavy per-rack loop only runs for live sinks.
         let telemetry_on = self.telemetry.as_ref().is_some_and(SimTelemetry::recording);
+        // Whether the streaming detector stack consumes the same per-tick
+        // readings (it does so even when no telemetry sink records them).
+        let detection_on = self.detectors.is_some();
 
         // 0. Outage handling: a tripped rack feed leaves the rack dark
         // until the operator resets it ("more than 75% data centers
@@ -1044,7 +1071,7 @@ impl ClusterSim {
         }
 
         // 7. Recharge from headroom (batteries first, then µDEB).
-        let mut charge_drawn = if telemetry_on {
+        let mut charge_drawn = if telemetry_on || detection_on {
             vec![Watts::ZERO; n]
         } else {
             Vec::new()
@@ -1056,7 +1083,7 @@ impl ClusterSim {
             if battery_shave[r].0 == 0.0 {
                 let drawn = self.racks[r].cabinet_mut().charge_step(headroom, dt);
                 headroom = (headroom - drawn).clamp_non_negative();
-                if telemetry_on {
+                if telemetry_on || detection_on {
                     charge_drawn[r] = drawn;
                 }
             }
@@ -1077,6 +1104,14 @@ impl ClusterSim {
                 vdeb_available: self.vdeb.pool_available(&socs),
                 udeb_available: udeb_ok,
                 visible_peak: excesses.iter().any(|e| e.0 > 0.0),
+                // Evidence from ticks before this one: stage 10b feeds
+                // the detectors after the policy has run, so the policy
+                // always reads yesterday's verdict — exactly how a real
+                // monitoring pipeline trails its actuator.
+                detection: self
+                    .detectors
+                    .as_ref()
+                    .map_or(DetectionEvidence::None, |d| d.evidence(now)),
             };
             let level = self.policy.update(inputs);
             if level != self.seen_level {
@@ -1239,27 +1274,52 @@ impl ClusterSim {
         // stamped at the step's *start* time (the instant the readings
         // describe). Emission order matches registration order, so the
         // recorded stream is already canonically sorted within the tick.
-        if telemetry_on {
-            if let Some(t) = &mut self.telemetry {
-                for r in 0..n {
-                    t.record_rack(
-                        now,
-                        r,
-                        RackTick {
-                            draw_w: self.last_draws[r].0,
-                            soc: self.racks[r].cabinet().soc(),
-                            batt_discharge_w: battery_shave[r].0,
-                            batt_charge_w: charge_drawn[r].0,
-                            udeb_energy_j: self.udebs[r]
-                                .as_ref()
-                                .map_or(0.0, |u| u.bank().stored().0),
-                            udeb_shave_w: sc_shave[r].0,
-                            cap_duty: self.cappers[r].current(),
-                            breaker_margin: self.racks[r].breaker().thermal_headroom(),
-                        },
-                    );
+        // The detector stack consumes the same readings in the same
+        // order — that shared order is what makes offline replay of a
+        // recorded trace reproduce the live firing log byte-for-byte.
+        if telemetry_on || detection_on {
+            for r in 0..n {
+                let tick = RackTick {
+                    draw_w: self.last_draws[r].0,
+                    soc: self.racks[r].cabinet().soc(),
+                    batt_discharge_w: battery_shave[r].0,
+                    batt_charge_w: charge_drawn[r].0,
+                    udeb_energy_j: self.udebs[r].as_ref().map_or(0.0, |u| u.bank().stored().0),
+                    udeb_shave_w: sc_shave[r].0,
+                    cap_duty: self.cappers[r].current(),
+                    breaker_margin: self.racks[r].breaker().thermal_headroom(),
+                };
+                if telemetry_on {
+                    if let Some(t) = &mut self.telemetry {
+                        t.record_rack(now, r, tick);
+                    }
                 }
-                t.record_cluster(now, cluster_draw.0, self.policy.level().number());
+                if let Some(d) = &mut self.detectors {
+                    d.observe_rack(now, r, &tick);
+                }
+            }
+            if telemetry_on {
+                if let Some(t) = &mut self.telemetry {
+                    t.record_cluster(now, cluster_draw.0, self.policy.level().number());
+                }
+            }
+            if let Some(d) = &mut self.detectors {
+                d.observe_cluster(now, cluster_draw.0);
+                if let Some(fused) = d.end_tick(now) {
+                    let severity = fused.severity(d.config().confirm_votes);
+                    self.log.record(
+                        now,
+                        severity,
+                        "detect",
+                        format!(
+                            "fused detector verdict fired ({} votes, score {:.2})",
+                            fused.votes, fused.score
+                        ),
+                    );
+                    if let Some(t) = &mut self.telemetry {
+                        t.event(now, EventKind::DetectorFired, "detect", fused.score);
+                    }
+                }
             }
         }
 

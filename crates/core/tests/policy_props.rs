@@ -1,13 +1,24 @@
 //! Property tests on the PAD security-policy FSM.
 
-use pad::policy::{PolicyInputs, SecurityLevel, SecurityPolicy, Strictness};
+use pad::policy::{DetectionEvidence, PolicyInputs, SecurityLevel, SecurityPolicy, Strictness};
 use proptest::prelude::*;
 
+fn any_evidence() -> impl Strategy<Value = DetectionEvidence> {
+    prop_oneof![
+        Just(DetectionEvidence::None),
+        Just(DetectionEvidence::Suspected),
+        Just(DetectionEvidence::Confirmed),
+    ]
+}
+
 fn any_inputs() -> impl Strategy<Value = PolicyInputs> {
-    (any::<bool>(), any::<bool>(), any::<bool>()).prop_map(|(v, u, p)| PolicyInputs {
-        vdeb_available: v,
-        udeb_available: u,
-        visible_peak: p,
+    (any::<bool>(), any::<bool>(), any::<bool>(), any_evidence()).prop_map(|(v, u, p, d)| {
+        PolicyInputs {
+            vdeb_available: v,
+            udeb_available: u,
+            visible_peak: p,
+            detection: d,
+        }
     })
 }
 
@@ -40,6 +51,7 @@ proptest! {
             vdeb_available: true,
             udeb_available: true,
             visible_peak: false,
+            detection: DetectionEvidence::None,
         };
         policy.update(healthy);
         policy.update(healthy);
@@ -58,6 +70,7 @@ proptest! {
             vdeb_available: false,
             udeb_available: false,
             visible_peak: true,
+            detection: DetectionEvidence::Confirmed,
         };
         policy.update(dead);
         policy.update(dead);

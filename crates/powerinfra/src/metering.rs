@@ -140,6 +140,64 @@ impl PowerMeter {
     }
 }
 
+/// A bank of [`PowerMeter`]s at several intervals watching one feed.
+///
+/// Table I (and its detector-comparison extension) score the same draw
+/// signal at many metering granularities; the bank feeds every meter the
+/// same segments so the per-interval sample vectors stay aligned.
+///
+/// # Example
+///
+/// ```
+/// use powerinfra::metering::MeterBank;
+/// use powerinfra::units::Watts;
+/// use simkit::time::{SimDuration, SimTime};
+///
+/// let mut bank = MeterBank::new(&[SimDuration::from_secs(5), SimDuration::from_secs(10)]);
+/// bank.feed(Watts(100.0), SimTime::ZERO, SimDuration::from_secs(10));
+/// assert_eq!(bank.meters()[0].samples().len(), 2);
+/// assert_eq!(bank.meters()[1].samples().len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeterBank {
+    meters: Vec<PowerMeter>,
+}
+
+impl MeterBank {
+    /// Creates one meter per interval, all starting at time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intervals` is empty or any interval is zero.
+    pub fn new(intervals: &[SimDuration]) -> Self {
+        assert!(!intervals.is_empty(), "a meter bank needs an interval");
+        MeterBank {
+            meters: intervals.iter().map(|&i| PowerMeter::new(i)).collect(),
+        }
+    }
+
+    /// Feeds one constant-power segment to every meter.
+    pub fn feed(&mut self, power: Watts, start: SimTime, dt: SimDuration) {
+        for m in &mut self.meters {
+            m.feed(power, start, dt);
+        }
+    }
+
+    /// The meters, in construction order.
+    pub fn meters(&self) -> &[PowerMeter] {
+        &self.meters
+    }
+
+    /// Drains every meter's completed windows, one `(window_start, avg)`
+    /// vector per interval in construction order.
+    pub fn take_samples(&mut self) -> Vec<Vec<(SimTime, Watts)>> {
+        self.meters
+            .iter_mut()
+            .map(PowerMeter::take_samples)
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,5 +311,29 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_interval_rejected() {
         PowerMeter::new(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn bank_keeps_intervals_aligned() {
+        let mut bank = MeterBank::new(&[SimDuration::from_secs(2), SimDuration::from_secs(4)]);
+        bank.feed(Watts(100.0), SimTime::ZERO, SimDuration::from_secs(4));
+        bank.feed(
+            Watts(300.0),
+            SimTime::from_secs(4),
+            SimDuration::from_secs(4),
+        );
+        let samples = bank.take_samples();
+        assert_eq!(samples[0].len(), 4);
+        assert_eq!(samples[1].len(), 2);
+        assert_eq!(samples[1][0], (SimTime::ZERO, Watts(100.0)));
+        assert_eq!(samples[1][1], (SimTime::from_secs(4), Watts(300.0)));
+        // Drained: a second take is empty.
+        assert!(bank.take_samples().iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs an interval")]
+    fn empty_bank_rejected() {
+        MeterBank::new(&[]);
     }
 }

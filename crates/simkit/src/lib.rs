@@ -19,7 +19,10 @@
 //!   paper's tables and figure series;
 //! * [`telemetry`] — a deterministic metrics registry, per-tick trace
 //!   recording (`Recorder` sinks, JSONL/CSV codecs) and offline trace
-//!   inspection.
+//!   inspection;
+//! * [`detect`] — allocation-light streaming anomaly detectors (EWMA
+//!   z-score, CUSUM, spike-train, drain-rate) and a `DetectorBank` that
+//!   consumes telemetry streams live or replayed.
 //!
 //! # Example
 //!
@@ -43,6 +46,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod detect;
 pub mod engine;
 pub mod event;
 pub mod heatmap;
@@ -57,6 +61,7 @@ pub mod time;
 
 /// Convenient re-exports of the most common `simkit` items.
 pub mod prelude {
+    pub use crate::detect::{Detector, DetectorBank, FusedVerdict, StreamDetector, Verdict};
     pub use crate::engine::{ControlFlow, Engine};
     pub use crate::event::EventQueue;
     pub use crate::log::{EventLog, Severity};
@@ -72,6 +77,7 @@ pub mod prelude {
     pub use crate::time::{SimDuration, SimTime};
 }
 
+pub use detect::{Detector, DetectorBank, FusedVerdict, StreamDetector, Verdict};
 pub use engine::{ControlFlow, Engine};
 pub use event::EventQueue;
 pub use log::{EventLog, Severity};

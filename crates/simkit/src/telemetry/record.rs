@@ -42,11 +42,14 @@ pub enum EventKind {
     Migration,
     /// The operator applied a protective power cap.
     ProtectiveCap,
+    /// The streaming detector bank's fused verdict fired (the value
+    /// carries the fused score).
+    DetectorFired,
 }
 
 impl EventKind {
     /// Every kind, in serialization (index) order.
-    pub const ALL: [EventKind; 8] = [
+    pub const ALL: [EventKind; 9] = [
         EventKind::LvdIsolation,
         EventKind::BreakerTrip,
         EventKind::Overload,
@@ -55,6 +58,7 @@ impl EventKind {
         EventKind::Wake,
         EventKind::Migration,
         EventKind::ProtectiveCap,
+        EventKind::DetectorFired,
     ];
 
     /// Stable wire name (used in JSONL/CSV output).
@@ -68,6 +72,7 @@ impl EventKind {
             EventKind::Wake => "wake",
             EventKind::Migration => "migration",
             EventKind::ProtectiveCap => "protective_cap",
+            EventKind::DetectorFired => "detector_fired",
         }
     }
 

@@ -1,6 +1,7 @@
 //! Property tests on the simulation substrate.
 
 use proptest::prelude::*;
+use simkit::detect::{Cusum, StreamDetector};
 use simkit::engine::{ControlFlow, Engine};
 use simkit::rng::RngStream;
 use simkit::series::TimeSeries;
@@ -104,6 +105,38 @@ proptest! {
         let mut y = root.fork(&b);
         let same = (0..16).filter(|_| x.next_u64() == y.next_u64()).count();
         prop_assert!(same < 4, "streams {a:?}/{b:?} suspiciously correlated");
+    }
+
+    /// A CUSUM detector must never fire on a constant stream, whatever
+    /// the level: a flat signal has zero residual, so the cumulative
+    /// sum stays at zero for any drift and threshold.
+    #[test]
+    fn cusum_never_fires_on_constant_input(
+        level in -1e6f64..1e6,
+        drift in 0.0f64..4.0,
+        threshold in 0.1f64..100.0,
+        n in 1usize..400,
+    ) {
+        let mut cusum = Cusum::new(drift, threshold);
+        for i in 0..n {
+            let v = cusum.push(SimTime::from_millis(i as u64 * 100), level);
+            prop_assert!(!v.fired, "fired on constant input at sample {i}");
+        }
+        prop_assert_eq!(cusum.positive_sum(), 0.0);
+    }
+
+    /// Replaying the same stream through a clone reproduces the exact
+    /// verdict sequence — the property the telemetry-replay path
+    /// depends on.
+    #[test]
+    fn cusum_replay_is_deterministic(values in prop::collection::vec(-1e3f64..1e3, 1..200)) {
+        let mut live = Cusum::new(0.5, 8.0);
+        let mut replayed = live.clone();
+        for (i, &x) in values.iter().enumerate() {
+            let t = SimTime::from_millis(i as u64 * 100);
+            prop_assert_eq!(live.push(t, x), replayed.push(t, x));
+        }
+        prop_assert_eq!(live, replayed);
     }
 
     /// The spike of any value through `align_down` stays within one step.

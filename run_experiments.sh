@@ -2,7 +2,7 @@
 # Regenerates every table and figure at paper fidelity into results/.
 set -u
 cd "$(dirname "$0")"
-BINS="fig01_outage_cost fig02_survey fig05_soc_stddev fig06_two_phase fig07_effective_attack fig08_attack_stats table1_detection fig12_traces fig13_heatmap fig14_shedding fig15_survival fig16_throughput fig17_cost"
+BINS="fig01_outage_cost fig02_survey fig05_soc_stddev fig06_two_phase fig07_effective_attack fig08_attack_stats table1_detection detect_rates fig12_traces fig13_heatmap fig14_shedding fig15_survival fig16_throughput fig17_cost"
 for b in $BINS; do
   echo "=== running $b ==="
   ./target/release/$b > results/$b.txt 2>&1 || echo "$b FAILED"
