@@ -25,6 +25,18 @@ pub enum AttackPhase {
     Spiking,
 }
 
+impl AttackPhase {
+    /// Stable lower-case name, used as a span attribute and in rendered
+    /// forensics output.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttackPhase::Dormant => "dormant",
+            AttackPhase::Draining => "draining",
+            AttackPhase::Spiking => "spiking",
+        }
+    }
+}
+
 /// Why the attack left Phase I.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TransitionCause {

@@ -272,6 +272,17 @@ impl AttackWindows {
     pub fn spike_count(&self) -> usize {
         self.spikes.len()
     }
+
+    /// Converts the windows to the millisecond form the incident
+    /// reconstructor joins against (see
+    /// [`simkit::trace::IncidentReconstructor`]).
+    pub fn to_ground_truth(&self) -> simkit::trace::GroundTruth {
+        let ms = |(s, e): (SimTime, SimTime)| (s.as_millis(), e.as_millis());
+        simkit::trace::GroundTruth {
+            drain: self.drain.map(ms),
+            spikes: self.spikes.iter().copied().map(ms).collect(),
+        }
+    }
 }
 
 impl AttackScenario {

@@ -9,6 +9,7 @@
 //! padsim --scheme all --jobs 4 --telemetry out/ --telemetry-format jsonl
 //! padsim inspect out/pad.jsonl
 //! padsim detect --replay out/pad.jsonl
+//! padsim --telemetry out/ --trace out/ && padsim incident out/
 //! ```
 
 use std::path::{Path, PathBuf};
@@ -33,24 +34,48 @@ use simkit::telemetry::codec::{parse, Format, ParsedRecord};
 use simkit::telemetry::inspect::TelemetryReport;
 use simkit::telemetry::TelemetryDump;
 use simkit::time::{SimDuration, SimTime};
+use simkit::trace::{
+    parse_spans, render_report_json, render_timeline, IncidentReconstructor, TraceDump,
+};
 use workload::synth::SynthConfig;
 
 /// Ring capacity backing `--telemetry`: enough for ~45 minutes of a
 /// 22-rack cluster at 100 ms steps before the ring starts evicting.
 const DEFAULT_TELEMETRY_CAPACITY: usize = 1_000_000;
 
+/// Ring capacity backing `--trace`: spans are episodic (one per attack
+/// phase, discharge episode, cap engagement…), orders of magnitude fewer
+/// than per-tick records.
+const DEFAULT_TRACE_CAPACITY: usize = 100_000;
+
 const USAGE: &str = "\
 padsim — simulate power-virus attacks on a battery-backed data center
 
 USAGE:
     padsim [OPTIONS]
-    padsim inspect <trace-file> [--names] [--format jsonl|csv]
+    padsim inspect <trace-file> [--names] [--prom] [--format jsonl|csv]
+    padsim incident <trace-dir|spans-file> [--names] [--json] [--format jsonl|csv]
     padsim detect [--replay <trace-file>] [DETECT OPTIONS]
 
 SUBCOMMANDS:
     inspect <file>                          summarize a recorded telemetry trace
-                                            (per-metric stats, event counts);
-                                            --names lists the metric names only
+                                            (per-metric stats, event counts, and
+                                            per-subscription detector-firing
+                                            counts when the trace carries
+                                            detector_fired events);
+                                            --names lists the metric names only;
+                                            --prom renders Prometheus text
+                                            exposition instead of tables
+    incident <dir|file>                     reconstruct incidents from recorded
+                                            span traces (*.spans.jsonl/.csv),
+                                            joining the sibling telemetry file
+                                            when present: ASCII sim-time
+                                            timeline + per-incident forensics
+                                            (root cause, blast radius,
+                                            time-to-detect/escalate, shed
+                                            energy); --json emits the report as
+                                            JSON (one report per trace file);
+                                            --names prints the span wire schema
     detect                                  run the streaming detector bank:
                                             with --replay <file> it replays a
                                             recorded trace (rack count inferred
@@ -91,6 +116,9 @@ OPTIONS:
     --telemetry <dir>                       record per-tick telemetry and write
                                             one trace file per scheme into <dir>
     --telemetry-format <jsonl|csv>          trace file format    [default: jsonl]
+    --trace <dir>                           record causal spans and write one
+                                            <scheme>.spans file per scheme into
+                                            <dir> (same format flag)
     -h, --help                              show this help
 ";
 
@@ -116,6 +144,7 @@ struct Args {
     log: bool,
     telemetry: Option<PathBuf>,
     telemetry_format: Format,
+    trace: Option<PathBuf>,
 }
 
 impl Default for Args {
@@ -141,6 +170,7 @@ impl Default for Args {
             log: false,
             telemetry: None,
             telemetry_format: Format::Jsonl,
+            trace: None,
         }
     }
 }
@@ -156,6 +186,10 @@ fn parse_args() -> Args {
     if it.peek().map(String::as_str) == Some("inspect") {
         it.next();
         run_inspect(it);
+    }
+    if it.peek().map(String::as_str) == Some("incident") {
+        it.next();
+        run_incident(it);
     }
     if it.peek().map(String::as_str) == Some("detect") {
         it.next();
@@ -223,6 +257,7 @@ fn parse_args() -> Args {
             "--soc-map" => args.soc_map = true,
             "--log" => args.log = true,
             "--telemetry" => args.telemetry = Some(PathBuf::from(value("--telemetry"))),
+            "--trace" => args.trace = Some(PathBuf::from(value("--trace"))),
             "--telemetry-format" => {
                 let name = value("--telemetry-format");
                 args.telemetry_format = Format::from_name(&name)
@@ -239,15 +274,20 @@ fn parse_args() -> Args {
 }
 
 /// `padsim inspect <file>`: parse a recorded trace and print either the
-/// per-metric summary table or (with `--names`) the bare metric-name
-/// list — the latter is what CI diffs against the checked-in schema.
+/// per-metric summary table (plus per-subscription detector-firing
+/// counts when the trace carries `detector_fired` events), the
+/// Prometheus text exposition (`--prom`), or (with `--names`) the bare
+/// metric-name list — the latter is what CI diffs against the
+/// checked-in schema.
 fn run_inspect(mut it: impl Iterator<Item = String>) -> ! {
     let mut path: Option<PathBuf> = None;
     let mut names_only = false;
+    let mut prom = false;
     let mut format: Option<Format> = None;
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--names" => names_only = true,
+            "--prom" => prom = true,
             "--format" => {
                 let name = it
                     .next()
@@ -278,14 +318,46 @@ fn run_inspect(mut it: impl Iterator<Item = String>) -> ! {
         for name in report.metric_names() {
             println!("{name}");
         }
+    } else if prom {
+        print!("{}", report.render_prometheus());
     } else {
         print!("{}", report.render());
+        print_detection_counts(&records);
     }
     std::process::exit(0);
 }
 
+/// When the trace carries `detector_fired` events (a detection trace),
+/// replays it through a fresh detector stack and prints the firing count
+/// per subscription — which detector on which channel did the work.
+fn print_detection_counts(records: &[ParsedRecord]) {
+    let has_detections = records
+        .iter()
+        .any(|r| r.is_event && r.name == "detector_fired");
+    if !has_detections {
+        return;
+    }
+    let Some(racks) = try_infer_racks(records) else {
+        println!("\ndetection trace present, but no rack-NN.draw_w samples to replay it over");
+        return;
+    };
+    let mut stack = SimDetectors::new(racks, DetectConfig::default());
+    stack.replay(records);
+    let mut counts: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+    for f in stack.bank().firings() {
+        *counts.entry(f.label.as_str()).or_insert(0) += 1;
+    }
+    let mut table = Table::new(vec!["subscription", "firings"]);
+    table.title("detector firings by subscription (replayed)");
+    for (label, count) in &counts {
+        table.row(vec![(*label).to_string(), count.to_string()]);
+    }
+    println!();
+    print!("{}", table.render());
+}
+
 /// Rack count implied by a trace's `rack-NN.draw_w` sample names.
-fn infer_racks(records: &[ParsedRecord]) -> usize {
+fn try_infer_racks(records: &[ParsedRecord]) -> Option<usize> {
     let mut max: Option<usize> = None;
     for r in records.iter().filter(|r| !r.is_event) {
         if let Some(num) = r
@@ -298,10 +370,130 @@ fn infer_racks(records: &[ParsedRecord]) -> usize {
             }
         }
     }
-    match max {
-        Some(m) => m + 1,
-        None => fail("trace has no rack-NN.draw_w samples; pass --racks <N>"),
+    max.map(|m| m + 1)
+}
+
+/// Like [`try_infer_racks`], but fatal when the trace has no rack names.
+fn infer_racks(records: &[ParsedRecord]) -> usize {
+    try_infer_racks(records)
+        .unwrap_or_else(|| fail("trace has no rack-NN.draw_w samples; pass --racks <N>"))
+}
+
+/// `padsim incident <dir|file>`: reconstruct incidents from recorded
+/// span traces. A directory is scanned for `*.spans.jsonl` / `*.spans.csv`
+/// files (one per scheme, as written by `--trace`); each trace's sibling
+/// telemetry file (same stem without `.spans`) is joined when present.
+fn run_incident(mut it: impl Iterator<Item = String>) -> ! {
+    let mut path: Option<PathBuf> = None;
+    let mut names_only = false;
+    let mut json = false;
+    let mut format: Option<Format> = None;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--names" => names_only = true,
+            "--json" => json = true,
+            "--format" => {
+                let name = it
+                    .next()
+                    .unwrap_or_else(|| fail("--format requires a value"));
+                format = Some(
+                    Format::from_name(&name)
+                        .unwrap_or_else(|| fail(&format!("unknown format {name:?}"))),
+                );
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if !other.starts_with('-') && path.is_none() => path = Some(PathBuf::from(other)),
+            other => fail(&format!("unknown incident argument {other:?}")),
+        }
     }
+    if names_only {
+        print!("{}", pad::trace::trace_schema());
+        std::process::exit(0);
+    }
+    let path = path.unwrap_or_else(|| fail("incident requires a span-trace directory or file"));
+    let files: Vec<PathBuf> = if path.is_dir() {
+        let mut found: Vec<PathBuf> = std::fs::read_dir(&path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", path.display())))
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| {
+                let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                name.ends_with(".spans.jsonl") || name.ends_with(".spans.csv")
+            })
+            .collect();
+        found.sort();
+        if found.is_empty() {
+            fail(&format!(
+                "no *.spans.jsonl / *.spans.csv files in {}",
+                path.display()
+            ));
+        }
+        found
+    } else {
+        vec![path]
+    };
+    for (i, file) in files.iter().enumerate() {
+        let file_format = format.unwrap_or_else(|| Format::from_path(&file.to_string_lossy()));
+        let text = std::fs::read_to_string(file)
+            .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", file.display())));
+        let spans = match parse_spans(&text, file_format) {
+            Ok(spans) => spans,
+            Err(e) => fail(&format!("{}: {e}", file.display())),
+        };
+        // Join the sibling telemetry trace (pad.spans.jsonl -> pad.jsonl)
+        // so incidents pick up overload/trip blast radius and detector
+        // firing times.
+        let telemetry_path = {
+            let name = file.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            file.with_file_name(name.replace(".spans.", "."))
+        };
+        let telemetry = std::fs::read_to_string(&telemetry_path)
+            .ok()
+            .and_then(|t| parse(&t, Format::from_path(&telemetry_path.to_string_lossy())).ok())
+            .unwrap_or_default();
+        let mut reconstructor = IncidentReconstructor::new(&spans);
+        if !telemetry.is_empty() {
+            reconstructor = reconstructor.with_telemetry(&telemetry);
+        }
+        let incidents = reconstructor.reconstruct();
+        if json {
+            print!("{}", render_report_json(&incidents));
+            continue;
+        }
+        if i > 0 {
+            println!();
+        }
+        println!("== {} ==", file.display());
+        print!("{}", render_timeline(&spans, 72));
+        if incidents.is_empty() {
+            println!("incidents: none (no attack.* root spans in the trace)");
+            continue;
+        }
+        println!("incidents: {}", incidents.len());
+        for inc in &incidents {
+            let fmt_opt = |v: Option<u64>| {
+                v.map(|ms| format!("{ms} ms"))
+                    .unwrap_or_else(|| "-".to_string())
+            };
+            println!(
+                "  {} @ {}..{} ms: {} span(s), blast radius {} rack(s) {:?}, \
+                 {} firing(s), time-to-detect {}, time-to-escalate {}, shed {:.1} J",
+                inc.root_name,
+                inc.start_ms,
+                inc.end_ms,
+                inc.span_ids.len(),
+                inc.blast_racks.len(),
+                inc.blast_racks,
+                inc.detector_firings,
+                fmt_opt(inc.time_to_detect_ms),
+                fmt_opt(inc.time_to_escalate_ms),
+                inc.shed_energy_j
+            );
+        }
+    }
+    std::process::exit(0);
 }
 
 /// Prints a detector-bank firing log, or a placeholder when quiet.
@@ -539,6 +731,33 @@ fn write_telemetry(dir: &Path, scheme: Scheme, format: Format, dump: &TelemetryD
     );
 }
 
+/// Writes one scheme's span trace into `dir` as `<scheme>.spans.<ext>`,
+/// next to the telemetry file `padsim incident` joins it with.
+fn write_trace(dir: &Path, scheme: Scheme, format: Format, dump: &TraceDump) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        fail(&format!("cannot create {}: {e}", dir.display()));
+    }
+    let path = dir.join(format!(
+        "{}.spans.{}",
+        scheme_key(scheme),
+        format.extension()
+    ));
+    if let Err(e) = std::fs::write(&path, dump.serialize(format)) {
+        fail(&format!("cannot write {}: {e}", path.display()));
+    }
+    let dropped = if dump.dropped > 0 {
+        format!(" ({} evicted by the ring)", dump.dropped)
+    } else {
+        String::new()
+    };
+    println!(
+        "spans: {} span(s){} -> {}",
+        dump.spans.len(),
+        dropped,
+        path.display()
+    );
+}
+
 fn parse_num(text: &str, flag: &str) -> usize {
     text.parse()
         .unwrap_or_else(|_| fail(&format!("{flag} expects an integer, got {text:?}")))
@@ -601,6 +820,9 @@ fn run_comparison(
             if args.telemetry.is_some() {
                 case = case.record_telemetry(DEFAULT_TELEMETRY_CAPACITY);
             }
+            if args.trace.is_some() {
+                case = case.record_trace(DEFAULT_TRACE_CAPACITY);
+            }
             case
         })
         .collect();
@@ -653,6 +875,15 @@ fn run_comparison(
             write_telemetry(dir, scheme, args.telemetry_format, dump);
         }
     }
+    if let Some(dir) = &args.trace {
+        for (&scheme, outcome) in Scheme::ALL.iter().zip(&outcomes) {
+            let dump = outcome
+                .trace
+                .as_ref()
+                .expect("span tracing was requested for every case");
+            write_trace(dir, scheme, args.telemetry_format, dump);
+        }
+    }
 }
 
 fn main() {
@@ -698,6 +929,9 @@ fn main() {
     sim.run(attack_at, SimDuration::SECOND, false);
     if args.telemetry.is_some() {
         sim.enable_telemetry(DEFAULT_TELEMETRY_CAPACITY);
+    }
+    if args.trace.is_some() {
+        sim.enable_tracing(DEFAULT_TRACE_CAPACITY);
     }
     let mut scenario = AttackScenario::new(args.style, args.class, args.nodes);
     if args.escalate {
@@ -767,6 +1001,11 @@ fn main() {
     if let Some(dir) = &args.telemetry {
         let dump = sim.take_telemetry().expect("telemetry was enabled");
         write_telemetry(dir, args.scheme, args.telemetry_format, &dump);
+    }
+
+    if let Some(dir) = &args.trace {
+        let dump = sim.take_trace().expect("tracing was enabled");
+        write_trace(dir, args.scheme, args.telemetry_format, &dump);
     }
 
     if args.log {

@@ -48,6 +48,8 @@
 //! * [`sim`] — the trace-driven cluster simulator (Fig. 11-B);
 //! * [`sweep`] — parallel scenario sweeps over one shared trace;
 //! * [`telemetry`] — per-tick metric/event recording wired into the sim;
+//! * [`trace`] — causal sim-time span tracing (attack phases, defense
+//!   episodes, policy residencies) for forensic incident reconstruction;
 //! * [`metrics`] — survival time, effective attacks, throughput, SOC maps;
 //! * [`experiments`] — one module per paper table/figure;
 //! * [`report`] — shared text rendering for experiment output.
@@ -66,6 +68,7 @@ pub mod shedding;
 pub mod sim;
 pub mod sweep;
 pub mod telemetry;
+pub mod trace;
 pub mod udeb;
 pub mod vdeb;
 
@@ -86,6 +89,7 @@ pub mod prelude {
     pub use crate::sim::{ClusterSim, SimConfig};
     pub use crate::sweep::{AttackSpec, ConfigSweep, SurvivalCase, SurvivalOutcome, Victim};
     pub use crate::telemetry::{RackTick, SimTelemetry};
+    pub use crate::trace::SimTracer;
     pub use crate::udeb::MicroDeb;
     pub use crate::units::Watts;
     pub use crate::vdeb::{plan_discharge, VdebController};
@@ -101,5 +105,6 @@ pub use schemes::Scheme;
 pub use sim::{ClusterSim, SimConfig};
 pub use sweep::{ConfigSweep, SurvivalCase, SurvivalOutcome};
 pub use telemetry::{RackTick, SimTelemetry};
+pub use trace::SimTracer;
 pub use udeb::MicroDeb;
 pub use vdeb::{plan_discharge, VdebController};

@@ -45,6 +45,7 @@ use simkit::log::{EventLog, Severity};
 use simkit::rng::RngStream;
 use simkit::telemetry::{EventKind, RingRecorder, TelemetryDump, TelemetrySink};
 use simkit::time::{SimDuration, SimTime};
+use simkit::trace::{RingSpanRecorder, SpanSink, TraceDump};
 use workload::trace::ClusterTrace;
 
 use crate::detect::{DetectConfig, SimDetectors};
@@ -54,6 +55,7 @@ use crate::policy::{DetectionEvidence, PolicyInputs, SecurityLevel, SecurityPoli
 use crate::schemes::Scheme;
 use crate::shedding::LoadShedder;
 use crate::telemetry::{RackTick, SimTelemetry};
+use crate::trace::SimTracer;
 use crate::udeb::MicroDeb;
 use crate::vdeb::{plan_discharge_with_reserve, VdebController};
 
@@ -328,6 +330,8 @@ pub struct ClusterSim {
     /// Streaming attack detectors over the telemetry channels, when
     /// enabled.
     detectors: Option<SimDetectors>,
+    /// Causal sim-time span tracing, when enabled.
+    tracer: Option<SimTracer>,
     /// Last-seen per-rack LVD disconnect counts (for logging).
     seen_disconnects: Vec<u32>,
     /// Last-seen policy level (for logging).
@@ -447,6 +451,7 @@ impl ClusterSim {
             log: EventLog::new(10_000),
             telemetry: None,
             detectors: None,
+            tracer: None,
             seen_disconnects: vec![0; n],
             seen_level: SecurityLevel::Normal,
             seen_shed: 0,
@@ -546,6 +551,32 @@ impl ClusterSim {
     /// Takes the detector stack out; detection is disabled afterwards.
     pub fn take_detection(&mut self) -> Option<SimDetectors> {
         self.detectors.take()
+    }
+
+    /// Enables causal span tracing into a ring buffer of `ring_capacity`
+    /// spans (oldest spans are evicted once full; the eviction count is
+    /// carried into the final dump).
+    pub fn enable_tracing(&mut self, ring_capacity: usize) {
+        self.enable_tracing_sink(SpanSink::Ring(RingSpanRecorder::new(ring_capacity)));
+    }
+
+    /// Enables span tracing into an explicit sink. With
+    /// [`SpanSink::Null`] the tracer is inert and the per-tick span
+    /// bookkeeping is skipped entirely.
+    pub fn enable_tracing_sink(&mut self, sink: SpanSink) {
+        self.tracer = Some(SimTracer::new(self.racks.len(), sink, self.now));
+    }
+
+    /// The live span tracer, if enabled.
+    pub fn tracing(&self) -> Option<&SimTracer> {
+        self.tracer.as_ref()
+    }
+
+    /// Takes the span trace out as a dump, closing still-open spans at
+    /// the current time. Tracing is disabled afterwards.
+    pub fn take_trace(&mut self) -> Option<TraceDump> {
+        let now = self.now;
+        self.tracer.take().map(|t| t.into_dump(now))
     }
 
     /// The PAD policy level (meaningful for the PAD scheme).
@@ -671,6 +702,9 @@ impl ClusterSim {
         // Whether the streaming detector stack consumes the same per-tick
         // readings (it does so even when no telemetry sink records them).
         let detection_on = self.detectors.is_some();
+        // Whether causal span tracing is live; with a null span sink the
+        // tracer reports disabled and every span hook below is skipped.
+        let tracing_on = self.tracer.as_ref().is_some_and(SimTracer::enabled);
 
         // 0. Outage handling: a tripped rack feed leaves the rack dark
         // until the operator resets it ("more than 75% data centers
@@ -706,7 +740,7 @@ impl ClusterSim {
         // tolerated band so it reads as normal load fluctuation — the
         // attacker tunes this through the failed attempts of Figure 7.
         // In Phase II the virus fires spikes at full class amplitude.
-        for a in &mut self.attacks {
+        for (ai, a) in self.attacks.iter_mut().enumerate() {
             use attack::phases::AttackPhase;
             let phase = a.controller.phase_at(now);
             // Escalation: a patient attacker keeps recycling VMs until
@@ -718,6 +752,11 @@ impl ClusterSim {
                 while a.slots.len() < want {
                     let next = a.slots.len();
                     a.slots.push(next);
+                }
+            }
+            if tracing_on {
+                if let Some(tr) = &mut self.tracer {
+                    tr.attack_phase(now, ai, a.victim.0, a.slots.len(), phase);
                 }
             }
             let rack = &mut self.racks[a.victim.0];
@@ -1320,6 +1359,32 @@ impl ClusterSim {
                         t.event(now, EventKind::DetectorFired, "detect", fused.score);
                     }
                 }
+            }
+        }
+
+        // 10c. Causal span tracing: attack phase spans were handled in
+        // stage 1b; here per-rack defense episodes (battery discharge,
+        // µDEB shaving, effective DVFS cap, breaker-margin excursions)
+        // and policy residencies open/close on value edges, parented
+        // under the attack spans that caused them.
+        if tracing_on {
+            if let Some(tr) = &mut self.tracer {
+                for r in 0..n {
+                    let mut cap_factor = self.cappers[r].current();
+                    if protective {
+                        cap_factor = cap_factor.min(0.8);
+                    }
+                    tr.rack_tick(
+                        now,
+                        r,
+                        battery_shave[r].0,
+                        sc_shave[r].0,
+                        cap_factor,
+                        self.racks[r].breaker().thermal_headroom(),
+                        dt_secs,
+                    );
+                }
+                tr.policy_level(now, self.policy.level());
             }
         }
 

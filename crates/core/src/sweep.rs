@@ -23,6 +23,7 @@ use simkit::stats::ScenarioCost;
 use simkit::sweep::{scenario_seed, SweepProfile, SweepRunner};
 use simkit::telemetry::TelemetryDump;
 use simkit::time::{SimDuration, SimTime};
+use simkit::trace::TraceDump;
 use workload::trace::ClusterTrace;
 
 use crate::metrics::{SocHistory, SurvivalReport};
@@ -76,6 +77,8 @@ pub struct SurvivalCase {
     pub soc_interval: Option<SimDuration>,
     /// Record per-tick telemetry into a ring of this capacity, if set.
     pub telemetry_capacity: Option<usize>,
+    /// Record causal spans into a ring of this capacity, if set.
+    pub trace_capacity: Option<usize>,
 }
 
 impl SurvivalCase {
@@ -89,6 +92,7 @@ impl SurvivalCase {
             stop_on_overload: false,
             soc_interval: None,
             telemetry_capacity: None,
+            trace_capacity: None,
         }
     }
 
@@ -115,6 +119,12 @@ impl SurvivalCase {
         self.telemetry_capacity = Some(capacity);
         self
     }
+
+    /// Records causal spans into a ring of `capacity` spans.
+    pub fn record_trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
+        self
+    }
 }
 
 /// What one sweep scenario produced.
@@ -130,6 +140,10 @@ pub struct SurvivalOutcome {
     /// canonical record order, so its serialization is byte-identical
     /// whatever worker count produced it.
     pub telemetry: Option<TelemetryDump>,
+    /// Causal span trace, when the case requested recording. Sorted in
+    /// canonical `(start, id)` order under the same byte-identical
+    /// determinism contract as telemetry.
+    pub trace: Option<TraceDump>,
     /// Wall-clock and steps-simulated counters (not part of the
     /// determinism contract — wall-clock varies run to run).
     pub cost: ScenarioCost,
@@ -232,7 +246,9 @@ impl ConfigSweep {
         let (outcomes, profile) = self.runner.run_metered_profiled(cases, |index, case| {
             let result = run_one(Arc::clone(trace), seed, index, &case);
             let steps = match &result {
-                Ok((report, _, _, _)) => report.ended_at.saturating_since(SimTime::ZERO) / case.dt,
+                Ok((report, _, _, _, _)) => {
+                    report.ended_at.saturating_since(SimTime::ZERO) / case.dt
+                }
                 Err(_) => 0,
             };
             (result, steps)
@@ -241,11 +257,12 @@ impl ConfigSweep {
             .into_iter()
             .enumerate()
             .map(|(index, metered)| match metered.value {
-                Ok((report, soc_history, final_socs, telemetry)) => Ok(SurvivalOutcome {
+                Ok((report, soc_history, final_socs, telemetry, trace)) => Ok(SurvivalOutcome {
                     report,
                     soc_history,
                     final_socs,
                     telemetry,
+                    trace,
                     cost: metered.cost,
                 }),
                 Err(e) => Err(format!("scenario {index}: {e}")),
@@ -260,6 +277,7 @@ type RunOutput = (
     Option<SocHistory>,
     Vec<f64>,
     Option<TelemetryDump>,
+    Option<TraceDump>,
 );
 
 fn run_one(
@@ -283,11 +301,15 @@ fn run_one(
     if let Some(capacity) = case.telemetry_capacity {
         sim.enable_telemetry(capacity);
     }
+    if let Some(capacity) = case.trace_capacity {
+        sim.enable_tracing(capacity);
+    }
     let report = sim.run(case.horizon, case.dt, case.stop_on_overload);
     let soc_history = sim.soc_history().cloned();
     let final_socs = sim.rack_socs();
     let telemetry = sim.take_telemetry();
-    Ok((report, soc_history, final_socs, telemetry))
+    let span_trace = sim.take_trace();
+    Ok((report, soc_history, final_socs, telemetry, span_trace))
 }
 
 #[cfg(test)]
@@ -382,6 +404,23 @@ mod tests {
             let (s_t, p_t) = (s.telemetry.as_ref().unwrap(), p.telemetry.as_ref().unwrap());
             assert_eq!(s_t.to_jsonl(), p_t.to_jsonl());
             assert!(!s_t.records.is_empty());
+        }
+    }
+
+    #[test]
+    fn span_trace_rides_along_and_serializes_identically_across_jobs() {
+        let config = SimConfig::small_test(Scheme::Pad);
+        let trace = shared_trace(&config);
+        let cases = vec![attack_case(Scheme::Pad).record_trace(1 << 16); 2];
+        let serial = ConfigSweep::new(Arc::clone(&trace), 11)
+            .run(cases.clone())
+            .unwrap();
+        let parallel = ConfigSweep::new(trace, 11).with_jobs(4).run(cases).unwrap();
+        for (s, p) in serial.iter().zip(&parallel) {
+            let (s_t, p_t) = (s.trace.as_ref().unwrap(), p.trace.as_ref().unwrap());
+            assert_eq!(s_t.to_jsonl(), p_t.to_jsonl());
+            assert_eq!(s_t.to_csv(), p_t.to_csv());
+            assert!(!s_t.spans.is_empty());
         }
     }
 

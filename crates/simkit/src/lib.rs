@@ -20,6 +20,9 @@
 //! * [`telemetry`] — a deterministic metrics registry, per-tick trace
 //!   recording (`Recorder` sinks, JSONL/CSV codecs) and offline trace
 //!   inspection;
+//! * [`trace`] — sim-time **spans** with causal parent links (`SpanSink`
+//!   recording, JSONL/CSV codecs) and forensic incident reconstruction
+//!   over a recorded span trace;
 //! * [`detect`] — allocation-light streaming anomaly detectors (EWMA
 //!   z-score, CUSUM, spike-train, drain-rate) and a `DetectorBank` that
 //!   consumes telemetry streams live or replayed.
@@ -58,6 +61,7 @@ pub mod sweep;
 pub mod table;
 pub mod telemetry;
 pub mod time;
+pub mod trace;
 
 /// Convenient re-exports of the most common `simkit` items.
 pub mod prelude {
@@ -75,6 +79,9 @@ pub mod prelude {
         EventKind, MetricId, MetricRegistry, Recorder, RingRecorder, TelemetryDump, TelemetrySink,
     };
     pub use crate::time::{SimDuration, SimTime};
+    pub use crate::trace::{
+        RingSpanRecorder, Span, SpanId, SpanRecorder, SpanSink, TraceDump, Tracer,
+    };
 }
 
 pub use detect::{Detector, DetectorBank, FusedVerdict, StreamDetector, Verdict};
@@ -87,3 +94,4 @@ pub use stats::{OnlineStats, ScenarioCost};
 pub use sweep::{Metered, SweepRunner};
 pub use telemetry::{MetricId, MetricRegistry, Recorder, TelemetryDump, TelemetrySink};
 pub use time::{SimDuration, SimTime};
+pub use trace::{SpanId, SpanSink, TraceDump, Tracer};

@@ -223,6 +223,10 @@ impl EventLog {
     }
 
     /// Renders the retained events as lines.
+    ///
+    /// When the log is partial, a footer line reports how many events
+    /// were evicted by lane capacity and how many were filtered by the
+    /// severity floor, so readers know what is missing.
     pub fn render(&self) -> String {
         let mut out = String::new();
         if self.evicted > 0 {
@@ -233,6 +237,12 @@ impl EventLog {
         }
         for e in self.events() {
             out.push_str(&format!("{e}\n"));
+        }
+        if self.evicted > 0 || self.filtered > 0 {
+            out.push_str(&format!(
+                "-- partial log: {} evicted, {} filtered --\n",
+                self.evicted, self.filtered
+            ));
         }
         out
     }
@@ -324,6 +334,23 @@ mod tests {
         assert_eq!(log.filtered(), 50);
         assert_eq!(log.evicted(), 0, "filtered events never occupied a slot");
         assert_eq!(log.min_severity(), Severity::Warning);
+    }
+
+    #[test]
+    fn render_footer_reports_evicted_and_filtered() {
+        // Complete log: no footer.
+        let mut log = EventLog::new(10);
+        log.record(SimTime::ZERO, Severity::Info, "s", "ok");
+        assert!(!log.render().contains("partial log"));
+
+        // Evictions and severity filtering both surface in the footer.
+        let mut log = EventLog::new(2).with_min_severity(Severity::Warning);
+        for i in 0..3u64 {
+            log.record(SimTime::from_secs(i), Severity::Info, "s", "noise");
+            log.record(SimTime::from_secs(i), Severity::Warning, "s", "warn");
+        }
+        let text = log.render();
+        assert!(text.ends_with("-- partial log: 1 evicted, 3 filtered --\n"));
     }
 
     #[test]

@@ -219,7 +219,9 @@ impl Summary {
 
     /// Linear-interpolated percentile, `p` in `[0, 100]`.
     ///
-    /// Returns 0.0 for an empty summary.
+    /// Returns `NaN` for an empty summary — an honest "no data" marker,
+    /// where the old `0.0` was indistinguishable from a real zero
+    /// observation.
     ///
     /// # Panics
     ///
@@ -227,7 +229,7 @@ impl Summary {
     pub fn percentile(&self, p: f64) -> f64 {
         assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
         if self.sorted.is_empty() {
-            return 0.0;
+            return f64::NAN;
         }
         let rank = p / 100.0 * (self.sorted.len() - 1) as f64;
         let lo = rank.floor() as usize;
@@ -570,8 +572,10 @@ mod tests {
     }
 
     #[test]
-    fn summary_empty_percentile_is_zero() {
-        assert_eq!(Summary::new().percentile(50.0), 0.0);
+    fn summary_empty_percentile_is_nan() {
+        assert!(Summary::new().percentile(50.0).is_nan());
+        assert!(Summary::new().percentile(0.0).is_nan());
+        assert!(Summary::new().median().is_nan());
     }
 
     #[test]

@@ -297,7 +297,7 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-fn err(line: usize, message: impl Into<String>) -> ParseError {
+pub(crate) fn err(line: usize, message: impl Into<String>) -> ParseError {
     ParseError {
         line,
         message: message.into(),
@@ -305,14 +305,14 @@ fn err(line: usize, message: impl Into<String>) -> ParseError {
 }
 
 /// Pulls `"key":` off the front of `rest`, returning what follows.
-fn expect_key<'a>(rest: &'a str, key: &str, line: usize) -> Result<&'a str, ParseError> {
+pub(crate) fn expect_key<'a>(rest: &'a str, key: &str, line: usize) -> Result<&'a str, ParseError> {
     let want = format!("\"{key}\":");
     rest.strip_prefix(&want)
         .ok_or_else(|| err(line, format!("expected key {key:?}")))
 }
 
 /// Splits `rest` at the next `,` or the closing `}`.
-fn next_field(rest: &str, line: usize) -> Result<(&str, &str), ParseError> {
+pub(crate) fn next_field(rest: &str, line: usize) -> Result<(&str, &str), ParseError> {
     if let Some(pos) = rest.find([',', '}']) {
         let (field, tail) = rest.split_at(pos);
         Ok((field, &tail[1..]))
@@ -321,7 +321,7 @@ fn next_field(rest: &str, line: usize) -> Result<(&str, &str), ParseError> {
     }
 }
 
-fn unquote(s: &str, line: usize) -> Result<&str, ParseError> {
+pub(crate) fn unquote(s: &str, line: usize) -> Result<&str, ParseError> {
     s.strip_prefix('"')
         .and_then(|s| s.strip_suffix('"'))
         .ok_or_else(|| err(line, format!("expected quoted string, got {s:?}")))
@@ -551,6 +551,37 @@ mod tests {
         )
         .unwrap_err();
         assert!(e.message.contains("unknown event kind"));
+    }
+
+    #[test]
+    fn non_finite_gauges_round_trip_both_formats() {
+        // NaN, ±inf appear legitimately (e.g. percentile of an empty
+        // summary); Rust's f64 Display/parse handles them, and the wire
+        // formats must not corrupt them.
+        let mut reg = MetricRegistry::new();
+        let g = reg.register_gauge("g");
+        let records: Vec<Record> = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY]
+            .into_iter()
+            .enumerate()
+            .map(|(i, value)| {
+                Record::Sample(Sample {
+                    time: SimTime::from_millis(i as u64),
+                    metric: g,
+                    value,
+                })
+            })
+            .collect();
+        for format in [Format::Jsonl, Format::Csv] {
+            let text = match format {
+                Format::Jsonl => to_jsonl(&reg, &records),
+                Format::Csv => to_csv(&reg, &records),
+            };
+            let parsed = parse(&text, format).unwrap();
+            assert_eq!(parsed.len(), 3);
+            assert!(parsed[0].value.is_nan(), "{format:?} NaN");
+            assert_eq!(parsed[1].value, f64::INFINITY, "{format:?} +inf");
+            assert_eq!(parsed[2].value, f64::NEG_INFINITY, "{format:?} -inf");
+        }
     }
 
     #[test]

@@ -167,6 +167,58 @@ impl TelemetryReport {
         }
         out
     }
+
+    /// Renders the report in Prometheus text exposition format
+    /// (`padsim inspect --prom`), so a recorded trace can be pushed
+    /// into any Prometheus-compatible toolchain.
+    ///
+    /// Each metric's aggregates become gauges labelled by metric name
+    /// (`pad_metric_mean{metric="rack-00.draw_w"} 123.45`), each event
+    /// kind a `pad_events_total{kind="..."}` counter. Output order is
+    /// deterministic (BTreeMap iteration), and values use Rust's `f64`
+    /// `Display`, matching the trace codec's determinism contract.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        type Aggregate = (&'static str, &'static str, fn(&MetricDigest) -> f64);
+        let mut out = String::new();
+        let aggregates: [Aggregate; 6] = [
+            ("pad_metric_count", "samples recorded", |d| {
+                d.stats.count() as f64
+            }),
+            ("pad_metric_mean", "mean of samples", |d| d.stats.mean()),
+            ("pad_metric_min", "minimum sample", |d| d.stats.min()),
+            ("pad_metric_max", "maximum sample", |d| d.stats.max()),
+            ("pad_metric_p50", "median sample", |d| d.summary.median()),
+            ("pad_metric_p95", "95th percentile sample", |d| {
+                d.summary.percentile(95.0)
+            }),
+        ];
+        for (name, help, f) in aggregates {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            for digest in self.metrics.values() {
+                let _ = writeln!(out, "{name}{{metric=\"{}\"}} {}", digest.name, f(digest));
+            }
+        }
+        if !self.events.is_empty() {
+            let _ = writeln!(out, "# HELP pad_events_total events recorded, by kind");
+            let _ = writeln!(out, "# TYPE pad_events_total counter");
+            for digest in self.events.values() {
+                let _ = writeln!(
+                    out,
+                    "pad_events_total{{kind=\"{}\"}} {}",
+                    digest.kind, digest.count
+                );
+            }
+        }
+        let _ = writeln!(out, "# HELP pad_trace_samples_total samples in the trace");
+        let _ = writeln!(out, "# TYPE pad_trace_samples_total counter");
+        let _ = writeln!(out, "pad_trace_samples_total {}", self.samples);
+        let _ = writeln!(out, "# HELP pad_trace_span_ms latest sim-time in the trace");
+        let _ = writeln!(out, "# TYPE pad_trace_span_ms gauge");
+        let _ = writeln!(out, "pad_trace_span_ms {}", self.span_ms);
+        out
+    }
 }
 
 #[cfg(test)]
@@ -195,6 +247,26 @@ mod tests {
         assert_eq!(sheds[0].sources, vec!["rack-00", "rack-01"]);
         assert_eq!(sheds[0].first_ms, 100);
         assert_eq!(sheds[0].last_ms, 200);
+    }
+
+    #[test]
+    fn prometheus_exposition_is_labelled_and_deterministic() {
+        let trace = "{\"t\":0,\"m\":\"a.x\",\"v\":1}\n\
+                     {\"t\":100,\"m\":\"a.x\",\"v\":3}\n\
+                     {\"t\":100,\"e\":\"shed\",\"s\":\"rack-01\",\"v\":4}\n";
+        let records = parse(trace, Format::Jsonl).unwrap();
+        let report = TelemetryReport::from_records(&records);
+        let prom = report.render_prometheus();
+        assert!(prom.contains("# TYPE pad_metric_mean gauge"));
+        assert!(prom.contains("pad_metric_mean{metric=\"a.x\"} 2\n"));
+        assert!(prom.contains("pad_metric_count{metric=\"a.x\"} 2\n"));
+        assert!(prom.contains("pad_events_total{kind=\"shed\"} 1\n"));
+        assert!(prom.contains("pad_trace_samples_total 2\n"));
+        assert!(prom.contains("pad_trace_span_ms 100\n"));
+        assert_eq!(
+            prom,
+            TelemetryReport::from_records(&records).render_prometheus()
+        );
     }
 
     #[test]
