@@ -34,6 +34,11 @@ use crate::units::{Joules, WattHours, Watts};
 pub struct BatteryCabinet {
     storage: LowVoltageDisconnect<LeadAcidBattery>,
     charger: ChargeController,
+    /// Usable-capacity multiplier in `(0, 1]`: aged or faulted packs
+    /// cannot hold their nameplate energy. Charging stops at
+    /// `capacity_factor × capacity`; applying a lower factor sheds any
+    /// excess immediately (the charge the plates can no longer hold).
+    capacity_factor: f64,
 }
 
 impl BatteryCabinet {
@@ -64,6 +69,7 @@ impl BatteryCabinet {
         BatteryCabinet {
             storage: LowVoltageDisconnect::new(battery),
             charger: ChargeController::new(policy, charge_rate),
+            capacity_factor: 1.0,
         }
     }
 
@@ -72,7 +78,39 @@ impl BatteryCabinet {
         BatteryCabinet {
             storage: LowVoltageDisconnect::new(LeadAcidBattery::new(capacity)),
             charger: ChargeController::new(policy, charge_rate),
+            capacity_factor: 1.0,
         }
+    }
+
+    /// The current usable-capacity multiplier.
+    pub fn capacity_factor(&self) -> f64 {
+        self.capacity_factor
+    }
+
+    /// Applies capacity fade: the pack can only hold
+    /// `factor × capacity` from now on. If it currently holds more, the
+    /// excess is shed immediately. `factor = 1.0` restores the nameplate
+    /// ceiling (it does not refund shed energy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not in `(0, 1]`.
+    pub fn set_capacity_factor(&mut self, factor: f64) {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "capacity factor {factor} not in (0,1]"
+        );
+        self.capacity_factor = factor;
+        if self.soc() > factor {
+            self.storage.inner_mut().set_soc(factor);
+        }
+    }
+
+    /// Caps a charging request so stored energy never exceeds the faded
+    /// ceiling.
+    fn fade_limited(&self, power: Watts, dt: SimDuration) -> Watts {
+        let room = (self.capacity().0 * self.capacity_factor - self.stored().0).max(0.0);
+        power.min(Watts(room / dt.as_secs_f64().max(1e-9)))
     }
 
     /// Whether the LVD currently connects the battery to the bus.
@@ -104,6 +142,7 @@ impl BatteryCabinet {
     /// actually consumed by charging.
     pub fn charge_step(&mut self, headroom: Watts, dt: SimDuration) -> Watts {
         let desired = self.charger.desired_power(self.soc(), headroom);
+        let desired = self.fade_limited(desired, dt);
         if desired.0 <= 0.0 {
             // Idle: still let the chemistry rest/diffuse.
             self.storage.inner_mut().rest(dt);
@@ -140,7 +179,8 @@ impl EnergyStorage for BatteryCabinet {
     }
 
     fn charge(&mut self, power: Watts, dt: SimDuration) -> Watts {
-        self.storage.charge(power, dt)
+        let allowed = self.fade_limited(power, dt);
+        self.storage.charge(allowed, dt)
     }
 }
 
@@ -376,6 +416,40 @@ mod tests {
             Watts::ZERO
         );
         assert_eq!(cab.disconnect_count(), 1);
+    }
+
+    #[test]
+    fn capacity_fade_caps_stored_energy() {
+        let mut cab = BatteryCabinet::facebook_v1(Watts(1000.0));
+        assert_eq!(cab.capacity_factor(), 1.0);
+        cab.set_capacity_factor(0.6);
+        // The full pack sheds down to the faded ceiling at once.
+        assert!(
+            (cab.soc() - 0.6).abs() < 1e-9,
+            "soc {} after fade",
+            cab.soc()
+        );
+        // Charging cannot push past the ceiling, however long it runs.
+        for _ in 0..1000 {
+            cab.charge(Watts(10_000.0), SimDuration::from_secs(60));
+        }
+        assert!(
+            cab.soc() <= 0.6 + 1e-9,
+            "soc {} exceeds faded ceiling",
+            cab.soc()
+        );
+        // Restoring the factor reopens headroom but refunds nothing.
+        cab.set_capacity_factor(1.0);
+        assert!((cab.soc() - 0.6).abs() < 1e-6);
+        cab.charge(Watts(500.0), SimDuration::from_secs(60));
+        assert!(cab.soc() > 0.6);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in (0,1]")]
+    fn zero_capacity_factor_rejected() {
+        let mut cab = BatteryCabinet::facebook_v1(Watts(1000.0));
+        cab.set_capacity_factor(0.0);
     }
 
     #[test]

@@ -1,0 +1,38 @@
+//! Regenerates the fault-tolerance table: survival under coordinator-
+//! message loss with the watchdog fallback armed vs frozen stale plans
+//! (not in the paper — the robustness extension's headline result).
+//!
+//! Accepts `--jobs <N>` to fan the `(mode, loss, seed)` grid across
+//! workers; the table is byte-identical for any worker count.
+
+fn main() {
+    let fidelity = pad_bench::fidelity_from_args();
+    let jobs = jobs_from_args();
+    pad_bench::banner(
+        "fault_tolerance",
+        "watchdog fallback vs frozen plans (robustness extension)",
+        fidelity,
+    );
+    print!(
+        "{}",
+        pad::experiments::fault_tolerance::run_with_jobs(fidelity, jobs).render()
+    );
+}
+
+/// Parses `--jobs <N>` (default 1).
+fn jobs_from_args() -> usize {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--jobs" {
+            return args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(|| {
+                    eprintln!("--jobs expects a positive integer");
+                    std::process::exit(2);
+                });
+        }
+    }
+    1
+}

@@ -10,6 +10,7 @@
 //! padsim inspect out/pad.jsonl
 //! padsim detect --replay out/pad.jsonl
 //! padsim --telemetry out/ --trace out/ && padsim incident out/
+//! padsim fault --plan ci-smoke --out faulted/
 //! ```
 
 use std::path::{Path, PathBuf};
@@ -23,11 +24,13 @@ use pad::detect::{
 };
 use pad::experiments::detect_rates::{GRACE, LEAD_IN};
 use pad::experiments::{testbed_config, testbed_trace};
+use pad::fault::{named_plan, DegradedConfig, NAMED_PLANS};
 use pad::schemes::Scheme;
 use pad::sim::{ClusterSim, EmergencyAction, SimConfig};
 use pad::sweep::{AttackSpec, ConfigSweep, SurvivalCase, Victim};
 use powerinfra::server::ServerSpec;
 use powerinfra::topology::{ClusterTopology, RackId};
+use simkit::fault::FaultPlan;
 use simkit::heatmap::Heatmap;
 use simkit::table::Table;
 use simkit::telemetry::codec::{parse, Format, ParsedRecord};
@@ -56,6 +59,7 @@ USAGE:
     padsim inspect <trace-file> [--names] [--prom] [--format jsonl|csv]
     padsim incident <trace-dir|spans-file> [--names] [--json] [--format jsonl|csv]
     padsim detect [--replay <trace-file>] [DETECT OPTIONS]
+    padsim fault [--plan <name|file.json>] [FAULT OPTIONS]
 
 SUBCOMMANDS:
     inspect <file>                          summarize a recorded telemetry trace
@@ -91,6 +95,26 @@ SUBCOMMANDS:
                                             --class <cpu|mem|io> --nodes <N>
                                             --duration-mins <N> --seed <N>
                                             --jobs <N> --roc
+    fault                                   run an attack under an injected
+                                            fault plan with the graceful-
+                                            degradation control plane armed,
+                                            and report what the injector did
+                                            (fault_report.json with --out).
+                                            --plan names a built-in plan
+                                            (ci-smoke, sensor-storm, partition,
+                                            brownout) or a JSON plan file;
+                                            --list prints the built-in names;
+                                            --print-plan dumps the resolved
+                                            plan as JSON (a scaffold for custom
+                                            plans); --no-fallback disarms the
+                                            staleness watchdog (frozen-plan
+                                            mode). Options: --plan <name|file>
+                                            --scheme <...> --style <...>
+                                            --class <...> --nodes <N>
+                                            --victims <N> --seed <N>
+                                            --attack-at-mins <N> [default: 10]
+                                            --duration-mins <N> [default: 20]
+                                            --out <dir> --format <jsonl|csv>
 
 OPTIONS:
     --scheme <conv|ps|pspc|udeb|vdeb|pad|all>  defense scheme   [default: pad]
@@ -194,6 +218,10 @@ fn parse_args() -> Args {
     if it.peek().map(String::as_str) == Some("detect") {
         it.next();
         run_detect(it);
+    }
+    if it.peek().map(String::as_str) == Some("fault") {
+        it.next();
+        run_fault(it);
     }
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -323,8 +351,56 @@ fn run_inspect(mut it: impl Iterator<Item = String>) -> ! {
     } else {
         print!("{}", report.render());
         print_detection_counts(&records);
+        print_fault_windows(&records);
     }
     std::process::exit(0);
+}
+
+/// When the trace carries `fault_injected` / `fault_cleared` events (a
+/// faulted run recorded by `padsim fault`), prints each fault window:
+/// spec index, target, and the open/close times — the quick answer to
+/// "what was broken, where, and when" before reaching for `incident`.
+fn print_fault_windows(records: &[ParsedRecord]) {
+    let edges: Vec<&ParsedRecord> = records
+        .iter()
+        .filter(|r| r.is_event && (r.name == "fault_injected" || r.name == "fault_cleared"))
+        .collect();
+    if edges.is_empty() {
+        return;
+    }
+    let mut table = Table::new(vec!["spec", "target", "injected", "cleared"]);
+    table.title("fault windows (spec index within the injected plan)");
+    // Pair each open with the next close of the same (spec, target). A
+    // window still open at the end of the trace shows a dash; so does
+    // the open time of a close whose open was evicted by the ring.
+    let mut rows: Vec<(f64, String, Option<u64>, Option<u64>)> = Vec::new();
+    for edge in &edges {
+        if edge.name == "fault_injected" {
+            rows.push((edge.value, edge.source.clone(), Some(edge.time_ms), None));
+        } else if let Some(slot) = rows.iter_mut().find(|(value, source, _, close)| {
+            close.is_none() && *value == edge.value && *source == edge.source
+        }) {
+            slot.3 = Some(edge.time_ms);
+        } else {
+            rows.push((edge.value, edge.source.clone(), None, Some(edge.time_ms)));
+        }
+    }
+    let fmt = |ms: Option<u64>| {
+        ms.map_or_else(
+            || "-".to_string(),
+            |ms| SimTime::from_millis(ms).to_string(),
+        )
+    };
+    for (value, source, open, close) in &rows {
+        table.row(vec![
+            format!("{value:.0}"),
+            source.clone(),
+            fmt(*open),
+            fmt(*close),
+        ]);
+    }
+    println!();
+    print!("{}", table.render());
 }
 
 /// When the trace carries `detector_fired` events (a detection trace),
@@ -693,6 +769,257 @@ fn run_detect(mut it: impl Iterator<Item = String>) -> ! {
             ]);
         }
         print!("{}", table.render());
+    }
+    std::process::exit(0);
+}
+
+/// Resolves `--plan`: a built-in name first, then a JSON plan file.
+fn resolve_plan(name: &str) -> FaultPlan {
+    if let Some(plan) = named_plan(name) {
+        return plan;
+    }
+    let text = std::fs::read_to_string(name).unwrap_or_else(|e| {
+        fail(&format!(
+            "--plan {name:?} is neither a built-in plan ({}) nor a readable file: {e}",
+            NAMED_PLANS.join(", ")
+        ))
+    });
+    FaultPlan::from_json(&text).unwrap_or_else(|e| fail(&format!("{name}: {e}")))
+}
+
+/// Human label for a fault target.
+fn target_label(target: simkit::fault::FaultTarget) -> String {
+    match target {
+        simkit::fault::FaultTarget::All => "cluster".to_string(),
+        simkit::fault::FaultTarget::Unit(u) => format!("rack-{u:02}"),
+    }
+}
+
+/// `padsim fault`: run a labeled attack while an injected fault plan
+/// degrades the sensors, the coordinator link, and the physical layer —
+/// with the graceful-degradation control plane armed (or disarmed with
+/// `--no-fallback`, the frozen-plan mode the fault-tolerance experiment
+/// compares against). Reports the survival summary plus what the
+/// injector actually did; `--out` also writes `fault_report.json` next
+/// to the usual telemetry and span traces.
+fn run_fault(mut it: impl Iterator<Item = String>) -> ! {
+    let mut plan_name = "ci-smoke".to_string();
+    let mut list = false;
+    let mut print_plan = false;
+    let mut no_fallback = false;
+    let mut out: Option<PathBuf> = None;
+    let mut format = Format::Jsonl;
+    let mut args = Args {
+        attack_at_mins: 10,
+        duration_mins: 20,
+        ..Args::default()
+    };
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{name} requires a value")))
+        };
+        match flag.as_str() {
+            "--plan" => plan_name = value("--plan"),
+            "--list" => list = true,
+            "--print-plan" => print_plan = true,
+            "--no-fallback" => no_fallback = true,
+            "--out" => out = Some(PathBuf::from(value("--out"))),
+            "--format" => {
+                let name = value("--format");
+                format = Format::from_name(&name)
+                    .unwrap_or_else(|| fail(&format!("unknown format {name:?}")));
+            }
+            "--scheme" => {
+                args.scheme = match value("--scheme").to_lowercase().as_str() {
+                    "conv" => Scheme::Conv,
+                    "ps" => Scheme::Ps,
+                    "pspc" => Scheme::Pspc,
+                    "udeb" => Scheme::UDebOnly,
+                    "vdeb" => Scheme::VDebOnly,
+                    "pad" => Scheme::Pad,
+                    other => fail(&format!("unknown scheme {other:?}")),
+                }
+            }
+            "--style" => {
+                args.style = match value("--style").to_lowercase().as_str() {
+                    "dense" => AttackStyle::Dense,
+                    "sparse" => AttackStyle::Sparse,
+                    other => fail(&format!("unknown style {other:?}")),
+                }
+            }
+            "--class" => {
+                args.class = match value("--class").to_lowercase().as_str() {
+                    "cpu" => VirusClass::CpuIntensive,
+                    "mem" => VirusClass::MemIntensive,
+                    "io" => VirusClass::IoIntensive,
+                    other => fail(&format!("unknown class {other:?}")),
+                }
+            }
+            "--nodes" => args.nodes = parse_num(&value("--nodes"), "--nodes"),
+            "--victims" => args.victims = parse_num(&value("--victims"), "--victims"),
+            "--seed" => args.seed = parse_num(&value("--seed"), "--seed") as u64,
+            "--attack-at-mins" => {
+                args.attack_at_mins =
+                    parse_num(&value("--attack-at-mins"), "--attack-at-mins") as u64
+            }
+            "--duration-mins" => {
+                args.duration_mins = parse_num(&value("--duration-mins"), "--duration-mins") as u64
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => fail(&format!("unknown fault argument {other:?}")),
+        }
+    }
+    if list {
+        for name in NAMED_PLANS {
+            println!("{name}");
+        }
+        std::process::exit(0);
+    }
+    let plan = resolve_plan(&plan_name);
+    if print_plan {
+        println!("{}", plan.to_json());
+        std::process::exit(0);
+    }
+
+    let config = build_config(&args, args.scheme);
+    let degraded = if no_fallback {
+        DegradedConfig::for_grant_interval(config.grant_interval).without_fallback()
+    } else {
+        DegradedConfig::for_grant_interval(config.grant_interval)
+    };
+    let attack_at = SimTime::from_mins(args.attack_at_mins);
+    let horizon = attack_at + SimDuration::from_mins(args.duration_mins);
+    let trace = SynthConfig {
+        machines: config.topology.total_servers(),
+        horizon: horizon + SimDuration::from_mins(10),
+        mean_utilization: args.mean_util,
+        machine_bias_std: 0.04,
+        ..SynthConfig::google_may2010()
+    }
+    .generate_direct(args.seed);
+    let grant_interval = config.grant_interval;
+    let mut sim = match ClusterSim::new(config, trace) {
+        Ok(sim) => sim,
+        Err(e) => fail(&e),
+    };
+    sim.reseed_noise(args.seed ^ 0x5EED);
+    // Unlike the plain attack run, telemetry and spans start at t=0:
+    // the named plans open their first windows before the attack lands,
+    // and those edges are part of the story.
+    if out.is_some() {
+        sim.enable_telemetry(DEFAULT_TELEMETRY_CAPACITY);
+        sim.enable_tracing(DEFAULT_TRACE_CAPACITY);
+    }
+    if let Err(e) = sim.enable_faults(plan.clone(), degraded, 0xFA11 ^ args.seed) {
+        fail(&format!("invalid fault plan: {e}"));
+    }
+
+    println!(
+        "padsim fault: {} racks x {} servers, scheme {}, plan {:?} ({} spec(s)), {}",
+        args.racks,
+        args.servers,
+        args.scheme.label(),
+        plan.name(),
+        plan.len(),
+        if no_fallback {
+            "watchdog DISARMED (frozen-plan mode)".to_string()
+        } else {
+            format!(
+                "watchdog fallback after {} of silence",
+                degraded.watchdog_timeout
+            )
+        }
+    );
+    let mut schedule = Table::new(vec!["spec", "fault", "target", "window"]);
+    schedule.title("injected fault schedule");
+    for (i, spec) in plan.specs().iter().enumerate() {
+        schedule.row(vec![
+            i.to_string(),
+            spec.kind.to_string(),
+            target_label(spec.target),
+            format!("{}..{}", spec.start, spec.end),
+        ]);
+    }
+    print!("{}", schedule.render());
+
+    // Warm to the attack with faults live, then hit the weakest racks.
+    sim.run(attack_at, SimDuration::from_millis(100), false);
+    let scenario = AttackScenario::new(args.style, args.class, args.nodes);
+    let mut by_soc: Vec<(usize, f64)> = sim.rack_socs().into_iter().enumerate().collect();
+    by_soc.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite SOC"));
+    let victims: Vec<RackId> = by_soc
+        .iter()
+        .take(args.victims.clamp(1, args.racks))
+        .map(|&(r, _)| RackId(r))
+        .collect();
+    for (i, &v) in victims.iter().enumerate() {
+        println!(
+            "attack: {} from t={} against {} (battery at {:.0}%)",
+            scenario.label(),
+            attack_at,
+            v,
+            sim.rack_socs()[v.0] * 100.0
+        );
+        if i == 0 {
+            sim.set_attack(scenario, v, attack_at);
+        } else {
+            sim.add_attack(scenario, v, attack_at);
+        }
+    }
+    let report = sim.run(horizon, SimDuration::from_millis(100), true);
+
+    println!();
+    match report.survival() {
+        Some(t) => println!("SURVIVAL: {:.0} s", t.as_secs_f64()),
+        None => println!(
+            "SURVIVAL: > {:.0} s (no overload within the window)",
+            report.survival_or_horizon().as_secs_f64()
+        ),
+    }
+    println!(
+        "overload excursions: {}   breaker trips: {}   throughput: {:.3}",
+        report.effective_attacks(),
+        report.breaker_trips,
+        report.normalized_throughput()
+    );
+
+    let faults = sim.faults().expect("fault injection was enabled");
+    let c = faults.counters();
+    println!(
+        "fault windows: {} opened, {} cleared",
+        c.injected, c.cleared
+    );
+    println!(
+        "sensor path:   {} readings corrupted, {} dropped",
+        c.readings_corrupted, c.readings_dropped
+    );
+    println!(
+        "control path:  {} plan entries lost, {} delayed, {} reordered, {} retries used",
+        c.plans_lost, c.plans_delayed, c.plans_reordered, c.retries_used
+    );
+    println!(
+        "degradation:   {} fallback entries, {} rack-ticks in local control (grant interval {})",
+        c.fallback_entries, c.fallback_ticks, grant_interval
+    );
+    let fault_report = faults.report();
+
+    if let Some(dir) = &out {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            fail(&format!("cannot create {}: {e}", dir.display()));
+        }
+        let report_path = dir.join("fault_report.json");
+        if let Err(e) = std::fs::write(&report_path, fault_report.to_json() + "\n") {
+            fail(&format!("cannot write {}: {e}", report_path.display()));
+        }
+        println!("fault report -> {}", report_path.display());
+        let dump = sim.take_telemetry().expect("telemetry was enabled");
+        write_telemetry(dir, args.scheme, format, &dump);
+        let spans = sim.take_trace().expect("tracing was enabled");
+        write_trace(dir, args.scheme, format, &spans);
     }
     std::process::exit(0);
 }

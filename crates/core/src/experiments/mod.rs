@@ -24,10 +24,12 @@
 //! | [`ablation`] | design-choice sweeps (not in the paper) |
 //! | [`validation`] | executable platform premises (§V's validation role) |
 //! | [`recon`] | attacker information yield, PS vs vDEB (§IV.B.1 claim) |
+//! | [`fault_tolerance`] | survival under coordinator faults, watchdog fallback vs frozen plans (not in the paper) |
 
 pub mod ablation;
 pub mod background;
 pub mod detect_rates;
+pub mod fault_tolerance;
 pub mod fig05;
 pub mod fig06;
 pub mod fig07;

@@ -40,6 +40,9 @@
 //! * [`detect`] — streaming attack detectors over the telemetry channels,
 //!   their fusion into policy evidence, and the labeled-scenario
 //!   evaluation harness (ROC, confusion, detection latency);
+//! * [`fault`] — deterministic fault injection (sensor, message, and
+//!   component faults) and the graceful-degradation control plane
+//!   (staleness watchdog, bounded retry, safe local fallback);
 //! * [`vdeb`] — Algorithm 1, the SOC-proportional pooled-discharge plan;
 //! * [`udeb`] — the ORing super-capacitor spike shaver and its cost model;
 //! * [`shedding`] — Level-3 emergency load shedding (≤3% of servers);
@@ -59,6 +62,7 @@
 
 pub mod detect;
 pub mod experiments;
+pub mod fault;
 pub mod metrics;
 pub mod migration;
 pub mod policy;
@@ -80,6 +84,7 @@ pub mod units {
 /// Convenient re-exports for typical PAD usage.
 pub mod prelude {
     pub use crate::detect::{DetectConfig, SimDetectors, TickVerdict};
+    pub use crate::fault::{DegradedConfig, FaultReport, SimFaults};
     pub use crate::metrics::{OverloadEvent, SocHistory, SurvivalReport};
     pub use crate::migration::{LoadMigrator, MigrationPlan};
     pub use crate::policy::{
@@ -96,9 +101,11 @@ pub mod prelude {
     pub use attack::scenario::{AttackScenario, AttackStyle};
     pub use attack::virus::VirusClass;
     pub use powerinfra::topology::RackId;
+    pub use simkit::fault::{FaultKind, FaultPlan, FaultSpec, FaultTarget};
 }
 
 pub use detect::{DetectConfig, SimDetectors, TickVerdict};
+pub use fault::{DegradedConfig, FaultReport, SimFaults};
 pub use metrics::{OverloadEvent, SocHistory, SurvivalReport};
 pub use policy::{DetectionEvidence, SecurityLevel, SecurityPolicy, Strictness};
 pub use schemes::Scheme;

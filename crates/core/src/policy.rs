@@ -119,6 +119,12 @@ pub struct SecurityPolicy {
     strictness: Strictness,
     level: SecurityLevel,
     transitions: u64,
+    /// Minimum number of `update` calls the FSM must reside at a level
+    /// before a *de-escalation* is allowed. `0` (the default) reproduces
+    /// the paper's Figure 9 exactly.
+    hold_down: u32,
+    /// Completed `update` calls since the current level was entered.
+    residency: u32,
 }
 
 impl SecurityPolicy {
@@ -128,7 +134,27 @@ impl SecurityPolicy {
             strictness,
             level: SecurityLevel::Normal,
             transitions: 0,
+            hold_down: 0,
+            residency: 0,
         }
+    }
+
+    /// Sets a minimum-residency hold-down: after entering a level, at
+    /// least `ticks` further `update` calls must elapse before the FSM
+    /// may step *down* (L2 → L1, L3 → L2). Escalations are never delayed
+    /// — the hold-down guards recovery only, so one faulted "all healthy"
+    /// tick in the middle of an attack cannot flap the policy from
+    /// Emergency back toward Normal. `0` disables the hold-down and
+    /// reproduces the paper's FSM exactly.
+    pub fn with_hold_down(mut self, ticks: u32) -> Self {
+        self.hold_down = ticks;
+        self
+    }
+
+    /// The configured minimum residency (in `update` calls) before a
+    /// de-escalation.
+    pub fn hold_down(&self) -> u32 {
+        self.hold_down
     }
 
     /// The configured strictness.
@@ -176,6 +202,10 @@ impl SecurityPolicy {
     /// * L3 → L2 when the µDEB is recharged and the attack is no longer
     ///   confirmed.
     ///
+    /// De-escalations are additionally gated by the minimum-residency
+    /// hold-down (see [`SecurityPolicy::with_hold_down`]); escalations
+    /// are applied immediately.
+    ///
     /// Returns the (possibly unchanged) level.
     pub fn update(&mut self, inputs: PolicyInputs) -> SecurityLevel {
         let suspected = inputs.detection >= DetectionEvidence::Suspected;
@@ -207,9 +237,18 @@ impl SecurityPolicy {
                 }
             }
         };
+        // De-escalations wait out the hold-down; escalations never do.
+        let next = if next < self.level && self.residency < self.hold_down {
+            self.level
+        } else {
+            next
+        };
         if next != self.level {
             self.transitions += 1;
             self.level = next;
+            self.residency = 0;
+        } else {
+            self.residency = self.residency.saturating_add(1);
         }
         self.level
     }
@@ -218,6 +257,7 @@ impl SecurityPolicy {
     pub fn reset(&mut self, inputs: PolicyInputs) {
         self.level = Self::initial_level(self.strictness, inputs);
         self.transitions = 0;
+        self.residency = 0;
     }
 }
 
@@ -427,6 +467,64 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn hold_down_blocks_single_tick_deescalation() {
+        // One faulted "all healthy" tick must not walk the FSM back from
+        // Emergency while the hold-down is in force.
+        let mut p = SecurityPolicy::default().with_hold_down(3);
+        p.update(inputs(false, true, false));
+        p.update(inputs(false, false, false));
+        assert_eq!(p.level(), SecurityLevel::Emergency);
+        // A single healthy tick right after entering L3: held.
+        assert_eq!(
+            p.update(inputs(true, true, false)),
+            SecurityLevel::Emergency
+        );
+        // Residency still short: held.
+        assert_eq!(
+            p.update(inputs(true, true, false)),
+            SecurityLevel::Emergency
+        );
+        assert_eq!(
+            p.update(inputs(true, true, false)),
+            SecurityLevel::Emergency
+        );
+        // Hold-down satisfied: one step down per residency period.
+        assert_eq!(
+            p.update(inputs(true, true, false)),
+            SecurityLevel::MinorIncident
+        );
+        // And the L2 residency restarts before L2 → L1 is allowed.
+        assert_eq!(
+            p.update(inputs(true, true, false)),
+            SecurityLevel::MinorIncident
+        );
+    }
+
+    #[test]
+    fn hold_down_never_delays_escalation() {
+        let mut p = SecurityPolicy::default().with_hold_down(100);
+        assert_eq!(p.hold_down(), 100);
+        assert_eq!(
+            p.update(inputs(false, true, false)),
+            SecurityLevel::MinorIncident
+        );
+        assert_eq!(
+            p.update(inputs(false, false, false)),
+            SecurityLevel::Emergency
+        );
+        assert_eq!(p.transitions(), 2);
+    }
+
+    #[test]
+    fn zero_hold_down_recovers_immediately() {
+        // The default (hold-down 0) keeps the paper's one-tick recovery.
+        let mut p = SecurityPolicy::default();
+        assert_eq!(p.hold_down(), 0);
+        p.update(inputs(false, true, false));
+        assert_eq!(p.update(inputs(true, true, false)), SecurityLevel::Normal);
     }
 
     #[test]

@@ -41,6 +41,7 @@ use powerinfra::pdu::{Pdu, PduConfig};
 use powerinfra::rack::Rack;
 use powerinfra::server::ServerSpec;
 use powerinfra::topology::{ClusterTopology, RackId};
+use simkit::fault::{FaultKind, FaultPlan, FaultTarget};
 use simkit::log::{EventLog, Severity};
 use simkit::rng::RngStream;
 use simkit::telemetry::{EventKind, RingRecorder, TelemetryDump, TelemetrySink};
@@ -49,6 +50,7 @@ use simkit::trace::{RingSpanRecorder, SpanSink, TraceDump};
 use workload::trace::ClusterTrace;
 
 use crate::detect::{DetectConfig, SimDetectors};
+use crate::fault::{DegradedConfig, SimFaults};
 use crate::metrics::{OverloadEvent, SocHistory, SurvivalReport};
 use crate::migration::LoadMigrator;
 use crate::policy::{DetectionEvidence, PolicyInputs, SecurityLevel, SecurityPolicy, Strictness};
@@ -122,6 +124,11 @@ pub struct SimConfig {
     pub grant_interval: SimDuration,
     /// PAD policy strictness for the Figure-9 unstable states.
     pub strictness: Strictness,
+    /// Minimum-residency hold-down (in policy updates) before the PAD
+    /// policy may de-escalate. `0` reproduces the paper FSM verbatim;
+    /// faulted deployments raise it so one corrupted tick of telemetry
+    /// cannot flap L3 back to L1.
+    pub policy_hold_down: u32,
     /// Standard deviation of fast per-rack electrical noise (PSU ripple,
     /// fans, disks) added to each rack's demand every step. This is what
     /// makes a marginal spike succeed *sometimes* — the paper's Figure 7
@@ -162,6 +169,7 @@ impl SimConfig {
             enforcement_window: SimDuration::SECOND,
             grant_interval: SimDuration::from_secs(10),
             strictness: Strictness::Strict,
+            policy_hold_down: 0,
             demand_jitter: nameplate * 0.01,
             protective_response: true,
         }
@@ -332,6 +340,8 @@ pub struct ClusterSim {
     detectors: Option<SimDetectors>,
     /// Causal sim-time span tracing, when enabled.
     tracer: Option<SimTracer>,
+    /// Fault injection and degraded-mode control plane, when enabled.
+    faults: Option<SimFaults>,
     /// Last-seen per-rack LVD disconnect counts (for logging).
     seen_disconnects: Vec<u32>,
     /// Last-seen policy level (for logging).
@@ -340,8 +350,16 @@ pub struct ClusterSim {
     seen_shed: usize,
     /// Held vDEB pool-discharge plan from the last slow-loop update.
     vdeb_plan_held: Vec<Watts>,
-    /// Held iPDU budget grants from the last slow-loop update.
+    /// Held iPDU budget grants from the last slow-loop update — what
+    /// each *rack* believes it may draw (goes stale under control-path
+    /// faults).
     grants_held: Vec<Watts>,
+    /// The coordinator's own latest grant assignment — what the iPDU
+    /// actually *entitles* each outlet to. The iPDU is colocated with
+    /// the coordinator, so this never goes stale; the overload predicate
+    /// judges draws against it. Identical to `grants_held` whenever the
+    /// control path is healthy.
+    grants_current: Vec<Watts>,
     /// Slow-loop averaging accumulators (excess, demand; watt-seconds).
     slow_excess_acc: Vec<f64>,
     slow_demand_acc: Vec<f64>,
@@ -423,7 +441,7 @@ impl ClusterSim {
         let migrator = LoadMigrator::new(0.5, config.server);
         let n = racks.len();
         Ok(ClusterSim {
-            policy: SecurityPolicy::new(config.strictness),
+            policy: SecurityPolicy::new(config.strictness).with_hold_down(config.policy_hold_down),
             vdeb: VdebController::default(),
             shedder,
             migrator,
@@ -452,11 +470,13 @@ impl ClusterSim {
             telemetry: None,
             detectors: None,
             tracer: None,
+            faults: None,
             seen_disconnects: vec![0; n],
             seen_level: SecurityLevel::Normal,
             seen_shed: 0,
             vdeb_plan_held: vec![Watts::ZERO; n],
             grants_held: vec![Watts::ZERO; n],
+            grants_current: vec![Watts::ZERO; n],
             slow_excess_acc: vec![0.0; n],
             slow_demand_acc: vec![0.0; n],
             slow_time_acc: 0.0,
@@ -497,6 +517,11 @@ impl ClusterSim {
     /// All overload events recorded so far (coalesced excursions).
     pub fn overloads(&self) -> &[OverloadEvent] {
         &self.overloads
+    }
+
+    /// Breaker trips (rack feeds and the cluster feed) recorded so far.
+    pub fn breaker_trips(&self) -> u32 {
+        self.breaker_trips
     }
 
     /// The forensic event log (LVD isolations, capping, policy
@@ -577,6 +602,46 @@ impl ClusterSim {
     pub fn take_trace(&mut self) -> Option<TraceDump> {
         let now = self.now;
         self.tracer.take().map(|t| t.into_dump(now))
+    }
+
+    /// Enables fault injection under `plan` with the given
+    /// degraded-mode configuration. All fault randomness forks from
+    /// `seed` (pass the scenario seed in sweeps), independently of the
+    /// demand-jitter stream, so faulted runs stay reproducible. The
+    /// injector arms at the current sim time with the current SOCs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid plan spec or config
+    /// field.
+    pub fn enable_faults(
+        &mut self,
+        plan: FaultPlan,
+        degraded: DegradedConfig,
+        seed: u64,
+    ) -> Result<(), String> {
+        let socs = self.rack_socs();
+        self.faults = Some(SimFaults::new(plan, degraded, seed, self.now, &socs)?);
+        Ok(())
+    }
+
+    /// The live fault injector, if enabled.
+    pub fn faults(&self) -> Option<&SimFaults> {
+        self.faults.as_ref()
+    }
+
+    /// Takes the fault injector out, restoring every derated breaker
+    /// and faded cabinet to its nominal factor. Fault injection is
+    /// disabled afterwards.
+    pub fn take_faults(&mut self) -> Option<SimFaults> {
+        let faults = self.faults.take();
+        if faults.is_some() {
+            for rack in &mut self.racks {
+                rack.breaker_mut().set_derate(1.0);
+                rack.cabinet_mut().set_capacity_factor(1.0);
+            }
+        }
+        faults
     }
 
     /// The PAD policy level (meaningful for the PAD scheme).
@@ -705,6 +770,62 @@ impl ClusterSim {
         // Whether causal span tracing is live; with a null span sink the
         // tracer reports disabled and every span hook below is skipped.
         let tracing_on = self.tracer.as_ref().is_some_and(SimTracer::enabled);
+
+        // 0a. Fault windows: detect opens/closes on the injected plan,
+        // emit forensic events (so incident reconstruction can attribute
+        // outages to faults vs attacks), and apply/restore component
+        // faults exactly on the edge. With no injector installed this
+        // whole stage is one branch.
+        if let Some(f) = &mut self.faults {
+            for e in f.begin_step(now) {
+                let source = match e.target {
+                    FaultTarget::Unit(u) if u < n => RackId(u).to_string(),
+                    _ => "cluster".to_string(),
+                };
+                let (event_kind, severity, what) = if e.injected {
+                    (
+                        EventKind::FaultInjected,
+                        Severity::Warning,
+                        "fault injected",
+                    )
+                } else {
+                    (EventKind::FaultCleared, Severity::Info, "fault cleared")
+                };
+                self.log.record(
+                    now,
+                    severity,
+                    source.clone(),
+                    format!("{}: {}", what, e.kind),
+                );
+                if let Some(t) = &mut self.telemetry {
+                    t.event(now, event_kind, &source, e.spec as f64);
+                }
+                if tracing_on {
+                    if let Some(tr) = &mut self.tracer {
+                        let rack = match e.target {
+                            FaultTarget::Unit(u) => u as f64,
+                            FaultTarget::All => -1.0,
+                        };
+                        tr.fault_window(now, e.spec, e.kind.index(), rack, e.injected);
+                    }
+                }
+                if matches!(
+                    e.kind,
+                    FaultKind::ComponentDerate { .. } | FaultKind::CapacityFade { .. }
+                ) {
+                    // Recompute from scratch so overlapping windows
+                    // compose (most severe wins) and clears restore the
+                    // next-most-severe factor, not blindly 1.0.
+                    for (r, rack) in self.racks.iter_mut().enumerate() {
+                        if e.target.covers(r) {
+                            rack.breaker_mut().set_derate(f.breaker_derate(now, r));
+                            rack.cabinet_mut()
+                                .set_capacity_factor(f.capacity_factor(now, r));
+                        }
+                    }
+                }
+            }
+        }
 
         // 0. Outage handling: a tripped rack feed leaves the rack dark
         // until the operator resets it ("more than 75% data centers
@@ -864,7 +985,14 @@ impl ClusterSim {
             let avg_demand: Vec<Watts> =
                 self.slow_demand_acc.iter().map(|&d| Watts(d / t)).collect();
             if self.config.scheme.has_vdeb() {
-                let socs = self.rack_socs();
+                // Algorithm 1 plans over what the SOC *sensors* report —
+                // an injected sensor fault corrupts the plan, never the
+                // ground-truth batteries.
+                let true_socs = self.rack_socs();
+                let socs = match &mut self.faults {
+                    Some(f) => f.report_socs(now, &true_socs),
+                    None => true_socs,
+                };
                 let total_excess: Watts = avg_excess.iter().copied().sum();
                 let plan = plan_discharge_with_reserve(
                     &socs,
@@ -872,43 +1000,131 @@ impl ClusterSim {
                     self.config.p_ideal,
                     self.config.vdeb_reserve_soc,
                 );
-                for ((held, assignment), demand) in
-                    self.vdeb_plan_held.iter_mut().zip(&plan).zip(&avg_demand)
+                // A rack's battery can only offset its own draw.
+                let mut computed = vec![Watts::ZERO; n];
+                for ((slot, assignment), demand) in computed.iter_mut().zip(&plan).zip(&avg_demand)
                 {
-                    // A rack's battery can only offset its own draw.
-                    *held = assignment.power.min(*demand);
+                    *slot = assignment.power.min(*demand);
                 }
                 // Budget freed by discharging racks plus unused budget is
                 // granted to racks whose average excess is not covered
                 // locally — the iPDU capacity-sharing step (Eq. 2 keeps
-                // the sum of outlet limits within P_PDU).
+                // the sum of outlet limits within P_PDU). Computed from
+                // the coordinator's *own* fresh plan: it cannot see
+                // which deliveries downstream will fail.
                 let headroom_total: Watts = avg_demand
                     .iter()
-                    .zip(&self.vdeb_plan_held)
+                    .zip(&computed)
                     .map(|(&demand, &planned)| (budget - (demand - planned)).clamp_non_negative())
                     .sum();
                 let mut headroom = headroom_total;
                 let mut residuals: Vec<(usize, Watts)> = (0..n)
                     .filter_map(|r| {
-                        let res = (avg_excess[r] - self.vdeb_plan_held[r]).clamp_non_negative();
+                        let res = (avg_excess[r] - computed[r]).clamp_non_negative();
                         (res.0 > 0.0).then_some((r, res))
                     })
                     .collect();
                 residuals.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
-                for r in 0..n {
-                    self.grants_held[r] = Watts::ZERO;
-                }
+                let mut computed_grants = vec![Watts::ZERO; n];
                 for (r, res) in residuals {
                     let g = res.min(headroom);
-                    self.grants_held[r] = g;
+                    computed_grants[r] = g;
                     headroom -= g;
+                }
+                self.grants_current.copy_from_slice(&computed_grants);
+                if let Some(f) = &mut self.faults {
+                    // The coordinator's per-rack round messages — plan
+                    // entry plus outlet grant — traverse the faulted
+                    // control path: loss (with bounded retry),
+                    // whole-round delay, reordering. Racks whose
+                    // delivery fails keep their stale held state.
+                    f.deliver_plan(
+                        now,
+                        &computed,
+                        &computed_grants,
+                        &socs,
+                        &mut self.vdeb_plan_held,
+                        &mut self.grants_held,
+                    );
+                } else {
+                    self.vdeb_plan_held.copy_from_slice(&computed);
+                    self.grants_held.copy_from_slice(&computed_grants);
                 }
             }
             self.slow_excess_acc.iter_mut().for_each(|v| *v = 0.0);
             self.slow_demand_acc.iter_mut().for_each(|v| *v = 0.0);
             self.slow_time_acc = 0.0;
         }
-        let grants = self.grants_held.clone();
+        // 3b. Graceful degradation. The staleness watchdog notices racks
+        // whose coordinator plan has not been refreshed within the
+        // timeout and flips them to safe local control; µDEB outage
+        // windows are resolved once per step for the fast layer, the
+        // recharge loop, and the policy below.
+        let mut fallback_cap: Vec<Option<Watts>> = Vec::new();
+        let mut udeb_out: Vec<bool> = Vec::new();
+        if let Some(f) = &mut self.faults {
+            if self.config.scheme.has_vdeb() {
+                for (r, entered) in f.watchdog_tick(now) {
+                    self.log.record(
+                        now,
+                        if entered {
+                            Severity::Warning
+                        } else {
+                            Severity::Info
+                        },
+                        RackId(r).to_string(),
+                        if entered {
+                            "coordinator plan stale - falling back to local control"
+                        } else {
+                            "coordinator plan fresh again - fallback cleared"
+                        },
+                    );
+                    if tracing_on {
+                        if let Some(tr) = &mut self.tracer {
+                            tr.fault_fallback(now, r, entered);
+                        }
+                    }
+                }
+                // Only materialize the per-rack cap map while some rack
+                // is actually in fallback; an empty map reads as "no cap
+                // anywhere" below, keeping the healthy path allocation-free.
+                if f.any_fallback() {
+                    fallback_cap = (0..n)
+                        .map(|r| {
+                            f.fallback_active(r).then(|| {
+                                f.fallback_cap(
+                                    now,
+                                    r,
+                                    self.config.p_ideal,
+                                    self.config.vdeb_reserve_soc,
+                                )
+                            })
+                        })
+                        .collect();
+                }
+            }
+            if f.outage_active(now) {
+                udeb_out = (0..n).map(|r| f.udeb_out(now, r)).collect();
+            }
+        }
+        let udeb_faulted = |r: usize| udeb_out.get(r).copied().unwrap_or(false);
+
+        // A rack in watchdog fallback also stops *spending* its held
+        // outlet grant: a grant is a lease on shared headroom, and a
+        // rack that cannot hear the coordinator cannot know whether the
+        // same headroom has since been re-granted to someone else.
+        // Frozen stale grants double-spend `P_PDU` (Eq. 2 holds per
+        // round, not across rounds), which is exactly the cluster-level
+        // overdraw the lease expiry prevents.
+        let grants: Vec<Watts> = (0..n)
+            .map(|r| {
+                if fallback_cap.get(r).is_some_and(|c| c.is_some()) {
+                    Watts::ZERO
+                } else {
+                    self.grants_held[r]
+                }
+            })
+            .collect();
 
         // 4. Fast layer, every step. Planned/local battery discharge
         // first, then the residual above the (granted) limit is handled
@@ -922,7 +1138,13 @@ impl ClusterSim {
         if self.config.scheme.shaves_peaks() {
             for r in 0..n {
                 if self.config.scheme.has_vdeb() {
-                    let planned = self.vdeb_plan_held[r].min(demands[r]);
+                    // A rack in watchdog fallback ignores its (stale)
+                    // held plan and shaves its *current* local excess,
+                    // capped by the degraded-mode duty limit.
+                    let planned = match fallback_cap.get(r).copied().flatten() {
+                        Some(cap) => excesses[r].min(cap).min(demands[r]),
+                        None => self.vdeb_plan_held[r].min(demands[r]),
+                    };
                     if planned.0 > 0.0 {
                         battery_shave[r] = self.racks[r].cabinet_mut().discharge(planned, dt);
                     }
@@ -931,7 +1153,7 @@ impl ClusterSim {
                 }
                 let limit = budget + grants[r];
                 let mut residual = (demands[r] - battery_shave[r] - limit).clamp_non_negative();
-                if residual > self.config.udeb_engage_threshold {
+                if residual > self.config.udeb_engage_threshold && !udeb_faulted(r) {
                     if let Some(udeb) = &mut self.udebs[r] {
                         sc_shave[r] = udeb.shave(residual, dt);
                         residual -= sc_shave[r];
@@ -952,7 +1174,11 @@ impl ClusterSim {
             let draw = (demands[r] - battery_shave[r] - sc_shave[r]).clamp_non_negative();
             self.last_draws[r] = draw;
             cluster_draw += draw;
-            let limit = budget + grants[r];
+            // Judged against the iPDU's *current* entitlement, not the
+            // rack's held copy: a rack spending a stale grant whose
+            // headroom the coordinator has since re-assigned is drawing
+            // power the outlet no longer budgets for.
+            let limit = budget + self.grants_current[r];
             let tol_limit = limit * tol;
             if draw > tol_limit {
                 if !self.enforcement[r].in_overload {
@@ -1128,8 +1354,9 @@ impl ClusterSim {
             }
             if let Some(udeb) = &mut self.udebs[r] {
                 // Recharge (and accumulate guard rest) only when the bank
-                // is not actively shaving this step.
-                if sc_shave[r].0 == 0.0 {
+                // is not actively shaving this step — and never while its
+                // converter is under an injected outage.
+                if sc_shave[r].0 == 0.0 && !udeb_faulted(r) {
                     udeb.recharge(headroom, dt);
                 }
             }
@@ -1137,8 +1364,22 @@ impl ClusterSim {
 
         // 8. PAD policy + Level-3 shedding.
         if self.config.scheme == Scheme::Pad {
-            let socs = self.rack_socs();
-            let udeb_ok = self.udebs.iter().flatten().any(MicroDeb::available);
+            // The policy, like the planner, sees the *reported* SOCs —
+            // a faulted sensor can mislead it, which is exactly what the
+            // minimum-residency hold-down defends against.
+            let true_socs = self.rack_socs();
+            let socs = match &mut self.faults {
+                // With no sensor window open the report is an identity
+                // copy with no RNG draws or dropout-state updates, so
+                // skipping it cannot change a later faulted reading.
+                Some(f) if f.sensor_active(now) => f.report_socs(now, &true_socs),
+                _ => true_socs,
+            };
+            let udeb_ok = self
+                .udebs
+                .iter()
+                .enumerate()
+                .any(|(r, u)| !udeb_faulted(r) && u.as_ref().is_some_and(MicroDeb::available));
             let inputs = PolicyInputs {
                 vdeb_available: self.vdeb.pool_available(&socs),
                 udeb_available: udeb_ok,

@@ -26,6 +26,9 @@ use simkit::time::{SimDuration, SimTime};
 use simkit::trace::TraceDump;
 use workload::trace::ClusterTrace;
 
+use simkit::fault::FaultPlan;
+
+use crate::fault::{DegradedConfig, FaultReport};
 use crate::metrics::{SocHistory, SurvivalReport};
 use crate::sim::{ClusterSim, SimConfig};
 
@@ -79,6 +82,11 @@ pub struct SurvivalCase {
     pub telemetry_capacity: Option<usize>,
     /// Record causal spans into a ring of this capacity, if set.
     pub trace_capacity: Option<usize>,
+    /// Fault plan to inject, with its graceful-degradation tunables.
+    /// The injector is reseeded per scenario exactly like the noise
+    /// stream, so faulted sweeps keep the worker-count-independence
+    /// contract.
+    pub faults: Option<(FaultPlan, DegradedConfig)>,
 }
 
 impl SurvivalCase {
@@ -93,6 +101,7 @@ impl SurvivalCase {
             soc_interval: None,
             telemetry_capacity: None,
             trace_capacity: None,
+            faults: None,
         }
     }
 
@@ -125,6 +134,12 @@ impl SurvivalCase {
         self.trace_capacity = Some(capacity);
         self
     }
+
+    /// Injects `plan` with `degraded` as the degradation tunables.
+    pub fn with_faults(mut self, plan: FaultPlan, degraded: DegradedConfig) -> Self {
+        self.faults = Some((plan, degraded));
+        self
+    }
 }
 
 /// What one sweep scenario produced.
@@ -144,6 +159,8 @@ pub struct SurvivalOutcome {
     /// canonical `(start, id)` order under the same byte-identical
     /// determinism contract as telemetry.
     pub trace: Option<TraceDump>,
+    /// What the fault injector did, when the case requested injection.
+    pub fault_report: Option<FaultReport>,
     /// Wall-clock and steps-simulated counters (not part of the
     /// determinism contract — wall-clock varies run to run).
     pub cost: ScenarioCost,
@@ -246,9 +263,7 @@ impl ConfigSweep {
         let (outcomes, profile) = self.runner.run_metered_profiled(cases, |index, case| {
             let result = run_one(Arc::clone(trace), seed, index, &case);
             let steps = match &result {
-                Ok((report, _, _, _, _)) => {
-                    report.ended_at.saturating_since(SimTime::ZERO) / case.dt
-                }
+                Ok((report, ..)) => report.ended_at.saturating_since(SimTime::ZERO) / case.dt,
                 Err(_) => 0,
             };
             (result, steps)
@@ -257,14 +272,17 @@ impl ConfigSweep {
             .into_iter()
             .enumerate()
             .map(|(index, metered)| match metered.value {
-                Ok((report, soc_history, final_socs, telemetry, trace)) => Ok(SurvivalOutcome {
-                    report,
-                    soc_history,
-                    final_socs,
-                    telemetry,
-                    trace,
-                    cost: metered.cost,
-                }),
+                Ok((report, soc_history, final_socs, telemetry, trace, fault_report)) => {
+                    Ok(SurvivalOutcome {
+                        report,
+                        soc_history,
+                        final_socs,
+                        telemetry,
+                        trace,
+                        fault_report,
+                        cost: metered.cost,
+                    })
+                }
                 Err(e) => Err(format!("scenario {index}: {e}")),
             })
             .collect::<Result<Vec<_>, String>>()?;
@@ -278,6 +296,7 @@ type RunOutput = (
     Vec<f64>,
     Option<TelemetryDump>,
     Option<TraceDump>,
+    Option<FaultReport>,
 );
 
 fn run_one(
@@ -304,12 +323,23 @@ fn run_one(
     if let Some(capacity) = case.trace_capacity {
         sim.enable_tracing(capacity);
     }
+    if let Some((plan, degraded)) = &case.faults {
+        sim.enable_faults(plan.clone(), *degraded, scenario_noise_seed(seed, index))?;
+    }
     let report = sim.run(case.horizon, case.dt, case.stop_on_overload);
     let soc_history = sim.soc_history().cloned();
     let final_socs = sim.rack_socs();
+    let fault_report = sim.faults().map(|f| f.report());
     let telemetry = sim.take_telemetry();
     let span_trace = sim.take_trace();
-    Ok((report, soc_history, final_socs, telemetry, span_trace))
+    Ok((
+        report,
+        soc_history,
+        final_socs,
+        telemetry,
+        span_trace,
+        fault_report,
+    ))
 }
 
 #[cfg(test)]
@@ -422,6 +452,51 @@ mod tests {
             assert_eq!(s_t.to_csv(), p_t.to_csv());
             assert!(!s_t.spans.is_empty());
         }
+    }
+
+    #[test]
+    fn faulted_sweep_is_byte_identical_across_worker_counts() {
+        let config = SimConfig::small_test(Scheme::Pad);
+        let trace = shared_trace(&config);
+        let plan = crate::fault::named_plan("ci-smoke").unwrap();
+        let degraded = DegradedConfig::for_grant_interval(config.grant_interval);
+        let cases = vec![
+            attack_case(Scheme::Pad)
+                .record_telemetry(1 << 20)
+                .record_trace(1 << 16)
+                .with_faults(plan, degraded);
+            2
+        ];
+        let serial = ConfigSweep::new(Arc::clone(&trace), 17)
+            .run(cases.clone())
+            .unwrap();
+        let parallel = ConfigSweep::new(trace, 17).with_jobs(4).run(cases).unwrap();
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.report, p.report);
+            assert_eq!(
+                s.telemetry.as_ref().unwrap().to_jsonl(),
+                p.telemetry.as_ref().unwrap().to_jsonl()
+            );
+            assert_eq!(
+                s.trace.as_ref().unwrap().to_jsonl(),
+                p.trace.as_ref().unwrap().to_jsonl()
+            );
+            let (s_f, p_f) = (
+                s.fault_report.as_ref().unwrap(),
+                p.fault_report.as_ref().unwrap(),
+            );
+            assert_eq!(s_f.to_json(), p_f.to_json());
+            assert!(s_f.counters.injected > 0, "plan windows never opened");
+        }
+    }
+
+    #[test]
+    fn faultless_case_produces_no_fault_report() {
+        let config = SimConfig::small_test(Scheme::Pad);
+        let trace = shared_trace(&config);
+        let case = SurvivalCase::quiet(config, SimTime::from_mins(1), SimDuration::SECOND);
+        let out = ConfigSweep::new(trace, 3).run(vec![case]).unwrap();
+        assert!(out[0].fault_report.is_none());
     }
 
     #[test]

@@ -42,6 +42,11 @@ pub const SPAN_POLICY_NORMAL: &str = "policy.normal";
 pub const SPAN_POLICY_MINOR: &str = "policy.minor";
 /// Span name: residency at policy Level 3 (Emergency).
 pub const SPAN_POLICY_EMERGENCY: &str = "policy.emergency";
+/// Span name: one active window of one injected fault spec.
+pub const SPAN_FAULT_WINDOW: &str = "fault.window";
+/// Span name: one contiguous stay of one rack in watchdog fallback
+/// (degraded local control after coordinator-plan staleness).
+pub const SPAN_FAULT_FALLBACK: &str = "fault.fallback";
 
 /// Breaker thermal-headroom fraction below which an excursion span
 /// opens. 0.5 marks "half way to a trip" — early enough to be a useful
@@ -59,6 +64,8 @@ pub fn trace_schema() -> String {
         (SPAN_BATT_DISCHARGE, vec!["energy_j", "max_w", "rack"]),
         (SPAN_BREAKER_EXCURSION, vec!["min_margin", "rack"]),
         (SPAN_CAP_ENGAGE, vec!["min_factor", "rack"]),
+        (SPAN_FAULT_FALLBACK, vec!["rack"]),
+        (SPAN_FAULT_WINDOW, vec!["kind", "rack", "spec"]),
         (SPAN_POLICY_EMERGENCY, vec!["level"]),
         (SPAN_POLICY_MINOR, vec!["level"]),
         (SPAN_POLICY_NORMAL, vec!["level"]),
@@ -87,6 +94,8 @@ struct NameIds {
     cap_engage: SpanNameId,
     breaker_excursion: SpanNameId,
     policy: [SpanNameId; 3],
+    fault_window: SpanNameId,
+    fault_fallback: SpanNameId,
 }
 
 /// Per-attack span state: which phase spans are open/have existed.
@@ -131,6 +140,10 @@ pub struct SimTracer {
     breaker: Vec<Option<ExtremeEpisode>>,
     policy_level: SecurityLevel,
     policy_span: SpanId,
+    /// Open `fault.window` span per plan spec (grown on demand).
+    fault_windows: Vec<Option<SpanId>>,
+    /// Open `fault.fallback` span per rack.
+    fault_fallbacks: Vec<Option<SpanId>>,
 }
 
 impl SimTracer {
@@ -150,6 +163,8 @@ impl SimTracer {
                 tracer.intern(SPAN_POLICY_MINOR),
                 tracer.intern(SPAN_POLICY_EMERGENCY),
             ],
+            fault_window: tracer.intern(SPAN_FAULT_WINDOW),
+            fault_fallback: tracer.intern(SPAN_FAULT_FALLBACK),
         };
         let policy_span = tracer.start(now, names.policy[0], None);
         tracer.set_attr(policy_span, "level", 1.0);
@@ -164,6 +179,8 @@ impl SimTracer {
             breaker: vec![None; n_racks],
             policy_level: SecurityLevel::Normal,
             policy_span,
+            fault_windows: Vec::new(),
+            fault_fallbacks: vec![None; n_racks],
         }
     }
 
@@ -374,6 +391,55 @@ impl SimTracer {
         self.policy_span = id;
     }
 
+    /// Records a fault-window edge for plan spec `spec` at `now`:
+    /// `injected = true` opens a `fault.window` span carrying the spec
+    /// index, the fault-kind index, and the targeted rack (−1 for a
+    /// cluster-wide fault); `injected = false` closes it. Duplicate
+    /// edges are ignored.
+    pub fn fault_window(
+        &mut self,
+        now: SimTime,
+        spec: usize,
+        kind: usize,
+        rack: f64,
+        injected: bool,
+    ) {
+        while self.fault_windows.len() <= spec {
+            self.fault_windows.push(None);
+        }
+        if injected {
+            if self.fault_windows[spec].is_none() {
+                let id = self.tracer.start(now, self.names.fault_window, None);
+                self.tracer.set_attr(id, "spec", spec as f64);
+                self.tracer.set_attr(id, "kind", kind as f64);
+                self.tracer.set_attr(id, "rack", rack);
+                self.fault_windows[spec] = Some(id);
+            }
+        } else if let Some(id) = self.fault_windows[spec].take() {
+            self.tracer.end(now, id);
+        }
+    }
+
+    /// Records a watchdog-fallback edge for `rack` at `now`:
+    /// `active = true` opens a `fault.fallback` span (parented under the
+    /// first open `fault.window`, the staleness the watchdog reacted
+    /// to); `active = false` closes it. Duplicate edges are ignored.
+    pub fn fault_fallback(&mut self, now: SimTime, rack: usize, active: bool) {
+        if rack >= self.fault_fallbacks.len() {
+            return;
+        }
+        if active {
+            if self.fault_fallbacks[rack].is_none() {
+                let parent = self.fault_windows.iter().find_map(|w| *w);
+                let id = self.tracer.start(now, self.names.fault_fallback, parent);
+                self.tracer.set_attr(id, "rack", rack as f64);
+                self.fault_fallbacks[rack] = Some(id);
+            }
+        } else if let Some(id) = self.fault_fallbacks[rack].take() {
+            self.tracer.end(now, id);
+        }
+    }
+
     /// Finishes the trace at `now`: episodes still in flight get their
     /// summary attributes, every open span is closed, and the spans come
     /// back in canonical order.
@@ -394,6 +460,15 @@ impl SimTracer {
                 self.tracer.set_attr(ep.id, "rack", rack as f64);
                 self.tracer.set_attr(ep.id, "min_margin", ep.extreme);
                 self.tracer.end(now, ep.id);
+            }
+        }
+        for slot in self
+            .fault_fallbacks
+            .iter_mut()
+            .chain(self.fault_windows.iter_mut())
+        {
+            if let Some(id) = slot.take() {
+                self.tracer.end(now, id);
             }
         }
         self.tracer.into_dump(now)
@@ -524,9 +599,60 @@ mod tests {
             SPAN_POLICY_NORMAL,
             SPAN_POLICY_MINOR,
             SPAN_POLICY_EMERGENCY,
+            SPAN_FAULT_WINDOW,
+            SPAN_FAULT_FALLBACK,
         ] {
             assert!(names.contains(&name), "{name} missing from schema");
         }
+    }
+
+    #[test]
+    fn fault_fallback_is_parented_under_open_window() {
+        let mut tr = tracer();
+        tr.fault_window(SimTime::from_secs(5), 1, 5, -1.0, true);
+        tr.fault_fallback(SimTime::from_secs(12), 0, true);
+        tr.fault_fallback(SimTime::from_secs(18), 0, false);
+        tr.fault_window(SimTime::from_secs(20), 1, 5, -1.0, false);
+        let dump = tr.into_dump(SimTime::from_secs(30));
+        let window = dump
+            .spans
+            .iter()
+            .find(|s| dump.names.name(s.name) == SPAN_FAULT_WINDOW)
+            .expect("window span");
+        let fb = dump
+            .spans
+            .iter()
+            .find(|s| dump.names.name(s.name) == SPAN_FAULT_FALLBACK)
+            .expect("fallback span");
+        assert_eq!(window.attr("spec"), Some(1.0));
+        assert_eq!(window.attr("kind"), Some(5.0));
+        assert_eq!(window.attr("rack"), Some(-1.0));
+        assert_eq!(window.end, SimTime::from_secs(20));
+        assert_eq!(fb.parent, Some(window.id), "fallback caused by fault");
+        assert_eq!(fb.attr("rack"), Some(0.0));
+        assert_eq!(fb.end, SimTime::from_secs(18));
+    }
+
+    #[test]
+    fn open_fault_spans_closed_at_dump_time() {
+        let mut tr = tracer();
+        tr.fault_window(SimTime::from_secs(2), 0, 0, 1.0, true);
+        tr.fault_fallback(SimTime::from_secs(3), 1, true);
+        let dump = tr.into_dump(SimTime::from_secs(10));
+        for span in &dump.spans {
+            assert!(
+                span.end >= span.start,
+                "span {} left open",
+                dump.names.name(span.name)
+            );
+        }
+        assert_eq!(
+            dump.spans
+                .iter()
+                .filter(|s| s.end == SimTime::from_secs(10))
+                .count(),
+            3
+        );
     }
 
     #[test]

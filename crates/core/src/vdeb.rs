@@ -39,8 +39,8 @@ pub struct DischargeAssignment {
 ///
 /// # Panics
 ///
-/// Panics if `reserve_soc` is outside `[0, 1)` or the inputs are invalid
-/// per [`plan_discharge`].
+/// Panics if `reserve_soc` is outside `[0, 1)` or `p_ideal` is not
+/// positive.
 pub fn plan_discharge_with_reserve(
     socs: &[f64],
     p_shave: Watts,
@@ -73,9 +73,15 @@ pub fn plan_discharge_with_reserve(
 ///   rounding);
 /// * monotonicity: a rack with higher SOC is never assigned less power.
 ///
+/// SOC values are *reported* sensor readings, which a faulted sensor can
+/// corrupt: NaN and negative readings are clamped to `0` (the rack is
+/// spared) and readings above `1` are clamped to `1` before allocation,
+/// so a single bad sensor can never propagate a NaN plan to the whole
+/// pool.
+///
 /// # Panics
 ///
-/// Panics if any SOC is outside `[0, 1]` or `p_ideal` is not positive.
+/// Panics if `p_ideal` is not positive.
 ///
 /// # Example
 ///
@@ -93,12 +99,13 @@ pub fn plan_discharge_with_reserve(
 /// ```
 pub fn plan_discharge(socs: &[f64], p_shave: Watts, p_ideal: Watts) -> Vec<DischargeAssignment> {
     assert!(p_ideal.0 > 0.0, "P_ideal must be positive");
-    for (i, &s) in socs.iter().enumerate() {
-        assert!(
-            (0.0..=1.0).contains(&s),
-            "SOC of rack {i} out of [0,1]: {s}"
-        );
-    }
+    // Sanitize reported SOCs: a corrupted sensor (NaN, negative, or >1
+    // reading) must degrade to a safe value, never poison the plan.
+    let socs: Vec<f64> = socs
+        .iter()
+        .map(|&s| if s.is_nan() { 0.0 } else { s.clamp(0.0, 1.0) })
+        .collect();
+    let socs = socs.as_slice();
     let mut plan: Vec<DischargeAssignment> = socs
         .iter()
         .enumerate()
@@ -314,9 +321,39 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of [0,1]")]
-    fn invalid_soc_rejected() {
-        plan_discharge(&[1.5], Watts(100.0), Watts(100.0));
+    fn corrupted_socs_are_clamped_not_propagated() {
+        // A NaN reading spares that rack and never poisons the plan.
+        let plan = plan_discharge(&[f64::NAN, 0.8], Watts(100.0), Watts(200.0));
+        assert_eq!(plan[0].power, Watts::ZERO);
+        assert!((plan[1].power.0 - 100.0).abs() < 1e-9);
+        assert!(plan.iter().all(|a| a.power.0.is_finite()));
+
+        // Negative readings clamp to 0 (spared), >1 readings clamp to 1.
+        let plan = plan_discharge(&[-0.3, 1.5, 0.5], Watts(300.0), Watts(400.0));
+        assert_eq!(plan[0].power, Watts::ZERO);
+        let clamped = plan_discharge(&[0.0, 1.0, 0.5], Watts(300.0), Watts(400.0));
+        assert_eq!(plan, clamped, "out-of-range SOCs behave as their clamp");
+
+        // Infinities are clamped too, and the shave target is conserved.
+        let plan = plan_discharge(
+            &[f64::INFINITY, f64::NEG_INFINITY, 0.5],
+            Watts(200.0),
+            Watts(400.0),
+        );
+        let total: f64 = plan.iter().map(|a| a.power.0).sum();
+        assert!((total - 200.0).abs() < 1e-9);
+
+        // An all-corrupt pool degrades to an empty plan, not a panic.
+        let plan = plan_discharge(&[f64::NAN, -2.0], Watts(500.0), Watts(100.0));
+        assert!(plan.iter().all(|a| a.power == Watts::ZERO));
+    }
+
+    #[test]
+    fn reserve_tolerates_corrupted_socs() {
+        let plan =
+            plan_discharge_with_reserve(&[f64::NAN, 0.9, 2.0], Watts(100.0), Watts(200.0), 0.25);
+        assert_eq!(plan[0].power, Watts::ZERO);
+        assert!(plan.iter().all(|a| a.power.0.is_finite()));
     }
 
     #[test]

@@ -49,6 +49,9 @@ const COOLING_PER_SECOND: f64 = 0.5;
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CircuitBreaker {
     rated: Watts,
+    /// Effective-rating multiplier in `(0, 1]`: a derated (aged, hot,
+    /// or faulted) breaker heats as if its rating were `rated × derate`.
+    derate: f64,
     heat: f64,
     state: BreakerState,
     trips: u32,
@@ -65,6 +68,7 @@ impl CircuitBreaker {
         assert!(rated.0 > 0.0, "breaker rating must be positive");
         CircuitBreaker {
             rated,
+            derate: 1.0,
             heat: 0.0,
             state: BreakerState::Closed,
             trips: 0,
@@ -72,9 +76,34 @@ impl CircuitBreaker {
         }
     }
 
-    /// The continuous power rating.
+    /// The continuous power rating (nameplate, before derating).
     pub fn rated(&self) -> Watts {
         self.rated
+    }
+
+    /// The current effective-rating multiplier.
+    pub fn derate(&self) -> f64 {
+        self.derate
+    }
+
+    /// The rating the thermal model actually enforces:
+    /// `rated × derate`.
+    pub fn effective_rating(&self) -> Watts {
+        self.rated * self.derate
+    }
+
+    /// Derates the breaker: heat accumulates against
+    /// `rated × factor` until restored with `set_derate(1.0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not in `(0, 1]`.
+    pub fn set_derate(&mut self, factor: f64) {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "derate factor {factor} not in (0,1]"
+        );
+        self.derate = factor;
     }
 
     /// Current state.
@@ -120,7 +149,7 @@ impl CircuitBreaker {
         if self.state == BreakerState::Tripped || dt.is_zero() {
             return self.state;
         }
-        let ratio = power.0 / self.rated.0;
+        let ratio = power.0 / (self.rated.0 * self.derate);
         let secs = dt.as_secs_f64();
         if ratio > 1.0 {
             self.overload_events += 1;
@@ -138,7 +167,7 @@ impl CircuitBreaker {
     /// Time a *constant* overload at `power` would need to trip a cold
     /// breaker, or `None` if `power` is within the rating.
     pub fn time_to_trip(&self, power: Watts) -> Option<SimDuration> {
-        let ratio = power.0 / self.rated.0;
+        let ratio = power.0 / (self.rated.0 * self.derate);
         if ratio <= 1.0 {
             return None;
         }
@@ -253,6 +282,30 @@ mod tests {
         assert_eq!(b.state(), BreakerState::Closed);
         assert_eq!(b.heat(), 0.0);
         assert_eq!(b.trips(), 1, "reset must not clear the trip count");
+    }
+
+    #[test]
+    fn derate_narrows_the_effective_rating() {
+        let mut b = cb();
+        assert_eq!(b.effective_rating(), Watts(1000.0));
+        b.set_derate(0.8);
+        assert_eq!(b.effective_rating(), Watts(800.0));
+        // 1000 W is within nameplate but overloads the derated breaker.
+        assert!(b.time_to_trip(Watts(1000.0)).is_some());
+        b.step(Watts(1000.0), SimDuration::from_secs(1));
+        assert!(b.heat() > 0.0, "derated breaker heats under nameplate load");
+        // Restoring the rating makes the same load benign again.
+        b.set_derate(1.0);
+        assert_eq!(b.time_to_trip(Watts(1000.0)), None);
+        let heat = b.heat();
+        b.step(Watts(1000.0), SimDuration::from_secs(1));
+        assert!(b.heat() < heat, "restored breaker cools at nameplate");
+    }
+
+    #[test]
+    #[should_panic(expected = "not in (0,1]")]
+    fn derate_above_one_rejected() {
+        cb().set_derate(1.5);
     }
 
     #[test]

@@ -25,7 +25,10 @@
 //!   over a recorded span trace;
 //! * [`detect`] — allocation-light streaming anomaly detectors (EWMA
 //!   z-score, CUSUM, spike-train, drain-rate) and a `DetectorBank` that
-//!   consumes telemetry streams live or replayed.
+//!   consumes telemetry streams live or replayed;
+//! * [`fault`] — deterministic fault-injection plans (`FaultPlan`
+//!   schedules of sensor/message/component faults over sim-time windows,
+//!   JSON round-trip, seed-stable per-spec random streams).
 //!
 //! # Example
 //!
@@ -52,6 +55,7 @@
 pub mod detect;
 pub mod engine;
 pub mod event;
+pub mod fault;
 pub mod heatmap;
 pub mod log;
 pub mod rng;
@@ -68,6 +72,7 @@ pub mod prelude {
     pub use crate::detect::{Detector, DetectorBank, FusedVerdict, StreamDetector, Verdict};
     pub use crate::engine::{ControlFlow, Engine};
     pub use crate::event::EventQueue;
+    pub use crate::fault::{FaultKind, FaultPlan, FaultSpec, FaultTarget};
     pub use crate::log::{EventLog, Severity};
     pub use crate::rng::RngStream;
     pub use crate::series::TimeSeries;
@@ -87,6 +92,7 @@ pub mod prelude {
 pub use detect::{Detector, DetectorBank, FusedVerdict, StreamDetector, Verdict};
 pub use engine::{ControlFlow, Engine};
 pub use event::EventQueue;
+pub use fault::{FaultKind, FaultPlan, FaultSpec, FaultTarget};
 pub use log::{EventLog, Severity};
 pub use rng::RngStream;
 pub use series::TimeSeries;

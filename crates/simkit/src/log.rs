@@ -222,11 +222,24 @@ impl EventLog {
         self.events().filter(move |e| e.severity >= severity)
     }
 
+    /// Retained event counts per severity lane, in [`Severity::ALL`]
+    /// order.
+    pub fn severity_counts(&self) -> [usize; LANES] {
+        let mut counts = [0; LANES];
+        for (i, lane) in self.lanes.iter().enumerate() {
+            counts[i] = lane.len();
+        }
+        counts
+    }
+
     /// Renders the retained events as lines.
     ///
-    /// When the log is partial, a footer line reports how many events
-    /// were evicted by lane capacity and how many were filtered by the
-    /// severity floor, so readers know what is missing.
+    /// A footer line summarizes retained counts per severity (so a reader
+    /// can see at a glance how many warnings/criticals — e.g. injected
+    /// faults — the run produced). When the log is partial, a second
+    /// footer line reports how many events were evicted by lane capacity
+    /// and how many were filtered by the severity floor, so readers know
+    /// what is missing.
     pub fn render(&self) -> String {
         let mut out = String::new();
         if self.evicted > 0 {
@@ -237,6 +250,15 @@ impl EventLog {
         }
         for e in self.events() {
             out.push_str(&format!("{e}\n"));
+        }
+        if !self.is_empty() {
+            let counts = self.severity_counts();
+            let parts: Vec<String> = Severity::ALL
+                .iter()
+                .zip(counts)
+                .map(|(s, n)| format!("{n} {s}"))
+                .collect();
+            out.push_str(&format!("-- severity: {} --\n", parts.join(", ")));
         }
         if self.evicted > 0 || self.filtered > 0 {
             out.push_str(&format!(
@@ -351,6 +373,27 @@ mod tests {
         }
         let text = log.render();
         assert!(text.ends_with("-- partial log: 1 evicted, 3 filtered --\n"));
+    }
+
+    #[test]
+    fn render_footer_reports_severity_counts() {
+        let mut log = EventLog::new(10);
+        assert!(!log.render().contains("severity:"), "empty log: no footer");
+        log.record(SimTime::ZERO, Severity::Info, "s", "i");
+        log.record(SimTime::ZERO, Severity::Warning, "s", "fault injected");
+        log.record(SimTime::ZERO, Severity::Warning, "s", "fault cleared");
+        log.record(SimTime::ZERO, Severity::Critical, "s", "trip");
+        let text = log.render();
+        assert!(text.contains("-- severity: 1 INFO, 2 WARN, 1 CRIT --\n"));
+        assert_eq!(log.severity_counts(), [1, 2, 1]);
+        // The severity line comes before any partial-log line.
+        let mut log = EventLog::new(1);
+        log.record(SimTime::ZERO, Severity::Info, "s", "a");
+        log.record(SimTime::ZERO, Severity::Info, "s", "b");
+        let text = log.render();
+        let sev = text.find("-- severity:").unwrap();
+        let partial = text.find("-- partial log:").unwrap();
+        assert!(sev < partial);
     }
 
     #[test]

@@ -45,11 +45,17 @@ pub enum EventKind {
     /// The streaming detector bank's fused verdict fired (the value
     /// carries the fused score).
     DetectorFired,
+    /// A scheduled fault's window opened (the value carries the fault
+    /// spec index within its plan).
+    FaultInjected,
+    /// A scheduled fault's window closed (the value carries the fault
+    /// spec index within its plan).
+    FaultCleared,
 }
 
 impl EventKind {
     /// Every kind, in serialization (index) order.
-    pub const ALL: [EventKind; 9] = [
+    pub const ALL: [EventKind; 11] = [
         EventKind::LvdIsolation,
         EventKind::BreakerTrip,
         EventKind::Overload,
@@ -59,6 +65,8 @@ impl EventKind {
         EventKind::Migration,
         EventKind::ProtectiveCap,
         EventKind::DetectorFired,
+        EventKind::FaultInjected,
+        EventKind::FaultCleared,
     ];
 
     /// Stable wire name (used in JSONL/CSV output).
@@ -73,6 +81,8 @@ impl EventKind {
             EventKind::Migration => "migration",
             EventKind::ProtectiveCap => "protective_cap",
             EventKind::DetectorFired => "detector_fired",
+            EventKind::FaultInjected => "fault_injected",
+            EventKind::FaultCleared => "fault_cleared",
         }
     }
 

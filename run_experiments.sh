@@ -10,4 +10,5 @@ done
 ./target/release/ablations > results/ablations.txt 2>&1 || echo "ablations FAILED"
 ./target/release/validate_platform > results/validate_platform.txt 2>&1 || echo "validate_platform FAILED"
 ./target/release/recon_value > results/recon_value.txt 2>&1 || echo "recon_value FAILED"
+./target/release/fault_tolerance --jobs 4 > results/fault_tolerance.txt 2>&1 || echo "fault_tolerance FAILED"
 echo "all experiments done"

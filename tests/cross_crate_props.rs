@@ -6,6 +6,7 @@ use attack::virus::VirusClass;
 use battery::model::EnergyStorage;
 use battery::pack::BatteryCabinet;
 use battery::units::Watts;
+use pad::policy::{PolicyInputs, SecurityLevel, SecurityPolicy, Strictness};
 use pad::schemes::Scheme;
 use pad::sim::{ClusterSim, SimConfig};
 use pad::vdeb::plan_discharge_with_reserve;
@@ -167,6 +168,51 @@ proptest! {
             .map(|&(_, avg)| avg.0 * interval.as_secs_f64())
             .sum();
         prop_assert!((total - fed).abs() < 1e-6 * fed.max(1.0), "total {total} vs fed {fed}");
+    }
+
+    /// With no faults active (hold-down 0, no detector evidence), the
+    /// policy FSM reproduces the paper's Figure-9 arrows verbatim for
+    /// arbitrary input sequences; and with any hold-down, recovery is
+    /// only ever *delayed* — the held policy never sits below the paper
+    /// FSM and never escalates later than it.
+    #[test]
+    fn policy_hold_down_preserves_paper_fsm(
+        seq in prop::collection::vec((prop::bool::ANY, prop::bool::ANY, prop::bool::ANY), 1..120),
+        hold in 0u32..6,
+    ) {
+        fn paper_next(level: SecurityLevel, i: PolicyInputs) -> SecurityLevel {
+            match level {
+                SecurityLevel::Normal if !i.vdeb_available => SecurityLevel::MinorIncident,
+                SecurityLevel::Normal => SecurityLevel::Normal,
+                SecurityLevel::MinorIncident if !i.udeb_available && !i.vdeb_available => {
+                    SecurityLevel::Emergency
+                }
+                SecurityLevel::MinorIncident if i.vdeb_available => SecurityLevel::Normal,
+                SecurityLevel::MinorIncident => SecurityLevel::MinorIncident,
+                SecurityLevel::Emergency if i.udeb_available || i.vdeb_available => {
+                    SecurityLevel::MinorIncident
+                }
+                SecurityLevel::Emergency => SecurityLevel::Emergency,
+            }
+        }
+        let mut plain = SecurityPolicy::new(Strictness::Strict);
+        let mut held = SecurityPolicy::new(Strictness::Strict).with_hold_down(hold);
+        let mut paper = SecurityLevel::Normal;
+        for &(v, u, p) in &seq {
+            let i = PolicyInputs {
+                vdeb_available: v,
+                udeb_available: u,
+                visible_peak: p,
+                detection: Default::default(),
+            };
+            paper = paper_next(paper, i);
+            prop_assert_eq!(plain.update(i), paper, "hold-down 0 must be the paper FSM");
+            let held_level = held.update(i);
+            prop_assert!(
+                held_level >= paper,
+                "held policy at {held_level:?} below paper {paper:?}"
+            );
+        }
     }
 
     /// Synthetic traces always produce valid utilizations, whatever the
