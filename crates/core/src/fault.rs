@@ -38,6 +38,8 @@ use simkit::fault::{spec_stream, unit_stream, FaultKind, FaultPlan, FaultSpec, F
 use simkit::rng::RngStream;
 use simkit::time::{SimDuration, SimTime};
 
+use crate::vdeb::{DeliveryOutcome, RackHeld, RoundMsg};
+
 /// How many coordinator rounds of plan history are retained for
 /// [`FaultKind::MsgDelay`] / [`FaultKind::MsgReorder`] resolution.
 const PLAN_HISTORY: usize = 9;
@@ -50,6 +52,14 @@ pub struct DegradedConfig {
     /// the grant interval; [`DegradedConfig::for_grant_interval`] picks
     /// three rounds.
     pub watchdog_timeout: SimDuration,
+    /// How long a delivered outlet grant stays spendable, measured from
+    /// the round's *issue* time. One grant interval (the
+    /// [`DegradedConfig::for_grant_interval`] choice) means at most one
+    /// round's grants are live at any instant, which is what keeps the
+    /// Eq. 2 budget bound across rounds: a rack that stops hearing the
+    /// coordinator stops spending shared headroom after one interval,
+    /// even before the watchdog fires.
+    pub grant_lease: SimDuration,
     /// Extra delivery attempts per coordinator round when a message is
     /// lost (bounded retry; the round period dwarfs the per-message
     /// backoff, so retries resolve within the round).
@@ -66,6 +76,7 @@ impl Default for DegradedConfig {
     fn default() -> Self {
         DegradedConfig {
             watchdog_timeout: SimDuration::from_secs(30),
+            grant_lease: SimDuration::from_secs(10),
             retry_limit: 1,
             soc_decay_per_hour: 0.25,
         }
@@ -73,10 +84,12 @@ impl Default for DegradedConfig {
 }
 
 impl DegradedConfig {
-    /// A watchdog sized to the management loop: three missed rounds.
+    /// A watchdog sized to the management loop — three missed rounds —
+    /// with grant leases of exactly one round.
     pub fn for_grant_interval(grant_interval: SimDuration) -> Self {
         DegradedConfig {
             watchdog_timeout: grant_interval * 3,
+            grant_lease: grant_interval,
             ..DegradedConfig::default()
         }
     }
@@ -90,6 +103,16 @@ impl DegradedConfig {
         }
     }
 
+    /// Disables grant-lease expiry (for ablation runs and the model
+    /// checker's known-violation replay): held grants stay spendable
+    /// forever, reintroducing the cross-round double-spend.
+    pub fn without_lease_expiry(self) -> Self {
+        DegradedConfig {
+            grant_lease: SimDuration::from_hours(24 * 365),
+            ..self
+        }
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -98,6 +121,9 @@ impl DegradedConfig {
     pub fn validate(&self) -> Result<(), String> {
         if self.watchdog_timeout.is_zero() {
             return Err("watchdog timeout must be non-zero".into());
+        }
+        if self.grant_lease.is_zero() {
+            return Err("grant lease must be non-zero".into());
         }
         if !self.soc_decay_per_hour.is_finite() || self.soc_decay_per_hour < 0.0 {
             return Err(format!(
@@ -141,6 +167,10 @@ pub struct FaultCounters {
     pub plans_delayed: u64,
     /// Per-rack plan entries swapped with the previous round (reorder).
     pub plans_reordered: u64,
+    /// Deliveries ignored as replays of a round the rack already held
+    /// (the idempotent receive path; a duplicate never re-applies a
+    /// grant and never refreshes the staleness clock).
+    pub plans_duplicate: u64,
     /// Extra delivery attempts spent by the bounded retry.
     pub retries_used: u64,
     /// Rack-ticks spent in watchdog fallback.
@@ -170,7 +200,7 @@ impl FaultReport {
                 "\"injected\":{},\"cleared\":{},",
                 "\"readings_corrupted\":{},\"readings_dropped\":{},",
                 "\"plans_lost\":{},\"plans_delayed\":{},\"plans_reordered\":{},",
-                "\"retries_used\":{},",
+                "\"plans_duplicate\":{},\"retries_used\":{},",
                 "\"fallback_ticks\":{},\"fallback_entries\":{}}}"
             ),
             self.plan,
@@ -182,11 +212,23 @@ impl FaultReport {
             c.plans_lost,
             c.plans_delayed,
             c.plans_reordered,
+            c.plans_duplicate,
             c.retries_used,
             c.fallback_ticks,
             c.fallback_entries,
         )
     }
+}
+
+/// One retained coordinator round: the stamp that makes delayed
+/// deliveries arrive pre-aged (lease keyed to `issued_at`, idempotence
+/// keyed to `round`).
+#[derive(Debug, Clone)]
+struct RoundEntry {
+    round: u64,
+    issued_at: SimTime,
+    plans: Vec<Watts>,
+    grants: Vec<Watts>,
 }
 
 /// The per-simulation fault injector and degraded-mode state machine.
@@ -204,10 +246,10 @@ pub struct SimFaults {
     unit_rngs: Vec<Vec<RngStream>>,
     /// Last SOC value actually delivered per rack (dropout holds it).
     last_sensor: Vec<f64>,
-    /// Recent coordinator rounds (plan entries, grants), newest first.
-    history: VecDeque<(Vec<Watts>, Vec<Watts>)>,
-    /// When each rack last received a plan update.
-    last_delivery: Vec<SimTime>,
+    /// Recent coordinator rounds, newest first, stamped with their round
+    /// counter and issue time so delayed deliveries carry the original
+    /// lease clock.
+    history: VecDeque<RoundEntry>,
     /// Last-known-good SOC per rack and when it was learned.
     last_good_soc: Vec<(SimTime, f64)>,
     /// Which racks are currently in watchdog fallback.
@@ -253,7 +295,6 @@ impl SimFaults {
             unit_rngs,
             last_sensor: socs.to_vec(),
             history: VecDeque::new(),
-            last_delivery: vec![now; racks],
             last_good_soc: socs.iter().map(|&s| (now, s)).collect(),
             fallback: vec![false; racks],
             counters: FaultCounters::default(),
@@ -430,28 +471,37 @@ impl SimFaults {
 
     /// Delivers a freshly computed coordinator round — per-rack plan
     /// entries *and* outlet-budget grants, which travel in the same
-    /// message — through the faulted control path, updating `held` and
-    /// `held_grants` (the per-rack last-received state) in place.
+    /// message, stamped with `round` and issued at `now` — through the
+    /// faulted control path, updating each rack's [`RackHeld`] state in
+    /// place via the idempotent receive path.
     ///
     /// Per rack, in order: **delay** picks an older round from the
     /// round history, **reorder** swaps this round with the previous
     /// one, and **loss** drops the delivery outright after
     /// [`DegradedConfig::retry_limit`] extra attempts. A rack whose
-    /// delivery is lost keeps its stale `held` entries and its staleness
-    /// clock keeps running; a successful delivery stamps the rack's
-    /// last-delivery time and refreshes its last-known-good SOC from the
-    /// (possibly sensor-corrupted) `reported_socs`.
+    /// delivery is lost keeps its stale held state and its staleness
+    /// clock keeps running. A delivery that reaches the rack is applied
+    /// through [`RackHeld::receive`]: only a strictly newer round is
+    /// adopted (refreshing the staleness clock and the last-known-good
+    /// SOC from the possibly sensor-corrupted `reported_socs`); replays
+    /// of the held round or older are counted as duplicates and ignored,
+    /// so a re-delivered grant can never be spent twice or talk a rack
+    /// out of watchdog fallback.
     pub fn deliver_plan(
         &mut self,
         now: SimTime,
+        round: u64,
         computed: &[Watts],
         computed_grants: &[Watts],
         reported_socs: &[f64],
-        held: &mut [Watts],
-        held_grants: &mut [Watts],
+        held: &mut [RackHeld],
     ) {
-        self.history
-            .push_front((computed.to_vec(), computed_grants.to_vec()));
+        self.history.push_front(RoundEntry {
+            round,
+            issued_at: now,
+            plans: computed.to_vec(),
+            grants: computed_grants.to_vec(),
+        });
         self.history.truncate(PLAN_HISTORY);
         for r in 0..held.len() {
             // Delay: the entry this rack would receive now is the one
@@ -514,27 +564,39 @@ impl SimFaults {
                 self.counters.plans_lost += 1;
                 continue;
             }
-            held[r] = self.history[age].0[r];
-            held_grants[r] = self.history[age].1[r];
-            self.last_delivery[r] = now;
-            self.last_good_soc[r] = (now, reported_socs[r]);
+            let entry = &self.history[age];
+            let msg = RoundMsg {
+                round: entry.round,
+                issued_at: entry.issued_at,
+                plan: entry.plans[r],
+                grant: entry.grants[r],
+            };
+            match held[r].receive(&msg, now) {
+                DeliveryOutcome::Fresh => {
+                    self.last_good_soc[r] = (now, reported_socs[r]);
+                }
+                DeliveryOutcome::Duplicate => {
+                    self.counters.plans_duplicate += 1;
+                }
+            }
         }
     }
 
-    /// Advances the per-rack staleness watchdog at `now`, returning the
-    /// racks whose fallback state changed as `(rack, entered)` edges.
-    pub fn watchdog_tick(&mut self, now: SimTime) -> Vec<(usize, bool)> {
+    /// Advances the per-rack staleness watchdog at `now` against each
+    /// rack's held-state staleness clock, returning the racks whose
+    /// fallback state changed as `(rack, entered)` edges.
+    pub fn watchdog_tick(&mut self, now: SimTime, held: &[RackHeld]) -> Vec<(usize, bool)> {
         let mut edges = Vec::new();
-        for r in 0..self.fallback.len() {
-            let stale = now.saturating_since(self.last_delivery[r]) > self.config.watchdog_timeout;
-            if stale != self.fallback[r] {
-                self.fallback[r] = stale;
+        for (r, fallback) in self.fallback.iter_mut().enumerate() {
+            if let Some(stale) =
+                crate::vdeb::watchdog_edge(&held[r], now, self.config.watchdog_timeout, fallback)
+            {
                 if stale {
                     self.counters.fallback_entries += 1;
                 }
                 edges.push((r, stale));
             }
-            if stale {
+            if *fallback {
                 self.counters.fallback_ticks += 1;
             }
         }
@@ -783,36 +845,41 @@ mod tests {
             ..DegradedConfig::default()
         };
         let mut f = SimFaults::new(plan, config, 3, SimTime::ZERO, &[1.0]).unwrap();
-        let mut held = [Watts(100.0)];
-        let mut grants = [Watts(40.0)];
+        let mut held = [RackHeld {
+            plan: Watts(100.0),
+            grant: Watts(40.0),
+            round: 1,
+            issued_at: SimTime::ZERO,
+            last_contact: SimTime::ZERO,
+        }];
         f.deliver_plan(
             SimTime::from_secs(10),
+            2,
             &[Watts(5.0)],
             &[Watts(2.0)],
             &[1.0],
             &mut held,
-            &mut grants,
         );
-        assert_eq!(held[0], Watts(100.0), "loss keeps the stale plan");
-        assert_eq!(grants[0], Watts(40.0), "loss keeps the stale grant");
+        assert_eq!(held[0].plan, Watts(100.0), "loss keeps the stale plan");
+        assert_eq!(held[0].grant, Watts(40.0), "loss keeps the stale grant");
         assert!(f.counters().plans_lost >= 1);
         assert!(f.counters().retries_used >= 1, "bounded retry was spent");
-        assert!(f.watchdog_tick(SimTime::from_secs(20)).is_empty());
-        let edges = f.watchdog_tick(SimTime::from_secs(31));
+        assert!(f.watchdog_tick(SimTime::from_secs(20), &held).is_empty());
+        let edges = f.watchdog_tick(SimTime::from_secs(31), &held);
         assert_eq!(edges, vec![(0, true)]);
         assert!(f.fallback_active(0));
-        // A delivery outside the loss window clears the fallback.
+        // A *fresh* delivery outside the loss window clears the fallback.
         f.deliver_plan(
             SimTime::from_hours(2),
+            3,
             &[Watts(5.0)],
             &[Watts(2.0)],
             &[1.0],
             &mut held,
-            &mut grants,
         );
-        assert_eq!(held[0], Watts(5.0));
-        assert_eq!(grants[0], Watts(2.0));
-        let edges = f.watchdog_tick(SimTime::from_hours(2));
+        assert_eq!(held[0].plan, Watts(5.0));
+        assert_eq!(held[0].grant, Watts(2.0));
+        let edges = f.watchdog_tick(SimTime::from_hours(2), &held);
         assert_eq!(edges, vec![(0, false)]);
     }
 
@@ -826,40 +893,76 @@ mod tests {
         ));
         let mut f =
             SimFaults::new(plan, DegradedConfig::default(), 3, SimTime::ZERO, &[1.0]).unwrap();
-        let mut held = [Watts::ZERO];
-        let mut grants = [Watts::ZERO];
-        let deliver = |f: &mut SimFaults, t, p, g, held: &mut [Watts], grants: &mut [Watts]| {
-            f.deliver_plan(t, &[Watts(p)], &[Watts(g)], &[1.0], held, grants);
+        let mut held = [RackHeld::new(SimTime::ZERO)];
+        let deliver = |f: &mut SimFaults, t, round, p, g, held: &mut [RackHeld]| {
+            f.deliver_plan(t, round, &[Watts(p)], &[Watts(g)], &[1.0], held);
         };
-        deliver(
-            &mut f,
+        deliver(&mut f, SimTime::from_secs(10), 1, 1.0, 10.0, &mut held);
+        assert_eq!(held[0].round, 0, "first round predates history");
+        deliver(&mut f, SimTime::from_secs(20), 2, 2.0, 20.0, &mut held);
+        assert_eq!(held[0].plan, Watts(1.0), "one round late");
+        assert_eq!(held[0].grant, Watts(10.0), "grant travels with its round");
+        assert_eq!(
+            held[0].issued_at,
             SimTime::from_secs(10),
-            1.0,
-            10.0,
-            &mut held,
-            &mut grants,
+            "a delayed round keeps its original lease clock"
         );
-        assert_eq!(held[0], Watts::ZERO, "first round predates history");
-        deliver(
-            &mut f,
-            SimTime::from_secs(20),
-            2.0,
-            20.0,
-            &mut held,
-            &mut grants,
+        deliver(&mut f, SimTime::from_secs(30), 3, 3.0, 30.0, &mut held);
+        assert_eq!(held[0].plan, Watts(2.0));
+        assert_eq!(held[0].grant, Watts(20.0));
+        assert_eq!(
+            f.counters().plans_duplicate,
+            0,
+            "a delayed round is still newer than what the rack holds"
         );
-        assert_eq!(held[0], Watts(1.0), "one round late");
-        assert_eq!(grants[0], Watts(10.0), "grant travels with its round");
-        deliver(
-            &mut f,
-            SimTime::from_secs(30),
-            3.0,
-            30.0,
-            &mut held,
-            &mut grants,
+    }
+
+    #[test]
+    fn replayed_rounds_are_duplicates() {
+        // A delay window that opens after the rack has already adopted
+        // the latest round re-delivers that same round one interval
+        // later — a replay the idempotent receive must ignore.
+        let plan = FaultPlan::new("t").with(FaultSpec::new(
+            FaultKind::MsgDelay { rounds: 1 },
+            FaultTarget::All,
+            SimTime::from_secs(25),
+            SimTime::from_hours(1),
+        ));
+        let mut f =
+            SimFaults::new(plan, DegradedConfig::default(), 3, SimTime::ZERO, &[1.0]).unwrap();
+        let mut held = [RackHeld::new(SimTime::ZERO)];
+        let deliver = |f: &mut SimFaults, t, round, held: &mut [RackHeld]| {
+            f.deliver_plan(
+                t,
+                round,
+                &[Watts(round as f64)],
+                &[Watts(10.0 * round as f64)],
+                &[1.0],
+                held,
+            );
+        };
+        // Healthy deliveries: the rack adopts rounds 1 and 2.
+        deliver(&mut f, SimTime::from_secs(10), 1, &mut held);
+        deliver(&mut f, SimTime::from_secs(20), 2, &mut held);
+        assert_eq!(held[0].round, 2);
+        let clock = held[0].last_contact;
+        // The delay window is now open: the round-3 delivery resolves
+        // one round older, replaying round 2 — a duplicate. Before the
+        // idempotence fix this replay re-applied round 2's grant (a
+        // double-spend of headroom the coordinator has since re-granted)
+        // and refreshed the staleness clock.
+        deliver(&mut f, SimTime::from_secs(30), 3, &mut held);
+        assert_eq!(held[0].round, 2, "replay not re-applied");
+        assert_eq!(held[0].grant, Watts(20.0), "grant unchanged by replay");
+        assert_eq!(
+            held[0].last_contact, clock,
+            "replay does not refresh the staleness clock"
         );
-        assert_eq!(held[0], Watts(2.0));
-        assert_eq!(grants[0], Watts(20.0));
+        assert_eq!(f.counters().plans_duplicate, 1);
+        // The next round's delayed delivery resolves to round 3: fresh.
+        deliver(&mut f, SimTime::from_secs(40), 4, &mut held);
+        assert_eq!(held[0].round, 3);
+        assert!(held[0].last_contact > clock);
     }
 
     #[test]

@@ -43,7 +43,12 @@
 //! * [`fault`] — deterministic fault injection (sensor, message, and
 //!   component faults) and the graceful-degradation control plane
 //!   (staleness watchdog, bounded retry, safe local fallback);
-//! * [`vdeb`] — Algorithm 1, the SOC-proportional pooled-discharge plan;
+//! * [`vdeb`] — Algorithm 1, the SOC-proportional pooled-discharge plan,
+//!   and the coordination protocol (grant leases, idempotent delivery,
+//!   the pure `ProtocolState::apply` transition);
+//! * [`mc`] — exhaustive model checking of that protocol: a scripted
+//!   small-world model over `ProtocolState`, four safety invariants, and
+//!   counterexample-to-`FaultPlan` replay;
 //! * [`udeb`] — the ORing super-capacitor spike shaver and its cost model;
 //! * [`shedding`] — Level-3 emergency load shedding (≤3% of servers);
 //! * [`migration`] — the Level-3 alternative: move load off vulnerable racks;
@@ -63,6 +68,7 @@
 pub mod detect;
 pub mod experiments;
 pub mod fault;
+pub mod mc;
 pub mod metrics;
 pub mod migration;
 pub mod policy;
@@ -85,6 +91,7 @@ pub mod units {
 pub mod prelude {
     pub use crate::detect::{DetectConfig, SimDetectors, TickVerdict};
     pub use crate::fault::{DegradedConfig, FaultReport, SimFaults};
+    pub use crate::mc::{BrokenMode, ModelConfig, VdebModel};
     pub use crate::metrics::{OverloadEvent, SocHistory, SurvivalReport};
     pub use crate::migration::{LoadMigrator, MigrationPlan};
     pub use crate::policy::{
@@ -97,7 +104,10 @@ pub mod prelude {
     pub use crate::trace::SimTracer;
     pub use crate::udeb::MicroDeb;
     pub use crate::units::Watts;
-    pub use crate::vdeb::{plan_discharge, VdebController};
+    pub use crate::vdeb::{
+        plan_discharge, ProtocolAction, ProtocolConfig, ProtocolState, RackHeld, RoundMsg,
+        VdebController,
+    };
     pub use attack::scenario::{AttackScenario, AttackStyle};
     pub use attack::virus::VirusClass;
     pub use powerinfra::topology::RackId;

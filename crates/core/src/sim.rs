@@ -59,7 +59,9 @@ use crate::shedding::LoadShedder;
 use crate::telemetry::{RackTick, SimTelemetry};
 use crate::trace::SimTracer;
 use crate::udeb::MicroDeb;
-use crate::vdeb::{plan_discharge_with_reserve, VdebController};
+use crate::vdeb::{
+    allocate_grants, plan_discharge_with_reserve, RackHeld, RoundMsg, VdebController,
+};
 
 /// What PAD's Level 3 does about a cluster shortfall (§IV.A names both:
 /// "put some servers into sleeping/hibernating states or trigger load
@@ -348,18 +350,23 @@ pub struct ClusterSim {
     seen_level: SecurityLevel,
     /// Last-seen cluster shed total (for logging).
     seen_shed: usize,
-    /// Held vDEB pool-discharge plan from the last slow-loop update.
-    vdeb_plan_held: Vec<Watts>,
-    /// Held iPDU budget grants from the last slow-loop update — what
-    /// each *rack* believes it may draw (goes stale under control-path
-    /// faults).
-    grants_held: Vec<Watts>,
+    /// Each rack's held view of the coordination protocol — the last
+    /// *adopted* round message (plan entry + outlet grant, with its
+    /// round stamp, lease clock and staleness clock). Goes stale under
+    /// control-path faults; replays are rejected by the idempotent
+    /// receive path.
+    held: Vec<RackHeld>,
+    /// Coordinator round counter (1-based; stamps every round message).
+    round_counter: u64,
     /// The coordinator's own latest grant assignment — what the iPDU
     /// actually *entitles* each outlet to. The iPDU is colocated with
     /// the coordinator, so this never goes stale; the overload predicate
-    /// judges draws against it. Identical to `grants_held` whenever the
-    /// control path is healthy.
+    /// judges draws against it. Identical to the racks' held grants
+    /// whenever the control path is healthy.
     grants_current: Vec<Watts>,
+    /// Grant power each rack actually spent last step, after the lease
+    /// and fallback gates (what the budget-safety property sums).
+    last_grant_spend: Vec<Watts>,
     /// Slow-loop averaging accumulators (excess, demand; watt-seconds).
     slow_excess_acc: Vec<f64>,
     slow_demand_acc: Vec<f64>,
@@ -474,9 +481,10 @@ impl ClusterSim {
             seen_disconnects: vec![0; n],
             seen_level: SecurityLevel::Normal,
             seen_shed: 0,
-            vdeb_plan_held: vec![Watts::ZERO; n],
-            grants_held: vec![Watts::ZERO; n],
+            held: vec![RackHeld::new(SimTime::ZERO); n],
+            round_counter: 0,
             grants_current: vec![Watts::ZERO; n],
+            last_grant_spend: vec![Watts::ZERO; n],
             slow_excess_acc: vec![0.0; n],
             slow_demand_acc: vec![0.0; n],
             slow_time_acc: 0.0,
@@ -622,6 +630,11 @@ impl ClusterSim {
     ) -> Result<(), String> {
         let socs = self.rack_socs();
         self.faults = Some(SimFaults::new(plan, degraded, seed, self.now, &socs)?);
+        // Arm the staleness watchdog at injection time: a rack's clock
+        // starts from "heard the coordinator now", not from sim start.
+        for held in &mut self.held {
+            held.last_contact = self.now;
+        }
         Ok(())
     }
 
@@ -658,6 +671,23 @@ impl ClusterSim {
     /// Whether a rack is currently dark after a breaker trip.
     pub fn in_outage(&self, id: RackId) -> bool {
         self.outage_until[id.0].is_some()
+    }
+
+    /// Per-rack grant power actually spent last step, after the lease
+    /// and fallback gates (all zero for non-vDEB schemes). The budget
+    /// safety property sums this: Σ spend ≤ Σ current entitlements.
+    pub fn grant_spend(&self) -> &[Watts] {
+        &self.last_grant_spend
+    }
+
+    /// The coordinator's current-round grant entitlements per rack.
+    pub fn grants_current(&self) -> &[Watts] {
+        &self.grants_current
+    }
+
+    /// Each rack's held view of the coordination protocol.
+    pub fn held_protocol(&self) -> &[RackHeld] {
+        &self.held
     }
 
     /// The racks (read-only inspection).
@@ -1011,44 +1041,39 @@ impl ClusterSim {
                 // locally — the iPDU capacity-sharing step (Eq. 2 keeps
                 // the sum of outlet limits within P_PDU). Computed from
                 // the coordinator's *own* fresh plan: it cannot see
-                // which deliveries downstream will fail.
-                let headroom_total: Watts = avg_demand
-                    .iter()
-                    .zip(&computed)
-                    .map(|(&demand, &planned)| (budget - (demand - planned)).clamp_non_negative())
-                    .sum();
-                let mut headroom = headroom_total;
-                let mut residuals: Vec<(usize, Watts)> = (0..n)
-                    .filter_map(|r| {
-                        let res = (avg_excess[r] - computed[r]).clamp_non_negative();
-                        (res.0 > 0.0).then_some((r, res))
-                    })
-                    .collect();
-                residuals.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
-                let mut computed_grants = vec![Watts::ZERO; n];
-                for (r, res) in residuals {
-                    let g = res.min(headroom);
-                    computed_grants[r] = g;
-                    headroom -= g;
-                }
+                // which deliveries downstream will fail. The allocation
+                // lives in `vdeb::allocate_grants` so the model checker
+                // exercises the very same arithmetic.
+                let computed_grants = allocate_grants(budget, &avg_demand, &avg_excess, &computed);
                 self.grants_current.copy_from_slice(&computed_grants);
+                self.round_counter += 1;
                 if let Some(f) = &mut self.faults {
                     // The coordinator's per-rack round messages — plan
                     // entry plus outlet grant — traverse the faulted
                     // control path: loss (with bounded retry),
                     // whole-round delay, reordering. Racks whose
-                    // delivery fails keep their stale held state.
+                    // delivery fails keep their stale held state; racks
+                    // that receive a replayed round ignore it.
                     f.deliver_plan(
                         now,
+                        self.round_counter,
                         &computed,
                         &computed_grants,
                         &socs,
-                        &mut self.vdeb_plan_held,
-                        &mut self.grants_held,
+                        &mut self.held,
                     );
                 } else {
-                    self.vdeb_plan_held.copy_from_slice(&computed);
-                    self.grants_held.copy_from_slice(&computed_grants);
+                    for (r, held) in self.held.iter_mut().enumerate() {
+                        held.receive(
+                            &RoundMsg {
+                                round: self.round_counter,
+                                issued_at: now,
+                                plan: computed[r],
+                                grant: computed_grants[r],
+                            },
+                            now,
+                        );
+                    }
                 }
             }
             self.slow_excess_acc.iter_mut().for_each(|v| *v = 0.0);
@@ -1064,7 +1089,7 @@ impl ClusterSim {
         let mut udeb_out: Vec<bool> = Vec::new();
         if let Some(f) = &mut self.faults {
             if self.config.scheme.has_vdeb() {
-                for (r, entered) in f.watchdog_tick(now) {
+                for (r, entered) in f.watchdog_tick(now, &self.held) {
                     self.log.record(
                         now,
                         if entered {
@@ -1109,22 +1134,31 @@ impl ClusterSim {
         }
         let udeb_faulted = |r: usize| udeb_out.get(r).copied().unwrap_or(false);
 
-        // A rack in watchdog fallback also stops *spending* its held
-        // outlet grant: a grant is a lease on shared headroom, and a
-        // rack that cannot hear the coordinator cannot know whether the
-        // same headroom has since been re-granted to someone else.
-        // Frozen stale grants double-spend `P_PDU` (Eq. 2 holds per
-        // round, not across rounds), which is exactly the cluster-level
-        // overdraw the lease expiry prevents.
+        // A grant is a *lease* on shared headroom, spendable only while
+        // live: it expires one grant interval after the round that
+        // issued it (a delayed delivery arrives pre-aged), and a rack in
+        // watchdog fallback stops spending outright — a rack that cannot
+        // hear the coordinator cannot know whether the same headroom has
+        // since been re-granted to someone else. Frozen stale grants
+        // double-spend `P_PDU` (Eq. 2 holds per round, not across
+        // rounds), which is exactly the cluster-level overdraw the lease
+        // expiry prevents — and exactly what `padsim mc` proves absent.
+        let grant_lease = Some(
+            self.faults
+                .as_ref()
+                .map(|f| f.config().grant_lease)
+                .unwrap_or(self.config.grant_interval),
+        );
         let grants: Vec<Watts> = (0..n)
             .map(|r| {
                 if fallback_cap.get(r).is_some_and(|c| c.is_some()) {
                     Watts::ZERO
                 } else {
-                    self.grants_held[r]
+                    self.held[r].grant_spend(now, grant_lease)
                 }
             })
             .collect();
+        self.last_grant_spend.copy_from_slice(&grants);
 
         // 4. Fast layer, every step. Planned/local battery discharge
         // first, then the residual above the (granted) limit is handled
@@ -1143,7 +1177,7 @@ impl ClusterSim {
                     // capped by the degraded-mode duty limit.
                     let planned = match fallback_cap.get(r).copied().flatten() {
                         Some(cap) => excesses[r].min(cap).min(demands[r]),
-                        None => self.vdeb_plan_held[r].min(demands[r]),
+                        None => self.held[r].plan.min(demands[r]),
                     };
                     if planned.0 > 0.0 {
                         battery_shave[r] = self.racks[r].cabinet_mut().discharge(planned, dt);

@@ -18,6 +18,7 @@
 //! allocation on line 17 requires to sum correctly.)
 
 use battery::units::Watts;
+use simkit::time::{SimDuration, SimTime};
 
 /// One rack's share of the pool discharge plan.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -225,6 +226,374 @@ impl Default for VdebController {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Coordination protocol: grants, leases, idempotent delivery, watchdog.
+//
+// The types below are the *shared implementation* of the coordinator↔rack
+// coordination step. `ClusterSim` drives them on continuous sim time through
+// the faulted delivery pipeline; the `pad::mc` model checker drives the same
+// code on integer round time through exhaustive interleavings. A bug fixed
+// here is fixed in both.
+// ---------------------------------------------------------------------------
+
+/// Allocates iPDU outlet-budget grants for one coordinator round — the
+/// capacity-sharing step of Eq. 2.
+///
+/// Budget freed by discharging racks plus unused budget (`headroom`) is
+/// granted greedily, largest residual first, to racks whose average
+/// excess is not covered by their own planned discharge. The sum of
+/// grants never exceeds the total headroom, so within a single round the
+/// sum of outlet limits (`budget + grant`) stays within `P_PDU`.
+///
+/// All slices must share one length (one entry per rack).
+pub fn allocate_grants(
+    budget: Watts,
+    avg_demand: &[Watts],
+    avg_excess: &[Watts],
+    planned: &[Watts],
+) -> Vec<Watts> {
+    let n = avg_demand.len();
+    assert_eq!(n, avg_excess.len(), "per-rack slices must align");
+    assert_eq!(n, planned.len(), "per-rack slices must align");
+    let headroom_total: Watts = avg_demand
+        .iter()
+        .zip(planned)
+        .map(|(&demand, &plan)| (budget - (demand - plan)).clamp_non_negative())
+        .sum();
+    let mut headroom = headroom_total;
+    let mut residuals: Vec<(usize, Watts)> = (0..n)
+        .filter_map(|r| {
+            let res = (avg_excess[r] - planned[r]).clamp_non_negative();
+            (res.0 > 0.0).then_some((r, res))
+        })
+        .collect();
+    residuals.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    let mut grants = vec![Watts::ZERO; n];
+    for (r, res) in residuals {
+        let g = res.min(headroom);
+        grants[r] = g;
+        headroom -= g;
+    }
+    grants
+}
+
+/// One coordinator round message addressed to one rack: the vDEB plan
+/// entry and the iPDU outlet grant travel together, stamped with the
+/// round they belong to. Grant leases are keyed to `issued_at`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundMsg {
+    /// Coordinator round counter (1-based; rounds start at 1).
+    pub round: u64,
+    /// When the coordinator computed this round.
+    pub issued_at: SimTime,
+    /// The rack's pooled-discharge plan entry.
+    pub plan: Watts,
+    /// The rack's outlet-budget grant (a lease on shared headroom).
+    pub grant: Watts,
+}
+
+/// What applying a delivered round message did at the rack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryOutcome {
+    /// A strictly newer round: the rack adopted it.
+    Fresh,
+    /// A replay of the held round or older: ignored by the idempotent
+    /// receive path.
+    Duplicate,
+}
+
+/// A rack's held view of the coordination protocol: the last adopted
+/// round message plus the staleness clock the watchdog reads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RackHeld {
+    /// Held plan entry (stale until the next adopted round).
+    pub plan: Watts,
+    /// Held outlet grant.
+    pub grant: Watts,
+    /// Round the held state came from (0 = never heard a round).
+    pub round: u64,
+    /// Issue time of the held round (lease validity is measured from
+    /// here, not from delivery — a delayed grant arrives pre-aged).
+    pub issued_at: SimTime,
+    /// Last time a delivery refreshed this rack's staleness clock.
+    pub last_contact: SimTime,
+}
+
+impl RackHeld {
+    /// A rack that has never heard the coordinator; the staleness clock
+    /// starts at `now`.
+    pub fn new(now: SimTime) -> Self {
+        RackHeld {
+            plan: Watts::ZERO,
+            grant: Watts::ZERO,
+            round: 0,
+            issued_at: now,
+            last_contact: now,
+        }
+    }
+
+    /// Idempotent receive: only a strictly newer round is adopted.
+    /// Replays and duplicates neither re-apply the grant nor refresh
+    /// `last_contact` — so a replayed round can never re-spend a lease
+    /// or talk a rack out of watchdog fallback.
+    pub fn receive(&mut self, msg: &RoundMsg, now: SimTime) -> DeliveryOutcome {
+        if msg.round <= self.round {
+            return DeliveryOutcome::Duplicate;
+        }
+        self.adopt(msg, now);
+        DeliveryOutcome::Fresh
+    }
+
+    /// The pre-fix receive path, kept only for the deliberately broken
+    /// `duplicate-grant` checker model: every delivery — including
+    /// replays of rounds already held — re-applies the payload and
+    /// refreshes the staleness clock.
+    pub fn receive_replay(&mut self, msg: &RoundMsg, now: SimTime) -> DeliveryOutcome {
+        let outcome = if msg.round <= self.round {
+            DeliveryOutcome::Duplicate
+        } else {
+            DeliveryOutcome::Fresh
+        };
+        self.adopt(msg, now);
+        outcome
+    }
+
+    fn adopt(&mut self, msg: &RoundMsg, now: SimTime) {
+        self.plan = msg.plan;
+        self.grant = msg.grant;
+        self.round = msg.round;
+        self.issued_at = msg.issued_at;
+        self.last_contact = now;
+    }
+
+    /// Whether the held grant lease is still live at `now`.
+    ///
+    /// A lease expires `lease` after the round was *issued* (strictly:
+    /// live while `now - issued_at < lease`). With the lease equal to
+    /// the grant interval, at most one round's grants are live at any
+    /// instant, which is what makes Eq. 2 hold across rounds and not
+    /// just within one. `None` disables expiry (the broken model).
+    pub fn grant_live(&self, now: SimTime, lease: Option<SimDuration>) -> bool {
+        if self.round == 0 {
+            return false;
+        }
+        match lease {
+            None => true,
+            Some(ttl) => now.saturating_since(self.issued_at) < ttl,
+        }
+    }
+
+    /// The grant power this rack may spend at `now` under its lease
+    /// (zero when the lease has expired or no round was ever heard).
+    pub fn grant_spend(&self, now: SimTime, lease: Option<SimDuration>) -> Watts {
+        if self.grant_live(now, lease) {
+            self.grant
+        } else {
+            Watts::ZERO
+        }
+    }
+
+    /// How long this rack has gone without a fresh delivery.
+    pub fn staleness(&self, now: SimTime) -> SimDuration {
+        now.saturating_since(self.last_contact)
+    }
+}
+
+/// Advances one rack's stored watchdog flag: stale when the staleness
+/// clock exceeds `timeout`. Returns `Some(entered)` on an edge (entered
+/// or left fallback), `None` when the flag is unchanged.
+pub fn watchdog_edge(
+    held: &RackHeld,
+    now: SimTime,
+    timeout: SimDuration,
+    fallback: &mut bool,
+) -> Option<bool> {
+    let stale = held.staleness(now) > timeout;
+    if stale != *fallback {
+        *fallback = stale;
+        Some(stale)
+    } else {
+        None
+    }
+}
+
+/// Static parameters of the coordination protocol shared by the
+/// simulator and the model checker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProtocolConfig {
+    /// Racks under the coordinator.
+    pub racks: usize,
+    /// Grant interval (one protocol tick in the checker's model).
+    pub interval: SimDuration,
+    /// Watchdog staleness timeout (3× the interval in PAD).
+    pub watchdog_timeout: SimDuration,
+    /// Grant lease; `None` disables expiry (the known-violation model).
+    pub grant_lease: Option<SimDuration>,
+    /// Whether delivery is idempotent per round ([`RackHeld::receive`])
+    /// or the broken replay path ([`RackHeld::receive_replay`]).
+    pub idempotent: bool,
+}
+
+impl ProtocolConfig {
+    /// The PAD protocol at `racks` racks: lease = interval, watchdog =
+    /// 3× interval, idempotent delivery.
+    pub fn pad(racks: usize, interval: SimDuration) -> Self {
+        ProtocolConfig {
+            racks,
+            interval,
+            watchdog_timeout: interval * 3,
+            grant_lease: Some(interval),
+            idempotent: true,
+        }
+    }
+}
+
+/// One transition of the coordination protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolAction {
+    /// The coordinator computes the next round's plan and grants. The
+    /// payloads become `*_current`; delivery to racks is separate (the
+    /// checker interleaves it with everything else).
+    Compute {
+        /// Per-rack plan entries for the new round.
+        plans: Vec<Watts>,
+        /// Per-rack outlet grants for the new round.
+        grants: Vec<Watts>,
+    },
+    /// A round message reaches a rack (possibly delayed, reordered or
+    /// duplicated by the network — the message carries its own round
+    /// stamp, the rack decides what to do with it).
+    Deliver {
+        /// Destination rack.
+        rack: usize,
+        /// The message as originally issued.
+        msg: RoundMsg,
+    },
+    /// Protocol time advances by one grant interval.
+    Tick,
+}
+
+/// The globally visible protocol state: coordinator side (`round`,
+/// `*_current`) plus every rack's held state and watchdog flag.
+///
+/// [`ProtocolState::apply`] is pure — it returns the successor state
+/// without touching `self` — which is what lets the model checker
+/// branch on every interleaving from a shared prefix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolState {
+    /// Protocol time (multiples of the grant interval in the checker).
+    pub now: SimTime,
+    /// Latest computed round (0 before the first [`ProtocolAction::Compute`]).
+    pub round: u64,
+    /// Coordinator-side plan entries of the latest round.
+    pub plans_current: Vec<Watts>,
+    /// Coordinator-side grants of the latest round — the entitlements a
+    /// rack is judged against.
+    pub grants_current: Vec<Watts>,
+    /// Per-rack held protocol state.
+    pub held: Vec<RackHeld>,
+    /// Per-rack watchdog fallback flag.
+    pub fallback: Vec<bool>,
+    /// Round each rack held when it last *entered* fallback (used to
+    /// tell a legitimate exit — fresh round adopted — from a replayed
+    /// one).
+    pub entry_round: Vec<u64>,
+    /// Fallback exits not justified by a fresh round. The de-escalation
+    /// hold-down invariant is `bad_exits == 0`.
+    pub bad_exits: u32,
+}
+
+impl ProtocolState {
+    /// The initial state: no rounds computed, no rack in fallback,
+    /// staleness clocks at time zero.
+    pub fn initial(config: &ProtocolConfig) -> Self {
+        let now = SimTime::ZERO;
+        ProtocolState {
+            now,
+            round: 0,
+            plans_current: vec![Watts::ZERO; config.racks],
+            grants_current: vec![Watts::ZERO; config.racks],
+            held: vec![RackHeld::new(now); config.racks],
+            fallback: vec![false; config.racks],
+            entry_round: vec![0; config.racks],
+            bad_exits: 0,
+        }
+    }
+
+    /// Applies one action, returning the successor state (pure).
+    pub fn apply(&self, config: &ProtocolConfig, action: &ProtocolAction) -> ProtocolState {
+        let mut next = self.clone();
+        match action {
+            ProtocolAction::Compute { plans, grants } => {
+                next.round += 1;
+                next.plans_current.copy_from_slice(plans);
+                next.grants_current.copy_from_slice(grants);
+            }
+            ProtocolAction::Deliver { rack, msg } => {
+                let held = &mut next.held[*rack];
+                if config.idempotent {
+                    held.receive(msg, next.now);
+                } else {
+                    held.receive_replay(msg, next.now);
+                }
+                next.run_watchdog(config);
+            }
+            ProtocolAction::Tick => {
+                next.now += config.interval;
+                next.run_watchdog(config);
+            }
+        }
+        next
+    }
+
+    /// Re-evaluates every rack's watchdog flag against the staleness
+    /// clock — the sim does this every step, so the model does it after
+    /// every transition. Records entry rounds and counts exits that a
+    /// fresh round does not justify.
+    fn run_watchdog(&mut self, config: &ProtocolConfig) {
+        for r in 0..config.racks {
+            let was = self.fallback[r];
+            if let Some(entered) = watchdog_edge(
+                &self.held[r],
+                self.now,
+                config.watchdog_timeout,
+                &mut self.fallback[r],
+            ) {
+                if entered {
+                    self.entry_round[r] = self.held[r].round;
+                } else if was && self.held[r].round <= self.entry_round[r] {
+                    // The staleness clock was refreshed without the rack
+                    // adopting a newer round — only the broken replay
+                    // path can do that.
+                    self.bad_exits += 1;
+                }
+            }
+        }
+    }
+
+    /// The grant power rack `r` actually spends at `now`: zero in
+    /// fallback (a deaf rack must assume its headroom was re-granted),
+    /// zero past the lease, the held grant otherwise.
+    pub fn live_spend(&self, config: &ProtocolConfig, r: usize) -> Watts {
+        if self.fallback[r] {
+            Watts::ZERO
+        } else {
+            self.held[r].grant_spend(self.now, config.grant_lease)
+        }
+    }
+
+    /// Sum of live grant spends across the cluster.
+    pub fn total_live_spend(&self, config: &ProtocolConfig) -> Watts {
+        (0..config.racks).map(|r| self.live_spend(config, r)).sum()
+    }
+
+    /// Sum of the coordinator's current-round grants — the headroom the
+    /// PDU has actually set aside (Eq. 2 budget).
+    pub fn total_granted(&self) -> Watts {
+        self.grants_current.iter().copied().sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -362,5 +731,172 @@ mod tests {
         assert_eq!(ctl.vulnerable(&[0.9, 0.1, 0.24, 0.26]), vec![1, 2]);
         assert!(ctl.pool_available(&[0.5, 0.0]));
         assert!(!ctl.pool_available(&[0.0, 0.01]));
+    }
+
+    #[test]
+    fn grants_never_exceed_headroom() {
+        let budget = Watts(100.0);
+        let demand = [Watts(160.0), Watts(60.0), Watts(60.0)];
+        let excess = [Watts(60.0), Watts::ZERO, Watts::ZERO];
+        let planned = [Watts(15.0), Watts(15.0), Watts(15.0)];
+        let grants = allocate_grants(budget, &demand, &excess, &planned);
+        // Headroom: hot rack none, cool racks 100-(60-15)=55 each.
+        // Residual: hot rack 60-15=45, fully grantable.
+        assert_eq!(grants, vec![Watts(45.0), Watts::ZERO, Watts::ZERO]);
+        let total: Watts = grants.iter().copied().sum();
+        assert!(total <= Watts(110.0));
+    }
+
+    #[test]
+    fn grants_saturate_at_headroom() {
+        // Two starving racks, one idle donor: grants are capped by the
+        // donor's headroom, largest residual first.
+        let budget = Watts(100.0);
+        let demand = [Watts(200.0), Watts(150.0), Watts(10.0)];
+        let excess = [Watts(100.0), Watts(50.0), Watts::ZERO];
+        let planned = [Watts::ZERO, Watts::ZERO, Watts::ZERO];
+        let grants = allocate_grants(budget, &demand, &excess, &planned);
+        assert_eq!(
+            grants[0],
+            Watts(90.0),
+            "largest residual takes the headroom"
+        );
+        assert_eq!(grants[1], Watts::ZERO);
+        assert_eq!(grants[2], Watts::ZERO);
+    }
+
+    fn msg(round: u64, issued_secs: u64, grant: f64) -> RoundMsg {
+        RoundMsg {
+            round,
+            issued_at: SimTime::from_secs(issued_secs),
+            plan: Watts(1.0),
+            grant: Watts(grant),
+        }
+    }
+
+    #[test]
+    fn receive_is_idempotent_per_round() {
+        let mut held = RackHeld::new(SimTime::ZERO);
+        let now = SimTime::from_secs(1);
+        assert_eq!(held.receive(&msg(1, 0, 40.0), now), DeliveryOutcome::Fresh);
+        assert_eq!(held.grant, Watts(40.0));
+        assert_eq!(held.last_contact, now);
+
+        // A replay of the same round changes nothing — in particular it
+        // does not refresh the staleness clock.
+        let later = SimTime::from_secs(5);
+        assert_eq!(
+            held.receive(&msg(1, 0, 40.0), later),
+            DeliveryOutcome::Duplicate
+        );
+        assert_eq!(
+            held.last_contact, now,
+            "duplicate must not refresh the clock"
+        );
+
+        // An older round (reordered) is also a duplicate.
+        assert_eq!(
+            held.receive(&msg(0, 0, 99.0), later),
+            DeliveryOutcome::Duplicate
+        );
+        assert_eq!(held.grant, Watts(40.0));
+
+        // A newer round is adopted.
+        assert_eq!(
+            held.receive(&msg(2, 10, 20.0), later),
+            DeliveryOutcome::Fresh
+        );
+        assert_eq!(held.grant, Watts(20.0));
+        assert_eq!(held.last_contact, later);
+    }
+
+    #[test]
+    fn lease_expires_one_interval_after_issue() {
+        let mut held = RackHeld::new(SimTime::ZERO);
+        let lease = Some(SimDuration::from_secs(10));
+        assert!(!held.grant_live(SimTime::ZERO, lease), "no round heard yet");
+
+        held.receive(&msg(1, 0, 40.0), SimTime::ZERO);
+        assert!(held.grant_live(SimTime::from_secs(9), lease));
+        assert!(
+            !held.grant_live(SimTime::from_secs(10), lease),
+            "lease is half-open: dead exactly at issue + interval"
+        );
+        assert_eq!(held.grant_spend(SimTime::from_secs(10), lease), Watts::ZERO);
+
+        // A delayed delivery arrives pre-aged: the lease is keyed to the
+        // issue time, so a round delivered one interval late is already
+        // dead on arrival.
+        let mut late = RackHeld::new(SimTime::ZERO);
+        late.receive(&msg(1, 0, 40.0), SimTime::from_secs(12));
+        assert!(!late.grant_live(SimTime::from_secs(12), lease));
+
+        // Without a lease the grant never expires (broken model).
+        assert!(held.grant_live(SimTime::from_secs(1_000_000), None));
+    }
+
+    #[test]
+    fn protocol_apply_is_pure_and_watchdog_fires() {
+        let config = ProtocolConfig::pad(2, SimDuration::from_secs(10));
+        let s0 = ProtocolState::initial(&config);
+        let compute = ProtocolAction::Compute {
+            plans: vec![Watts(5.0), Watts::ZERO],
+            grants: vec![Watts(40.0), Watts::ZERO],
+        };
+        let s1 = s0.apply(&config, &compute);
+        assert_eq!(s0.round, 0, "apply must not mutate the source state");
+        assert_eq!(s1.round, 1);
+        assert_eq!(s1.total_granted(), Watts(40.0));
+
+        // Total partition: nothing delivered, four ticks pass. The
+        // watchdog (3x interval) must have fired on every rack by the
+        // first instant staleness exceeds the timeout.
+        let mut s = s1.clone();
+        for _ in 0..4 {
+            s = s.apply(&config, &ProtocolAction::Tick);
+        }
+        assert!(
+            s.fallback.iter().all(|&f| f),
+            "watchdog fired under partition"
+        );
+        assert_eq!(s.total_live_spend(&config), Watts::ZERO);
+        assert_eq!(s.bad_exits, 0);
+    }
+
+    #[test]
+    fn replayed_round_cannot_exit_fallback() {
+        let config = ProtocolConfig::pad(1, SimDuration::from_secs(10));
+        let mut broken = config;
+        broken.idempotent = false;
+
+        let deliver = |round, issued| ProtocolAction::Deliver {
+            rack: 0,
+            msg: msg(round, issued, 30.0),
+        };
+        let s0 = ProtocolState::initial(&config).apply(
+            &config,
+            &ProtocolAction::Compute {
+                plans: vec![Watts::ZERO],
+                grants: vec![Watts(30.0)],
+            },
+        );
+        let s1 = s0.apply(&config, &deliver(1, 0));
+        let mut stale = s1.clone();
+        for _ in 0..4 {
+            stale = stale.apply(&config, &ProtocolAction::Tick);
+        }
+        assert!(stale.fallback[0]);
+
+        // Idempotent path: a replay of round 1 leaves the rack in
+        // fallback (no clock refresh, no exit).
+        let replayed = stale.apply(&config, &deliver(1, 0));
+        assert!(replayed.fallback[0], "replay must not exit fallback");
+        assert_eq!(replayed.bad_exits, 0);
+
+        // Broken replay path: the same replay refreshes the clock and
+        // exits fallback without a fresh round — counted as a bad exit.
+        let bad = stale.apply(&broken, &deliver(1, 0));
+        assert!(!bad.fallback[0]);
+        assert_eq!(bad.bad_exits, 1);
     }
 }

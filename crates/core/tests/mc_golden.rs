@@ -1,0 +1,156 @@
+//! Golden tests for the model checker's forensic output: the seeded
+//! known-violation model (grant leases disabled) must produce a
+//! byte-stable counterexample trace and a byte-stable incident timeline
+//! when that counterexample replays through the full-fidelity
+//! simulator, and the `mc_report.json` field schema is pinned for the
+//! CI drift check.
+//!
+//! Regenerate the pins after an intentional change with
+//! `MC_GOLDEN_REGEN=1 cargo test -p pad --test mc_golden`.
+
+use pad::fault::DegradedConfig;
+use pad::mc::{
+    all_invariants, counterexample_plan, mc_schema, render_violation, BrokenMode, ModelConfig,
+    VdebModel,
+};
+use pad::schemes::Scheme;
+use pad::sim::{ClusterSim, EmergencyAction, SimConfig};
+use powerinfra::server::ServerSpec;
+use powerinfra::topology::ClusterTopology;
+use simkit::mc::{Checker, Strategy, Violation};
+use simkit::telemetry::Format;
+use simkit::time::{SimDuration, SimTime};
+use simkit::trace::{parse_spans, render_timeline};
+use workload::synth::SynthConfig;
+
+/// The seeded known-violation model: 3 racks, 2 rounds, leases off.
+const GOLDEN_CONFIG: (usize, u32) = (3, 2);
+
+/// The replay workload seed `padsim mc` defaults to.
+const GOLDEN_SEED: u64 = 7;
+
+fn golden_violation() -> Violation {
+    let config =
+        ModelConfig::new(GOLDEN_CONFIG.0, GOLDEN_CONFIG.1).with_broken(BrokenMode::LeaseExpiry);
+    let model = VdebModel::new(config);
+    let props = all_invariants(config.protocol());
+    let report = Checker::new(Strategy::Bfs).run(&model, &props);
+    report
+        .violations
+        .first()
+        .expect("the broken model has a reachable violation")
+        .clone()
+}
+
+fn maybe_regen(path: &str, actual: &str) {
+    if std::env::var_os("MC_GOLDEN_REGEN").is_some() {
+        let full = format!("{}/tests/{path}", env!("CARGO_MANIFEST_DIR"));
+        std::fs::write(full, actual).expect("regen golden file");
+    }
+}
+
+/// The BFS counterexample of the lease-expiry model renders to the
+/// exact pinned text: same property, same detail, same shortest trace.
+#[test]
+fn counterexample_trace_is_byte_stable() {
+    let text = render_violation(&golden_violation());
+    maybe_regen("data/mc_counterexample.txt", &text);
+    assert_eq!(
+        text,
+        include_str!("data/mc_counterexample.txt"),
+        "counterexample drifted from tests/data/mc_counterexample.txt \
+         (MC_GOLDEN_REGEN=1 to re-pin after an intentional change)"
+    );
+}
+
+/// The counterexample replays through the real simulator — same fault
+/// plan, same seeds as `padsim mc` — into a byte-stable incident
+/// timeline, and the stale grant actually overspends at full fidelity.
+#[test]
+fn counterexample_replay_timeline_is_byte_stable() {
+    let v = golden_violation();
+
+    // Mirror `padsim mc`'s replay construction exactly.
+    let (racks, servers) = (GOLDEN_CONFIG.0, 4usize);
+    let server = ServerSpec::hp_proliant_dl585_g5();
+    let nameplate = server.peak * servers as f64;
+    let sim_config = SimConfig {
+        topology: ClusterTopology::new(racks, servers),
+        budget_fraction: 0.75,
+        emergency_action: EmergencyAction::Shed,
+        p_ideal: nameplate * 0.05,
+        udeb_max_power: nameplate * 0.3,
+        udeb_engage_threshold: nameplate * 0.0675,
+        demand_jitter: nameplate * 0.01,
+        ..SimConfig::paper_default(Scheme::Pad)
+    };
+    let interval = sim_config.grant_interval;
+    let plan = counterexample_plan(&v.trace, racks, interval);
+    assert!(!plan.is_empty(), "the counterexample maps to fault specs");
+    let last_window = plan
+        .specs()
+        .iter()
+        .map(|s| s.end)
+        .max()
+        .unwrap_or(SimTime::ZERO);
+    let horizon = last_window + interval * 4u64;
+    let trace = SynthConfig {
+        machines: sim_config.topology.total_servers(),
+        horizon: horizon + interval * 2u64,
+        step: interval,
+        mean_utilization: 0.5,
+        machine_bias_std: 0.25,
+        ..SynthConfig::small_test()
+    }
+    .generate_direct(GOLDEN_SEED);
+    let mut sim = ClusterSim::new(sim_config, trace).unwrap();
+    sim.reseed_noise(GOLDEN_SEED ^ 0x5EED);
+    sim.enable_tracing(1 << 16);
+    let degraded = DegradedConfig::for_grant_interval(interval).without_lease_expiry();
+    sim.enable_faults(plan, degraded, 0x3C11 ^ GOLDEN_SEED)
+        .unwrap();
+
+    let dt = SimDuration::from_millis(100);
+    let mut t = SimTime::ZERO;
+    let mut overspend_samples = 0u64;
+    while t < horizon {
+        t += SimDuration::from_secs(1);
+        sim.run(t, dt, false);
+        let over = sim
+            .grant_spend()
+            .iter()
+            .zip(sim.grants_current())
+            .map(|(s, g)| s.0 - g.0)
+            .fold(0.0f64, f64::max);
+        if over > 1e-9 {
+            overspend_samples += 1;
+        }
+    }
+    assert!(
+        overspend_samples > 0,
+        "with leases disabled the model's stale grant must reproduce \
+         at full fidelity"
+    );
+
+    let dump = sim.take_trace().unwrap();
+    let spans = parse_spans(&dump.serialize(Format::Jsonl), Format::Jsonl).unwrap();
+    let timeline = render_timeline(&spans, 72);
+    maybe_regen("data/mc_timeline.txt", &timeline);
+    assert_eq!(
+        timeline,
+        include_str!("data/mc_timeline.txt"),
+        "replay timeline drifted from tests/data/mc_timeline.txt \
+         (MC_GOLDEN_REGEN=1 to re-pin after an intentional change)"
+    );
+}
+
+/// The `mc_report.json` field schema matches the checked-in pin that CI
+/// diffs against `padsim mc --schema`.
+#[test]
+fn report_schema_matches_checked_in_list() {
+    assert_eq!(
+        mc_schema(),
+        include_str!("data/mc_schema.txt"),
+        "mc_report.json schema drifted from tests/data/mc_schema.txt"
+    );
+}

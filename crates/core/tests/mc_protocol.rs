@@ -1,0 +1,239 @@
+//! Integration tests for the vDEB protocol model checker: exhaustive
+//! verification of the four control-plane invariants, counterexample
+//! discovery on the deliberately broken models, the pinned regression
+//! trace for the duplicate-delivery double-spend, and checker-level
+//! determinism (DFS/BFS agreement, run-twice stability).
+
+use pad::mc::{all_invariants, counterexample_plan, invariant, BrokenMode, ModelConfig, VdebModel};
+use pad::units::Watts;
+use pad::vdeb::{watchdog_edge, RackHeld, RoundMsg};
+use simkit::fault::FaultKind;
+use simkit::mc::{Checker, McReport, Strategy};
+use simkit::time::{SimDuration, SimTime};
+
+fn check(config: ModelConfig, strategy: Strategy) -> McReport {
+    let model = VdebModel::new(config);
+    let props = all_invariants(config.protocol());
+    Checker::new(strategy).run(&model, &props)
+}
+
+/// The acceptance bar: every interleaving of deliver / drop / defer /
+/// duplicate at 3 racks over 2 grant rounds satisfies all four
+/// invariants, and the exploration is exhaustive (not truncated).
+#[test]
+fn healthy_model_holds_all_invariants_exhaustively() {
+    let report = check(ModelConfig::new(3, 2), Strategy::Dfs);
+    assert!(report.ok(), "violations: {:?}", report.violations);
+    assert!(!report.truncated, "bounds must not clip the healthy model");
+    assert!(
+        report.discovered > 1_000,
+        "state space too small to mean anything: {}",
+        report.discovered
+    );
+    assert!(report.terminals > 0, "no run reached the horizon");
+}
+
+/// Each invariant also holds when checked alone (the properties are
+/// independent — none relies on another pruning the search).
+#[test]
+fn each_invariant_holds_alone() {
+    let config = ModelConfig::new(3, 2);
+    for name in pad::mc::INVARIANTS {
+        let model = VdebModel::new(config);
+        let prop = invariant(name, config.protocol()).expect("known invariant");
+        let report = Checker::new(Strategy::Dfs).run(&model, &[prop]);
+        assert!(report.ok(), "{name} violated: {:?}", report.violations);
+    }
+}
+
+/// DFS and BFS visit the same reachable set — same discovered count,
+/// same terminal count, both exhaustive.
+#[test]
+fn dfs_and_bfs_agree_on_the_state_space() {
+    let dfs = check(ModelConfig::new(3, 2), Strategy::Dfs);
+    let bfs = check(ModelConfig::new(3, 2), Strategy::Bfs);
+    assert_eq!(dfs.discovered, bfs.discovered);
+    assert_eq!(dfs.terminals, bfs.terminals);
+    assert!(!dfs.truncated && !bfs.truncated);
+}
+
+/// Two runs of the same configuration produce identical reports —
+/// the fingerprints, visit order, and counters carry no hidden
+/// platform or allocation state.
+#[test]
+fn checker_runs_are_deterministic() {
+    let a = check(ModelConfig::new(3, 2), Strategy::Dfs);
+    let b = check(ModelConfig::new(3, 2), Strategy::Dfs);
+    assert_eq!(a, b);
+}
+
+/// With grant leases disabled the cross-round double-spend is
+/// reachable: BFS finds a shortest counterexample against the
+/// stale-grant / budget-safety family.
+#[test]
+fn lease_expiry_defect_is_found() {
+    let config = ModelConfig::new(3, 2).with_broken(BrokenMode::LeaseExpiry);
+    let report = check(config, Strategy::Bfs);
+    let v = report.violations.first().expect("a violation is reachable");
+    assert!(
+        v.property == "stale-grant" || v.property == "budget-safety",
+        "unexpected property {}",
+        v.property
+    );
+}
+
+/// The pinned regression trace for the duplicate-delivery defect
+/// (PR 6 satellite): with idempotent delivery switched off, a
+/// duplicated round captured before a partition replays after the
+/// watchdog fired and bounces the rack out of fallback. The exact
+/// shortest trace is pinned so the defect class stays recognisable.
+#[test]
+fn duplicate_replay_regression_trace_is_pinned() {
+    let config = ModelConfig::new(3, 2).with_broken(BrokenMode::DuplicateGrant);
+    let report = check(config, Strategy::Bfs);
+    let v = report.violations.first().expect("a violation is reachable");
+    assert_eq!(v.property, "hold-down");
+    assert_eq!(
+        v.trace,
+        vec![
+            "compute",
+            "deliver#1@r0",
+            "deliver#1@r1",
+            "dup#1@r2",
+            "tick",
+            "compute",
+            "defer#1@r2",
+            "deliver#2@r0",
+            "deliver#2@r1",
+            "drop#2@r2",
+            "tick",
+            "defer#1@r2",
+            "tick",
+            "defer#1@r2",
+            "tick",
+            "deliver#1@r2",
+        ],
+        "the shortest duplicate-replay counterexample drifted"
+    );
+}
+
+/// The same scenario against the SHIPPED protocol (idempotent
+/// delivery): the replayed round is rejected, the rack stays in
+/// fallback, and no reachable state flaps the watchdog. This is the
+/// regression test for the double-spend fix — if idempotence ever
+/// regresses, `duplicate_replay_regression_trace_is_pinned` shows the
+/// trace and this test fails.
+#[test]
+fn shipped_protocol_rejects_the_replay() {
+    // Same bounds as the broken model (long message lifetime so the
+    // replay is *offered*), but the protocol keeps its fix.
+    let mut config = ModelConfig::new(3, 2);
+    config.msg_ttl_rounds = 5;
+    let report = check(config, Strategy::Dfs);
+    assert!(report.ok(), "violations: {:?}", report.violations);
+}
+
+/// Counterexample-to-fault-plan mapping: an undelivered round becomes a
+/// total-loss window on that rack; a duplicated copy delivered late
+/// becomes a delay window that re-delivers the captured round.
+#[test]
+fn counterexample_maps_to_a_deterministic_fault_plan() {
+    let interval = SimDuration::from_secs(10);
+    let trace: Vec<String> = [
+        "compute",
+        "deliver#1@r0",
+        "dup#1@r1", // delivers round 1 AND keeps a deferred copy
+        "drop#1@r2",
+        "tick",
+        "compute",
+        "deliver#2@r0",
+        "deliver#2@r1",
+        "tick",
+        "deliver#1@r1", // the replayed copy, two ticks late
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let plan = counterexample_plan(&trace, 3, interval);
+    let kinds: Vec<String> = plan
+        .specs()
+        .iter()
+        .map(|s| format!("{}@{:?}", s.kind, s.target))
+        .collect();
+    // Round 1: rack 1's duplicate replays 2 ticks late (delay window),
+    // rack 2 never receives it (loss). Round 2: rack 2 again receives
+    // nothing before the trace ends (loss).
+    assert_eq!(plan.len(), 3, "specs: {kinds:?}");
+    assert!(matches!(
+        plan.specs()[0].kind,
+        FaultKind::MsgDelay { rounds: 2 }
+    ));
+    assert!(matches!(plan.specs()[1].kind, FaultKind::MsgLoss { .. }));
+    assert!(matches!(plan.specs()[2].kind, FaultKind::MsgLoss { .. }));
+}
+
+/// Watchdog timing, directly on the shared protocol pieces: the
+/// fallback edge fires at the first instant staleness *exceeds* 3×
+/// the grant interval — neither a tick earlier nor later.
+#[test]
+fn watchdog_fires_exactly_past_three_intervals() {
+    let interval = SimDuration::from_secs(10);
+    let timeout = interval * 3u64;
+    let held = RackHeld::new(SimTime::ZERO);
+    let mut fallback = false;
+    // At exactly 3 intervals of silence the rack is still trusted…
+    let at_limit = SimTime::ZERO + timeout;
+    assert_eq!(watchdog_edge(&held, at_limit, timeout, &mut fallback), None);
+    assert!(!fallback);
+    // …one second past it, the edge fires.
+    let past = at_limit + SimDuration::from_secs(1);
+    assert_eq!(
+        watchdog_edge(&held, past, timeout, &mut fallback),
+        Some(true)
+    );
+    assert!(fallback);
+}
+
+/// Fallback exit requires a *fresh* round: a replayed (older or equal)
+/// round neither refreshes the contact clock nor exits fallback.
+#[test]
+fn fallback_exit_requires_a_fresh_round() {
+    let interval = SimDuration::from_secs(10);
+    let timeout = interval * 3u64;
+    let mut held = RackHeld::new(SimTime::ZERO);
+    let round1 = RoundMsg {
+        round: 1,
+        issued_at: SimTime::ZERO,
+        plan: Watts(15.0),
+        grant: Watts(45.0),
+    };
+    held.receive(&round1, SimTime::ZERO);
+
+    // Partition: the watchdog fires.
+    let mut fallback = false;
+    let t_fire = SimTime::ZERO + timeout + SimDuration::from_secs(1);
+    assert_eq!(
+        watchdog_edge(&held, t_fire, timeout, &mut fallback),
+        Some(true)
+    );
+
+    // A replay of round 1 is rejected and cannot exit fallback.
+    let t_replay = t_fire + SimDuration::from_secs(1);
+    held.receive(&round1, t_replay);
+    assert_eq!(watchdog_edge(&held, t_replay, timeout, &mut fallback), None);
+    assert!(fallback, "a replayed round must not exit fallback");
+
+    // A fresh round 2 exits it.
+    let round2 = RoundMsg {
+        round: 2,
+        issued_at: t_replay,
+        plan: Watts(15.0),
+        grant: Watts(0.0),
+    };
+    held.receive(&round2, t_replay);
+    assert_eq!(
+        watchdog_edge(&held, t_replay, timeout, &mut fallback),
+        Some(false)
+    );
+    assert!(!fallback);
+}

@@ -28,7 +28,10 @@
 //!   consumes telemetry streams live or replayed;
 //! * [`fault`] — deterministic fault-injection plans (`FaultPlan`
 //!   schedules of sensor/message/component faults over sim-time windows,
-//!   JSON round-trip, seed-stable per-spec random streams).
+//!   JSON round-trip, seed-stable per-spec random streams);
+//! * [`mc`] — a bounded exhaustive model checker (DFS/BFS over action
+//!   interleavings, FNV-1a state fingerprints for visited-set pruning,
+//!   pluggable safety/liveness properties, counterexample traces).
 //!
 //! # Example
 //!
@@ -58,6 +61,7 @@ pub mod event;
 pub mod fault;
 pub mod heatmap;
 pub mod log;
+pub mod mc;
 pub mod rng;
 pub mod series;
 pub mod stats;
@@ -74,6 +78,7 @@ pub mod prelude {
     pub use crate::event::EventQueue;
     pub use crate::fault::{FaultKind, FaultPlan, FaultSpec, FaultTarget};
     pub use crate::log::{EventLog, Severity};
+    pub use crate::mc::{Checker, McModel, McReport, Property, Strategy};
     pub use crate::rng::RngStream;
     pub use crate::series::TimeSeries;
     pub use crate::stats::{OnlineStats, ScenarioCost, Summary};
@@ -94,6 +99,7 @@ pub use engine::{ControlFlow, Engine};
 pub use event::EventQueue;
 pub use fault::{FaultKind, FaultPlan, FaultSpec, FaultTarget};
 pub use log::{EventLog, Severity};
+pub use mc::{Checker, McModel, McReport, Property, Strategy};
 pub use rng::RngStream;
 pub use series::TimeSeries;
 pub use stats::{OnlineStats, ScenarioCost};

@@ -1,0 +1,612 @@
+//! Bounded exhaustive model checking over small protocol models.
+//!
+//! A [`McModel`] describes a transition system: an initial state, the
+//! actions enabled in each state, and a pure `apply` that produces the
+//! successor state. The [`Checker`] explores **every** interleaving of
+//! enabled actions up to configurable bounds, deduplicating states by a
+//! caller-supplied canonical [fingerprint](McModel::fingerprint) so
+//! diamond-shaped interleavings are expanded once.
+//!
+//! The design follows the dslab-mp style of distributed-system checkers:
+//!
+//! * **Strategies** — depth-first ([`Strategy::Dfs`], cheap frontier,
+//!   deep counterexamples) and breadth-first ([`Strategy::Bfs`],
+//!   shortest counterexamples first).
+//! * **State hashing** — the model renders each state to a canonical
+//!   64-bit fingerprint (see [`Fnv64`]); the visited set prunes revisits
+//!   regardless of the path that reached them.
+//! * **Pending-event dependency resolution** — models keep their own
+//!   pending-message sets and are expected to enumerate actions in a
+//!   canonical order (e.g. only the lowest-indexed undecided message per
+//!   unit), so commuting deliveries are explored once while genuinely
+//!   order-sensitive interleavings remain reachable.
+//! * **Pluggable predicates** — [`Property`] values attach named safety
+//!   checks (every discovered state) and liveness checks (terminal
+//!   states, where no action is enabled) to a run.
+//!
+//! A violated property yields a [`Violation`] carrying the full action
+//! trace from the initial state, suitable for replay through a
+//! higher-fidelity simulator.
+//!
+//! # Example
+//!
+//! ```
+//! use simkit::mc::{Checker, Fnv64, McModel, Property, Strategy};
+//!
+//! /// A saturating two-bit counter that can step or reset.
+//! struct Counter;
+//! impl McModel for Counter {
+//!     type State = u8;
+//!     type Action = &'static str;
+//!     fn initial(&self) -> u8 { 0 }
+//!     fn actions(&self, s: &u8) -> Vec<&'static str> {
+//!         if *s >= 3 { vec![] } else { vec!["inc", "reset"] }
+//!     }
+//!     fn apply(&self, s: &u8, a: &&'static str) -> u8 {
+//!         match *a { "inc" => s + 1, _ => 0 }
+//!     }
+//!     fn fingerprint(&self, s: &u8) -> u64 {
+//!         let mut h = Fnv64::new();
+//!         h.write_u8(*s);
+//!         h.finish()
+//!     }
+//!     fn describe(&self, a: &&'static str) -> String { a.to_string() }
+//! }
+//!
+//! let report = Checker::new(Strategy::Bfs).run(
+//!     &Counter,
+//!     &[Property::safety("bounded", |s: &u8| {
+//!         if *s <= 3 { Ok(()) } else { Err(format!("counter at {s}")) }
+//!     })],
+//! );
+//! assert_eq!(report.discovered, 4);
+//! assert!(report.violations.is_empty());
+//! ```
+
+use std::collections::{HashSet, VecDeque};
+
+/// FNV-1a 64-bit incremental hasher.
+///
+/// Used for state fingerprints because the algorithm is fully specified
+/// and seed-free: the same state renders to the same fingerprint on
+/// every platform and every run, which keeps explored-state counts and
+/// counterexample traces byte-stable (unlike `DefaultHasher`, whose
+/// keys are randomized per process).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// Starts a hash at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Mixes a single byte.
+    pub fn write_u8(&mut self, byte: u8) {
+        self.0 ^= byte as u64;
+        self.0 = self.0.wrapping_mul(0x1_0000_0000_01b3);
+    }
+
+    /// Mixes an unsigned 64-bit value (little-endian bytes).
+    pub fn write_u64(&mut self, value: u64) {
+        for byte in value.to_le_bytes() {
+            self.write_u8(byte);
+        }
+    }
+
+    /// Mixes a `usize` (widened to 64 bits).
+    pub fn write_usize(&mut self, value: usize) {
+        self.write_u64(value as u64);
+    }
+
+    /// Mixes a boolean as one byte.
+    pub fn write_bool(&mut self, value: bool) {
+        self.write_u8(value as u8);
+    }
+
+    /// Mixes an `f64` by its bit pattern (`-0.0` and `0.0` hash alike).
+    pub fn write_f64(&mut self, value: f64) {
+        let bits = if value == 0.0 { 0 } else { value.to_bits() };
+        self.write_u64(bits);
+    }
+
+    /// The accumulated fingerprint.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+/// A transition system the checker can explore.
+///
+/// `apply` must be pure: the successor state may depend only on the
+/// given state and action. `actions` must be deterministic and returned
+/// in a canonical order — the checker explores them in that order, so a
+/// stable order is what makes counterexample traces reproducible.
+pub trait McModel {
+    /// One global state of the modelled system.
+    type State: Clone;
+    /// One enabled transition.
+    type Action: Clone;
+
+    /// The initial state.
+    fn initial(&self) -> Self::State;
+
+    /// All actions enabled in `state`, in canonical order. An empty
+    /// vector marks a terminal state (liveness properties are checked
+    /// there).
+    fn actions(&self, state: &Self::State) -> Vec<Self::Action>;
+
+    /// The successor of `state` under `action` (pure).
+    fn apply(&self, state: &Self::State, action: &Self::Action) -> Self::State;
+
+    /// Canonical 64-bit fingerprint of `state` (see [`Fnv64`]). States
+    /// with equal fingerprints are treated as identical.
+    fn fingerprint(&self, state: &Self::State) -> u64;
+
+    /// Human-readable rendering of `action` for counterexample traces.
+    fn describe(&self, action: &Self::Action) -> String;
+}
+
+/// When a property is evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PropertyKind {
+    /// Checked on every discovered state.
+    Safety,
+    /// Checked on terminal states only (no enabled actions).
+    Liveness,
+}
+
+/// The boxed predicate a [`Property`] evaluates on each state.
+type CheckFn<S> = Box<dyn Fn(&S) -> Result<(), String>>;
+
+/// A named predicate over model states. `Ok(())` means the state
+/// satisfies the property; `Err(detail)` reports a violation.
+pub struct Property<S> {
+    /// Property name (used in reports and violation records).
+    pub name: String,
+    /// Safety (every state) or liveness (terminal states).
+    pub kind: PropertyKind,
+    check: CheckFn<S>,
+}
+
+impl<S> Property<S> {
+    /// A safety property: checked on every discovered state.
+    pub fn safety(
+        name: impl Into<String>,
+        check: impl Fn(&S) -> Result<(), String> + 'static,
+    ) -> Self {
+        Property {
+            name: name.into(),
+            kind: PropertyKind::Safety,
+            check: Box::new(check),
+        }
+    }
+
+    /// A liveness property: checked on terminal states, where no
+    /// further action is enabled.
+    pub fn liveness(
+        name: impl Into<String>,
+        check: impl Fn(&S) -> Result<(), String> + 'static,
+    ) -> Self {
+        Property {
+            name: name.into(),
+            kind: PropertyKind::Liveness,
+            check: Box::new(check),
+        }
+    }
+}
+
+impl<S> std::fmt::Debug for Property<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Property")
+            .field("name", &self.name)
+            .field("kind", &self.kind)
+            .finish()
+    }
+}
+
+/// Exploration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Depth-first: cheap frontier, finds deep violations fast.
+    Dfs,
+    /// Breadth-first: finds a shortest counterexample first.
+    Bfs,
+}
+
+impl Strategy {
+    /// Stable lowercase name (`dfs` / `bfs`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Dfs => "dfs",
+            Strategy::Bfs => "bfs",
+        }
+    }
+
+    /// Parses [`Strategy::name`] output.
+    pub fn from_name(name: &str) -> Option<Strategy> {
+        match name {
+            "dfs" => Some(Strategy::Dfs),
+            "bfs" => Some(Strategy::Bfs),
+            _ => None,
+        }
+    }
+}
+
+/// Exploration bounds; exceeding either marks the report truncated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bounds {
+    /// Maximum states to discover before stopping.
+    pub max_states: u64,
+    /// Maximum action-trace depth to expand.
+    pub max_depth: usize,
+}
+
+impl Default for Bounds {
+    fn default() -> Self {
+        Bounds {
+            max_states: 2_000_000,
+            max_depth: 10_000,
+        }
+    }
+}
+
+/// One property violation with its full counterexample trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Name of the violated property.
+    pub property: String,
+    /// What the predicate reported.
+    pub detail: String,
+    /// Action descriptions from the initial state to the violating
+    /// state, in order.
+    pub trace: Vec<String>,
+}
+
+impl Violation {
+    /// Depth (trace length) of the violating state.
+    pub fn depth(&self) -> usize {
+        self.trace.len()
+    }
+}
+
+/// What a checker run found.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct McReport {
+    /// Unique states discovered (visited-set size).
+    pub discovered: u64,
+    /// States expanded (popped from the frontier).
+    pub expanded: u64,
+    /// Revisits avoided by the visited set.
+    pub deduped: u64,
+    /// Terminal states reached (no enabled action).
+    pub terminals: u64,
+    /// Deepest expanded trace.
+    pub max_depth: usize,
+    /// Peak frontier size.
+    pub frontier_peak: usize,
+    /// `true` when a bound stopped the exploration early.
+    pub truncated: bool,
+    /// Property violations, in discovery order.
+    pub violations: Vec<Violation>,
+}
+
+impl McReport {
+    /// `true` when every property held over the explored space.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// The bounded exhaustive explorer.
+#[derive(Debug)]
+pub struct Checker {
+    strategy: Strategy,
+    bounds: Bounds,
+    stop_at_first: bool,
+}
+
+impl Checker {
+    /// A checker with default bounds that stops at the first violation.
+    pub fn new(strategy: Strategy) -> Self {
+        Checker {
+            strategy,
+            bounds: Bounds::default(),
+            stop_at_first: true,
+        }
+    }
+
+    /// Overrides the exploration bounds.
+    pub fn with_bounds(mut self, bounds: Bounds) -> Self {
+        self.bounds = bounds;
+        self
+    }
+
+    /// Keep exploring after a violation instead of stopping (collects
+    /// every violation the bounds allow).
+    pub fn keep_going(mut self) -> Self {
+        self.stop_at_first = false;
+        self
+    }
+
+    /// Explores `model` exhaustively within the bounds, checking every
+    /// property, and reports what was found.
+    pub fn run<M: McModel>(&self, model: &M, properties: &[Property<M::State>]) -> McReport {
+        let mut report = McReport::default();
+        // Trace arena: node 0 is the root; every other node records its
+        // parent and the action that reached it, so counterexample
+        // traces are reconstructed by walking parent links.
+        let mut arena: Vec<(usize, String)> = vec![(usize::MAX, String::new())];
+        let mut visited: HashSet<u64> = HashSet::new();
+        let mut frontier: VecDeque<(M::State, usize, usize)> = VecDeque::new();
+
+        let initial = model.initial();
+        visited.insert(model.fingerprint(&initial));
+        report.discovered = 1;
+        if self.check_state(
+            &initial,
+            0,
+            &arena,
+            properties,
+            PropertyKind::Safety,
+            &mut report,
+        ) && self.stop_at_first
+        {
+            return report;
+        }
+        frontier.push_back((initial, 0, 0));
+
+        while let Some((state, node, depth)) = match self.strategy {
+            Strategy::Dfs => frontier.pop_back(),
+            Strategy::Bfs => frontier.pop_front(),
+        } {
+            report.expanded += 1;
+            report.max_depth = report.max_depth.max(depth);
+            let actions = model.actions(&state);
+            if actions.is_empty() {
+                report.terminals += 1;
+                if self.check_state(
+                    &state,
+                    node,
+                    &arena,
+                    properties,
+                    PropertyKind::Liveness,
+                    &mut report,
+                ) && self.stop_at_first
+                {
+                    return report;
+                }
+                continue;
+            }
+            if depth >= self.bounds.max_depth {
+                report.truncated = true;
+                continue;
+            }
+            // DFS pops from the back: push successors in reverse so the
+            // first enabled action is expanded first either way.
+            let ordered: Vec<&M::Action> = match self.strategy {
+                Strategy::Dfs => actions.iter().rev().collect(),
+                Strategy::Bfs => actions.iter().collect(),
+            };
+            for action in ordered {
+                let next = model.apply(&state, action);
+                let fp = model.fingerprint(&next);
+                if !visited.insert(fp) {
+                    report.deduped += 1;
+                    continue;
+                }
+                report.discovered += 1;
+                arena.push((node, model.describe(action)));
+                let next_node = arena.len() - 1;
+                if self.check_state(
+                    &next,
+                    next_node,
+                    &arena,
+                    properties,
+                    PropertyKind::Safety,
+                    &mut report,
+                ) && self.stop_at_first
+                {
+                    return report;
+                }
+                frontier.push_back((next, next_node, depth + 1));
+                report.frontier_peak = report.frontier_peak.max(frontier.len());
+                if report.discovered >= self.bounds.max_states {
+                    report.truncated = true;
+                    return report;
+                }
+            }
+        }
+        report
+    }
+
+    /// Runs every property of `kind` against `state`; returns `true`
+    /// if a violation was recorded.
+    fn check_state<S>(
+        &self,
+        state: &S,
+        node: usize,
+        arena: &[(usize, String)],
+        properties: &[Property<S>],
+        kind: PropertyKind,
+        report: &mut McReport,
+    ) -> bool {
+        let mut violated = false;
+        for property in properties.iter().filter(|p| p.kind == kind) {
+            if let Err(detail) = (property.check)(state) {
+                report.violations.push(Violation {
+                    property: property.name.clone(),
+                    detail,
+                    trace: trace_to(arena, node),
+                });
+                violated = true;
+            }
+        }
+        violated
+    }
+}
+
+/// Reconstructs the root→node action trace from the arena.
+fn trace_to(arena: &[(usize, String)], mut node: usize) -> Vec<String> {
+    let mut trace = Vec::new();
+    while node != 0 {
+        let (parent, ref action) = arena[node];
+        trace.push(action.clone());
+        node = parent;
+    }
+    trace.reverse();
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tokens move one at a time from a shared pool to two cells; the
+    /// state space is the grid of (cell0, cell1) splits.
+    struct TokenGrid {
+        tokens: u8,
+    }
+
+    impl McModel for TokenGrid {
+        type State = (u8, u8);
+        type Action = u8;
+
+        fn initial(&self) -> (u8, u8) {
+            (0, 0)
+        }
+
+        fn actions(&self, s: &(u8, u8)) -> Vec<u8> {
+            if s.0 + s.1 >= self.tokens {
+                vec![]
+            } else {
+                vec![0, 1]
+            }
+        }
+
+        fn apply(&self, s: &(u8, u8), a: &u8) -> (u8, u8) {
+            match a {
+                0 => (s.0 + 1, s.1),
+                _ => (s.0, s.1 + 1),
+            }
+        }
+
+        fn fingerprint(&self, s: &(u8, u8)) -> u64 {
+            let mut h = Fnv64::new();
+            h.write_u8(s.0);
+            h.write_u8(s.1);
+            h.finish()
+        }
+
+        fn describe(&self, a: &u8) -> String {
+            format!("cell{a}")
+        }
+    }
+
+    #[test]
+    fn dedup_collapses_commuting_interleavings() {
+        // 4 tokens over 2 cells: the reachable states are the lattice
+        // points with sum <= 4, i.e. 15 states — not the 2^4 = 16 paths.
+        let report = Checker::new(Strategy::Bfs).run(&TokenGrid { tokens: 4 }, &[]);
+        assert_eq!(report.discovered, 15);
+        assert_eq!(report.terminals, 5, "five ways to split 4 tokens");
+        assert!(report.deduped > 0, "diamonds must be pruned");
+        assert!(!report.truncated);
+        assert_eq!(report.max_depth, 4);
+    }
+
+    #[test]
+    fn dfs_and_bfs_discover_the_same_space() {
+        let dfs = Checker::new(Strategy::Dfs).run(&TokenGrid { tokens: 5 }, &[]);
+        let bfs = Checker::new(Strategy::Bfs).run(&TokenGrid { tokens: 5 }, &[]);
+        assert_eq!(dfs.discovered, bfs.discovered);
+        assert_eq!(dfs.terminals, bfs.terminals);
+    }
+
+    #[test]
+    fn bfs_finds_a_shortest_counterexample() {
+        let bad = Property::safety("cell0-cap", |s: &(u8, u8)| {
+            if s.0 < 2 {
+                Ok(())
+            } else {
+                Err(format!("cell0 reached {}", s.0))
+            }
+        });
+        let report = Checker::new(Strategy::Bfs).run(&TokenGrid { tokens: 6 }, &[bad]);
+        assert_eq!(report.violations.len(), 1);
+        let v = &report.violations[0];
+        assert_eq!(v.property, "cell0-cap");
+        assert_eq!(v.trace, vec!["cell0", "cell0"], "shortest path to the bug");
+        assert_eq!(v.depth(), 2);
+    }
+
+    #[test]
+    fn keep_going_collects_every_violation() {
+        let bad = Property::safety("sum-cap", |s: &(u8, u8)| {
+            if s.0 + s.1 < 3 {
+                Ok(())
+            } else {
+                Err("sum reached 3".to_string())
+            }
+        });
+        let report = Checker::new(Strategy::Bfs)
+            .keep_going()
+            .run(&TokenGrid { tokens: 3 }, &[bad]);
+        // Every split of 3 tokens violates: (3,0) (2,1) (1,2) (0,3).
+        assert_eq!(report.violations.len(), 4);
+    }
+
+    #[test]
+    fn liveness_checks_terminal_states_only() {
+        let live = Property::liveness("all-drained", |s: &(u8, u8)| {
+            if s.0 + s.1 == 2 {
+                Ok(())
+            } else {
+                Err(format!("terminal with {} tokens placed", s.0 + s.1))
+            }
+        });
+        let report = Checker::new(Strategy::Dfs).run(&TokenGrid { tokens: 2 }, &[live]);
+        assert!(report.ok(), "{:?}", report.violations);
+        assert_eq!(report.terminals, 3);
+    }
+
+    #[test]
+    fn max_states_bound_truncates() {
+        let report = Checker::new(Strategy::Bfs)
+            .with_bounds(Bounds {
+                max_states: 5,
+                max_depth: 10_000,
+            })
+            .run(&TokenGrid { tokens: 200 }, &[]);
+        assert!(report.truncated);
+        assert_eq!(report.discovered, 5);
+    }
+
+    #[test]
+    fn fingerprints_are_stable() {
+        let mut h = Fnv64::new();
+        h.write_u64(0xDEAD);
+        h.write_bool(true);
+        h.write_f64(1.5);
+        // Pinned: the FNV-1a fingerprint must never drift across runs
+        // or platforms (counterexample goldens depend on it).
+        assert_eq!(h.finish(), {
+            let mut g = Fnv64::new();
+            g.write_u64(0xDEAD);
+            g.write_bool(true);
+            g.write_f64(1.5);
+            g.finish()
+        });
+        let mut a = Fnv64::new();
+        a.write_f64(0.0);
+        let mut b = Fnv64::new();
+        b.write_f64(-0.0);
+        assert_eq!(a.finish(), b.finish(), "signed zeros hash alike");
+    }
+}
