@@ -15,6 +15,7 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use attack::scenario::{AttackScenario, AttackStyle};
 use attack::virus::VirusClass;
@@ -29,6 +30,7 @@ use pad::mc::{
     counterexample_plan, invariant, mc_schema, render_mc_report_json, render_violation, BrokenMode,
     ModelConfig, VdebModel, INVARIANTS,
 };
+use pad::prof::{extract_json_number, gate_check, perf_schema, PerfReport, SimProfile};
 use pad::schemes::Scheme;
 use pad::sim::{ClusterSim, EmergencyAction, SimConfig};
 use pad::sweep::{AttackSpec, ConfigSweep, SurvivalCase, Victim};
@@ -66,6 +68,7 @@ USAGE:
     padsim detect [--replay <trace-file>] [DETECT OPTIONS]
     padsim fault [--plan <name|file.json>] [FAULT OPTIONS]
     padsim mc [MC OPTIONS]
+    padsim perf [PERF OPTIONS]
 
 SUBCOMMANDS:
     inspect <file>                          summarize a recorded telemetry trace
@@ -146,6 +149,27 @@ SUBCOMMANDS:
                                             --broken <lease-expiry|duplicate-grant>
                                             --max-states <N> --dup-budget <N>
                                             --no-replay --seed <N> --out <dir>
+    perf                                    measure the simulator's own
+                                            performance: profile the hot-loop
+                                            stages of every scheme attacked on
+                                            one shared trace, account simulated
+                                            rack-seconds per wall-second, and
+                                            emit a schema-pinned
+                                            perf_report.json (--out). --table
+                                            prints the phase breakdown and the
+                                            sweep's worker economics;
+                                            --baseline <old.json> --gate <pct>
+                                            compares the measured throughput
+                                            against a checked-in baseline and
+                                            exits nonzero on a regression
+                                            beyond the gate (the CI step);
+                                            --schema prints the report field
+                                            schema. Options: --jobs <N>
+                                            --racks <N> --servers <N>
+                                            --ticks <N> [default: 3000]
+                                            --seed <N> --out <file.json>
+                                            --table --baseline <file.json>
+                                            --gate <pct> [default: 25]
 
 OPTIONS:
     --scheme <conv|ps|pspc|udeb|vdeb|pad|all>  defense scheme   [default: pad]
@@ -257,6 +281,10 @@ fn parse_args() -> Args {
     if it.peek().map(String::as_str) == Some("mc") {
         it.next();
         run_mc(it);
+    }
+    if it.peek().map(String::as_str) == Some("perf") {
+        it.next();
+        run_perf(it);
     }
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -1470,6 +1498,239 @@ fn replay_counterexample(v: &Violation, config: &ModelConfig, seed: u64, out: Op
         }
         println!("counterexample -> {} (spans next to it)", ce_path.display());
     }
+}
+
+/// `padsim perf`: one profiled sweep — every scheme attacked identically
+/// on one shared trace — merged into a phase breakdown, a simulated
+/// rack-hours-per-wall-second figure, and (with `--out`) the
+/// schema-pinned `perf_report.json` the CI regression gate reads.
+fn run_perf(mut it: impl Iterator<Item = String>) -> ! {
+    let mut jobs = 1usize;
+    let mut racks = 22usize;
+    let mut servers = 10usize;
+    let mut ticks = 3_000u64;
+    let mut seed = 42u64;
+    let mut out: Option<PathBuf> = None;
+    let mut table = false;
+    let mut baseline: Option<PathBuf> = None;
+    let mut gate_pct = 25.0f64;
+    let mut schema = false;
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{name} requires a value")))
+        };
+        match flag.as_str() {
+            "--jobs" => jobs = parse_num(&value("--jobs"), "--jobs").max(1),
+            "--racks" => racks = parse_num(&value("--racks"), "--racks"),
+            "--servers" => servers = parse_num(&value("--servers"), "--servers"),
+            "--ticks" => ticks = parse_num(&value("--ticks"), "--ticks") as u64,
+            "--seed" => seed = parse_num(&value("--seed"), "--seed") as u64,
+            "--out" => out = Some(PathBuf::from(value("--out"))),
+            "--table" => table = true,
+            "--baseline" => baseline = Some(PathBuf::from(value("--baseline"))),
+            "--gate" => gate_pct = parse_f64(&value("--gate"), "--gate"),
+            "--schema" => schema = true,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => fail(&format!("unknown perf argument {other:?}")),
+        }
+    }
+    if schema {
+        print!("{}", perf_schema());
+        std::process::exit(0);
+    }
+    if ticks == 0 {
+        fail("--ticks must be at least 1");
+    }
+    if !(gate_pct > 0.0 && gate_pct < 100.0) {
+        fail("--gate expects a percentage strictly between 0 and 100");
+    }
+
+    let args = Args {
+        racks,
+        servers,
+        jobs,
+        seed,
+        ..Args::default()
+    };
+    let dt = SimDuration::from_millis(100);
+    let horizon = SimTime::ZERO + dt * ticks;
+    // Attack at a quarter of the horizon: the measured loop spends most
+    // of its ticks inside the defended (interesting) regime, with enough
+    // quiet lead-in that the warm path is represented too.
+    let attack_at = SimTime::ZERO + dt * (ticks / 4);
+    let config = build_config(&args, Scheme::Pad);
+
+    println!(
+        "padsim perf: {} scheme scenario(s), {} racks x {} servers, {} ticks @ {} ms, \
+         {} worker(s)",
+        Scheme::ALL.len(),
+        racks,
+        servers,
+        ticks,
+        (dt.as_secs_f64() * 1000.0).round() as u64,
+        jobs
+    );
+
+    // sweep.parse: synthesizing (or in trace-driven setups, parsing) the
+    // shared cluster trace — done once per sweep, not once per scenario.
+    let parse_start = Instant::now();
+    let trace = SynthConfig {
+        machines: config.topology.total_servers(),
+        horizon: horizon + SimDuration::from_mins(2),
+        // Short perf horizons must still cover whole trace steps, so
+        // resample the workload on a one-minute clock.
+        step: SimDuration::from_mins(1),
+        mean_utilization: args.mean_util,
+        machine_bias_std: 0.04,
+        ..SynthConfig::google_may2010()
+    }
+    .generate_direct(seed);
+    let parse_wall = parse_start.elapsed();
+
+    let scenario = AttackScenario::new(AttackStyle::Dense, VirusClass::CpuIntensive, 4);
+    let cases: Vec<SurvivalCase> = Scheme::ALL
+        .iter()
+        .map(|&scheme| {
+            SurvivalCase::quiet(build_config(&args, scheme), horizon, dt)
+                .with_attack(AttackSpec {
+                    scenario,
+                    victim: Victim::MostVulnerable,
+                    start: attack_at,
+                })
+                .record_profile()
+        })
+        .collect();
+    let sweep = ConfigSweep::new(Arc::new(trace), seed ^ 0x5EED).with_jobs(jobs);
+    let (outcomes, sweep_profile) = match sweep.run_profiled(cases) {
+        Ok(o) => o,
+        Err(e) => fail(&e),
+    };
+
+    let mut merged = SimProfile::default();
+    let mut scenario_wall = Duration::ZERO;
+    let mut queue_wait = Duration::ZERO;
+    for outcome in &outcomes {
+        merged.merge(
+            outcome
+                .profile
+                .as_ref()
+                .expect("profiling was requested for every case"),
+        );
+        scenario_wall += outcome.cost.wall_clock;
+        queue_wait += outcome.cost.queue_wait;
+    }
+    let report = PerfReport::new(
+        racks,
+        servers,
+        "all".to_string(),
+        ticks,
+        dt,
+        seed,
+        merged,
+        &sweep_profile,
+        parse_wall,
+        scenario_wall,
+        queue_wait,
+    );
+
+    println!(
+        "throughput: {:.2} simulated rack-hours per wall-second \
+         ({:.0} steps/s over {:.1} s wall)",
+        report.throughput.unit_hours_per_wall_second(),
+        report.throughput.steps_per_second(),
+        report.throughput.wall.as_secs_f64()
+    );
+    println!(
+        "step profile: {} steps, {:.2} s inside step(), phase coverage {:.1}%",
+        report.profile.steps,
+        report.profile.step_wall().as_secs_f64(),
+        report.profile.coverage() * 100.0
+    );
+    println!(
+        "sweep profile: {} scenario(s) on {} worker(s), {:.0}% utilization, \
+         {:.2} s total queue wait",
+        report.scenarios,
+        report.workers.len(),
+        report.utilization * 100.0,
+        report.queue_wait.as_secs_f64()
+    );
+
+    if table {
+        let mut phases = Table::new(vec![
+            "phase",
+            "calls",
+            "total (ms)",
+            "mean (µs)",
+            "max (µs)",
+            "share",
+        ]);
+        phases
+            .title("phase breakdown — step.* shares of measured step time, sweep.* of sweep wall");
+        for (p, share) in report.phase_rows() {
+            phases.row(vec![
+                p.name.clone(),
+                p.calls.to_string(),
+                format!("{:.2}", p.total.as_secs_f64() * 1e3),
+                format!("{:.2}", p.mean().as_secs_f64() * 1e6),
+                format!("{:.2}", p.max.as_secs_f64() * 1e6),
+                format!("{:.1}%", share * 100.0),
+            ]);
+        }
+        print!("{}", phases.render());
+        let mut workers = Table::new(vec!["worker", "scenarios", "busy (s)", "merge (s)"]);
+        workers.title("worker economics — busy vs sweep wall is the utilization figure");
+        for (i, w) in report.workers.iter().enumerate() {
+            workers.row(vec![
+                i.to_string(),
+                w.scenarios.to_string(),
+                format!("{:.2}", w.busy.as_secs_f64()),
+                format!("{:.3}", w.merge.as_secs_f64()),
+            ]);
+        }
+        print!("{}", workers.render());
+    }
+
+    if let Some(path) = &out {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                fail(&format!("cannot create {}: {e}", dir.display()));
+            }
+        }
+        if let Err(e) = std::fs::write(path, report.to_json() + "\n") {
+            fail(&format!("cannot write {}: {e}", path.display()));
+        }
+        println!("perf report -> {}", path.display());
+    }
+
+    if let Some(path) = &baseline {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => fail(&format!("cannot read {}: {e}", path.display())),
+        };
+        let base = extract_json_number(&text, "rack_hours_per_wall_sec").unwrap_or_else(|| {
+            fail(&format!(
+                "{} carries no rack_hours_per_wall_sec figure",
+                path.display()
+            ))
+        });
+        let current = report.throughput.unit_hours_per_wall_second();
+        match gate_check(current, base, gate_pct) {
+            Ok(change) => println!(
+                "gate: {:.3} rack-hours/s vs baseline {:.3} ({:+.1}%, within the \
+                 -{:.0}% gate)",
+                current, base, change, gate_pct
+            ),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    std::process::exit(0);
 }
 
 /// Filename stem for a scheme's trace file (matches the `--scheme` keys).

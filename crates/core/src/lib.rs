@@ -53,6 +53,9 @@
 //! * [`shedding`] — Level-3 emergency load shedding (≤3% of servers);
 //! * [`migration`] — the Level-3 alternative: move load off vulnerable racks;
 //! * [`schemes`] — the six evaluated schemes of Table III;
+//! * [`prof`] — Null-gated performance self-profiling of the simulator
+//!   hot loop (step-phase timers, rack-seconds throughput accounting,
+//!   and the `perf_report.json` the CI regression gate reads);
 //! * [`sim`] — the trace-driven cluster simulator (Fig. 11-B);
 //! * [`sweep`] — parallel scenario sweeps over one shared trace;
 //! * [`telemetry`] — per-tick metric/event recording wired into the sim;
@@ -72,6 +75,7 @@ pub mod mc;
 pub mod metrics;
 pub mod migration;
 pub mod policy;
+pub mod prof;
 pub mod report;
 pub mod schemes;
 pub mod shedding;
@@ -97,6 +101,7 @@ pub mod prelude {
     pub use crate::policy::{
         DetectionEvidence, PolicyInputs, SecurityLevel, SecurityPolicy, Strictness,
     };
+    pub use crate::prof::{PerfReport, SimProfile, SimProfiler, StepPhase};
     pub use crate::schemes::Scheme;
     pub use crate::sim::{ClusterSim, SimConfig};
     pub use crate::sweep::{AttackSpec, ConfigSweep, SurvivalCase, SurvivalOutcome, Victim};
@@ -118,6 +123,7 @@ pub use detect::{DetectConfig, SimDetectors, TickVerdict};
 pub use fault::{DegradedConfig, FaultReport, SimFaults};
 pub use metrics::{OverloadEvent, SocHistory, SurvivalReport};
 pub use policy::{DetectionEvidence, SecurityLevel, SecurityPolicy, Strictness};
+pub use prof::{PerfReport, SimProfile, SimProfiler};
 pub use schemes::Scheme;
 pub use sim::{ClusterSim, SimConfig};
 pub use sweep::{ConfigSweep, SurvivalCase, SurvivalOutcome};

@@ -43,6 +43,7 @@ use powerinfra::server::ServerSpec;
 use powerinfra::topology::{ClusterTopology, RackId};
 use simkit::fault::{FaultKind, FaultPlan, FaultTarget};
 use simkit::log::{EventLog, Severity};
+use simkit::prof::LapTimer;
 use simkit::rng::RngStream;
 use simkit::telemetry::{EventKind, RingRecorder, TelemetryDump, TelemetrySink};
 use simkit::time::{SimDuration, SimTime};
@@ -54,6 +55,7 @@ use crate::fault::{DegradedConfig, SimFaults};
 use crate::metrics::{OverloadEvent, SocHistory, SurvivalReport};
 use crate::migration::LoadMigrator;
 use crate::policy::{DetectionEvidence, PolicyInputs, SecurityLevel, SecurityPolicy, Strictness};
+use crate::prof::{SimProfile, SimProfiler, StepPhase};
 use crate::schemes::Scheme;
 use crate::shedding::LoadShedder;
 use crate::telemetry::{RackTick, SimTelemetry};
@@ -342,6 +344,9 @@ pub struct ClusterSim {
     detectors: Option<SimDetectors>,
     /// Causal sim-time span tracing, when enabled.
     tracer: Option<SimTracer>,
+    /// Performance self-profiler, if enabled (Null-gated like telemetry
+    /// and tracing; reads the wall clock only, never sim state).
+    prof: Option<SimProfiler>,
     /// Fault injection and degraded-mode control plane, when enabled.
     faults: Option<SimFaults>,
     /// Last-seen per-rack LVD disconnect counts (for logging).
@@ -477,6 +482,7 @@ impl ClusterSim {
             telemetry: None,
             detectors: None,
             tracer: None,
+            prof: None,
             faults: None,
             seen_disconnects: vec![0; n],
             seen_level: SecurityLevel::Normal,
@@ -610,6 +616,34 @@ impl ClusterSim {
     pub fn take_trace(&mut self) -> Option<TraceDump> {
         let now = self.now;
         self.tracer.take().map(|t| t.into_dump(now))
+    }
+
+    /// Enables the performance self-profiler: wall-clock lap timers
+    /// over the numbered stages of [`ClusterSim::step`] plus the
+    /// rack-seconds throughput accountant. The profiler only reads the
+    /// monotonic clock — enabling it does not perturb any simulation
+    /// output byte.
+    pub fn enable_profiling(&mut self) {
+        self.prof = Some(SimProfiler::live(self.racks.len()));
+    }
+
+    /// Installs an explicit profiler instance. With
+    /// [`SimProfiler::null`] every hot-loop hook stays a single branch
+    /// and nothing is recorded — the disabled-path cost the prof bench
+    /// asserts stays within 5% of an uninstrumented run.
+    pub fn enable_profiler(&mut self, profiler: SimProfiler) {
+        self.prof = Some(profiler);
+    }
+
+    /// The live profiler, if enabled.
+    pub fn profiling(&self) -> Option<&SimProfiler> {
+        self.prof.as_ref()
+    }
+
+    /// Takes the profiler out as its serializable profile. Profiling is
+    /// disabled afterwards.
+    pub fn take_profile(&mut self) -> Option<SimProfile> {
+        self.prof.take().map(SimProfiler::into_profile)
     }
 
     /// Enables fault injection under `plan` with the given
@@ -783,6 +817,17 @@ impl ClusterSim {
         }
     }
 
+    /// Ends the current profiling lap, attributing it to `phase`. With
+    /// profiling disabled the lap timer is inert and this is one branch.
+    #[inline]
+    fn prof_lap(&mut self, lap: &mut LapTimer, phase: StepPhase) {
+        if let Some(elapsed) = lap.lap() {
+            if let Some(p) = &mut self.prof {
+                p.record_phase(phase, elapsed);
+            }
+        }
+    }
+
     /// Advances the simulation by one step of `dt`. Returns the overload
     /// event observed during the step, if any (the first one).
     pub fn step(&mut self, dt: SimDuration) -> Option<OverloadEvent> {
@@ -800,6 +845,12 @@ impl ClusterSim {
         // Whether causal span tracing is live; with a null span sink the
         // tracer reports disabled and every span hook below is skipped.
         let tracing_on = self.tracer.as_ref().is_some_and(SimTracer::enabled);
+        // Whether step-phase wall-clock laps are being recorded. The lap
+        // clock tiles the step: each boundary below attributes the time
+        // since the previous boundary to the stage that just ran, so the
+        // per-phase totals sum to the measured step wall time.
+        let prof_on = self.prof.as_ref().is_some_and(SimProfiler::enabled);
+        let mut lap = LapTimer::start(prof_on);
 
         // 0a. Fault windows: detect opens/closes on the injected plan,
         // emit forensic events (so incident reconstruction can attribute
@@ -874,6 +925,8 @@ impl ClusterSim {
             }
         }
 
+        self.prof_lap(&mut lap, StepPhase::Faults);
+
         // 1. Background utilizations from the trace, plus any live
         // migration deltas (Level-3 Migrate moves background load between
         // racks; the deltas decay once the emergency passes).
@@ -943,6 +996,7 @@ impl ClusterSim {
                 }
             }
         }
+        self.prof_lap(&mut lap, StepPhase::Attack);
         // 1c. DVFS factors: the per-rack capping actuators, floored by
         // the operator's protective cluster-wide 20% cut while an
         // overload incident is being ridden out.
@@ -954,6 +1008,8 @@ impl ClusterSim {
             }
             rack.set_dvfs_all(factor);
         }
+
+        self.prof_lap(&mut lap, StepPhase::Capping);
 
         // Work accounting (offered = pre-capping, pre-shedding intent;
         // a dark rack delivers nothing — the outage cost of a trip).
@@ -996,6 +1052,8 @@ impl ClusterSim {
             .iter()
             .map(|&d| (d - budget).clamp_non_negative())
             .collect();
+
+        self.prof_lap(&mut lap, StepPhase::Demand);
 
         // 3. Slow management loop: every `grant_interval` the vDEB
         // controller replans pooled discharge rates (Algorithm 1 over the
@@ -1159,6 +1217,7 @@ impl ClusterSim {
             })
             .collect();
         self.last_grant_spend.copy_from_slice(&grants);
+        self.prof_lap(&mut lap, StepPhase::Vdeb);
 
         // 4. Fast layer, every step. Planned/local battery discharge
         // first, then the residual above the (granted) limit is handled
@@ -1200,6 +1259,8 @@ impl ClusterSim {
                 }
             }
         }
+
+        self.prof_lap(&mut lap, StepPhase::Battery);
 
         // 5. Utility draws, overload predicate, breaker heating.
         let mut first_overload: Option<OverloadEvent> = None;
@@ -1307,6 +1368,8 @@ impl ClusterSim {
             self.protective_until = Some(now + SimDuration::from_mins(3));
         }
 
+        self.prof_lap(&mut lap, StepPhase::Breaker);
+
         // 6. DVFS power capping — only PSPC deploys it ("combining PS
         // with power capping mechanism which can decrease processor
         // frequency by 20%", Table III). The reactive path contains
@@ -1369,6 +1432,8 @@ impl ClusterSim {
             }
         }
 
+        self.prof_lap(&mut lap, StepPhase::Capping);
+
         // 7. Recharge from headroom (batteries first, then µDEB).
         let mut charge_drawn = if telemetry_on || detection_on {
             vec![Watts::ZERO; n]
@@ -1395,6 +1460,8 @@ impl ClusterSim {
                 }
             }
         }
+
+        self.prof_lap(&mut lap, StepPhase::Battery);
 
         // 8. PAD policy + Level-3 shedding.
         if self.config.scheme == Scheme::Pad {
@@ -1584,6 +1651,8 @@ impl ClusterSim {
             }
         }
 
+        self.prof_lap(&mut lap, StepPhase::Policy);
+
         // 10b. Per-tick telemetry series: one sample per registered gauge,
         // stamped at the step's *start* time (the instant the readings
         // describe). Emission order matches registration order, so the
@@ -1663,6 +1732,8 @@ impl ClusterSim {
             }
         }
 
+        self.prof_lap(&mut lap, StepPhase::Telemetry);
+
         // 11. Clock + SOC sampling.
         self.now = now + dt;
         if let Some((interval, last, _)) = self.soc_history {
@@ -1672,6 +1743,10 @@ impl ClusterSim {
                 }
                 self.sample_soc();
             }
+        }
+        self.prof_lap(&mut lap, StepPhase::Clock);
+        if let Some(p) = &mut self.prof {
+            p.finish_step(dt, lap.total());
         }
         first_overload
     }

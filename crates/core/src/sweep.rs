@@ -30,6 +30,7 @@ use simkit::fault::FaultPlan;
 
 use crate::fault::{DegradedConfig, FaultReport};
 use crate::metrics::{SocHistory, SurvivalReport};
+use crate::prof::SimProfile;
 use crate::sim::{ClusterSim, SimConfig};
 
 /// The per-scenario noise seed of a sweep: scenario `index` under sweep
@@ -87,6 +88,10 @@ pub struct SurvivalCase {
     /// stream, so faulted sweeps keep the worker-count-independence
     /// contract.
     pub faults: Option<(FaultPlan, DegradedConfig)>,
+    /// Profile the scenario's hot loop (step-phase wall-clock laps and
+    /// rack-seconds accounting). Like [`ScenarioCost`], the profile is
+    /// bookkeeping — enabling it does not change any output byte.
+    pub profile: bool,
 }
 
 impl SurvivalCase {
@@ -102,6 +107,7 @@ impl SurvivalCase {
             telemetry_capacity: None,
             trace_capacity: None,
             faults: None,
+            profile: false,
         }
     }
 
@@ -140,6 +146,12 @@ impl SurvivalCase {
         self.faults = Some((plan, degraded));
         self
     }
+
+    /// Profiles the scenario's hot loop.
+    pub fn record_profile(mut self) -> Self {
+        self.profile = true;
+        self
+    }
 }
 
 /// What one sweep scenario produced.
@@ -161,6 +173,9 @@ pub struct SurvivalOutcome {
     pub trace: Option<TraceDump>,
     /// What the fault injector did, when the case requested injection.
     pub fault_report: Option<FaultReport>,
+    /// Step-phase profile, when the case requested profiling. Wall-clock
+    /// laps vary run to run; call counts and rack-seconds do not.
+    pub profile: Option<SimProfile>,
     /// Wall-clock and steps-simulated counters (not part of the
     /// determinism contract — wall-clock varies run to run).
     pub cost: ScenarioCost,
@@ -272,7 +287,7 @@ impl ConfigSweep {
             .into_iter()
             .enumerate()
             .map(|(index, metered)| match metered.value {
-                Ok((report, soc_history, final_socs, telemetry, trace, fault_report)) => {
+                Ok((report, soc_history, final_socs, telemetry, trace, fault_report, profile)) => {
                     Ok(SurvivalOutcome {
                         report,
                         soc_history,
@@ -280,6 +295,7 @@ impl ConfigSweep {
                         telemetry,
                         trace,
                         fault_report,
+                        profile,
                         cost: metered.cost,
                     })
                 }
@@ -297,6 +313,7 @@ type RunOutput = (
     Option<TelemetryDump>,
     Option<TraceDump>,
     Option<FaultReport>,
+    Option<SimProfile>,
 );
 
 fn run_one(
@@ -326,12 +343,16 @@ fn run_one(
     if let Some((plan, degraded)) = &case.faults {
         sim.enable_faults(plan.clone(), *degraded, scenario_noise_seed(seed, index))?;
     }
+    if case.profile {
+        sim.enable_profiling();
+    }
     let report = sim.run(case.horizon, case.dt, case.stop_on_overload);
     let soc_history = sim.soc_history().cloned();
     let final_socs = sim.rack_socs();
     let fault_report = sim.faults().map(|f| f.report());
     let telemetry = sim.take_telemetry();
     let span_trace = sim.take_trace();
+    let profile = sim.take_profile();
     Ok((
         report,
         soc_history,
@@ -339,6 +360,7 @@ fn run_one(
         telemetry,
         span_trace,
         fault_report,
+        profile,
     ))
 }
 

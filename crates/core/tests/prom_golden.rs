@@ -1,0 +1,73 @@
+//! Golden pin of the Prometheus exposition format: a fixed telemetry
+//! fixture rendered through `TelemetryReport::render_prometheus` (the
+//! exact code path behind `padsim inspect --prom`) must match
+//! `tests/data/prom_golden.txt` byte for byte. This pins the `# HELP` /
+//! `# TYPE` metadata lines, the label syntax, and the aggregate family
+//! names — a scrape config written against one release keeps working on
+//! the next, or this file changes visibly in review.
+
+use simkit::telemetry::codec::{parse, Format};
+use simkit::telemetry::inspect::TelemetryReport;
+
+/// A tiny fixed trace: two gauges over three ticks plus two event kinds,
+/// exercising every exposition section (metric aggregates, event
+/// counters, and the trace-wide footer).
+const FIXTURE_JSONL: &str = "\
+{\"t\":0,\"m\":\"rack00.draw_w\",\"v\":420.5}\n\
+{\"t\":0,\"m\":\"cluster.soc_min\",\"v\":0.95}\n\
+{\"t\":100,\"m\":\"rack00.draw_w\",\"v\":611.25}\n\
+{\"t\":100,\"m\":\"cluster.soc_min\",\"v\":0.9}\n\
+{\"t\":200,\"m\":\"rack00.draw_w\",\"v\":598}\n\
+{\"t\":200,\"m\":\"cluster.soc_min\",\"v\":0.825}\n\
+{\"t\":100,\"e\":\"overload\",\"s\":\"rack-00\",\"v\":1}\n\
+{\"t\":200,\"e\":\"shed\",\"s\":\"rack-00\",\"v\":2}\n\
+{\"t\":200,\"e\":\"shed\",\"s\":\"rack-01\",\"v\":1}\n";
+
+#[test]
+fn prometheus_exposition_matches_checked_in_golden() {
+    let records = parse(FIXTURE_JSONL, Format::Jsonl).unwrap();
+    let rendered = TelemetryReport::from_records(&records).render_prometheus();
+    let expected = include_str!("data/prom_golden.txt");
+    assert_eq!(
+        rendered, expected,
+        "Prometheus exposition drifted from tests/data/prom_golden.txt"
+    );
+}
+
+/// Structural guard alongside the byte pin: every metric family carries
+/// its `# HELP` and `# TYPE` header exactly once, and every `# TYPE` is
+/// a valid Prometheus type.
+#[test]
+fn every_family_has_help_and_type_metadata() {
+    let records = parse(FIXTURE_JSONL, Format::Jsonl).unwrap();
+    let rendered = TelemetryReport::from_records(&records).render_prometheus();
+    let mut families: Vec<&str> = Vec::new();
+    for line in rendered.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let family = parts.next().unwrap();
+            let kind = parts.next().unwrap();
+            assert!(
+                kind == "gauge" || kind == "counter",
+                "{family} has invalid type {kind}"
+            );
+            families.push(family);
+        }
+    }
+    assert!(!families.is_empty());
+    for family in &families {
+        let help = format!("# HELP {family} ");
+        assert_eq!(
+            rendered.matches(&help).count(),
+            1,
+            "{family} must have exactly one HELP line"
+        );
+        // Every sample line for the family follows its metadata.
+        assert!(
+            rendered
+                .lines()
+                .any(|l| !l.starts_with('#') && l.starts_with(family)),
+            "{family} declared but never sampled"
+        );
+    }
+}

@@ -31,7 +31,10 @@
 //!   JSON round-trip, seed-stable per-spec random streams);
 //! * [`mc`] — a bounded exhaustive model checker (DFS/BFS over action
 //!   interleavings, FNV-1a state fingerprints for visited-set pruning,
-//!   pluggable safety/liveness properties, counterexample traces).
+//!   pluggable safety/liveness properties, counterexample traces);
+//! * [`prof`] — Null-gated self-profiling (interned phase IDs, lap
+//!   timers with per-phase call/total/max aggregates, and throughput
+//!   accounting for the simulated-work-per-wall-second CI number).
 //!
 //! # Example
 //!
@@ -62,6 +65,7 @@ pub mod fault;
 pub mod heatmap;
 pub mod log;
 pub mod mc;
+pub mod prof;
 pub mod rng;
 pub mod series;
 pub mod stats;
@@ -79,6 +83,7 @@ pub mod prelude {
     pub use crate::fault::{FaultKind, FaultPlan, FaultSpec, FaultTarget};
     pub use crate::log::{EventLog, Severity};
     pub use crate::mc::{Checker, McModel, McReport, Property, Strategy};
+    pub use crate::prof::{LapTimer, PhaseId, PhaseStats, ProfDump, Profiler, Throughput};
     pub use crate::rng::RngStream;
     pub use crate::series::TimeSeries;
     pub use crate::stats::{OnlineStats, ScenarioCost, Summary};
@@ -100,6 +105,7 @@ pub use event::EventQueue;
 pub use fault::{FaultKind, FaultPlan, FaultSpec, FaultTarget};
 pub use log::{EventLog, Severity};
 pub use mc::{Checker, McModel, McReport, Property, Strategy};
+pub use prof::{ProfDump, Profiler};
 pub use rng::RngStream;
 pub use series::TimeSeries;
 pub use stats::{OnlineStats, ScenarioCost};

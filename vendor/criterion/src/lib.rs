@@ -10,7 +10,11 @@
 //! baselines, HTML reports) is not implemented.
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Results collected by [`run_target`] for the optional `--json` sink.
+static RESULTS: Mutex<Vec<(String, String)>> = Mutex::new(Vec::new());
 
 /// Identifies one benchmark within a group.
 #[derive(Debug, Clone)]
@@ -84,9 +88,54 @@ impl Bencher {
 
 fn run_target(id: &str, mean: Option<Duration>) {
     match mean {
-        Some(mean) => println!("{id:<50} time: [{mean:?}]"),
+        Some(mean) => {
+            println!("{id:<50} time: [{mean:?}]");
+            if let Ok(mut results) = RESULTS.lock() {
+                results.push((id.to_string(), format!("{mean:?}")));
+            }
+        }
         None => println!("{id:<50} time: [not measured]"),
     }
+}
+
+/// Writes every result timed so far as a flat JSON object
+/// (`{"name": "1.23ms", ...}`) when the bench binary was invoked with
+/// `--json <path>` (or `--json=<path>`). Without the flag this is a
+/// no-op, so local `cargo bench` runs are unaffected.
+///
+/// [`criterion_main!`] calls this after all groups finish; CI uses it to
+/// fold each bench suite into a `BENCH_*.json` artifact without
+/// re-parsing the human-readable one-line output.
+pub fn write_json_results() {
+    let mut args = std::env::args();
+    let mut path: Option<String> = None;
+    while let Some(arg) = args.next() {
+        if arg == "--json" {
+            path = args.next();
+        } else if let Some(rest) = arg.strip_prefix("--json=") {
+            path = Some(rest.to_string());
+        }
+    }
+    let Some(path) = path else { return };
+    let results = match RESULTS.lock() {
+        Ok(results) => results,
+        Err(_) => return,
+    };
+    let mut out = String::from("{\n");
+    for (i, (name, time)) in results.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        // Bench ids are path-like (`group/target/param`); none contain
+        // characters that need JSON escaping.
+        out.push_str(&format!("  \"{name}\": \"{time}\""));
+    }
+    out.push_str("\n}\n");
+    if let Err(err) = std::fs::write(&path, out) {
+        eprintln!("criterion: could not write {path}: {err}");
+        std::process::exit(1);
+    }
+    println!("bench results -> {path}");
 }
 
 /// The top-level benchmark driver.
@@ -221,6 +270,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_results();
         }
     };
 }
