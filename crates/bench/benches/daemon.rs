@@ -1,0 +1,195 @@
+//! Benchmarks of the `padsimd` daemon ingest path: a recorded session
+//! pushed through the wire protocol in memory (classify + parse +
+//! online pipeline, no socket), the same session over a real loopback
+//! TCP daemon, and the connect/hello/end session cycle. The paired
+//! measurement at the end prints the grep-able throughput line the CI
+//! daemon-suite step records, and enforces a loose floor so a
+//! catastrophic regression fails the step outright.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pad::detect::DetectConfig;
+use pad::pipeline::PipelineConfig;
+use pad::schemes::Scheme;
+use pad::sim::{ClusterSim, SimConfig};
+use paddaemon::client::{send, SendJob};
+use paddaemon::server::{serve, ServeOptions};
+use paddaemon::session::run_session;
+use paddaemon::state::DaemonState;
+use simkit::time::{SimDuration, SimTime};
+use std::hint::black_box;
+use std::io::{self, Read, Write};
+use std::time::{Duration, Instant};
+use workload::synth::SynthConfig;
+
+/// A recorded telemetry stream from the small testbed: the payload
+/// every measurement in this file replays.
+fn recorded_telemetry() -> String {
+    let config = SimConfig::small_test(Scheme::Pad);
+    let trace = SynthConfig {
+        machines: config.topology.total_servers(),
+        horizon: SimTime::from_mins(10),
+        mean_utilization: 0.6,
+        ..SynthConfig::small_test()
+    }
+    .generate_direct(11);
+    let mut sim = ClusterSim::new(config, trace).expect("valid config");
+    sim.enable_telemetry(1 << 20);
+    sim.enable_detection(DetectConfig::default());
+    for _ in 0..200 {
+        sim.step(SimDuration::from_millis(100));
+    }
+    sim.take_telemetry()
+        .expect("telemetry enabled")
+        .serialize(simkit::telemetry::Format::Jsonl)
+}
+
+/// One full session as request bytes: hello, the stream, end.
+fn session_request(telemetry: &str) -> Vec<u8> {
+    format!("hello bench jsonl\n{telemetry}end\n").into_bytes()
+}
+
+/// An in-memory session transport: reads the prepared request, drops
+/// the replies. Isolates the daemon's per-line work from the socket.
+struct Wire {
+    input: io::Cursor<Vec<u8>>,
+}
+
+impl Read for Wire {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.input.read(buf)
+    }
+}
+
+impl Write for Wire {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Starts a loopback daemon in a thread and discovers its data port.
+fn start_daemon() -> (String, std::thread::JoinHandle<io::Result<()>>) {
+    let dir = std::env::temp_dir().join(format!("padsimd-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let ports_file = dir.join("ports.txt");
+    let opts = ServeOptions {
+        listen: Some("127.0.0.1:0".to_string()),
+        ports_file: Some(ports_file.clone()),
+        ..ServeOptions::default()
+    };
+    let handle = std::thread::spawn(move || serve(opts));
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while Instant::now() < deadline {
+        if let Ok(text) = std::fs::read_to_string(&ports_file) {
+            for line in text.lines() {
+                if let Some(("data", addr)) = line.split_once(' ') {
+                    return (addr.to_string(), handle);
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("daemon did not write its data address in time");
+}
+
+fn stop_daemon(addr: &str, handle: std::thread::JoinHandle<io::Result<()>>) {
+    let replies = send(
+        addr,
+        &SendJob {
+            shutdown: true,
+            ..SendJob::default()
+        },
+    )
+    .expect("shutdown control line");
+    assert_eq!(replies, vec!["ok shutdown".to_string()]);
+    handle.join().expect("serve thread").expect("clean exit");
+}
+
+fn bench_daemon(c: &mut Criterion) {
+    let telemetry = recorded_telemetry();
+    let request = session_request(&telemetry);
+
+    // The socket-free wire path: every line classified, parsed, and fed
+    // to the tenant's online pipeline, summary rendered on `end`.
+    let mut group = c.benchmark_group("daemon_session");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    group.bench_function("ingest_in_memory", |b| {
+        b.iter(|| {
+            let state = DaemonState::new(PipelineConfig::default());
+            let wire = Wire {
+                input: io::Cursor::new(request.clone()),
+            };
+            black_box(run_session(wire, &state).expect("in-memory session"))
+        })
+    });
+    group.finish();
+
+    // The same session over a real loopback socket, plus the empty
+    // connect/hello/end cycle that bounds per-session overhead.
+    let (addr, handle) = start_daemon();
+    let full_job = SendJob {
+        tenant: "bench".to_string(),
+        format: "jsonl",
+        telemetry: telemetry.clone(),
+        end: true,
+        ..SendJob::default()
+    };
+    let cycle_job = SendJob {
+        tenant: "cycle".to_string(),
+        format: "jsonl",
+        end: true,
+        ..SendJob::default()
+    };
+    let mut group = c.benchmark_group("daemon_loopback");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    group.bench_function("ingest_tcp", |b| {
+        b.iter(|| black_box(send(&addr, &full_job).expect("session replies")))
+    });
+    group.bench_function("session_cycle", |b| {
+        b.iter(|| black_box(send(&addr, &cycle_job).expect("cycle replies")))
+    });
+    group.finish();
+    stop_daemon(&addr, handle);
+}
+
+/// Paired throughput measurement over loopback TCP: stream the recorded
+/// session repeatedly and take the best round (min-of-rounds is robust
+/// to scheduler noise). Prints the grep-able line the CI daemon-suite
+/// step records, and enforces a floor loose enough for shared runners
+/// but tight enough to catch an accidental per-line allocation storm.
+fn check_ingest_throughput(_c: &mut Criterion) {
+    let telemetry = recorded_telemetry();
+    let events = telemetry.lines().count();
+    let (addr, handle) = start_daemon();
+    let job = SendJob {
+        tenant: "throughput".to_string(),
+        format: "jsonl",
+        telemetry,
+        end: true,
+        ..SendJob::default()
+    };
+    black_box(send(&addr, &job).expect("warm-up session"));
+    let mut best = Duration::MAX;
+    for _ in 0..10 {
+        let t = Instant::now();
+        black_box(send(&addr, &job).expect("timed session"));
+        best = best.min(t.elapsed());
+    }
+    stop_daemon(&addr, handle);
+    let rate = events as f64 / best.as_secs_f64();
+    println!(
+        "daemon_ingest_events_per_sec: {rate:.0} ({events} events over loopback TCP, min of 10 rounds)"
+    );
+    assert!(
+        rate >= 10_000.0,
+        "daemon ingest fell to {rate:.0} events/sec (floor 10k)"
+    );
+}
+
+criterion_group!(benches, bench_daemon, check_ingest_throughput);
+criterion_main!(benches);

@@ -30,6 +30,7 @@ use pad::mc::{
     counterexample_plan, invariant, mc_schema, render_mc_report_json, render_violation, BrokenMode,
     ModelConfig, VdebModel, INVARIANTS,
 };
+use pad::pipeline::PipelineConfig;
 use pad::prof::{extract_json_number, gate_check, perf_schema, PerfReport, SimProfile};
 use pad::schemes::Scheme;
 use pad::sim::{ClusterSim, EmergencyAction, SimConfig};
@@ -44,9 +45,7 @@ use simkit::telemetry::codec::{parse, Format, ParsedRecord};
 use simkit::telemetry::inspect::TelemetryReport;
 use simkit::telemetry::TelemetryDump;
 use simkit::time::{SimDuration, SimTime};
-use simkit::trace::{
-    parse_spans, render_report_json, render_timeline, IncidentReconstructor, TraceDump,
-};
+use simkit::trace::{parse_spans, render_report_json, render_timeline, TraceDump};
 use workload::synth::SynthConfig;
 
 /// Ring capacity backing `--telemetry`: enough for ~45 minutes of a
@@ -98,7 +97,11 @@ SUBCOMMANDS:
                                             confusion matrix, per-spike latency,
                                             a live-vs-replay determinism check,
                                             and (with --roc) a threshold sweep.
-                                            Options: --replay <file>
+                                            With --replay, --json emits the
+                                            replay summary (ticks, firings,
+                                            policy escalations) as JSON — the
+                                            same document padsimd serves.
+                                            Options: --replay <file> --json
                                             --format <jsonl|csv> --racks <N>
                                             --style <dense|sparse>
                                             --class <cpu|mem|io> --nodes <N>
@@ -497,19 +500,7 @@ fn print_detection_counts(records: &[ParsedRecord]) {
 
 /// Rack count implied by a trace's `rack-NN.draw_w` sample names.
 fn try_infer_racks(records: &[ParsedRecord]) -> Option<usize> {
-    let mut max: Option<usize> = None;
-    for r in records.iter().filter(|r| !r.is_event) {
-        if let Some(num) = r
-            .name
-            .strip_prefix("rack-")
-            .and_then(|rest| rest.strip_suffix(".draw_w"))
-        {
-            if let Ok(n) = num.parse::<usize>() {
-                max = Some(max.map_or(n, |m| m.max(n)));
-            }
-        }
-    }
-    max.map(|m| m + 1)
+    pad::pipeline::try_infer_racks(records)
 }
 
 /// Like [`try_infer_racks`], but fatal when the trace has no rack names.
@@ -592,11 +583,7 @@ fn run_incident(mut it: impl Iterator<Item = String>) -> ! {
             .ok()
             .and_then(|t| parse(&t, Format::from_path(&telemetry_path.to_string_lossy())).ok())
             .unwrap_or_default();
-        let mut reconstructor = IncidentReconstructor::new(&spans);
-        if !telemetry.is_empty() {
-            reconstructor = reconstructor.with_telemetry(&telemetry);
-        }
-        let incidents = reconstructor.reconstruct();
+        let incidents = pad::pipeline::reconstruct(&spans, &telemetry);
         if json {
             print!("{}", render_report_json(&incidents));
             continue;
@@ -664,6 +651,7 @@ fn run_detect(mut it: impl Iterator<Item = String>) -> ! {
     let mut seed = 42u64;
     let mut jobs = 1usize;
     let mut roc = false;
+    let mut json = false;
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
             it.next()
@@ -671,6 +659,7 @@ fn run_detect(mut it: impl Iterator<Item = String>) -> ! {
         };
         match flag.as_str() {
             "--replay" => replay = Some(PathBuf::from(value("--replay"))),
+            "--json" => json = true,
             "--format" => {
                 let name = value("--format");
                 format = Some(
@@ -709,7 +698,9 @@ fn run_detect(mut it: impl Iterator<Item = String>) -> ! {
         }
     }
 
-    // Replay mode: feed a recorded trace straight through the bank.
+    // Replay mode: feed a recorded trace through the shared pipeline —
+    // the same code path the padsimd daemon runs per streamed session,
+    // so the two stay byte-identical by construction.
     if let Some(path) = replay {
         let format = format.unwrap_or_else(|| Format::from_path(&path.to_string_lossy()));
         let text = std::fs::read_to_string(&path)
@@ -719,18 +710,17 @@ fn run_detect(mut it: impl Iterator<Item = String>) -> ! {
             Err(e) => fail(&format!("{}: {e}", path.display())),
         };
         let racks = racks_override.unwrap_or_else(|| infer_racks(&records));
-        let mut stack = SimDetectors::new(racks, DetectConfig::default());
-        let verdicts = stack.replay(&records);
-        let fired = verdicts.iter().filter(|v| v.fused.fired).count();
-        println!(
-            "replayed {} record(s) over {} rack(s): {} tick(s), {} fused-fired",
-            records.len(),
-            racks,
-            verdicts.len(),
-            fired
-        );
-        print_firings(&stack);
+        let summary = pad::pipeline::replay_records(racks, PipelineConfig::default(), &records);
+        if json {
+            print!("{}", summary.to_json());
+        } else {
+            println!("{}", summary.render_headline());
+            print!("{}", summary.render_firings());
+        }
         std::process::exit(0);
+    }
+    if json {
+        fail("--json is only available with --replay");
     }
 
     // Live mode: the §V testbed under a labeled attack. Phase I is
@@ -1478,7 +1468,7 @@ fn replay_counterexample(v: &Violation, config: &ModelConfig, seed: u64, out: Op
         Err(e) => fail(&format!("replay spans: {e}")),
     };
     print!("{}", render_timeline(&spans, 72));
-    let incidents = IncidentReconstructor::new(&spans).reconstruct();
+    let incidents = pad::pipeline::reconstruct(&spans, &[]);
     if incidents.is_empty() {
         println!("incidents: none (control-plane replay carries no attack root span)");
     } else {

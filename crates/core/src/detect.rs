@@ -294,24 +294,40 @@ impl SimDetectors {
         self.bank.fused()
     }
 
+    /// Feeds one parsed record into the open tick. Events and metrics
+    /// the stack does not subscribe to are skipped (returning `false`),
+    /// so the surviving feed order equals the live emission order.
+    ///
+    /// This is the streaming half of [`replay`](SimDetectors::replay):
+    /// a caller consuming a live feed calls `observe_record` per record
+    /// and [`end_tick`](SimDetectors::end_tick) whenever the timestamp
+    /// changes, and lands in exactly the state a batch replay reaches.
+    pub fn observe_record(&mut self, r: &ParsedRecord) -> bool {
+        if r.is_event {
+            return false;
+        }
+        match self.registry.id(&r.name) {
+            Some(id) => {
+                self.bank
+                    .observe(SimTime::from_millis(r.time_ms), id, r.value);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Replays a parsed telemetry trace through the stack, returning one
-    /// [`TickVerdict`] per distinct timestamp. Events and metrics the
-    /// stack does not subscribe to are skipped, so the surviving feed
-    /// order equals the live emission order and the firing log is
-    /// byte-identical to the live run's.
+    /// [`TickVerdict`] per distinct timestamp. Records are grouped into
+    /// ticks by runs of equal timestamps and fed via
+    /// [`observe_record`](SimDetectors::observe_record), so the firing
+    /// log is byte-identical to the live run's.
     pub fn replay(&mut self, records: &[ParsedRecord]) -> Vec<TickVerdict> {
         let mut verdicts = Vec::new();
         let mut i = 0;
         while i < records.len() {
             let t_ms = records[i].time_ms;
             while i < records.len() && records[i].time_ms == t_ms {
-                let r = &records[i];
-                if !r.is_event {
-                    if let Some(id) = self.registry.id(&r.name) {
-                        self.bank
-                            .observe(SimTime::from_millis(r.time_ms), id, r.value);
-                    }
-                }
+                self.observe_record(&records[i]);
                 i += 1;
             }
             let now = SimTime::from_millis(t_ms);

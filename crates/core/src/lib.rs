@@ -52,6 +52,8 @@
 //! * [`udeb`] — the ORing super-capacitor spike shaver and its cost model;
 //! * [`shedding`] — Level-3 emergency load shedding (≤3% of servers);
 //! * [`migration`] — the Level-3 alternative: move load off vulnerable racks;
+//! * [`pipeline`] — the shared detect-and-policy replay pipeline behind
+//!   `padsim detect --replay` and the `padsimd` streaming daemon;
 //! * [`schemes`] — the six evaluated schemes of Table III;
 //! * [`prof`] — Null-gated performance self-profiling of the simulator
 //!   hot loop (step-phase timers, rack-seconds throughput accounting,
@@ -74,6 +76,7 @@ pub mod fault;
 pub mod mc;
 pub mod metrics;
 pub mod migration;
+pub mod pipeline;
 pub mod policy;
 pub mod prof;
 pub mod report;
@@ -98,6 +101,7 @@ pub mod prelude {
     pub use crate::mc::{BrokenMode, ModelConfig, VdebModel};
     pub use crate::metrics::{OverloadEvent, SocHistory, SurvivalReport};
     pub use crate::migration::{LoadMigrator, MigrationPlan};
+    pub use crate::pipeline::{PipelineConfig, ReplayPipeline, ReplaySummary};
     pub use crate::policy::{
         DetectionEvidence, PolicyInputs, SecurityLevel, SecurityPolicy, Strictness,
     };
@@ -122,6 +126,7 @@ pub mod prelude {
 pub use detect::{DetectConfig, SimDetectors, TickVerdict};
 pub use fault::{DegradedConfig, FaultReport, SimFaults};
 pub use metrics::{OverloadEvent, SocHistory, SurvivalReport};
+pub use pipeline::{PipelineConfig, ReplayPipeline, ReplaySummary};
 pub use policy::{DetectionEvidence, SecurityLevel, SecurityPolicy, Strictness};
 pub use prof::{PerfReport, SimProfile, SimProfiler};
 pub use schemes::Scheme;

@@ -1,0 +1,507 @@
+//! The shared detect-replay pipeline behind `padsim` and `padsimd`.
+//!
+//! `padsim detect --replay` and the `padsimd` daemon answer the same
+//! question — "what would the defense have seen in this telemetry?" —
+//! over two transports: a file read at once versus a socket drained one
+//! line at a time. This module is the single implementation both use:
+//! a [`ReplayPipeline`] that ingests [`ParsedRecord`]s in arrival
+//! order, closes a detector tick whenever the timestamp changes
+//! (exactly the run-of-equal-timestamps grouping of
+//! [`SimDetectors::replay`]), drives the [`SecurityPolicy`] FSM from
+//! the graded detector evidence, and folds the result into a
+//! [`ReplaySummary`].
+//!
+//! # Determinism contract
+//!
+//! Feeding the same records in the same order — all at once via
+//! [`replay_records`], or one at a time via [`ReplayPipeline::ingest`]
+//! across any chunking — produces the same summary, byte for byte once
+//! rendered. This is the daemon's correctness harness: a trace streamed
+//! through a socket must match the offline CLI exactly.
+//!
+//! The policy runs with neutral physical inputs (vDEB and µDEB
+//! available, no visible peak), so every escalation in the summary is
+//! purely detector-driven — a replay has no battery state to consult.
+
+use simkit::telemetry::ParsedRecord;
+use simkit::time::SimTime;
+use simkit::trace::{render_report_json, Incident, IncidentReconstructor, ParsedSpan};
+
+use crate::detect::{DetectConfig, SimDetectors};
+use crate::policy::{PolicyInputs, SecurityLevel, SecurityPolicy, Strictness};
+
+/// Everything a replay needs besides the records: detector thresholds
+/// and the policy FSM's knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineConfig {
+    /// Detector thresholds and hold windows.
+    pub detect: DetectConfig,
+    /// Policy strictness (Figure 9's two variants).
+    pub strictness: Strictness,
+    /// Minimum-residency hold-down for policy de-escalations, in ticks.
+    pub hold_down: u32,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            detect: DetectConfig::default(),
+            strictness: Strictness::Strict,
+            hold_down: 0,
+        }
+    }
+}
+
+/// One policy level change observed during a replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Escalation {
+    /// Tick timestamp at which the FSM moved, in sim milliseconds.
+    pub time_ms: u64,
+    /// Level before the move.
+    pub from: SecurityLevel,
+    /// Level after the move.
+    pub to: SecurityLevel,
+}
+
+/// What a finished replay saw, rendered identically by the offline CLI
+/// and the daemon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplaySummary {
+    /// Rack count the detector stack was built for.
+    pub racks: usize,
+    /// Records ingested (samples and events, subscribed or not).
+    pub records: u64,
+    /// Distinct detector ticks closed.
+    pub ticks: u64,
+    /// Samples actually fed to a subscribed detector channel.
+    pub samples_fed: u64,
+    /// Event records seen (skipped by the detectors).
+    pub events: u64,
+    /// Ticks whose fused verdict fired.
+    pub fired_ticks: u64,
+    /// Rising-edge firing count across all subscriptions.
+    pub firing_count: usize,
+    /// The firing log (`time_ms label score` lines), byte-identical to
+    /// a live run's.
+    pub firings: String,
+    /// Policy level changes, in tick order.
+    pub escalations: Vec<Escalation>,
+    /// Policy level after the final tick.
+    pub final_level: SecurityLevel,
+}
+
+impl ReplaySummary {
+    /// The `replayed N record(s) ...` line `padsim detect --replay`
+    /// prints (without the firing log).
+    pub fn render_headline(&self) -> String {
+        format!(
+            "replayed {} record(s) over {} rack(s): {} tick(s), {} fused-fired",
+            self.records, self.racks, self.ticks, self.fired_ticks
+        )
+    }
+
+    /// The firing-log block `padsim detect` prints: a placeholder when
+    /// quiet, otherwise a header plus the `time_ms label score` lines.
+    pub fn render_firings(&self) -> String {
+        if self.firings.is_empty() {
+            "detector firings: none\n".to_string()
+        } else {
+            format!(
+                "detector firings ({} rising edges; time_ms label score):\n{}",
+                self.firing_count, self.firings
+            )
+        }
+    }
+
+    /// Compact single-object JSON, newline-terminated. Field order is
+    /// fixed and values use `f64`/integer `Display`, so two identical
+    /// replays serialize byte-identically (the daemon-vs-CLI diff in CI
+    /// compares these strings directly).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(256 + self.firings.len());
+        let _ = write!(
+            out,
+            "{{\"racks\":{},\"records\":{},\"ticks\":{},\"samples_fed\":{},\
+             \"events\":{},\"fired_ticks\":{},\"firing_count\":{},\"final_level\":{}",
+            self.racks,
+            self.records,
+            self.ticks,
+            self.samples_fed,
+            self.events,
+            self.fired_ticks,
+            self.firing_count,
+            self.final_level.number()
+        );
+        out.push_str(",\"escalations\":[");
+        for (i, e) in self.escalations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"t\":{},\"from\":{},\"to\":{}}}",
+                e.time_ms,
+                e.from.number(),
+                e.to.number()
+            );
+        }
+        out.push_str("],\"firings\":[");
+        for (i, line) in self.firings.lines().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            // Firing lines are `time_ms label score` over an escape-free
+            // charset (interned metric names and detector labels), so
+            // they embed as JSON strings verbatim.
+            let _ = write!(out, "\"{line}\"");
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+/// Streaming detect-and-policy replay over parsed telemetry records.
+///
+/// # Example
+///
+/// ```
+/// use pad::pipeline::{PipelineConfig, ReplayPipeline};
+/// use simkit::telemetry::{parse, Format};
+///
+/// let trace = "{\"t\":0,\"m\":\"rack-00.draw_w\",\"v\":100}\n\
+///              {\"t\":100,\"m\":\"rack-00.draw_w\",\"v\":101}\n";
+/// let records = parse(trace, Format::Jsonl).unwrap();
+/// let mut pipe = ReplayPipeline::new(1, PipelineConfig::default());
+/// for r in &records {
+///     pipe.ingest(r);
+/// }
+/// let summary = pipe.finalize();
+/// assert_eq!(summary.ticks, 2);
+/// assert_eq!(summary.records, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayPipeline {
+    stack: SimDetectors,
+    policy: SecurityPolicy,
+    /// Timestamp of the tick currently accumulating records, if any.
+    open_tick: Option<u64>,
+    records: u64,
+    samples_fed: u64,
+    events: u64,
+    ticks: u64,
+    fired_ticks: u64,
+    escalations: Vec<Escalation>,
+}
+
+impl ReplayPipeline {
+    /// Builds a pipeline watching `racks` racks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `racks` is zero (detector stacks watch at least one).
+    pub fn new(racks: usize, config: PipelineConfig) -> Self {
+        ReplayPipeline {
+            stack: SimDetectors::new(racks, config.detect),
+            policy: SecurityPolicy::new(config.strictness).with_hold_down(config.hold_down),
+            open_tick: None,
+            records: 0,
+            samples_fed: 0,
+            events: 0,
+            ticks: 0,
+            fired_ticks: 0,
+            escalations: Vec::new(),
+        }
+    }
+
+    /// How many racks the detector stack watches.
+    pub fn rack_count(&self) -> usize {
+        self.stack.rack_count()
+    }
+
+    /// The current policy level.
+    pub fn level(&self) -> SecurityLevel {
+        self.policy.level()
+    }
+
+    /// The underlying detector stack (fused verdict, firing log).
+    pub fn stack(&self) -> &SimDetectors {
+        &self.stack
+    }
+
+    /// Records ingested so far.
+    pub fn record_count(&self) -> u64 {
+        self.records
+    }
+
+    /// Ticks closed so far (the open tick, if any, is not counted).
+    pub fn tick_count(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Feeds one record in arrival order. A timestamp different from
+    /// the open tick's closes that tick first — the same grouping by
+    /// runs of equal timestamps as [`SimDetectors::replay`], so a
+    /// non-monotonic stream produces separate ticks rather than merging.
+    pub fn ingest(&mut self, r: &ParsedRecord) {
+        if let Some(open) = self.open_tick {
+            if open != r.time_ms {
+                self.close_tick(open);
+            }
+        }
+        self.open_tick = Some(r.time_ms);
+        self.records += 1;
+        if r.is_event {
+            self.events += 1;
+        } else if self.stack.observe_record(r) {
+            self.samples_fed += 1;
+        }
+    }
+
+    /// Closes the tick at `t_ms`: detector hold-windows update, then the
+    /// policy consumes the graded evidence under neutral physical inputs
+    /// (a replay has no battery state, so escalations are detector-driven
+    /// only).
+    fn close_tick(&mut self, t_ms: u64) {
+        let now = SimTime::from_millis(t_ms);
+        self.stack.end_tick(now);
+        self.ticks += 1;
+        if self.stack.fused().fired {
+            self.fired_ticks += 1;
+        }
+        let from = self.policy.level();
+        let to = self.policy.update(PolicyInputs {
+            vdeb_available: true,
+            udeb_available: true,
+            visible_peak: false,
+            detection: self.stack.evidence(now),
+        });
+        if to != from {
+            self.escalations.push(Escalation {
+                time_ms: t_ms,
+                from,
+                to,
+            });
+        }
+    }
+
+    /// Closes the final tick and folds everything into a summary.
+    pub fn finalize(mut self) -> ReplaySummary {
+        if let Some(open) = self.open_tick.take() {
+            self.close_tick(open);
+        }
+        ReplaySummary {
+            racks: self.stack.rack_count(),
+            records: self.records,
+            ticks: self.ticks,
+            samples_fed: self.samples_fed,
+            events: self.events,
+            fired_ticks: self.fired_ticks,
+            firing_count: self.stack.bank().firings().len(),
+            firings: self.stack.bank().render_firings(),
+            escalations: self.escalations,
+            final_level: self.policy.level(),
+        }
+    }
+}
+
+/// Replays a whole parsed trace at once — the offline entry point
+/// `padsim detect --replay` uses. Equivalent to ingesting every record
+/// through a [`ReplayPipeline`] and finalizing.
+pub fn replay_records(
+    racks: usize,
+    config: PipelineConfig,
+    records: &[ParsedRecord],
+) -> ReplaySummary {
+    let mut pipe = ReplayPipeline::new(racks, config);
+    for r in records {
+        pipe.ingest(r);
+    }
+    pipe.finalize()
+}
+
+/// Rack count implied by a trace's `rack-NN.draw_w` sample names
+/// (highest index plus one), or `None` when no rack samples appear.
+///
+/// Every rack emits its draw gauge every tick, so for a streaming
+/// ingester the records of the *first* tick alone already name every
+/// rack — inferring at the first tick boundary matches inferring over
+/// the whole file.
+pub fn try_infer_racks(records: &[ParsedRecord]) -> Option<usize> {
+    let mut max: Option<usize> = None;
+    for r in records.iter().filter(|r| !r.is_event) {
+        if let Some(num) = r
+            .name
+            .strip_prefix("rack-")
+            .and_then(|rest| rest.strip_suffix(".draw_w"))
+        {
+            if let Ok(n) = num.parse::<usize>() {
+                max = Some(max.map_or(n, |m| m.max(n)));
+            }
+        }
+    }
+    max.map(|m| m + 1)
+}
+
+/// Joins a parsed span trace with its telemetry into incidents — the
+/// reconstruction `padsim incident` and the daemon's incident API share.
+/// An empty `telemetry` slice reconstructs from spans alone.
+pub fn reconstruct(spans: &[ParsedSpan], telemetry: &[ParsedRecord]) -> Vec<Incident> {
+    let mut reconstructor = IncidentReconstructor::new(spans);
+    if !telemetry.is_empty() {
+        reconstructor = reconstructor.with_telemetry(telemetry);
+    }
+    reconstructor.reconstruct()
+}
+
+/// Like [`reconstruct`], rendered as the `{"incidents":[...]}` JSON
+/// document `padsim incident --json` emits.
+pub fn reconstruct_json(spans: &[ParsedSpan], telemetry: &[ParsedRecord]) -> String {
+    render_report_json(&reconstruct(spans, telemetry))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::telemetry::{parse, Format};
+
+    fn quiet_trace(ticks: u64) -> Vec<ParsedRecord> {
+        let mut text = String::new();
+        for i in 0..ticks {
+            let t = i * 100;
+            text.push_str(&format!(
+                "{{\"t\":{t},\"m\":\"rack-00.draw_w\",\"v\":100}}\n"
+            ));
+            text.push_str(&format!("{{\"t\":{t},\"m\":\"rack-00.soc\",\"v\":0.9}}\n"));
+            text.push_str(&format!(
+                "{{\"t\":{t},\"m\":\"rack-00.udeb_shave_w\",\"v\":0}}\n"
+            ));
+            text.push_str(&format!(
+                "{{\"t\":{t},\"m\":\"cluster.draw_w\",\"v\":100}}\n"
+            ));
+        }
+        parse(&text, Format::Jsonl).unwrap()
+    }
+
+    #[test]
+    fn streaming_equals_batch_replay() {
+        let records = quiet_trace(20);
+        let batch = replay_records(1, PipelineConfig::default(), &records);
+        // Any chunking of the same stream must land in the same state.
+        for chunk in [1usize, 3, 7, records.len()] {
+            let mut pipe = ReplayPipeline::new(1, PipelineConfig::default());
+            for piece in records.chunks(chunk) {
+                for r in piece {
+                    pipe.ingest(r);
+                }
+            }
+            let streamed = pipe.finalize();
+            assert_eq!(streamed, batch, "chunk size {chunk}");
+            assert_eq!(streamed.to_json(), batch.to_json());
+        }
+    }
+
+    #[test]
+    fn summary_matches_raw_stack_replay() {
+        let records = quiet_trace(10);
+        let summary = replay_records(1, PipelineConfig::default(), &records);
+        let mut stack = SimDetectors::new(1, DetectConfig::default());
+        let verdicts = stack.replay(&records);
+        assert_eq!(summary.ticks as usize, verdicts.len());
+        assert_eq!(
+            summary.fired_ticks as usize,
+            verdicts.iter().filter(|v| v.fused.fired).count()
+        );
+        assert_eq!(summary.firings, stack.bank().render_firings());
+        assert_eq!(summary.records as usize, records.len());
+        assert_eq!(summary.events, 0);
+        assert_eq!(summary.samples_fed as usize, records.len());
+    }
+
+    #[test]
+    fn unsubscribed_and_event_records_are_counted_but_not_fed() {
+        let text = "{\"t\":0,\"m\":\"rack-00.draw_w\",\"v\":100}\n\
+                    {\"t\":0,\"m\":\"unknown.metric\",\"v\":5}\n\
+                    {\"t\":0,\"e\":\"breaker_trip\",\"s\":\"rack-00\",\"v\":1}\n";
+        let records = parse(text, Format::Jsonl).unwrap();
+        let summary = replay_records(1, PipelineConfig::default(), &records);
+        assert_eq!(summary.records, 3);
+        assert_eq!(summary.samples_fed, 1);
+        assert_eq!(summary.events, 1);
+        assert_eq!(summary.ticks, 1);
+    }
+
+    #[test]
+    fn escalations_are_detector_driven_and_ordered() {
+        // A flat baseline then a violent spike: the z-score and spike
+        // detectors fire, evidence reaches the policy, and the FSM
+        // leaves Normal. The exact landing level is the detectors'
+        // business; the pipeline's contract is that the escalation log
+        // is non-empty, ordered, and starts from Normal.
+        let mut text = String::new();
+        for i in 0..120u64 {
+            // Jittered baseline, then a violent square spike: both the
+            // rack and cluster EWMA detectors see a huge residual, and
+            // the spike train accumulates within its window.
+            let v = if i < 80 {
+                100.0 + (i % 7) as f64
+            } else {
+                4000.0
+            };
+            let t = i * 100;
+            text.push_str(&format!(
+                "{{\"t\":{t},\"m\":\"rack-00.draw_w\",\"v\":{v}}}\n"
+            ));
+            text.push_str(&format!(
+                "{{\"t\":{t},\"m\":\"cluster.draw_w\",\"v\":{v}}}\n"
+            ));
+        }
+        let records = parse(&text, Format::Jsonl).unwrap();
+        let summary = replay_records(1, PipelineConfig::default(), &records);
+        assert!(
+            !summary.escalations.is_empty(),
+            "spike should escalate the policy"
+        );
+        assert_eq!(summary.escalations[0].from, SecurityLevel::Normal);
+        let mut last = 0;
+        for e in &summary.escalations {
+            assert!(e.time_ms >= last, "escalations in tick order");
+            assert_ne!(e.from, e.to);
+            last = e.time_ms;
+        }
+        assert!(summary.fired_ticks > 0);
+        assert!(summary.to_json().contains("\"escalations\":[{\"t\":"));
+    }
+
+    #[test]
+    fn infer_racks_reads_the_highest_rack_index() {
+        let text = "{\"t\":0,\"m\":\"rack-00.draw_w\",\"v\":1}\n\
+                    {\"t\":0,\"m\":\"rack-03.draw_w\",\"v\":1}\n\
+                    {\"t\":0,\"e\":\"breaker_trip\",\"s\":\"rack-09\",\"v\":1}\n";
+        let records = parse(text, Format::Jsonl).unwrap();
+        assert_eq!(try_infer_racks(&records), Some(4), "events don't count");
+        assert_eq!(try_infer_racks(&records[1..2]), Some(4));
+        assert_eq!(try_infer_racks(&records[2..]), None);
+    }
+
+    #[test]
+    fn first_tick_inference_matches_whole_trace_inference() {
+        let records = quiet_trace(5);
+        let first_tick: Vec<ParsedRecord> = records
+            .iter()
+            .filter(|r| r.time_ms == records[0].time_ms)
+            .cloned()
+            .collect();
+        assert_eq!(try_infer_racks(&first_tick), try_infer_racks(&records));
+    }
+
+    #[test]
+    fn render_headline_matches_cli_wording() {
+        let summary = replay_records(1, PipelineConfig::default(), &quiet_trace(3));
+        assert_eq!(
+            summary.render_headline(),
+            "replayed 12 record(s) over 1 rack(s): 3 tick(s), 0 fused-fired"
+        );
+        assert_eq!(summary.render_firings(), "detector firings: none\n");
+    }
+}

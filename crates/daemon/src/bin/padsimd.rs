@@ -1,0 +1,226 @@
+//! `padsimd` — the PAD defense daemon: stream telemetry in, get
+//! verdicts, metrics, and incident reports out.
+//!
+//! ```text
+//! padsimd serve --listen 127.0.0.1:0 --http 127.0.0.1:0 --out out/ --ports-file ports.txt
+//! padsimd send 127.0.0.1:4800 out/pad.jsonl --tenant acme
+//! padsimd get 127.0.0.1:4801 /metrics
+//! padsimd send 127.0.0.1:4800 --shutdown
+//! ```
+
+use std::path::PathBuf;
+
+use pad::pipeline::PipelineConfig;
+use pad::policy::Strictness;
+use paddaemon::client::{http_get, send, SendJob};
+use paddaemon::server::{serve, ServeOptions};
+use simkit::telemetry::Format;
+
+const USAGE: &str = "\
+padsimd — PAD defense-as-a-service daemon over telemetry streams
+
+USAGE:
+    padsimd serve [SERVE OPTIONS]
+    padsimd send <target> [<telemetry-file>] [SEND OPTIONS]
+    padsimd get <http-addr> <path>
+
+SUBCOMMANDS:
+    serve                        run the daemon until a shutdown control
+                                 line arrives, then drain sessions, flush
+                                 per-tenant outputs, and exit 0.
+                                 --listen <host:port>   telemetry stream
+                                                        listener (default
+                                                        127.0.0.1:0)
+                                 --uds <path>           also listen on a
+                                                        Unix socket
+                                 --http <host:port>     HTTP endpoint
+                                                        (/metrics, tenant
+                                                        and incident API)
+                                 --out <dir>            shutdown flush dir
+                                 --ports-file <file>    write bound
+                                                        addresses (name
+                                                        addr per line)
+                                 --hold-down <ticks>    policy hold-down
+                                 --strictness <strict|lenient>
+    send                         stream a recorded trace as one tenant
+                                 session and print the daemon's replies.
+                                 <target> is host:port or unix:<path>.
+                                 --tenant <name>        tenant (default
+                                                        tenant-0)
+                                 --format <jsonl|csv>   wire format
+                                                        (default: from
+                                                        file extension)
+                                 --spans <file>         span trace to
+                                                        stream after the
+                                                        telemetry
+                                 --no-end               leave the stream
+                                                        open (no summary)
+                                 --shutdown             finish with a
+                                                        shutdown control
+                                                        line
+    get                          HTTP GET against a running daemon and
+                                 print the body (exit 1 on non-200).
+
+The wire protocol is line-oriented: `hello <tenant> [jsonl|csv]`, then
+telemetry/span lines exactly as recorded by padsim (`--telemetry` /
+`--trace` output streams verbatim), then `end`. The `end` reply is the
+replay-summary JSON, byte-identical to `padsim detect --replay --json`
+on the same records.
+";
+
+fn fail(message: &str) -> ! {
+    eprintln!("padsimd: {message}");
+    eprintln!("run `padsimd --help` for usage");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("serve") => run_serve(args),
+        Some("send") => run_send(args),
+        Some("get") => run_get(args),
+        Some("-h" | "--help") => println!("{USAGE}"),
+        Some(other) => fail(&format!("unknown subcommand {other:?}")),
+        None => fail("a subcommand is required (serve, send, get)"),
+    }
+}
+
+fn run_serve(mut it: impl Iterator<Item = String>) {
+    let mut opts = ServeOptions::default();
+    let mut config = PipelineConfig::default();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{name} requires a value")))
+        };
+        match flag.as_str() {
+            "--listen" => opts.listen = Some(value("--listen")),
+            "--uds" => opts.uds = Some(PathBuf::from(value("--uds"))),
+            "--http" => opts.http = Some(value("--http")),
+            "--out" => opts.out = Some(PathBuf::from(value("--out"))),
+            "--ports-file" => opts.ports_file = Some(PathBuf::from(value("--ports-file"))),
+            "--hold-down" => {
+                config.hold_down = value("--hold-down")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--hold-down expects a tick count"))
+            }
+            "--strictness" => {
+                config.strictness = match value("--strictness").as_str() {
+                    "strict" => Strictness::Strict,
+                    "lenient" => Strictness::Lenient,
+                    other => fail(&format!("unknown strictness {other:?}")),
+                }
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => fail(&format!("unknown serve argument {other:?}")),
+        }
+    }
+    opts.config = config;
+    if let Err(e) = serve(opts) {
+        eprintln!("padsimd: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run_send(mut it: impl Iterator<Item = String>) {
+    let mut target: Option<String> = None;
+    let mut file: Option<PathBuf> = None;
+    let mut job = SendJob {
+        tenant: "tenant-0".to_string(),
+        format: "jsonl",
+        end: true,
+        ..SendJob::default()
+    };
+    let mut format_given = false;
+    let mut spans_file: Option<PathBuf> = None;
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{name} requires a value")))
+        };
+        match arg.as_str() {
+            "--tenant" => job.tenant = value("--tenant"),
+            "--format" => {
+                let name = value("--format");
+                job.format = match Format::from_name(&name) {
+                    Some(Format::Jsonl) => "jsonl",
+                    Some(Format::Csv) => "csv",
+                    None => fail(&format!("unknown format {name:?}")),
+                };
+                format_given = true;
+            }
+            "--spans" => spans_file = Some(PathBuf::from(value("--spans"))),
+            "--no-end" => job.end = false,
+            "--shutdown" => job.shutdown = true,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return;
+            }
+            other if !other.starts_with('-') && target.is_none() => target = Some(arg),
+            other if !other.starts_with('-') && file.is_none() => file = Some(PathBuf::from(other)),
+            other => fail(&format!("unknown send argument {other:?}")),
+        }
+    }
+    let target =
+        target.unwrap_or_else(|| fail("send requires a <target> (host:port or unix:<path>)"));
+    match &file {
+        Some(path) => {
+            job.telemetry = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", path.display())));
+            if !format_given && Format::from_path(&path.to_string_lossy()) == Format::Csv {
+                job.format = "csv";
+            }
+        }
+        None => {
+            if !job.shutdown {
+                fail("send requires a <telemetry-file> (or --shutdown)");
+            }
+            job.tenant = String::new();
+        }
+    }
+    if let Some(path) = &spans_file {
+        job.spans = Some(
+            std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", path.display()))),
+        );
+    }
+    match send(&target, &job) {
+        Ok(replies) => {
+            for line in replies {
+                println!("{line}");
+            }
+        }
+        Err(e) => {
+            eprintln!("padsimd: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run_get(mut it: impl Iterator<Item = String>) {
+    let addr = it
+        .next()
+        .unwrap_or_else(|| fail("get requires an <http-addr>"));
+    if addr == "-h" || addr == "--help" {
+        println!("{USAGE}");
+        return;
+    }
+    let path = it.next().unwrap_or_else(|| fail("get requires a <path>"));
+    match http_get(&addr, &path) {
+        Ok((status, body)) => {
+            print!("{body}");
+            if !status.contains("200") {
+                eprintln!("padsimd: {status}");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("padsimd: {e}");
+            std::process::exit(1);
+        }
+    }
+}

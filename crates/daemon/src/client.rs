@@ -1,0 +1,133 @@
+//! Client helpers for the `padsimd send` / `padsimd get` subcommands
+//! (and the test suites): stream a recorded trace into a daemon and
+//! fetch HTTP API documents, with no external tooling.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpStream};
+
+/// A connected stream socket — TCP, or a Unix socket when the target
+/// is `unix:<path>`.
+#[derive(Debug)]
+pub enum Conn {
+    /// TCP connection (`host:port` target).
+    Tcp(TcpStream),
+    /// Unix-socket connection (`unix:<path>` target).
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixStream),
+}
+
+impl Conn {
+    /// Connects to `host:port`, or `unix:<path>` for a Unix socket.
+    pub fn connect(target: &str) -> io::Result<Conn> {
+        if let Some(path) = target.strip_prefix("unix:") {
+            #[cfg(unix)]
+            {
+                return Ok(Conn::Unix(std::os::unix::net::UnixStream::connect(path)?));
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                return Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "unix sockets are not available on this platform",
+                ));
+            }
+        }
+        Ok(Conn::Tcp(TcpStream::connect(target)?))
+    }
+
+    /// Half-closes the write side so the daemon sees EOF and drains the
+    /// session, while replies stay readable.
+    pub fn finish_writes(&self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(stream) => stream.shutdown(Shutdown::Write),
+            #[cfg(unix)]
+            Conn::Unix(stream) => stream.shutdown(Shutdown::Write),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(stream) => stream.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(stream) => stream.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(stream) => stream.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(stream) => stream.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(stream) => stream.flush(),
+            #[cfg(unix)]
+            Conn::Unix(stream) => stream.flush(),
+        }
+    }
+}
+
+/// One trace to stream as a session.
+#[derive(Debug, Clone, Default)]
+pub struct SendJob {
+    /// Tenant name for the `hello` line.
+    pub tenant: String,
+    /// Format token for the `hello` line (`jsonl`/`csv`).
+    pub format: &'static str,
+    /// Telemetry trace text (full file, trailing newline included).
+    pub telemetry: String,
+    /// Optional span trace text, streamed after the telemetry.
+    pub spans: Option<String>,
+    /// Send `end` (expect the summary reply) after the data.
+    pub end: bool,
+    /// Send `shutdown` as the final line.
+    pub shutdown: bool,
+}
+
+/// Streams `job` over `target` and returns every reply line the daemon
+/// sent (hello ack, summary JSON, error lines, shutdown ack).
+pub fn send(target: &str, job: &SendJob) -> io::Result<Vec<String>> {
+    let mut conn = Conn::connect(target)?;
+    if !job.tenant.is_empty() {
+        writeln!(conn, "hello {} {}", job.tenant, job.format)?;
+        conn.write_all(job.telemetry.as_bytes())?;
+        if let Some(spans) = &job.spans {
+            conn.write_all(spans.as_bytes())?;
+        }
+        if job.end {
+            writeln!(conn, "end")?;
+        }
+    }
+    if job.shutdown {
+        writeln!(conn, "shutdown")?;
+    }
+    conn.flush()?;
+    conn.finish_writes()?;
+    let mut replies = String::new();
+    conn.read_to_string(&mut replies)?;
+    Ok(replies.lines().map(str::to_string).collect())
+}
+
+/// Fetches `path` from the daemon's HTTP endpoint at `addr` and
+/// returns `(status_line, body)`.
+pub fn http_get(addr: &str, path: &str) -> io::Result<(String, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(stream, "GET {path} HTTP/1.0\r\nConnection: close\r\n\r\n")?;
+    stream.flush()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let status = response.lines().next().unwrap_or("").to_string();
+    let body = match response.split_once("\r\n\r\n") {
+        Some((_, body)) => body.to_string(),
+        None => String::new(),
+    };
+    Ok((status, body))
+}

@@ -1,0 +1,410 @@
+//! A minimal std-only HTTP/1.0 endpoint: Prometheus exposition plus
+//! the incident/status JSON API.
+//!
+//! One request per connection, `GET` only, `Connection: close` — the
+//! smallest server a scrape loop and a CI step need. Routes:
+//!
+//! | path                        | body                                    |
+//! |-----------------------------|-----------------------------------------|
+//! | `/healthz`                  | `ok`                                    |
+//! | `/metrics`                  | merged exposition, all tenants + daemon |
+//! | `/tenants`                  | JSON array of tenant status objects     |
+//! | `/tenants/<id>`             | one tenant's status JSON                |
+//! | `/tenants/<id>/summary`     | replay-summary JSON (after `end`)       |
+//! | `/tenants/<id>/incidents`   | incident report JSON                    |
+//! | `/tenants/<id>/firings`     | detector firing log, text               |
+//! | `/tenants/<id>/metrics`     | that tenant's full labeled exposition   |
+
+use std::fmt::Write as _;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+use simkit::telemetry::{MetricDigest, TelemetryReport};
+
+use crate::state::{Counters, DaemonState};
+
+/// A response body plus its media type.
+struct Reply {
+    status: &'static str,
+    content_type: &'static str,
+    body: String,
+}
+
+impl Reply {
+    fn ok(content_type: &'static str, body: String) -> Self {
+        Reply {
+            status: "200 OK",
+            content_type,
+            body,
+        }
+    }
+
+    fn not_found() -> Self {
+        Reply {
+            status: "404 Not Found",
+            content_type: "text/plain",
+            body: "not found\n".to_string(),
+        }
+    }
+}
+
+/// Serves one HTTP exchange on `stream` and closes it.
+pub fn handle_http<S: Read + Write>(stream: S, state: &DaemonState) -> io::Result<()> {
+    Counters::bump(&state.counters.http_requests);
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    loop {
+        match reader.read_line(&mut request_line) {
+            Ok(_) => break,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if state.shutting_down() {
+                    return Ok(());
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let mut parts = request_line.split_ascii_whitespace();
+    let reply = match (parts.next(), parts.next()) {
+        (Some("GET"), Some(path)) => route(state, path),
+        _ => Reply {
+            status: "400 Bad Request",
+            content_type: "text/plain",
+            body: "bad request\n".to_string(),
+        },
+    };
+    let stream = reader.get_mut();
+    let header = format!(
+        "HTTP/1.0 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reply.status,
+        reply.content_type,
+        reply.body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(reply.body.as_bytes())?;
+    stream.flush()
+}
+
+fn route(state: &DaemonState, path: &str) -> Reply {
+    let path = path.split('?').next().unwrap_or(path);
+    match path {
+        "/healthz" => Reply::ok("text/plain", "ok\n".to_string()),
+        "/metrics" => Reply::ok("text/plain", render_metrics(state)),
+        "/tenants" | "/tenants/" => Reply::ok("application/json", render_tenant_list(state)),
+        _ => {
+            let Some(rest) = path.strip_prefix("/tenants/") else {
+                return Reply::not_found();
+            };
+            let (name, leaf) = match rest.split_once('/') {
+                Some((name, leaf)) => (name, leaf),
+                None => (rest, ""),
+            };
+            let Some(tenant) = state.tenant(name) else {
+                return Reply::not_found();
+            };
+            let guard = tenant.lock().expect("tenant lock");
+            match leaf {
+                "" => Reply::ok("application/json", guard.status_json()),
+                "summary" => match &guard.summary {
+                    Some(summary) => Reply::ok("application/json", summary.to_json()),
+                    None => Reply {
+                        status: "404 Not Found",
+                        content_type: "text/plain",
+                        body: "stream still open; summary appears after end\n".to_string(),
+                    },
+                },
+                "incidents" => Reply::ok("application/json", guard.incidents_json()),
+                "firings" => {
+                    let body = match &guard.summary {
+                        Some(summary) => summary.render_firings(),
+                        None => "detector firings: stream still open\n".to_string(),
+                    };
+                    Reply::ok("text/plain", body)
+                }
+                "metrics" => {
+                    let report = TelemetryReport::from_records(&guard.records);
+                    let label = format!("tenant=\"{}\"", guard.name);
+                    Reply::ok("text/plain", report.render_prometheus_labeled(&label))
+                }
+                _ => Reply::not_found(),
+            }
+        }
+    }
+}
+
+fn render_tenant_list(state: &DaemonState) -> String {
+    let mut out = String::from("{\"tenants\":[");
+    for (i, (_, tenant)) in state.tenants().into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        let status = tenant.lock().expect("tenant lock").status_json();
+        out.push_str(status.trim_end());
+    }
+    if !out.ends_with('[') {
+        out.push('\n');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// The merged exposition: daemon self-counters, one `padsimd_tenant_*`
+/// gauge per tenant, then the shared `pad_*` families with a `tenant`
+/// label on every series. Families are emitted once (a single
+/// HELP/TYPE block each), tenants in name order inside them, so the
+/// scrape is valid Prometheus text and deterministic.
+fn render_metrics(state: &DaemonState) -> String {
+    let c = &state.counters;
+    let mut out = String::new();
+    let self_counters: [(&str, &str, u64); 6] = [
+        (
+            "padsimd_sessions_opened_total",
+            "sessions opened (hello)",
+            Counters::get(&c.sessions_opened),
+        ),
+        (
+            "padsimd_sessions_closed_total",
+            "sessions closed (end, EOF, or drain)",
+            Counters::get(&c.sessions_closed),
+        ),
+        (
+            "padsimd_records_total",
+            "telemetry records accepted",
+            Counters::get(&c.records),
+        ),
+        (
+            "padsimd_spans_total",
+            "span lines accepted",
+            Counters::get(&c.spans),
+        ),
+        (
+            "padsimd_parse_errors_total",
+            "malformed wire lines skipped",
+            Counters::get(&c.parse_errors),
+        ),
+        (
+            "padsimd_http_requests_total",
+            "HTTP requests served",
+            Counters::get(&c.http_requests),
+        ),
+    ];
+    for (name, help, value) in self_counters {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+
+    let tenants = state.tenants();
+    let _ = writeln!(out, "# HELP padsimd_tenants tenant streams known");
+    let _ = writeln!(out, "# TYPE padsimd_tenants gauge");
+    let _ = writeln!(out, "padsimd_tenants {}", tenants.len());
+
+    // Snapshot every tenant once; the per-family loops below reuse it.
+    struct Snap {
+        name: String,
+        level: u8,
+        errors: u64,
+        report: TelemetryReport,
+    }
+    let snaps: Vec<Snap> = tenants
+        .iter()
+        .map(|(name, tenant)| {
+            let guard = tenant.lock().expect("tenant lock");
+            Snap {
+                name: name.clone(),
+                level: guard.level().number(),
+                errors: guard.parse_errors,
+                report: TelemetryReport::from_records(&guard.records),
+            }
+        })
+        .collect();
+
+    let _ = writeln!(out, "# HELP padsimd_tenant_level current policy level");
+    let _ = writeln!(out, "# TYPE padsimd_tenant_level gauge");
+    for s in &snaps {
+        let _ = writeln!(
+            out,
+            "padsimd_tenant_level{{tenant=\"{}\"}} {}",
+            s.name, s.level
+        );
+    }
+    let _ = writeln!(
+        out,
+        "# HELP padsimd_tenant_parse_errors_total malformed lines, by tenant"
+    );
+    let _ = writeln!(out, "# TYPE padsimd_tenant_parse_errors_total counter");
+    for s in &snaps {
+        let _ = writeln!(
+            out,
+            "padsimd_tenant_parse_errors_total{{tenant=\"{}\"}} {}",
+            s.name, s.errors
+        );
+    }
+
+    type Aggregate = (&'static str, &'static str, fn(&MetricDigest) -> f64);
+    let aggregates: [Aggregate; 6] = [
+        ("pad_metric_count", "samples recorded", |d| {
+            d.stats.count() as f64
+        }),
+        ("pad_metric_mean", "mean of samples", |d| d.stats.mean()),
+        ("pad_metric_min", "minimum sample", |d| d.stats.min()),
+        ("pad_metric_max", "maximum sample", |d| d.stats.max()),
+        ("pad_metric_p50", "median sample", |d| d.summary.median()),
+        ("pad_metric_p95", "95th percentile sample", |d| {
+            d.summary.percentile(95.0)
+        }),
+    ];
+    for (name, help, f) in aggregates {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        for s in &snaps {
+            for metric in s.report.metric_names() {
+                let digest = s.report.metric(metric).expect("name from the report");
+                let _ = writeln!(
+                    out,
+                    "{name}{{tenant=\"{}\",metric=\"{metric}\"}} {}",
+                    s.name,
+                    f(digest)
+                );
+            }
+        }
+    }
+    if snaps.iter().any(|s| s.report.events().next().is_some()) {
+        let _ = writeln!(out, "# HELP pad_events_total events recorded, by kind");
+        let _ = writeln!(out, "# TYPE pad_events_total counter");
+        for s in &snaps {
+            for event in s.report.events() {
+                let _ = writeln!(
+                    out,
+                    "pad_events_total{{tenant=\"{}\",kind=\"{}\"}} {}",
+                    s.name, event.kind, event.count
+                );
+            }
+        }
+    }
+    let _ = writeln!(out, "# HELP pad_trace_samples_total samples in the trace");
+    let _ = writeln!(out, "# TYPE pad_trace_samples_total counter");
+    for s in &snaps {
+        let _ = writeln!(
+            out,
+            "pad_trace_samples_total{{tenant=\"{}\"}} {}",
+            s.name,
+            s.report.sample_count()
+        );
+    }
+    let _ = writeln!(out, "# HELP pad_trace_span_ms latest sim-time in the trace");
+    let _ = writeln!(out, "# TYPE pad_trace_span_ms gauge");
+    for s in &snaps {
+        let _ = writeln!(
+            out,
+            "pad_trace_span_ms{{tenant=\"{}\"}} {}",
+            s.name,
+            s.report.span_ms()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pad::pipeline::PipelineConfig;
+    use simkit::telemetry::{parse, Format};
+
+    fn seeded_state() -> DaemonState {
+        let state = DaemonState::new(PipelineConfig::default());
+        let tenant = state.open_tenant("acme", Format::Jsonl);
+        let trace = "{\"t\":0,\"m\":\"rack-00.draw_w\",\"v\":100}\n\
+                     {\"t\":100,\"m\":\"rack-00.draw_w\",\"v\":102}\n\
+                     {\"t\":100,\"e\":\"breaker_trip\",\"s\":\"rack-00\",\"v\":1}\n";
+        let mut guard = tenant.lock().unwrap();
+        for r in parse(trace, Format::Jsonl).unwrap() {
+            guard.ingest_record(r);
+        }
+        guard.finalize();
+        drop(guard);
+        state
+    }
+
+    fn get(state: &DaemonState, path: &str) -> String {
+        struct Duplex {
+            input: io::Cursor<Vec<u8>>,
+            output: Vec<u8>,
+        }
+        impl Read for Duplex {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                self.input.read(buf)
+            }
+        }
+        impl Write for Duplex {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.output.write(buf)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut stream = Duplex {
+            input: io::Cursor::new(format!("GET {path} HTTP/1.0\r\n\r\n").into_bytes()),
+            output: Vec::new(),
+        };
+        handle_http(&mut stream, state).unwrap();
+        String::from_utf8(stream.output).unwrap()
+    }
+
+    #[test]
+    fn metrics_merges_tenants_with_single_help_blocks() {
+        let state = seeded_state();
+        let response = get(&state, "/metrics");
+        assert!(response.starts_with("HTTP/1.0 200 OK\r\n"));
+        assert!(response.contains("padsimd_tenants 1\n"));
+        assert!(
+            response.contains("pad_metric_mean{tenant=\"acme\",metric=\"rack-00.draw_w\"} 101\n")
+        );
+        assert!(response.contains("pad_events_total{tenant=\"acme\",kind=\"breaker_trip\"} 1\n"));
+        assert!(response.contains("padsimd_tenant_level{tenant=\"acme\"} 1\n"));
+        let body = response.split("\r\n\r\n").nth(1).unwrap();
+        assert_eq!(
+            body.matches("# TYPE pad_metric_mean gauge").count(),
+            1,
+            "one HELP/TYPE block per family"
+        );
+    }
+
+    #[test]
+    fn tenant_routes_serve_status_summary_firings_and_incidents() {
+        let state = seeded_state();
+        assert!(get(&state, "/healthz").ends_with("ok\n"));
+        assert!(get(&state, "/tenants").contains("\"tenant\":\"acme\""));
+        assert!(get(&state, "/tenants/acme").contains("\"finished\":true"));
+        assert!(get(&state, "/tenants/acme/summary").contains("\"ticks\":2"));
+        assert!(get(&state, "/tenants/acme/firings").contains("detector firings"));
+        assert!(get(&state, "/tenants/acme/incidents").contains("\"incidents\":["));
+        assert!(get(&state, "/tenants/acme/metrics")
+            .contains("pad_metric_count{tenant=\"acme\",metric=\"rack-00.draw_w\"} 2\n"));
+        assert!(get(&state, "/tenants/ghost").starts_with("HTTP/1.0 404"));
+        assert!(get(&state, "/nope").starts_with("HTTP/1.0 404"));
+    }
+
+    #[test]
+    fn summary_is_404_while_the_stream_is_open() {
+        let state = DaemonState::new(PipelineConfig::default());
+        let tenant = state.open_tenant("open", Format::Jsonl);
+        for r in parse(
+            "{\"t\":0,\"m\":\"rack-00.draw_w\",\"v\":1}\n",
+            Format::Jsonl,
+        )
+        .unwrap()
+        {
+            tenant.lock().unwrap().ingest_record(r);
+        }
+        assert!(get(&state, "/tenants/open/summary").starts_with("HTTP/1.0 404"));
+        assert!(get(&state, "/tenants/open").contains("\"finished\":false"));
+    }
+}

@@ -1,0 +1,252 @@
+//! The daemon's accept loop, graceful drain, and output flush.
+//!
+//! Std-only concurrency: listeners run non-blocking and are polled at
+//! a few-millisecond cadence; every accepted connection gets its own
+//! thread with a short read timeout so it can observe the shutdown
+//! flag between reads. A `shutdown` control line (no signal handling —
+//! the control path works identically over TCP and Unix sockets) stops
+//! the accept loop, drains every open session, flushes per-tenant
+//! outputs plus `daemon_report.json` to `--out`, and returns cleanly.
+
+use std::io::{self, Write as _};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use pad::pipeline::PipelineConfig;
+use simkit::telemetry::render_parsed;
+
+use crate::http::handle_http;
+use crate::session::run_session;
+use crate::state::{Counters, DaemonState};
+
+/// How long a session read blocks before re-checking the shutdown
+/// flag. Short enough that a drain completes promptly, long enough to
+/// keep the idle poll cost negligible.
+pub const READ_TIMEOUT: Duration = Duration::from_millis(50);
+
+/// Accept-loop poll cadence while both listeners are idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// What to bind and where to flush.
+#[derive(Debug, Clone, Default)]
+pub struct ServeOptions {
+    /// TCP address for the telemetry stream listener (`host:port`;
+    /// port 0 picks a free one). Defaults to `127.0.0.1:0` when no
+    /// Unix socket is requested either.
+    pub listen: Option<String>,
+    /// Unix socket path for the telemetry stream listener.
+    pub uds: Option<PathBuf>,
+    /// TCP address for the HTTP endpoint (`/metrics`, incident API).
+    pub http: Option<String>,
+    /// Directory for the shutdown flush (per-tenant outputs plus
+    /// `daemon_report.json`).
+    pub out: Option<PathBuf>,
+    /// File to write the bound addresses to, one `name addr` pair per
+    /// line — how scripts discover port-0 allocations.
+    pub ports_file: Option<PathBuf>,
+    /// Pipeline knobs applied to every tenant.
+    pub config: PipelineConfig,
+}
+
+/// Runs the daemon until a `shutdown` control line arrives; returns
+/// after the drain and flush complete.
+pub fn serve(opts: ServeOptions) -> io::Result<()> {
+    let state = Arc::new(DaemonState::new(opts.config));
+    let data_listener = match (&opts.listen, &opts.uds) {
+        (Some(addr), _) => Some(bind_tcp(addr)?),
+        (None, None) => Some(bind_tcp("127.0.0.1:0")?),
+        (None, Some(_)) => None,
+    };
+    let uds_listener = match &opts.uds {
+        Some(path) => Some(bind_uds(path)?),
+        None => None,
+    };
+    let http_listener = match &opts.http {
+        Some(addr) => Some(bind_tcp(addr)?),
+        None => None,
+    };
+
+    let mut ports = String::new();
+    if let Some(listener) = &data_listener {
+        ports.push_str(&format!("data {}\n", listener.local_addr()?));
+    }
+    if let Some(path) = &opts.uds {
+        ports.push_str(&format!("uds {}\n", path.display()));
+    }
+    if let Some(listener) = &http_listener {
+        ports.push_str(&format!("http {}\n", listener.local_addr()?));
+    }
+    if let Some(path) = &opts.ports_file {
+        std::fs::write(path, &ports)?;
+    }
+    print!("padsimd: serving\n{ports}");
+    io::stdout().flush()?;
+
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    while !state.shutting_down() {
+        let mut accepted = false;
+        if let Some(listener) = &data_listener {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    accepted = true;
+                    stream.set_nonblocking(false)?;
+                    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+                    let state = state.clone();
+                    workers.push(thread::spawn(move || {
+                        if let Err(e) = run_session(stream, &state) {
+                            eprintln!("padsimd: session error: {e}");
+                        }
+                    }));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                Err(e) => eprintln!("padsimd: accept error: {e}"),
+            }
+        }
+        #[cfg(unix)]
+        if let Some(listener) = &uds_listener {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    accepted = true;
+                    stream.set_nonblocking(false)?;
+                    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+                    let state = state.clone();
+                    workers.push(thread::spawn(move || {
+                        if let Err(e) = run_session(stream, &state) {
+                            eprintln!("padsimd: session error: {e}");
+                        }
+                    }));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                Err(e) => eprintln!("padsimd: accept error: {e}"),
+            }
+        }
+        if let Some(listener) = &http_listener {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    accepted = true;
+                    stream.set_nonblocking(false)?;
+                    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+                    let state = state.clone();
+                    workers.push(thread::spawn(move || {
+                        if let Err(e) = handle_http(stream, &state) {
+                            eprintln!("padsimd: http error: {e}");
+                        }
+                    }));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                Err(e) => eprintln!("padsimd: accept error: {e}"),
+            }
+        }
+        if !accepted {
+            thread::sleep(ACCEPT_POLL);
+            // Reap finished workers so a long-lived daemon's handle
+            // list stays bounded by its *concurrent* session count.
+            workers.retain(|handle| !handle.is_finished());
+        }
+    }
+
+    // Drain: listeners drop (no new connections), every session thread
+    // observes the flag within one read timeout and finalizes its
+    // tenant stream.
+    drop(data_listener);
+    drop(http_listener);
+    #[cfg(unix)]
+    drop(uds_listener);
+    #[cfg(not(unix))]
+    let _ = uds_listener;
+    for handle in workers {
+        let _ = handle.join();
+    }
+    if let Some(path) = &opts.uds {
+        let _ = std::fs::remove_file(path);
+    }
+    if let Some(dir) = &opts.out {
+        flush_outputs(&state, dir)?;
+    }
+    println!("padsimd: drained and flushed, exiting");
+    Ok(())
+}
+
+fn bind_tcp(addr: &str) -> io::Result<TcpListener> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    Ok(listener)
+}
+
+#[cfg(unix)]
+type UdsListener = std::os::unix::net::UnixListener;
+#[cfg(not(unix))]
+type UdsListener = std::convert::Infallible;
+
+#[cfg(unix)]
+fn bind_uds(path: &PathBuf) -> io::Result<UdsListener> {
+    // A stale socket file from a crashed run would fail the bind.
+    let _ = std::fs::remove_file(path);
+    let listener = std::os::unix::net::UnixListener::bind(path)?;
+    listener.set_nonblocking(true)?;
+    Ok(listener)
+}
+
+#[cfg(not(unix))]
+fn bind_uds(_path: &PathBuf) -> io::Result<UdsListener> {
+    Err(io::Error::new(
+        io::ErrorKind::Unsupported,
+        "unix sockets are not available on this platform",
+    ))
+}
+
+/// Writes the shutdown flush: per tenant, the replay summary, firing
+/// log, incident report, and re-serialized telemetry (each
+/// byte-identical to the offline pipeline's output for the same
+/// records), plus a `daemon_report.json` of the self-metrics.
+pub fn flush_outputs(state: &DaemonState, dir: &PathBuf) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut report = String::from("{");
+    let c = &state.counters;
+    report.push_str(&format!(
+        "\"sessions_opened\":{},\"sessions_closed\":{},\"records\":{},\
+         \"spans\":{},\"parse_errors\":{},\"http_requests\":{}",
+        Counters::get(&c.sessions_opened),
+        Counters::get(&c.sessions_closed),
+        Counters::get(&c.records),
+        Counters::get(&c.spans),
+        Counters::get(&c.parse_errors),
+        Counters::get(&c.http_requests),
+    ));
+    report.push_str(",\"tenants\":[");
+    for (i, (name, tenant)) in state.tenants().into_iter().enumerate() {
+        let mut guard = tenant.lock().expect("tenant lock");
+        let summary = guard.finalize().clone();
+        std::fs::write(dir.join(format!("{name}.detect.json")), summary.to_json())?;
+        std::fs::write(
+            dir.join(format!("{name}.firings.txt")),
+            summary.render_firings(),
+        )?;
+        std::fs::write(
+            dir.join(format!("{name}.incidents.json")),
+            guard.incidents_json(),
+        )?;
+        let ext = guard.format.extension();
+        std::fs::write(
+            dir.join(format!("{name}.telemetry.{ext}")),
+            render_parsed(&guard.records, guard.format),
+        )?;
+        if i > 0 {
+            report.push(',');
+        }
+        report.push_str(&format!(
+            "\n{{\"tenant\":\"{name}\",\"records\":{},\"spans\":{},\"parse_errors\":{},\
+             \"sessions\":{},\"level\":{}}}",
+            guard.records.len(),
+            guard.spans.len(),
+            guard.parse_errors,
+            guard.sessions,
+            guard.level().number(),
+        ));
+    }
+    report.push_str("]}\n");
+    std::fs::write(dir.join("daemon_report.json"), report)
+}

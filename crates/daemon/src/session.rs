@@ -1,0 +1,346 @@
+//! One connection's read loop: control dispatch, codec framing, and
+//! per-line error containment.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::sync::{Arc, Mutex};
+
+use simkit::telemetry::{is_csv_header, parse_line, Format};
+use simkit::trace::{is_span_csv_header, parse_span_line};
+
+use crate::proto::{classify, Control, Line};
+use crate::state::{Counters, DaemonState, Tenant};
+
+/// Which block a CSV session's header most recently opened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CsvBlock {
+    Telemetry,
+    Spans,
+}
+
+/// Outcome of a finished session, for the caller's logging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionStats {
+    /// Telemetry records accepted.
+    pub records: u64,
+    /// Span lines accepted.
+    pub spans: u64,
+    /// Lines skipped as malformed (wire or protocol).
+    pub errors: u64,
+    /// `true` when the session asked the daemon to shut down.
+    pub shutdown: bool,
+}
+
+/// Runs one session over `stream` until EOF, `shutdown`, or a daemon
+/// drain. The stream should carry a read timeout so the loop can poll
+/// the shutdown flag; on timeout, partially-read bytes stay buffered
+/// (never dropped) and the read resumes where it left off.
+///
+/// Every malformed line is contained to that line: it increments the
+/// session, tenant, and daemon error counters and the loop moves on —
+/// a wire hiccup can cost a record, never a session.
+pub fn run_session<S: Read + Write>(stream: S, state: &DaemonState) -> io::Result<SessionStats> {
+    let mut session = Session {
+        state,
+        tenant: None,
+        format: Format::Jsonl,
+        csv_block: CsvBlock::Telemetry,
+        line_no: 0,
+        stats: SessionStats::default(),
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if state.shutting_down() {
+            break;
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                let reply = session.handle_line(&line);
+                line.clear();
+                if let Some(reply) = reply {
+                    let stream = reader.get_mut();
+                    stream.write_all(reply.as_bytes())?;
+                    stream.flush()?;
+                }
+                if session.stats.shutdown {
+                    break;
+                }
+            }
+            // A timeout may have appended a partial line to `line`;
+            // keep it and resume — the next read completes it.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    session.drain();
+    Ok(session.stats)
+}
+
+struct Session<'a> {
+    state: &'a DaemonState,
+    tenant: Option<Arc<Mutex<Tenant>>>,
+    format: Format,
+    csv_block: CsvBlock,
+    line_no: usize,
+    stats: SessionStats,
+}
+
+impl Session<'_> {
+    /// Processes one complete line, returning the reply to send, if any.
+    fn handle_line(&mut self, raw: &str) -> Option<String> {
+        self.line_no += 1;
+        match classify(raw) {
+            Line::Blank => None,
+            Line::Control(Control::Ping) => Some("pong\n".to_string()),
+            Line::Control(Control::Hello { tenant, format }) => {
+                // Ending the previous stream first keeps `hello a …
+                // hello b` on one connection well-formed.
+                self.finish_open_tenant();
+                self.format = format;
+                self.csv_block = CsvBlock::Telemetry;
+                self.tenant = Some(self.state.open_tenant(&tenant, format));
+                Some(format!("ok hello {tenant}\n"))
+            }
+            Line::Control(Control::End) => match self.tenant.take() {
+                Some(tenant) => {
+                    let mut guard = tenant.lock().expect("tenant lock");
+                    let json = guard.finalize().to_json();
+                    drop(guard);
+                    Counters::bump(&self.state.counters.sessions_closed);
+                    Some(json)
+                }
+                None => self.error("end without an open session"),
+            },
+            Line::Control(Control::Shutdown) => {
+                self.state.request_shutdown();
+                self.stats.shutdown = true;
+                Some("ok shutdown\n".to_string())
+            }
+            Line::BadControl(message) => self.error(&message),
+            Line::Data => self.handle_data(raw),
+        }
+    }
+
+    /// Feeds a data line to the codec the framing selects.
+    fn handle_data(&mut self, raw: &str) -> Option<String> {
+        let Some(tenant) = self.tenant.clone() else {
+            return self.error("data line before hello");
+        };
+        let text = raw.trim_end_matches(['\r', '\n']);
+        let line_no = self.line_no;
+        // Channel framing: JSONL lines self-describe by prefix; CSV rows
+        // bind to whichever block the last header opened.
+        let is_span = match self.format {
+            Format::Jsonl => text.starts_with("{\"id\":"),
+            Format::Csv => {
+                if is_csv_header(text) {
+                    self.csv_block = CsvBlock::Telemetry;
+                    return None;
+                }
+                if is_span_csv_header(text) {
+                    self.csv_block = CsvBlock::Spans;
+                    return None;
+                }
+                self.csv_block == CsvBlock::Spans
+            }
+        };
+        if is_span {
+            match parse_span_line(text, line_no, self.format) {
+                Ok(span) => {
+                    tenant.lock().expect("tenant lock").ingest_span(span);
+                    self.stats.spans += 1;
+                    Counters::bump(&self.state.counters.spans);
+                    None
+                }
+                Err(e) => self.data_error(&tenant, &e.to_string()),
+            }
+        } else {
+            match parse_line(text, line_no, self.format) {
+                Ok(record) => {
+                    tenant.lock().expect("tenant lock").ingest_record(record);
+                    self.stats.records += 1;
+                    Counters::bump(&self.state.counters.records);
+                    None
+                }
+                Err(e) => self.data_error(&tenant, &e.to_string()),
+            }
+        }
+    }
+
+    /// Charges a malformed data line to the tenant and the daemon.
+    fn data_error(&mut self, tenant: &Arc<Mutex<Tenant>>, _message: &str) -> Option<String> {
+        tenant.lock().expect("tenant lock").parse_errors += 1;
+        self.stats.errors += 1;
+        Counters::bump(&self.state.counters.parse_errors);
+        None
+    }
+
+    /// Counts a protocol error and reports it on the wire.
+    fn error(&mut self, message: &str) -> Option<String> {
+        self.stats.errors += 1;
+        Counters::bump(&self.state.counters.parse_errors);
+        Some(format!("err {message}\n"))
+    }
+
+    /// Finalizes the open tenant stream without a reply — the drain
+    /// path for EOF, daemon shutdown, and a mid-session re-`hello`.
+    fn finish_open_tenant(&mut self) {
+        if let Some(tenant) = self.tenant.take() {
+            tenant.lock().expect("tenant lock").finalize();
+            Counters::bump(&self.state.counters.sessions_closed);
+        }
+    }
+
+    fn drain(&mut self) {
+        self.finish_open_tenant();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pad::pipeline::PipelineConfig;
+
+    /// An in-memory duplex: the session reads a canned script and
+    /// writes replies into a buffer.
+    struct Script {
+        input: io::Cursor<Vec<u8>>,
+        output: Vec<u8>,
+    }
+
+    impl Read for Script {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.input.read(buf)
+        }
+    }
+
+    impl Write for Script {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.output.write(buf)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn run(state: &DaemonState, script: &str) -> (SessionStats, String) {
+        let mut script = Script {
+            input: io::Cursor::new(script.as_bytes().to_vec()),
+            output: Vec::new(),
+        };
+        let stats = run_session(&mut script, state).unwrap();
+        (stats, String::from_utf8(script.output).unwrap())
+    }
+
+    fn run_replies(state: &DaemonState, script: &str) -> String {
+        run(state, script).1
+    }
+
+    #[test]
+    fn jsonl_session_streams_records_and_spans() {
+        let state = DaemonState::new(PipelineConfig::default());
+        let replies = run_replies(
+            &state,
+            "hello acme\n\
+             {\"t\":0,\"m\":\"rack-00.draw_w\",\"v\":100}\n\
+             {\"t\":100,\"m\":\"rack-00.draw_w\",\"v\":101}\n\
+             {\"id\":0,\"name\":\"attack.drain\",\"parent\":null,\"t0\":0,\"t1\":100,\"attrs\":{}}\n\
+             end\n",
+        );
+        assert!(replies.starts_with("ok hello acme\n"));
+        assert!(replies.contains("\"records\":2"));
+        let tenant = state.tenant("acme").unwrap();
+        let guard = tenant.lock().unwrap();
+        assert_eq!(guard.records.len(), 2);
+        assert_eq!(guard.spans.len(), 1);
+        assert!(guard.finished());
+    }
+
+    #[test]
+    fn malformed_lines_never_abort_the_session() {
+        let state = DaemonState::new(PipelineConfig::default());
+        let (stats, replies) = run(
+            &state,
+            "hello t\n\
+             {\"t\":0,\"m\":\"rack-00.draw_w\",\"v\":100}\n\
+             {\"t\":50,\"m\":\"rack-00.draw_w\",\"v\":10\n\
+             {\"t\":100,\"m\":\"rack-00.draw_w\",\"v\":101}\n\
+             end\n",
+        );
+        assert_eq!(stats.records, 2, "survivors on both sides of the error");
+        assert_eq!(stats.errors, 1);
+        assert_eq!(Counters::get(&state.counters.parse_errors), 1);
+        assert!(replies.contains("\"records\":2"));
+        let tenant = state.tenant("t").unwrap();
+        assert_eq!(tenant.lock().unwrap().parse_errors, 1);
+    }
+
+    #[test]
+    fn csv_blocks_switch_on_headers() {
+        let state = DaemonState::new(PipelineConfig::default());
+        let replies = run_replies(
+            &state,
+            "hello c csv\n\
+             time_ms,record,name,source,value\n\
+             0,sample,rack-00.draw_w,,100\n\
+             id,name,parent,start_ms,end_ms,attrs\n\
+             0,attack.drain,,0,100,\n\
+             time_ms,record,name,source,value\n\
+             100,sample,rack-00.draw_w,,101\n\
+             end\n",
+        );
+        assert!(replies.contains("\"records\":2"));
+        let tenant = state.tenant("c").unwrap();
+        let guard = tenant.lock().unwrap();
+        assert_eq!(guard.records.len(), 2);
+        assert_eq!(guard.spans.len(), 1);
+        assert_eq!(guard.spans[0].name, "attack.drain");
+    }
+
+    #[test]
+    fn protocol_errors_reply_err_and_count() {
+        let state = DaemonState::new(PipelineConfig::default());
+        let replies = run_replies(
+            &state,
+            "{\"t\":0,\"m\":\"a.x\",\"v\":1}\nend\nhello ../evil\nping\n",
+        );
+        assert!(replies.contains("err data line before hello"));
+        assert!(replies.contains("err end without an open session"));
+        assert!(replies.contains("err invalid tenant name"));
+        assert!(replies.ends_with("pong\n"));
+        assert_eq!(Counters::get(&state.counters.parse_errors), 3);
+    }
+
+    #[test]
+    fn eof_drains_the_open_stream() {
+        let state = DaemonState::new(PipelineConfig::default());
+        let (_, replies) = run(
+            &state,
+            "hello drainy\n{\"t\":0,\"m\":\"rack-00.draw_w\",\"v\":100}\n",
+        );
+        assert_eq!(replies, "ok hello drainy\n", "no end reply at EOF");
+        let tenant = state.tenant("drainy").unwrap();
+        assert!(tenant.lock().unwrap().finished(), "drained at EOF");
+        assert_eq!(Counters::get(&state.counters.sessions_closed), 1);
+    }
+
+    #[test]
+    fn shutdown_control_sets_the_flag_and_acks() {
+        let state = DaemonState::new(PipelineConfig::default());
+        let (stats, replies) = run(&state, "hello s\nshutdown\nping\n");
+        assert!(stats.shutdown);
+        assert!(replies.ends_with("ok shutdown\n"), "ping never processed");
+        assert!(state.shutting_down());
+        let tenant = state.tenant("s").unwrap();
+        assert!(tenant.lock().unwrap().finished(), "open stream drained");
+    }
+}

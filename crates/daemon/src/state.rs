@@ -1,0 +1,338 @@
+//! Shared daemon state: the tenant registry and self-metrics counters.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use pad::pipeline::{self, PipelineConfig, ReplayPipeline, ReplaySummary};
+use pad::policy::SecurityLevel;
+use simkit::telemetry::{Format, ParsedRecord};
+use simkit::trace::ParsedSpan;
+
+/// Monotonic daemon self-metrics, exported on `/metrics` as
+/// `padsimd_*` counters.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Sessions opened (`hello` accepted).
+    pub sessions_opened: AtomicU64,
+    /// Sessions closed (`end`, EOF, or drain).
+    pub sessions_closed: AtomicU64,
+    /// Telemetry records accepted across all tenants.
+    pub records: AtomicU64,
+    /// Span lines accepted across all tenants.
+    pub spans: AtomicU64,
+    /// Malformed wire lines (codec or protocol) that were skipped.
+    pub parse_errors: AtomicU64,
+    /// HTTP requests served.
+    pub http_requests: AtomicU64,
+}
+
+impl Counters {
+    /// Adds one to a counter.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads a counter.
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+/// One tenant's accumulated stream state.
+///
+/// The detector/policy pipeline is created lazily at the first tick
+/// boundary, once the first tick's records have named every rack —
+/// mirroring the offline CLI's whole-file rack inference (every rack
+/// emits its draw gauge every tick, so the first tick already names
+/// them all).
+#[derive(Debug)]
+pub struct Tenant {
+    /// The tenant's wire name.
+    pub name: String,
+    /// Wire format of the tenant's data lines.
+    pub format: Format,
+    /// Every accepted telemetry record, in arrival order.
+    pub records: Vec<ParsedRecord>,
+    /// Every accepted span line, in arrival order.
+    pub spans: Vec<ParsedSpan>,
+    /// Records of the still-open first tick, before racks are known.
+    pending: Vec<ParsedRecord>,
+    /// The live pipeline, once racks are known.
+    pipeline: Option<ReplayPipeline>,
+    /// The finished summary, once the stream has ended.
+    pub summary: Option<ReplaySummary>,
+    /// Malformed lines charged to this tenant.
+    pub parse_errors: u64,
+    /// Sessions this tenant has opened.
+    pub sessions: u64,
+    config: PipelineConfig,
+}
+
+impl Tenant {
+    /// Creates an empty tenant stream.
+    pub fn new(name: &str, format: Format, config: PipelineConfig) -> Self {
+        Tenant {
+            name: name.to_string(),
+            format,
+            records: Vec::new(),
+            spans: Vec::new(),
+            pending: Vec::new(),
+            pipeline: None,
+            summary: None,
+            parse_errors: 0,
+            sessions: 0,
+            config,
+        }
+    }
+
+    /// Resets the stream for a fresh session (`hello` on an existing
+    /// tenant), keeping the session and error tallies.
+    pub fn reset(&mut self, format: Format) {
+        self.format = format;
+        self.records.clear();
+        self.spans.clear();
+        self.pending.clear();
+        self.pipeline = None;
+        self.summary = None;
+    }
+
+    /// Feeds one record in arrival order, creating the pipeline at the
+    /// first tick boundary.
+    pub fn ingest_record(&mut self, r: ParsedRecord) {
+        match &mut self.pipeline {
+            Some(pipe) => pipe.ingest(&r),
+            None => {
+                let first_tick_closed = self
+                    .pending
+                    .first()
+                    .is_some_and(|first| first.time_ms != r.time_ms);
+                if first_tick_closed {
+                    let mut pipe = self.make_pipeline();
+                    pipe.ingest(&r);
+                    self.pipeline = Some(pipe);
+                } else {
+                    self.pending.push(r.clone());
+                }
+            }
+        }
+        self.records.push(r);
+    }
+
+    /// Builds the pipeline from the buffered first tick and drains the
+    /// buffer into it.
+    fn make_pipeline(&mut self) -> ReplayPipeline {
+        let racks = pipeline::try_infer_racks(&self.pending).unwrap_or(1);
+        let mut pipe = ReplayPipeline::new(racks, self.config);
+        for r in self.pending.drain(..) {
+            pipe.ingest(&r);
+        }
+        pipe
+    }
+
+    /// Feeds one span in arrival order.
+    pub fn ingest_span(&mut self, s: ParsedSpan) {
+        self.spans.push(s);
+    }
+
+    /// Ends the stream: closes the final tick and caches the summary.
+    /// Idempotent — a second `end` returns the same summary.
+    pub fn finalize(&mut self) -> &ReplaySummary {
+        if self.summary.is_none() {
+            let pipe = match self.pipeline.take() {
+                Some(pipe) => pipe,
+                // The whole stream fit in one tick (or was empty).
+                None => self.make_pipeline(),
+            };
+            self.summary = Some(pipe.finalize());
+        }
+        self.summary.as_ref().expect("summary just cached")
+    }
+
+    /// `true` once [`finalize`](Tenant::finalize) has run.
+    pub fn finished(&self) -> bool {
+        self.summary.is_some()
+    }
+
+    /// The current policy level: live from the pipeline while the
+    /// stream is open, frozen from the summary after.
+    pub fn level(&self) -> SecurityLevel {
+        match (&self.summary, &self.pipeline) {
+            (Some(summary), _) => summary.final_level,
+            (None, Some(pipe)) => pipe.level(),
+            (None, None) => SecurityLevel::Normal,
+        }
+    }
+
+    /// Whether the fused detector verdict is currently firing (always
+    /// `false` before the pipeline exists or after the stream ended).
+    pub fn fused_fired(&self) -> bool {
+        self.pipeline
+            .as_ref()
+            .is_some_and(|pipe| pipe.stack().fused().fired)
+    }
+
+    /// One-line status JSON for the HTTP API.
+    pub fn status_json(&self) -> String {
+        format!(
+            "{{\"tenant\":\"{}\",\"format\":\"{}\",\"records\":{},\"spans\":{},\
+             \"parse_errors\":{},\"sessions\":{},\"finished\":{},\"level\":{},\
+             \"level_label\":\"{}\",\"fused_fired\":{}}}\n",
+            self.name,
+            self.format.extension(),
+            self.records.len(),
+            self.spans.len(),
+            self.parse_errors,
+            self.sessions,
+            self.finished(),
+            self.level().number(),
+            self.level().label(),
+            self.fused_fired()
+        )
+    }
+
+    /// The tenant's incident report, reconstructed from its spans
+    /// joined with its telemetry — the same JSON document
+    /// `padsim incident --json` emits for the recorded files.
+    pub fn incidents_json(&self) -> String {
+        pipeline::reconstruct_json(&self.spans, &self.records)
+    }
+}
+
+/// Everything the listener, session, and HTTP threads share.
+#[derive(Debug)]
+pub struct DaemonState {
+    /// Self-metrics.
+    pub counters: Counters,
+    /// Set by a `shutdown` control line; every loop polls it.
+    pub shutdown: AtomicBool,
+    /// Pipeline knobs applied to every tenant.
+    pub config: PipelineConfig,
+    tenants: Mutex<BTreeMap<String, Arc<Mutex<Tenant>>>>,
+}
+
+impl DaemonState {
+    /// Creates the shared state.
+    pub fn new(config: PipelineConfig) -> Self {
+        DaemonState {
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+            config,
+            tenants: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// `true` once a shutdown has been requested.
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests a shutdown (idempotent).
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Opens (or resets) a tenant stream and returns its handle.
+    pub fn open_tenant(&self, name: &str, format: Format) -> Arc<Mutex<Tenant>> {
+        let mut tenants = self.lock_tenants();
+        let tenant = tenants
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Mutex::new(Tenant::new(name, format, self.config))))
+            .clone();
+        drop(tenants);
+        let mut guard = tenant.lock().expect("tenant lock");
+        guard.reset(format);
+        guard.sessions += 1;
+        drop(guard);
+        Counters::bump(&self.counters.sessions_opened);
+        tenant
+    }
+
+    /// Looks up a tenant by name.
+    pub fn tenant(&self, name: &str) -> Option<Arc<Mutex<Tenant>>> {
+        self.lock_tenants().get(name).cloned()
+    }
+
+    /// Snapshot of every tenant handle, in name order.
+    pub fn tenants(&self) -> Vec<(String, Arc<Mutex<Tenant>>)> {
+        self.lock_tenants()
+            .iter()
+            .map(|(name, tenant)| (name.clone(), tenant.clone()))
+            .collect()
+    }
+
+    fn lock_tenants(&self) -> MutexGuard<'_, BTreeMap<String, Arc<Mutex<Tenant>>>> {
+        self.tenants.lock().expect("tenant registry lock")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::telemetry::parse;
+
+    fn records(text: &str) -> Vec<ParsedRecord> {
+        parse(text, Format::Jsonl).unwrap()
+    }
+
+    #[test]
+    fn tenant_summary_matches_offline_batch_replay() {
+        let trace = "{\"t\":0,\"m\":\"rack-00.draw_w\",\"v\":100}\n\
+                     {\"t\":0,\"m\":\"rack-01.draw_w\",\"v\":90}\n\
+                     {\"t\":100,\"m\":\"rack-00.draw_w\",\"v\":101}\n\
+                     {\"t\":100,\"m\":\"rack-01.draw_w\",\"v\":91}\n\
+                     {\"t\":200,\"m\":\"rack-00.draw_w\",\"v\":102}\n\
+                     {\"t\":200,\"m\":\"rack-01.draw_w\",\"v\":92}\n";
+        let parsed = records(trace);
+        let offline = pipeline::replay_records(2, PipelineConfig::default(), &parsed);
+
+        let mut tenant = Tenant::new("acme", Format::Jsonl, PipelineConfig::default());
+        for r in &parsed {
+            tenant.ingest_record(r.clone());
+        }
+        assert_eq!(tenant.finalize(), &offline);
+        assert_eq!(tenant.finalize().to_json(), offline.to_json(), "idempotent");
+    }
+
+    #[test]
+    fn single_tick_stream_still_finalizes() {
+        let mut tenant = Tenant::new("t", Format::Jsonl, PipelineConfig::default());
+        for r in records("{\"t\":0,\"m\":\"rack-00.draw_w\",\"v\":1}\n") {
+            tenant.ingest_record(r);
+        }
+        let summary = tenant.finalize().clone();
+        assert_eq!(summary.ticks, 1);
+        assert_eq!(summary.racks, 1);
+    }
+
+    #[test]
+    fn empty_stream_finalizes_to_zero_ticks() {
+        let mut tenant = Tenant::new("t", Format::Jsonl, PipelineConfig::default());
+        let summary = tenant.finalize().clone();
+        assert_eq!(summary.ticks, 0);
+        assert_eq!(summary.records, 0);
+        assert_eq!(summary.final_level, SecurityLevel::Normal);
+    }
+
+    #[test]
+    fn open_tenant_resets_but_keeps_tallies() {
+        let state = DaemonState::new(PipelineConfig::default());
+        let tenant = state.open_tenant("a", Format::Jsonl);
+        {
+            let mut guard = tenant.lock().unwrap();
+            for r in records("{\"t\":0,\"m\":\"rack-00.draw_w\",\"v\":1}\n") {
+                guard.ingest_record(r);
+            }
+            guard.parse_errors += 1;
+            guard.finalize();
+        }
+        let again = state.open_tenant("a", Format::Csv);
+        let guard = again.lock().unwrap();
+        assert_eq!(guard.sessions, 2);
+        assert_eq!(guard.parse_errors, 1, "tallies survive the reset");
+        assert!(guard.records.is_empty());
+        assert!(!guard.finished());
+        assert_eq!(guard.format, Format::Csv);
+        assert_eq!(state.tenants().len(), 1);
+    }
+}

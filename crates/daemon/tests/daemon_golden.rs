@@ -1,0 +1,121 @@
+//! The daemon's correctness harness: a recorded trace streamed through
+//! a socket must make the daemon emit exactly the firings, escalations,
+//! and incident reports the offline `padsim detect --replay` /
+//! `padsim incident` pipeline produces — for two concurrent tenants,
+//! deterministically across runs.
+
+mod common;
+
+use common::{recorded_run, RecordedRun, TestDaemon};
+use paddaemon::client::{http_get, send, SendJob};
+
+fn job(tenant: &str, run: &RecordedRun) -> SendJob {
+    SendJob {
+        tenant: tenant.to_string(),
+        format: "jsonl",
+        telemetry: run.telemetry.clone(),
+        spans: Some(run.spans.clone()),
+        end: true,
+        ..SendJob::default()
+    }
+}
+
+/// Streams both tenants concurrently and returns each session's
+/// summary reply (the line after the hello ack).
+fn stream_both(daemon: &TestDaemon, runs: &[(&str, &RecordedRun)]) -> Vec<String> {
+    let mut handles = Vec::new();
+    for (tenant, run) in runs {
+        let addr = daemon.data_addr.clone();
+        let job = job(tenant, run);
+        handles.push(std::thread::spawn(move || send(&addr, &job).unwrap()));
+    }
+    handles
+        .into_iter()
+        .map(|h| {
+            let replies = h.join().unwrap();
+            assert!(replies[0].starts_with("ok hello "), "got {replies:?}");
+            assert_eq!(replies.len(), 2, "hello ack + summary: {replies:?}");
+            format!("{}\n", replies[1])
+        })
+        .collect()
+}
+
+#[test]
+fn streamed_sessions_match_offline_pipeline_byte_for_byte() {
+    let run_a = recorded_run(0xD0_1D);
+    let run_b = recorded_run(0xBEEF);
+    assert_ne!(
+        run_a.summary_json, run_b.summary_json,
+        "seeds should produce distinguishable traces"
+    );
+    assert!(
+        run_a.summary_json.contains("\"escalations\":[{"),
+        "the attacked run should escalate the policy: {}",
+        run_a.summary_json
+    );
+    assert!(run_a.firings.contains("rising edges"));
+
+    let daemon = TestDaemon::start("golden");
+    let summaries = stream_both(&daemon, &[("acme", &run_a), ("globex", &run_b)]);
+    assert_eq!(summaries[0], run_a.summary_json, "acme summary");
+    assert_eq!(summaries[1], run_b.summary_json, "globex summary");
+
+    // The HTTP API serves the same documents.
+    let (status, summary) = http_get(&daemon.http_addr, "/tenants/acme/summary").unwrap();
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(summary, run_a.summary_json);
+    let (_, firings) = http_get(&daemon.http_addr, "/tenants/acme/firings").unwrap();
+    assert_eq!(firings, run_a.firings);
+    let (_, incidents) = http_get(&daemon.http_addr, "/tenants/acme/incidents").unwrap();
+    assert_eq!(incidents, run_a.incidents_json);
+    let (_, incidents_b) = http_get(&daemon.http_addr, "/tenants/globex/incidents").unwrap();
+    assert_eq!(incidents_b, run_b.incidents_json);
+
+    // One /metrics scrape carries both tenants, labeled.
+    let (_, metrics) = http_get(&daemon.http_addr, "/metrics").unwrap();
+    assert!(metrics.contains("pad_metric_count{tenant=\"acme\",metric=\"rack-00.draw_w\"}"));
+    assert!(metrics.contains("pad_metric_count{tenant=\"globex\",metric=\"rack-00.draw_w\"}"));
+    assert!(metrics.contains("padsimd_tenants 2\n"));
+    assert!(metrics.contains("padsimd_parse_errors_total 0\n"));
+    daemon.shutdown();
+}
+
+#[test]
+fn daemon_output_is_deterministic_across_runs() {
+    let run = recorded_run(0xD0_1D);
+    let mut outputs = Vec::new();
+    for _ in 0..2 {
+        let daemon = TestDaemon::start("determinism");
+        let summaries = stream_both(&daemon, &[("t0", &run)]);
+        let (_, incidents) = http_get(&daemon.http_addr, "/tenants/t0/incidents").unwrap();
+        let (_, tenant_metrics) = http_get(&daemon.http_addr, "/tenants/t0/metrics").unwrap();
+        daemon.shutdown();
+        outputs.push((summaries, incidents, tenant_metrics));
+    }
+    assert_eq!(outputs[0], outputs[1], "two daemon runs diverged");
+    assert_eq!(outputs[0].0[0], run.summary_json);
+}
+
+#[test]
+fn csv_wire_format_produces_the_same_summary() {
+    let run = recorded_run(0xD0_1D);
+    // Re-serialize the recorded telemetry as CSV; the summary must not
+    // depend on the wire format.
+    let records =
+        simkit::telemetry::parse(&run.telemetry, simkit::telemetry::Format::Jsonl).unwrap();
+    let csv = simkit::telemetry::render_parsed(&records, simkit::telemetry::Format::Csv);
+    let daemon = TestDaemon::start("csv");
+    let replies = send(
+        &daemon.data_addr,
+        &SendJob {
+            tenant: "c".to_string(),
+            format: "csv",
+            telemetry: csv,
+            end: true,
+            ..SendJob::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(format!("{}\n", replies[1]), run.summary_json);
+    daemon.shutdown();
+}

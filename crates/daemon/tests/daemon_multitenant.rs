@@ -1,0 +1,124 @@
+//! Multi-tenant determinism: N tenants fed interleaved chunks in
+//! shuffled arrival orders produce per-tenant outputs byte-identical
+//! to single-tenant runs.
+
+mod common;
+
+use common::{recorded_run, RecordedRun, TestDaemon};
+use paddaemon::client::{http_get, Conn};
+use std::io::{BufRead, BufReader, Write};
+
+/// Deterministic xorshift shuffle — arrival order varies by seed but
+/// is reproducible in a failing run.
+fn shuffle<T>(items: &mut [T], mut seed: u64) {
+    for i in (1..items.len()).rev() {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        items.swap(i, (seed as usize) % (i + 1));
+    }
+}
+
+/// Streams every tenant's trace as interleaved chunks over persistent
+/// connections, arrival order shuffled by `order_seed`, and returns
+/// each tenant's summary reply.
+fn stream_interleaved(
+    daemon: &TestDaemon,
+    runs: &[(&str, &RecordedRun)],
+    chunk_lines: usize,
+    order_seed: u64,
+) -> Vec<String> {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut queues: Vec<Vec<String>> = Vec::new();
+    for (tenant, run) in runs {
+        let mut conn = Conn::connect(&daemon.data_addr).unwrap();
+        writeln!(conn, "hello {tenant} jsonl").unwrap();
+        conns.push(conn);
+        let lines: Vec<&str> = run.telemetry.lines().chain(run.spans.lines()).collect();
+        let chunks: Vec<String> = lines
+            .chunks(chunk_lines)
+            .map(|chunk| {
+                let mut text = chunk.join("\n");
+                text.push('\n');
+                text
+            })
+            .collect();
+        queues.push(chunks);
+    }
+    // Arrival schedule: every (tenant, chunk-index) pair, shuffled, but
+    // per-tenant order preserved by indexing chunks sequentially.
+    let mut schedule: Vec<usize> = queues
+        .iter()
+        .enumerate()
+        .flat_map(|(t, chunks)| std::iter::repeat_n(t, chunks.len()))
+        .collect();
+    shuffle(&mut schedule, order_seed);
+    let mut next: Vec<usize> = vec![0; queues.len()];
+    for t in schedule {
+        conns[t].write_all(queues[t][next[t]].as_bytes()).unwrap();
+        next[t] += 1;
+    }
+    let mut summaries = Vec::new();
+    for (t, mut conn) in conns.into_iter().enumerate() {
+        writeln!(conn, "end").unwrap();
+        conn.flush().unwrap();
+        conn.finish_writes().unwrap();
+        let mut reader = BufReader::new(conn);
+        let mut hello = String::new();
+        reader.read_line(&mut hello).unwrap();
+        assert!(hello.starts_with("ok hello "), "tenant {t}: {hello:?}");
+        let mut summary = String::new();
+        reader.read_line(&mut summary).unwrap();
+        summaries.push(summary);
+    }
+    summaries
+}
+
+#[test]
+fn interleaved_shuffled_tenants_match_single_tenant_outputs() {
+    let runs = [
+        ("alpha", recorded_run(0xD0_1D)),
+        ("beta", recorded_run(0xBEEF)),
+        ("gamma", recorded_run(0xCAFE)),
+    ];
+    let named: Vec<(&str, &RecordedRun)> = runs.iter().map(|(n, r)| (*n, r)).collect();
+
+    let daemon = TestDaemon::start("multitenant");
+    let summaries = stream_interleaved(&daemon, &named, 64, 0x5EED);
+    for ((tenant, run), summary) in runs.iter().zip(&summaries) {
+        assert_eq!(
+            summary, &run.summary_json,
+            "{tenant}: interleaved summary diverged from the offline run"
+        );
+    }
+    // Incident reports survive the interleaving too.
+    for (tenant, run) in &runs {
+        let (_, incidents) =
+            http_get(&daemon.http_addr, &format!("/tenants/{tenant}/incidents")).unwrap();
+        assert_eq!(&incidents, &run.incidents_json, "{tenant} incidents");
+    }
+    daemon.shutdown();
+}
+
+#[test]
+fn arrival_order_does_not_change_any_tenant_output() {
+    let runs = [
+        ("alpha", recorded_run(0xD0_1D)),
+        ("beta", recorded_run(0xBEEF)),
+    ];
+    let named: Vec<(&str, &RecordedRun)> = runs.iter().map(|(n, r)| (*n, r)).collect();
+    let mut per_order = Vec::new();
+    for order_seed in [1u64, 0xFEED_FACE] {
+        let daemon = TestDaemon::start("ordering");
+        // Different chunk sizes AND different shuffles per run.
+        let chunk = if order_seed == 1 { 17 } else { 101 };
+        per_order.push(stream_interleaved(&daemon, &named, chunk, order_seed));
+        daemon.shutdown();
+    }
+    assert_eq!(
+        per_order[0], per_order[1],
+        "arrival order or chunking leaked into tenant outputs"
+    );
+    assert_eq!(per_order[0][0], runs[0].1.summary_json);
+    assert_eq!(per_order[0][1], runs[1].1.summary_json);
+}

@@ -418,6 +418,120 @@ fn parse_csv_line(line_text: &str, line: usize) -> Result<ParsedRecord, ParseErr
     })
 }
 
+/// Parses a single wire line (either format) into a record.
+///
+/// `line` is the 1-based line number used in error messages. The CSV
+/// header row is *not* accepted here — stream consumers that interleave
+/// header lines (a fresh CSV block per sender) should skip them with
+/// [`is_csv_header`] before calling.
+///
+/// This is the per-line entry point for wire use: a daemon ingesting a
+/// live stream parses each line as it arrives and turns a failure into
+/// a structured per-line error instead of aborting the whole session.
+pub fn parse_line(
+    line_text: &str,
+    line: usize,
+    format: Format,
+) -> Result<ParsedRecord, ParseError> {
+    match format {
+        Format::Jsonl => parse_jsonl_line(line_text, line),
+        Format::Csv => parse_csv_line(line_text, line),
+    }
+}
+
+/// `true` when the line is the telemetry CSV header row.
+pub fn is_csv_header(line_text: &str) -> bool {
+    line_text == CSV_HEADER.trim_end()
+}
+
+/// The survivors and casualties of a lossy parse (see [`parse_lossy`]).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LossyParse {
+    /// Records from every well-formed line, in input order.
+    pub records: Vec<ParsedRecord>,
+    /// One structured error per malformed line, in input order.
+    pub errors: Vec<ParseError>,
+}
+
+/// Parses a serialized trace, collecting malformed lines as structured
+/// per-line errors instead of failing the whole parse.
+///
+/// Wire-facing counterpart of the strict [`parse`]: a truncated,
+/// corrupted, or interleaved partial line costs exactly that line (and
+/// an [`LossyParse::errors`] entry), never the rest of the stream. The
+/// CSV header is required as the first line, matching [`parse`], but a
+/// *repeated* header later in the stream is tolerated and skipped — the
+/// natural shape of several serialized chunks glued together.
+pub fn parse_lossy(text: &str, format: Format) -> LossyParse {
+    let mut out = LossyParse::default();
+    let mut lines = text.lines().enumerate();
+    if format == Format::Csv {
+        match lines.next() {
+            Some((_, header)) if is_csv_header(header) => {}
+            Some((_, header)) => out
+                .errors
+                .push(err(1, format!("bad CSV header {header:?}"))),
+            None => return out,
+        }
+    }
+    for (idx, line_text) in lines {
+        if line_text.is_empty() || (format == Format::Csv && is_csv_header(line_text)) {
+            continue;
+        }
+        match parse_line(line_text, idx + 1, format) {
+            Ok(record) => out.records.push(record),
+            Err(e) => out.errors.push(e),
+        }
+    }
+    out
+}
+
+/// Re-serializes parsed records back to the wire format they came from.
+///
+/// The exact inverse of [`parse`] for any well-formed trace: names and
+/// sources are restricted to an escape-free charset and values use the
+/// shortest-round-trip `f64` form in both directions, so
+/// `render_parsed(&parse(text)?) == text` byte for byte. This is what a
+/// daemon uses to flush the telemetry it retained for a session back to
+/// disk without ever holding the original byte stream.
+pub fn render_parsed(records: &[ParsedRecord], format: Format) -> String {
+    let mut out = String::with_capacity(records.len() * 48);
+    if format == Format::Csv {
+        out.push_str(CSV_HEADER);
+    }
+    for r in records {
+        let time = SimTime::from_millis(r.time_ms);
+        match (format, r.is_event) {
+            (Format::Jsonl, false) => write_sample_jsonl(&mut out, time, &r.name, r.value),
+            (Format::Csv, false) => write_sample_csv(&mut out, time, &r.name, r.value),
+            (format, true) => {
+                // Events round-trip through the kind table; an unknown
+                // kind cannot exist in a ParsedRecord (the parsers
+                // reject it), so fall back to the raw name defensively.
+                let name = match EventKind::from_name(&r.name) {
+                    Some(kind) => kind.as_str(),
+                    None => r.name.as_str(),
+                };
+                use std::fmt::Write as _;
+                match format {
+                    Format::Jsonl => {
+                        let _ = writeln!(
+                            out,
+                            "{{\"t\":{},\"e\":\"{}\",\"s\":\"{}\",\"v\":{}}}",
+                            r.time_ms, name, r.source, r.value
+                        );
+                    }
+                    Format::Csv => {
+                        let _ =
+                            writeln!(out, "{},event,{},{},{}", r.time_ms, name, r.source, r.value);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
 /// Parses a serialized trace (either format) back into records.
 ///
 /// The parser is strict: any malformed line fails the whole parse with
@@ -551,6 +665,111 @@ mod tests {
         )
         .unwrap_err();
         assert!(e.message.contains("unknown event kind"));
+    }
+
+    #[test]
+    fn parse_line_matches_whole_trace_parse() {
+        let (reg, records) = sample_records();
+        for format in [Format::Jsonl, Format::Csv] {
+            let text = match format {
+                Format::Jsonl => to_jsonl(&reg, &records),
+                Format::Csv => to_csv(&reg, &records),
+            };
+            let whole = parse(&text, format).unwrap();
+            let by_line: Vec<ParsedRecord> = text
+                .lines()
+                .filter(|l| !(l.is_empty() || format == Format::Csv && is_csv_header(l)))
+                .enumerate()
+                .map(|(i, l)| parse_line(l, i + 1, format).unwrap())
+                .collect();
+            assert_eq!(whole, by_line, "{format:?}");
+        }
+    }
+
+    #[test]
+    fn render_parsed_is_the_exact_inverse_of_parse() {
+        let (reg, records) = sample_records();
+        for format in [Format::Jsonl, Format::Csv] {
+            let text = match format {
+                Format::Jsonl => to_jsonl(&reg, &records),
+                Format::Csv => to_csv(&reg, &records),
+            };
+            let parsed = parse(&text, format).unwrap();
+            assert_eq!(render_parsed(&parsed, format), text, "{format:?}");
+        }
+    }
+
+    /// Wire-hardening contract: each malformed shape a live socket can
+    /// produce costs exactly its own line; every well-formed line still
+    /// parses, the error is structured (line number + message), and the
+    /// survivors re-serialize cleanly.
+    #[test]
+    fn lossy_parse_survives_each_malformed_shape() {
+        let good_a = "{\"t\":1,\"m\":\"a.x\",\"v\":2}";
+        let good_b = "{\"t\":2,\"m\":\"a.x\",\"v\":3}";
+        let cases: Vec<(&str, String)> = vec![
+            // Truncated mid-object: the sender died mid-write.
+            (
+                "truncated",
+                format!("{good_a}\n{{\"t\":3,\"m\":\"a.x\",\"v\":9\n{good_b}\n"),
+            ),
+            // Two records interleaved onto one line: concurrent writers
+            // without line buffering.
+            (
+                "interleaved partial",
+                format!(
+                    "{good_a}\n{{\"t\":3,\"m\":\"a{{\"t\":4,\"m\":\"b.y\",\"v\":1}}\n{good_b}\n"
+                ),
+            ),
+            // Unparseable value.
+            (
+                "bad value",
+                format!("{good_a}\n{{\"t\":3,\"m\":\"a.x\",\"v\":1.2.3}}\n{good_b}\n"),
+            ),
+            // Unknown event kind.
+            (
+                "unknown event",
+                format!("{good_a}\n{{\"t\":3,\"e\":\"no_such\",\"s\":\"x\",\"v\":1}}\n{good_b}\n"),
+            ),
+            // Garbage that is not JSON at all.
+            ("garbage", format!("{good_a}\nhello world\n{good_b}\n")),
+        ];
+        for (label, text) in &cases {
+            let lossy = parse_lossy(text, Format::Jsonl);
+            assert_eq!(lossy.records.len(), 2, "{label}: good lines survive");
+            assert_eq!(lossy.errors.len(), 1, "{label}: one structured error");
+            assert_eq!(lossy.errors[0].line, 2, "{label}: error pins the line");
+            assert!(!lossy.errors[0].message.is_empty(), "{label}");
+            let rendered = render_parsed(&lossy.records, Format::Jsonl);
+            assert_eq!(
+                rendered,
+                format!("{good_a}\n{good_b}\n"),
+                "{label}: survivors round-trip"
+            );
+        }
+    }
+
+    #[test]
+    fn lossy_parse_csv_tolerates_repeated_headers_and_counts_bad_rows() {
+        let text = format!(
+            "{h}1,sample,a.x,,2\n{h}2,sample,a.x,,3\n3,sample,a.x\n4,bogus,a.x,,1\n",
+            h = CSV_HEADER
+        );
+        let lossy = parse_lossy(&text, Format::Csv);
+        assert_eq!(
+            lossy.records.len(),
+            2,
+            "rows on both sides of the repeated header"
+        );
+        assert_eq!(lossy.errors.len(), 2);
+        assert!(lossy.errors[0].message.contains("missing"));
+        assert!(lossy.errors[1].message.contains("unknown record type"));
+        // A stream that opens with garbage instead of the header loses
+        // line 1 (reported), not the stream.
+        let lossy = parse_lossy("wrong,header\n1,sample,a.x,,2\n", Format::Csv);
+        assert_eq!(lossy.errors.len(), 1);
+        assert_eq!(lossy.errors[0].line, 1);
+        assert_eq!(lossy.records.len(), 1);
     }
 
     #[test]

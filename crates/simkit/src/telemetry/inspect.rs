@@ -178,8 +178,30 @@ impl TelemetryReport {
     /// deterministic (BTreeMap iteration), and values use Rust's `f64`
     /// `Display`, matching the trace codec's determinism contract.
     pub fn render_prometheus(&self) -> String {
+        self.render_prometheus_labeled("")
+    }
+
+    /// Like [`render_prometheus`](TelemetryReport::render_prometheus),
+    /// but with an extra label pair (e.g. `tenant="acme"`) injected
+    /// into every sample line, so several reports can share one
+    /// exposition without colliding series — the shape a multi-tenant
+    /// daemon serves from its `/metrics` endpoint. An empty `extra`
+    /// reproduces the unlabeled exposition byte for byte.
+    pub fn render_prometheus_labeled(&self, extra: &str) -> String {
         use std::fmt::Write as _;
         type Aggregate = (&'static str, &'static str, fn(&MetricDigest) -> f64);
+        // Prefix for lines that already carry a label, suffix block for
+        // lines that otherwise carry none.
+        let pre = if extra.is_empty() {
+            String::new()
+        } else {
+            format!("{extra},")
+        };
+        let solo = if extra.is_empty() {
+            String::new()
+        } else {
+            format!("{{{extra}}}")
+        };
         let mut out = String::new();
         let aggregates: [Aggregate; 6] = [
             ("pad_metric_count", "samples recorded", |d| {
@@ -197,7 +219,12 @@ impl TelemetryReport {
             let _ = writeln!(out, "# HELP {name} {help}");
             let _ = writeln!(out, "# TYPE {name} gauge");
             for digest in self.metrics.values() {
-                let _ = writeln!(out, "{name}{{metric=\"{}\"}} {}", digest.name, f(digest));
+                let _ = writeln!(
+                    out,
+                    "{name}{{{pre}metric=\"{}\"}} {}",
+                    digest.name,
+                    f(digest)
+                );
             }
         }
         if !self.events.is_empty() {
@@ -206,17 +233,17 @@ impl TelemetryReport {
             for digest in self.events.values() {
                 let _ = writeln!(
                     out,
-                    "pad_events_total{{kind=\"{}\"}} {}",
+                    "pad_events_total{{{pre}kind=\"{}\"}} {}",
                     digest.kind, digest.count
                 );
             }
         }
         let _ = writeln!(out, "# HELP pad_trace_samples_total samples in the trace");
         let _ = writeln!(out, "# TYPE pad_trace_samples_total counter");
-        let _ = writeln!(out, "pad_trace_samples_total {}", self.samples);
+        let _ = writeln!(out, "pad_trace_samples_total{solo} {}", self.samples);
         let _ = writeln!(out, "# HELP pad_trace_span_ms latest sim-time in the trace");
         let _ = writeln!(out, "# TYPE pad_trace_span_ms gauge");
-        let _ = writeln!(out, "pad_trace_span_ms {}", self.span_ms);
+        let _ = writeln!(out, "pad_trace_span_ms{solo} {}", self.span_ms);
         out
     }
 }

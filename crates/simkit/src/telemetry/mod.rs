@@ -37,8 +37,8 @@ pub mod recorder;
 pub mod registry;
 
 pub use codec::{
-    parse, to_csv, to_jsonl, CsvRecorder, Format, JsonlRecorder, ParseError, ParsedRecord,
-    CSV_HEADER,
+    is_csv_header, parse, parse_line, parse_lossy, render_parsed, to_csv, to_jsonl, CsvRecorder,
+    Format, JsonlRecorder, LossyParse, ParseError, ParsedRecord, CSV_HEADER,
 };
 pub use inspect::{EventDigest, MetricDigest, TelemetryReport};
 pub use record::{sort_records, EventKind, EventRecord, Record, Sample};

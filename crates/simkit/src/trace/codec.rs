@@ -344,6 +344,31 @@ fn parse_span_csv_line(line_text: &str, line: usize) -> Result<ParsedSpan, Parse
     })
 }
 
+/// Parses a single span wire line (either format).
+///
+/// `line` is the 1-based line number used in error messages. The span
+/// CSV header row is not accepted here — stream consumers skip it with
+/// [`is_span_csv_header`] first. This is the per-line entry point for
+/// wire use, mirroring
+/// [`parse_line`](crate::telemetry::codec::parse_line) on the telemetry
+/// side: a malformed line becomes a structured per-line error instead
+/// of aborting the stream.
+pub fn parse_span_line(
+    line_text: &str,
+    line: usize,
+    format: Format,
+) -> Result<ParsedSpan, ParseError> {
+    match format {
+        Format::Jsonl => parse_span_jsonl_line(line_text, line),
+        Format::Csv => parse_span_csv_line(line_text, line),
+    }
+}
+
+/// `true` when the line is the span CSV header row.
+pub fn is_span_csv_header(line_text: &str) -> bool {
+    line_text == SPAN_CSV_HEADER.trim_end()
+}
+
 /// Parses a serialized span trace (either format) back into spans.
 ///
 /// The parser is strict: any malformed line fails the whole parse with
