@@ -126,6 +126,18 @@ fn bench_daemon(c: &mut Criterion) {
             black_box(run_session(wire, &state).expect("in-memory session"))
         })
     });
+    // The same session with self-observability off: no per-tenant
+    // monitor, no ops histograms, no ops log. The delta against the
+    // instrumented path above is what the watchers cost.
+    group.bench_function("ingest_in_memory_bare", |b| {
+        b.iter(|| {
+            let state = DaemonState::bare(PipelineConfig::default());
+            let wire = Wire {
+                input: io::Cursor::new(request.clone()),
+            };
+            black_box(run_session(wire, &state).expect("in-memory session"))
+        })
+    });
     group.finish();
 
     // The same session over a real loopback socket, plus the empty
@@ -191,5 +203,57 @@ fn check_ingest_throughput(_c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench_daemon, check_ingest_throughput);
+/// Paired self-observability overhead measurement on the socket-free
+/// wire path: the recorded session through a bare state (no monitors,
+/// no ops metrics, no ops log) versus the default instrumented state,
+/// min-of-rounds each. Prints the grep-able ratio line the CI
+/// daemon-suite step records, and enforces a generous ceiling — the
+/// ISSUE budget is 5%, the gate trips well before instrumentation
+/// could hide a 50% regression.
+fn check_selfobs_overhead(_c: &mut Criterion) {
+    let telemetry = recorded_telemetry();
+    let request = session_request(&telemetry);
+    let events = telemetry.lines().count();
+    let run = |bare: bool| {
+        let state = if bare {
+            DaemonState::bare(PipelineConfig::default())
+        } else {
+            DaemonState::new(PipelineConfig::default())
+        };
+        let wire = Wire {
+            input: io::Cursor::new(request.clone()),
+        };
+        black_box(run_session(wire, &state).expect("in-memory session"));
+    };
+    // Warm both paths, then interleave the timed rounds so drift hits
+    // bare and instrumented alike.
+    run(true);
+    run(false);
+    let (mut best_bare, mut best_full) = (Duration::MAX, Duration::MAX);
+    for _ in 0..10 {
+        let t = Instant::now();
+        run(true);
+        best_bare = best_bare.min(t.elapsed());
+        let t = Instant::now();
+        run(false);
+        best_full = best_full.min(t.elapsed());
+    }
+    let ratio = best_full.as_secs_f64() / best_bare.as_secs_f64();
+    println!(
+        "daemon_selfobs_overhead_ratio: {ratio:.3} ({events} events in memory, \
+         instrumented {:.2?} vs bare {:.2?}, min of 10 rounds)",
+        best_full, best_bare
+    );
+    assert!(
+        ratio <= 1.5,
+        "self-observability overhead ratio {ratio:.3} exceeds 1.5× the bare ingest path"
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_daemon,
+    check_ingest_throughput,
+    check_selfobs_overhead
+);
 criterion_main!(benches);

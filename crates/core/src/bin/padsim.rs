@@ -62,7 +62,8 @@ padsim — simulate power-virus attacks on a battery-backed data center
 
 USAGE:
     padsim [OPTIONS]
-    padsim inspect <trace-file> [--names] [--prom] [--format jsonl|csv]
+    padsim inspect <trace-file> [--names] [--prom] [--alerts <rules.json|default>]
+                   [--alert-schema] [--format jsonl|csv]
     padsim incident <trace-dir|spans-file> [--names] [--json] [--format jsonl|csv]
     padsim detect [--replay <trace-file>] [DETECT OPTIONS]
     padsim fault [--plan <name|file.json>] [FAULT OPTIONS]
@@ -77,7 +78,15 @@ SUBCOMMANDS:
                                             detector_fired events);
                                             --names lists the metric names only;
                                             --prom renders Prometheus text
-                                            exposition instead of tables
+                                            exposition instead of tables;
+                                            --alerts replays the trace through
+                                            the stream monitor and prints the
+                                            alert document (the same bytes
+                                            padsimd serves per tenant) — pass a
+                                            rules JSON file or `default` for the
+                                            built-in rules; --alert-schema
+                                            prints the pinned metric/rule schema
+                                            and exits
     incident <dir|file>                     reconstruct incidents from recorded
                                             span traces (*.spans.jsonl/.csv),
                                             joining the sibling telemetry file
@@ -377,11 +386,22 @@ fn run_inspect(mut it: impl Iterator<Item = String>) -> ! {
     let mut path: Option<PathBuf> = None;
     let mut names_only = false;
     let mut prom = false;
+    let mut alerts: Option<String> = None;
     let mut format: Option<Format> = None;
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--names" => names_only = true,
             "--prom" => prom = true,
+            "--alert-schema" => {
+                print!("{}", pad::pipeline::alert_schema());
+                std::process::exit(0);
+            }
+            "--alerts" => {
+                alerts = Some(
+                    it.next()
+                        .unwrap_or_else(|| fail("--alerts requires a rules file (or `default`)")),
+                );
+            }
             "--format" => {
                 let name = it
                     .next()
@@ -407,6 +427,21 @@ fn run_inspect(mut it: impl Iterator<Item = String>) -> ! {
         Ok(records) => records,
         Err(e) => fail(&format!("{}: {e}", path.display())),
     };
+    if let Some(rules) = alerts {
+        let rules = if rules == "default" {
+            pad::pipeline::default_alert_rules()
+        } else {
+            let text = std::fs::read_to_string(&rules)
+                .unwrap_or_else(|e| fail(&format!("cannot read {rules}: {e}")));
+            simkit::alert::parse_rules(&text)
+                .unwrap_or_else(|e| fail(&format!("bad alert rules in {rules}: {e}")))
+        };
+        let racks = pad::pipeline::try_infer_racks(&records).unwrap_or(1);
+        let (_, monitor) =
+            pad::pipeline::monitor_records(racks, PipelineConfig::default(), rules, &records);
+        print!("{}", monitor.alerts_json());
+        std::process::exit(0);
+    }
     let report = TelemetryReport::from_records(&records);
     if names_only {
         for name in report.metric_names() {

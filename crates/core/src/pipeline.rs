@@ -23,7 +23,11 @@
 //! available, no visible peak), so every escalation in the summary is
 //! purely detector-driven — a replay has no battery state to consult.
 
-use simkit::telemetry::ParsedRecord;
+use simkit::alert::{
+    render_alerts_json, render_rules_json, AlertEngine, AlertEvent, AlertKind, AlertRule, Compare,
+    Severity,
+};
+use simkit::telemetry::{MetricId, MetricRegistry, ParsedRecord};
 use simkit::time::SimTime;
 use simkit::trace::{render_report_json, Incident, IncidentReconstructor, ParsedSpan};
 
@@ -343,6 +347,284 @@ pub fn try_infer_racks(records: &[ParsedRecord]) -> Option<usize> {
     max.map(|m| m + 1)
 }
 
+/// Interned metric ids for a [`StreamMonitor`]'s registry, in
+/// registration order (which fixes `/metrics` emission order).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct MonitorIds {
+    records: MetricId,
+    samples: MetricId,
+    events: MetricId,
+    ticks: MetricId,
+    parse_errors: MetricId,
+    firings: MetricId,
+    level: MetricId,
+    fused: MetricId,
+    tick_gap_ms: MetricId,
+    poll_seconds: MetricId,
+    poll_lines: MetricId,
+    poll_records: MetricId,
+}
+
+impl MonitorIds {
+    fn register(reg: &mut MetricRegistry) -> Self {
+        MonitorIds {
+            records: reg.register_counter("ingest.records_total"),
+            samples: reg.register_counter("ingest.samples_total"),
+            events: reg.register_counter("ingest.events_total"),
+            ticks: reg.register_counter("ingest.ticks_total"),
+            parse_errors: reg.register_counter("ingest.parse_errors_total"),
+            firings: reg.register_counter("detect.firings_total"),
+            level: reg.register_gauge("policy.level"),
+            fused: reg.register_gauge("detect.fused_fired"),
+            tick_gap_ms: reg.register_histogram("ingest.tick_gap_ms", 0.0, 60_000.0, 60),
+            poll_seconds: reg.register_histogram("wire.poll_seconds", 0.0, 0.25, 50),
+            poll_lines: reg.register_histogram("wire.poll_lines", 0.0, 50_000.0, 50),
+            poll_records: reg.register_histogram("wire.poll_records", 0.0, 50_000.0, 50),
+        }
+    }
+}
+
+/// The alert rules `padsimd` runs when none are supplied: the ISSUE's
+/// three operational alarms plus a policy-level page.
+///
+/// * `tenant-silent` — deadman on the tick beat: a gap over 3× the
+///   tenant's own median inter-tick gap (never under 500 ms) pages.
+/// * `parse-error-rate` — more than 1 malformed line per second of sim
+///   time warns.
+/// * `firing-spike` — detector rising edges arriving faster than 2/s
+///   warn (a probe or a detector gone noisy).
+/// * `policy-emergency` — the FSM at Level 3 pages, with hysteresis so
+///   it only clears once the level falls below Level 2.
+pub fn default_alert_rules() -> Vec<AlertRule> {
+    vec![
+        AlertRule {
+            name: "tenant-silent".to_string(),
+            severity: Severity::Page,
+            for_ms: 0,
+            hold_ms: 10_000,
+            kind: AlertKind::Deadman {
+                metric: "ingest.ticks_total".to_string(),
+                factor: 3.0,
+                min_gap_ms: 500,
+            },
+        },
+        AlertRule {
+            name: "parse-error-rate".to_string(),
+            severity: Severity::Warn,
+            for_ms: 0,
+            hold_ms: 0,
+            kind: AlertKind::Rate {
+                metric: "ingest.parse_errors_total".to_string(),
+                max_per_sec: 1.0,
+            },
+        },
+        AlertRule {
+            name: "firing-spike".to_string(),
+            severity: Severity::Warn,
+            for_ms: 0,
+            hold_ms: 0,
+            kind: AlertKind::Rate {
+                metric: "detect.firings_total".to_string(),
+                max_per_sec: 2.0,
+            },
+        },
+        AlertRule {
+            name: "policy-emergency".to_string(),
+            severity: Severity::Page,
+            for_ms: 0,
+            hold_ms: 0,
+            kind: AlertKind::Threshold {
+                metric: "policy.level".to_string(),
+                op: Compare::Ge,
+                value: 3.0,
+                clear: Some(2.0),
+            },
+        },
+    ]
+}
+
+/// Self-observability sidecar for a [`ReplayPipeline`] stream: a metric
+/// registry describing the stream's ingest health plus an
+/// [`AlertEngine`] evaluated at every tick boundary on **simulation**
+/// time.
+///
+/// The daemon attaches one per tenant and the offline CLI
+/// ([`monitor_records`], `padsim inspect --alerts`) drives an identical
+/// one over a recorded trace, so a live stream's `/alerts` document and
+/// the offline replay's are byte-identical. Wall-clock wire timings
+/// ([`observe_poll`](Self::observe_poll)) land in histograms that only
+/// surface via `/metrics` — no alert rule should reference them, or the
+/// determinism contract breaks.
+#[derive(Debug, Clone)]
+pub struct StreamMonitor {
+    reg: MetricRegistry,
+    engine: AlertEngine,
+    rules: Vec<AlertRule>,
+    ids: MonitorIds,
+    open_tick: Option<u64>,
+    last_firings: usize,
+}
+
+impl StreamMonitor {
+    /// Builds a monitor evaluating `rules` (see [`default_alert_rules`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rule fails [`AlertRule::validate`].
+    pub fn new(rules: Vec<AlertRule>) -> Self {
+        let mut reg = MetricRegistry::new();
+        let ids = MonitorIds::register(&mut reg);
+        StreamMonitor {
+            reg,
+            engine: AlertEngine::new(rules.clone()),
+            rules,
+            ids,
+            open_tick: None,
+            last_firings: 0,
+        }
+    }
+
+    /// Observes one ingested record *after* the pipeline consumed it,
+    /// with the pipeline's current level, fused verdict, and cumulative
+    /// rising-edge firing count. A timestamp change closes the
+    /// monitor's tick: gap histogram, tick counter, policy/detector
+    /// gauges, firing delta, then one alert evaluation at the new
+    /// record's sim time.
+    pub fn observe_record(
+        &mut self,
+        r: &ParsedRecord,
+        level: SecurityLevel,
+        fused: bool,
+        firings: usize,
+    ) {
+        if let Some(open) = self.open_tick {
+            if open != r.time_ms {
+                let gap = r.time_ms.saturating_sub(open);
+                self.reg.observe(self.ids.tick_gap_ms, gap as f64);
+                self.close_tick(level, fused, firings, r.time_ms);
+            }
+        }
+        self.open_tick = Some(r.time_ms);
+        self.reg.inc(self.ids.records, 1);
+        if r.is_event {
+            self.reg.inc(self.ids.events, 1);
+        } else {
+            self.reg.inc(self.ids.samples, 1);
+        }
+    }
+
+    /// Counts a malformed input line. Rate rules see it at the next
+    /// tick-boundary evaluation.
+    pub fn observe_parse_error(&mut self) {
+        self.reg.inc(self.ids.parse_errors, 1);
+    }
+
+    /// Records one wire poll: wall seconds spent, lines read, records
+    /// parsed. `/metrics`-only — never feeds the alert engine.
+    pub fn observe_poll(&mut self, seconds: f64, lines: u64, records: u64) {
+        self.reg.observe(self.ids.poll_seconds, seconds);
+        self.reg.observe(self.ids.poll_lines, lines as f64);
+        self.reg.observe(self.ids.poll_records, records as f64);
+    }
+
+    fn close_tick(&mut self, level: SecurityLevel, fused: bool, firings: usize, now_ms: u64) {
+        self.reg.inc(self.ids.ticks, 1);
+        self.reg.set_gauge(self.ids.level, level.number() as f64);
+        self.reg
+            .set_gauge(self.ids.fused, if fused { 1.0 } else { 0.0 });
+        let delta = firings.saturating_sub(self.last_firings);
+        self.last_firings = firings;
+        self.reg.inc(self.ids.firings, delta as u64);
+        self.engine.eval(&self.reg, now_ms);
+    }
+
+    /// Closes the final open tick (at its own timestamp) with the
+    /// finished stream's last state. Idempotent; mirrors
+    /// [`ReplayPipeline::finalize`] closing its last tick.
+    pub fn finish(&mut self, level: SecurityLevel, fused: bool, firings: usize) {
+        if let Some(open) = self.open_tick.take() {
+            self.close_tick(level, fused, firings, open);
+        }
+    }
+
+    /// Resets metrics and alert state for a tenant re-opening, keeping
+    /// the rules.
+    pub fn reset(&mut self) {
+        *self = StreamMonitor::new(std::mem::take(&mut self.rules));
+    }
+
+    /// The monitor's metric registry (for `/metrics` rendering).
+    pub fn registry(&self) -> &MetricRegistry {
+        &self.reg
+    }
+
+    /// The alert engine (state snapshots, event history).
+    pub fn engine(&self) -> &AlertEngine {
+        &self.engine
+    }
+
+    /// Drains alert transitions since the last drain — the daemon's
+    /// ops-log feed.
+    pub fn take_transitions(&mut self) -> Vec<AlertEvent> {
+        self.engine.take_transitions()
+    }
+
+    /// The newline-terminated `/alerts` JSON document for this stream.
+    pub fn alerts_json(&self) -> String {
+        render_alerts_json(&self.engine)
+    }
+}
+
+/// Replays a trace through a [`ReplayPipeline`] with a [`StreamMonitor`]
+/// attached — the offline half of `padsim inspect --alerts`, and the
+/// reference a live daemon stream must match byte-for-byte.
+pub fn monitor_records(
+    racks: usize,
+    config: PipelineConfig,
+    rules: Vec<AlertRule>,
+    records: &[ParsedRecord],
+) -> (ReplaySummary, StreamMonitor) {
+    let mut pipe = ReplayPipeline::new(racks, config);
+    let mut mon = StreamMonitor::new(rules);
+    for r in records {
+        pipe.ingest(r);
+        mon.observe_record(
+            r,
+            pipe.level(),
+            pipe.stack().fused().fired,
+            pipe.stack().bank().firings().len(),
+        );
+    }
+    let summary = pipe.finalize();
+    mon.finish(summary.final_level, false, summary.firing_count);
+    (summary, mon)
+}
+
+/// The pinned self-observability schema: every monitor metric with its
+/// kind, the default rules document, and the `/alerts` field order.
+/// `padsim inspect --alert-schema` prints this and CI diffs it against
+/// `tests/data/alert_schema.txt` so drift is a reviewed change.
+pub fn alert_schema() -> String {
+    let mon = StreamMonitor::new(default_alert_rules());
+    let reg = mon.registry();
+    let mut out = String::from("pad stream-monitor alert schema v1\n\nmetrics:\n");
+    for id in reg.ids() {
+        let kind = match reg.kind(id) {
+            simkit::telemetry::MetricKind::Counter => "counter",
+            simkit::telemetry::MetricKind::Gauge => "gauge",
+            simkit::telemetry::MetricKind::Histogram => "histogram",
+        };
+        out.push_str(&format!("  {kind} {}\n", reg.name(id)));
+    }
+    out.push_str(
+        "\nalerts document fields:\n  \
+         rules[name kind metric severity state since_ms value] firing \
+         events[t rule event value] events_dropped\n\ndefault rules:\n",
+    );
+    out.push_str(&render_rules_json(&default_alert_rules()));
+    out
+}
+
 /// Joins a parsed span trace with its telemetry into incidents — the
 /// reconstruction `padsim incident` and the daemon's incident API share.
 /// An empty `telemetry` slice reconstructs from spans alone.
@@ -503,5 +785,148 @@ mod tests {
             "replayed 12 record(s) over 1 rack(s): 3 tick(s), 0 fused-fired"
         );
         assert_eq!(summary.render_firings(), "detector firings: none\n");
+    }
+
+    fn spiky_trace() -> Vec<ParsedRecord> {
+        let mut text = String::new();
+        for i in 0..120u64 {
+            let v = if i < 80 {
+                100.0 + (i % 7) as f64
+            } else {
+                4000.0
+            };
+            let t = i * 100;
+            text.push_str(&format!(
+                "{{\"t\":{t},\"m\":\"rack-00.draw_w\",\"v\":{v}}}\n"
+            ));
+            text.push_str(&format!(
+                "{{\"t\":{t},\"m\":\"cluster.draw_w\",\"v\":{v}}}\n"
+            ));
+        }
+        parse(&text, Format::Jsonl).unwrap()
+    }
+
+    #[test]
+    fn monitor_streaming_matches_batch_byte_for_byte() {
+        let records = spiky_trace();
+        let (batch_summary, batch_mon) = monitor_records(
+            1,
+            PipelineConfig::default(),
+            default_alert_rules(),
+            &records,
+        );
+        for chunk in [1usize, 7, records.len()] {
+            let mut pipe = ReplayPipeline::new(1, PipelineConfig::default());
+            let mut mon = StreamMonitor::new(default_alert_rules());
+            for piece in records.chunks(chunk) {
+                for r in piece {
+                    pipe.ingest(r);
+                    mon.observe_record(
+                        r,
+                        pipe.level(),
+                        pipe.stack().fused().fired,
+                        pipe.stack().bank().firings().len(),
+                    );
+                }
+            }
+            let summary = pipe.finalize();
+            mon.finish(summary.final_level, false, summary.firing_count);
+            assert_eq!(summary, batch_summary, "chunk size {chunk}");
+            assert_eq!(
+                mon.alerts_json(),
+                batch_mon.alerts_json(),
+                "chunk size {chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn monitor_counts_mirror_the_summary() {
+        let records = spiky_trace();
+        let (summary, mon) = monitor_records(
+            1,
+            PipelineConfig::default(),
+            default_alert_rules(),
+            &records,
+        );
+        let reg = mon.registry();
+        let get = |name: &str| reg.counter(reg.id(name).unwrap());
+        assert_eq!(get("ingest.records_total"), summary.records);
+        assert_eq!(get("ingest.ticks_total"), summary.ticks);
+        assert_eq!(get("ingest.events_total"), summary.events);
+        assert_eq!(get("detect.firings_total"), summary.firing_count as u64);
+        let level = reg.gauge(reg.id("policy.level").unwrap());
+        assert_eq!(level, summary.final_level.number() as f64);
+    }
+
+    #[test]
+    fn silence_window_fires_the_deadman_deterministically() {
+        // Drop a 3s window from a steady 100ms-tick trace: the resume
+        // beat lands 30× the median gap late and pages, then the next
+        // on-time beats resolve it after the hold.
+        let records: Vec<ParsedRecord> = quiet_trace(240)
+            .into_iter()
+            .filter(|r| !(4_000..7_000).contains(&r.time_ms))
+            .collect();
+        let run = || {
+            let (_, mon) = monitor_records(
+                1,
+                PipelineConfig::default(),
+                default_alert_rules(),
+                &records,
+            );
+            mon.alerts_json()
+        };
+        let doc = run();
+        assert_eq!(doc, run(), "two runs render identical /alerts bytes");
+        assert!(
+            doc.contains("\"rule\":\"tenant-silent\",\"event\":\"fired\""),
+            "deadman fired: {doc}"
+        );
+        assert!(
+            doc.contains("\"value\":3100"),
+            "the silent gap is the value"
+        );
+        assert!(
+            doc.contains("\"rule\":\"tenant-silent\",\"event\":\"resolved\""),
+            "resolves after the hold once the beat returns"
+        );
+    }
+
+    #[test]
+    fn monitor_reset_clears_state_but_keeps_rules() {
+        let records = quiet_trace(10);
+        let (_, mut mon) = monitor_records(
+            1,
+            PipelineConfig::default(),
+            default_alert_rules(),
+            &records,
+        );
+        let fresh = StreamMonitor::new(default_alert_rules());
+        assert_ne!(
+            mon.registry()
+                .counter(mon.registry().id("ingest.records_total").unwrap()),
+            0
+        );
+        mon.reset();
+        assert_eq!(mon.alerts_json(), fresh.alerts_json());
+        assert_eq!(
+            mon.registry()
+                .counter(mon.registry().id("ingest.records_total").unwrap()),
+            0
+        );
+        assert_eq!(mon.engine().rules().len(), default_alert_rules().len());
+    }
+
+    #[test]
+    fn alert_schema_pins_names_and_rules() {
+        let schema = alert_schema();
+        assert!(schema.contains("counter ingest.ticks_total"));
+        assert!(schema.contains("histogram wire.poll_seconds"));
+        assert!(schema.contains("\"name\":\"tenant-silent\""));
+        // The default rules document must round-trip through the codec.
+        let rules =
+            simkit::alert::parse_rules(schema.split("default rules:\n").nth(1).unwrap()).unwrap();
+        assert_eq!(rules, default_alert_rules());
     }
 }

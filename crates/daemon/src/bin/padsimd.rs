@@ -42,6 +42,13 @@ SUBCOMMANDS:
                                                         addr per line)
                                  --hold-down <ticks>    policy hold-down
                                  --strictness <strict|lenient>
+                                 --alerts <rules.json>  alert rules for
+                                                        every tenant
+                                                        monitor (default:
+                                                        built-in rules;
+                                                        see `padsim
+                                                        inspect
+                                                        --alert-schema`)
     send                         stream a recorded trace as one tenant
                                  session and print the daemon's replies.
                                  <target> is host:port or unix:<path>.
@@ -111,6 +118,14 @@ fn run_serve(mut it: impl Iterator<Item = String>) {
                     "lenient" => Strictness::Lenient,
                     other => fail(&format!("unknown strictness {other:?}")),
                 }
+            }
+            "--alerts" => {
+                let path = value("--alerts");
+                let text = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+                let rules = simkit::alert::parse_rules(&text)
+                    .unwrap_or_else(|e| fail(&format!("bad alert rules in {path}: {e}")));
+                opts.alert_rules = Some(rules);
             }
             "-h" | "--help" => {
                 println!("{USAGE}");

@@ -6,19 +6,29 @@
 //!
 //! | path                        | body                                    |
 //! |-----------------------------|-----------------------------------------|
-//! | `/healthz`                  | `ok`                                    |
+//! | `/healthz`                  | `ok` — pure liveness, always 200        |
+//! | `/readyz`                   | `ready`, or 503 before bind / draining  |
+//! | `/statusz`                  | one-object daemon status JSON           |
 //! | `/metrics`                  | merged exposition, all tenants + daemon |
+//! | `/alerts`                   | alert state JSON (`?format=prom` for    |
+//! |                             | Prometheus `ALERTS{...}` series)        |
+//! | `/logs`                     | bounded structured ops log, JSONL       |
 //! | `/tenants`                  | JSON array of tenant status objects     |
 //! | `/tenants/<id>`             | one tenant's status JSON                |
 //! | `/tenants/<id>/summary`     | replay-summary JSON (after `end`)       |
 //! | `/tenants/<id>/incidents`   | incident report JSON                    |
 //! | `/tenants/<id>/firings`     | detector firing log, text               |
 //! | `/tenants/<id>/metrics`     | that tenant's full labeled exposition   |
+//! | `/tenants/<id>/alerts`      | that tenant's alert document JSON       |
 
 use std::fmt::Write as _;
 use std::io::{self, BufRead, BufReader, Read, Write};
+use std::time::Instant;
 
-use simkit::telemetry::{MetricDigest, TelemetryReport};
+use simkit::alert::{render_alerts_prom, AlertEngine};
+use simkit::telemetry::{
+    render_prometheus_families, MetricDigest, MetricRegistry, TelemetryReport,
+};
 
 use crate::state::{Counters, DaemonState};
 
@@ -45,11 +55,20 @@ impl Reply {
             body: "not found\n".to_string(),
         }
     }
+
+    fn unavailable(body: &str) -> Self {
+        Reply {
+            status: "503 Service Unavailable",
+            content_type: "text/plain",
+            body: body.to_string(),
+        }
+    }
 }
 
 /// Serves one HTTP exchange on `stream` and closes it.
 pub fn handle_http<S: Read + Write>(stream: S, state: &DaemonState) -> io::Result<()> {
     Counters::bump(&state.counters.http_requests);
+    let started = state.self_obs.then(Instant::now);
     let mut reader = BufReader::new(stream);
     let mut request_line = String::new();
     loop {
@@ -78,6 +97,22 @@ pub fn handle_http<S: Read + Write>(stream: S, state: &DaemonState) -> io::Resul
             body: "bad request\n".to_string(),
         },
     };
+    let class = match reply.status.as_bytes().first() {
+        Some(b'2') => Some(&state.counters.http_2xx),
+        Some(b'4') => Some(&state.counters.http_4xx),
+        Some(b'5') => Some(&state.counters.http_5xx),
+        _ => None,
+    };
+    if let Some(counter) = class {
+        Counters::bump(counter);
+    }
+    if let Some(started) = started {
+        state
+            .ops
+            .lock()
+            .expect("ops lock")
+            .observe_http(started.elapsed().as_secs_f64());
+    }
     let stream = reader.get_mut();
     let header = format!(
         "HTTP/1.0 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
@@ -91,9 +126,33 @@ pub fn handle_http<S: Read + Write>(stream: S, state: &DaemonState) -> io::Resul
 }
 
 fn route(state: &DaemonState, path: &str) -> Reply {
-    let path = path.split('?').next().unwrap_or(path);
+    let (path, query) = match path.split_once('?') {
+        Some((path, query)) => (path, query),
+        None => (path, ""),
+    };
     match path {
         "/healthz" => Reply::ok("text/plain", "ok\n".to_string()),
+        "/readyz" => {
+            if state.is_ready() {
+                Reply::ok("text/plain", "ready\n".to_string())
+            } else if state.shutting_down() {
+                Reply::unavailable("draining\n")
+            } else {
+                Reply::unavailable("starting\n")
+            }
+        }
+        "/statusz" => Reply::ok("application/json", render_statusz(state)),
+        "/alerts" => {
+            if query == "format=prom" {
+                Reply::ok("text/plain", render_alerts_prom_doc(state))
+            } else {
+                Reply::ok("application/json", render_alerts_doc(state))
+            }
+        }
+        "/logs" => Reply::ok(
+            "application/json",
+            state.with_ops_log(|log| log.render_jsonl()),
+        ),
         "/metrics" => Reply::ok("text/plain", render_metrics(state)),
         "/tenants" | "/tenants/" => Reply::ok("application/json", render_tenant_list(state)),
         _ => {
@@ -131,10 +190,107 @@ fn route(state: &DaemonState, path: &str) -> Reply {
                     let label = format!("tenant=\"{}\"", guard.name);
                     Reply::ok("text/plain", report.render_prometheus_labeled(&label))
                 }
+                "alerts" => match guard.alerts_json() {
+                    Some(doc) => Reply::ok("application/json", doc),
+                    None => Reply {
+                        status: "404 Not Found",
+                        content_type: "text/plain",
+                        body: "self-observability disabled\n".to_string(),
+                    },
+                },
                 _ => Reply::not_found(),
             }
         }
     }
+}
+
+/// Per-tenant monitor snapshots: `(label, engine)` pairs plus the
+/// matching `(label, registry)` pairs when requested.
+type MonitorSnapshots = (Vec<(String, AlertEngine)>, Vec<(String, MetricRegistry)>);
+
+/// Clones every monitored tenant's alert engine (and optionally its
+/// metric registry) out from under the tenant locks, so rendering
+/// happens without holding any of them.
+fn snapshot_monitors(state: &DaemonState, with_registries: bool) -> MonitorSnapshots {
+    let mut engines = Vec::new();
+    let mut registries = Vec::new();
+    for (name, tenant) in state.tenants() {
+        let guard = tenant.lock().expect("tenant lock");
+        if let Some(mon) = guard.monitor() {
+            let label = format!("tenant=\"{name}\"");
+            engines.push((label.clone(), mon.engine().clone()));
+            if with_registries {
+                registries.push((label, mon.registry().clone()));
+            }
+        }
+    }
+    (engines, registries)
+}
+
+/// The aggregate `/alerts` JSON document: overall firing count plus
+/// every monitored tenant's own alert document. Also written to
+/// `alerts.json` on the shutdown flush.
+pub(crate) fn render_alerts_doc(state: &DaemonState) -> String {
+    let mut firing = 0;
+    let mut emitted = 0;
+    let mut out = String::from("{\"tenants\":[");
+    for (name, tenant) in state.tenants() {
+        let guard = tenant.lock().expect("tenant lock");
+        let Some(mon) = guard.monitor() else {
+            continue;
+        };
+        firing += mon.engine().firing_count();
+        if emitted > 0 {
+            out.push(',');
+        }
+        emitted += 1;
+        let _ = write!(
+            out,
+            "\n{{\"tenant\":\"{name}\",\"alerts\":{}}}",
+            mon.alerts_json().trim_end()
+        );
+    }
+    if !out.ends_with('[') {
+        out.push('\n');
+    }
+    let _ = writeln!(out, "],\"firing\":{firing}}}");
+    out
+}
+
+/// `/alerts?format=prom`: every tenant's active alerts as one
+/// Prometheus `ALERTS{...}` gauge family.
+fn render_alerts_prom_doc(state: &DaemonState) -> String {
+    let (engines, _) = snapshot_monitors(state, false);
+    let refs: Vec<(&str, &AlertEngine)> = engines.iter().map(|(l, e)| (l.as_str(), e)).collect();
+    render_alerts_prom(&refs)
+}
+
+/// `/statusz`: one JSON object of daemon-wide operational state. No
+/// wall-clock fields — everything here is a counter or a flag.
+fn render_statusz(state: &DaemonState) -> String {
+    let c = &state.counters;
+    let (engines, _) = snapshot_monitors(state, false);
+    let firing: usize = engines.iter().map(|(_, e)| e.firing_count()).sum();
+    format!(
+        "{{\"ready\":{},\"draining\":{},\"self_obs\":{},\"tenants\":{},\
+         \"sessions_opened\":{},\"sessions_closed\":{},\"active_sessions\":{},\
+         \"records\":{},\"spans\":{},\"parse_errors\":{},\"http_requests\":{},\
+         \"alerts_firing\":{},\"ops_log_entries\":{},\"ops_log_dropped\":{}}}\n",
+        state.is_ready(),
+        state.shutting_down(),
+        state.self_obs,
+        state.tenants().len(),
+        Counters::get(&c.sessions_opened),
+        Counters::get(&c.sessions_closed),
+        Counters::get(&c.active_sessions),
+        Counters::get(&c.records),
+        Counters::get(&c.spans),
+        Counters::get(&c.parse_errors),
+        Counters::get(&c.http_requests),
+        firing,
+        state.with_ops_log(|log| log.len()),
+        state.with_ops_log(|log| log.dropped()),
+    )
 }
 
 fn render_tenant_list(state: &DaemonState) -> String {
@@ -162,7 +318,7 @@ fn render_tenant_list(state: &DaemonState) -> String {
 fn render_metrics(state: &DaemonState) -> String {
     let c = &state.counters;
     let mut out = String::new();
-    let self_counters: [(&str, &str, u64); 6] = [
+    let self_counters: [(&str, &str, u64); 9] = [
         (
             "padsimd_sessions_opened_total",
             "sessions opened (hello)",
@@ -193,6 +349,21 @@ fn render_metrics(state: &DaemonState) -> String {
             "HTTP requests served",
             Counters::get(&c.http_requests),
         ),
+        (
+            "padsimd_http_responses_2xx_total",
+            "HTTP responses with a 2xx status",
+            Counters::get(&c.http_2xx),
+        ),
+        (
+            "padsimd_http_responses_4xx_total",
+            "HTTP responses with a 4xx status",
+            Counters::get(&c.http_4xx),
+        ),
+        (
+            "padsimd_http_responses_5xx_total",
+            "HTTP responses with a 5xx status",
+            Counters::get(&c.http_5xx),
+        ),
     ];
     for (name, help, value) in self_counters {
         let _ = writeln!(out, "# HELP {name} {help}");
@@ -204,6 +375,41 @@ fn render_metrics(state: &DaemonState) -> String {
     let _ = writeln!(out, "# HELP padsimd_tenants tenant streams known");
     let _ = writeln!(out, "# TYPE padsimd_tenants gauge");
     let _ = writeln!(out, "padsimd_tenants {}", tenants.len());
+    let _ = writeln!(
+        out,
+        "# HELP padsimd_active_sessions stream connections inside their read loop"
+    );
+    let _ = writeln!(out, "# TYPE padsimd_active_sessions gauge");
+    let _ = writeln!(
+        out,
+        "padsimd_active_sessions {}",
+        Counters::get(&c.active_sessions)
+    );
+
+    // Daemon-wide wall-clock histograms (ingest latency, HTTP latency)
+    // plus each monitored tenant's ingest-health registry, all under
+    // the padsimd_ prefix with full _bucket/_sum/_count exposition.
+    if state.self_obs {
+        out.push_str(
+            &state
+                .ops
+                .lock()
+                .expect("ops lock")
+                .registry()
+                .render_prometheus("padsimd_", ""),
+        );
+    }
+    let (engines, registries) = snapshot_monitors(state, true);
+    if !registries.is_empty() {
+        let refs: Vec<(&str, &MetricRegistry)> =
+            registries.iter().map(|(l, r)| (l.as_str(), r)).collect();
+        out.push_str(&render_prometheus_families("padsimd_", &refs));
+    }
+    if !engines.is_empty() {
+        let refs: Vec<(&str, &AlertEngine)> =
+            engines.iter().map(|(l, e)| (l.as_str(), e)).collect();
+        out.push_str(&render_alerts_prom(&refs));
+    }
 
     // Snapshot every tenant once; the per-family loops below reuse it.
     struct Snap {
@@ -390,6 +596,73 @@ mod tests {
             .contains("pad_metric_count{tenant=\"acme\",metric=\"rack-00.draw_w\"} 2\n"));
         assert!(get(&state, "/tenants/ghost").starts_with("HTTP/1.0 404"));
         assert!(get(&state, "/nope").starts_with("HTTP/1.0 404"));
+    }
+
+    #[test]
+    fn readyz_tracks_bind_and_drain_while_healthz_stays_ok() {
+        let state = DaemonState::new(PipelineConfig::default());
+        assert!(get(&state, "/healthz").ends_with("ok\n"));
+        let before = get(&state, "/readyz");
+        assert!(before.starts_with("HTTP/1.0 503"), "not ready before bind");
+        assert!(before.ends_with("starting\n"));
+        state.set_ready(true);
+        assert!(get(&state, "/readyz").starts_with("HTTP/1.0 200"));
+        state.request_shutdown();
+        let draining = get(&state, "/readyz");
+        assert!(
+            draining.starts_with("HTTP/1.0 503"),
+            "draining is not ready"
+        );
+        assert!(draining.ends_with("draining\n"));
+        assert!(
+            get(&state, "/healthz").ends_with("ok\n"),
+            "liveness is unaffected by readiness"
+        );
+    }
+
+    #[test]
+    fn metrics_carries_self_observability_histograms_and_alerts() {
+        let state = seeded_state();
+        let response = get(&state, "/metrics");
+        assert!(response.contains("padsimd_ingest_latency_seconds_bucket{le=\""));
+        assert!(response.contains("padsimd_ingest_latency_seconds_bucket{le=\"+Inf\"}"));
+        assert!(response.contains("padsimd_ingest_latency_seconds_sum"));
+        assert!(response.contains("padsimd_http_request_seconds_count"));
+        assert!(response.contains("padsimd_ingest_records_total{tenant=\"acme\"} 3\n"));
+        assert!(response.contains("padsimd_ingest_tick_gap_ms_bucket{tenant=\"acme\",le=\""));
+        assert!(response.contains("padsimd_active_sessions 0\n"));
+        assert!(response.contains("padsimd_http_responses_2xx_total"));
+        assert!(response.contains("# TYPE ALERTS gauge"));
+    }
+
+    #[test]
+    fn bare_state_renders_metrics_without_monitor_families() {
+        let state = DaemonState::bare(PipelineConfig::default());
+        state.open_tenant("t", Format::Jsonl);
+        let response = get(&state, "/metrics");
+        assert!(!response.contains("padsimd_ingest_latency_seconds"));
+        assert!(!response.contains("ALERTS"));
+        assert!(response.contains("padsimd_tenants 1\n"));
+    }
+
+    #[test]
+    fn statusz_alerts_and_logs_routes_serve_documents() {
+        let state = seeded_state();
+        let statusz = get(&state, "/statusz");
+        assert!(statusz.contains("\"ready\":false"));
+        assert!(statusz.contains("\"tenants\":1"));
+        assert!(statusz.contains("\"alerts_firing\":0"));
+        let alerts = get(&state, "/alerts");
+        assert!(alerts.contains("\"tenant\":\"acme\""));
+        assert!(alerts.contains("\"firing\":0"));
+        let prom = get(&state, "/alerts?format=prom");
+        assert!(prom.starts_with("HTTP/1.0 200"));
+        assert!(prom.contains("# TYPE ALERTS gauge"));
+        let logs = get(&state, "/logs");
+        assert!(logs.contains("\"kind\":\"session_open\""));
+        let doc = get(&state, "/tenants/acme/alerts");
+        assert!(doc.contains("\"name\":\"tenant-silent\""));
+        assert!(doc.contains("\"events_dropped\":0"));
     }
 
     #[test]

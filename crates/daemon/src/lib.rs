@@ -24,9 +24,12 @@
 //! * [`session`] — the per-connection read loop: codec dispatch,
 //!   per-line error containment, drain-on-EOF;
 //! * [`state`] — the tenant registry (lazy rack inference at the first
-//!   tick boundary) and the daemon's self-metric counters;
-//! * [`http`] — `/metrics` (merged, tenant-labeled exposition) and the
-//!   `/tenants/...` JSON API;
+//!   tick boundary), the daemon's self-metric counters, wall-clock ops
+//!   histograms, the bounded ops-log ring, and per-tenant
+//!   [`StreamMonitor`](pad::pipeline::StreamMonitor) alert sidecars;
+//! * [`http`] — `/metrics` (merged, tenant-labeled exposition with full
+//!   histogram buckets), `/readyz`/`/statusz`/`/alerts`/`/logs`
+//!   operational surfaces, and the `/tenants/...` JSON API;
 //! * [`server`] — non-blocking accept loops, thread-per-session,
 //!   graceful shutdown with per-tenant output flush;
 //! * [`client`] — the `send`/`get` helpers the CLI and CI use.
@@ -45,4 +48,4 @@ pub use client::{http_get, send, Conn, SendJob};
 pub use proto::{classify, valid_tenant, Control, Line};
 pub use server::{flush_outputs, serve, ServeOptions, READ_TIMEOUT};
 pub use session::{run_session, SessionStats};
-pub use state::{Counters, DaemonState, Tenant};
+pub use state::{Counters, DaemonState, OpsEntry, OpsLog, OpsMetrics, Tenant};

@@ -16,9 +16,10 @@ use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
 use pad::pipeline::PipelineConfig;
+use simkit::alert::AlertRule;
 use simkit::telemetry::render_parsed;
 
-use crate::http::handle_http;
+use crate::http::{handle_http, render_alerts_doc};
 use crate::session::run_session;
 use crate::state::{Counters, DaemonState};
 
@@ -49,12 +50,18 @@ pub struct ServeOptions {
     pub ports_file: Option<PathBuf>,
     /// Pipeline knobs applied to every tenant.
     pub config: PipelineConfig,
+    /// Alert rules for every tenant monitor; `None` runs
+    /// [`pad::pipeline::default_alert_rules`].
+    pub alert_rules: Option<Vec<AlertRule>>,
 }
 
 /// Runs the daemon until a `shutdown` control line arrives; returns
 /// after the drain and flush complete.
 pub fn serve(opts: ServeOptions) -> io::Result<()> {
-    let state = Arc::new(DaemonState::new(opts.config));
+    let state = Arc::new(match opts.alert_rules.clone() {
+        Some(rules) => DaemonState::with_rules(opts.config, rules, true),
+        None => DaemonState::new(opts.config),
+    });
     let data_listener = match (&opts.listen, &opts.uds) {
         (Some(addr), _) => Some(bind_tcp(addr)?),
         (None, None) => Some(bind_tcp("127.0.0.1:0")?),
@@ -84,6 +91,8 @@ pub fn serve(opts: ServeOptions) -> io::Result<()> {
     }
     print!("padsimd: serving\n{ports}");
     io::stdout().flush()?;
+    state.set_ready(true);
+    state.log_event("ready", "", "listeners bound");
 
     let mut workers: Vec<JoinHandle<()>> = Vec::new();
     while !state.shutting_down() {
@@ -151,6 +160,8 @@ pub fn serve(opts: ServeOptions) -> io::Result<()> {
     // Drain: listeners drop (no new connections), every session thread
     // observes the flag within one read timeout and finalizes its
     // tenant stream.
+    state.set_ready(false);
+    state.log_event("drain", "", "shutdown requested");
     drop(data_listener);
     drop(http_listener);
     #[cfg(unix)]
@@ -199,11 +210,35 @@ fn bind_uds(_path: &PathBuf) -> io::Result<UdsListener> {
 }
 
 /// Writes the shutdown flush: per tenant, the replay summary, firing
-/// log, incident report, and re-serialized telemetry (each
-/// byte-identical to the offline pipeline's output for the same
-/// records), plus a `daemon_report.json` of the self-metrics.
+/// log, incident report, alert document, and re-serialized telemetry
+/// (each byte-identical to the offline pipeline's output for the same
+/// records), plus the aggregate `alerts.json` and a
+/// `daemon_report.json` of the self-metrics, alert state, and ops log.
 pub fn flush_outputs(state: &DaemonState, dir: &PathBuf) -> io::Result<()> {
     std::fs::create_dir_all(dir)?;
+    // Close every stream first so alert state is final (the monitor's
+    // last tick evaluated) before anything renders, and forward any
+    // transitions that fire at finalization into the ops log.
+    for (name, tenant) in state.tenants() {
+        let mut guard = tenant.lock().expect("tenant lock");
+        guard.finalize();
+        let transitions = guard.take_transitions();
+        drop(guard);
+        for ev in transitions {
+            state.log_event(
+                if ev.fired {
+                    "alert_fired"
+                } else {
+                    "alert_resolved"
+                },
+                &name,
+                &format!("{} t={} value={}", ev.rule, ev.time_ms, ev.value),
+            );
+        }
+    }
+    let alerts_doc = render_alerts_doc(state);
+    std::fs::write(dir.join("alerts.json"), &alerts_doc)?;
+
     let mut report = String::from("{");
     let c = &state.counters;
     report.push_str(&format!(
@@ -217,6 +252,7 @@ pub fn flush_outputs(state: &DaemonState, dir: &PathBuf) -> io::Result<()> {
         Counters::get(&c.http_requests),
     ));
     report.push_str(",\"tenants\":[");
+    let mut alerts_firing = 0;
     for (i, (name, tenant)) in state.tenants().into_iter().enumerate() {
         let mut guard = tenant.lock().expect("tenant lock");
         let summary = guard.finalize().clone();
@@ -234,12 +270,20 @@ pub fn flush_outputs(state: &DaemonState, dir: &PathBuf) -> io::Result<()> {
             dir.join(format!("{name}.telemetry.{ext}")),
             render_parsed(&guard.records, guard.format),
         )?;
+        let mut alert_events = 0;
+        if let Some(doc) = guard.alerts_json() {
+            std::fs::write(dir.join(format!("{name}.alerts.json")), doc)?;
+        }
+        if let Some(mon) = guard.monitor() {
+            alert_events = mon.engine().events().len();
+            alerts_firing += mon.engine().firing_count();
+        }
         if i > 0 {
             report.push(',');
         }
         report.push_str(&format!(
             "\n{{\"tenant\":\"{name}\",\"records\":{},\"spans\":{},\"parse_errors\":{},\
-             \"sessions\":{},\"level\":{}}}",
+             \"sessions\":{},\"level\":{},\"alert_events\":{alert_events}}}",
             guard.records.len(),
             guard.spans.len(),
             guard.parse_errors,
@@ -247,6 +291,10 @@ pub fn flush_outputs(state: &DaemonState, dir: &PathBuf) -> io::Result<()> {
             guard.level().number(),
         ));
     }
-    report.push_str("]}\n");
+    report.push_str(&format!(
+        "],\"alerts_firing\":{alerts_firing},\"ops_log_dropped\":{},\"ops_log\":{}}}\n",
+        state.with_ops_log(|log| log.dropped()),
+        state.with_ops_log(|log| log.render_json_array()),
+    ));
     std::fs::write(dir.join("daemon_report.json"), report)
 }

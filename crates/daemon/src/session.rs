@@ -3,6 +3,7 @@
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use simkit::telemetry::{is_csv_header, parse_line, Format};
 use simkit::trace::{is_span_csv_header, parse_span_line};
@@ -39,6 +40,22 @@ pub struct SessionStats {
 /// session, tenant, and daemon error counters and the loop moves on —
 /// a wire hiccup can cost a record, never a session.
 pub fn run_session<S: Read + Write>(stream: S, state: &DaemonState) -> io::Result<SessionStats> {
+    Counters::bump(&state.counters.active_sessions);
+    let result = run_session_inner(stream, state);
+    Counters::drop_one(&state.counters.active_sessions);
+    result
+}
+
+/// One wire poll's wall-clock accounting: started lazily at the first
+/// line after a blocking wait, flushed into the ops histograms (and the
+/// open tenant's monitor) whenever the loop blocks again.
+struct Poll {
+    started: Instant,
+    lines: u64,
+    records_before: u64,
+}
+
+fn run_session_inner<S: Read + Write>(stream: S, state: &DaemonState) -> io::Result<SessionStats> {
     let mut session = Session {
         state,
         tenant: None,
@@ -49,6 +66,7 @@ pub fn run_session<S: Read + Write>(stream: S, state: &DaemonState) -> io::Resul
     };
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
+    let mut poll: Option<Poll> = None;
     loop {
         if state.shutting_down() {
             break;
@@ -56,6 +74,14 @@ pub fn run_session<S: Read + Write>(stream: S, state: &DaemonState) -> io::Resul
         match reader.read_line(&mut line) {
             Ok(0) => break,
             Ok(_) => {
+                if state.self_obs {
+                    let poll = poll.get_or_insert_with(|| Poll {
+                        started: Instant::now(),
+                        lines: 0,
+                        records_before: session.stats.records,
+                    });
+                    poll.lines += 1;
+                }
                 let reply = session.handle_line(&line);
                 line.clear();
                 if let Some(reply) = reply {
@@ -75,12 +101,14 @@ pub fn run_session<S: Read + Write>(stream: S, state: &DaemonState) -> io::Resul
                     io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
                 ) =>
             {
+                session.flush_poll(&mut poll);
                 continue;
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(e) => return Err(e),
         }
     }
+    session.flush_poll(&mut poll);
     session.drain();
     Ok(session.stats)
 }
@@ -114,8 +142,12 @@ impl Session<'_> {
                 Some(tenant) => {
                     let mut guard = tenant.lock().expect("tenant lock");
                     let json = guard.finalize().to_json();
+                    let name = guard.name.clone();
+                    let transitions = guard.take_transitions();
                     drop(guard);
+                    self.log_transitions(&name, &transitions);
                     Counters::bump(&self.state.counters.sessions_closed);
+                    self.state.log_event("session_end", &name, "");
                     Some(json)
                 }
                 None => self.error("end without an open session"),
@@ -166,7 +198,16 @@ impl Session<'_> {
         } else {
             match parse_line(text, line_no, self.format) {
                 Ok(record) => {
-                    tenant.lock().expect("tenant lock").ingest_record(record);
+                    let mut guard = tenant.lock().expect("tenant lock");
+                    guard.ingest_record(record);
+                    let transitions = guard.take_transitions();
+                    let name = if transitions.is_empty() {
+                        String::new()
+                    } else {
+                        guard.name.clone()
+                    };
+                    drop(guard);
+                    self.log_transitions(&name, &transitions);
                     self.stats.records += 1;
                     Counters::bump(&self.state.counters.records);
                     None
@@ -176,9 +217,45 @@ impl Session<'_> {
         }
     }
 
+    /// Forwards drained alert transitions to the daemon ops log.
+    fn log_transitions(&mut self, tenant: &str, transitions: &[simkit::alert::AlertEvent]) {
+        for ev in transitions {
+            self.state.log_event(
+                if ev.fired {
+                    "alert_fired"
+                } else {
+                    "alert_resolved"
+                },
+                tenant,
+                &format!("{} t={} value={}", ev.rule, ev.time_ms, ev.value),
+            );
+        }
+    }
+
+    /// Flushes the open wire poll, if any, into the ops histograms and
+    /// the current tenant's monitor.
+    fn flush_poll(&mut self, poll: &mut Option<Poll>) {
+        let Some(poll) = poll.take() else {
+            return;
+        };
+        let seconds = poll.started.elapsed().as_secs_f64();
+        let records = self.stats.records - poll.records_before;
+        self.state
+            .ops
+            .lock()
+            .expect("ops lock")
+            .observe_poll(seconds, poll.lines, records);
+        if let Some(tenant) = &self.tenant {
+            tenant
+                .lock()
+                .expect("tenant lock")
+                .observe_poll(seconds, poll.lines, records);
+        }
+    }
+
     /// Charges a malformed data line to the tenant and the daemon.
     fn data_error(&mut self, tenant: &Arc<Mutex<Tenant>>, _message: &str) -> Option<String> {
-        tenant.lock().expect("tenant lock").parse_errors += 1;
+        tenant.lock().expect("tenant lock").note_parse_error();
         self.stats.errors += 1;
         Counters::bump(&self.state.counters.parse_errors);
         None
@@ -195,8 +272,14 @@ impl Session<'_> {
     /// path for EOF, daemon shutdown, and a mid-session re-`hello`.
     fn finish_open_tenant(&mut self) {
         if let Some(tenant) = self.tenant.take() {
-            tenant.lock().expect("tenant lock").finalize();
+            let mut guard = tenant.lock().expect("tenant lock");
+            guard.finalize();
+            let name = guard.name.clone();
+            let transitions = guard.take_transitions();
+            drop(guard);
+            self.log_transitions(&name, &transitions);
             Counters::bump(&self.state.counters.sessions_closed);
+            self.state.log_event("session_end", &name, "");
         }
     }
 

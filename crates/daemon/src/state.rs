@@ -1,12 +1,17 @@
-//! Shared daemon state: the tenant registry and self-metrics counters.
+//! Shared daemon state: the tenant registry, self-metrics counters,
+//! wall-clock ops histograms, the bounded ops log, and per-tenant
+//! alert monitors.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
-use pad::pipeline::{self, PipelineConfig, ReplayPipeline, ReplaySummary};
+use pad::pipeline::{
+    self, default_alert_rules, PipelineConfig, ReplayPipeline, ReplaySummary, StreamMonitor,
+};
 use pad::policy::SecurityLevel;
-use simkit::telemetry::{Format, ParsedRecord};
+use simkit::alert::{AlertEvent, AlertRule};
+use simkit::telemetry::{Format, MetricId, MetricRegistry, ParsedRecord};
 use simkit::trace::ParsedSpan;
 
 /// Monotonic daemon self-metrics, exported on `/metrics` as
@@ -17,6 +22,9 @@ pub struct Counters {
     pub sessions_opened: AtomicU64,
     /// Sessions closed (`end`, EOF, or drain).
     pub sessions_closed: AtomicU64,
+    /// Stream connections currently inside their read loop (a gauge:
+    /// bumped on connect, dropped on return).
+    pub active_sessions: AtomicU64,
     /// Telemetry records accepted across all tenants.
     pub records: AtomicU64,
     /// Span lines accepted across all tenants.
@@ -25,6 +33,12 @@ pub struct Counters {
     pub parse_errors: AtomicU64,
     /// HTTP requests served.
     pub http_requests: AtomicU64,
+    /// HTTP responses with a 2xx status.
+    pub http_2xx: AtomicU64,
+    /// HTTP responses with a 4xx status.
+    pub http_4xx: AtomicU64,
+    /// HTTP responses with a 5xx status.
+    pub http_5xx: AtomicU64,
 }
 
 impl Counters {
@@ -33,9 +47,158 @@ impl Counters {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Subtracts one from a gauge-style counter.
+    pub fn drop_one(counter: &AtomicU64) {
+        counter.fetch_sub(1, Ordering::Relaxed);
+    }
+
     /// Reads a counter.
     pub fn get(counter: &AtomicU64) -> u64 {
         counter.load(Ordering::Relaxed)
+    }
+}
+
+/// Daemon-wide wall-clock histograms: ingest poll latency/batch sizes
+/// and HTTP request latency. These are `/metrics`-only observability —
+/// wall times never feed the alert engine, whose documents must stay a
+/// pure function of the recorded stream.
+#[derive(Debug)]
+pub struct OpsMetrics {
+    reg: MetricRegistry,
+    ingest_latency: MetricId,
+    poll_lines: MetricId,
+    poll_records: MetricId,
+    http_seconds: MetricId,
+}
+
+impl OpsMetrics {
+    fn new() -> Self {
+        let mut reg = MetricRegistry::new();
+        let ingest_latency = reg.register_histogram("ingest.latency_seconds", 0.0, 0.25, 50);
+        let poll_lines = reg.register_histogram("ingest.poll_lines", 0.0, 50_000.0, 50);
+        let poll_records = reg.register_histogram("ingest.poll_records", 0.0, 50_000.0, 50);
+        let http_seconds = reg.register_histogram("http.request_seconds", 0.0, 0.25, 50);
+        OpsMetrics {
+            reg,
+            ingest_latency,
+            poll_lines,
+            poll_records,
+            http_seconds,
+        }
+    }
+
+    /// Records one wire poll: wall seconds spent inside the read loop
+    /// between blocking waits, lines handled, records accepted.
+    pub fn observe_poll(&mut self, seconds: f64, lines: u64, records: u64) {
+        self.reg.observe(self.ingest_latency, seconds);
+        self.reg.observe(self.poll_lines, lines as f64);
+        self.reg.observe(self.poll_records, records as f64);
+    }
+
+    /// Records one HTTP exchange's wall seconds.
+    pub fn observe_http(&mut self, seconds: f64) {
+        self.reg.observe(self.http_seconds, seconds);
+    }
+
+    /// The registry, for `/metrics` rendering under `padsimd_`.
+    pub fn registry(&self) -> &MetricRegistry {
+        &self.reg
+    }
+}
+
+/// One structured ops-log entry. No wall-clock timestamp on purpose:
+/// the `seq` orders entries, and keeping timestamps out keeps replayed
+/// logs diffable.
+#[derive(Debug, Clone)]
+pub struct OpsEntry {
+    /// Monotonic sequence number (survives ring eviction).
+    pub seq: u64,
+    /// Event kind (`session_open`, `alert_fired`, `ready`, ...).
+    pub kind: &'static str,
+    /// Tenant the event concerns, empty for daemon-wide events.
+    pub tenant: String,
+    /// Free-form detail over the wire-safe charset (no escaping).
+    pub detail: String,
+}
+
+/// Bounded ring of [`OpsEntry`]s: keeps the newest `cap` entries and
+/// counts evictions, so `/logs` is always a cheap, bounded read.
+#[derive(Debug)]
+pub struct OpsLog {
+    entries: VecDeque<OpsEntry>,
+    next_seq: u64,
+    dropped: u64,
+    cap: usize,
+}
+
+/// Entries the ops-log ring retains before evicting the oldest.
+pub const OPS_LOG_CAP: usize = 1024;
+
+impl OpsLog {
+    fn new(cap: usize) -> Self {
+        OpsLog {
+            entries: VecDeque::new(),
+            next_seq: 0,
+            dropped: 0,
+            cap,
+        }
+    }
+
+    fn push(&mut self, kind: &'static str, tenant: &str, detail: &str) {
+        if self.entries.len() == self.cap {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(OpsEntry {
+            seq: self.next_seq,
+            kind,
+            tenant: tenant.to_string(),
+            detail: detail.to_string(),
+        });
+        self.next_seq += 1;
+    }
+
+    /// Oldest-retained-first JSONL, one entry per line (`/logs`).
+    pub fn render_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{{\"seq\":{},\"kind\":\"{}\",\"tenant\":\"{}\",\"detail\":\"{}\"}}\n",
+                e.seq, e.kind, e.tenant, e.detail
+            ));
+        }
+        out
+    }
+
+    /// The same entries as one JSON array (for `daemon_report.json`).
+    pub fn render_json_array(&self) -> String {
+        let mut out = String::from("[");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"seq\":{},\"kind\":\"{}\",\"tenant\":\"{}\",\"detail\":\"{}\"}}",
+                e.seq, e.kind, e.tenant, e.detail
+            ));
+        }
+        out.push(']');
+        out
+    }
+
+    /// Entries evicted from the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Entries currently retained.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing has been logged (or everything evicted).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
     }
 }
 
@@ -67,6 +230,10 @@ pub struct Tenant {
     /// Sessions this tenant has opened.
     pub sessions: u64,
     config: PipelineConfig,
+    /// Self-observability sidecar (absent in `bare` mode): alert
+    /// engine plus ingest-health metrics, driven on sim time so its
+    /// documents match the offline replay byte-for-byte.
+    monitor: Option<StreamMonitor>,
 }
 
 impl Tenant {
@@ -83,7 +250,18 @@ impl Tenant {
             parse_errors: 0,
             sessions: 0,
             config,
+            monitor: None,
         }
+    }
+
+    /// Attaches a self-observability monitor running `rules`.
+    pub fn attach_monitor(&mut self, rules: Vec<AlertRule>) {
+        self.monitor = Some(StreamMonitor::new(rules));
+    }
+
+    /// The attached monitor, if self-observability is on.
+    pub fn monitor(&self) -> Option<&StreamMonitor> {
+        self.monitor.as_ref()
     }
 
     /// Resets the stream for a fresh session (`hello` on an existing
@@ -95,6 +273,9 @@ impl Tenant {
         self.pending.clear();
         self.pipeline = None;
         self.summary = None;
+        if let Some(mon) = &mut self.monitor {
+            mon.reset();
+        }
     }
 
     /// Feeds one record in arrival order, creating the pipeline at the
@@ -116,7 +297,23 @@ impl Tenant {
                 }
             }
         }
+        if self.monitor.is_some() {
+            let (level, fused, firings) = (self.level(), self.fused_fired(), self.firing_count());
+            if let Some(mon) = &mut self.monitor {
+                mon.observe_record(&r, level, fused, firings);
+            }
+        }
         self.records.push(r);
+    }
+
+    /// Cumulative detector rising edges: live from the pipeline, frozen
+    /// from the summary after the stream ends, zero before either.
+    pub fn firing_count(&self) -> usize {
+        match (&self.summary, &self.pipeline) {
+            (Some(summary), _) => summary.firing_count,
+            (None, Some(pipe)) => pipe.stack().bank().firings().len(),
+            (None, None) => 0,
+        }
     }
 
     /// Builds the pipeline from the buffered first tick and drains the
@@ -144,9 +341,44 @@ impl Tenant {
                 // The whole stream fit in one tick (or was empty).
                 None => self.make_pipeline(),
             };
-            self.summary = Some(pipe.finalize());
+            let summary = pipe.finalize();
+            if let Some(mon) = &mut self.monitor {
+                mon.finish(summary.final_level, false, summary.firing_count);
+            }
+            self.summary = Some(summary);
         }
         self.summary.as_ref().expect("summary just cached")
+    }
+
+    /// Charges one malformed line to the tenant (and its monitor).
+    pub fn note_parse_error(&mut self) {
+        self.parse_errors += 1;
+        if let Some(mon) = &mut self.monitor {
+            mon.observe_parse_error();
+        }
+    }
+
+    /// Records one wire poll's wall timing into the monitor, if any.
+    pub fn observe_poll(&mut self, seconds: f64, lines: u64, records: u64) {
+        if let Some(mon) = &mut self.monitor {
+            mon.observe_poll(seconds, lines, records);
+        }
+    }
+
+    /// Drains alert transitions pending since the last drain (empty
+    /// without a monitor).
+    pub fn take_transitions(&mut self) -> Vec<AlertEvent> {
+        self.monitor
+            .as_mut()
+            .map(StreamMonitor::take_transitions)
+            .unwrap_or_default()
+    }
+
+    /// This stream's `/alerts` JSON document, if self-observability is
+    /// on — byte-identical to `padsim inspect --alerts` over the same
+    /// records.
+    pub fn alerts_json(&self) -> Option<String> {
+        self.monitor.as_ref().map(StreamMonitor::alerts_json)
     }
 
     /// `true` once [`finalize`](Tenant::finalize) has run.
@@ -206,18 +438,46 @@ pub struct DaemonState {
     pub counters: Counters,
     /// Set by a `shutdown` control line; every loop polls it.
     pub shutdown: AtomicBool,
+    /// Set once the listeners are bound and serving; cleared on drain.
+    /// `/readyz` is this AND not shutting down — `/healthz` stays pure
+    /// liveness.
+    ready: AtomicBool,
+    /// Whether self-observability (monitors, ops histograms) is on.
+    /// Off only for the bench's bare-ingest baseline.
+    pub self_obs: bool,
     /// Pipeline knobs applied to every tenant.
     pub config: PipelineConfig,
+    /// Wall-clock ops histograms (`/metrics` only).
+    pub ops: Mutex<OpsMetrics>,
+    alert_rules: Vec<AlertRule>,
+    ops_log: Mutex<OpsLog>,
     tenants: Mutex<BTreeMap<String, Arc<Mutex<Tenant>>>>,
 }
 
 impl DaemonState {
-    /// Creates the shared state.
+    /// Creates the shared state with self-observability on and the
+    /// default alert rules.
     pub fn new(config: PipelineConfig) -> Self {
+        Self::with_rules(config, default_alert_rules(), true)
+    }
+
+    /// Creates state with no monitors and no ops instrumentation — the
+    /// bench baseline that measures what self-observability costs.
+    pub fn bare(config: PipelineConfig) -> Self {
+        Self::with_rules(config, Vec::new(), false)
+    }
+
+    /// Creates the shared state with explicit alert rules.
+    pub fn with_rules(config: PipelineConfig, alert_rules: Vec<AlertRule>, self_obs: bool) -> Self {
         DaemonState {
             counters: Counters::default(),
             shutdown: AtomicBool::new(false),
+            ready: AtomicBool::new(false),
+            self_obs,
             config,
+            ops: Mutex::new(OpsMetrics::new()),
+            alert_rules,
+            ops_log: Mutex::new(OpsLog::new(OPS_LOG_CAP)),
             tenants: Mutex::new(BTreeMap::new()),
         }
     }
@@ -232,12 +492,46 @@ impl DaemonState {
         self.shutdown.store(true, Ordering::SeqCst);
     }
 
+    /// Marks the daemon ready (listeners bound) or draining.
+    pub fn set_ready(&self, ready: bool) {
+        self.ready.store(ready, Ordering::SeqCst);
+    }
+
+    /// Ready to accept work: listeners bound and not draining.
+    pub fn is_ready(&self) -> bool {
+        self.ready.load(Ordering::SeqCst) && !self.shutting_down()
+    }
+
+    /// The alert rules every tenant monitor runs.
+    pub fn alert_rules(&self) -> &[AlertRule] {
+        &self.alert_rules
+    }
+
+    /// Appends one entry to the bounded ops log.
+    pub fn log_event(&self, kind: &'static str, tenant: &str, detail: &str) {
+        self.ops_log
+            .lock()
+            .expect("ops log lock")
+            .push(kind, tenant, detail);
+    }
+
+    /// Runs `f` over the ops log under its lock.
+    pub fn with_ops_log<T>(&self, f: impl FnOnce(&OpsLog) -> T) -> T {
+        f(&self.ops_log.lock().expect("ops log lock"))
+    }
+
     /// Opens (or resets) a tenant stream and returns its handle.
     pub fn open_tenant(&self, name: &str, format: Format) -> Arc<Mutex<Tenant>> {
         let mut tenants = self.lock_tenants();
         let tenant = tenants
             .entry(name.to_string())
-            .or_insert_with(|| Arc::new(Mutex::new(Tenant::new(name, format, self.config))))
+            .or_insert_with(|| {
+                let mut tenant = Tenant::new(name, format, self.config);
+                if self.self_obs {
+                    tenant.attach_monitor(self.alert_rules.clone());
+                }
+                Arc::new(Mutex::new(tenant))
+            })
             .clone();
         drop(tenants);
         let mut guard = tenant.lock().expect("tenant lock");
@@ -245,6 +539,7 @@ impl DaemonState {
         guard.sessions += 1;
         drop(guard);
         Counters::bump(&self.counters.sessions_opened);
+        self.log_event("session_open", name, "");
         tenant
     }
 
@@ -334,5 +629,67 @@ mod tests {
         assert!(!guard.finished());
         assert_eq!(guard.format, Format::Csv);
         assert_eq!(state.tenants().len(), 1);
+    }
+
+    #[test]
+    fn ops_log_ring_evicts_oldest_and_counts() {
+        let mut log = OpsLog::new(3);
+        for i in 0..5 {
+            log.push("session_open", "t", &format!("n{i}"));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        let jsonl = log.render_jsonl();
+        assert!(!jsonl.contains("\"seq\":1"), "oldest evicted");
+        assert!(jsonl.starts_with("{\"seq\":2,\"kind\":\"session_open\""));
+        assert!(jsonl.ends_with("\"detail\":\"n4\"}\n"));
+        assert!(log.render_json_array().starts_with("[{\"seq\":2"));
+    }
+
+    #[test]
+    fn tenant_alerts_match_the_offline_monitor_byte_for_byte() {
+        let trace = "{\"t\":0,\"m\":\"rack-00.draw_w\",\"v\":100}\n\
+                     {\"t\":100,\"m\":\"rack-00.draw_w\",\"v\":101}\n\
+                     {\"t\":200,\"m\":\"rack-00.draw_w\",\"v\":102}\n\
+                     {\"t\":300,\"m\":\"rack-00.draw_w\",\"v\":103}\n";
+        let parsed = records(trace);
+        let state = DaemonState::new(PipelineConfig::default());
+        let tenant = state.open_tenant("acme", Format::Jsonl);
+        let mut guard = tenant.lock().unwrap();
+        for r in &parsed {
+            guard.ingest_record(r.clone());
+        }
+        guard.finalize();
+        let live = guard.alerts_json().expect("monitor attached");
+        let (_, offline) = pipeline::monitor_records(
+            1,
+            PipelineConfig::default(),
+            pipeline::default_alert_rules(),
+            &parsed,
+        );
+        assert_eq!(live, offline.alerts_json());
+    }
+
+    #[test]
+    fn bare_state_runs_without_monitors_or_log_noise() {
+        let state = DaemonState::bare(PipelineConfig::default());
+        let tenant = state.open_tenant("t", Format::Jsonl);
+        let mut guard = tenant.lock().unwrap();
+        for r in records("{\"t\":0,\"m\":\"rack-00.draw_w\",\"v\":1}\n") {
+            guard.ingest_record(r);
+        }
+        assert!(guard.monitor().is_none());
+        assert!(guard.alerts_json().is_none());
+        assert!(guard.take_transitions().is_empty());
+    }
+
+    #[test]
+    fn readiness_is_bound_and_not_draining() {
+        let state = DaemonState::new(PipelineConfig::default());
+        assert!(!state.is_ready(), "not ready before listeners bind");
+        state.set_ready(true);
+        assert!(state.is_ready());
+        state.request_shutdown();
+        assert!(!state.is_ready(), "draining is not ready");
     }
 }

@@ -20,7 +20,7 @@ use pad::schemes::Scheme;
 use pad::sim::ClusterSim;
 use paddaemon::server::{serve, ServeOptions};
 use powerinfra::topology::RackId;
-use simkit::telemetry::{parse, Format};
+use simkit::telemetry::{parse, render_parsed, Format};
 use simkit::time::{SimDuration, SimTime};
 use simkit::trace::parse_spans;
 
@@ -67,6 +67,33 @@ pub fn recorded_run(seed: u64) -> RecordedRun {
         firings: summary.render_firings(),
         incidents_json: pipeline::reconstruct_json(&parsed_spans, &records),
     }
+}
+
+/// Drops every telemetry record with sim-time in `[t0_ms, t1_ms)` and
+/// re-serializes — a mid-stream tenant silence window, the scenario the
+/// `tenant-silent` deadman rule exists to catch.
+pub fn silence_window(telemetry: &str, t0_ms: u64, t1_ms: u64) -> String {
+    let records = parse(telemetry, Format::Jsonl).unwrap();
+    let kept: Vec<_> = records
+        .into_iter()
+        .filter(|r| r.time_ms < t0_ms || r.time_ms >= t1_ms)
+        .collect();
+    render_parsed(&kept, Format::Jsonl)
+}
+
+/// What the offline stream monitor says about a trace under the default
+/// rules — the byte-exact document the daemon must serve for the same
+/// records at `/tenants/<id>/alerts`.
+pub fn offline_alerts(telemetry: &str) -> String {
+    let records = parse(telemetry, Format::Jsonl).unwrap();
+    let racks = pipeline::try_infer_racks(&records).unwrap_or(1);
+    let (_, monitor) = pipeline::monitor_records(
+        racks,
+        PipelineConfig::default(),
+        pipeline::default_alert_rules(),
+        &records,
+    );
+    monitor.alerts_json()
 }
 
 /// An in-process daemon bound to loopback, plus its discovered ports.

@@ -1,0 +1,195 @@
+//! Alert-engine goldens for the daemon: a recorded §V scenario with a
+//! mid-stream tenant silence window must fire the `tenant-silent`
+//! deadman deterministically — the `/alerts` documents byte-identical
+//! to the offline monitor, across repeated runs, chunkings, and
+//! interleaved multi-tenant arrival orders.
+
+mod common;
+
+use common::{offline_alerts, recorded_run, silence_window, TestDaemon};
+use paddaemon::client::{http_get, send, Conn, SendJob};
+use std::io::{BufRead, BufReader, Write};
+
+/// The silence cut: 30 s of dropped records starting two minutes in —
+/// two orders of magnitude beyond the 100 ms tick gap the deadman has
+/// learned by then.
+const CUT: (u64, u64) = (120_000, 150_000);
+
+fn silent_run(seed: u64) -> (String, String) {
+    let run = recorded_run(seed);
+    let silenced = silence_window(&run.telemetry, CUT.0, CUT.1);
+    let expected = offline_alerts(&silenced);
+    (silenced, expected)
+}
+
+fn stream_tenant(daemon: &TestDaemon, tenant: &str, telemetry: &str) {
+    let job = SendJob {
+        tenant: tenant.to_string(),
+        format: "jsonl",
+        telemetry: telemetry.to_string(),
+        end: true,
+        ..SendJob::default()
+    };
+    let replies = send(&daemon.data_addr, &job).unwrap();
+    assert!(replies[0].starts_with("ok hello"), "{replies:?}");
+}
+
+fn tenant_alerts(daemon: &TestDaemon, tenant: &str) -> String {
+    let (status, body) = http_get(&daemon.http_addr, &format!("/tenants/{tenant}/alerts")).unwrap();
+    assert!(status.contains("200"), "{tenant} alerts: {status}");
+    body
+}
+
+#[test]
+fn silence_window_fires_the_deadman_and_matches_the_offline_monitor() {
+    let (silenced, expected) = silent_run(0xA1E7);
+    assert!(
+        expected.contains(r#""rule":"tenant-silent","event":"fired""#),
+        "the offline monitor must fire the deadman on the cut window:\n{expected}"
+    );
+
+    let daemon = TestDaemon::start("alerts");
+    stream_tenant(&daemon, "acme", &silenced);
+    assert_eq!(
+        tenant_alerts(&daemon, "acme"),
+        expected,
+        "daemon alert document diverged from the offline monitor"
+    );
+
+    // The aggregate surfaces carry the same story.
+    let (_, doc) = http_get(&daemon.http_addr, "/alerts").unwrap();
+    assert!(doc.contains(r#""tenant":"acme""#), "{doc}");
+    assert!(doc.contains(r#""rule":"tenant-silent","event":"fired""#));
+    let (_, prom) = http_get(&daemon.http_addr, "/alerts?format=prom").unwrap();
+    assert!(prom.starts_with("# HELP ALERTS"), "{prom}");
+    let (_, logs) = http_get(&daemon.http_addr, "/logs").unwrap();
+    assert!(
+        logs.contains(r#""kind":"alert_fired""#) && logs.contains("tenant-silent"),
+        "ops log should record the deadman firing:\n{logs}"
+    );
+    daemon.shutdown();
+}
+
+#[test]
+fn alert_documents_are_byte_identical_across_repeated_runs() {
+    let (silenced, expected) = silent_run(0xD0_1D);
+    let mut docs = Vec::new();
+    for round in 0..2 {
+        let daemon = TestDaemon::start(&format!("alerts-rerun-{round}"));
+        stream_tenant(&daemon, "acme", &silenced);
+        docs.push(tenant_alerts(&daemon, "acme"));
+        daemon.shutdown();
+    }
+    assert_eq!(docs[0], docs[1], "two identical runs disagreed");
+    assert_eq!(
+        docs[0], expected,
+        "daemon diverged from the offline monitor"
+    );
+}
+
+/// Deterministic xorshift shuffle — arrival order varies by seed but is
+/// reproducible in a failing run.
+fn shuffle<T>(items: &mut [T], mut seed: u64) {
+    for i in (1..items.len()).rev() {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        items.swap(i, (seed as usize) % (i + 1));
+    }
+}
+
+/// Streams both tenants' telemetry as interleaved chunks over
+/// persistent connections, arrival order shuffled by `order_seed`.
+fn stream_interleaved(
+    daemon: &TestDaemon,
+    runs: &[(&str, &str)],
+    chunk_lines: usize,
+    order_seed: u64,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut queues: Vec<Vec<String>> = Vec::new();
+    for (tenant, telemetry) in runs {
+        let mut conn = Conn::connect(&daemon.data_addr).unwrap();
+        writeln!(conn, "hello {tenant} jsonl").unwrap();
+        conns.push(conn);
+        let lines: Vec<&str> = telemetry.lines().collect();
+        queues.push(
+            lines
+                .chunks(chunk_lines)
+                .map(|chunk| {
+                    let mut text = chunk.join("\n");
+                    text.push('\n');
+                    text
+                })
+                .collect(),
+        );
+    }
+    let mut schedule: Vec<usize> = queues
+        .iter()
+        .enumerate()
+        .flat_map(|(t, chunks)| std::iter::repeat_n(t, chunks.len()))
+        .collect();
+    shuffle(&mut schedule, order_seed);
+    let mut next: Vec<usize> = vec![0; queues.len()];
+    for t in schedule {
+        conns[t].write_all(queues[t][next[t]].as_bytes()).unwrap();
+        next[t] += 1;
+    }
+    for (t, mut conn) in conns.into_iter().enumerate() {
+        writeln!(conn, "end").unwrap();
+        conn.flush().unwrap();
+        conn.finish_writes().unwrap();
+        let mut reader = BufReader::new(conn);
+        let mut hello = String::new();
+        reader.read_line(&mut hello).unwrap();
+        assert!(hello.starts_with("ok hello "), "tenant {t}: {hello:?}");
+        let mut summary = String::new();
+        reader.read_line(&mut summary).unwrap();
+        assert!(!summary.is_empty(), "tenant {t}: no summary reply");
+    }
+}
+
+#[test]
+fn arrival_order_does_not_change_the_alert_documents() {
+    let (silenced, expected) = silent_run(0xBEEF);
+    let noisy = recorded_run(0xCAFE);
+    let noisy_expected = offline_alerts(&noisy.telemetry);
+    let runs = [
+        ("alpha", silenced.as_str()),
+        ("beta", noisy.telemetry.as_str()),
+    ];
+
+    let mut per_order: Vec<(String, String)> = Vec::new();
+    for (chunk, seed) in [(64usize, 0x5EED_u64), (17, 0xFEED_FACE)] {
+        let daemon = TestDaemon::start("alerts-order");
+        stream_interleaved(&daemon, &runs, chunk, seed);
+        per_order.push((
+            tenant_alerts(&daemon, "alpha"),
+            tenant_alerts(&daemon, "beta"),
+        ));
+        daemon.shutdown();
+    }
+    assert_eq!(
+        per_order[0], per_order[1],
+        "arrival order or chunking leaked into the alert documents"
+    );
+    assert_eq!(per_order[0].0, expected, "alpha diverged from offline");
+    assert_eq!(per_order[0].1, noisy_expected, "beta diverged from offline");
+}
+
+#[test]
+fn shutdown_flush_writes_the_alert_documents() {
+    let (silenced, expected) = silent_run(0x0DD5);
+    let daemon = TestDaemon::start("alerts-flush");
+    stream_tenant(&daemon, "acme", &silenced);
+    let out_dir = daemon.out_dir.clone();
+    daemon.shutdown();
+
+    let per_tenant = std::fs::read_to_string(out_dir.join("acme.alerts.json")).unwrap();
+    assert_eq!(per_tenant, expected, "flushed per-tenant alert document");
+    let aggregate = std::fs::read_to_string(out_dir.join("alerts.json")).unwrap();
+    assert!(aggregate.contains(r#""tenant":"acme""#));
+    let report = std::fs::read_to_string(out_dir.join("daemon_report.json")).unwrap();
+    assert!(report.contains(r#""alert_events":"#), "{report}");
+    assert!(report.contains(r#""ops_log":["#), "{report}");
+}

@@ -458,7 +458,7 @@ fn parse_spec(value: &Json) -> Result<FaultSpec, String> {
 /// Minimal JSON value for the plan codec (strings, numbers, arrays,
 /// objects — the whole vocabulary the wire format uses).
 #[derive(Debug, Clone, PartialEq)]
-enum Json {
+pub(crate) enum Json {
     Str(String),
     Num(f64),
     Arr(Vec<Json>),
@@ -466,7 +466,7 @@ enum Json {
 }
 
 impl Json {
-    fn as_object(&self, what: &str) -> Result<&[(String, Json)], String> {
+    pub(crate) fn as_object(&self, what: &str) -> Result<&[(String, Json)], String> {
         match self {
             Json::Obj(fields) => Ok(fields),
             _ => Err(format!("expected {what} to be a JSON object")),
@@ -475,7 +475,7 @@ impl Json {
 }
 
 /// Field lookups over a parsed object, with typed errors.
-trait ObjFields {
+pub(crate) trait ObjFields {
     fn field(&self, key: &str) -> Result<&Json, String>;
     fn str_field(&self, key: &str) -> Result<&str, String>;
     fn f64_field(&self, key: &str) -> Result<f64, String>;
@@ -526,13 +526,13 @@ impl ObjFields for &[(String, Json)] {
 /// Hand-rolled recursive-descent parser for the plan wire format. Strings
 /// are unescaped-charset only (`[A-Za-z0-9._\- ]` in practice), matching
 /// the telemetry codecs' no-escaping convention.
-struct JsonParser<'a> {
+pub(crate) struct JsonParser<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> JsonParser<'a> {
-    fn parse_document(text: &'a str) -> Result<Json, String> {
+    pub(crate) fn parse_document(text: &'a str) -> Result<Json, String> {
         let mut p = JsonParser {
             bytes: text.as_bytes(),
             pos: 0,

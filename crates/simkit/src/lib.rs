@@ -23,6 +23,10 @@
 //! * [`trace`] — sim-time **spans** with causal parent links (`SpanSink`
 //!   recording, JSONL/CSV codecs) and forensic incident reconstruction
 //!   over a recorded span trace;
+//! * [`alert`] — a deterministic alerting rule engine (threshold,
+//!   rate-of-change, deadman/staleness rules with for-duration hold and
+//!   hysteresis) evaluated over any metric registry at caller-chosen
+//!   instants, with a JSON rules codec and Prometheus `ALERTS` rendering;
 //! * [`detect`] — allocation-light streaming anomaly detectors (EWMA
 //!   z-score, CUSUM, spike-train, drain-rate) and a `DetectorBank` that
 //!   consumes telemetry streams live or replayed;
@@ -58,6 +62,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod alert;
 pub mod detect;
 pub mod engine;
 pub mod event;

@@ -365,7 +365,10 @@ impl Cdf {
 /// Fixed-width histogram over `[lo, hi)`.
 ///
 /// Out-of-range values clamp into the first/last bucket so totals are
-/// conserved.
+/// conserved. Besides the per-bucket counts the histogram keeps the
+/// running sum of raw (unclamped) observations, so it can render the
+/// full Prometheus `_bucket`/`_sum`/`_count` exposition and answer
+/// interpolated [`quantile`](Self::quantile) queries.
 ///
 /// # Example
 ///
@@ -376,13 +379,16 @@ impl Cdf {
 /// for v in [0.5, 1.0, 9.9, 3.3, 5.0] {
 ///     h.push(v);
 /// }
-/// assert_eq!(h.counts().iter().sum::<u64>(), 5);
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.sum(), 19.7);
+/// assert_eq!(h.cumulative().last(), Some(&(10.0, 5)));
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
     counts: Vec<u64>,
+    sum: f64,
 }
 
 impl Histogram {
@@ -399,15 +405,23 @@ impl Histogram {
             lo,
             hi,
             counts: vec![0; buckets],
+            sum: 0.0,
         }
     }
 
-    /// Adds one observation (clamping to the boundary buckets).
+    /// Adds one observation (clamping to the boundary buckets). The
+    /// running sum accumulates the *raw* value — Prometheus `_sum`
+    /// semantics — except NaN, which would poison it and contributes
+    /// nothing (the observation still lands in the first bucket, so
+    /// counts stay conserved).
     pub fn push(&mut self, value: f64) {
         let n = self.counts.len();
         let frac = (value - self.lo) / (self.hi - self.lo);
         let idx = ((frac * n as f64).floor() as i64).clamp(0, n as i64 - 1) as usize;
         self.counts[idx] += 1;
+        if !value.is_nan() {
+            self.sum += value;
+        }
     }
 
     /// Lower bound of the bucketed range.
@@ -425,7 +439,68 @@ impl Histogram {
         &self.counts
     }
 
-    /// Adds another histogram's counts into this one, bucket by bucket.
+    /// Total observations across all buckets (Prometheus `_count`).
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Sum of all raw observations (Prometheus `_sum`; NaN excluded).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Cumulative `(upper_bound, count_at_or_below)` pairs, one per
+    /// bucket — the Prometheus `_bucket{le="..."}` series without the
+    /// `+Inf` bucket (whose count is [`count`](Self::count); outliers
+    /// clamp into the boundary buckets, so the last finite bound
+    /// already carries the total).
+    pub fn cumulative(&self) -> Vec<(f64, u64)> {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let mut running = 0;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                running += c;
+                (self.lo + width * (i + 1) as f64, running)
+            })
+            .collect()
+    }
+
+    /// Linear-interpolated quantile estimate from the buckets, `q` in
+    /// `[0, 1]` — the `histogram_quantile` computation Prometheus runs
+    /// server-side. Returns NaN for an empty histogram. Resolution is
+    /// the bucket width; values clamp to `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        let total = self.count();
+        if total == 0 {
+            return f64::NAN;
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let rank = q * total as f64;
+        let mut running = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                running += c;
+                continue;
+            }
+            let upto = running + c;
+            if (upto as f64) >= rank {
+                let within = ((rank - running as f64) / c as f64).clamp(0.0, 1.0);
+                return self.lo + width * (i as f64 + within);
+            }
+            running = upto;
+        }
+        self.hi
+    }
+
+    /// Adds another histogram's counts into this one, bucket by bucket
+    /// (sums add too).
     ///
     /// # Panics
     ///
@@ -438,6 +513,7 @@ impl Histogram {
         for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
             *mine += theirs;
         }
+        self.sum += other.sum;
     }
 
     /// `(bucket_midpoint, count)` pairs.
@@ -625,6 +701,71 @@ mod tests {
     fn histogram_merge_rejects_shape_mismatch() {
         let mut a = Histogram::new(0.0, 10.0, 5);
         a.merge(&Histogram::new(0.0, 10.0, 4));
+    }
+
+    #[test]
+    fn histogram_tracks_count_and_sum() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for v in [1.0, 3.0, 9.0] {
+            h.push(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 13.0);
+        // Outliers clamp into buckets but the sum stays raw.
+        h.push(100.0);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 113.0);
+        // NaN lands in the first bucket (counts conserved) but cannot
+        // poison the sum.
+        h.push(f64::NAN);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 113.0);
+    }
+
+    #[test]
+    fn histogram_cumulative_is_monotone_with_total_at_hi() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for v in [0.5, 1.0, 3.0, 5.0, 9.9] {
+            h.push(v);
+        }
+        let cum = h.cumulative();
+        assert_eq!(cum.len(), 5);
+        assert_eq!(cum[0], (2.0, 2));
+        assert_eq!(cum.last(), Some(&(10.0, 5)));
+        for w in cum.windows(2) {
+            assert!(w[1].1 >= w[0].1, "cumulative counts must not decrease");
+            assert!(w[1].0 > w[0].0, "upper bounds ascend");
+        }
+    }
+
+    #[test]
+    fn histogram_quantile_interpolates_within_buckets() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..100 {
+            h.push(i as f64 / 10.0); // uniform over [0, 10)
+        }
+        assert!((h.quantile(0.5) - 5.0).abs() <= 1.0, "{}", h.quantile(0.5));
+        assert!((h.quantile(0.9) - 9.0).abs() <= 1.0);
+        assert_eq!(h.quantile(1.0), 10.0);
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert!(Histogram::new(0.0, 1.0, 2).quantile(0.5).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn histogram_quantile_rejects_out_of_range() {
+        Histogram::new(0.0, 1.0, 2).quantile(1.5);
+    }
+
+    #[test]
+    fn histogram_merge_adds_sums() {
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        let mut b = Histogram::new(0.0, 10.0, 5);
+        a.push(2.0);
+        b.push(3.0);
+        a.merge(&b);
+        assert_eq!(a.sum(), 5.0);
+        assert_eq!(a.count(), 2);
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub use codec::{
 pub use inspect::{EventDigest, MetricDigest, TelemetryReport};
 pub use record::{sort_records, EventKind, EventRecord, Record, Sample};
 pub use recorder::{NullRecorder, Recorder, RingRecorder, TelemetrySink};
-pub use registry::{MetricId, MetricKind, MetricRegistry};
+pub use registry::{render_prometheus_families, MetricId, MetricKind, MetricRegistry};
 
 /// A finished trace: the registry that names its metrics plus the
 /// retained records, ready to serialize or digest.

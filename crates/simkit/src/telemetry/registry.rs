@@ -249,6 +249,13 @@ impl MetricRegistry {
         &self.instruments[id.index()].stats
     }
 
+    /// Renders this registry alone as Prometheus text exposition — see
+    /// [`render_prometheus_families`] for the multi-instance form and
+    /// the exposition rules.
+    pub fn render_prometheus(&self, prefix: &str, label: &str) -> String {
+        render_prometheus_families(prefix, &[(label, self)])
+    }
+
     /// Merges another registry's aggregates into this one (parallel
     /// sweep reduction): counters add, gauges take `other`'s last value,
     /// histogram buckets add, statistics merge.
@@ -274,6 +281,86 @@ impl MetricRegistry {
             mine.stats.merge(&theirs.stats);
         }
     }
+}
+
+/// Registry metric names use the workspace `<scope>.<quantity>` dotted
+/// convention; Prometheus names only allow `[a-zA-Z0-9_:]`, so dots and
+/// dashes map to underscores.
+fn prometheus_name(prefix: &str, name: &str) -> String {
+    let mut out = String::with_capacity(prefix.len() + name.len());
+    out.push_str(prefix);
+    for c in name.chars() {
+        out.push(if matches!(c, '.' | '-') { '_' } else { c });
+    }
+    out
+}
+
+/// Renders identically-shaped registries as one merged Prometheus text
+/// exposition: every family gets a single `# HELP`/`# TYPE` block (the
+/// original dotted name doubles as the help string) followed by one
+/// series per instance, tagged with that instance's label block (e.g.
+/// `tenant="acme"`; empty for an unlabeled singleton). Histogram
+/// instruments render the full spec-conformant cumulative
+/// `_bucket{le="..."}` series — including the `+Inf` bucket — plus
+/// `_sum` and `_count`. Counters and gauges render their value
+/// directly. `prefix` is prepended to every sanitized family name
+/// (e.g. `padsimd_`).
+///
+/// # Panics
+///
+/// Panics if the registries do not share the same metric set (names,
+/// order, and kinds).
+pub fn render_prometheus_families(prefix: &str, instances: &[(&str, &MetricRegistry)]) -> String {
+    use std::fmt::Write as _;
+    let Some((_, first)) = instances.first() else {
+        return String::new();
+    };
+    for (_, reg) in instances {
+        assert_eq!(
+            first.names, reg.names,
+            "instances have different metric sets"
+        );
+    }
+    let mut out = String::new();
+    for id in first.ids() {
+        let name = first.name(id);
+        let fam = prometheus_name(prefix, name);
+        let kind = first.kind(id);
+        let _ = writeln!(out, "# HELP {fam} {name}");
+        let _ = writeln!(out, "# TYPE {fam} {}", kind.as_str());
+        for (label, reg) in instances {
+            assert_eq!(reg.kind(id), kind, "metric kind mismatch across instances");
+            // `{fam}{...}` with an empty label block must render as a
+            // bare series name, so the braces are conditional.
+            let solo = |extra: &str| -> String {
+                match (label.is_empty(), extra.is_empty()) {
+                    (true, true) => String::new(),
+                    (true, false) => format!("{{{extra}}}"),
+                    (false, true) => format!("{{{label}}}"),
+                    (false, false) => format!("{{{label},{extra}}}"),
+                }
+            };
+            match kind {
+                MetricKind::Counter => {
+                    let _ = writeln!(out, "{fam}{} {}", solo(""), reg.counter(id));
+                }
+                MetricKind::Gauge => {
+                    let _ = writeln!(out, "{fam}{} {}", solo(""), reg.gauge(id));
+                }
+                MetricKind::Histogram => {
+                    let hist = reg.histogram(id).expect("histogram instrument");
+                    for (le, cum) in hist.cumulative() {
+                        let _ =
+                            writeln!(out, "{fam}_bucket{} {cum}", solo(&format!("le=\"{le}\"")));
+                    }
+                    let _ = writeln!(out, "{fam}_bucket{} {}", solo("le=\"+Inf\""), hist.count());
+                    let _ = writeln!(out, "{fam}_sum{} {}", solo(""), hist.sum());
+                    let _ = writeln!(out, "{fam}_count{} {}", solo(""), hist.count());
+                }
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -328,6 +415,74 @@ mod tests {
         assert_eq!(reg.histogram(h).unwrap().counts().iter().sum::<u64>(), 2);
         assert_eq!(reg.stats(g).count(), 2);
         assert_eq!(reg.stats(g).mean(), 1.5);
+    }
+
+    #[test]
+    fn prometheus_exposition_renders_histogram_buckets() {
+        let mut reg = MetricRegistry::new();
+        let c = reg.register_counter("ingest.records_total");
+        let g = reg.register_gauge("policy.level");
+        let h = reg.register_histogram("ingest.tick_gap_ms", 0.0, 10.0, 2);
+        reg.inc(c, 3);
+        reg.set_gauge(g, 2.0);
+        reg.observe(h, 1.0);
+        reg.observe(h, 7.0);
+        reg.observe(h, 99.0); // clamps into the last bucket
+        let text = reg.render_prometheus("padsimd_", "tenant=\"acme\"");
+        assert!(text.contains("# HELP padsimd_ingest_records_total ingest.records_total\n"));
+        assert!(text.contains("# TYPE padsimd_ingest_records_total counter\n"));
+        assert!(text.contains("padsimd_ingest_records_total{tenant=\"acme\"} 3\n"));
+        assert!(text.contains("padsimd_policy_level{tenant=\"acme\"} 2\n"));
+        assert!(text.contains("# TYPE padsimd_ingest_tick_gap_ms histogram\n"));
+        assert!(text.contains("padsimd_ingest_tick_gap_ms_bucket{tenant=\"acme\",le=\"5\"} 1\n"));
+        assert!(text.contains("padsimd_ingest_tick_gap_ms_bucket{tenant=\"acme\",le=\"10\"} 3\n"));
+        assert!(text.contains("padsimd_ingest_tick_gap_ms_bucket{tenant=\"acme\",le=\"+Inf\"} 3\n"));
+        assert!(text.contains("padsimd_ingest_tick_gap_ms_sum{tenant=\"acme\"} 107\n"));
+        assert!(text.contains("padsimd_ingest_tick_gap_ms_count{tenant=\"acme\"} 3\n"));
+    }
+
+    #[test]
+    fn prometheus_exposition_merges_instances_under_one_family_block() {
+        let build = |v: u64| {
+            let mut reg = MetricRegistry::new();
+            let c = reg.register_counter("ingest.records_total");
+            reg.inc(c, v);
+            reg
+        };
+        let (a, b) = (build(1), build(2));
+        let text =
+            render_prometheus_families("padsimd_", &[("tenant=\"a\"", &a), ("tenant=\"b\"", &b)]);
+        assert_eq!(
+            text.matches("# TYPE padsimd_ingest_records_total counter")
+                .count(),
+            1,
+            "one TYPE block per family:\n{text}"
+        );
+        assert!(text.contains("padsimd_ingest_records_total{tenant=\"a\"} 1\n"));
+        assert!(text.contains("padsimd_ingest_records_total{tenant=\"b\"} 2\n"));
+    }
+
+    #[test]
+    fn prometheus_exposition_unlabeled_series_have_no_braces() {
+        let mut reg = MetricRegistry::new();
+        let c = reg.register_counter("a.b");
+        reg.inc(c, 7);
+        let h = reg.register_histogram("lat-ms", 0.0, 1.0, 1);
+        reg.observe(h, 0.5);
+        let text = reg.render_prometheus("", "");
+        assert!(text.contains("a_b 7\n"));
+        assert!(text.contains("lat_ms_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("lat_ms_sum 0.5\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "different metric sets")]
+    fn prometheus_exposition_rejects_mismatched_instances() {
+        let mut a = MetricRegistry::new();
+        a.register_counter("x");
+        let mut b = MetricRegistry::new();
+        b.register_counter("y");
+        render_prometheus_families("", &[("", &a), ("", &b)]);
     }
 
     #[test]
