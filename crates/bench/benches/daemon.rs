@@ -250,10 +250,58 @@ fn check_selfobs_overhead(_c: &mut Criterion) {
     );
 }
 
+/// Paired crash-recovery overhead measurement on the socket-free wire
+/// path: the recorded session with tick-boundary checkpointing into a
+/// `--state-dir` versus without, min-of-rounds each, interleaved so
+/// drift hits both alike. Prints the grep-able ratio line the CI
+/// daemon-suite step records, and enforces the ISSUE ceiling: durable
+/// per-tick checkpoints may cost at most 1.5× the unprotected path.
+fn check_checkpoint_overhead(_c: &mut Criterion) {
+    let telemetry = recorded_telemetry();
+    let request = session_request(&telemetry);
+    let events = telemetry.lines().count();
+    let state_dir = std::env::temp_dir().join(format!("padsimd-bench-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_dir);
+    std::fs::create_dir_all(&state_dir).expect("state dir");
+    let run = |checkpointing: bool| {
+        let mut state = DaemonState::new(PipelineConfig::default());
+        if checkpointing {
+            state.state_dir = Some(state_dir.clone());
+        }
+        let wire = Wire {
+            input: io::Cursor::new(request.clone()),
+        };
+        black_box(run_session(wire, &state).expect("in-memory session"));
+    };
+    run(false);
+    run(true);
+    let (mut best_plain, mut best_ckpt) = (Duration::MAX, Duration::MAX);
+    for _ in 0..10 {
+        let t = Instant::now();
+        run(false);
+        best_plain = best_plain.min(t.elapsed());
+        let t = Instant::now();
+        run(true);
+        best_ckpt = best_ckpt.min(t.elapsed());
+    }
+    let _ = std::fs::remove_dir_all(&state_dir);
+    let ratio = best_ckpt.as_secs_f64() / best_plain.as_secs_f64();
+    println!(
+        "daemon_checkpoint_overhead_ratio: {ratio:.3} ({events} events in memory, \
+         checkpointed {:.2?} vs unprotected {:.2?}, min of 10 rounds)",
+        best_ckpt, best_plain
+    );
+    assert!(
+        ratio <= 1.5,
+        "checkpoint overhead ratio {ratio:.3} exceeds 1.5× the unprotected ingest path"
+    );
+}
+
 criterion_group!(
     benches,
     bench_daemon,
     check_ingest_throughput,
-    check_selfobs_overhead
+    check_selfobs_overhead,
+    check_checkpoint_overhead
 );
 criterion_main!(benches);

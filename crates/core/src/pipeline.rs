@@ -289,6 +289,78 @@ impl ReplayPipeline {
         }
     }
 
+    /// Serializes the pipeline's complete mutable state — detector
+    /// stack, policy FSM, open tick, counters and the escalation log —
+    /// as one JSON object. Configuration (rack count, thresholds,
+    /// strictness) is structural: the restorer rebuilds the pipeline
+    /// with [`ReplayPipeline::new`] and the nested snapshots validate
+    /// that the rebuilt structure matches.
+    pub fn snapshot_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\"stack\":");
+        out.push_str(&self.stack.snapshot_json());
+        out.push_str(",\"policy\":");
+        out.push_str(&self.policy.snapshot_json());
+        if let Some(t) = self.open_tick {
+            let _ = write!(out, ",\"open_tick\":{t}");
+        }
+        let _ = write!(
+            out,
+            ",\"records\":{},\"samples_fed\":{},\"events\":{},\"ticks\":{},\"fired_ticks\":{}",
+            self.records, self.samples_fed, self.events, self.ticks, self.fired_ticks
+        );
+        out.push_str(",\"escalations\":[");
+        for (i, e) in self.escalations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"t\":{},\"from\":{},\"to\":{}}}",
+                e.time_ms,
+                e.from.number(),
+                e.to.number()
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Restores mutable state from a [`snapshot_json`](Self::snapshot_json)
+    /// document into a pipeline built with the same rack count and
+    /// config. Ingesting the remainder of the interrupted stream then
+    /// produces a summary byte-identical to an uninterrupted run.
+    pub fn restore_snapshot(&mut self, value: &simkit::jsonio::Json) -> Result<(), String> {
+        use simkit::jsonio::ObjFields as _;
+        let level_from = |n: u64| -> Result<SecurityLevel, String> {
+            match n {
+                1 => Ok(SecurityLevel::Normal),
+                2 => Ok(SecurityLevel::MinorIncident),
+                3 => Ok(SecurityLevel::Emergency),
+                other => Err(format!("unknown level {other}")),
+            }
+        };
+        let obj = value.as_object("pipeline snapshot")?;
+        self.stack.restore_snapshot(obj.field("stack")?)?;
+        self.policy.restore_snapshot(obj.field("policy")?)?;
+        self.open_tick = obj.opt_u64_field("open_tick")?;
+        self.records = obj.u64_field("records")?;
+        self.samples_fed = obj.u64_field("samples_fed")?;
+        self.events = obj.u64_field("events")?;
+        self.ticks = obj.u64_field("ticks")?;
+        self.fired_ticks = obj.u64_field("fired_ticks")?;
+        self.escalations.clear();
+        for (i, item) in obj.arr_field("escalations")?.iter().enumerate() {
+            let eobj = item.as_object(&format!("escalation[{i}]"))?;
+            self.escalations.push(Escalation {
+                time_ms: eobj.u64_field("t")?,
+                from: level_from(eobj.u64_field("from")?)?,
+                to: level_from(eobj.u64_field("to")?)?,
+            });
+        }
+        Ok(())
+    }
+
     /// Closes the final tick and folds everything into a summary.
     pub fn finalize(mut self) -> ReplaySummary {
         if let Some(open) = self.open_tick.take() {
@@ -572,6 +644,35 @@ impl StreamMonitor {
     /// The newline-terminated `/alerts` JSON document for this stream.
     pub fn alerts_json(&self) -> String {
         render_alerts_json(&self.engine)
+    }
+
+    /// Serializes the monitor's mutable state: the ingest-health
+    /// registry (value state), the alert engine, the open tick and the
+    /// firing watermark. Rules are configuration and are rebuilt by the
+    /// caller.
+    pub fn snapshot_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\"registry\":");
+        out.push_str(&self.reg.snapshot_json());
+        out.push_str(",\"engine\":");
+        out.push_str(&self.engine.snapshot_json());
+        if let Some(t) = self.open_tick {
+            let _ = write!(out, ",\"open_tick\":{t}");
+        }
+        let _ = write!(out, ",\"last_firings\":{}}}", self.last_firings);
+        out
+    }
+
+    /// Restores mutable state from a [`snapshot_json`](Self::snapshot_json)
+    /// document into a monitor built over the same rules.
+    pub fn restore_snapshot(&mut self, value: &simkit::jsonio::Json) -> Result<(), String> {
+        use simkit::jsonio::ObjFields as _;
+        let obj = value.as_object("monitor snapshot")?;
+        self.reg.restore_snapshot(obj.field("registry")?)?;
+        self.engine.restore_snapshot(obj.field("engine")?)?;
+        self.open_tick = obj.opt_u64_field("open_tick")?;
+        self.last_firings = obj.u64_field("last_firings")? as usize;
+        Ok(())
     }
 }
 
@@ -916,6 +1017,63 @@ mod tests {
             0
         );
         assert_eq!(mon.engine().rules().len(), default_alert_rules().len());
+    }
+
+    #[test]
+    fn pipeline_snapshot_resumes_byte_identically() {
+        // The headline recovery property, at the library layer: snapshot
+        // mid-stream at arbitrary cut points, rebuild from configuration,
+        // restore, ingest the rest — summary and alerts documents must be
+        // byte-identical to an uninterrupted run.
+        let records = spiky_trace();
+        let (full_summary, full_mon) = monitor_records(
+            1,
+            PipelineConfig::default(),
+            default_alert_rules(),
+            &records,
+        );
+        for cut in [1usize, 57, 120, 199, records.len() - 1] {
+            let mut pipe = ReplayPipeline::new(1, PipelineConfig::default());
+            let mut mon = StreamMonitor::new(default_alert_rules());
+            for r in &records[..cut] {
+                pipe.ingest(r);
+                mon.observe_record(
+                    r,
+                    pipe.level(),
+                    pipe.stack().fused().fired,
+                    pipe.stack().bank().firings().len(),
+                );
+            }
+            let pipe_doc =
+                simkit::jsonio::JsonParser::parse_document(&pipe.snapshot_json()).unwrap();
+            let mon_doc = simkit::jsonio::JsonParser::parse_document(&mon.snapshot_json()).unwrap();
+            let mut pipe2 = ReplayPipeline::new(1, PipelineConfig::default());
+            pipe2.restore_snapshot(&pipe_doc).unwrap();
+            assert_eq!(pipe2, pipe, "cut {cut}: restore must be bit-exact");
+            let mut mon2 = StreamMonitor::new(default_alert_rules());
+            mon2.restore_snapshot(&mon_doc).unwrap();
+            for r in &records[cut..] {
+                pipe2.ingest(r);
+                mon2.observe_record(
+                    r,
+                    pipe2.level(),
+                    pipe2.stack().fused().fired,
+                    pipe2.stack().bank().firings().len(),
+                );
+            }
+            let summary = pipe2.finalize();
+            mon2.finish(summary.final_level, false, summary.firing_count);
+            assert_eq!(summary.to_json(), full_summary.to_json(), "cut {cut}");
+            assert_eq!(mon2.alerts_json(), full_mon.alerts_json(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn pipeline_restore_rejects_wrong_shape() {
+        let pipe = ReplayPipeline::new(2, PipelineConfig::default());
+        let doc = simkit::jsonio::JsonParser::parse_document(&pipe.snapshot_json()).unwrap();
+        let mut wrong_racks = ReplayPipeline::new(1, PipelineConfig::default());
+        assert!(wrong_racks.restore_snapshot(&doc).is_err());
     }
 
     #[test]

@@ -9,10 +9,12 @@
 //! ```
 
 use std::path::PathBuf;
+use std::time::Duration;
 
 use pad::pipeline::PipelineConfig;
 use pad::policy::Strictness;
-use paddaemon::client::{http_get, send, SendJob};
+use paddaemon::chaos::{run_chaos, ChaosOptions};
+use paddaemon::client::{http_get, send, send_resumable, RetryOpts, SendJob};
 use paddaemon::server::{serve, ServeOptions};
 use simkit::telemetry::Format;
 
@@ -23,6 +25,7 @@ USAGE:
     padsimd serve [SERVE OPTIONS]
     padsimd send <target> [<telemetry-file>] [SEND OPTIONS]
     padsimd get <http-addr> <path>
+    padsimd chaos [CHAOS OPTIONS]
 
 SUBCOMMANDS:
     serve                        run the daemon until a shutdown control
@@ -49,9 +52,21 @@ SUBCOMMANDS:
                                                         see `padsim
                                                         inspect
                                                         --alert-schema`)
+                                 --state-dir <dir>      write per-tenant
+                                                        crash-recovery
+                                                        checkpoints here
+                                                        and restore them
+                                                        at startup
+                                 --max-buffered <n>     per-tenant line
+                                                        watermark before
+                                                        overload shedding
+                                 --idle-timeout <ms>    reap sessions
+                                                        silent this long
     send                         stream a recorded trace as one tenant
                                  session and print the daemon's replies.
                                  <target> is host:port or unix:<path>.
+                                 Exits 1 printing the daemon's error
+                                 when the hello is rejected.
                                  --tenant <name>        tenant (default
                                                         tenant-0)
                                  --format <jsonl|csv>   wire format
@@ -65,14 +80,38 @@ SUBCOMMANDS:
                                  --shutdown             finish with a
                                                         shutdown control
                                                         line
+                                 --resume               crash-tolerant
+                                                        path: reconnect
+                                                        with `hello …
+                                                        resume <seq>` and
+                                                        rewind to the
+                                                        daemon's acked
+                                                        sequence number
+                                 --retries <n>          reconnect budget
+                                                        for --resume
+                                                        (default 8)
     get                          HTTP GET against a running daemon and
                                  print the body (exit 1 on non-200).
+    chaos                        wire-level fault injection: run daemon
+                                 kill/restart and proxy-fault scenarios,
+                                 diff recovered outputs against an
+                                 uninterrupted baseline, and write
+                                 chaos_report.json. Exits nonzero when a
+                                 lossless scenario's outputs differ.
+                                 --ci-smoke             run the built-in
+                                                        scenario set
+                                 --out <dir>            scratch/report
+                                                        dir (default
+                                                        chaos-out/)
+                                 --seed <n>             trace seed
 
-The wire protocol is line-oriented: `hello <tenant> [jsonl|csv]`, then
-telemetry/span lines exactly as recorded by padsim (`--telemetry` /
-`--trace` output streams verbatim), then `end`. The `end` reply is the
-replay-summary JSON, byte-identical to `padsim detect --replay --json`
-on the same records.
+The wire protocol is line-oriented: `hello <tenant> [jsonl|csv]`
+(append `resume <seq>` to re-attach after a disconnect; the ack
+`ok hello <tenant> seq <S>` names the daemon's durable sequence
+number), then telemetry/span lines exactly as recorded by padsim
+(`--telemetry` / `--trace` output streams verbatim), then `end`. The
+`end` reply is the replay-summary JSON, byte-identical to `padsim
+detect --replay --json` on the same records.
 ";
 
 fn fail(message: &str) -> ! {
@@ -87,9 +126,49 @@ fn main() {
         Some("serve") => run_serve(args),
         Some("send") => run_send(args),
         Some("get") => run_get(args),
+        Some("chaos") => run_chaos_cmd(args),
         Some("-h" | "--help") => println!("{USAGE}"),
         Some(other) => fail(&format!("unknown subcommand {other:?}")),
-        None => fail("a subcommand is required (serve, send, get)"),
+        None => fail("a subcommand is required (serve, send, get, chaos)"),
+    }
+}
+
+fn run_chaos_cmd(mut it: impl Iterator<Item = String>) {
+    let mut opts = ChaosOptions::default();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{name} requires a value")))
+        };
+        match flag.as_str() {
+            "--ci-smoke" => opts.ci_smoke = true,
+            "--out" => opts.out = PathBuf::from(value("--out")),
+            "--seed" => {
+                opts.seed = value("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--seed expects an integer"))
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => fail(&format!("unknown chaos argument {other:?}")),
+        }
+    }
+    let daemon = std::env::current_exe()
+        .unwrap_or_else(|e| fail(&format!("cannot locate the padsimd binary: {e}")));
+    opts.daemon_bin = daemon;
+    match run_chaos(&opts) {
+        Ok(report) => {
+            print!("{}", report.render_text());
+            if !report.all_lossless_identical() {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("padsimd: chaos harness error: {e}");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -127,6 +206,21 @@ fn run_serve(mut it: impl Iterator<Item = String>) {
                     .unwrap_or_else(|e| fail(&format!("bad alert rules in {path}: {e}")));
                 opts.alert_rules = Some(rules);
             }
+            "--state-dir" => opts.state_dir = Some(PathBuf::from(value("--state-dir"))),
+            "--max-buffered" => {
+                opts.max_buffered_lines = Some(
+                    value("--max-buffered")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--max-buffered expects a line count")),
+                )
+            }
+            "--idle-timeout" => {
+                opts.idle_timeout = Some(Duration::from_millis(
+                    value("--idle-timeout")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--idle-timeout expects milliseconds")),
+                ))
+            }
             "-h" | "--help" => {
                 println!("{USAGE}");
                 return;
@@ -152,6 +246,8 @@ fn run_send(mut it: impl Iterator<Item = String>) {
     };
     let mut format_given = false;
     let mut spans_file: Option<PathBuf> = None;
+    let mut resume = false;
+    let mut retries = RetryOpts::default();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| {
             it.next()
@@ -171,6 +267,12 @@ fn run_send(mut it: impl Iterator<Item = String>) {
             "--spans" => spans_file = Some(PathBuf::from(value("--spans"))),
             "--no-end" => job.end = false,
             "--shutdown" => job.shutdown = true,
+            "--resume" => resume = true,
+            "--retries" => {
+                retries.max_attempts = value("--retries")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--retries expects an attempt count"))
+            }
             "-h" | "--help" => {
                 println!("{USAGE}");
                 return;
@@ -203,10 +305,26 @@ fn run_send(mut it: impl Iterator<Item = String>) {
                 .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", path.display()))),
         );
     }
-    match send(&target, &job) {
+    let result = if resume {
+        send_resumable(&target, &job, &retries)
+    } else {
+        send(&target, &job)
+    };
+    match result {
         Ok(replies) => {
-            for line in replies {
-                println!("{line}");
+            // A rejected hello surfaces as an `err …` reply line on the
+            // one-shot path: print it to stderr and exit nonzero so
+            // scripts see the failure.
+            let rejected = replies.iter().any(|line| line.starts_with("err "));
+            for line in &replies {
+                if line.starts_with("err ") {
+                    eprintln!("padsimd: {line}");
+                } else {
+                    println!("{line}");
+                }
+            }
+            if rejected {
+                std::process::exit(1);
             }
         }
         Err(e) => {

@@ -65,15 +65,22 @@ impl Reply {
     }
 }
 
+/// Hard cap on the request line; longer lines are answered 400 and the
+/// excess is never buffered.
+const MAX_REQUEST_LINE: usize = 8192;
+
 /// Serves one HTTP exchange on `stream` and closes it.
 pub fn handle_http<S: Read + Write>(stream: S, state: &DaemonState) -> io::Result<()> {
     Counters::bump(&state.counters.http_requests);
     let started = state.self_obs.then(Instant::now);
     let mut reader = BufReader::new(stream);
-    let mut request_line = String::new();
-    loop {
-        match reader.read_line(&mut request_line) {
-            Ok(_) => break,
+    let mut request_line: Vec<u8> = Vec::new();
+    // Bounded request-line framing: a newline must arrive within
+    // MAX_REQUEST_LINE bytes or the request is rejected without
+    // buffering the rest. EOF before the newline is equally malformed.
+    let well_formed = loop {
+        let available = match reader.fill_buf() {
+            Ok(available) => available,
             Err(e)
                 if matches!(
                     e.kind(),
@@ -83,14 +90,42 @@ pub fn handle_http<S: Read + Write>(stream: S, state: &DaemonState) -> io::Resul
                 if state.shutting_down() {
                     return Ok(());
                 }
+                continue;
             }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            break false; // EOF with no terminator
         }
-    }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                let take = pos + 1;
+                if request_line.len() + take <= MAX_REQUEST_LINE {
+                    request_line.extend_from_slice(&available[..take]);
+                    reader.consume(take);
+                    break true;
+                }
+                reader.consume(take);
+                break false;
+            }
+            None => {
+                let len = available.len();
+                let fits = request_line.len() + len <= MAX_REQUEST_LINE;
+                if fits {
+                    request_line.extend_from_slice(available);
+                }
+                reader.consume(len);
+                if !fits {
+                    break false;
+                }
+            }
+        }
+    };
+    let request_line = String::from_utf8_lossy(&request_line);
     let mut parts = request_line.split_ascii_whitespace();
-    let reply = match (parts.next(), parts.next()) {
-        (Some("GET"), Some(path)) => route(state, path),
+    let reply = match (well_formed, parts.next(), parts.next()) {
+        (true, Some("GET"), Some(path)) => route(state, path),
         _ => Reply {
             status: "400 Bad Request",
             content_type: "text/plain",
@@ -133,12 +168,14 @@ fn route(state: &DaemonState, path: &str) -> Reply {
     match path {
         "/healthz" => Reply::ok("text/plain", "ok\n".to_string()),
         "/readyz" => {
-            if state.is_ready() {
-                Reply::ok("text/plain", "ready\n".to_string())
-            } else if state.shutting_down() {
+            if state.shutting_down() {
                 Reply::unavailable("draining\n")
-            } else {
+            } else if !state.is_ready() {
                 Reply::unavailable("starting\n")
+            } else if Counters::get(&state.counters.overloaded_tenants) > 0 {
+                Reply::unavailable("overloaded\n")
+            } else {
+                Reply::ok("text/plain", "ready\n".to_string())
             }
         }
         "/statusz" => Reply::ok("application/json", render_statusz(state)),
@@ -275,7 +312,9 @@ fn render_statusz(state: &DaemonState) -> String {
         "{{\"ready\":{},\"draining\":{},\"self_obs\":{},\"tenants\":{},\
          \"sessions_opened\":{},\"sessions_closed\":{},\"active_sessions\":{},\
          \"records\":{},\"spans\":{},\"parse_errors\":{},\"http_requests\":{},\
-         \"alerts_firing\":{},\"ops_log_entries\":{},\"ops_log_dropped\":{}}}\n",
+         \"alerts_firing\":{},\"ops_log_entries\":{},\"ops_log_dropped\":{},\
+         \"lines_shed\":{},\"checkpoints_written\":{},\"checkpoint_frames\":{},\
+         \"sessions_reaped\":{},\"overloaded_tenants\":{}}}\n",
         state.is_ready(),
         state.shutting_down(),
         state.self_obs,
@@ -290,6 +329,11 @@ fn render_statusz(state: &DaemonState) -> String {
         firing,
         state.with_ops_log(|log| log.len()),
         state.with_ops_log(|log| log.dropped()),
+        Counters::get(&c.lines_shed),
+        Counters::get(&c.checkpoints_written),
+        Counters::get(&c.checkpoint_frames),
+        Counters::get(&c.sessions_reaped),
+        Counters::get(&c.overloaded_tenants),
     )
 }
 
@@ -318,7 +362,7 @@ fn render_tenant_list(state: &DaemonState) -> String {
 fn render_metrics(state: &DaemonState) -> String {
     let c = &state.counters;
     let mut out = String::new();
-    let self_counters: [(&str, &str, u64); 9] = [
+    let self_counters: [(&str, &str, u64); 13] = [
         (
             "padsimd_sessions_opened_total",
             "sessions opened (hello)",
@@ -364,6 +408,26 @@ fn render_metrics(state: &DaemonState) -> String {
             "HTTP responses with a 5xx status",
             Counters::get(&c.http_5xx),
         ),
+        (
+            "padsimd_lines_shed_total",
+            "data lines dropped by overload shedding",
+            Counters::get(&c.lines_shed),
+        ),
+        (
+            "padsimd_checkpoints_written_total",
+            "tenant base checkpoints written to the state dir",
+            Counters::get(&c.checkpoints_written),
+        ),
+        (
+            "padsimd_checkpoint_frames_total",
+            "delta frames appended to checkpoint journals",
+            Counters::get(&c.checkpoint_frames),
+        ),
+        (
+            "padsimd_sessions_reaped_total",
+            "sessions closed by the idle-timeout reaper",
+            Counters::get(&c.sessions_reaped),
+        ),
     ];
     for (name, help, value) in self_counters {
         let _ = writeln!(out, "# HELP {name} {help}");
@@ -384,6 +448,16 @@ fn render_metrics(state: &DaemonState) -> String {
         out,
         "padsimd_active_sessions {}",
         Counters::get(&c.active_sessions)
+    );
+    let _ = writeln!(
+        out,
+        "# HELP padsimd_overloaded_tenants tenant streams currently shedding load"
+    );
+    let _ = writeln!(out, "# TYPE padsimd_overloaded_tenants gauge");
+    let _ = writeln!(
+        out,
+        "padsimd_overloaded_tenants {}",
+        Counters::get(&c.overloaded_tenants)
     );
 
     // Daemon-wide wall-clock histograms (ingest latency, HTTP latency)
@@ -525,7 +599,7 @@ mod tests {
 
     fn seeded_state() -> DaemonState {
         let state = DaemonState::new(PipelineConfig::default());
-        let tenant = state.open_tenant("acme", Format::Jsonl);
+        let (tenant, _) = state.open_tenant("acme", Format::Jsonl);
         let trace = "{\"t\":0,\"m\":\"rack-00.draw_w\",\"v\":100}\n\
                      {\"t\":100,\"m\":\"rack-00.draw_w\",\"v\":102}\n\
                      {\"t\":100,\"e\":\"breaker_trip\",\"s\":\"rack-00\",\"v\":1}\n";
@@ -538,30 +612,35 @@ mod tests {
         state
     }
 
-    fn get(state: &DaemonState, path: &str) -> String {
-        struct Duplex {
-            input: io::Cursor<Vec<u8>>,
-            output: Vec<u8>,
+    struct Duplex {
+        input: io::Cursor<Vec<u8>>,
+        output: Vec<u8>,
+    }
+    impl Read for Duplex {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.input.read(buf)
         }
-        impl Read for Duplex {
-            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-                self.input.read(buf)
-            }
+    }
+    impl Write for Duplex {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.output.write(buf)
         }
-        impl Write for Duplex {
-            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-                self.output.write(buf)
-            }
-            fn flush(&mut self) -> io::Result<()> {
-                Ok(())
-            }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
         }
+    }
+
+    fn raw(state: &DaemonState, request: &[u8]) -> String {
         let mut stream = Duplex {
-            input: io::Cursor::new(format!("GET {path} HTTP/1.0\r\n\r\n").into_bytes()),
+            input: io::Cursor::new(request.to_vec()),
             output: Vec::new(),
         };
         handle_http(&mut stream, state).unwrap();
         String::from_utf8(stream.output).unwrap()
+    }
+
+    fn get(state: &DaemonState, path: &str) -> String {
+        raw(state, format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
     }
 
     #[test]
@@ -666,9 +745,69 @@ mod tests {
     }
 
     #[test]
+    fn hostile_requests_get_4xx_and_are_counted() {
+        let state = DaemonState::new(PipelineConfig::default());
+        // Oversized request line: no newline within the cap.
+        let mut flood = b"GET /".to_vec();
+        flood.extend(std::iter::repeat_n(b'a', MAX_REQUEST_LINE + 1024));
+        flood.extend_from_slice(b" HTTP/1.0\r\n\r\n");
+        assert!(raw(&state, &flood).starts_with("HTTP/1.0 400"));
+        // Missing terminator: EOF before any newline.
+        assert!(raw(&state, b"GET /healthz HTTP/1.0").starts_with("HTTP/1.0 400"));
+        // Unknown method.
+        assert!(raw(&state, b"POST /healthz HTTP/1.0\r\n\r\n").starts_with("HTTP/1.0 400"));
+        // Binary garbage.
+        assert!(raw(&state, b"\xff\xfe\x00\x01\n").starts_with("HTTP/1.0 400"));
+        assert_eq!(Counters::get(&state.counters.http_4xx), 4);
+        assert_eq!(Counters::get(&state.counters.http_5xx), 0);
+        assert_eq!(Counters::get(&state.counters.http_requests), 4);
+    }
+
+    #[test]
+    fn pipelined_requests_serve_the_first_and_close() {
+        let state = DaemonState::new(PipelineConfig::default());
+        let response = raw(
+            &state,
+            b"GET /healthz HTTP/1.0\r\nGET /statusz HTTP/1.0\r\n\r\njunk trailing bytes\n",
+        );
+        assert!(response.starts_with("HTTP/1.0 200"), "{response}");
+        assert!(response.contains("Connection: close"));
+        assert!(response.ends_with("ok\n"), "one response only: {response}");
+        assert_eq!(Counters::get(&state.counters.http_2xx), 1);
+    }
+
+    #[test]
+    fn readyz_reports_overload_as_unavailable() {
+        let state = DaemonState::new(PipelineConfig::default());
+        state.set_ready(true);
+        assert!(get(&state, "/readyz").starts_with("HTTP/1.0 200"));
+        Counters::bump(&state.counters.overloaded_tenants);
+        let overloaded = get(&state, "/readyz");
+        assert!(overloaded.starts_with("HTTP/1.0 503"), "{overloaded}");
+        assert!(overloaded.ends_with("overloaded\n"));
+        Counters::drop_one(&state.counters.overloaded_tenants);
+        assert!(get(&state, "/readyz").starts_with("HTTP/1.0 200"));
+    }
+
+    #[test]
+    fn metrics_exposes_robustness_counters() {
+        let state = DaemonState::new(PipelineConfig::default());
+        let response = get(&state, "/metrics");
+        assert!(response.contains("padsimd_lines_shed_total 0\n"));
+        assert!(response.contains("padsimd_checkpoints_written_total 0\n"));
+        assert!(response.contains("padsimd_sessions_reaped_total 0\n"));
+        assert!(response.contains("padsimd_overloaded_tenants 0\n"));
+        let statusz = get(&state, "/statusz");
+        assert!(statusz.contains("\"lines_shed\":0"));
+        assert!(statusz.contains("\"checkpoints_written\":0"));
+        assert!(statusz.contains("\"sessions_reaped\":0"));
+        assert!(statusz.contains("\"overloaded_tenants\":0"));
+    }
+
+    #[test]
     fn summary_is_404_while_the_stream_is_open() {
         let state = DaemonState::new(PipelineConfig::default());
-        let tenant = state.open_tenant("open", Format::Jsonl);
+        let (tenant, _) = state.open_tenant("open", Format::Jsonl);
         for r in parse(
             "{\"t\":0,\"m\":\"rack-00.draw_w\",\"v\":1}\n",
             Format::Jsonl,

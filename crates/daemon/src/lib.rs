@@ -32,11 +32,26 @@
 //!   operational surfaces, and the `/tenants/...` JSON API;
 //! * [`server`] — non-blocking accept loops, thread-per-session,
 //!   graceful shutdown with per-tenant output flush;
-//! * [`client`] — the `send`/`get` helpers the CLI and CI use.
+//! * [`client`] — the `send`/`get` helpers the CLI and CI use, plus
+//!   the crash-tolerant [`send_resumable`](client::send_resumable)
+//!   reconnect-and-rewind path;
+//! * [`chaos`] — the wire-level fault-injection harness behind
+//!   `padsimd chaos`: kill/restart and proxy-fault scenarios diffed
+//!   byte-for-byte against an uninterrupted baseline.
+//!
+//! ## Crash tolerance
+//!
+//! With `--state-dir`, every tenant's full pipeline state (records,
+//! spans, detector/policy/alert snapshots) is checkpointed atomically
+//! at detector-tick boundaries and restored on startup; clients
+//! re-attach with `hello <tenant> [fmt] resume <seq>` and rewind to
+//! the daemon's acked durable sequence number, so a `SIGKILL` at any
+//! point costs neither a replayed nor a dropped line.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod chaos;
 pub mod client;
 pub mod http;
 pub mod proto;
@@ -44,7 +59,8 @@ pub mod server;
 pub mod session;
 pub mod state;
 
-pub use client::{http_get, send, Conn, SendJob};
+pub use chaos::{run_chaos, ChaosOptions, ChaosReport};
+pub use client::{http_get, open_resume, send, send_resumable, Conn, RetryOpts, SendJob};
 pub use proto::{classify, valid_tenant, Control, Line};
 pub use server::{flush_outputs, serve, ServeOptions, READ_TIMEOUT};
 pub use session::{run_session, SessionStats};

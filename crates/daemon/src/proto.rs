@@ -14,9 +14,11 @@
 //! * CSV — the telemetry header opens a telemetry block, the span
 //!   header opens a span block, and rows bind to the open block.
 //!
-//! Control replies are single lines: `ok hello <tenant>` / `pong` /
-//! the replay-summary JSON (for `end`) / `ok shutdown`. Data lines are
-//! never acknowledged, so a sender can stream at full throughput.
+//! Control replies are single lines: `ok hello <tenant>` (or
+//! `ok hello <tenant> seq <S>` for a resume, or `busy retry-after <ms>`
+//! when the tenant is shedding load) / `pong` / the replay-summary
+//! JSON (for `end`) / `ok shutdown`. Data lines are never
+//! acknowledged, so a sender can stream at full throughput.
 
 use simkit::telemetry::Format;
 
@@ -26,12 +28,18 @@ pub const MAX_TENANT_LEN: usize = 64;
 /// A parsed control line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Control {
-    /// `hello <tenant> [jsonl|csv]` — open (or reset) a tenant stream.
+    /// `hello <tenant> [jsonl|csv] [resume <seq>]` — open (or reset) a
+    /// tenant stream. With `resume`, the stream is re-attached instead
+    /// of reset: the daemon replies `ok hello <tenant> seq <S>` where
+    /// `S` is its durable sequence number, and the client rewinds its
+    /// send buffer to line `S`.
     Hello {
         /// The tenant the rest of the session's data lines belong to.
         tenant: String,
         /// Wire format of the session's data lines.
         format: Format,
+        /// The client's last-sent sequence number, when reconnecting.
+        resume: Option<u64>,
     },
     /// `end` — close the tenant stream; the daemon replies with the
     /// replay-summary JSON.
@@ -87,19 +95,36 @@ pub fn classify(line: &str) -> Line {
             if !valid_tenant(tenant) {
                 return Line::BadControl(format!("invalid tenant name {tenant:?}"));
             }
-            let format = match words.next() {
-                None => Format::Jsonl,
-                Some(name) => match Format::from_name(name) {
-                    Some(f) => f,
-                    None => return Line::BadControl(format!("unknown format {name:?}")),
-                },
+            let mut format = Format::Jsonl;
+            let mut next = words.next();
+            if let Some(name) = next {
+                if name != "resume" {
+                    match Format::from_name(name) {
+                        Some(f) => format = f,
+                        None => return Line::BadControl(format!("unknown format {name:?}")),
+                    }
+                    next = words.next();
+                }
+            }
+            let resume = match next {
+                None => None,
+                Some("resume") => {
+                    let Some(seq) = words.next().and_then(|s| s.parse::<u64>().ok()) else {
+                        return Line::BadControl("resume requires a sequence number".to_string());
+                    };
+                    Some(seq)
+                }
+                Some(extra) => {
+                    return Line::BadControl(format!("unexpected hello argument {extra:?}"))
+                }
             };
             if words.next().is_some() {
-                return Line::BadControl("hello takes at most two arguments".to_string());
+                return Line::BadControl("hello takes at most four arguments".to_string());
             }
             Line::Control(Control::Hello {
                 tenant: tenant.to_string(),
                 format,
+                resume,
             })
         }
         Some("end") if words.next().is_none() => Line::Control(Control::End),
@@ -123,6 +148,7 @@ mod tests {
             Line::Control(Control::Hello {
                 tenant: "acme".to_string(),
                 format: Format::Jsonl,
+                resume: None,
             })
         );
         assert_eq!(
@@ -130,12 +156,42 @@ mod tests {
             Line::Control(Control::Hello {
                 tenant: "rack-farm.eu".to_string(),
                 format: Format::Csv,
+                resume: None,
             })
         );
         assert_eq!(classify("end"), Line::Control(Control::End));
         assert_eq!(classify("ping\r\n"), Line::Control(Control::Ping));
         assert_eq!(classify("shutdown"), Line::Control(Control::Shutdown));
         assert_eq!(classify(""), Line::Blank);
+    }
+
+    #[test]
+    fn hello_resume_parses_with_and_without_format() {
+        assert_eq!(
+            classify("hello acme resume 42"),
+            Line::Control(Control::Hello {
+                tenant: "acme".to_string(),
+                format: Format::Jsonl,
+                resume: Some(42),
+            })
+        );
+        assert_eq!(
+            classify("hello acme csv resume 0"),
+            Line::Control(Control::Hello {
+                tenant: "acme".to_string(),
+                format: Format::Csv,
+                resume: Some(0),
+            })
+        );
+        assert!(matches!(classify("hello acme resume"), Line::BadControl(_)));
+        assert!(matches!(
+            classify("hello acme resume -3"),
+            Line::BadControl(_)
+        ));
+        assert!(matches!(
+            classify("hello acme csv resume 1 extra"),
+            Line::BadControl(_)
+        ));
     }
 
     #[test]

@@ -53,15 +53,37 @@ pub struct ServeOptions {
     /// Alert rules for every tenant monitor; `None` runs
     /// [`pad::pipeline::default_alert_rules`].
     pub alert_rules: Option<Vec<AlertRule>>,
+    /// Directory for per-tenant crash-recovery checkpoints. When set,
+    /// the daemon restores every `<tenant>.ckpt` found at startup and
+    /// rewrites checkpoints at detector-tick boundaries.
+    pub state_dir: Option<PathBuf>,
+    /// Per-tenant buffered-line watermark before overload shedding;
+    /// `None` uses [`crate::state::MAX_BUFFERED_LINES_DEFAULT`].
+    pub max_buffered_lines: Option<usize>,
+    /// Close sessions that stay silent this long; `None` never reaps.
+    pub idle_timeout: Option<Duration>,
 }
 
 /// Runs the daemon until a `shutdown` control line arrives; returns
 /// after the drain and flush complete.
 pub fn serve(opts: ServeOptions) -> io::Result<()> {
-    let state = Arc::new(match opts.alert_rules.clone() {
+    let mut state = match opts.alert_rules.clone() {
         Some(rules) => DaemonState::with_rules(opts.config, rules, true),
         None => DaemonState::new(opts.config),
-    });
+    };
+    state.state_dir = opts.state_dir.clone();
+    if let Some(max) = opts.max_buffered_lines {
+        state.max_buffered_lines = max;
+    }
+    state.idle_timeout = opts.idle_timeout;
+    if let Some(dir) = &state.state_dir {
+        std::fs::create_dir_all(dir)?;
+        let restored = state.load_checkpoints()?;
+        if restored > 0 {
+            println!("padsimd: restored {restored} tenant checkpoint(s)");
+        }
+    }
+    let state = Arc::new(state);
     let data_listener = match (&opts.listen, &opts.uds) {
         (Some(addr), _) => Some(bind_tcp(addr)?),
         (None, None) => Some(bind_tcp("127.0.0.1:0")?),

@@ -11,6 +11,14 @@ use simkit::trace::{is_span_csv_header, parse_span_line};
 use crate::proto::{classify, Control, Line};
 use crate::state::{Counters, DaemonState, Tenant};
 
+/// Hard cap on one wire line, including its newline. Longer lines are
+/// discarded (never buffered) and answered with an `err` reply, so a
+/// client that forgets its newlines cannot balloon daemon memory.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Retry hint, in milliseconds, sent with a `busy` admission refusal.
+pub const RETRY_AFTER_MS: u64 = 1000;
+
 /// Which block a CSV session's header most recently opened.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum CsvBlock {
@@ -55,6 +63,104 @@ struct Poll {
     records_before: u64,
 }
 
+/// One wire line, as framed by [`LineReader`].
+enum WireLine {
+    /// Clean end of stream.
+    Eof,
+    /// A complete, newline-terminated UTF-8 line.
+    Text(String),
+    /// A line longer than [`MAX_LINE_BYTES`]; its bytes were discarded.
+    Oversized,
+    /// A newline-terminated line that was not valid UTF-8.
+    BadUtf8,
+}
+
+/// Bounded, restartable line framing over a non-blocking stream.
+///
+/// Unlike `BufRead::read_line`, this (a) caps how many bytes one line
+/// may buffer, discarding the rest of an oversized line instead of
+/// growing without bound, and (b) turns invalid UTF-8 into a per-line
+/// verdict instead of a session-fatal `InvalidData` error. Partial
+/// lines survive `WouldBlock`: accumulated bytes stay in `buf` and the
+/// next call resumes where the read left off.
+struct LineReader<S: Read> {
+    inner: BufReader<S>,
+    buf: Vec<u8>,
+    /// `true` while skipping the remainder of an oversized line.
+    discarding: bool,
+}
+
+impl<S: Read> LineReader<S> {
+    fn new(stream: S) -> Self {
+        LineReader {
+            inner: BufReader::new(stream),
+            buf: Vec::new(),
+            discarding: false,
+        }
+    }
+
+    fn get_mut(&mut self) -> &mut S {
+        self.inner.get_mut()
+    }
+
+    /// Reads the next line, propagating `WouldBlock`/`TimedOut` with
+    /// all partial-line state intact.
+    fn next_line(&mut self) -> io::Result<WireLine> {
+        loop {
+            let available = self.inner.fill_buf()?;
+            if available.is_empty() {
+                // EOF. An unterminated trailing fragment is
+                // indistinguishable from a connection cut mid-write,
+                // so it is never committed — only newline-terminated
+                // lines count, and a resuming client re-sends the
+                // fragment in full. Committing it would advance the
+                // durable sequence number past data the client never
+                // finished delivering.
+                self.buf.clear();
+                self.discarding = false;
+                return Ok(WireLine::Eof);
+            }
+            match available.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    let take = pos + 1;
+                    if !self.discarding && self.buf.len() + take <= MAX_LINE_BYTES {
+                        self.buf.extend_from_slice(&available[..take]);
+                    } else if !self.discarding {
+                        self.discarding = true;
+                        self.buf.clear();
+                    }
+                    self.inner.consume(take);
+                    return Ok(self.take_line());
+                }
+                None => {
+                    let len = available.len();
+                    if !self.discarding {
+                        if self.buf.len() + len > MAX_LINE_BYTES {
+                            self.discarding = true;
+                            self.buf.clear();
+                        } else {
+                            self.buf.extend_from_slice(available);
+                        }
+                    }
+                    self.inner.consume(len);
+                }
+            }
+        }
+    }
+
+    fn take_line(&mut self) -> WireLine {
+        if self.discarding {
+            self.discarding = false;
+            self.buf.clear();
+            return WireLine::Oversized;
+        }
+        match String::from_utf8(std::mem::take(&mut self.buf)) {
+            Ok(text) => WireLine::Text(text),
+            Err(_) => WireLine::BadUtf8,
+        }
+    }
+}
+
 fn run_session_inner<S: Read + Write>(stream: S, state: &DaemonState) -> io::Result<SessionStats> {
     let mut session = Session {
         state,
@@ -63,17 +169,20 @@ fn run_session_inner<S: Read + Write>(stream: S, state: &DaemonState) -> io::Res
         csv_block: CsvBlock::Telemetry,
         line_no: 0,
         stats: SessionStats::default(),
+        generation: 0,
+        fenced: false,
     };
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    let mut reader = LineReader::new(stream);
     let mut poll: Option<Poll> = None;
+    let mut last_read = Instant::now();
     loop {
         if state.shutting_down() {
             break;
         }
-        match reader.read_line(&mut line) {
-            Ok(0) => break,
-            Ok(_) => {
+        match reader.next_line() {
+            Ok(WireLine::Eof) => break,
+            Ok(wire) => {
+                last_read = Instant::now();
                 if state.self_obs {
                     let poll = poll.get_or_insert_with(|| Poll {
                         started: Instant::now(),
@@ -82,8 +191,14 @@ fn run_session_inner<S: Read + Write>(stream: S, state: &DaemonState) -> io::Res
                     });
                     poll.lines += 1;
                 }
-                let reply = session.handle_line(&line);
-                line.clear();
+                let reply = match wire {
+                    WireLine::Text(line) => session.handle_line(&line),
+                    WireLine::Oversized => {
+                        session.error(&format!("line exceeds {MAX_LINE_BYTES} bytes"))
+                    }
+                    WireLine::BadUtf8 => session.error("line is not valid UTF-8"),
+                    WireLine::Eof => unreachable!("handled above"),
+                };
                 if let Some(reply) = reply {
                     let stream = reader.get_mut();
                     stream.write_all(reply.as_bytes())?;
@@ -93,8 +208,8 @@ fn run_session_inner<S: Read + Write>(stream: S, state: &DaemonState) -> io::Res
                     break;
                 }
             }
-            // A timeout may have appended a partial line to `line`;
-            // keep it and resume — the next read completes it.
+            // A timeout leaves any partial line buffered in the reader;
+            // the next read resumes where it left off.
             Err(e)
                 if matches!(
                     e.kind(),
@@ -102,6 +217,18 @@ fn run_session_inner<S: Read + Write>(stream: S, state: &DaemonState) -> io::Res
                 ) =>
             {
                 session.flush_poll(&mut poll);
+                if let Some(timeout) = state.idle_timeout {
+                    if last_read.elapsed() >= timeout {
+                        Counters::bump(&state.counters.sessions_reaped);
+                        let tenant = session
+                            .tenant
+                            .as_ref()
+                            .map(|t| t.lock().expect("tenant lock").name.clone())
+                            .unwrap_or_default();
+                        state.log_event("session_idle_reap", &tenant, "");
+                        break;
+                    }
+                }
                 continue;
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -120,31 +247,96 @@ struct Session<'a> {
     csv_block: CsvBlock,
     line_no: usize,
     stats: SessionStats,
+    /// The tenant generation this session attached under. When the
+    /// tenant's live generation moves past it, a newer session has
+    /// taken over and this one is fenced.
+    generation: u64,
+    /// Set once fencing is detected: the rest of this connection is
+    /// ignored. A cut socket can keep draining buffered lines after
+    /// the client has already reconnected; committing them would race
+    /// the resumed stream and duplicate records.
+    fenced: bool,
 }
 
 impl Session<'_> {
     /// Processes one complete line, returning the reply to send, if any.
     fn handle_line(&mut self, raw: &str) -> Option<String> {
+        if self.fenced {
+            // A superseded session is inert: it drains its socket
+            // without committing, replying, or erroring.
+            return None;
+        }
         self.line_no += 1;
         match classify(raw) {
             Line::Blank => None,
             Line::Control(Control::Ping) => Some("pong\n".to_string()),
-            Line::Control(Control::Hello { tenant, format }) => {
+            Line::Control(Control::Hello {
+                tenant,
+                format,
+                resume,
+            }) => {
                 // Ending the previous stream first keeps `hello a …
                 // hello b` on one connection well-formed.
                 self.finish_open_tenant();
-                self.format = format;
                 self.csv_block = CsvBlock::Telemetry;
-                self.tenant = Some(self.state.open_tenant(&tenant, format));
-                Some(format!("ok hello {tenant}\n"))
+                match resume {
+                    // A plain hello resets the tenant, which also clears
+                    // any overload: the reset empties the buffers that
+                    // caused it.
+                    None => {
+                        self.format = format;
+                        let (handle, generation) = self.state.open_tenant(&tenant, format);
+                        self.generation = generation;
+                        self.tenant = Some(handle);
+                        Some(format!("ok hello {tenant}\n"))
+                    }
+                    // A resume re-attaches without resetting. The ack
+                    // carries the daemon's durable sequence number; the
+                    // client rewinds its send buffer to that line, so
+                    // the client's claimed position is advisory only.
+                    Some(_client_seq) => {
+                        if let Some(handle) = self.state.tenant(&tenant) {
+                            if handle.lock().expect("tenant lock").overloaded {
+                                self.state.log_event("session_busy", &tenant, "");
+                                return Some(format!("busy retry-after {RETRY_AFTER_MS}\n"));
+                            }
+                        }
+                        match self.state.resume_tenant(&tenant, format) {
+                            Ok((handle, seq, generation)) => {
+                                self.format = format;
+                                self.generation = generation;
+                                self.tenant = Some(handle);
+                                Some(format!("ok hello {tenant} seq {seq}\n"))
+                            }
+                            Err(message) => self.error(&message),
+                        }
+                    }
+                }
             }
             Line::Control(Control::End) => match self.tenant.take() {
                 Some(tenant) => {
                     let mut guard = tenant.lock().expect("tenant lock");
+                    if guard.generation != self.generation {
+                        let name = guard.name.clone();
+                        drop(guard);
+                        self.fence(&name);
+                        return None;
+                    }
                     let json = guard.finalize().to_json();
                     let name = guard.name.clone();
                     let transitions = guard.take_transitions();
+                    // Close-of-stream durability: a finished delta frame
+                    // (or the base itself if no tick ever wrote one).
+                    let ckpt_err = if guard.checkpoint_due() {
+                        self.state.write_checkpoint(&mut guard).err()
+                    } else {
+                        self.state.append_checkpoint_frame(&mut guard).err()
+                    };
                     drop(guard);
+                    if let Some(e) = ckpt_err {
+                        self.state
+                            .log_event("checkpoint_error", &name, &e.to_string());
+                    }
                     self.log_transitions(&name, &transitions);
                     Counters::bump(&self.state.counters.sessions_closed);
                     self.state.log_event("session_end", &name, "");
@@ -169,26 +361,63 @@ impl Session<'_> {
         };
         let text = raw.trim_end_matches(['\r', '\n']);
         let line_no = self.line_no;
+        // CSV headers only switch blocks — they buffer nothing, advance
+        // no sequence number, and are exempt from shedding.
+        if self.format == Format::Csv {
+            if is_csv_header(text) {
+                self.csv_block = CsvBlock::Telemetry;
+                return None;
+            }
+            if is_span_csv_header(text) {
+                self.csv_block = CsvBlock::Spans;
+                return None;
+            }
+        }
+        // Overload shedding: past the watermark the line is dropped
+        // with accounting but without advancing the stream sequence, so
+        // a resuming client retransmits it.
+        {
+            let mut guard = tenant.lock().expect("tenant lock");
+            if guard.generation != self.generation {
+                let name = guard.name.clone();
+                drop(guard);
+                self.fence(&name);
+                return None;
+            }
+            if guard.buffered_lines() >= self.state.max_buffered_lines {
+                guard.shed += 1;
+                Counters::bump(&self.state.counters.lines_shed);
+                let newly = !guard.overloaded;
+                guard.overloaded = true;
+                let name = guard.name.clone();
+                let buffered = guard.buffered_lines();
+                drop(guard);
+                if newly {
+                    Counters::bump(&self.state.counters.overloaded_tenants);
+                    self.state
+                        .log_event("overload_shed", &name, &format!("buffered={buffered}"));
+                }
+                return None;
+            }
+        }
         // Channel framing: JSONL lines self-describe by prefix; CSV rows
         // bind to whichever block the last header opened.
         let is_span = match self.format {
             Format::Jsonl => text.starts_with("{\"id\":"),
-            Format::Csv => {
-                if is_csv_header(text) {
-                    self.csv_block = CsvBlock::Telemetry;
-                    return None;
-                }
-                if is_span_csv_header(text) {
-                    self.csv_block = CsvBlock::Spans;
-                    return None;
-                }
-                self.csv_block == CsvBlock::Spans
-            }
+            Format::Csv => self.csv_block == CsvBlock::Spans,
         };
         if is_span {
             match parse_span_line(text, line_no, self.format) {
                 Ok(span) => {
-                    tenant.lock().expect("tenant lock").ingest_span(span);
+                    let mut guard = tenant.lock().expect("tenant lock");
+                    if guard.generation != self.generation {
+                        let name = guard.name.clone();
+                        drop(guard);
+                        self.fence(&name);
+                        return None;
+                    }
+                    guard.ingest_span_wire(text, span);
+                    drop(guard);
                     self.stats.spans += 1;
                     Counters::bump(&self.state.counters.spans);
                     None
@@ -199,14 +428,39 @@ impl Session<'_> {
             match parse_line(text, line_no, self.format) {
                 Ok(record) => {
                     let mut guard = tenant.lock().expect("tenant lock");
-                    guard.ingest_record(record);
+                    if guard.generation != self.generation {
+                        let name = guard.name.clone();
+                        drop(guard);
+                        self.fence(&name);
+                        return None;
+                    }
+                    let ticked = guard.ingest_record_wire(text, record);
                     let transitions = guard.take_transitions();
-                    let name = if transitions.is_empty() {
+                    let name = if transitions.is_empty() && !ticked {
                         String::new()
                     } else {
                         guard.name.clone()
                     };
+                    // Checkpoint at tick boundaries: detector state only
+                    // changes when a tick closes, so that is the natural
+                    // durability cadence. The first tick writes the base
+                    // document; every later tick appends a cheap delta
+                    // frame to the journal, keeping total write cost
+                    // O(stream) instead of O(stream²).
+                    let ckpt_err = if ticked {
+                        if guard.checkpoint_due() {
+                            self.state.write_checkpoint(&mut guard).err()
+                        } else {
+                            self.state.append_checkpoint_frame(&mut guard).err()
+                        }
+                    } else {
+                        None
+                    };
                     drop(guard);
+                    if let Some(e) = ckpt_err {
+                        self.state
+                            .log_event("checkpoint_error", &name, &e.to_string());
+                    }
                     self.log_transitions(&name, &transitions);
                     self.stats.records += 1;
                     Counters::bump(&self.state.counters.records);
@@ -246,16 +500,24 @@ impl Session<'_> {
             .expect("ops lock")
             .observe_poll(seconds, poll.lines, records);
         if let Some(tenant) = &self.tenant {
-            tenant
-                .lock()
-                .expect("tenant lock")
-                .observe_poll(seconds, poll.lines, records);
+            let mut guard = tenant.lock().expect("tenant lock");
+            if guard.generation == self.generation {
+                guard.observe_poll(seconds, poll.lines, records);
+            }
         }
     }
 
     /// Charges a malformed data line to the tenant and the daemon.
     fn data_error(&mut self, tenant: &Arc<Mutex<Tenant>>, _message: &str) -> Option<String> {
-        tenant.lock().expect("tenant lock").note_parse_error();
+        let mut guard = tenant.lock().expect("tenant lock");
+        if guard.generation != self.generation {
+            let name = guard.name.clone();
+            drop(guard);
+            self.fence(&name);
+            return None;
+        }
+        guard.note_parse_error();
+        drop(guard);
         self.stats.errors += 1;
         Counters::bump(&self.state.counters.parse_errors);
         None
@@ -268,15 +530,41 @@ impl Session<'_> {
         Some(format!("err {message}\n"))
     }
 
+    /// Marks this session as superseded by a newer attach and stops it
+    /// from committing anything further.
+    fn fence(&mut self, name: &str) {
+        self.tenant = None;
+        self.fenced = true;
+        Counters::bump(&self.state.counters.sessions_closed);
+        self.state.log_event("session_fenced", name, "");
+    }
+
     /// Finalizes the open tenant stream without a reply — the drain
     /// path for EOF, daemon shutdown, and a mid-session re-`hello`.
     fn finish_open_tenant(&mut self) {
         if let Some(tenant) = self.tenant.take() {
             let mut guard = tenant.lock().expect("tenant lock");
+            if guard.generation != self.generation {
+                // A newer session owns the stream now; EOF on this
+                // stale socket must not finalize it mid-send.
+                let name = guard.name.clone();
+                drop(guard);
+                self.fence(&name);
+                return;
+            }
             guard.finalize();
             let name = guard.name.clone();
             let transitions = guard.take_transitions();
+            let ckpt_err = if guard.checkpoint_due() {
+                self.state.write_checkpoint(&mut guard).err()
+            } else {
+                self.state.append_checkpoint_frame(&mut guard).err()
+            };
             drop(guard);
+            if let Some(e) = ckpt_err {
+                self.state
+                    .log_event("checkpoint_error", &name, &e.to_string());
+            }
             self.log_transitions(&name, &transitions);
             Counters::bump(&self.state.counters.sessions_closed);
             self.state.log_event("session_end", &name, "");
@@ -367,6 +655,81 @@ mod tests {
         assert_eq!(tenant.lock().unwrap().parse_errors, 1);
     }
 
+    fn raw_session(state: &DaemonState) -> Session<'_> {
+        Session {
+            state,
+            tenant: None,
+            format: Format::Jsonl,
+            csv_block: CsvBlock::Telemetry,
+            line_no: 0,
+            stats: SessionStats::default(),
+            generation: 0,
+            fenced: false,
+        }
+    }
+
+    #[test]
+    fn stale_sessions_are_fenced_after_a_resume_takeover() {
+        // After a connection cut, the dead session's socket can keep
+        // draining buffered lines while the client has already
+        // reconnected. Those late lines must not commit — they would
+        // race the resumed stream and duplicate records — and the
+        // stale EOF must not finalize the new session's open stream.
+        let state = DaemonState::new(PipelineConfig::default());
+        let r1 = "{\"t\":0,\"m\":\"rack-00.draw_w\",\"v\":100}";
+        let r2 = "{\"t\":100,\"m\":\"rack-00.draw_w\",\"v\":101}";
+
+        let mut stale = raw_session(&state);
+        stale.handle_line("hello t jsonl");
+        stale.handle_line(r1);
+
+        let mut fresh = raw_session(&state);
+        let ack = fresh.handle_line("hello t jsonl resume 1").unwrap();
+        assert_eq!(ack, "ok hello t seq 1\n");
+
+        // The stale session's leftovers arrive late: dropped silently.
+        stale.handle_line(r2);
+        assert!(stale.fenced);
+        assert_eq!(stale.stats.records, 1, "only the pre-takeover line");
+        stale.drain();
+        {
+            let tenant = state.tenant("t").unwrap();
+            let guard = tenant.lock().unwrap();
+            assert_eq!(guard.records.len(), 1, "no duplicate commits");
+            assert_eq!(guard.seq, 1);
+            assert!(!guard.finished(), "stale EOF must not finalize");
+        }
+
+        // The takeover session still owns the stream.
+        fresh.handle_line(r2);
+        let tenant = state.tenant("t").unwrap();
+        let guard = tenant.lock().unwrap();
+        assert_eq!(guard.records.len(), 2);
+        assert_eq!(guard.seq, 2);
+    }
+
+    #[test]
+    fn truncated_final_lines_are_never_committed() {
+        // A stream cut mid-write leaves an unterminated fragment at
+        // EOF. Committing it (as a record OR a parse error) would
+        // advance the durable sequence number past data the client
+        // never finished sending, breaking exactly-once resume.
+        let state = DaemonState::new(PipelineConfig::default());
+        let (stats, _) = run(
+            &state,
+            "hello cut\n\
+             {\"t\":0,\"m\":\"rack-00.draw_w\",\"v\":100}\n\
+             {\"t\":100,\"m\":\"rack-00.draw_w\",\"v\":1",
+        );
+        assert_eq!(stats.records, 1, "only the terminated line counts");
+        assert_eq!(stats.errors, 0, "a fragment is not a parse error");
+        let tenant = state.tenant("cut").unwrap();
+        let guard = tenant.lock().unwrap();
+        assert_eq!(guard.records.len(), 1);
+        assert_eq!(guard.seq, 1, "durable seq excludes the fragment");
+        assert_eq!(guard.parse_errors, 0);
+    }
+
     #[test]
     fn csv_blocks_switch_on_headers() {
         let state = DaemonState::new(PipelineConfig::default());
@@ -414,6 +777,197 @@ mod tests {
         let tenant = state.tenant("drainy").unwrap();
         assert!(tenant.lock().unwrap().finished(), "drained at EOF");
         assert_eq!(Counters::get(&state.counters.sessions_closed), 1);
+    }
+
+    #[test]
+    fn oversized_lines_are_discarded_not_buffered() {
+        let state = DaemonState::new(PipelineConfig::default());
+        let mut script = String::from("hello big\n");
+        script.push_str(&"x".repeat(MAX_LINE_BYTES + 4096));
+        script.push('\n');
+        script.push_str("{\"t\":0,\"m\":\"rack-00.draw_w\",\"v\":100}\nend\n");
+        let (stats, replies) = run(&state, &script);
+        assert!(
+            replies.contains(&format!("err line exceeds {MAX_LINE_BYTES} bytes")),
+            "{replies}"
+        );
+        assert_eq!(stats.records, 1, "the session survives the flood");
+        assert_eq!(stats.errors, 1);
+    }
+
+    #[test]
+    fn invalid_utf8_is_contained_to_the_line() {
+        let state = DaemonState::new(PipelineConfig::default());
+        let mut bytes = b"hello u8\n".to_vec();
+        bytes.extend_from_slice(b"\xff\xfe garbage\n");
+        bytes.extend_from_slice(b"{\"t\":0,\"m\":\"rack-00.draw_w\",\"v\":100}\nend\n");
+        let mut script = Script {
+            input: io::Cursor::new(bytes),
+            output: Vec::new(),
+        };
+        let stats = run_session(&mut script, &state).unwrap();
+        let replies = String::from_utf8(script.output).unwrap();
+        assert!(replies.contains("err line is not valid UTF-8"), "{replies}");
+        assert_eq!(stats.records, 1, "session continues past the bad line");
+    }
+
+    #[test]
+    fn hello_resume_acks_the_durable_seq_and_keeps_state() {
+        let state = DaemonState::new(PipelineConfig::default());
+        let replies = run_replies(
+            &state,
+            "hello r\n\
+             {\"t\":0,\"m\":\"rack-00.draw_w\",\"v\":100}\n\
+             {\"t\":100,\"m\":\"rack-00.draw_w\",\"v\":101}\n",
+        );
+        assert_eq!(replies, "ok hello r\n");
+        // EOF drained (finalized) the stream; a resume re-attaches and
+        // reports how many data lines the daemon durably consumed.
+        let replies = run_replies(&state, "hello r jsonl resume 2\nend\n");
+        assert!(replies.starts_with("ok hello r seq 2\n"), "{replies}");
+        assert!(replies.contains("\"records\":2"), "idempotent end");
+        // A format flip is refused without touching the stream.
+        let replies = run_replies(&state, "hello r csv resume 2\n");
+        assert!(replies.contains("err resume format"), "{replies}");
+        assert_eq!(state.tenant("r").unwrap().lock().unwrap().records.len(), 2);
+    }
+
+    #[test]
+    fn overload_sheds_data_and_refuses_resume_until_reset() {
+        let mut state = DaemonState::new(PipelineConfig::default());
+        state.max_buffered_lines = 2;
+        let (stats, _) = run(
+            &state,
+            "hello o\n\
+             {\"t\":0,\"m\":\"rack-00.draw_w\",\"v\":100}\n\
+             {\"t\":100,\"m\":\"rack-00.draw_w\",\"v\":101}\n\
+             {\"t\":200,\"m\":\"rack-00.draw_w\",\"v\":102}\n\
+             {\"t\":300,\"m\":\"rack-00.draw_w\",\"v\":103}\n",
+        );
+        assert_eq!(stats.records, 2, "watermark admits two lines");
+        assert_eq!(Counters::get(&state.counters.lines_shed), 2);
+        assert_eq!(Counters::get(&state.counters.overloaded_tenants), 1);
+        {
+            let tenant = state.tenant("o").unwrap();
+            let guard = tenant.lock().unwrap();
+            assert_eq!(guard.shed, 2);
+            assert_eq!(guard.seq, 2, "shed lines do not advance the sequence");
+        }
+        let log = state.with_ops_log(crate::state::OpsLog::render_jsonl);
+        assert_eq!(
+            log.matches("\"kind\":\"overload_shed\"").count(),
+            1,
+            "edge-triggered: one event per crossing"
+        );
+        // Resume is refused while overloaded…
+        let replies = run_replies(&state, "hello o jsonl resume 2\n");
+        assert_eq!(replies, format!("busy retry-after {RETRY_AFTER_MS}\n"));
+        // …and a fresh hello resets the stream, clearing the overload.
+        let _ = run_replies(&state, "hello o\n");
+        assert_eq!(Counters::get(&state.counters.overloaded_tenants), 0);
+    }
+
+    /// Read half that yields its script, then blocks forever.
+    struct IdleAfterScript {
+        input: io::Cursor<Vec<u8>>,
+        output: Vec<u8>,
+    }
+
+    impl Read for IdleAfterScript {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            match self.input.read(buf)? {
+                0 => Err(io::ErrorKind::WouldBlock.into()),
+                n => Ok(n),
+            }
+        }
+    }
+
+    impl Write for IdleAfterScript {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.output.write(buf)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn idle_sessions_are_reaped_and_drained() {
+        let mut state = DaemonState::new(PipelineConfig::default());
+        state.idle_timeout = Some(std::time::Duration::ZERO);
+        let mut script = IdleAfterScript {
+            input: io::Cursor::new(
+                b"hello idle\n{\"t\":0,\"m\":\"rack-00.draw_w\",\"v\":100}\n".to_vec(),
+            ),
+            output: Vec::new(),
+        };
+        let stats = run_session(&mut script, &state).unwrap();
+        assert_eq!(stats.records, 1);
+        assert_eq!(Counters::get(&state.counters.sessions_reaped), 1);
+        assert_eq!(Counters::get(&state.counters.active_sessions), 0);
+        let tenant = state.tenant("idle").unwrap();
+        assert!(tenant.lock().unwrap().finished(), "reap drains the stream");
+        let log = state.with_ops_log(crate::state::OpsLog::render_jsonl);
+        assert!(
+            log.contains("\"kind\":\"session_idle_reap\",\"tenant\":\"idle\""),
+            "{log}"
+        );
+    }
+
+    #[test]
+    fn tick_boundaries_write_checkpoints() {
+        let dir =
+            std::env::temp_dir().join(format!("padsimd-session-test-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut state = DaemonState::new(PipelineConfig::default());
+        state.state_dir = Some(dir.clone());
+        // 25 records at 100ms: two full 1s ticks close mid-stream.
+        let mut script = String::from("hello ck\n");
+        for t in 0..25 {
+            script.push_str(&format!(
+                "{{\"t\":{},\"m\":\"rack-00.draw_w\",\"v\":{}}}\n",
+                t * 100,
+                100 + t % 5
+            ));
+        }
+        script.push_str("end\n");
+        let _ = run(&state, &script);
+        assert_eq!(
+            Counters::get(&state.counters.checkpoints_written),
+            1,
+            "the first tick writes the base exactly once"
+        );
+        assert!(
+            Counters::get(&state.counters.checkpoint_frames) >= 2,
+            "later tick crossings plus the end-of-stream frame append to the journal"
+        );
+        let doc = std::fs::read_to_string(dir.join("ck.ckpt")).unwrap();
+        assert!(doc.starts_with("{\"version\":1,\"tenant\":\"ck\""), "{doc}");
+        let journal = std::fs::read_to_string(dir.join("ck.ckpt.log")).unwrap();
+        assert!(journal.contains("\"finished\":1"), "end frame: {journal}");
+        assert!(
+            journal.contains("ok frame 0\n"),
+            "commit markers: {journal}"
+        );
+
+        // Base plus journal restore to the full finished stream, and
+        // boot compaction folds them into one fresh base.
+        let mut reborn = DaemonState::new(PipelineConfig::default());
+        reborn.state_dir = Some(dir.clone());
+        assert_eq!(reborn.load_checkpoints().unwrap(), 1);
+        let tenant = reborn.tenant("ck").unwrap();
+        let guard = tenant.lock().unwrap();
+        assert_eq!(guard.seq, 25);
+        assert!(guard.finished(), "the journal's finished frame re-ran end");
+        drop(guard);
+        let doc = std::fs::read_to_string(dir.join("ck.ckpt")).unwrap();
+        assert!(doc.contains("\"finished\":1"), "compacted base: {doc}");
+        assert!(
+            !dir.join("ck.ckpt.log").exists(),
+            "compaction drops the journal"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,18 +1,23 @@
 //! Shared daemon state: the tenant registry, self-metrics counters,
-//! wall-clock ops histograms, the bounded ops log, and per-tenant
-//! alert monitors.
+//! wall-clock ops histograms, the bounded ops log, per-tenant alert
+//! monitors, and the crash-recovery checkpoint codec.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
 
 use pad::pipeline::{
     self, default_alert_rules, PipelineConfig, ReplayPipeline, ReplaySummary, StreamMonitor,
 };
 use pad::policy::SecurityLevel;
 use simkit::alert::{AlertEvent, AlertRule};
-use simkit::telemetry::{Format, MetricId, MetricRegistry, ParsedRecord};
-use simkit::trace::ParsedSpan;
+use simkit::jsonio::{JsonParser, ObjFields};
+use simkit::telemetry::{
+    parse_line, render_parsed, Format, MetricId, MetricRegistry, ParsedRecord,
+};
+use simkit::trace::{parse_span_line, render_parsed_spans, ParsedSpan};
 
 /// Monotonic daemon self-metrics, exported on `/metrics` as
 /// `padsimd_*` counters.
@@ -39,6 +44,23 @@ pub struct Counters {
     pub http_4xx: AtomicU64,
     /// HTTP responses with a 5xx status.
     pub http_5xx: AtomicU64,
+    /// Tenant base checkpoints written to the state directory (full
+    /// document rewrites: first tick of a stream, boot compaction).
+    pub checkpoints_written: AtomicU64,
+    /// Delta frames appended to tenant checkpoint journals (the
+    /// per-tick durability path; see
+    /// [`DaemonState::append_checkpoint_frame`]).
+    pub checkpoint_frames: AtomicU64,
+    /// Data lines shed by per-tenant backpressure (never ingested and
+    /// never acknowledged via the resume sequence, so a resuming client
+    /// retransmits them).
+    pub lines_shed: AtomicU64,
+    /// Sessions closed by the idle-reap timeout.
+    pub sessions_reaped: AtomicU64,
+    /// Tenants currently over their buffered-line high watermark (a
+    /// gauge: bumped on crossing, dropped when a fresh `hello` resets
+    /// the stream).
+    pub overloaded_tenants: AtomicU64,
 }
 
 impl Counters {
@@ -149,11 +171,22 @@ impl OpsLog {
             self.entries.pop_front();
             self.dropped += 1;
         }
+        // The entries render as JSON without escaping, so any byte that
+        // would need an escape is squashed to keep `/logs` well-formed
+        // whatever an error message drags in.
+        let detail = detail
+            .chars()
+            .map(|c| match c {
+                '"' | '\\' => '\'',
+                c if c.is_control() => ' ',
+                c => c,
+            })
+            .collect();
         self.entries.push_back(OpsEntry {
             seq: self.next_seq,
             kind,
             tenant: tenant.to_string(),
-            detail: detail.to_string(),
+            detail,
         });
         self.next_seq += 1;
     }
@@ -229,11 +262,70 @@ pub struct Tenant {
     pub parse_errors: u64,
     /// Sessions this tenant has opened.
     pub sessions: u64,
+    /// Stream sequence number: data lines consumed since the stream
+    /// opened (records, spans, and malformed lines alike — the resume
+    /// protocol's unit is the client's data line). Reset with the
+    /// stream; shed lines do NOT advance it.
+    pub seq: u64,
+    /// Data lines shed by backpressure, lifetime tally (like
+    /// [`parse_errors`](Tenant::parse_errors), survives stream resets).
+    pub shed: u64,
+    /// Whether the tenant is currently over its buffered-line high
+    /// watermark (edge-tracked so the overloaded-tenants gauge and the
+    /// ops log see each crossing once).
+    pub overloaded: bool,
+    /// Fencing token: bumped every time a session attaches (hello or
+    /// resume). A session that attached under an older generation is
+    /// stale — its socket may still be draining buffered lines after a
+    /// cut — and must not commit anything, or a resumed client would
+    /// race it and duplicate (or mis-sequence) records. Monotonic for
+    /// the tenant's lifetime; never checkpointed (restored tenants
+    /// start over, sessions re-read it at attach).
+    pub generation: u64,
     config: PipelineConfig,
     /// Self-observability sidecar (absent in `bare` mode): alert
     /// engine plus ingest-health metrics, driven on sim time so its
     /// documents match the offline replay byte-for-byte.
     monitor: Option<StreamMonitor>,
+    /// The monitor's state just before [`finalize`](Tenant::finalize)
+    /// ran its end-of-stream evaluation — what
+    /// [`reopen`](Tenant::reopen) rewinds to when a connection drop
+    /// finalized a stream the client is still sending.
+    pre_finish_monitor: Option<String>,
+    /// Buffered-line count at the last durable checkpoint write
+    /// (`None` until the stream is first checkpointed, and again after
+    /// a [`reset`](Tenant::reset)). Drives the amortized cadence in
+    /// [`checkpoint_due`](Tenant::checkpoint_due); runtime-only, never
+    /// serialized.
+    checkpointed_lines: Option<usize>,
+    /// Incrementally rendered canonical-JSONL records section of the
+    /// checkpoint document, paired with the record count it covers.
+    /// Records are append-only while a stream is open, so each is
+    /// rendered once per stream and a checkpoint write costs the delta
+    /// since the last write plus one buffer copy — not a full
+    /// re-serialization of the stream.
+    ckpt_records: (String, usize),
+    /// The same incremental cache for the spans section.
+    ckpt_spans: (String, usize),
+    /// Durable high-water mark into `ckpt_records` as `(bytes,
+    /// records)`: everything before it is already on disk, in the base
+    /// checkpoint or an appended journal frame. The next frame appends
+    /// only the suffix.
+    journal_records: (usize, usize),
+    /// The same durable mark for the spans cache.
+    journal_spans: (usize, usize),
+    /// Next journal frame number; each frame's commit marker repeats
+    /// it so a torn append is detectable.
+    journal_frame: u64,
+    /// Lineage tag for journal frames: the stream sequence the current
+    /// base checkpoint covers. Frames repeat it, so a restore can
+    /// discard frames left behind by an interrupted compaction of an
+    /// earlier base (or an earlier stream) exactly.
+    journal_base_seq: u64,
+    /// Open append handle to the journal, held across ticks: reopening
+    /// the file per frame costs ~10x the append itself. Dropped when a
+    /// base write retires the journal.
+    journal_file: Option<std::fs::File>,
 }
 
 impl Tenant {
@@ -249,8 +341,21 @@ impl Tenant {
             summary: None,
             parse_errors: 0,
             sessions: 0,
+            seq: 0,
+            shed: 0,
+            overloaded: false,
+            generation: 0,
             config,
             monitor: None,
+            pre_finish_monitor: None,
+            checkpointed_lines: None,
+            ckpt_records: (String::new(), 0),
+            ckpt_spans: (String::new(), 0),
+            journal_records: (0, 0),
+            journal_spans: (0, 0),
+            journal_frame: 0,
+            journal_base_seq: 0,
+            journal_file: None,
         }
     }
 
@@ -273,30 +378,31 @@ impl Tenant {
         self.pending.clear();
         self.pipeline = None;
         self.summary = None;
+        self.seq = 0;
+        self.checkpointed_lines = None;
+        self.ckpt_records = (String::new(), 0);
+        self.ckpt_spans = (String::new(), 0);
+        self.journal_records = (0, 0);
+        self.journal_spans = (0, 0);
+        self.journal_frame = 0;
+        self.journal_base_seq = 0;
+        self.journal_file = None;
         if let Some(mon) = &mut self.monitor {
             mon.reset();
         }
     }
 
+    /// Buffered data lines: what the backpressure watermark bounds.
+    pub fn buffered_lines(&self) -> usize {
+        self.records.len() + self.spans.len()
+    }
+
     /// Feeds one record in arrival order, creating the pipeline at the
-    /// first tick boundary.
-    pub fn ingest_record(&mut self, r: ParsedRecord) {
-        match &mut self.pipeline {
-            Some(pipe) => pipe.ingest(&r),
-            None => {
-                let first_tick_closed = self
-                    .pending
-                    .first()
-                    .is_some_and(|first| first.time_ms != r.time_ms);
-                if first_tick_closed {
-                    let mut pipe = self.make_pipeline();
-                    pipe.ingest(&r);
-                    self.pipeline = Some(pipe);
-                } else {
-                    self.pending.push(r.clone());
-                }
-            }
-        }
+    /// first tick boundary. Returns `true` when the record closed a
+    /// detector tick — the checkpoint cadence.
+    pub fn ingest_record(&mut self, r: ParsedRecord) -> bool {
+        let ticks_before = self.pipeline.as_ref().map_or(0, ReplayPipeline::tick_count);
+        self.feed_pipeline(&r);
         if self.monitor.is_some() {
             let (level, fused, firings) = (self.level(), self.fused_fired(), self.firing_count());
             if let Some(mon) = &mut self.monitor {
@@ -304,6 +410,8 @@ impl Tenant {
             }
         }
         self.records.push(r);
+        self.seq += 1;
+        self.pipeline.as_ref().map_or(0, ReplayPipeline::tick_count) != ticks_before
     }
 
     /// Cumulative detector rising edges: live from the pipeline, frozen
@@ -313,6 +421,29 @@ impl Tenant {
             (Some(summary), _) => summary.firing_count,
             (None, Some(pipe)) => pipe.stack().bank().firings().len(),
             (None, None) => 0,
+        }
+    }
+
+    /// The detector-side half of [`ingest_record`](Tenant::ingest_record):
+    /// routes one record into the pipeline, creating it at the first
+    /// tick boundary. Also the replay kernel [`reopen`](Tenant::reopen)
+    /// uses to rebuild pipeline state from the record log.
+    fn feed_pipeline(&mut self, r: &ParsedRecord) {
+        match &mut self.pipeline {
+            Some(pipe) => pipe.ingest(r),
+            None => {
+                let first_tick_closed = self
+                    .pending
+                    .first()
+                    .is_some_and(|first| first.time_ms != r.time_ms);
+                if first_tick_closed {
+                    let mut pipe = self.make_pipeline();
+                    pipe.ingest(r);
+                    self.pipeline = Some(pipe);
+                } else {
+                    self.pending.push(r.clone());
+                }
+            }
         }
     }
 
@@ -330,6 +461,38 @@ impl Tenant {
     /// Feeds one span in arrival order.
     pub fn ingest_span(&mut self, s: ParsedSpan) {
         self.spans.push(s);
+        self.seq += 1;
+    }
+
+    /// [`ingest_record`](Tenant::ingest_record) plus checkpoint
+    /// capture: the verbatim wire line lands in the checkpoint cache,
+    /// so durability never re-renders what the wire already spelled
+    /// out (re-parsing the same line yields the identical record). The
+    /// capture only applies while the cache is caught up — it always
+    /// is on the live path; a caller that bypassed it falls back to
+    /// [`refresh_ckpt_caches`](Tenant::refresh_ckpt_caches) rendering.
+    pub fn ingest_record_wire(&mut self, line: &str, r: ParsedRecord) -> bool {
+        let caught_up = self.ckpt_records.1 == self.records.len();
+        let ticked = self.ingest_record(r);
+        if caught_up {
+            self.ckpt_records.0.push_str(line);
+            self.ckpt_records.0.push('\n');
+            self.ckpt_records.1 = self.records.len();
+        }
+        ticked
+    }
+
+    /// [`ingest_span`](Tenant::ingest_span) plus checkpoint capture of
+    /// the verbatim wire line; see
+    /// [`ingest_record_wire`](Tenant::ingest_record_wire).
+    pub fn ingest_span_wire(&mut self, line: &str, s: ParsedSpan) {
+        let caught_up = self.ckpt_spans.1 == self.spans.len();
+        self.ingest_span(s);
+        if caught_up {
+            self.ckpt_spans.0.push_str(line);
+            self.ckpt_spans.0.push('\n');
+            self.ckpt_spans.1 = self.spans.len();
+        }
     }
 
     /// Ends the stream: closes the final tick and caches the summary.
@@ -343,6 +506,10 @@ impl Tenant {
             };
             let summary = pipe.finalize();
             if let Some(mon) = &mut self.monitor {
+                // Keep the pre-finish state: a dropped connection
+                // finalizes a stream its client is still sending, and a
+                // later resume must rewind past this evaluation.
+                self.pre_finish_monitor = Some(mon.snapshot_json());
                 mon.finish(summary.final_level, false, summary.firing_count);
             }
             self.summary = Some(summary);
@@ -350,9 +517,46 @@ impl Tenant {
         self.summary.as_ref().expect("summary just cached")
     }
 
-    /// Charges one malformed line to the tenant (and its monitor).
+    /// Rewinds a finalized stream back to its open state so a resuming
+    /// client can keep sending — the recovery path when a dropped
+    /// connection EOF-drained (and so finalized) a stream mid-send.
+    ///
+    /// The pipeline is rebuilt deterministically by replaying the
+    /// record log (byte-identical to never having finalized), and the
+    /// monitor rewinds to its pre-finish snapshot. No-op when the
+    /// stream is open. (A monitored stream finished without a
+    /// pre-finish snapshot cannot be rewound and stays finished —
+    /// defensive only: `finalize` always captures one, and a restored
+    /// `finished` checkpoint re-runs `finalize`.)
+    pub fn reopen(&mut self) {
+        if self.summary.is_none() {
+            return;
+        }
+        if self.monitor.is_some() && self.pre_finish_monitor.is_none() {
+            return;
+        }
+        self.summary = None;
+        self.pipeline = None;
+        self.pending.clear();
+        let records = std::mem::take(&mut self.records);
+        for r in &records {
+            self.feed_pipeline(r);
+        }
+        self.records = records;
+        if let (Some(mon), Some(snap)) = (&mut self.monitor, self.pre_finish_monitor.take()) {
+            let parsed = JsonParser::parse_document(&snap)
+                .expect("pre-finish snapshot is self-generated JSON");
+            mon.restore_snapshot(&parsed)
+                .expect("pre-finish snapshot matches the monitor's rules");
+        }
+    }
+
+    /// Charges one malformed line to the tenant (and its monitor). The
+    /// line still advances the stream sequence: the client sent it, so a
+    /// resume must not replay it.
     pub fn note_parse_error(&mut self) {
         self.parse_errors += 1;
+        self.seq += 1;
         if let Some(mon) = &mut self.monitor {
             mon.observe_parse_error();
         }
@@ -408,7 +612,8 @@ impl Tenant {
     pub fn status_json(&self) -> String {
         format!(
             "{{\"tenant\":\"{}\",\"format\":\"{}\",\"records\":{},\"spans\":{},\
-             \"parse_errors\":{},\"sessions\":{},\"finished\":{},\"level\":{},\
+             \"parse_errors\":{},\"sessions\":{},\"seq\":{},\"shed\":{},\
+             \"finished\":{},\"level\":{},\
              \"level_label\":\"{}\",\"fused_fired\":{}}}\n",
             self.name,
             self.format.extension(),
@@ -416,6 +621,8 @@ impl Tenant {
             self.spans.len(),
             self.parse_errors,
             self.sessions,
+            self.seq,
+            self.shed,
             self.finished(),
             self.level().number(),
             self.level().label(),
@@ -429,6 +636,420 @@ impl Tenant {
     pub fn incidents_json(&self) -> String {
         pipeline::reconstruct_json(&self.spans, &self.records)
     }
+
+    /// Serializes the tenant's full stream state as one versioned
+    /// checkpoint document (see [`checkpoint_schema`]).
+    ///
+    /// The document is line-oriented: a JSON meta line, then the
+    /// retained records and spans in canonical JSONL (the exact-inverse
+    /// codecs, so they round-trip bit-exactly regardless of the wire
+    /// format), then the pipeline and monitor snapshots. Checkpoints
+    /// carry only *value* state — configuration is structural and is
+    /// rebuilt by the restoring daemon, then validated against the
+    /// snapshot.
+    ///
+    /// Takes `&mut self` to top up the incremental render caches: the
+    /// records and spans sections only ever grow while a stream is
+    /// open, so each line is rendered once per stream and repeated
+    /// checkpoints pay only the delta plus a buffer copy.
+    pub fn checkpoint_document(&mut self) -> String {
+        use std::fmt::Write as _;
+        self.refresh_ckpt_caches();
+        let mut out =
+            String::with_capacity(self.ckpt_records.0.len() + self.ckpt_spans.0.len() + 1024);
+        let _ = write!(
+            out,
+            "{{\"version\":{CHECKPOINT_VERSION},\"tenant\":\"{}\",\"format\":\"{}\",\
+             \"seq\":{},\"records\":{},\"spans\":{},\"parse_errors\":{},\"sessions\":{},\
+             \"shed\":{},\"finished\":{}",
+            self.name,
+            self.format.extension(),
+            self.seq,
+            self.records.len(),
+            self.spans.len(),
+            self.parse_errors,
+            self.sessions,
+            self.shed,
+            u8::from(self.summary.is_some()),
+        );
+        if let Some(pipe) = &self.pipeline {
+            let _ = write!(out, ",\"racks\":{}", pipe.rack_count());
+        }
+        let _ = writeln!(
+            out,
+            ",\"has_monitor\":{}}}",
+            u8::from(self.monitor.is_some())
+        );
+        out.push_str(&self.ckpt_records.0);
+        out.push_str(&self.ckpt_spans.0);
+        if let Some(pipe) = &self.pipeline {
+            out.push_str(&pipe.snapshot_json());
+            out.push('\n');
+        }
+        if let Some(mon) = &self.monitor {
+            // A finished stream checkpoints the monitor's PRE-finish
+            // state: the restore re-runs the end-of-stream evaluation
+            // (a pure function of it) to reproduce the finished state,
+            // which keeps the rewind point a post-crash resume needs —
+            // an EOF-finalized stream is not necessarily a complete
+            // one.
+            match (&self.summary, &self.pre_finish_monitor) {
+                (Some(_), Some(snap)) => out.push_str(snap),
+                _ => out.push_str(&mon.snapshot_json()),
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Tops up the incremental render caches with any records and
+    /// spans accepted since the last call. Each line is rendered to
+    /// canonical JSONL exactly once per stream — base checkpoints copy
+    /// the caches whole, journal frames append only the suffix past
+    /// the durable marks.
+    fn refresh_ckpt_caches(&mut self) {
+        let delta = render_parsed(&self.records[self.ckpt_records.1..], Format::Jsonl);
+        self.ckpt_records.0.push_str(&delta);
+        self.ckpt_records.1 = self.records.len();
+        let delta = render_parsed_spans(&self.spans[self.ckpt_spans.1..], Format::Jsonl);
+        self.ckpt_spans.0.push_str(&delta);
+        self.ckpt_spans.1 = self.spans.len();
+    }
+
+    /// Whether the next durable write must be a full base checkpoint
+    /// (no base exists for this stream yet) rather than an appended
+    /// journal frame.
+    ///
+    /// Rewriting the document at every tick makes checkpoint cost
+    /// quadratic in the stream length, and on the filesystems that
+    /// back a state directory a create-and-rename is two orders of
+    /// magnitude more expensive than an append. So a stream writes its
+    /// base exactly once — at the first tick after it opens (or
+    /// resets), and again at boot when
+    /// [`DaemonState::load_checkpoints`] compacts base plus journal
+    /// into a fresh base — and every later tick appends a delta frame.
+    /// The journal is bounded by the stream itself, which the
+    /// backpressure watermark already caps.
+    pub fn checkpoint_due(&self) -> bool {
+        self.checkpointed_lines.is_none()
+    }
+
+    /// Restores the stream state serialized by
+    /// [`checkpoint_document`](Tenant::checkpoint_document) into this
+    /// freshly constructed tenant (same name, config, and alert rules).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural mismatch: wrong
+    /// tenant name, version drift, truncated sections, malformed lines,
+    /// or snapshot state that does not fit the rebuilt configuration.
+    pub fn restore_from_document(&mut self, text: &str) -> Result<(), String> {
+        let mut lines = text.lines();
+        let meta_line = lines.next().ok_or("empty checkpoint")?;
+        let meta = JsonParser::parse_document(meta_line).map_err(|e| format!("meta: {e}"))?;
+        let meta = meta.as_object("checkpoint meta")?;
+        let version = meta.u64_field("version")?;
+        if version != CHECKPOINT_VERSION {
+            return Err(format!(
+                "checkpoint version {version} (this daemon reads {CHECKPOINT_VERSION})"
+            ));
+        }
+        let tenant = meta.str_field("tenant")?;
+        if tenant != self.name {
+            return Err(format!(
+                "checkpoint is for tenant {tenant:?}, not {:?}",
+                self.name
+            ));
+        }
+        let format_name = meta.str_field("format")?;
+        self.format = Format::from_name(format_name)
+            .ok_or_else(|| format!("unknown checkpoint format {format_name:?}"))?;
+        let record_count = meta.u64_field("records")?;
+        let span_count = meta.u64_field("spans")?;
+        self.seq = meta.u64_field("seq")?;
+        self.parse_errors = meta.u64_field("parse_errors")?;
+        self.sessions = meta.u64_field("sessions")?;
+        self.shed = meta.u64_field("shed")?;
+        let finished = meta.u64_field("finished")? == 1;
+        let racks = meta.opt_u64_field("racks")?;
+        let has_monitor = meta.u64_field("has_monitor")? == 1;
+
+        // Data lines are verbatim wire lines in the tenant's own
+        // format; they double as the rebuilt checkpoint cache, so a
+        // later base write copies instead of re-rendering.
+        self.ckpt_records = (String::new(), 0);
+        self.ckpt_spans = (String::new(), 0);
+        self.records = Vec::with_capacity(record_count as usize);
+        for i in 0..record_count {
+            let line = lines
+                .next()
+                .ok_or_else(|| format!("truncated after {i} of {record_count} records"))?;
+            self.records
+                .push(parse_line(line, i as usize + 2, self.format).map_err(|e| e.to_string())?);
+            self.ckpt_records.0.push_str(line);
+            self.ckpt_records.0.push('\n');
+        }
+        self.ckpt_records.1 = record_count as usize;
+        self.spans = Vec::with_capacity(span_count as usize);
+        for i in 0..span_count {
+            let line = lines
+                .next()
+                .ok_or_else(|| format!("truncated after {i} of {span_count} spans"))?;
+            self.spans.push(
+                parse_span_line(line, i as usize + 2 + record_count as usize, self.format)
+                    .map_err(|e| e.to_string())?,
+            );
+            self.ckpt_spans.0.push_str(line);
+            self.ckpt_spans.0.push('\n');
+        }
+        self.ckpt_spans.1 = span_count as usize;
+
+        self.pending.clear();
+        self.pipeline = None;
+        self.summary = None;
+        if !finished {
+            if let Some(racks) = racks {
+                let mut pipe = ReplayPipeline::new(racks as usize, self.config);
+                let snapshot_line = lines.next().ok_or("missing pipeline snapshot line")?;
+                let snapshot = JsonParser::parse_document(snapshot_line)
+                    .map_err(|e| format!("pipeline snapshot: {e}"))?;
+                pipe.restore_snapshot(&snapshot)
+                    .map_err(|e| format!("pipeline snapshot: {e}"))?;
+                self.pipeline = Some(pipe);
+            } else {
+                // The first tick never closed: every record is still
+                // pending.
+                self.pending = self.records.clone();
+            }
+        }
+        if has_monitor {
+            let snapshot_line = lines.next().ok_or("missing monitor snapshot line")?;
+            let mon = self
+                .monitor
+                .as_mut()
+                .ok_or("checkpoint has monitor state but self-observability is off")?;
+            let snapshot = JsonParser::parse_document(snapshot_line)
+                .map_err(|e| format!("monitor snapshot: {e}"))?;
+            mon.restore_snapshot(&snapshot)
+                .map_err(|e| format!("monitor snapshot: {e}"))?;
+        } else if self.monitor.is_some() {
+            return Err("checkpoint has no monitor state but self-observability is on".to_string());
+        }
+        if lines.next().is_some() {
+            return Err("trailing content after checkpoint".to_string());
+        }
+        if finished {
+            // The checkpoint holds the OPEN-stream state (the monitor
+            // snapshot above is the pre-finish one). Rebuild the
+            // pipeline by replaying the record log, then re-run the
+            // end-of-stream evaluation: summary and post-finish
+            // monitor state are pure functions of the open state, and
+            // `finalize` re-captures the pre-finish snapshot — so a
+            // resume after restart can still rewind a stream that an
+            // EOF finalized mid-send.
+            let records = std::mem::take(&mut self.records);
+            for r in &records {
+                self.feed_pipeline(r);
+            }
+            self.records = records;
+            self.finalize();
+        }
+        // The document just restored IS the durable base: later ticks
+        // append journal frames instead of rewriting it.
+        self.checkpointed_lines = Some(self.buffered_lines());
+        self.journal_base_seq = self.seq;
+        Ok(())
+    }
+
+    /// Renders one journal delta frame: a meta line carrying the
+    /// absolute stream tallies, the cached canonical-JSONL data lines
+    /// past the durable marks, and a commit marker that makes a torn
+    /// append detectable. The marks advance only after the frame
+    /// reaches the file (see
+    /// [`DaemonState::append_checkpoint_frame`]).
+    fn journal_frame_document(&mut self) -> String {
+        use std::fmt::Write as _;
+        self.refresh_ckpt_caches();
+        let frame_no = self.journal_frame;
+        let mut out = String::with_capacity(
+            96 + (self.ckpt_records.0.len() - self.journal_records.0)
+                + (self.ckpt_spans.0.len() - self.journal_spans.0),
+        );
+        let _ = writeln!(
+            out,
+            "{{\"frame\":{frame_no},\"base\":{},\"records\":{},\"spans\":{},\"seq\":{},\
+             \"parse_errors\":{},\"shed\":{},\"finished\":{}}}",
+            self.journal_base_seq,
+            self.ckpt_records.1 - self.journal_records.1,
+            self.ckpt_spans.1 - self.journal_spans.1,
+            self.seq,
+            self.parse_errors,
+            self.shed,
+            u8::from(self.summary.is_some()),
+        );
+        out.push_str(&self.ckpt_records.0[self.journal_records.0..]);
+        out.push_str(&self.ckpt_spans.0[self.journal_spans.0..]);
+        let _ = writeln!(out, "ok frame {frame_no}");
+        out
+    }
+
+    /// Replays a checkpoint journal — the delta frames appended after
+    /// the base document — on top of the freshly restored base state.
+    /// Frames feed the normal ingest path, so the result is
+    /// byte-identical to having processed the same lines live.
+    ///
+    /// Stale frames (sequence at or below the current one — left
+    /// behind when a crash interrupted base compaction) are skipped. A
+    /// torn or corrupt tail ends the replay: every frame before the
+    /// last valid commit marker is applied, the rest is dropped — on a
+    /// stream socket that tail is indistinguishable from a cut
+    /// mid-write, and the resume protocol re-delivers it. Returns the
+    /// applied frame count and the reason the replay stopped early, if
+    /// it did.
+    pub fn apply_journal(&mut self, text: &str) -> (u64, Option<String>) {
+        let mut lines = text.lines();
+        let mut applied = 0u64;
+        loop {
+            let Some(meta_line) = lines.next() else {
+                return (applied, None);
+            };
+            let doc = match JsonParser::parse_document(meta_line) {
+                Ok(doc) => doc,
+                Err(e) => return (applied, Some(format!("frame meta: {e}"))),
+            };
+            let frame = (|| -> Result<_, String> {
+                let meta = doc.as_object("frame meta")?;
+                Ok((
+                    meta.u64_field("frame")?,
+                    meta.u64_field("base")?,
+                    meta.u64_field("records")?,
+                    meta.u64_field("spans")?,
+                    meta.u64_field("seq")?,
+                    meta.u64_field("parse_errors")?,
+                    meta.u64_field("shed")?,
+                    meta.u64_field("finished")? == 1,
+                ))
+            })();
+            let (frame_no, base, nr, ns, seq, parse_errors, shed, finished) = match frame {
+                Ok(frame) => frame,
+                Err(e) => return (applied, Some(format!("frame meta: {e}"))),
+            };
+            let mut records = Vec::with_capacity(nr as usize);
+            for _ in 0..nr {
+                let Some(line) = lines.next() else {
+                    return (applied, Some(format!("frame {frame_no} torn mid-records")));
+                };
+                match parse_line(line, 1, self.format) {
+                    Ok(r) => records.push((line, r)),
+                    Err(e) => return (applied, Some(format!("frame {frame_no}: {e}"))),
+                }
+            }
+            let mut spans = Vec::with_capacity(ns as usize);
+            for _ in 0..ns {
+                let Some(line) = lines.next() else {
+                    return (applied, Some(format!("frame {frame_no} torn mid-spans")));
+                };
+                match parse_span_line(line, 1, self.format) {
+                    Ok(s) => spans.push((line, s)),
+                    Err(e) => return (applied, Some(format!("frame {frame_no}: {e}"))),
+                }
+            }
+            let commit = format!("ok frame {frame_no}");
+            if lines.next() != Some(commit.as_str()) {
+                return (
+                    applied,
+                    Some(format!("frame {frame_no} missing its commit marker")),
+                );
+            }
+            if base != self.journal_base_seq {
+                continue; // stale: a frame from an earlier base's lineage
+            }
+            if seq < self.seq || (seq == self.seq && !finished) {
+                continue; // the restored state already covers it
+            }
+            let Some(error_delta) = parse_errors.checked_sub(self.parse_errors) else {
+                return (
+                    applied,
+                    Some(format!("frame {frame_no} rewinds parse_errors")),
+                );
+            };
+            if self.seq + error_delta + nr + ns != seq {
+                return (
+                    applied,
+                    Some(format!(
+                        "frame {frame_no} does not extend the restored stream"
+                    )),
+                );
+            }
+            // A dropped connection may have EOF-finalized the stream
+            // before the session that wrote this frame resumed it.
+            self.reopen();
+            for _ in 0..error_delta {
+                self.note_parse_error();
+            }
+            for (line, r) in records {
+                self.ingest_record_wire(line, r);
+            }
+            for (line, s) in spans {
+                self.ingest_span_wire(line, s);
+            }
+            self.shed = shed;
+            if finished {
+                self.finalize();
+            }
+            applied += 1;
+        }
+    }
+}
+
+/// Checkpoint document version this daemon writes and reads.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// The pinned checkpoint schema: document layout, meta fields, and the
+/// snapshot field tree. CI diffs this against
+/// `tests/data/checkpoint_schema.txt` so drift is a reviewed change.
+pub fn checkpoint_schema() -> String {
+    format!(
+        "padsimd tenant checkpoint schema v{CHECKPOINT_VERSION}\n\
+         \n\
+         layout (line-oriented):\n  \
+         1: meta JSON\n  \
+         next <records>: telemetry records, verbatim wire lines in the \
+         tenant's format\n  \
+         next <spans>: trace spans, verbatim wire lines in the tenant's \
+         format\n  \
+         next 1 iff meta has racks: pipeline snapshot JSON\n  \
+         next 1 iff has_monitor=1: monitor snapshot JSON (the PRE-finish \
+         state when finished=1; restore re-runs the end-of-stream evaluation)\n\
+         \n\
+         meta fields:\n  \
+         version tenant format seq records spans parse_errors sessions shed \
+         finished [racks] has_monitor\n\
+         \n\
+         pipeline snapshot fields:\n  \
+         stack[bank[min_votes subs[label last_score last_fired fires [first_fire] \
+         detector[family state]] firings[t label score]] fused_was_fired \
+         [last_suspected] [last_confirmed]]\n  \
+         policy[level transitions residency] [open_tick] records samples_fed \
+         events ticks fired_ticks escalations[t from to]\n\
+         \n\
+         monitor snapshot fields:\n  \
+         registry[metrics[name kind value|stats|histogram]]\n  \
+         engine[rules runtimes[state [since] [value] [last_sample] [last_beat] gaps] \
+         events[t rule fired value] events_dropped fresh] [open_tick] last_firings\n\
+         \n\
+         journal (<tenant>.ckpt.log, append-only deltas over the base):\n  \
+         frame = meta line, then <records> record lines and <spans> span \
+         lines (verbatim wire lines), then commit marker `ok frame <n>`\n  \
+         frame meta fields: frame base records spans seq parse_errors shed \
+         finished\n  \
+         base repeats the seq the base document covers; frames from another \
+         lineage (an interrupted compaction's leftovers) are skipped\n  \
+         seq is absolute after the frame; replay stops at the last intact \
+         commit marker, a torn tail is discarded (resume re-delivers)\n  \
+         boot compaction: restore folds base+journal into a fresh base and \
+         removes the journal before serving\n"
+    )
 }
 
 /// Everything the listener, session, and HTTP threads share.
@@ -449,10 +1070,23 @@ pub struct DaemonState {
     pub config: PipelineConfig,
     /// Wall-clock ops histograms (`/metrics` only).
     pub ops: Mutex<OpsMetrics>,
+    /// Directory for per-tenant crash-recovery checkpoints; `None`
+    /// disables checkpointing.
+    pub state_dir: Option<PathBuf>,
+    /// Per-tenant backpressure high watermark: once a tenant holds this
+    /// many buffered data lines, further lines are shed (accounted,
+    /// never ingested) and new `hello`s are answered `busy`.
+    pub max_buffered_lines: usize,
+    /// Close a session that has read nothing (no data, no `ping`) for
+    /// this long; `None` lets idle sessions linger forever.
+    pub idle_timeout: Option<Duration>,
     alert_rules: Vec<AlertRule>,
     ops_log: Mutex<OpsLog>,
     tenants: Mutex<BTreeMap<String, Arc<Mutex<Tenant>>>>,
 }
+
+/// Default per-tenant buffered-line high watermark.
+pub const MAX_BUFFERED_LINES_DEFAULT: usize = 1 << 20;
 
 impl DaemonState {
     /// Creates the shared state with self-observability on and the
@@ -476,6 +1110,9 @@ impl DaemonState {
             self_obs,
             config,
             ops: Mutex::new(OpsMetrics::new()),
+            state_dir: None,
+            max_buffered_lines: MAX_BUFFERED_LINES_DEFAULT,
+            idle_timeout: None,
             alert_rules,
             ops_log: Mutex::new(OpsLog::new(OPS_LOG_CAP)),
             tenants: Mutex::new(BTreeMap::new()),
@@ -521,7 +1158,7 @@ impl DaemonState {
     }
 
     /// Opens (or resets) a tenant stream and returns its handle.
-    pub fn open_tenant(&self, name: &str, format: Format) -> Arc<Mutex<Tenant>> {
+    pub fn open_tenant(&self, name: &str, format: Format) -> (Arc<Mutex<Tenant>>, u64) {
         let mut tenants = self.lock_tenants();
         let tenant = tenants
             .entry(name.to_string())
@@ -537,10 +1174,235 @@ impl DaemonState {
         let mut guard = tenant.lock().expect("tenant lock");
         guard.reset(format);
         guard.sessions += 1;
+        guard.generation += 1;
+        let generation = guard.generation;
+        if guard.overloaded {
+            // A fresh stream empties the buffers, so the watermark
+            // crossing ends here.
+            guard.overloaded = false;
+            Counters::drop_one(&self.counters.overloaded_tenants);
+        }
         drop(guard);
         Counters::bump(&self.counters.sessions_opened);
         self.log_event("session_open", name, "");
-        tenant
+        (tenant, generation)
+    }
+
+    /// Opens a tenant stream for a resuming client *without* resetting
+    /// it, returning the handle, the stream sequence number already
+    /// consumed — the `ok hello <tenant> seq <n>` ack — and the new
+    /// fencing generation. A tenant the daemon has never seen resumes
+    /// from zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the announced wire format contradicts a
+    /// non-empty existing stream.
+    pub fn resume_tenant(
+        &self,
+        name: &str,
+        format: Format,
+    ) -> Result<(Arc<Mutex<Tenant>>, u64, u64), String> {
+        let mut tenants = self.lock_tenants();
+        let tenant = tenants
+            .entry(name.to_string())
+            .or_insert_with(|| {
+                let mut tenant = Tenant::new(name, format, self.config);
+                if self.self_obs {
+                    tenant.attach_monitor(self.alert_rules.clone());
+                }
+                Arc::new(Mutex::new(tenant))
+            })
+            .clone();
+        drop(tenants);
+        let mut guard = tenant.lock().expect("tenant lock");
+        if guard.buffered_lines() == 0 && guard.seq == 0 {
+            guard.format = format;
+        } else if guard.format != format {
+            return Err(format!(
+                "resume format {} does not match the open stream's {}",
+                format.extension(),
+                guard.format.extension()
+            ));
+        }
+        // A connection drop may have EOF-drained (finalized) the stream
+        // mid-send; rewind it so the resuming client can keep going.
+        guard.reopen();
+        guard.sessions += 1;
+        guard.generation += 1;
+        let generation = guard.generation;
+        let seq = guard.seq;
+        drop(guard);
+        Counters::bump(&self.counters.sessions_opened);
+        self.log_event("session_resume", name, &format!("seq={seq}"));
+        Ok((tenant, seq, generation))
+    }
+
+    /// The base checkpoint file path for `tenant`, if checkpointing is
+    /// on.
+    pub fn checkpoint_path(&self, tenant: &str) -> Option<PathBuf> {
+        self.state_dir
+            .as_ref()
+            .map(|dir| dir.join(format!("{tenant}.ckpt")))
+    }
+
+    /// The checkpoint journal path for `tenant`, if checkpointing is
+    /// on. The journal holds the delta frames appended since the base
+    /// document was written (see
+    /// [`append_checkpoint_frame`](DaemonState::append_checkpoint_frame)).
+    pub fn journal_path(&self, tenant: &str) -> Option<PathBuf> {
+        self.state_dir
+            .as_ref()
+            .map(|dir| dir.join(format!("{tenant}.ckpt.log")))
+    }
+
+    /// Writes `tenant`'s base checkpoint durably (write-to-temp then
+    /// rename, so a crash mid-write leaves the previous base intact)
+    /// and drops the journal, whose frames the new base now covers — a
+    /// stale frame would only be skipped at restore anyway. A no-op
+    /// without a state directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first filesystem error. The durable marks only
+    /// advance on success, so a failed write is simply retried at the
+    /// next tick boundary.
+    pub fn write_checkpoint(&self, tenant: &mut Tenant) -> std::io::Result<()> {
+        let Some(path) = self.checkpoint_path(&tenant.name) else {
+            return Ok(());
+        };
+        let tmp = path.with_extension("ckpt.tmp");
+        std::fs::write(&tmp, tenant.checkpoint_document())?;
+        std::fs::rename(&tmp, &path)?;
+        tenant.checkpointed_lines = Some(tenant.buffered_lines());
+        tenant.journal_records = (tenant.ckpt_records.0.len(), tenant.ckpt_records.1);
+        tenant.journal_spans = (tenant.ckpt_spans.0.len(), tenant.ckpt_spans.1);
+        tenant.journal_frame = 0;
+        tenant.journal_base_seq = tenant.seq;
+        // Drop the open handle before unlinking: a later frame must
+        // land in a fresh file, not the unlinked inode.
+        tenant.journal_file = None;
+        match std::fs::remove_file(self.journal_path(&tenant.name).expect("state dir is set")) {
+            Err(e) if e.kind() != std::io::ErrorKind::NotFound => return Err(e),
+            _ => {}
+        }
+        Counters::bump(&self.counters.checkpoints_written);
+        Ok(())
+    }
+
+    /// Appends one delta frame — the data lines accepted since the
+    /// last durable point plus the updated stream tallies — to
+    /// `tenant`'s checkpoint journal. This is the per-tick durability
+    /// path: an append costs microseconds where the base's
+    /// create-and-rename costs hundreds, so every tick boundary (and
+    /// the stream close) can afford one, keeping the crash rewind to
+    /// at most a tick. A no-op without a state directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first filesystem error. The durable marks only
+    /// advance on success, so a failed append folds its delta into the
+    /// next frame.
+    pub fn append_checkpoint_frame(&self, tenant: &mut Tenant) -> std::io::Result<()> {
+        use std::io::Write as _;
+        let Some(path) = self.journal_path(&tenant.name) else {
+            return Ok(());
+        };
+        let frame = tenant.journal_frame_document();
+        if tenant.journal_file.is_none() {
+            tenant.journal_file = Some(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)?,
+            );
+        }
+        let file = tenant.journal_file.as_mut().expect("just opened");
+        file.write_all(frame.as_bytes())?;
+        tenant.journal_records = (tenant.ckpt_records.0.len(), tenant.ckpt_records.1);
+        tenant.journal_spans = (tenant.ckpt_spans.0.len(), tenant.ckpt_spans.1);
+        tenant.journal_frame += 1;
+        Counters::bump(&self.counters.checkpoint_frames);
+        Ok(())
+    }
+
+    /// Restores every `*.ckpt` in the state directory into the tenant
+    /// registry (startup recovery). A corrupt or mismatched checkpoint
+    /// is skipped with a `checkpoint_error` ops-log entry rather than
+    /// failing the boot; each restored tenant logs `checkpoint_restore`
+    /// with its resume sequence. Returns the restored-tenant count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the directory-scan error, if any (a missing directory is
+    /// treated as empty).
+    pub fn load_checkpoints(&self) -> std::io::Result<usize> {
+        let Some(dir) = &self.state_dir else {
+            return Ok(0);
+        };
+        let entries = match std::fs::read_dir(dir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e),
+        };
+        let mut paths: Vec<PathBuf> = entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "ckpt"))
+            .collect();
+        paths.sort();
+        let mut restored = 0;
+        for path in paths {
+            let name = match path.file_stem().and_then(|s| s.to_str()) {
+                Some(name) if crate::proto::valid_tenant(name) => name.to_string(),
+                _ => continue,
+            };
+            let text = match std::fs::read_to_string(&path) {
+                Ok(text) => text,
+                Err(e) => {
+                    self.log_event("checkpoint_error", &name, &format!("read: {e}"));
+                    continue;
+                }
+            };
+            let mut tenant = Tenant::new(&name, Format::Jsonl, self.config);
+            if self.self_obs {
+                tenant.attach_monitor(self.alert_rules.clone());
+            }
+            match tenant.restore_from_document(&text) {
+                Ok(()) => {
+                    let journal = self.journal_path(&name).expect("state dir is set");
+                    let mut frames = 0;
+                    if let Ok(journal_text) = std::fs::read_to_string(&journal) {
+                        let (applied, stopped) = tenant.apply_journal(&journal_text);
+                        frames = applied;
+                        if let Some(reason) = stopped {
+                            self.log_event(
+                                "checkpoint_error",
+                                &name,
+                                &format!("journal: {reason}"),
+                            );
+                        }
+                    }
+                    // Compact base plus journal into one fresh base: a
+                    // torn journal tail must not sit under the frames a
+                    // restarted daemon appends after it.
+                    if let Err(e) = self.write_checkpoint(&mut tenant) {
+                        self.log_event("checkpoint_error", &name, &format!("compact: {e}"));
+                    }
+                    let seq = tenant.seq;
+                    self.lock_tenants()
+                        .insert(name.clone(), Arc::new(Mutex::new(tenant)));
+                    self.log_event(
+                        "checkpoint_restore",
+                        &name,
+                        &format!("seq={seq} frames={frames}"),
+                    );
+                    restored += 1;
+                }
+                Err(e) => self.log_event("checkpoint_error", &name, &e),
+            }
+        }
+        Ok(restored)
     }
 
     /// Looks up a tenant by name.
@@ -612,7 +1474,7 @@ mod tests {
     #[test]
     fn open_tenant_resets_but_keeps_tallies() {
         let state = DaemonState::new(PipelineConfig::default());
-        let tenant = state.open_tenant("a", Format::Jsonl);
+        let (tenant, _) = state.open_tenant("a", Format::Jsonl);
         {
             let mut guard = tenant.lock().unwrap();
             for r in records("{\"t\":0,\"m\":\"rack-00.draw_w\",\"v\":1}\n") {
@@ -621,7 +1483,7 @@ mod tests {
             guard.parse_errors += 1;
             guard.finalize();
         }
-        let again = state.open_tenant("a", Format::Csv);
+        let (again, _) = state.open_tenant("a", Format::Csv);
         let guard = again.lock().unwrap();
         assert_eq!(guard.sessions, 2);
         assert_eq!(guard.parse_errors, 1, "tallies survive the reset");
@@ -654,7 +1516,7 @@ mod tests {
                      {\"t\":300,\"m\":\"rack-00.draw_w\",\"v\":103}\n";
         let parsed = records(trace);
         let state = DaemonState::new(PipelineConfig::default());
-        let tenant = state.open_tenant("acme", Format::Jsonl);
+        let (tenant, _) = state.open_tenant("acme", Format::Jsonl);
         let mut guard = tenant.lock().unwrap();
         for r in &parsed {
             guard.ingest_record(r.clone());
@@ -673,7 +1535,7 @@ mod tests {
     #[test]
     fn bare_state_runs_without_monitors_or_log_noise() {
         let state = DaemonState::bare(PipelineConfig::default());
-        let tenant = state.open_tenant("t", Format::Jsonl);
+        let (tenant, _) = state.open_tenant("t", Format::Jsonl);
         let mut guard = tenant.lock().unwrap();
         for r in records("{\"t\":0,\"m\":\"rack-00.draw_w\",\"v\":1}\n") {
             guard.ingest_record(r);
@@ -681,6 +1543,203 @@ mod tests {
         assert!(guard.monitor().is_none());
         assert!(guard.alerts_json().is_none());
         assert!(guard.take_transitions().is_empty());
+    }
+
+    /// A deterministic multi-tick, multi-rack trace with enough
+    /// movement to exercise detector state.
+    fn spiky_trace(ticks: u64) -> Vec<ParsedRecord> {
+        let mut text = String::new();
+        for t in 0..ticks {
+            for rack in 0..2 {
+                let spike = if t % 17 == 0 { 40.0 } else { 0.0 };
+                let v = 100.0 + rack as f64 * 5.0 + (t % 7) as f64 + spike;
+                text.push_str(&format!(
+                    "{{\"t\":{},\"m\":\"rack-0{rack}.draw_w\",\"v\":{v}}}\n",
+                    t * 100
+                ));
+            }
+        }
+        records(&text)
+    }
+
+    fn fresh_monitored(name: &str) -> Tenant {
+        let mut tenant = Tenant::new(name, Format::Jsonl, PipelineConfig::default());
+        tenant.attach_monitor(default_alert_rules());
+        tenant
+    }
+
+    #[test]
+    fn checkpoint_round_trips_an_open_stream_bit_exactly() {
+        let trace = spiky_trace(60);
+        for cut in [1usize, 7, 35, 59] {
+            let mut live = fresh_monitored("acme");
+            for r in &trace[..cut] {
+                live.ingest_record(r.clone());
+            }
+            live.ingest_span(ParsedSpan {
+                id: 0,
+                name: "attack.drain".to_string(),
+                parent: None,
+                start_ms: 0,
+                end_ms: 100,
+                attrs: vec![("rack".to_string(), 1.0)],
+            });
+            live.note_parse_error();
+            let doc = live.checkpoint_document();
+
+            let mut restored = fresh_monitored("acme");
+            restored.restore_from_document(&doc).unwrap();
+            assert_eq!(restored.seq, live.seq, "cut {cut}");
+            assert_eq!(restored.checkpoint_document(), doc, "cut {cut}");
+
+            // Both halves converge on byte-identical final documents.
+            for r in &trace[cut..] {
+                live.ingest_record(r.clone());
+                restored.ingest_record(r.clone());
+            }
+            assert_eq!(
+                restored.finalize().to_json(),
+                live.finalize().to_json(),
+                "cut {cut}"
+            );
+            assert_eq!(restored.alerts_json(), live.alerts_json(), "cut {cut}");
+            assert_eq!(
+                restored.incidents_json(),
+                live.incidents_json(),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn reopen_rewinds_a_mid_stream_finalize_bit_exactly() {
+        let trace = spiky_trace(60);
+        for cut in [1usize, 23, 59] {
+            let mut clean = fresh_monitored("t");
+            let mut dropped = fresh_monitored("t");
+            for (i, r) in trace.iter().enumerate() {
+                clean.ingest_record(r.clone());
+                dropped.ingest_record(r.clone());
+                if i + 1 == cut {
+                    // Connection drop: EOF drains and finalizes…
+                    dropped.finalize();
+                    // …and the resume rewinds it.
+                    dropped.reopen();
+                    assert!(!dropped.finished());
+                }
+            }
+            assert_eq!(
+                dropped.finalize().to_json(),
+                clean.finalize().to_json(),
+                "cut {cut}"
+            );
+            assert_eq!(dropped.alerts_json(), clean.alerts_json(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_restores_a_finished_stream() {
+        let trace = spiky_trace(40);
+        let mut live = fresh_monitored("done");
+        for r in &trace {
+            live.ingest_record(r.clone());
+        }
+        live.finalize();
+        let doc = live.checkpoint_document();
+        let mut restored = fresh_monitored("done");
+        restored.restore_from_document(&doc).unwrap();
+        assert!(restored.finished());
+        assert_eq!(restored.finalize().to_json(), live.finalize().to_json());
+        assert_eq!(restored.alerts_json(), live.alerts_json());
+    }
+
+    #[test]
+    fn checkpoint_rejects_structural_mismatches() {
+        let mut live = fresh_monitored("a");
+        for r in spiky_trace(10) {
+            live.ingest_record(r);
+        }
+        let doc = live.checkpoint_document();
+
+        let e = fresh_monitored("b")
+            .restore_from_document(&doc)
+            .unwrap_err();
+        assert!(e.contains("tenant"), "{e}");
+
+        let bumped = doc.replacen("{\"version\":1", "{\"version\":9", 1);
+        let e = fresh_monitored("a")
+            .restore_from_document(&bumped)
+            .unwrap_err();
+        assert!(e.contains("version"), "{e}");
+
+        let truncated: String = doc.lines().take(3).map(|l| format!("{l}\n")).collect();
+        let e = fresh_monitored("a")
+            .restore_from_document(&truncated)
+            .unwrap_err();
+        assert!(e.contains("truncated"), "{e}");
+
+        let mut bare = Tenant::new("a", Format::Jsonl, PipelineConfig::default());
+        let e = bare.restore_from_document(&doc).unwrap_err();
+        assert!(e.contains("self-observability"), "{e}");
+    }
+
+    #[test]
+    fn resume_tenant_keeps_state_and_reports_seq() {
+        let state = DaemonState::new(PipelineConfig::default());
+        let (tenant, _) = state.open_tenant("r", Format::Jsonl);
+        {
+            let mut guard = tenant.lock().unwrap();
+            for r in spiky_trace(5) {
+                guard.ingest_record(r);
+            }
+        }
+        let (again, seq, _) = state.resume_tenant("r", Format::Jsonl).unwrap();
+        assert_eq!(seq, 10, "5 ticks x 2 racks consumed");
+        let guard = again.lock().unwrap();
+        assert_eq!(guard.records.len(), 10, "resume does not reset");
+        assert_eq!(guard.sessions, 2);
+        drop(guard);
+        let e = state.resume_tenant("r", Format::Csv).unwrap_err();
+        assert!(e.contains("format"), "{e}");
+        // A never-seen tenant resumes from zero.
+        let (_, seq, _) = state.resume_tenant("fresh", Format::Csv).unwrap();
+        assert_eq!(seq, 0);
+    }
+
+    #[test]
+    fn load_checkpoints_restores_tenants_from_disk() {
+        let dir =
+            std::env::temp_dir().join(format!("padsimd-state-test-load-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let mut state = DaemonState::new(PipelineConfig::default());
+        state.state_dir = Some(dir.clone());
+        let (tenant, _) = state.open_tenant("persisted", Format::Jsonl);
+        {
+            let mut guard = tenant.lock().unwrap();
+            for r in spiky_trace(20) {
+                guard.ingest_record(r);
+            }
+            state.write_checkpoint(&mut guard).unwrap();
+        }
+        assert_eq!(Counters::get(&state.counters.checkpoints_written), 1);
+        std::fs::write(dir.join("broken.ckpt"), "not a checkpoint\n").unwrap();
+
+        let mut reborn = DaemonState::new(PipelineConfig::default());
+        reborn.state_dir = Some(dir.clone());
+        assert_eq!(reborn.load_checkpoints().unwrap(), 1, "corrupt one skipped");
+        let restored = reborn.tenant("persisted").expect("restored from disk");
+        let mut guard = restored.lock().unwrap();
+        assert_eq!(guard.records.len(), 40);
+        assert_eq!(guard.seq, 40);
+        let mut live = tenant.lock().unwrap();
+        assert_eq!(guard.checkpoint_document(), live.checkpoint_document());
+        drop((guard, live));
+        let log = reborn.with_ops_log(OpsLog::render_jsonl);
+        assert!(log.contains("\"kind\":\"checkpoint_restore\""), "{log}");
+        assert!(log.contains("\"kind\":\"checkpoint_error\""), "{log}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,44 @@
+//! End-to-end chaos: real `padsimd` subprocesses, a real fault proxy,
+//! a real `SIGKILL` and same-port restart — the `padsimd chaos
+//! --ci-smoke` gate exercised as a test, so the wire-level recovery
+//! contract is checked on every `cargo test`, not just in CI.
+
+use paddaemon::chaos::{run_chaos, ChaosOptions};
+
+#[test]
+fn ci_smoke_scenarios_recover_byte_identically() {
+    let out = std::env::temp_dir().join(format!("padsimd-chaos-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&out);
+    let opts = ChaosOptions {
+        daemon_bin: env!("CARGO_BIN_EXE_padsimd").into(),
+        out: out.clone(),
+        seed: 11,
+        ci_smoke: true,
+    };
+    let report = run_chaos(&opts).expect("chaos harness runs");
+
+    let names: Vec<&str> = report.scenarios.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(
+        names,
+        [
+            "kill_restart",
+            "cut_mid_stream",
+            "stall_chunk",
+            "tiny_chunks"
+        ],
+        "the CI smoke set is pinned"
+    );
+    assert!(
+        report.scenarios.iter().any(|s| s.killed),
+        "the smoke set must include a real daemon kill"
+    );
+    assert!(report.scenarios.iter().all(|s| s.lossless));
+    assert!(
+        report.all_lossless_identical(),
+        "a lossless scenario lost or duplicated data:\n{}",
+        report.render_text()
+    );
+
+    let json = std::fs::read_to_string(out.join("chaos_report.json")).expect("report written");
+    assert!(json.contains("\"name\":\"kill_restart\",\"lossless\":1,\"killed\":1,\"identical\":1"));
+}

@@ -1,0 +1,394 @@
+//! The crash-recovery goldens: kill the daemon mid-stream at an
+//! arbitrary byte offset — including mid-line, including between a
+//! checkpoint and the lines consumed after it — restore a fresh daemon
+//! from the `--state-dir` checkpoints, resume the stream from the
+//! acked durable sequence number, and the final flushed outputs must be
+//! **byte-identical** to what the offline pipeline says about the
+//! uninterrupted trace. Pinned across both wire formats and a
+//! three-tenant interleaving mixing clean EOFs with hard resets.
+//!
+//! The "crash" is a reader that raises `ConnectionReset` with no EOF:
+//! the session dies exactly as a killed process's sockets do, with no
+//! drain and no finalize — only what checkpoints made durable survives.
+
+mod common;
+
+use std::io::{self, Cursor, Read, Write};
+use std::path::Path;
+use std::sync::OnceLock;
+
+use common::{offline_alerts, recorded_run, scratch_dir, RecordedRun};
+use pad::pipeline::PipelineConfig;
+use paddaemon::server::flush_outputs;
+use paddaemon::session::run_session;
+use paddaemon::state::{checkpoint_schema, DaemonState};
+use simkit::telemetry::{parse, render_parsed, Format, CSV_HEADER};
+use simkit::trace::SPAN_CSV_HEADER;
+
+/// One recorded attacked run shared by every test in this binary (the
+/// testbed sim is the expensive part; the goldens all replay it).
+fn run() -> &'static RecordedRun {
+    static RUN: OnceLock<RecordedRun> = OnceLock::new();
+    RUN.get_or_init(|| recorded_run(0xC4A5))
+}
+
+/// A stream that delivers a fixed byte prefix and then fails with
+/// `ConnectionReset` — a killed peer, not a closed one. The session
+/// must abort without draining (no finalize, no summary).
+struct CrashStream {
+    input: Cursor<Vec<u8>>,
+    output: Vec<u8>,
+}
+
+impl Read for CrashStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self.input.read(buf)? {
+            0 => Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "peer killed",
+            )),
+            n => Ok(n),
+        }
+    }
+}
+
+impl Write for CrashStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.output.write(buf)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A well-behaved stream: the script, then clean EOF.
+struct CleanStream {
+    input: Cursor<Vec<u8>>,
+    output: Vec<u8>,
+}
+
+impl Read for CleanStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.input.read(buf)
+    }
+}
+
+impl Write for CleanStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.output.write(buf)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Runs a session over `payload` that ends in a peer kill; returns the
+/// replies written before the crash.
+fn crash_session(state: &DaemonState, payload: Vec<u8>) -> String {
+    let mut stream = CrashStream {
+        input: Cursor::new(payload),
+        output: Vec::new(),
+    };
+    let err = run_session(&mut stream, state).expect_err("a reset aborts the session");
+    assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+    String::from_utf8(stream.output).unwrap()
+}
+
+/// Runs a session over `payload` ending in clean EOF; returns replies.
+fn clean_session(state: &DaemonState, payload: Vec<u8>) -> String {
+    let mut stream = CleanStream {
+        input: Cursor::new(payload),
+        output: Vec::new(),
+    };
+    run_session(&mut stream, state).expect("clean session");
+    String::from_utf8(stream.output).unwrap()
+}
+
+/// A fresh daemon state checkpointing into `state_dir`.
+fn new_state(state_dir: &Path) -> DaemonState {
+    let mut state = DaemonState::new(PipelineConfig::default());
+    state.state_dir = Some(state_dir.to_path_buf());
+    state
+}
+
+/// What an honest resuming client does first: re-attach and read the
+/// daemon's durable sequence number off the ack. The probe connection
+/// itself dies right after (covering resume-after-resume too).
+fn resume_ack_seq(state: &DaemonState, tenant: &str, format: &str) -> u64 {
+    let replies = crash_session(
+        state,
+        format!("hello {tenant} {format} resume 0\n").into_bytes(),
+    );
+    let ack = replies.lines().next().expect("resume ack");
+    let prefix = format!("ok hello {tenant} seq ");
+    ack.strip_prefix(&prefix)
+        .unwrap_or_else(|| panic!("unexpected resume ack {ack:?}"))
+        .parse()
+        .expect("acked seq parses")
+}
+
+/// The data lines of a rendered stream: what the resume sequence
+/// number counts (CSV headers and blank lines do not).
+fn data_lines(text: &str, format: Format) -> Vec<&str> {
+    text.lines()
+        .filter(|l| {
+            let t = l.trim();
+            !t.is_empty()
+                && !(format == Format::Csv
+                    && (t == CSV_HEADER.trim_end() || t == SPAN_CSV_HEADER.trim_end()))
+        })
+        .collect()
+}
+
+/// The resume payload an honest client sends after an ack of `seq`:
+/// headers re-emitted for CSV, telemetry from `seq`, spans, `end`.
+fn resume_payload(
+    tenant: &str,
+    format: Format,
+    telemetry: &str,
+    spans: &str,
+    seq: u64,
+    end: bool,
+) -> Vec<u8> {
+    let name = match format {
+        Format::Jsonl => "jsonl",
+        Format::Csv => "csv",
+    };
+    let mut payload = format!("hello {tenant} {name} resume {seq}\n");
+    if format == Format::Csv {
+        payload.push_str(CSV_HEADER);
+    }
+    for line in data_lines(telemetry, format).into_iter().skip(seq as usize) {
+        payload.push_str(line);
+        payload.push('\n');
+    }
+    if !spans.is_empty() {
+        if format == Format::Csv {
+            payload.push_str(SPAN_CSV_HEADER);
+        }
+        for line in data_lines(spans, format) {
+            payload.push_str(line);
+            payload.push('\n');
+        }
+    }
+    if end {
+        payload.push_str("end\n");
+    }
+    payload.into_bytes()
+}
+
+/// Asserts the flushed outputs for `tenant` in `dir` match the offline
+/// pipeline's verdicts for the uninterrupted trace byte-for-byte.
+fn assert_outputs_match(dir: &Path, tenant: &str, format: Format, run: &RecordedRun) {
+    let read = |name: &str| {
+        std::fs::read_to_string(dir.join(name))
+            .unwrap_or_else(|e| panic!("missing output {name}: {e}"))
+    };
+    assert_eq!(
+        read(&format!("{tenant}.detect.json")),
+        run.summary_json,
+        "summary diverged for {tenant}"
+    );
+    assert_eq!(read(&format!("{tenant}.firings.txt")), run.firings);
+    assert_eq!(
+        read(&format!("{tenant}.incidents.json")),
+        run.incidents_json
+    );
+    assert_eq!(
+        read(&format!("{tenant}.alerts.json")),
+        offline_alerts(&run.telemetry),
+        "alert document diverged for {tenant}"
+    );
+    let records = parse(&run.telemetry, Format::Jsonl).unwrap();
+    assert_eq!(
+        read(&format!("{tenant}.telemetry.{}", format.extension())),
+        render_parsed(&records, format),
+        "re-serialized telemetry diverged for {tenant}: a lost or \
+         duplicated line"
+    );
+}
+
+/// One full kill-and-recover cycle: stream `cut_bytes` of the wire
+/// payload into daemon A, kill it (drop with no drain), restore daemon
+/// B from the checkpoints, resume from the acked seq, flush, compare.
+fn crash_recover_golden(tag: &str, format: Format, cut_bytes: usize) {
+    let run = run();
+    let (telemetry, spans) = rendered(format);
+    let name = match format {
+        Format::Jsonl => "jsonl",
+        Format::Csv => "csv",
+    };
+    let state_dir = scratch_dir(&format!("{tag}-state"));
+    let out_dir = scratch_dir(&format!("{tag}-out"));
+
+    // Daemon A consumes an arbitrary prefix, then dies mid-stream.
+    let state_a = new_state(&state_dir);
+    let mut payload = format!("hello t {name} resume 0\n");
+    if format == Format::Csv {
+        payload.push_str(CSV_HEADER);
+    }
+    let mut payload = payload.into_bytes();
+    payload.extend_from_slice(&telemetry.as_bytes()[..cut_bytes]);
+    crash_session(&state_a, payload);
+    drop(state_a); // SIGKILL: in-memory state gone, checkpoints remain.
+
+    // Daemon B restores, acks its durable seq, and the client rewinds.
+    let state_b = new_state(&state_dir);
+    let restored = state_b.load_checkpoints().unwrap();
+    let seq = resume_ack_seq(&state_b, "t", name);
+    let total = data_lines(&telemetry, format).len() as u64;
+    assert!(
+        seq <= total,
+        "acked seq {seq} cannot exceed the {total} lines sent"
+    );
+    if restored > 0 {
+        assert!(seq > 0, "a restored checkpoint carries progress");
+    }
+    let replies = clean_session(
+        &state_b,
+        resume_payload("t", format, &telemetry, &spans, seq, true),
+    );
+    assert!(
+        replies.lines().nth(1).unwrap_or_default().starts_with('{'),
+        "resume session ends with the summary reply: {replies:?}"
+    );
+
+    flush_outputs(&state_b, &out_dir).unwrap();
+    assert_outputs_match(&out_dir, "t", format, run);
+}
+
+/// The recorded trace rendered for `format` (telemetry, spans).
+fn rendered(format: Format) -> (String, String) {
+    let run = run();
+    match format {
+        Format::Jsonl => (run.telemetry.clone(), run.spans.clone()),
+        Format::Csv => {
+            let records = parse(&run.telemetry, Format::Jsonl).unwrap();
+            let spans = simkit::trace::parse_spans(&run.spans, Format::Jsonl).unwrap();
+            (
+                render_parsed(&records, Format::Csv),
+                simkit::trace::render_parsed_spans(&spans, Format::Csv),
+            )
+        }
+    }
+}
+
+#[test]
+fn jsonl_crash_at_arbitrary_offsets_recovers_byte_identically() {
+    let (telemetry, _) = rendered(Format::Jsonl);
+    let n = telemetry.len();
+    // A line boundary, a mid-line cut, and a cut late in the stream —
+    // the daemon has consumed lines past its last checkpoint in all
+    // three, so restore genuinely rewinds.
+    let first_line = telemetry.find('\n').unwrap() + 1;
+    for (i, cut) in [first_line, n / 2 + 7, n - 3].into_iter().enumerate() {
+        crash_recover_golden(&format!("jsonl-cut{i}"), Format::Jsonl, cut);
+    }
+}
+
+#[test]
+fn csv_crash_recovers_byte_identically_with_reemitted_headers() {
+    let (telemetry, _) = rendered(Format::Csv);
+    let n = telemetry.len();
+    for (i, cut) in [n / 3, n / 2 + 11].into_iter().enumerate() {
+        crash_recover_golden(&format!("csv-cut{i}"), Format::Csv, cut);
+    }
+}
+
+#[test]
+fn three_interleaved_tenants_survive_a_crash_and_mixed_disconnects() {
+    let run = run();
+    let tenants = ["alpha", "beta", "gamma"];
+    let lines = data_lines(&run.telemetry, Format::Jsonl);
+    let state_dir = scratch_dir("interleaved-state");
+    let out_dir = scratch_dir("interleaved-out");
+
+    // Phase 1: chunked, interleaved sessions — alpha and gamma close
+    // each chunk with a clean EOF (which finalizes the stream; the next
+    // resume must rewind it), beta's connections die with resets.
+    let chunk = lines.len() / 4 + 1;
+    let state_a = new_state(&state_dir);
+    let mut crashed = false;
+    'outer: for round in 0..4 {
+        for (ti, tenant) in tenants.iter().enumerate() {
+            // Kill the daemon mid-round, with the three tenants at
+            // different stream positions.
+            if round == 2 && ti == 1 {
+                crashed = true;
+                break 'outer;
+            }
+            let seq = resume_ack_seq(&state_a, tenant, "jsonl") as usize;
+            let upto = ((round + 1) * chunk).min(lines.len());
+            let mut payload = format!("hello {tenant} jsonl resume {seq}\n").into_bytes();
+            for line in &lines[seq.min(upto)..upto] {
+                payload.extend_from_slice(line.as_bytes());
+                payload.push(b'\n');
+            }
+            if ti == 1 {
+                crash_session(&state_a, payload);
+            } else {
+                clean_session(&state_a, payload);
+            }
+        }
+    }
+    assert!(crashed);
+    drop(state_a);
+
+    // Phase 2: a fresh daemon restores all three mid-stream tenants
+    // and each client resumes from its own acked position.
+    let state_b = new_state(&state_dir);
+    assert_eq!(state_b.load_checkpoints().unwrap(), 3);
+    let mut seqs = Vec::new();
+    for tenant in tenants {
+        let seq = resume_ack_seq(&state_b, tenant, "jsonl");
+        let replies = clean_session(
+            &state_b,
+            resume_payload(tenant, Format::Jsonl, &run.telemetry, &run.spans, seq, true),
+        );
+        assert!(replies.contains("\"firings\""), "summary for {tenant}");
+        seqs.push(seq);
+    }
+    assert!(
+        seqs[0] != seqs[1] || seqs[1] != seqs[2],
+        "the interleaving should leave tenants at distinct positions: {seqs:?}"
+    );
+
+    flush_outputs(&state_b, &out_dir).unwrap();
+    for tenant in tenants {
+        assert_outputs_match(&out_dir, tenant, Format::Jsonl, run);
+    }
+}
+
+#[test]
+fn checkpoint_schema_is_pinned() {
+    // The on-disk checkpoint format is a compatibility surface: a
+    // daemon restart restores files an older build wrote. Any change
+    // here must bump CHECKPOINT_VERSION and regenerate the pin with
+    // UPDATE_CHECKPOINT_SCHEMA=1 — deliberately, in review.
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/data/checkpoint_schema.txt"
+    );
+    if std::env::var_os("UPDATE_CHECKPOINT_SCHEMA").is_some() {
+        std::fs::write(path, checkpoint_schema()).unwrap();
+    }
+    let pinned = include_str!("data/checkpoint_schema.txt");
+    assert_eq!(
+        checkpoint_schema(),
+        pinned,
+        "checkpoint schema drifted — bump CHECKPOINT_VERSION and \
+         regenerate tests/data/checkpoint_schema.txt"
+    );
+}
+
+#[test]
+fn recovery_outputs_exist_only_for_flushed_tenants() {
+    // Sanity on the oracle itself: a state that never saw a tenant
+    // flushes no files for it, so the byte-compare asserts above are
+    // reading what this run produced, not a previous run's leftovers.
+    let out_dir = scratch_dir("oracle-sanity");
+    let state = DaemonState::new(PipelineConfig::default());
+    flush_outputs(&state, &out_dir).unwrap();
+    assert!(!out_dir.join("t.detect.json").exists());
+    assert!(out_dir.join("alerts.json").exists());
+}

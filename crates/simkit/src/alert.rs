@@ -33,7 +33,7 @@
 //! stream resumes. The rule arms only after [`DEADMAN_MIN_GAPS`]
 //! observed gaps, so a stream's first wobbly intervals can't fire it.
 
-use crate::fault::{Json, JsonParser, ObjFields};
+use crate::jsonio::{Json, JsonParser, ObjFields};
 use crate::stats::Summary;
 use crate::telemetry::{MetricKind, MetricRegistry};
 
@@ -504,6 +504,170 @@ impl AlertEngine {
             .iter()
             .filter(|rt| matches!(rt.state(), RuleState::Firing { .. }))
             .count()
+    }
+
+    /// Serializes the engine's mutable state — per-rule runtime
+    /// machinery, the retained transition log, and any not-yet-drained
+    /// fresh transitions — keyed by rule name for structural
+    /// validation on restore. Rule definitions themselves are
+    /// configuration and are rebuilt by the caller.
+    pub fn snapshot_json(&self) -> String {
+        use crate::jsonio::write_f64;
+        use std::fmt::Write as _;
+        let write_events = |out: &mut String, events: &[AlertEvent]| {
+            out.push('[');
+            for (i, ev) in events.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"t\":{},\"rule\":\"{}\",\"fired\":{},\"value\":",
+                    ev.time_ms,
+                    ev.rule,
+                    u8::from(ev.fired)
+                );
+                write_f64(out, ev.value);
+                out.push('}');
+            }
+            out.push(']');
+        };
+        let mut out = String::from("{\"rules\":[");
+        for (i, rule) in self.rules.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\"", rule.name);
+        }
+        out.push_str("],\"runtimes\":[");
+        for (i, rt) in self.runtimes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match rt.state() {
+                RuleState::Ok => out.push_str("{\"state\":\"ok\""),
+                RuleState::Pending { since_ms } => {
+                    let _ = write!(out, "{{\"state\":\"pending\",\"since\":{since_ms}");
+                }
+                RuleState::Firing { since_ms, value } => {
+                    let _ = write!(
+                        out,
+                        "{{\"state\":\"firing\",\"since\":{since_ms},\"value\":"
+                    );
+                    write_f64(&mut out, value);
+                }
+            }
+            if let Some((t, v)) = rt.last_sample {
+                let _ = write!(out, ",\"last_sample\":[{t},");
+                write_f64(&mut out, v);
+                out.push(']');
+            }
+            if let Some((t, v)) = rt.last_beat {
+                let _ = write!(out, ",\"last_beat\":[{t},");
+                write_f64(&mut out, v);
+                out.push(']');
+            }
+            out.push_str(",\"gaps\":");
+            out.push_str(&rt.gaps.snapshot_json());
+            out.push('}');
+        }
+        out.push_str("],\"events\":");
+        write_events(&mut out, &self.events);
+        let _ = write!(
+            out,
+            ",\"events_dropped\":{},\"fresh\":",
+            self.events_dropped
+        );
+        write_events(&mut out, &self.fresh);
+        out.push('}');
+        out
+    }
+
+    /// Restores mutable state from a [`snapshot_json`](Self::snapshot_json)
+    /// document into an engine built over the same rules (names are
+    /// validated in order).
+    pub fn restore_snapshot(&mut self, value: &Json) -> Result<(), String> {
+        let read_events = |items: &[Json], what: &str| -> Result<Vec<AlertEvent>, String> {
+            items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| {
+                    let obj = item.as_object(&format!("{what}[{i}]"))?;
+                    Ok(AlertEvent {
+                        time_ms: obj.u64_field("t")?,
+                        rule: obj.str_field("rule")?.to_string(),
+                        fired: obj.u64_field("fired")? != 0,
+                        value: obj.f64_field_lossy("value")?,
+                    })
+                })
+                .collect()
+        };
+        let obj = value.as_object("alert engine snapshot")?;
+        let names = obj.arr_field("rules")?;
+        if names.len() != self.rules.len() {
+            return Err(format!(
+                "engine has {} rules, snapshot has {}",
+                self.rules.len(),
+                names.len()
+            ));
+        }
+        for (rule, name) in self.rules.iter().zip(names) {
+            let name = match name {
+                Json::Str(s) => s.as_str(),
+                _ => return Err("rule names must be strings".to_string()),
+            };
+            if name != rule.name {
+                return Err(format!(
+                    "rule name mismatch: snapshot has {name:?}, engine has {:?}",
+                    rule.name
+                ));
+            }
+        }
+        let runtimes = obj.arr_field("runtimes")?;
+        if runtimes.len() != self.rules.len() {
+            return Err("runtime count must match rule count".to_string());
+        }
+        let mut restored = Vec::with_capacity(runtimes.len());
+        for (i, item) in runtimes.iter().enumerate() {
+            let robj = item.as_object(&format!("runtime[{i}]"))?;
+            let state = match robj.str_field("state")? {
+                "ok" => RuleState::Ok,
+                "pending" => RuleState::Pending {
+                    since_ms: robj.u64_field("since")?,
+                },
+                "firing" => RuleState::Firing {
+                    since_ms: robj.u64_field("since")?,
+                    value: robj.f64_field_lossy("value")?,
+                },
+                other => return Err(format!("unknown rule state {other:?}")),
+            };
+            let pair = |key: &str| -> Result<Option<(u64, f64)>, String> {
+                match robj.opt_field(key) {
+                    None => Ok(None),
+                    Some(v) => {
+                        let arr = v.as_array(&format!("runtime {key}"))?;
+                        if arr.len() != 2 {
+                            return Err(format!("runtime {key} must be a [t, value] pair"));
+                        }
+                        Ok(Some((
+                            arr[0].as_u64(&format!("{key} time"))?,
+                            arr[1].as_f64(&format!("{key} value"))?,
+                        )))
+                    }
+                }
+            };
+            restored.push(Runtime {
+                state: Some(state),
+                last_sample: pair("last_sample")?,
+                last_beat: pair("last_beat")?,
+                gaps: Summary::from_snapshot(robj.field("gaps")?)?,
+            });
+        }
+        self.runtimes = restored;
+        self.events = read_events(obj.arr_field("events")?, "events")?;
+        self.events_dropped = obj.u64_field("events_dropped")?;
+        self.fresh = read_events(obj.arr_field("fresh")?, "fresh")?;
+        Ok(())
     }
 
     /// Point-in-time state of every rule, in rule order.
@@ -1015,6 +1179,74 @@ mod tests {
         let bad_sev =
             "{\"rules\":[{\"name\":\"x\",\"severity\":\"shrug\",\"kind\":\"rate\",\"metric\":\"m\",\"max_per_sec\":1}]}";
         assert!(parse_rules(bad_sev).unwrap_err().contains("severity"));
+    }
+
+    #[test]
+    fn engine_snapshot_round_trips_mid_history() {
+        let rules = || {
+            vec![
+                threshold_rule(0, 0, Some(2.0)),
+                deadman_rule(0),
+                AlertRule {
+                    name: "err-rate".to_string(),
+                    severity: Severity::Info,
+                    for_ms: 0,
+                    hold_ms: 0,
+                    kind: AlertKind::Rate {
+                        metric: "ingest.ticks_total".to_string(),
+                        max_per_sec: 50.0,
+                    },
+                },
+            ]
+        };
+        let mut reg = MetricRegistry::new();
+        let level = reg.register_gauge("policy.level");
+        let ticks = reg.register_counter("ingest.ticks_total");
+        let drive =
+            |engine: &mut AlertEngine, reg: &mut MetricRegistry, range: std::ops::Range<u64>| {
+                for i in range {
+                    reg.set_gauge(level, if i % 7 == 3 { 3.5 } else { 1.0 });
+                    reg.inc(ticks, if i % 11 == 5 { 200 } else { 1 });
+                    engine.eval(reg, i * 100);
+                }
+            };
+
+        let mut full = AlertEngine::new(rules());
+        let mut full_reg = MetricRegistry::new();
+        let fl = full_reg.register_gauge("policy.level");
+        let ft = full_reg.register_counter("ingest.ticks_total");
+        assert_eq!((fl, ft), (level, ticks));
+        drive(&mut full, &mut full_reg, 0..40);
+
+        let mut first = AlertEngine::new(rules());
+        drive(&mut first, &mut reg, 0..23);
+        let doc = JsonParser::parse_document(&first.snapshot_json()).unwrap();
+        let mut resumed = AlertEngine::new(rules());
+        resumed.restore_snapshot(&doc).unwrap();
+        drive(&mut resumed, &mut reg, 23..40);
+
+        assert!(
+            !full.events().is_empty(),
+            "the drive must produce transitions"
+        );
+        assert_eq!(render_alerts_json(&resumed), render_alerts_json(&full));
+        assert_eq!(
+            resumed.take_transitions().len(),
+            full.take_transitions().len()
+        );
+    }
+
+    #[test]
+    fn engine_restore_rejects_rule_drift() {
+        let engine = AlertEngine::new(vec![threshold_rule(0, 0, None)]);
+        let doc = JsonParser::parse_document(&engine.snapshot_json()).unwrap();
+        let mut renamed = AlertEngine::new(vec![deadman_rule(0)]);
+        assert!(renamed
+            .restore_snapshot(&doc)
+            .unwrap_err()
+            .contains("mismatch"));
+        let mut fewer = AlertEngine::new(vec![]);
+        assert!(fewer.restore_snapshot(&doc).unwrap_err().contains("rules"));
     }
 
     #[test]

@@ -1,0 +1,699 @@
+//! Wire-level chaos: seeded byte/line fault plans for a TCP stream and
+//! an in-process fault-injecting proxy.
+//!
+//! Where [`fault`](crate::fault) perturbs the *simulated world* (sensor
+//! noise, component outages), this module perturbs the *transport* a
+//! live telemetry daemon ingests from: connections cut at arbitrary
+//! byte offsets, stalled mid-line, writes fragmented into tiny chunks,
+//! lines duplicated or garbled in flight. A [`ChaosPlan`] is the pure
+//! data description of one such torture schedule — seeded, validated,
+//! and JSON round-trippable exactly like a
+//! [`FaultPlan`](crate::fault::FaultPlan) — and a [`FaultProxy`] is the
+//! in-process TCP proxy that executes it between a client and an
+//! upstream server.
+//!
+//! # Determinism contract
+//!
+//! A plan is pure data: every offset, index and chunk size is fixed at
+//! plan-build time (seeded generation uses [`RngStream`], so the same
+//! seed yields the same plan bytes). The proxy applies each fault **at
+//! most once per proxy lifetime**: a `cut_at` severs the first
+//! connection that reaches its byte offset, and the client's retry
+//! connection then passes unharmed — which is what lets a
+//! reconnect-and-resume client make progress under any plan.
+//!
+//! # Example
+//!
+//! ```
+//! use simkit::chaos::{ChaosPlan, WireFault};
+//!
+//! let plan = ChaosPlan::new("smoke", 7)
+//!     .with(WireFault::CutAt { offset: 4096 })
+//!     .with(WireFault::Chunk { max_bytes: 17 });
+//! let json = plan.to_json();
+//! assert_eq!(ChaosPlan::from_json(&json).unwrap(), plan);
+//! ```
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use crate::jsonio::{Json, JsonParser, ObjFields};
+use crate::rng::RngStream;
+
+/// One transport-level fault in a [`ChaosPlan`].
+///
+/// Byte offsets count the client→upstream direction only (the reply
+/// direction is never perturbed — a real flaky network hurts the bulk
+/// data path, and perturbing acks would only retest the same client
+/// code). Line indices count client→upstream `\n`-terminated lines,
+/// starting at 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFault {
+    /// Sever the connection (both directions) once `offset` bytes have
+    /// been forwarded upstream.
+    CutAt {
+        /// Client→upstream byte offset of the cut.
+        offset: u64,
+    },
+    /// Pause forwarding for `ms` wall-clock milliseconds once `offset`
+    /// bytes have been forwarded.
+    StallAt {
+        /// Client→upstream byte offset of the stall.
+        offset: u64,
+        /// Stall duration in milliseconds.
+        ms: u64,
+    },
+    /// Fragment every upstream write into chunks of at most
+    /// `max_bytes` bytes (exercises partial-line reads). Unlike the
+    /// one-shot faults this applies for the whole proxy lifetime.
+    Chunk {
+        /// Maximum bytes per upstream write.
+        max_bytes: u64,
+    },
+    /// Forward the `index`-th client line twice.
+    DuplicateLine {
+        /// Zero-based client→upstream line index.
+        index: u64,
+    },
+    /// Overwrite every byte of the `index`-th client line (except its
+    /// terminating newline) with `#`, making it unparseable.
+    GarbleLine {
+        /// Zero-based client→upstream line index.
+        index: u64,
+    },
+}
+
+impl WireFault {
+    /// Stable wire name of the fault kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            WireFault::CutAt { .. } => "cut_at",
+            WireFault::StallAt { .. } => "stall_at",
+            WireFault::Chunk { .. } => "chunk",
+            WireFault::DuplicateLine { .. } => "duplicate_line",
+            WireFault::GarbleLine { .. } => "garble_line",
+        }
+    }
+
+    /// Validates the fault's parameters.
+    pub fn validate(self) -> Result<(), String> {
+        match self {
+            WireFault::Chunk { max_bytes: 0 } => {
+                Err("chunk max_bytes must be at least 1".to_string())
+            }
+            WireFault::StallAt { ms, .. } if ms > 60_000 => {
+                Err("stall_at ms must be at most 60000".to_string())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// `true` for faults that leave the forwarded byte stream
+    /// semantically intact (an ingest protected by checkpoint/resume
+    /// must produce byte-identical outputs under them).
+    pub fn is_lossless(self) -> bool {
+        !matches!(
+            self,
+            WireFault::DuplicateLine { .. } | WireFault::GarbleLine { .. }
+        )
+    }
+}
+
+/// A named, seeded schedule of [`WireFault`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosPlan {
+    name: String,
+    seed: u64,
+    kill_at_line: Option<u64>,
+    faults: Vec<WireFault>,
+}
+
+impl ChaosPlan {
+    /// Creates an empty plan.
+    pub fn new(name: impl Into<String>, seed: u64) -> Self {
+        ChaosPlan {
+            name: name.into(),
+            seed,
+            kill_at_line: None,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Builder-style [`push`](ChaosPlan::push).
+    pub fn with(mut self, fault: WireFault) -> Self {
+        self.push(fault);
+        self
+    }
+
+    /// Appends a fault.
+    pub fn push(&mut self, fault: WireFault) {
+        self.faults.push(fault);
+    }
+
+    /// Schedules a harness-level daemon kill-and-restart once the
+    /// client has durably sent `line` data lines. The proxy ignores
+    /// this — it is executed by the chaos *runner*, which owns the
+    /// daemon process.
+    pub fn with_kill_at_line(mut self, line: u64) -> Self {
+        self.kill_at_line = Some(line);
+        self
+    }
+
+    /// The plan's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The seed the plan was generated from (or tagged with).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The harness-level kill point, if any.
+    pub fn kill_at_line(&self) -> Option<u64> {
+        self.kill_at_line
+    }
+
+    /// The scheduled faults, in schedule order.
+    pub fn faults(&self) -> &[WireFault] {
+        &self.faults
+    }
+
+    /// `true` when every fault [`is_lossless`](WireFault::is_lossless):
+    /// a resuming client must reproduce byte-identical outputs.
+    pub fn is_lossless(&self) -> bool {
+        self.faults.iter().all(|f| f.is_lossless())
+    }
+
+    /// Validates every fault, reporting the first error with its index.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, fault) in self.faults.iter().enumerate() {
+            fault.validate().map_err(|e| format!("fault {i}: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Generates a deterministic mixed plan for a stream of roughly
+    /// `approx_bytes`/`approx_lines`: one mid-stream cut, one stall,
+    /// chunked writes, and (when `lossy`) one duplicated and one
+    /// garbled line. Same seed, same plan.
+    pub fn seeded(
+        name: impl Into<String>,
+        seed: u64,
+        approx_bytes: u64,
+        approx_lines: u64,
+        lossy: bool,
+    ) -> ChaosPlan {
+        let mut rng = RngStream::new(seed).fork("chaos");
+        let span = approx_bytes.max(16) as f64;
+        let lines = approx_lines.max(4) as f64;
+        let mut plan = ChaosPlan::new(name, seed)
+            .with(WireFault::CutAt {
+                offset: rng.uniform(0.2 * span, 0.8 * span) as u64,
+            })
+            .with(WireFault::StallAt {
+                offset: rng.uniform(0.1 * span, 0.9 * span) as u64,
+                ms: rng.uniform(5.0, 40.0) as u64,
+            })
+            .with(WireFault::Chunk {
+                max_bytes: rng.uniform(3.0, 64.0) as u64,
+            });
+        if lossy {
+            plan = plan
+                .with(WireFault::DuplicateLine {
+                    index: rng.uniform(0.1 * lines, 0.9 * lines) as u64,
+                })
+                .with(WireFault::GarbleLine {
+                    index: rng.uniform(0.1 * lines, 0.9 * lines) as u64,
+                });
+        }
+        plan
+    }
+
+    /// Serializes the plan to its canonical single-line JSON form.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(out, "{{\"name\":\"{}\",\"seed\":{}", self.name, self.seed);
+        if let Some(line) = self.kill_at_line {
+            let _ = write!(out, ",\"kill_at_line\":{line}");
+        }
+        out.push_str(",\"faults\":[");
+        for (i, fault) in self.faults.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"kind\":\"{}\"", fault.name());
+            match *fault {
+                WireFault::CutAt { offset } => {
+                    let _ = write!(out, ",\"offset\":{offset}");
+                }
+                WireFault::StallAt { offset, ms } => {
+                    let _ = write!(out, ",\"offset\":{offset},\"ms\":{ms}");
+                }
+                WireFault::Chunk { max_bytes } => {
+                    let _ = write!(out, ",\"max_bytes\":{max_bytes}");
+                }
+                WireFault::DuplicateLine { index } | WireFault::GarbleLine { index } => {
+                    let _ = write!(out, ",\"index\":{index}");
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a plan from the JSON form produced by
+    /// [`ChaosPlan::to_json`] (whitespace-tolerant) and validates it.
+    pub fn from_json(text: &str) -> Result<ChaosPlan, String> {
+        let value = JsonParser::parse_document(text)?;
+        let obj = value.as_object("plan")?;
+        let mut plan = ChaosPlan::new(obj.str_field("name")?.to_string(), obj.u64_field("seed")?);
+        plan.kill_at_line = obj.opt_u64_field("kill_at_line")?;
+        for (i, item) in obj.arr_field("faults")?.iter().enumerate() {
+            let fault = parse_fault(item).map_err(|e| format!("fault {i}: {e}"))?;
+            plan.push(fault);
+        }
+        plan.validate()?;
+        Ok(plan)
+    }
+}
+
+fn parse_fault(value: &Json) -> Result<WireFault, String> {
+    let obj = value.as_object("fault")?;
+    Ok(match obj.str_field("kind")? {
+        "cut_at" => WireFault::CutAt {
+            offset: obj.u64_field("offset")?,
+        },
+        "stall_at" => WireFault::StallAt {
+            offset: obj.u64_field("offset")?,
+            ms: obj.u64_field("ms")?,
+        },
+        "chunk" => WireFault::Chunk {
+            max_bytes: obj.u64_field("max_bytes")?,
+        },
+        "duplicate_line" => WireFault::DuplicateLine {
+            index: obj.u64_field("index")?,
+        },
+        "garble_line" => WireFault::GarbleLine {
+            index: obj.u64_field("index")?,
+        },
+        other => return Err(format!("unknown fault kind {other:?}")),
+    })
+}
+
+/// Shared one-shot bookkeeping: which plan faults have already fired.
+struct Armed {
+    faults: Vec<WireFault>,
+    fired: Vec<bool>,
+}
+
+/// An in-process fault-injecting TCP proxy.
+///
+/// Listens on an ephemeral loopback port and forwards each accepted
+/// connection to `upstream`, applying a [`ChaosPlan`]'s faults to the
+/// client→upstream byte stream (replies pass through untouched). Every
+/// fault fires at most once per proxy lifetime, shared across
+/// connections, so a reconnecting client always makes progress.
+pub struct FaultProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl FaultProxy {
+    /// Starts the proxy in front of `upstream` with `plan`'s faults.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if no loopback port is available.
+    pub fn start(upstream: SocketAddr, plan: &ChaosPlan) -> std::io::Result<FaultProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let armed = Arc::new(Mutex::new(Armed {
+            faults: plan.faults().to_vec(),
+            fired: vec![false; plan.faults().len()],
+        }));
+        let stop_accept = Arc::clone(&stop);
+        let accept_thread = thread::spawn(move || {
+            let mut workers: Vec<JoinHandle<()>> = Vec::new();
+            while !stop_accept.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((client, _)) => {
+                        let armed = Arc::clone(&armed);
+                        workers.push(thread::spawn(move || {
+                            let _ = pump_connection(client, upstream, &armed);
+                        }));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+                workers.retain(|h| !h.is_finished());
+            }
+            for h in workers {
+                let _ = h.join();
+            }
+        });
+        Ok(FaultProxy {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The proxy's listen address (point clients here).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the accept loop. Existing connections
+    /// finish on their own.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Forwards one client connection through the fault pipeline.
+fn pump_connection(
+    client: TcpStream,
+    upstream: SocketAddr,
+    armed: &Mutex<Armed>,
+) -> std::io::Result<()> {
+    let server = TcpStream::connect(upstream)?;
+    // Reply pump: upstream → client, untouched.
+    let (mut reply_src, reply_dst) = (server.try_clone()?, client.try_clone()?);
+    let replies = thread::spawn(move || {
+        let mut dst = reply_dst;
+        let mut buf = [0u8; 4096];
+        loop {
+            match reply_src.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => {
+                    if dst.write_all(&buf[..n]).is_err() {
+                        break;
+                    }
+                    let _ = dst.flush();
+                }
+            }
+        }
+        let _ = dst.shutdown(Shutdown::Write);
+    });
+
+    let outcome = pump_data(&client, &server, armed);
+    // A cut severs both directions immediately; a normal EOF half-closes
+    // the upstream write side and lets replies drain.
+    match outcome {
+        Ok(true) => {
+            let _ = server.shutdown(Shutdown::Both);
+            let _ = client.shutdown(Shutdown::Both);
+        }
+        _ => {
+            let _ = server.shutdown(Shutdown::Write);
+        }
+    }
+    let _ = replies.join();
+    Ok(())
+}
+
+/// Client → upstream pump with the fault pipeline. Returns `Ok(true)`
+/// when a cut fault severed the connection, `Ok(false)` on client EOF.
+fn pump_data(
+    client: &TcpStream,
+    server: &TcpStream,
+    armed: &Mutex<Armed>,
+) -> std::io::Result<bool> {
+    let mut src = client.try_clone()?;
+    let mut dst = server.try_clone()?;
+    let mut buf = [0u8; 4096];
+    let mut cur_line: Vec<u8> = Vec::new();
+    let mut line_index: u64 = 0;
+    let mut sent: u64 = 0;
+    loop {
+        let n = match src.read(&mut buf) {
+            Ok(0) => {
+                // Flush any unterminated trailing bytes verbatim.
+                let tail = std::mem::take(&mut cur_line);
+                if !tail.is_empty() && emit(&mut dst, &tail, &mut sent, armed)? {
+                    return Ok(true);
+                }
+                return Ok(false);
+            }
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return Ok(false),
+        };
+        for &b in &buf[..n] {
+            cur_line.push(b);
+            if b != b'\n' {
+                continue;
+            }
+            let mut line = std::mem::take(&mut cur_line);
+            let mut copies = 1;
+            {
+                let mut armed = armed.lock().expect("chaos faults lock");
+                let Armed { faults, fired } = &mut *armed;
+                for (fault, fired) in faults.iter().zip(fired.iter_mut()) {
+                    match *fault {
+                        WireFault::GarbleLine { index } if index == line_index && !*fired => {
+                            *fired = true;
+                            let len = line.len() - 1;
+                            line[..len].fill(b'#');
+                        }
+                        WireFault::DuplicateLine { index } if index == line_index && !*fired => {
+                            *fired = true;
+                            copies = 2;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            for _ in 0..copies {
+                if emit(&mut dst, &line, &mut sent, armed)? {
+                    return Ok(true);
+                }
+            }
+            line_index += 1;
+        }
+    }
+}
+
+/// Writes `bytes` upstream, honouring chunking, stalls and cuts.
+/// Returns `Ok(true)` when a cut fault fired inside this emission.
+fn emit(
+    dst: &mut TcpStream,
+    bytes: &[u8],
+    sent: &mut u64,
+    armed: &Mutex<Armed>,
+) -> std::io::Result<bool> {
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        // Decide the largest safe write: stop at the nearest pending
+        // cut/stall boundary and at the chunk ceiling.
+        let mut limit = bytes.len() - pos;
+        let mut stall: Option<Duration> = None;
+        let mut cut_now = false;
+        {
+            let mut armed = armed.lock().expect("chaos faults lock");
+            let Armed { faults, fired } = &mut *armed;
+            for (fault, fired) in faults.iter().zip(fired.iter_mut()) {
+                if *fired {
+                    continue;
+                }
+                match *fault {
+                    WireFault::Chunk { max_bytes } => {
+                        limit = limit.min(max_bytes as usize);
+                    }
+                    WireFault::CutAt { offset } => {
+                        if offset <= *sent {
+                            *fired = true;
+                            cut_now = true;
+                        } else {
+                            limit = limit.min((offset - *sent) as usize);
+                        }
+                    }
+                    WireFault::StallAt { offset, ms } => {
+                        if offset <= *sent {
+                            *fired = true;
+                            stall = Some(Duration::from_millis(ms));
+                        } else {
+                            limit = limit.min((offset - *sent) as usize);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if cut_now {
+            return Ok(true);
+        }
+        if let Some(pause) = stall {
+            thread::sleep(pause);
+            continue;
+        }
+        let end = pos + limit.max(1);
+        dst.write_all(&bytes[pos..end])?;
+        dst.flush()?;
+        *sent += (end - pos) as u64;
+        pos = end;
+    }
+    Ok(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead;
+
+    #[test]
+    fn plan_round_trips_through_json() {
+        let plan = ChaosPlan::new("torture", 42)
+            .with(WireFault::CutAt { offset: 1000 })
+            .with(WireFault::StallAt {
+                offset: 2000,
+                ms: 10,
+            })
+            .with(WireFault::Chunk { max_bytes: 7 })
+            .with(WireFault::DuplicateLine { index: 3 })
+            .with(WireFault::GarbleLine { index: 5 })
+            .with_kill_at_line(100);
+        let json = plan.to_json();
+        assert_eq!(ChaosPlan::from_json(&json).unwrap(), plan);
+        assert!(!plan.is_lossless());
+        assert!(ChaosPlan::new("clean", 1)
+            .with(WireFault::CutAt { offset: 9 })
+            .is_lossless());
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible() {
+        let a = ChaosPlan::seeded("s", 9, 10_000, 200, true);
+        let b = ChaosPlan::seeded("s", 9, 10_000, 200, true);
+        assert_eq!(a, b);
+        assert_eq!(a.faults().len(), 5);
+        a.validate().unwrap();
+        let c = ChaosPlan::seeded("s", 10, 10_000, 200, true);
+        assert_ne!(a.to_json(), c.to_json(), "different seeds differ");
+    }
+
+    #[test]
+    fn plan_rejects_bad_parameters() {
+        assert!(ChaosPlan::new("bad", 0)
+            .with(WireFault::Chunk { max_bytes: 0 })
+            .validate()
+            .is_err());
+        assert!(ChaosPlan::from_json(
+            "{\"name\":\"x\",\"seed\":1,\"faults\":[{\"kind\":\"nope\"}]}"
+        )
+        .is_err());
+    }
+
+    /// Upstream that records everything it reads and echoes `done\n`
+    /// when the client half-closes.
+    fn sink_upstream() -> (SocketAddr, std::sync::mpsc::Receiver<Vec<u8>>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (tx, rx) = std::sync::mpsc::channel();
+        thread::spawn(move || {
+            while let Ok((mut conn, _)) = listener.accept() {
+                let mut data = Vec::new();
+                let _ = conn.read_to_end(&mut data);
+                let _ = conn.write_all(b"done\n");
+                let _ = conn.shutdown(Shutdown::Write);
+                if tx.send(data).is_err() {
+                    break;
+                }
+            }
+        });
+        (addr, rx)
+    }
+
+    #[test]
+    fn clean_plan_forwards_bytes_and_replies_untouched() {
+        let (upstream, rx) = sink_upstream();
+        let proxy = FaultProxy::start(upstream, &ChaosPlan::new("clean", 0)).unwrap();
+        let mut client = TcpStream::connect(proxy.addr()).unwrap();
+        client.write_all(b"alpha\nbeta\n").unwrap();
+        client.shutdown(Shutdown::Write).unwrap();
+        let mut reply = String::new();
+        std::io::BufReader::new(&mut client)
+            .read_line(&mut reply)
+            .unwrap();
+        assert_eq!(reply, "done\n");
+        assert_eq!(rx.recv().unwrap(), b"alpha\nbeta\n");
+        proxy.stop();
+    }
+
+    #[test]
+    fn garble_and_duplicate_target_exact_lines_once() {
+        let (upstream, rx) = sink_upstream();
+        let plan = ChaosPlan::new("lossy", 0)
+            .with(WireFault::GarbleLine { index: 1 })
+            .with(WireFault::DuplicateLine { index: 2 });
+        let proxy = FaultProxy::start(upstream, &plan).unwrap();
+        let mut client = TcpStream::connect(proxy.addr()).unwrap();
+        client.write_all(b"a\nbb\nccc\ndddd\n").unwrap();
+        client.shutdown(Shutdown::Write).unwrap();
+        assert_eq!(rx.recv().unwrap(), b"a\n##\nccc\nccc\ndddd\n");
+        // A second connection is untouched: the faults already fired.
+        let mut client = TcpStream::connect(proxy.addr()).unwrap();
+        client.write_all(b"a\nbb\nccc\ndddd\n").unwrap();
+        client.shutdown(Shutdown::Write).unwrap();
+        assert_eq!(rx.recv().unwrap(), b"a\nbb\nccc\ndddd\n");
+        proxy.stop();
+    }
+
+    #[test]
+    fn cut_severs_at_the_exact_byte_offset_once() {
+        let (upstream, rx) = sink_upstream();
+        let plan = ChaosPlan::new("cut", 0).with(WireFault::CutAt { offset: 4 });
+        let proxy = FaultProxy::start(upstream, &plan).unwrap();
+        let mut client = TcpStream::connect(proxy.addr()).unwrap();
+        // Writes may or may not error depending on timing; the upstream
+        // view is what matters.
+        let _ = client.write_all(b"abcdefgh\n");
+        let _ = client.shutdown(Shutdown::Write);
+        assert_eq!(rx.recv().unwrap(), b"abcd");
+        drop(client);
+        // Retry passes through whole.
+        let mut client = TcpStream::connect(proxy.addr()).unwrap();
+        client.write_all(b"abcdefgh\n").unwrap();
+        client.shutdown(Shutdown::Write).unwrap();
+        assert_eq!(rx.recv().unwrap(), b"abcdefgh\n");
+        proxy.stop();
+    }
+
+    #[test]
+    fn chunking_preserves_content() {
+        let (upstream, rx) = sink_upstream();
+        let plan = ChaosPlan::new("chunk", 0).with(WireFault::Chunk { max_bytes: 3 });
+        let proxy = FaultProxy::start(upstream, &plan).unwrap();
+        let mut client = TcpStream::connect(proxy.addr()).unwrap();
+        let payload = b"the quick brown fox jumps over the lazy dog\n".repeat(20);
+        client.write_all(&payload).unwrap();
+        client.shutdown(Shutdown::Write).unwrap();
+        assert_eq!(rx.recv().unwrap(), payload);
+        proxy.stop();
+    }
+}

@@ -31,6 +31,7 @@
 //! convention as the telemetry codecs), so serialization is deterministic
 //! across platforms.
 
+use crate::jsonio::{Json, JsonParser, ObjFields};
 use crate::rng::RngStream;
 use crate::time::SimTime;
 use std::fmt;
@@ -453,231 +454,6 @@ fn parse_spec(value: &Json) -> Result<FaultSpec, String> {
         other => return Err(format!("unknown fault kind {other:?}")),
     };
     Ok(FaultSpec::new(kind, target, start, end))
-}
-
-/// Minimal JSON value for the plan codec (strings, numbers, arrays,
-/// objects — the whole vocabulary the wire format uses).
-#[derive(Debug, Clone, PartialEq)]
-pub(crate) enum Json {
-    Str(String),
-    Num(f64),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    pub(crate) fn as_object(&self, what: &str) -> Result<&[(String, Json)], String> {
-        match self {
-            Json::Obj(fields) => Ok(fields),
-            _ => Err(format!("expected {what} to be a JSON object")),
-        }
-    }
-}
-
-/// Field lookups over a parsed object, with typed errors.
-pub(crate) trait ObjFields {
-    fn field(&self, key: &str) -> Result<&Json, String>;
-    fn str_field(&self, key: &str) -> Result<&str, String>;
-    fn f64_field(&self, key: &str) -> Result<f64, String>;
-    fn u64_field(&self, key: &str) -> Result<u64, String>;
-    fn arr_field(&self, key: &str) -> Result<&[Json], String>;
-}
-
-impl ObjFields for &[(String, Json)] {
-    fn field(&self, key: &str) -> Result<&Json, String> {
-        self.iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v)
-            .ok_or_else(|| format!("missing field {key:?}"))
-    }
-
-    fn str_field(&self, key: &str) -> Result<&str, String> {
-        match self.field(key)? {
-            Json::Str(s) => Ok(s),
-            _ => Err(format!("field {key:?} must be a string")),
-        }
-    }
-
-    fn f64_field(&self, key: &str) -> Result<f64, String> {
-        match self.field(key)? {
-            Json::Num(n) => Ok(*n),
-            _ => Err(format!("field {key:?} must be a number")),
-        }
-    }
-
-    fn u64_field(&self, key: &str) -> Result<u64, String> {
-        let n = self.f64_field(key)?;
-        if n.fract() != 0.0 || n < 0.0 || n > u64::MAX as f64 {
-            return Err(format!(
-                "field {key:?} must be a non-negative integer, got {n}"
-            ));
-        }
-        Ok(n as u64)
-    }
-
-    fn arr_field(&self, key: &str) -> Result<&[Json], String> {
-        match self.field(key)? {
-            Json::Arr(items) => Ok(items),
-            _ => Err(format!("field {key:?} must be an array")),
-        }
-    }
-}
-
-/// Hand-rolled recursive-descent parser for the plan wire format. Strings
-/// are unescaped-charset only (`[A-Za-z0-9._\- ]` in practice), matching
-/// the telemetry codecs' no-escaping convention.
-pub(crate) struct JsonParser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> JsonParser<'a> {
-    pub(crate) fn parse_document(text: &'a str) -> Result<Json, String> {
-        let mut p = JsonParser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        };
-        let value = p.value()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(format!("trailing garbage at byte {}", p.pos));
-        }
-        Ok(value)
-    }
-
-    fn skip_ws(&mut self) {
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| b" \t\r\n".contains(b))
-        {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!(
-                "expected {:?} at byte {}, found {:?}",
-                b as char,
-                self.pos,
-                self.peek().map(|c| c as char)
-            ))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        self.skip_ws();
-        match self.peek() {
-            Some(b'"') => self.string().map(Json::Str),
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
-            other => Err(format!(
-                "unexpected {:?} at byte {}",
-                other.map(|c| c as char),
-                self.pos
-            )),
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let start = self.pos;
-        while let Some(b) = self.peek() {
-            if b == b'"' {
-                let s = std::str::from_utf8(&self.bytes[start..self.pos])
-                    .map_err(|_| "invalid UTF-8 in string".to_string())?;
-                if s.contains('\\') {
-                    return Err("escaped strings are not supported".to_string());
-                }
-                self.pos += 1;
-                return Ok(s.to_string());
-            }
-            self.pos += 1;
-        }
-        Err("unterminated string".to_string())
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        while self
-            .peek()
-            .is_some_and(|b| b.is_ascii_digit() || b"+-.eE".contains(&b))
-        {
-            self.pos += 1;
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| format!("invalid number {text:?} at byte {start}"))
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            let value = self.value()?;
-            fields.push((key, value));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                other => {
-                    return Err(format!(
-                        "expected ',' or '}}' in object, found {:?}",
-                        other.map(|c| c as char)
-                    ))
-                }
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                other => {
-                    return Err(format!(
-                        "expected ',' or ']' in array, found {:?}",
-                        other.map(|c| c as char)
-                    ))
-                }
-            }
-        }
-    }
 }
 
 #[cfg(test)]

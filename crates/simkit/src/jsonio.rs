@@ -1,0 +1,414 @@
+//! Minimal JSON value model, parser and rendering helpers for the
+//! workspace's line-oriented wire formats.
+//!
+//! Every codec in this workspace (fault plans, alert rules, snapshots,
+//! chaos plans, checkpoints) shares one deliberately small JSON
+//! vocabulary: strings, numbers, arrays and objects. Strings follow the
+//! telemetry codecs' *no-escaping convention* — the charset is
+//! restricted (`[A-Za-z0-9._\- ]` in practice) so rendered documents
+//! never need escape sequences and [`JsonParser`] rejects them
+//! outright. Numbers use Rust's shortest-round-trip `f64` formatting,
+//! which makes every rendered document deterministic across platforms
+//! and every parsed `f64` bit-exact with the value that was written.
+//!
+//! Non-finite floats (`inf`, `-inf`, `nan`) have no JSON literal; the
+//! snapshot codecs that must round-trip them (e.g. the `±inf` min/max
+//! of an empty [`OnlineStats`](crate::stats::OnlineStats)) write them
+//! as tagged strings via [`write_f64`] and read them back with
+//! [`ObjFields::f64_field_lossy`].
+//!
+//! # Example
+//!
+//! ```
+//! use simkit::jsonio::{Json, JsonParser, ObjFields};
+//!
+//! let doc = JsonParser::parse_document("{\"count\":3,\"name\":\"acme\"}").unwrap();
+//! let obj = doc.as_object("doc").unwrap();
+//! assert_eq!(obj.u64_field("count").unwrap(), 3);
+//! assert_eq!(obj.str_field("name").unwrap(), "acme");
+//! ```
+
+use std::fmt::Write as _;
+
+/// Minimal JSON value: strings, numbers, arrays, objects — the whole
+/// vocabulary the workspace wire formats use. Booleans and `null` are
+/// deliberately absent; codecs encode flags as `0`/`1` numbers and
+/// optionality as field presence.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// A string (no-escape charset; see the module docs).
+    Str(String),
+    /// A number (always carried as `f64`, like JavaScript).
+    Num(f64),
+    /// An array of values.
+    Arr(Vec<Json>),
+    /// An object as an ordered field list (duplicate keys unsupported;
+    /// lookups take the first match).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Views this value as an object's field list, or explains (using
+    /// `what` as the subject) why it is not one.
+    pub fn as_object(&self, what: &str) -> Result<&[(String, Json)], String> {
+        match self {
+            Json::Obj(fields) => Ok(fields),
+            _ => Err(format!("expected {what} to be a JSON object")),
+        }
+    }
+
+    /// Views this value as an array, or explains why it is not one.
+    pub fn as_array(&self, what: &str) -> Result<&[Json], String> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            _ => Err(format!("expected {what} to be a JSON array")),
+        }
+    }
+
+    /// Views this value as a number, or explains why it is not one.
+    /// Accepts the tagged non-finite strings written by [`write_f64`].
+    pub fn as_f64(&self, what: &str) -> Result<f64, String> {
+        match self {
+            Json::Num(n) => Ok(*n),
+            Json::Str(s) => parse_tagged_f64(s)
+                .ok_or_else(|| format!("expected {what} to be a number, got string {s:?}")),
+            _ => Err(format!("expected {what} to be a number")),
+        }
+    }
+
+    /// Views this value as a non-negative integer, or explains why it
+    /// is not one.
+    pub fn as_u64(&self, what: &str) -> Result<u64, String> {
+        match self {
+            Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= u64::MAX as f64 => Ok(*n as u64),
+            _ => Err(format!("expected {what} to be a non-negative integer")),
+        }
+    }
+}
+
+/// Writes `value` into `out` as a JSON number — or, when it is not
+/// finite, as one of the tagged strings `"inf"`, `"-inf"`, `"nan"`
+/// (JSON has no literal for these). Finite values use Rust's shortest
+/// round-trip formatting, so `write_f64` → parse → `f64` is bit-exact.
+pub fn write_f64(out: &mut String, value: f64) {
+    if value.is_finite() {
+        let _ = write!(out, "{value}");
+    } else if value.is_nan() {
+        out.push_str("\"nan\"");
+    } else if value > 0.0 {
+        out.push_str("\"inf\"");
+    } else {
+        out.push_str("\"-inf\"");
+    }
+}
+
+fn parse_tagged_f64(s: &str) -> Option<f64> {
+    match s {
+        "inf" => Some(f64::INFINITY),
+        "-inf" => Some(f64::NEG_INFINITY),
+        "nan" => Some(f64::NAN),
+        _ => None,
+    }
+}
+
+/// Field lookups over a parsed object, with typed errors.
+pub trait ObjFields {
+    /// The raw value of field `key`, or a missing-field error.
+    fn field(&self, key: &str) -> Result<&Json, String>;
+    /// The raw value of field `key`, or `None` when absent.
+    fn opt_field(&self, key: &str) -> Option<&Json>;
+    /// Field `key` as a string.
+    fn str_field(&self, key: &str) -> Result<&str, String>;
+    /// Field `key` as a number (strict: tagged non-finite strings are
+    /// rejected — use [`ObjFields::f64_field_lossy`] for those).
+    fn f64_field(&self, key: &str) -> Result<f64, String>;
+    /// Field `key` as a number, also accepting the tagged non-finite
+    /// strings written by [`write_f64`].
+    fn f64_field_lossy(&self, key: &str) -> Result<f64, String>;
+    /// Field `key` as a non-negative integer.
+    fn u64_field(&self, key: &str) -> Result<u64, String>;
+    /// Field `key` as a non-negative integer, or `None` when absent.
+    fn opt_u64_field(&self, key: &str) -> Result<Option<u64>, String>;
+    /// Field `key` as an array.
+    fn arr_field(&self, key: &str) -> Result<&[Json], String>;
+    /// Field `key` as an object's field list.
+    fn obj_field(&self, key: &str) -> Result<&[(String, Json)], String>;
+}
+
+impl ObjFields for &[(String, Json)] {
+    fn field(&self, key: &str) -> Result<&Json, String> {
+        self.opt_field(key)
+            .ok_or_else(|| format!("missing field {key:?}"))
+    }
+
+    fn opt_field(&self, key: &str) -> Option<&Json> {
+        self.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    fn str_field(&self, key: &str) -> Result<&str, String> {
+        match self.field(key)? {
+            Json::Str(s) => Ok(s),
+            _ => Err(format!("field {key:?} must be a string")),
+        }
+    }
+
+    fn f64_field(&self, key: &str) -> Result<f64, String> {
+        match self.field(key)? {
+            Json::Num(n) => Ok(*n),
+            _ => Err(format!("field {key:?} must be a number")),
+        }
+    }
+
+    fn f64_field_lossy(&self, key: &str) -> Result<f64, String> {
+        self.field(key)?.as_f64(&format!("field {key:?}"))
+    }
+
+    fn u64_field(&self, key: &str) -> Result<u64, String> {
+        let n = self.f64_field(key)?;
+        if n.fract() != 0.0 || n < 0.0 || n > u64::MAX as f64 {
+            return Err(format!(
+                "field {key:?} must be a non-negative integer, got {n}"
+            ));
+        }
+        Ok(n as u64)
+    }
+
+    fn opt_u64_field(&self, key: &str) -> Result<Option<u64>, String> {
+        match self.opt_field(key) {
+            None => Ok(None),
+            Some(v) => v.as_u64(&format!("field {key:?}")).map(Some),
+        }
+    }
+
+    fn arr_field(&self, key: &str) -> Result<&[Json], String> {
+        match self.field(key)? {
+            Json::Arr(items) => Ok(items),
+            _ => Err(format!("field {key:?} must be an array")),
+        }
+    }
+
+    fn obj_field(&self, key: &str) -> Result<&[(String, Json)], String> {
+        self.field(key)?.as_object(&format!("field {key:?}"))
+    }
+}
+
+/// Hand-rolled recursive-descent parser for the workspace wire formats.
+/// Strings are unescaped-charset only (`[A-Za-z0-9._\- ]` in practice),
+/// matching the telemetry codecs' no-escaping convention.
+pub struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    /// Parses `text` as one complete JSON document (whitespace-tolerant,
+    /// trailing garbage rejected).
+    pub fn parse_document(text: &'a str) -> Result<Json, String> {
+        let mut p = JsonParser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b" \t\r\n".contains(b))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'"' {
+                let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                if s.contains('\\') {
+                    return Err("escaped strings are not supported".to_string());
+                }
+                self.pos += 1;
+                return Ok(s.to_string());
+            }
+            self.pos += 1;
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || b"+-.eE".contains(&b))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' in object, found {:?}",
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' in array, found {:?}",
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_round_trips_typed_fields() {
+        let doc = JsonParser::parse_document("{\"n\":1.5,\"s\":\"x\",\"a\":[1,2],\"o\":{\"k\":3}}")
+            .unwrap();
+        let obj = doc.as_object("doc").unwrap();
+        assert_eq!(obj.f64_field("n").unwrap(), 1.5);
+        assert_eq!(obj.str_field("s").unwrap(), "x");
+        assert_eq!(obj.arr_field("a").unwrap().len(), 2);
+        assert_eq!(obj.obj_field("o").unwrap().u64_field("k").unwrap(), 3);
+        assert!(obj.opt_field("missing").is_none());
+        assert_eq!(obj.opt_u64_field("missing").unwrap(), None);
+        assert!(obj.opt_u64_field("n").unwrap_err().contains("integer"));
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip_as_tagged_strings() {
+        for v in [f64::INFINITY, f64::NEG_INFINITY, f64::NAN, 1.25, -0.0] {
+            let mut out = String::from("{\"v\":");
+            write_f64(&mut out, v);
+            out.push('}');
+            let doc = JsonParser::parse_document(&out).unwrap();
+            let got = doc.as_object("doc").unwrap().f64_field_lossy("v").unwrap();
+            if v.is_nan() {
+                assert!(got.is_nan());
+            } else {
+                assert_eq!(got, v, "round-trip of {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn strict_f64_field_rejects_tagged_strings() {
+        let doc = JsonParser::parse_document("{\"v\":\"inf\"}").unwrap();
+        let obj = doc.as_object("doc").unwrap();
+        assert!(obj.f64_field("v").is_err());
+        assert_eq!(obj.f64_field_lossy("v").unwrap(), f64::INFINITY);
+    }
+
+    #[test]
+    fn parser_rejects_escapes_and_trailing_garbage() {
+        assert!(JsonParser::parse_document("{\"a\\n\":1}")
+            .unwrap_err()
+            .contains("escaped"));
+        assert!(JsonParser::parse_document("{} junk")
+            .unwrap_err()
+            .contains("trailing"));
+    }
+
+    #[test]
+    fn shortest_round_trip_formatting_is_exact() {
+        let v = 0.123_456_789_012_345_68_f64;
+        let mut out = String::new();
+        write_f64(&mut out, v);
+        let doc = JsonParser::parse_document(&out).unwrap();
+        assert_eq!(doc.as_f64("v").unwrap().to_bits(), v.to_bits());
+    }
+}

@@ -33,6 +33,10 @@
 //! * [`fault`] — deterministic fault-injection plans (`FaultPlan`
 //!   schedules of sensor/message/component faults over sim-time windows,
 //!   JSON round-trip, seed-stable per-spec random streams);
+//! * [`jsonio`] — the shared minimal JSON value model, no-escape parser
+//!   and deterministic `f64` rendering used by every wire codec;
+//! * [`chaos`] — wire-level chaos plans (`ChaosPlan` byte/line faults on
+//!   a TCP stream) and an in-process fault-injecting TCP proxy;
 //! * [`mc`] — a bounded exhaustive model checker (DFS/BFS over action
 //!   interleavings, FNV-1a state fingerprints for visited-set pruning,
 //!   pluggable safety/liveness properties, counterexample traces);
@@ -63,11 +67,13 @@
 #![deny(unsafe_code)]
 
 pub mod alert;
+pub mod chaos;
 pub mod detect;
 pub mod engine;
 pub mod event;
 pub mod fault;
 pub mod heatmap;
+pub mod jsonio;
 pub mod log;
 pub mod mc;
 pub mod prof;

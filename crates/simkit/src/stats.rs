@@ -6,6 +6,8 @@
 //! cumulative distribution used for Figure 1, and [`Histogram`] buckets
 //! values for quick text plots.
 
+use crate::jsonio::{write_f64, Json, ObjFields};
+
 /// One-pass mean/variance accumulator (Welford's algorithm).
 ///
 /// # NaN handling
@@ -148,6 +150,43 @@ impl OnlineStats {
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
+
+    /// Serializes the accumulator's exact internal state as one JSON
+    /// object. Welford's `m2` is *order-dependent*, so the fields are
+    /// written verbatim (never re-derived); the `±inf` min/max of an
+    /// empty accumulator round-trip as tagged strings.
+    pub fn snapshot_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"count\":");
+        out.push_str(&self.count.to_string());
+        out.push_str(",\"mean\":");
+        write_f64(&mut out, self.mean);
+        out.push_str(",\"m2\":");
+        write_f64(&mut out, self.m2);
+        out.push_str(",\"min\":");
+        write_f64(&mut out, self.min);
+        out.push_str(",\"max\":");
+        write_f64(&mut out, self.max);
+        out.push_str(",\"nans\":");
+        out.push_str(&self.nans.to_string());
+        out.push('}');
+        out
+    }
+
+    /// Rebuilds an accumulator from [`snapshot_json`](Self::snapshot_json)
+    /// output (parsed). The restored value is bit-exact with the
+    /// snapshotted one.
+    pub fn from_snapshot(value: &Json) -> Result<OnlineStats, String> {
+        let obj = value.as_object("stats snapshot")?;
+        Ok(OnlineStats {
+            count: obj.u64_field("count")?,
+            mean: obj.f64_field_lossy("mean")?,
+            m2: obj.f64_field_lossy("m2")?,
+            min: obj.f64_field_lossy("min")?,
+            max: obj.f64_field_lossy("max")?,
+            nans: obj.u64_field("nans")?,
+        })
+    }
 }
 
 impl Extend<f64> for OnlineStats {
@@ -246,6 +285,36 @@ impl Summary {
     /// All observations, ascending.
     pub fn sorted_values(&self) -> &[f64] {
         &self.sorted
+    }
+
+    /// Serializes the summary's exact state: the retained sorted sample
+    /// plus the running accumulator (whose `m2` depends on *push*
+    /// order, which the sorted sample no longer records — so both are
+    /// written).
+    pub fn snapshot_json(&self) -> String {
+        let mut out = String::from("{\"stats\":");
+        out.push_str(&self.stats.snapshot_json());
+        out.push_str(",\"sorted\":[");
+        for (i, &v) in self.sorted.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_f64(&mut out, v);
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Rebuilds a summary from [`snapshot_json`](Self::snapshot_json)
+    /// output (parsed).
+    pub fn from_snapshot(value: &Json) -> Result<Summary, String> {
+        let obj = value.as_object("summary snapshot")?;
+        let stats = OnlineStats::from_snapshot(obj.field("stats")?)?;
+        let mut sorted = Vec::new();
+        for (i, item) in obj.arr_field("sorted")?.iter().enumerate() {
+            sorted.push(item.as_f64(&format!("sorted[{i}]"))?);
+        }
+        Ok(Summary { sorted, stats })
     }
 }
 
@@ -516,6 +585,51 @@ impl Histogram {
         self.sum += other.sum;
     }
 
+    /// Serializes the histogram's value state (`counts` and `sum`; the
+    /// shape is restated for validation on restore).
+    pub fn snapshot_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\"lo\":");
+        write_f64(&mut out, self.lo);
+        out.push_str(",\"hi\":");
+        write_f64(&mut out, self.hi);
+        out.push_str(",\"counts\":[");
+        for (i, c) in self.counts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{c}");
+        }
+        out.push_str("],\"sum\":");
+        write_f64(&mut out, self.sum);
+        out.push('}');
+        out
+    }
+
+    /// Overwrites this histogram's counts and sum from a parsed
+    /// [`snapshot_json`](Self::snapshot_json) document, validating that
+    /// the snapshot's range and bucket count match this histogram's
+    /// construction-time shape.
+    pub fn restore_snapshot(&mut self, value: &Json) -> Result<(), String> {
+        let obj = value.as_object("histogram snapshot")?;
+        let (lo, hi) = (obj.f64_field_lossy("lo")?, obj.f64_field_lossy("hi")?);
+        let counts = obj.arr_field("counts")?;
+        if lo != self.lo || hi != self.hi || counts.len() != self.counts.len() {
+            return Err(format!(
+                "histogram shape mismatch: snapshot [{lo}, {hi})×{} vs [{}, {})×{}",
+                counts.len(),
+                self.lo,
+                self.hi,
+                self.counts.len()
+            ));
+        }
+        for (i, (slot, item)) in self.counts.iter_mut().zip(counts).enumerate() {
+            *slot = item.as_u64(&format!("counts[{i}]"))?;
+        }
+        self.sum = obj.f64_field_lossy("sum")?;
+        Ok(())
+    }
+
     /// `(bucket_midpoint, count)` pairs.
     pub fn midpoints(&self) -> Vec<(f64, u64)> {
         let n = self.counts.len();
@@ -766,6 +880,51 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.sum(), 5.0);
         assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn online_stats_snapshot_round_trips_bit_exactly() {
+        let mut s = OnlineStats::new();
+        for i in 0..137 {
+            s.push((i as f64).sin() * 10.0 + 0.1);
+        }
+        s.push(f64::NAN);
+        let doc = crate::jsonio::JsonParser::parse_document(&s.snapshot_json()).unwrap();
+        let restored = OnlineStats::from_snapshot(&doc).unwrap();
+        assert_eq!(restored, s);
+        assert_eq!(restored.snapshot_json(), s.snapshot_json());
+        // Empty accumulator carries non-finite min/max.
+        let empty = OnlineStats::new();
+        let doc = crate::jsonio::JsonParser::parse_document(&empty.snapshot_json()).unwrap();
+        assert_eq!(OnlineStats::from_snapshot(&doc).unwrap(), empty);
+    }
+
+    #[test]
+    fn summary_snapshot_round_trips() {
+        let mut s = Summary::new();
+        for v in [5.5, 1.25, 3.0, 2.75, 4.125, 3.0] {
+            s.push(v);
+        }
+        let doc = crate::jsonio::JsonParser::parse_document(&s.snapshot_json()).unwrap();
+        let restored = Summary::from_snapshot(&doc).unwrap();
+        assert_eq!(restored, s);
+        let empty_doc =
+            crate::jsonio::JsonParser::parse_document(&Summary::new().snapshot_json()).unwrap();
+        assert_eq!(Summary::from_snapshot(&empty_doc).unwrap(), Summary::new());
+    }
+
+    #[test]
+    fn histogram_snapshot_restores_into_matching_shape_only() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for v in [1.0, 3.5, 9.9, 42.0] {
+            h.push(v);
+        }
+        let doc = crate::jsonio::JsonParser::parse_document(&h.snapshot_json()).unwrap();
+        let mut fresh = Histogram::new(0.0, 10.0, 5);
+        fresh.restore_snapshot(&doc).unwrap();
+        assert_eq!(fresh, h);
+        let mut wrong = Histogram::new(0.0, 10.0, 4);
+        assert!(wrong.restore_snapshot(&doc).unwrap_err().contains("shape"));
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::jsonio::{write_f64, Json, ObjFields};
 use crate::stats::{Histogram, OnlineStats};
 
 /// Interned handle for one registered metric.
@@ -281,6 +282,101 @@ impl MetricRegistry {
             mine.stats.merge(&theirs.stats);
         }
     }
+
+    /// Serializes every instrument's *value* state (counter totals,
+    /// gauge last-values, histogram buckets, running statistics) as one
+    /// JSON object, in registration order. The metric *set* itself is
+    /// structural — rebuilt by re-running the same registration code —
+    /// so the snapshot restates names and kinds only to validate that
+    /// structure on restore.
+    pub fn snapshot_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\"metrics\":[");
+        for (i, id) in self.ids().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let inst = &self.instruments[id.index()];
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"kind\":\"{}\"",
+                self.name(id),
+                inst.kind.as_str()
+            );
+            match inst.kind {
+                MetricKind::Counter => {
+                    let _ = write!(out, ",\"counter\":{}", inst.counter);
+                }
+                MetricKind::Gauge => {
+                    out.push_str(",\"gauge\":");
+                    write_f64(&mut out, inst.gauge);
+                    out.push_str(",\"stats\":");
+                    out.push_str(&inst.stats.snapshot_json());
+                }
+                MetricKind::Histogram => {
+                    out.push_str(",\"hist\":");
+                    out.push_str(&inst.histogram.as_ref().expect("histogram").snapshot_json());
+                    out.push_str(",\"stats\":");
+                    out.push_str(&inst.stats.snapshot_json());
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Overwrites every instrument's value state from a parsed
+    /// [`snapshot_json`](Self::snapshot_json) document. The snapshot
+    /// must cover exactly this registry's metric set, in registration
+    /// order, with matching kinds (and histogram shapes) — any drift is
+    /// an error and the registry is left partially restored only on the
+    /// already-validated prefix.
+    pub fn restore_snapshot(&mut self, value: &Json) -> Result<(), String> {
+        let obj = value.as_object("registry snapshot")?;
+        let metrics = obj.arr_field("metrics")?;
+        if metrics.len() != self.names.len() {
+            return Err(format!(
+                "registry snapshot has {} metrics, registry has {}",
+                metrics.len(),
+                self.names.len()
+            ));
+        }
+        for (id, item) in self.ids().zip(metrics) {
+            let entry = item.as_object("metric entry")?;
+            let name = entry.str_field("name")?;
+            if name != self.name(id) {
+                return Err(format!(
+                    "metric {} is {:?} in the snapshot but {:?} in the registry",
+                    id.index(),
+                    name,
+                    self.name(id)
+                ));
+            }
+            let inst = &mut self.instruments[id.index()];
+            if entry.str_field("kind")? != inst.kind.as_str() {
+                return Err(format!("metric {name:?} kind mismatch"));
+            }
+            match inst.kind {
+                MetricKind::Counter => {
+                    inst.counter = entry.u64_field("counter")?;
+                }
+                MetricKind::Gauge => {
+                    inst.gauge = entry.f64_field_lossy("gauge")?;
+                    inst.stats = OnlineStats::from_snapshot(entry.field("stats")?)?;
+                }
+                MetricKind::Histogram => {
+                    inst.histogram
+                        .as_mut()
+                        .expect("histogram")
+                        .restore_snapshot(entry.field("hist")?)
+                        .map_err(|e| format!("metric {name:?}: {e}"))?;
+                    inst.stats = OnlineStats::from_snapshot(entry.field("stats")?)?;
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Registry metric names use the workspace `<scope>.<quantity>` dotted
@@ -483,6 +579,48 @@ mod tests {
         let mut b = MetricRegistry::new();
         b.register_counter("y");
         render_prometheus_families("", &[("", &a), ("", &b)]);
+    }
+
+    #[test]
+    fn snapshot_restores_values_into_structurally_rebuilt_registry() {
+        let build = || {
+            let mut reg = MetricRegistry::new();
+            let c = reg.register_counter("ingest.records_total");
+            let g = reg.register_gauge("policy.level");
+            let h = reg.register_histogram("ingest.tick_gap_ms", 0.0, 100.0, 4);
+            (reg, c, g, h)
+        };
+        let (mut live, c, g, h) = build();
+        live.inc(c, 42);
+        live.set_gauge(g, 2.0);
+        live.set_gauge(g, 3.0);
+        live.observe(h, 7.5);
+        live.observe(h, 250.0);
+        let doc = crate::jsonio::JsonParser::parse_document(&live.snapshot_json()).unwrap();
+        let (mut fresh, ..) = build();
+        fresh.restore_snapshot(&doc).unwrap();
+        assert_eq!(fresh, live);
+        assert_eq!(fresh.snapshot_json(), live.snapshot_json());
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_structural_drift() {
+        let mut a = MetricRegistry::new();
+        a.register_counter("x");
+        let doc = crate::jsonio::JsonParser::parse_document(&a.snapshot_json()).unwrap();
+        let mut renamed = MetricRegistry::new();
+        renamed.register_counter("y");
+        assert!(renamed.restore_snapshot(&doc).is_err());
+        let mut rekinded = MetricRegistry::new();
+        rekinded.register_gauge("x");
+        assert!(rekinded
+            .restore_snapshot(&doc)
+            .unwrap_err()
+            .contains("kind"));
+        let mut bigger = MetricRegistry::new();
+        bigger.register_counter("x");
+        bigger.register_counter("z");
+        assert!(bigger.restore_snapshot(&doc).unwrap_err().contains("has"));
     }
 
     #[test]

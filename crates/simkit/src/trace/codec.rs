@@ -369,6 +369,63 @@ pub fn is_span_csv_header(line_text: &str) -> bool {
     line_text == SPAN_CSV_HEADER.trim_end()
 }
 
+/// Re-serializes parsed spans back to the wire format they came from.
+///
+/// The exact inverse of [`parse_spans`] for any well-formed trace —
+/// names and attribute keys are restricted to an escape-free charset
+/// and values use the shortest-round-trip `f64` form in both
+/// directions, so `render_parsed_spans(&parse_spans(text)?) == text`
+/// byte for byte. This is what a daemon uses to persist the spans it
+/// retained for a session (checkpoints, flushes) without ever holding
+/// the original byte stream.
+pub fn render_parsed_spans(spans: &[ParsedSpan], format: Format) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(spans.len() * 96);
+    if format == Format::Csv {
+        out.push_str(SPAN_CSV_HEADER);
+    }
+    for s in spans {
+        match format {
+            Format::Jsonl => {
+                let _ = write!(out, "{{\"id\":{},\"name\":\"{}\",\"parent\":", s.id, s.name);
+                match s.parent {
+                    Some(p) => {
+                        let _ = write!(out, "{p}");
+                    }
+                    None => out.push_str("null"),
+                }
+                let _ = write!(
+                    out,
+                    ",\"t0\":{},\"t1\":{},\"attrs\":{{",
+                    s.start_ms, s.end_ms
+                );
+                for (i, (key, value)) in s.attrs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "\"{key}\":{value}");
+                }
+                out.push_str("}}\n");
+            }
+            Format::Csv => {
+                let _ = write!(out, "{},{},", s.id, s.name);
+                if let Some(p) = s.parent {
+                    let _ = write!(out, "{p}");
+                }
+                let _ = write!(out, ",{},{},", s.start_ms, s.end_ms);
+                for (i, (key, value)) in s.attrs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(';');
+                    }
+                    let _ = write!(out, "{key}={value}");
+                }
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
 /// Parses a serialized span trace (either format) back into spans.
 ///
 /// The parser is strict: any malformed line fails the whole parse with
@@ -463,6 +520,22 @@ mod tests {
         assert_eq!(parsed[0].attr("nodes"), Some(4.0));
         assert_eq!(parsed[1].parent, Some(0));
         assert_eq!(parsed[1].end_ms, 600_000);
+    }
+
+    #[test]
+    fn render_parsed_spans_is_the_exact_inverse_of_parse() {
+        let (names, spans) = sample_trace();
+        for format in [Format::Jsonl, Format::Csv] {
+            let text = match format {
+                Format::Jsonl => spans_to_jsonl(&names, &spans),
+                Format::Csv => spans_to_csv(&names, &spans),
+            };
+            let parsed = parse_spans(&text, format).unwrap();
+            assert_eq!(render_parsed_spans(&parsed, format), text, "{format:?}");
+            // And the rendered form parses back to the same spans.
+            let reparsed = parse_spans(&render_parsed_spans(&parsed, format), format).unwrap();
+            assert_eq!(reparsed, parsed, "{format:?}");
+        }
     }
 
     #[test]

@@ -30,8 +30,8 @@ pub mod incident;
 pub mod span;
 
 pub use codec::{
-    is_span_csv_header, parse_span_line, parse_spans, spans_to_csv, spans_to_jsonl,
-    CsvSpanRecorder, JsonlSpanRecorder, ParsedSpan, SPAN_CSV_HEADER,
+    is_span_csv_header, parse_span_line, parse_spans, render_parsed_spans, spans_to_csv,
+    spans_to_jsonl, CsvSpanRecorder, JsonlSpanRecorder, ParsedSpan, SPAN_CSV_HEADER,
 };
 pub use incident::{
     render_report_json, render_timeline, GroundTruth, Incident, IncidentReconstructor,
